@@ -1,0 +1,351 @@
+//! Dataset collection (paper §4): crawl every weekly snapshot of the
+//! (synthetic) web over the real HTTP stack, fingerprint every usable
+//! landing page, and apply the inaccessible-domain filter.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use webvuln_cvedb::Date;
+use webvuln_fingerprint::{Engine, PageAnalysis};
+use webvuln_net::{
+    crawl, inaccessible_domains, CrawlConfig, FaultPlan, FetchSummary, VirtualNet,
+    EMPTY_PAGE_THRESHOLD,
+};
+use webvuln_webgen::{Ecosystem, Timeline};
+
+/// One analysed weekly snapshot.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct WeekSnapshot {
+    /// Snapshot index.
+    pub week: usize,
+    /// Snapshot date.
+    pub date: Date,
+    /// Fingerprinted pages of domains that served usable content.
+    pub pages: BTreeMap<String, PageAnalysis>,
+    /// Fetch summaries for every attempted domain (filter input).
+    pub summaries: BTreeMap<String, FetchSummary>,
+}
+
+impl WeekSnapshot {
+    /// Number of successfully collected pages (Figure 2(a)'s series).
+    pub fn collected(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// The full longitudinal dataset.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct Dataset {
+    /// The snapshot timeline.
+    pub timeline: Timeline,
+    /// Alexa-style rank per domain (1-based).
+    pub ranks: BTreeMap<String, usize>,
+    /// Weekly snapshots in order.
+    pub weeks: Vec<WeekSnapshot>,
+    /// Domains removed by the §4.1 inaccessibility filter.
+    pub filtered_out: Vec<String>,
+}
+
+/// Collection configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectConfig {
+    /// Crawler worker threads.
+    pub concurrency: usize,
+    /// Connection-level fault plan for the virtual internet.
+    pub faults: FaultPlan,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig {
+            concurrency: 8,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// Crawls every week of `ecosystem` and fingerprints the results.
+///
+/// This is the paper's §4 pipeline end-to-end: HTTP fetch (through the
+/// full wire codec), the 400-byte/4xx usability rule, Wappalyzer-style
+/// fingerprinting, and the trailing-month inaccessibility filter.
+pub fn collect_dataset(ecosystem: &Arc<Ecosystem>, config: CollectConfig) -> Dataset {
+    let engine = Engine::new();
+    let names = ecosystem.domain_names();
+    let timeline = *ecosystem.timeline();
+    let mut weeks = Vec::with_capacity(timeline.weeks);
+
+    for (week, date) in timeline.iter() {
+        let net =
+            VirtualNet::new(Arc::new(ecosystem.handler(week))).with_faults(config.faults);
+        let records = crawl(
+            &names,
+            &net,
+            CrawlConfig {
+                concurrency: config.concurrency,
+            },
+        );
+        let mut pages = BTreeMap::new();
+        let mut summaries = BTreeMap::new();
+        for (domain, record) in records {
+            summaries.insert(domain.clone(), FetchSummary::from(&record));
+            if record.is_usable(EMPTY_PAGE_THRESHOLD) {
+                pages.insert(domain.clone(), engine.analyze(&record.body, &domain));
+            }
+        }
+        weeks.push(WeekSnapshot {
+            week,
+            date,
+            pages,
+            summaries,
+        });
+    }
+
+    let ranks = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i + 1))
+        .collect();
+    let mut dataset = Dataset {
+        timeline,
+        ranks,
+        weeks,
+        filtered_out: Vec::new(),
+    };
+    dataset.apply_inaccessibility_filter();
+    dataset
+}
+
+impl Dataset {
+    /// Applies the §4.1 filter: domains that are error/empty for the four
+    /// consecutive final weeks are dropped from every snapshot.
+    pub fn apply_inaccessibility_filter(&mut self) {
+        let weekly: Vec<BTreeMap<String, FetchSummary>> = self
+            .weeks
+            .iter()
+            .map(|w| w.summaries.clone())
+            .collect();
+        let drop = inaccessible_domains(&weekly, webvuln_net::filter::FINAL_WEEKS);
+        for week in &mut self.weeks {
+            week.pages.retain(|d, _| !drop.contains(d));
+            week.summaries.retain(|d, _| !drop.contains(d));
+        }
+        self.filtered_out = drop.into_iter().collect();
+    }
+
+    /// Average number of pages collected per week.
+    pub fn average_collected(&self) -> f64 {
+        if self.weeks.is_empty() {
+            return 0.0;
+        }
+        self.weeks.iter().map(WeekSnapshot::collected).sum::<usize>() as f64
+            / self.weeks.len() as f64
+    }
+
+    /// Every domain observed with a usable page at least once.
+    pub fn observed_domains(&self) -> Vec<&String> {
+        let mut out: Vec<&String> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for week in &self.weeks {
+            for domain in week.pages.keys() {
+                if seen.insert(domain) {
+                    out.push(domain);
+                }
+            }
+        }
+        out
+    }
+
+    /// The rank of a domain (1-based), when known.
+    pub fn rank(&self, domain: &str) -> Option<usize> {
+        self.ranks.get(domain).copied()
+    }
+
+    /// Snapshot count.
+    pub fn week_count(&self) -> usize {
+        self.weeks.len()
+    }
+
+    /// Serializes the analysed dataset to JSON — the library's analogue of
+    /// the paper's public data release. Fingerprints, fetch summaries and
+    /// ranks are preserved; raw page bytes are not (they are reproducible
+    /// from the ecosystem seed).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset types are serde-safe")
+    }
+
+    /// Deserializes a dataset previously written by [`Dataset::to_json`].
+    pub fn from_json(json: &str) -> Result<Dataset, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the JSON form to `path`.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a dataset from a JSON file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Dataset> {
+        let text = std::fs::read_to_string(path)?;
+        Dataset::from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    //! Shared fixtures: small ecosystems collected once per test binary.
+
+    use super::*;
+    use std::sync::OnceLock;
+    use webvuln_webgen::EcosystemConfig;
+
+    /// A small but fully featured dataset: 1,200 domains, 30 weeks
+    /// starting Mar 2018 (covers no WordPress events — fast tests).
+    pub fn small() -> &'static Dataset {
+        static DATA: OnceLock<Dataset> = OnceLock::new();
+        DATA.get_or_init(|| {
+            let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+                seed: 77,
+                domain_count: 1_200,
+                timeline: Timeline::truncated(30),
+            }));
+            collect_dataset(&eco, CollectConfig::default())
+        })
+    }
+
+    /// A full-length but narrow dataset: 700 domains over the whole
+    /// 201-week paper timeline (covers the WordPress waves and Flash EOL).
+    pub fn long() -> &'static Dataset {
+        static DATA: OnceLock<Dataset> = OnceLock::new();
+        DATA.get_or_init(|| {
+            let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+                seed: 99,
+                domain_count: 700,
+                timeline: Timeline::paper(),
+            }));
+            collect_dataset(&eco, CollectConfig::default())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testkit;
+    use super::*;
+    use webvuln_webgen::EcosystemConfig;
+
+    #[test]
+    fn collects_most_domains_each_week() {
+        let data = testkit::small();
+        assert_eq!(data.week_count(), 30);
+        let avg = data.average_collected();
+        let total = 1_200.0;
+        // The paper collects ~78% of the Alexa list each week.
+        assert!(
+            (0.70..0.88).contains(&(avg / total)),
+            "collected {avg} of {total}"
+        );
+    }
+
+    #[test]
+    fn filter_removes_consistently_dead_domains() {
+        let data = testkit::small();
+        assert!(!data.filtered_out.is_empty(), "some domains get pruned");
+        // Filtered domains appear in no snapshot.
+        for week in &data.weeks {
+            for dropped in &data.filtered_out {
+                assert!(!week.pages.contains_key(dropped));
+                assert!(!week.summaries.contains_key(dropped));
+            }
+        }
+    }
+
+    #[test]
+    fn pages_carry_fingerprints() {
+        let data = testkit::small();
+        let week0 = &data.weeks[0];
+        let with_libs = week0
+            .pages
+            .values()
+            .filter(|p| p.has_any_library())
+            .count();
+        assert!(
+            with_libs * 10 > week0.collected() * 6,
+            "libraries are prevalent: {with_libs}/{}",
+            week0.collected()
+        );
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let make = || {
+            let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+                seed: 5,
+                domain_count: 150,
+                timeline: Timeline::truncated(6),
+            }));
+            collect_dataset(&eco, CollectConfig::default())
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.average_collected(), b.average_collected());
+        for (wa, wb) in a.weeks.iter().zip(&b.weeks) {
+            assert_eq!(wa.pages.len(), wb.pages.len());
+            assert!(wa
+                .pages
+                .iter()
+                .zip(&wb.pages)
+                .all(|((da, pa), (db, pb))| da == db && pa == pb));
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_analysis() {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 8,
+            domain_count: 120,
+            timeline: Timeline::truncated(5),
+        }));
+        let original = collect_dataset(&eco, CollectConfig::default());
+        let json = original.to_json();
+        let restored = Dataset::from_json(&json).expect("valid JSON");
+        assert_eq!(restored.week_count(), original.week_count());
+        assert_eq!(restored.ranks, original.ranks);
+        assert_eq!(restored.filtered_out, original.filtered_out);
+        for (a, b) in original.weeks.iter().zip(&restored.weeks) {
+            assert_eq!(a.week, b.week);
+            assert_eq!(a.date, b.date);
+            assert_eq!(a.pages, b.pages);
+            assert_eq!(a.summaries, b.summaries);
+        }
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 9,
+            domain_count: 40,
+            timeline: Timeline::truncated(2),
+        }));
+        let original = collect_dataset(&eco, CollectConfig::default());
+        let path = std::env::temp_dir().join("webvuln-dataset-test.json");
+        original.save(&path).expect("write");
+        let restored = Dataset::load(&path).expect("read");
+        assert_eq!(restored.week_count(), original.week_count());
+        let _ = std::fs::remove_file(&path);
+        assert!(Dataset::load("/nonexistent/never.json").is_err());
+    }
+
+    #[test]
+    fn ranks_are_exposed() {
+        let data = testkit::small();
+        let first = data.ranks.values().min().copied();
+        assert_eq!(first, Some(1));
+        let domain = data
+            .ranks
+            .iter()
+            .find(|(_, &r)| r == 1)
+            .map(|(d, _)| d.clone())
+            .expect("rank 1 exists");
+        assert_eq!(data.rank(&domain), Some(1));
+    }
+}

@@ -1,0 +1,34 @@
+//! # webvuln-analysis
+//!
+//! The longitudinal analysis engine: collects the weekly-snapshot dataset
+//! through the full crawl→fingerprint pipeline (§4) and computes every
+//! table and figure of the paper's evaluation (§5–§8). See DESIGN.md's
+//! experiment index for the artifact-to-function mapping.
+//!
+//! * [`dataset`] — §4 collection: weekly crawls over the virtual internet,
+//!   usability filtering, the trailing-month inaccessibility rule.
+//! * [`resources`] — Figure 2 (collection series, resource classes).
+//! * [`landscape`] — Table 1, Figure 3, Table 5 (library usage landscape).
+//! * [`vuln`] — §6.2/§6.4: prevalence, per-CVE impact (Table 2, Figures
+//!   5/14), the Figure 12 CDF, claimed-vs-TVV refinement.
+//! * [`updates`] — §7: version trends (Figures 6/7), WordPress
+//!   attribution (Figure 9), the update-delay estimator.
+//! * [`flash`] — §8: Figure 8 decay, Figure 11 `AllowScriptAccess`.
+//! * [`sri`] — §6.5: Figure 10 SRI adoption, `crossorigin` census,
+//!   Table 6 GitHub-hosted inclusions.
+//! * [`wordpress`] — Table 4 WordPress CVE census.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod flash;
+pub mod landscape;
+pub mod resources;
+pub mod sri;
+pub mod stats;
+pub mod updates;
+pub mod vuln;
+pub mod wordpress;
+
+pub use dataset::{collect_dataset, CollectConfig, Dataset, WeekSnapshot};

@@ -1,0 +1,152 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! fingerprint sources (URL-only vs URL+inline), the inaccessible-domain
+//! filter, and end-to-end pipeline scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::{Arc, OnceLock};
+use webvuln_analysis::dataset::{collect_dataset, CollectConfig};
+use webvuln_bench::{bench_ecosystem, bench_pages};
+use webvuln_fingerprint::Engine;
+use webvuln_net::{inaccessible_domains, FetchSummary};
+use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+/// Prints an ablation finding exactly once per process.
+fn print_once(key: &'static str, render: impl FnOnce() -> String) {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static PRINTED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    if PRINTED.lock().expect("not poisoned").insert(key) {
+        eprintln!("\n=== ablation: {key} ===\n{}", render());
+    }
+}
+
+/// Fingerprint sources: URL-only misses versions that only appear in
+/// inline banners; quantify the loss and compare throughput.
+fn ablation_fingerprint_sources(c: &mut Criterion) {
+    let pages = bench_pages();
+    let full = Engine::new();
+    let url_only = Engine::url_only();
+
+    print_once("fingerprint sources", || {
+        let count = |engine: &Engine| -> (usize, usize) {
+            let mut detections = 0;
+            let mut versioned = 0;
+            for (domain, html) in pages {
+                let a = engine.analyze(html, domain);
+                detections += a.detections.len();
+                versioned += a.detections.iter().filter(|d| d.version.is_some()).count();
+            }
+            (detections, versioned)
+        };
+        let (fd, fv) = count(&full);
+        let (ud, uv) = count(&url_only);
+        format!(
+            "full: {fd} detections ({fv} versioned); url-only: {ud} detections ({uv} versioned)"
+        )
+    });
+
+    let total_bytes: usize = pages.iter().map(|(_, h)| h.len()).sum();
+    let mut group = c.benchmark_group("ablation_fingerprint_sources");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            for (domain, html) in pages {
+                black_box(full.analyze(html, domain));
+            }
+        })
+    });
+    group.bench_function("url_only", |b| {
+        b.iter(|| {
+            for (domain, html) in pages {
+                black_box(url_only.analyze(html, domain));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// The §4.1 filter: quantify how many domains it prunes (the bias the
+/// paper says it removes) and its cost.
+fn ablation_filtering(c: &mut Criterion) {
+    static SUMMARIES: OnceLock<Vec<std::collections::BTreeMap<String, FetchSummary>>> =
+        OnceLock::new();
+    let weekly = SUMMARIES.get_or_init(|| {
+        let eco = bench_ecosystem();
+        let data = collect_dataset(eco, CollectConfig::default());
+        // Reconstruct unfiltered summaries by re-crawling? Not needed: the
+        // dataset keeps per-week summaries post-filter; for the ablation
+        // we rebuild the raw views from the ecosystem pages directly.
+        let _ = data;
+        let mut weeks = Vec::new();
+        for (week, _) in eco.timeline().iter() {
+            let mut map = std::collections::BTreeMap::new();
+            for name in eco.domain_names() {
+                let summary = match eco.page(&name, week) {
+                    webvuln_webgen::PageOutcome::Page(body) => FetchSummary {
+                        status: Some(200),
+                        body_len: body.len(),
+                    },
+                    webvuln_webgen::PageOutcome::Blocked(body) => FetchSummary {
+                        status: Some(200),
+                        body_len: body.len(),
+                    },
+                    webvuln_webgen::PageOutcome::Forbidden => FetchSummary {
+                        status: Some(403),
+                        body_len: 0,
+                    },
+                    _ => FetchSummary {
+                        status: None,
+                        body_len: 0,
+                    },
+                };
+                map.insert(name, summary);
+            }
+            weeks.push(map);
+        }
+        weeks
+    });
+
+    print_once("inaccessibility filter", || {
+        let dropped = inaccessible_domains(weekly, 4);
+        let total = weekly.last().map(|w| w.len()).unwrap_or(0);
+        format!(
+            "{} of {total} domains pruned by the 4-final-weeks rule",
+            dropped.len()
+        )
+    });
+
+    c.bench_function("ablation_filtering", |b| {
+        b.iter(|| black_box(inaccessible_domains(black_box(weekly), 4)))
+    });
+}
+
+/// Pipeline scale: end-to-end collection cost as the domain count grows
+/// (short 20-week horizon to keep the sweep tractable).
+fn ablation_pipeline_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipeline_scale");
+    group.sample_size(10);
+    for domains in [100usize, 200, 400] {
+        group.throughput(Throughput::Elements((domains * 20) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(domains),
+            &domains,
+            |b, &domains| {
+                let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+                    seed: 9,
+                    domain_count: domains,
+                    timeline: Timeline::truncated(20),
+                }));
+                b.iter(|| black_box(collect_dataset(&eco, CollectConfig::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_fingerprint_sources, ablation_filtering, ablation_pipeline_scale
+);
+criterion_main!(ablations);

@@ -1,0 +1,422 @@
+//! Experiment regeneration harness: one benchmark per table and figure of
+//! the paper (see DESIGN.md's experiment index). Each benchmark prints
+//! the regenerated artifact once (so `cargo bench` output doubles as the
+//! reproduction record) and then times the computation over the shared
+//! 800-domain × 201-week dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use webvuln_analysis::flash::{flash_usage, script_access_audit};
+use webvuln_analysis::landscape::{table1, table5, usage_trends};
+use webvuln_analysis::resources::{collection_series, resource_usage};
+use webvuln_analysis::sri::{crossorigin_census, github_report, sri_adoption};
+use webvuln_analysis::stats::pct;
+use webvuln_analysis::updates::{update_delays, version_series, wordpress_usage};
+use webvuln_analysis::vuln::{cve_impact, prevalence, refinement_summary, vuln_count_distribution};
+use webvuln_analysis::wordpress::table4;
+use webvuln_bench::bench_dataset;
+use webvuln_cvedb::{Basis, LibraryId, VulnDb};
+use webvuln_poclab::Lab;
+use webvuln_version::Version;
+
+fn db() -> &'static VulnDb {
+    static DB: OnceLock<VulnDb> = OnceLock::new();
+    DB.get_or_init(VulnDb::builtin)
+}
+
+/// Prints an artifact summary exactly once per process.
+fn print_once(key: &'static str, render: impl FnOnce() -> String) {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static PRINTED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    if PRINTED.lock().expect("not poisoned").insert(key) {
+        eprintln!("\n=== {key} ===\n{}", render());
+    }
+}
+
+fn fig2_collection(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Figure 2(a) — collected websites/week", || {
+        let s = collection_series(data);
+        format!(
+            "average {:.0} of {} domains; first {} last {}",
+            s.average,
+            webvuln_bench::BENCH_DOMAINS,
+            s.points.first().map(|&(_, c)| c).unwrap_or(0),
+            s.points.last().map(|&(_, c)| c).unwrap_or(0),
+        )
+    });
+    c.bench_function("fig2_collection", |b| {
+        b.iter(|| black_box(collection_series(data)))
+    });
+}
+
+fn fig2_resources(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Figure 2(b) — top-8 resource usage", || {
+        resource_usage(data)
+            .iter()
+            .map(|u| format!("{:<14} {}", u.resource.name(), pct(u.average_share)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("fig2_resources", |b| {
+        b.iter(|| black_box(resource_usage(data)))
+    });
+}
+
+fn table1_bench(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Table 1 — top-15 libraries", || {
+        table1(data, db())
+            .iter()
+            .map(|r| {
+                format!(
+                    "{:<16} usage {:>6}  int {:>6}  cdn {:>6}  dominant {}",
+                    r.library.name(),
+                    pct(r.usage_share),
+                    pct(r.internal_share),
+                    pct(r.cdn_share),
+                    r.dominant
+                        .as_ref()
+                        .map(|(v, s)| format!("v{v} ({})", pct(*s)))
+                        .unwrap_or_else(|| "-".into()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("table1", |b| b.iter(|| black_box(table1(data, db()))));
+}
+
+fn fig3_trends(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Figure 3 — usage trends (first -> last share)", || {
+        usage_trends(data)
+            .iter()
+            .map(|t| {
+                format!(
+                    "{:<16} {} -> {}",
+                    t.library.name(),
+                    pct(t.first()),
+                    pct(t.last())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("fig3_trends", |b| b.iter(|| black_box(usage_trends(data))));
+}
+
+fn table2_bench(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Table 2 — per-CVE average affected sites (claimed vs TVV)", || {
+        db().records()
+            .iter()
+            .filter_map(|r| cve_impact(data, db(), &r.id))
+            .map(|i| {
+                format!(
+                    "{:<26} claimed {:>8.1}  true {:>8.1}",
+                    i.id, i.claimed_average, i.true_average
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("table2", |b| {
+        b.iter(|| {
+            for r in db().records() {
+                black_box(cve_impact(data, db(), &r.id));
+            }
+        })
+    });
+}
+
+fn sec62_prevalence(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("§6.2 — vulnerable-website prevalence", || {
+        let claimed = prevalence(data, db(), Basis::CveClaimed);
+        let tvv = prevalence(data, db(), Basis::TrueVulnerable);
+        format!(
+            "claimed {}  tvv {}  (paper: 41.2% / 43.2%)",
+            pct(claimed.average),
+            pct(tvv.average)
+        )
+    });
+    c.bench_function("sec62_prevalence", |b| {
+        b.iter(|| black_box(prevalence(data, db(), Basis::CveClaimed)))
+    });
+}
+
+fn fig4_accuracy(c: &mut Criterion) {
+    print_once("Figure 4 / §6.4 — version-validation experiment", || {
+        let lab = Lab::new();
+        let reports = lab.validate_all();
+        let incorrect = reports
+            .iter()
+            .filter(|r| r.accuracy != webvuln_cvedb::Accuracy::Accurate)
+            .count();
+        format!(
+            "{} reports swept; {incorrect} incorrect (paper: 13)",
+            reports.len()
+        )
+    });
+    c.bench_function("fig4_poclab_sweep", |b| {
+        let lab = Lab::new();
+        b.iter(|| black_box(lab.validate_all()))
+    });
+}
+
+fn fig5_impact_series(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Figure 5 — CVE-2020-7656 claimed vs true sites", || {
+        let impact = cve_impact(data, db(), "CVE-2020-7656").expect("present");
+        format!(
+            "claimed avg {:.1}; true avg {:.1} (understated: true >> claimed)",
+            impact.claimed_average, impact.true_average
+        )
+    });
+    c.bench_function("fig5_impact", |b| {
+        b.iter(|| black_box(cve_impact(data, db(), "CVE-2020-7656")))
+    });
+}
+
+fn fig6_affected_versions(c: &mut Criterion) {
+    let data = bench_dataset();
+    let versions: Vec<Version> = ["1.8.3", "1.7.2", "1.7.1", "1.8.2", "1.9.0"]
+        .iter()
+        .map(|s| Version::parse(s).expect("version"))
+        .collect();
+    print_once("Figure 6 — CVE-2020-7656 affected-version usage", || {
+        version_series(data, LibraryId::JQuery, &versions, 0)
+            .iter()
+            .map(|s| {
+                format!(
+                    "v{:<8} first {:>4} last {:>4}",
+                    s.version,
+                    s.points.first().map(|&(_, c)| c).unwrap_or(0),
+                    s.points.last().map(|&(_, c)| c).unwrap_or(0)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("fig6_versions", |b| {
+        b.iter(|| black_box(version_series(data, LibraryId::JQuery, &versions, 0)))
+    });
+}
+
+fn fig7_update_waves(c: &mut Criterion) {
+    let data = bench_dataset();
+    let versions: Vec<Version> = ["1.12.4", "3.5.1", "3.6.0"]
+        .iter()
+        .map(|s| Version::parse(s).expect("version"))
+        .collect();
+    print_once("Figure 7 — jQuery 1.12.4 vs patched versions", || {
+        version_series(data, LibraryId::JQuery, &versions, 0)
+            .iter()
+            .map(|s| {
+                format!(
+                    "v{:<8} first {:>4} last {:>4}",
+                    s.version,
+                    s.points.first().map(|&(_, c)| c).unwrap_or(0),
+                    s.points.last().map(|&(_, c)| c).unwrap_or(0)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("fig7_updates", |b| {
+        b.iter(|| black_box(version_series(data, LibraryId::JQuery, &versions, 0)))
+    });
+}
+
+fn sec7_delay(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("§7 — update delays", || {
+        let claimed = update_delays(data, db(), Basis::CveClaimed);
+        let tvv = update_delays(data, db(), Basis::TrueVulnerable);
+        format!(
+            "claimed mean {:.1}d over {} sites; tvv mean {:.1}d (paper: 531.2 / 701.2)",
+            claimed.mean_delay_days, claimed.websites, tvv.mean_delay_days
+        )
+    });
+    c.bench_function("sec7_delay", |b| {
+        b.iter(|| black_box(update_delays(data, db(), Basis::CveClaimed)))
+    });
+}
+
+fn fig8_flash(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Figure 8 — Flash usage", || {
+        let usage = flash_usage(data);
+        format!(
+            "first {} last {}; avg {:.1}; post-EOL avg {:.1}",
+            usage.points.first().map(|&(_, a, _, _)| a).unwrap_or(0),
+            usage.points.last().map(|&(_, a, _, _)| a).unwrap_or(0),
+            usage.average,
+            usage.average_after_eol
+        )
+    });
+    c.bench_function("fig8_flash", |b| b.iter(|| black_box(flash_usage(data))));
+}
+
+fn fig9_wordpress(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Figure 9 — WordPress usage", || {
+        format!(
+            "average share {} (paper: 26.9%)",
+            pct(wordpress_usage(data).average_share)
+        )
+    });
+    c.bench_function("fig9_wordpress", |b| {
+        b.iter(|| black_box(wordpress_usage(data)))
+    });
+}
+
+fn fig10_sri(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Figure 10 — SRI adoption", || {
+        format!(
+            "unprotected-external share {} (paper: 99.7%); crossorigin census: {:?}",
+            pct(sri_adoption(data).average_unprotected_share),
+            crossorigin_census(data)
+        )
+    });
+    c.bench_function("fig10_sri", |b| b.iter(|| black_box(sri_adoption(data))));
+}
+
+fn fig11_scriptaccess(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Figure 11 — AllowScriptAccess audit", || {
+        let audit = script_access_audit(data);
+        format!(
+            "always share early {} -> late {} (paper: 21% -> 30%)",
+            pct(audit.early_always_share),
+            pct(audit.late_always_share)
+        )
+    });
+    c.bench_function("fig11_scriptaccess", |b| {
+        b.iter(|| black_box(script_access_audit(data)))
+    });
+}
+
+fn fig12_cdf(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Figure 12 — vulns/site CDF", || {
+        let claimed = vuln_count_distribution(data, db(), Basis::CveClaimed);
+        let tvv = vuln_count_distribution(data, db(), Basis::TrueVulnerable);
+        format!(
+            "claimed mean {:.2} median {:.2}; tvv mean {:.2} median {:.2} (paper: 0.79/0.75 vs 0.97/0.96)",
+            claimed.mean, claimed.median, tvv.mean, tvv.median
+        )
+    });
+    c.bench_function("fig12_cdf", |b| {
+        b.iter(|| black_box(vuln_count_distribution(data, db(), Basis::CveClaimed)))
+    });
+}
+
+fn sec64_refinement(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("§6.4 — refinement (claimed vs TVV prevalence)", || {
+        let s = refinement_summary(data, db());
+        format!(
+            "claimed {} tvv {} (paper: 41.2% -> 43.2%)",
+            pct(s.claimed_average),
+            pct(s.true_average)
+        )
+    });
+    c.bench_function("sec64_refinement", |b| {
+        b.iter(|| black_box(refinement_summary(data, db())))
+    });
+}
+
+fn table3_bench(c: &mut Criterion) {
+    print_once("Table 3 — browser Flash support", || {
+        webvuln_cvedb::browser_flash_support()
+            .iter()
+            .map(|r| format!("{:<16} {:>6.2}% {}", r.name, r.market_share, r.flash_support))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("table3", |b| {
+        b.iter(|| black_box(webvuln_cvedb::browser_flash_support()))
+    });
+}
+
+fn table4_bench(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Table 4 — WordPress CVEs", || {
+        table4(data, db())
+            .iter()
+            .map(|r| format!("{:<18} {:>5} sites ({})", r.cve.id, r.affected_sites, pct(r.affected_share)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("table4", |b| b.iter(|| black_box(table4(data, db()))));
+}
+
+fn table5_bench(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Table 5 — top CDNs per library", || {
+        table5(data, 3)
+            .iter()
+            .map(|br| {
+                format!(
+                    "{:<16} {}",
+                    br.library.name(),
+                    br.hosts
+                        .iter()
+                        .map(|(h, s)| format!("{h} ({})", pct(*s)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("table5", |b| b.iter(|| black_box(table5(data, 3))));
+}
+
+fn table6_bench(c: &mut Criterion) {
+    let data = bench_dataset();
+    print_once("Table 6 — GitHub-hosted inclusions", || {
+        let report = github_report(data);
+        format!(
+            "avg {:.1} sites/week; sri share {}; hosts: {:?}",
+            report.average_sites,
+            pct(report.sri_share),
+            report.hosts.iter().take(5).collect::<Vec<_>>()
+        )
+    });
+    c.bench_function("table6", |b| b.iter(|| black_box(github_report(data))));
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets =
+        fig2_collection,
+        fig2_resources,
+        table1_bench,
+        fig3_trends,
+        table2_bench,
+        sec62_prevalence,
+        fig4_accuracy,
+        fig5_impact_series,
+        fig6_affected_versions,
+        fig7_update_waves,
+        sec7_delay,
+        fig8_flash,
+        fig9_wordpress,
+        fig10_sri,
+        fig11_scriptaccess,
+        fig12_cdf,
+        sec64_refinement,
+        table3_bench,
+        table4_bench,
+        table5_bench,
+        table6_bench
+);
+criterion_main!(experiments);

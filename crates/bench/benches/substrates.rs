@@ -1,0 +1,140 @@
+//! Substrate micro-benchmarks: the regex engine, HTML parser, HTTP codec,
+//! fingerprint engine, and crawler worker-pool scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use webvuln_bench::{bench_ecosystem, bench_pages};
+use webvuln_fingerprint::Engine;
+use webvuln_html::Document;
+use webvuln_net::codec::{encode_request, encode_response, MessageReader};
+use webvuln_net::{crawl, CrawlConfig, Request, Response, VirtualNet};
+use webvuln_pattern::Pattern;
+
+fn bench_pattern_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_engine");
+    let pattern = Pattern::new(r"jquery[.-](\d+(?:\.\d+)*)(?:\.min|\.slim)?\.js").expect("compiles");
+    let hit = "https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery-1.12.4.min.js";
+    let miss = "https://example.com/static/app.bundle.4f3a2b1c.js?cache=3600&v=20220101";
+
+    group.throughput(Throughput::Bytes(hit.len() as u64));
+    group.bench_function("captures_hit", |b| {
+        b.iter(|| black_box(pattern.captures(black_box(hit))))
+    });
+    group.throughput(Throughput::Bytes(miss.len() as u64));
+    group.bench_function("scan_miss_with_prefilter", |b| {
+        b.iter(|| black_box(pattern.find(black_box(miss))))
+    });
+
+    // Adversarial input: the Pike VM must stay linear.
+    let adversarial = format!("jquery-{}", "1.".repeat(2_000));
+    group.throughput(Throughput::Bytes(adversarial.len() as u64));
+    group.bench_function("adversarial_linear", |b| {
+        b.iter(|| black_box(pattern.find(black_box(&adversarial))))
+    });
+    group.finish();
+}
+
+fn bench_html_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("html_parser");
+    let pages = bench_pages();
+    let total_bytes: usize = pages.iter().map(|(_, h)| h.len()).sum();
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("parse_all_pages", |b| {
+        b.iter(|| {
+            for (_, html) in pages {
+                black_box(Document::parse(black_box(html)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_http_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("http_codec");
+    let request = Request::get("bench.example", "/index.html");
+    group.bench_function("encode_request", |b| {
+        b.iter(|| {
+            let mut wire = Vec::with_capacity(256);
+            encode_request(black_box(&request), &mut wire);
+            black_box(wire)
+        })
+    });
+
+    let page = &bench_pages()[0].1;
+    let response = Response::html(page.clone());
+    let mut plain = Vec::new();
+    encode_response(&response, false, &mut plain);
+    let mut chunked = Vec::new();
+    encode_response(&response, true, &mut chunked);
+    group.throughput(Throughput::Bytes(plain.len() as u64));
+    group.bench_function("parse_response_content_length", |b| {
+        b.iter(|| {
+            MessageReader::new(std::io::Cursor::new(black_box(plain.clone())))
+                .read_response(false)
+                .expect("parses")
+        })
+    });
+    group.throughput(Throughput::Bytes(chunked.len() as u64));
+    group.bench_function("parse_response_chunked", |b| {
+        b.iter(|| {
+            MessageReader::new(std::io::Cursor::new(black_box(chunked.clone())))
+                .read_response(false)
+                .expect("parses")
+        })
+    });
+    group.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fingerprint");
+    let engine = Engine::new();
+    let pages = bench_pages();
+    let total_bytes: usize = pages.iter().map(|(_, h)| h.len()).sum();
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("analyze_all_pages", |b| {
+        b.iter(|| {
+            for (domain, html) in pages {
+                black_box(engine.analyze(black_box(html), domain));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_crawler_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawler_throughput");
+    group.sample_size(10);
+    let eco = bench_ecosystem();
+    let names: Vec<String> = eco.domain_names().into_iter().take(300).collect();
+    for workers in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(names.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let net = VirtualNet::new(Arc::new(eco.handler(100)));
+                    black_box(crawl(
+                        &names,
+                        &net,
+                        CrawlConfig {
+                            concurrency: workers,
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pattern_engine,
+    bench_html_parser,
+    bench_http_codec,
+    bench_fingerprint,
+    bench_crawler_concurrency
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! # webvuln-bench
+//!
+//! Shared fixtures for the Criterion benchmark suites:
+//!
+//! * `benches/substrates.rs` — micro-benchmarks of the regex engine, HTML
+//!   parser, HTTP codec, fingerprint engine, and crawler concurrency.
+//! * `benches/experiments.rs` — one benchmark per paper table/figure,
+//!   printing the regenerated artifact once and timing its computation
+//!   over a shared collected dataset.
+//! * `benches/ablations.rs` — the DESIGN.md ablations (fingerprint
+//!   sources, inaccessibility filter, pipeline scale).
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Arc, OnceLock};
+use webvuln_analysis::dataset::{collect_dataset, CollectConfig, Dataset};
+use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+/// Domains in the shared bench dataset.
+pub const BENCH_DOMAINS: usize = 800;
+
+/// The shared full-timeline dataset used by the experiment benches
+/// (collected once per process; ~201 weekly snapshots of 800 domains).
+pub fn bench_dataset() -> &'static Dataset {
+    static DATA: OnceLock<Dataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        eprintln!("[bench] collecting shared dataset: {BENCH_DOMAINS} domains x 201 weeks …");
+        let eco = bench_ecosystem();
+        let started = std::time::Instant::now();
+        let data = collect_dataset(eco, CollectConfig::default());
+        eprintln!("[bench] dataset ready in {:.1?}", started.elapsed());
+        data
+    })
+}
+
+/// The ecosystem behind [`bench_dataset`].
+pub fn bench_ecosystem() -> &'static Arc<Ecosystem> {
+    static ECO: OnceLock<Arc<Ecosystem>> = OnceLock::new();
+    ECO.get_or_init(|| {
+        Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 2_023,
+            domain_count: BENCH_DOMAINS,
+            timeline: Timeline::paper(),
+        }))
+    })
+}
+
+/// A page corpus for parser/fingerprint micro-benchmarks: one rendered
+/// landing page per live domain at week 100.
+pub fn bench_pages() -> &'static Vec<(String, String)> {
+    static PAGES: OnceLock<Vec<(String, String)>> = OnceLock::new();
+    PAGES.get_or_init(|| {
+        let eco = bench_ecosystem();
+        eco.domain_names()
+            .into_iter()
+            .filter_map(|name| match eco.page(&name, 100) {
+                webvuln_webgen::PageOutcome::Page(html) => Some((name, html)),
+                _ => None,
+            })
+            .collect()
+    })
+}

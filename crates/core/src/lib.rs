@@ -1,0 +1,24 @@
+//! # webvuln-core
+//!
+//! Orchestration of the whole reproduction: configure a synthetic web,
+//! run the §4 collection pipeline, compute every §5–§8 artifact, and
+//! render the paper-shaped report.
+//!
+//! ```no_run
+//! use webvuln_core::{run_study, full_report, StudyConfig};
+//!
+//! let results = run_study(StudyConfig::quick());
+//! println!("{}", full_report(&results));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod study;
+
+pub use report::{
+    full_report, render_headlines, render_table1, render_table2, render_table3, render_table4,
+    render_table5, render_table6, render_validation, series_to_csv,
+};
+pub use study::{analyze, run_study, StudyConfig, StudyResults};

@@ -1,0 +1,365 @@
+//! Text rendering of the study's tables and figure summaries — what the
+//! examples and the bench harness print, row-for-row shaped like the
+//! paper's artifacts.
+
+use crate::study::StudyResults;
+use std::fmt::Write as _;
+use webvuln_analysis::stats::pct;
+use webvuln_cvedb::{browser_flash_support, Accuracy};
+
+/// Renders Table 1 (top-15 library usage/inclusion/version/vulns).
+pub fn render_table1(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — Top 15 JavaScript library usage, inclusion type, version, vulnerabilities"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>7} {:>7} {:>7} {:>6}/{:<6} {:>18} {:>9} {:>6}",
+        "Library", "AvgSites", "Usage", "Int.", "CDN", "Found", "Total", "Dominant", "Latest", "#Vul."
+    );
+    for row in &results.table1 {
+        let dominant = row
+            .dominant
+            .as_ref()
+            .map(|(v, share)| format!("v{v} ({})", pct(*share)))
+            .unwrap_or_else(|| "-".to_string());
+        let latest = row
+            .latest_observed
+            .as_ref()
+            .map(|v| format!("v{v}"))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10.0} {:>7} {:>7} {:>7} {:>6}/{:<6} {:>18} {:>9} {:>6}",
+            row.library.name(),
+            row.average_sites,
+            pct(row.usage_share),
+            pct(row.internal_share),
+            pct(row.cdn_share),
+            row.versions_found,
+            row.versions_total,
+            dominant,
+            latest,
+            row.vuln_reports,
+        );
+    }
+    out
+}
+
+/// Renders Table 2 (per-vulnerability impact, CVE vs TVV, accuracy).
+pub fn render_table2(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2 — Vulnerabilities of the top libraries: claimed vs true impact"
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:<15} {:>12} {:>12} {:>12}",
+        "Report", "Library", "Claimed", "TrueVuln", "Accuracy"
+    );
+    for impact in &results.cve_impacts {
+        let record = results.db.record(&impact.id).expect("impact from db");
+        let _ = writeln!(
+            out,
+            "{:<26} {:<15} {:>12.1} {:>12.1} {:>12}",
+            impact.id,
+            record.library.name(),
+            impact.claimed_average,
+            impact.true_average,
+            record.paper_accuracy().to_string(),
+        );
+    }
+    out
+}
+
+/// Renders Table 3 (browser Flash support — the paper's manual survey).
+pub fn render_table3() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3 — Top 10 desktop browsers: market share and Flash support");
+    let _ = writeln!(out, "{:<16} {:>8} {:>7}", "Browser", "Share", "Flash");
+    for row in browser_flash_support() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7.2}% {:>7}",
+            row.name,
+            row.market_share,
+            if row.flash_support { "Y" } else { "N" }
+        );
+    }
+    out
+}
+
+/// Renders Table 4 (WordPress CVEs and affected sites).
+pub fn render_table4(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4 — WordPress CVEs (5 most recent, 5 most severe)");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>10} {:>10} {:>10}",
+        "CVE", "Disclosed", "Patched", "#Sites", "Share"
+    );
+    for row in &results.table4 {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12} {:>10} {:>10} {:>10}",
+            row.cve.id,
+            row.cve.disclosed.to_string(),
+            row.cve.patched_version.to_string(),
+            row.affected_sites,
+            pct(row.affected_share),
+        );
+    }
+    out
+}
+
+/// Renders Table 5 (top CDNs per library).
+pub fn render_table5(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5 — Top 3 CDNs per JavaScript library");
+    for breakdown in &results.table5 {
+        let _ = write!(out, "{:<16}", breakdown.library.name());
+        for (host, share) in &breakdown.hosts {
+            let _ = write!(out, " {host} ({})", pct(*share));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders Table 6 (GitHub-hosted inclusions).
+pub fn render_table6(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 6 — Libraries loaded directly from GitHub hosts");
+    let _ = writeln!(
+        out,
+        "average sites/week: {:.1}; integrity-protected inclusions: {}",
+        results.github.average_sites,
+        pct(results.github.sri_share)
+    );
+    for (host, count) in results.github.hosts.iter().take(10) {
+        let _ = writeln!(out, "  {host:<42} {count:>8} inclusions");
+    }
+    for (domain, rank) in results.github.top_tier_sites.iter().take(10) {
+        let _ = writeln!(out, "  top-tier user: {domain} (rank {rank})");
+    }
+    out
+}
+
+/// Renders the §6.4 version-validation summary (Figures 4/13 in text).
+pub fn render_validation(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "§6.4 — Version Validation Experiment");
+    let mut incorrect = 0;
+    for report in &results.validations {
+        if report.accuracy == Accuracy::Accurate {
+            continue;
+        }
+        incorrect += 1;
+        let _ = writeln!(
+            out,
+            "{:<26} {:<12} swept {:>3} versions: {:>3} vulnerable, {:>3} understated, {:>3} overstated -> {}",
+            report.id,
+            report.library.name(),
+            report.environments(),
+            report.vulnerable.len(),
+            report.understated.len(),
+            report.overstated.len(),
+            report.accuracy,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "incorrect reports: {incorrect} of {}",
+        results.validations.len()
+    );
+    out
+}
+
+/// Renders the headline findings (§6.2, §6.4, §7, §8 takeaways).
+pub fn render_headlines(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Headline findings");
+    let _ = writeln!(
+        out,
+        "  collected pages/week (avg):          {:.0}",
+        results.collection.average
+    );
+    let _ = writeln!(
+        out,
+        "  vulnerable sites (CVE ranges, avg):  {}",
+        pct(results.prevalence_claimed.average)
+    );
+    let _ = writeln!(
+        out,
+        "  vulnerable sites (TVV, avg):         {}",
+        pct(results.prevalence_tvv.average)
+    );
+    let _ = writeln!(
+        out,
+        "  vulns per site (CVE mean/median):    {:.2} / {:.2}",
+        results.fig12_claimed.mean, results.fig12_claimed.median
+    );
+    let _ = writeln!(
+        out,
+        "  vulns per site (TVV mean/median):    {:.2} / {:.2}",
+        results.fig12_tvv.mean, results.fig12_tvv.median
+    );
+    let _ = writeln!(
+        out,
+        "  update delay (CVE ranges):           {:.1} days (macro {:.1}) over {} sites",
+        results.delays_claimed.mean_delay_days,
+        results.delays_claimed.macro_mean_delay_days,
+        results.delays_claimed.websites
+    );
+    let _ = writeln!(
+        out,
+        "  update delay (TVV):                  {:.1} days (macro {:.1}) over {} sites",
+        results.delays_tvv.mean_delay_days,
+        results.delays_tvv.macro_mean_delay_days,
+        results.delays_tvv.websites
+    );
+    let _ = writeln!(
+        out,
+        "  WordPress share of update events:    {}",
+        pct(results.delays_claimed.wordpress_share)
+    );
+    let _ = writeln!(
+        out,
+        "  WordPress usage (avg):               {}",
+        pct(results.wordpress.average_share)
+    );
+    let _ = writeln!(
+        out,
+        "  Flash sites avg / after EOL:         {:.0} / {:.0}",
+        results.flash.average, results.flash.average_after_eol
+    );
+    let _ = writeln!(
+        out,
+        "  sites with unprotected externals:    {}",
+        pct(results.sri.average_unprotected_share)
+    );
+    let _ = writeln!(
+        out,
+        "  crossorigin anonymous / credentials: {} / {}",
+        pct(results.crossorigin.anonymous_share),
+        pct(results.crossorigin.use_credentials_share)
+    );
+    let back_vuln = results
+        .regressions
+        .iter()
+        .filter(|r| r.back_into_vulnerable)
+        .count();
+    let _ = writeln!(
+        out,
+        "  update regressions observed:         {} ({} back into vulnerable ranges)",
+        results.regressions.len(),
+        back_vuln
+    );
+    let _ = writeln!(
+        out,
+        "  post-EOL Flash: .cn share vs base:   {} vs {}",
+        pct(results.flash_by_tld.cn_share),
+        pct(results.flash_by_tld.cn_base_rate)
+    );
+    out
+}
+
+/// The complete text report.
+pub fn full_report(results: &StudyResults) -> String {
+    let mut out = String::new();
+    out.push_str(&render_headlines(results));
+    out.push('\n');
+    out.push_str(&render_table1(results));
+    out.push('\n');
+    out.push_str(&render_table2(results));
+    out.push('\n');
+    out.push_str(&render_validation(results));
+    out.push('\n');
+    out.push_str(&render_table3());
+    out.push('\n');
+    out.push_str(&render_table4(results));
+    out.push('\n');
+    out.push_str(&render_table5(results));
+    out.push('\n');
+    out.push_str(&render_table6(results));
+    out
+}
+
+/// Serializes a `(date, value)` series to CSV.
+pub fn series_to_csv<V: std::fmt::Display>(
+    name: &str,
+    points: impl IntoIterator<Item = (webvuln_cvedb::Date, V)>,
+) -> String {
+    let mut out = format!("date,{name}\n");
+    for (date, value) in points {
+        let _ = writeln!(out, "{date},{value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{run_study, StudyConfig};
+    use std::sync::OnceLock;
+    use webvuln_webgen::Timeline;
+
+    fn results() -> &'static StudyResults {
+        static RESULTS: OnceLock<StudyResults> = OnceLock::new();
+        RESULTS.get_or_init(|| {
+            let mut config = StudyConfig::quick();
+            config.domain_count = 300;
+            config.timeline = Timeline::truncated(12);
+            run_study(config)
+        })
+    }
+
+    #[test]
+    fn tables_render_without_panicking_and_contain_keys() {
+        let r = results();
+        let t1 = render_table1(r);
+        assert!(t1.contains("jQuery"));
+        assert!(t1.contains("Bootstrap"));
+        let t2 = render_table2(r);
+        assert!(t2.contains("CVE-2020-7656"));
+        assert!(t2.contains("understated"));
+        let t3 = render_table3();
+        assert!(t3.contains("360 Browser"));
+        let t4 = render_table4(r);
+        assert!(t4.contains("CVE-2022-21661"));
+        let t5 = render_table5(r);
+        assert!(t5.contains("ajax.googleapis.com"));
+        let t6 = render_table6(r);
+        assert!(t6.contains("average sites/week"));
+    }
+
+    #[test]
+    fn validation_report_counts_incorrect() {
+        let r = results();
+        let v = render_validation(r);
+        assert!(v.contains("incorrect reports: 13 of 27"), "{v}");
+    }
+
+    #[test]
+    fn full_report_assembles() {
+        let r = results();
+        let report = full_report(r);
+        assert!(report.len() > 2_000);
+        assert!(report.contains("Headline findings"));
+        assert!(report.contains("Table 6"));
+    }
+
+    #[test]
+    fn csv_serialization() {
+        let r = results();
+        let csv = series_to_csv(
+            "collected",
+            r.collection.points.iter().map(|&(d, c)| (d, c)),
+        );
+        assert!(csv.starts_with("date,collected\n"));
+        assert_eq!(csv.lines().count(), r.collection.points.len() + 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! The study driver: one call runs §4–§8 end-to-end on a synthetic web
+//! and returns every computed artifact.
+
+use std::sync::Arc;
+use webvuln_analysis::dataset::{collect_dataset, CollectConfig, Dataset};
+use webvuln_analysis::flash::{flash_by_tld, flash_usage, script_access_audit, FlashByTld, FlashUsage, ScriptAccessAudit};
+use webvuln_analysis::landscape::{table1, table5, usage_trends, CdnBreakdown, LibraryRow, UsageTrend};
+use webvuln_analysis::resources::{collection_series, resource_usage, CollectionSeries, ResourceUsage};
+use webvuln_analysis::sri::{crossorigin_census, github_report, sri_adoption, CrossoriginCensus, GithubReport, SriAdoption};
+use webvuln_analysis::updates::{regressions, update_delays, wordpress_usage, RegressionEvent, UpdateDelayReport, WordPressUsage};
+use webvuln_analysis::vuln::{cve_impact, prevalence, refinement_summary, vuln_count_distribution, CveImpact, PrevalenceSeries, RefinementSummary, VulnCountDistribution};
+use webvuln_analysis::wordpress::{table4, WordPressCveRow};
+use webvuln_cvedb::{Basis, VulnDb};
+use webvuln_net::FaultPlan;
+use webvuln_poclab::{Lab, ValidationReport};
+use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+/// Configuration of a full study run.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Master seed for the synthetic web.
+    pub seed: u64,
+    /// Alexa-style list size (the paper: 1M; simulation default scales
+    /// down while preserving every distribution).
+    pub domain_count: usize,
+    /// Snapshot timeline (the paper: 201 weeks, Mar 2018 – Feb 2022).
+    pub timeline: Timeline,
+    /// Crawler worker threads.
+    pub concurrency: usize,
+    /// Connection-level fault injection.
+    pub faults: FaultPlan,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            seed: 42,
+            domain_count: 3_000,
+            timeline: Timeline::paper(),
+            concurrency: 8,
+            faults: FaultPlan::realistic(42),
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced configuration for quick runs and tests: fewer domains,
+    /// full-length timeline preserved (the temporal events matter).
+    pub fn quick() -> StudyConfig {
+        StudyConfig {
+            domain_count: 600,
+            ..StudyConfig::default()
+        }
+    }
+}
+
+/// Everything a study run produces.
+pub struct StudyResults {
+    /// The configuration used.
+    pub config: StudyConfig,
+    /// The collected, filtered dataset.
+    pub dataset: Dataset,
+    /// The vulnerability database used for joins.
+    pub db: VulnDb,
+    /// Figure 2(a).
+    pub collection: CollectionSeries,
+    /// Figure 2(b).
+    pub resources: Vec<ResourceUsage>,
+    /// Table 1.
+    pub table1: Vec<LibraryRow>,
+    /// Figure 3.
+    pub trends: Vec<UsageTrend>,
+    /// Table 5.
+    pub table5: Vec<CdnBreakdown>,
+    /// §6.2 prevalence under CVE-claimed ranges.
+    pub prevalence_claimed: PrevalenceSeries,
+    /// §6.4 prevalence under True Vulnerable Versions.
+    pub prevalence_tvv: PrevalenceSeries,
+    /// §6.4 refinement summary (the "+2%" takeaway).
+    pub refinement: RefinementSummary,
+    /// Table 2 / Figures 5 & 14: per-report impact.
+    pub cve_impacts: Vec<CveImpact>,
+    /// Figure 12 under CVE-claimed ranges.
+    pub fig12_claimed: VulnCountDistribution,
+    /// Figure 12 under TVV.
+    pub fig12_tvv: VulnCountDistribution,
+    /// §7 delays under CVE-claimed ranges (the 531.2-day analogue).
+    pub delays_claimed: UpdateDelayReport,
+    /// §7 delays under TVV (the 701.2-day analogue).
+    pub delays_tvv: UpdateDelayReport,
+    /// Figure 9.
+    pub wordpress: WordPressUsage,
+    /// Table 4.
+    pub table4: Vec<WordPressCveRow>,
+    /// Figure 8.
+    pub flash: FlashUsage,
+    /// Figure 11.
+    pub script_access: ScriptAccessAudit,
+    /// §8 country census of post-EOL Flash.
+    pub flash_by_tld: FlashByTld,
+    /// §9 (future work): observed upgrade-then-rollback cycles.
+    pub regressions: Vec<RegressionEvent>,
+    /// Figure 10.
+    pub sri: SriAdoption,
+    /// §6.5 crossorigin census.
+    pub crossorigin: CrossoriginCensus,
+    /// Table 6.
+    pub github: GithubReport,
+    /// §6.4 version-validation experiment reports.
+    pub validations: Vec<ValidationReport>,
+}
+
+/// Runs the full study.
+pub fn run_study(config: StudyConfig) -> StudyResults {
+    let ecosystem = Arc::new(Ecosystem::generate(EcosystemConfig {
+        seed: config.seed,
+        domain_count: config.domain_count,
+        timeline: config.timeline,
+    }));
+    let dataset = collect_dataset(
+        &ecosystem,
+        CollectConfig {
+            concurrency: config.concurrency,
+            faults: config.faults,
+        },
+    );
+    analyze(config, dataset)
+}
+
+/// Runs all analyses over an already-collected dataset.
+pub fn analyze(config: StudyConfig, dataset: Dataset) -> StudyResults {
+    let db = VulnDb::builtin();
+    let lab = Lab::new();
+    let cve_impacts = db
+        .records()
+        .iter()
+        .filter_map(|r| cve_impact(&dataset, &db, &r.id))
+        .collect();
+    StudyResults {
+        collection: collection_series(&dataset),
+        resources: resource_usage(&dataset),
+        table1: table1(&dataset, &db),
+        trends: usage_trends(&dataset),
+        table5: table5(&dataset, 3),
+        prevalence_claimed: prevalence(&dataset, &db, Basis::CveClaimed),
+        prevalence_tvv: prevalence(&dataset, &db, Basis::TrueVulnerable),
+        refinement: refinement_summary(&dataset, &db),
+        cve_impacts,
+        fig12_claimed: vuln_count_distribution(&dataset, &db, Basis::CveClaimed),
+        fig12_tvv: vuln_count_distribution(&dataset, &db, Basis::TrueVulnerable),
+        delays_claimed: update_delays(&dataset, &db, Basis::CveClaimed),
+        delays_tvv: update_delays(&dataset, &db, Basis::TrueVulnerable),
+        wordpress: wordpress_usage(&dataset),
+        table4: table4(&dataset, &db),
+        flash: flash_usage(&dataset),
+        script_access: script_access_audit(&dataset),
+        flash_by_tld: flash_by_tld(&dataset),
+        regressions: regressions(&dataset, &db),
+        sri: sri_adoption(&dataset),
+        crossorigin: crossorigin_census(&dataset),
+        github: github_report(&dataset),
+        validations: lab.validate_all(),
+        dataset,
+        db,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_produces_all_artifacts() {
+        let mut config = StudyConfig::quick();
+        config.domain_count = 250;
+        config.timeline = Timeline::truncated(10);
+        let results = run_study(config);
+        assert_eq!(results.collection.points.len(), 10);
+        assert_eq!(results.resources.len(), 8);
+        assert_eq!(results.table1.len(), 15);
+        assert_eq!(results.trends.len(), 15);
+        assert_eq!(results.table5.len(), 15);
+        assert_eq!(results.cve_impacts.len(), results.db.records().len());
+        assert_eq!(results.table4.len(), 10);
+        assert_eq!(results.validations.len(), 27);
+        assert!(results.prevalence_claimed.average > 0.0);
+        assert!(results.prevalence_tvv.average >= results.prevalence_claimed.average);
+        assert!(results.sri.average_unprotected_share > 0.9);
+    }
+}

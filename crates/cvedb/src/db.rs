@@ -1,0 +1,246 @@
+//! [`VulnDb`]: the query facade over the embedded vulnerability corpus and
+//! library release catalogs.
+//!
+//! This plays the role of the paper's manual cross-referencing of NVD,
+//! MITRE, cvedetails.com and Snyk (§4.3): given a detected
+//! `(library, version)`, which vulnerabilities apply — by the CVE-claimed
+//! ranges, and by the True Vulnerable Versions?
+
+use crate::library::{catalog, Catalog, LibraryId};
+use crate::record::{builtin_records, VulnRecord};
+use crate::wordpress::{wordpress_cves, WordPressCve};
+use std::collections::HashMap;
+use webvuln_version::Version;
+
+/// Which version information to trust when matching vulnerabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Basis {
+    /// The ranges published in CVE reports (what a developer reading the
+    /// CVE database believes).
+    CveClaimed,
+    /// The True Vulnerable Versions from the PoC experiment.
+    TrueVulnerable,
+}
+
+/// The embedded vulnerability database.
+#[derive(Debug)]
+pub struct VulnDb {
+    records: Vec<VulnRecord>,
+    by_library: HashMap<LibraryId, Vec<usize>>,
+    catalogs: HashMap<LibraryId, Catalog>,
+    wordpress: Vec<WordPressCve>,
+}
+
+impl VulnDb {
+    /// Builds the database from the built-in corpus.
+    pub fn builtin() -> VulnDb {
+        let records = builtin_records();
+        let mut by_library: HashMap<LibraryId, Vec<usize>> = HashMap::new();
+        for (i, r) in records.iter().enumerate() {
+            by_library.entry(r.library).or_default().push(i);
+        }
+        let catalogs = LibraryId::ALL
+            .into_iter()
+            .map(|lib| (lib, catalog(lib)))
+            .collect();
+        VulnDb {
+            records,
+            by_library,
+            catalogs,
+            wordpress: wordpress_cves(),
+        }
+    }
+
+    /// All vulnerability records.
+    pub fn records(&self) -> &[VulnRecord] {
+        &self.records
+    }
+
+    /// Looks a record up by its identifier.
+    pub fn record(&self, id: &str) -> Option<&VulnRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Records affecting `library` (any version).
+    pub fn records_for(&self, library: LibraryId) -> impl Iterator<Item = &VulnRecord> {
+        self.by_library
+            .get(&library)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.records[i])
+    }
+
+    /// Vulnerabilities that apply to `(library, version)` under `basis`.
+    pub fn affecting(
+        &self,
+        library: LibraryId,
+        version: &Version,
+        basis: Basis,
+    ) -> Vec<&VulnRecord> {
+        self.records_for(library)
+            .filter(|r| match basis {
+                Basis::CveClaimed => r.claims(version),
+                Basis::TrueVulnerable => r.truly_affects(version),
+            })
+            .collect()
+    }
+
+    /// Count of vulnerabilities applying to `(library, version)`.
+    pub fn vuln_count(&self, library: LibraryId, version: &Version, basis: Basis) -> usize {
+        self.affecting(library, version, basis).len()
+    }
+
+    /// True when any record applies under `basis`.
+    pub fn is_vulnerable(&self, library: LibraryId, version: &Version, basis: Basis) -> bool {
+        self.records_for(library).any(|r| match basis {
+            Basis::CveClaimed => r.claims(version),
+            Basis::TrueVulnerable => r.truly_affects(version),
+        })
+    }
+
+    /// Like [`VulnDb::is_vulnerable`], but only counting reports already
+    /// disclosed by `known_by` — what a developer consulting the CVE
+    /// database on that date could have known. The paper's weekly
+    /// prevalence series (§6.2) is computed this way.
+    pub fn is_vulnerable_known_by(
+        &self,
+        library: LibraryId,
+        version: &Version,
+        basis: Basis,
+        known_by: crate::date::Date,
+    ) -> bool {
+        self.records_for(library)
+            .filter(|r| r.disclosed <= known_by)
+            .any(|r| match basis {
+                Basis::CveClaimed => r.claims(version),
+                Basis::TrueVulnerable => r.truly_affects(version),
+            })
+    }
+
+    /// Count of reports disclosed by `known_by` that apply to
+    /// `(library, version)` under `basis`.
+    pub fn vuln_count_known_by(
+        &self,
+        library: LibraryId,
+        version: &Version,
+        basis: Basis,
+        known_by: crate::date::Date,
+    ) -> usize {
+        self.records_for(library)
+            .filter(|r| r.disclosed <= known_by)
+            .filter(|r| match basis {
+                Basis::CveClaimed => r.claims(version),
+                Basis::TrueVulnerable => r.truly_affects(version),
+            })
+            .count()
+    }
+
+    /// The release catalog of `library`.
+    pub fn catalog(&self, library: LibraryId) -> &Catalog {
+        &self.catalogs[&library]
+    }
+
+    /// WordPress core CVEs (Table 4).
+    pub fn wordpress_cves(&self) -> &[WordPressCve] {
+        &self.wordpress
+    }
+
+    /// Number of vulnerabilities reported per library during the study
+    /// window, matching Table 1's "# Vul." column (the count of records
+    /// in the corpus for that library).
+    pub fn vuln_report_count(&self, library: LibraryId) -> usize {
+        self.by_library.get(&library).map_or(0, Vec::len)
+    }
+}
+
+impl Default for VulnDb {
+    fn default() -> Self {
+        VulnDb::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).expect("valid version")
+    }
+
+    #[test]
+    fn table1_vuln_counts() {
+        let db = VulnDb::builtin();
+        // Table 1 "# Vul." column. jQuery-Migrate's advisory has no CVE ID
+        // but the paper counts it (Table 1 lists 1 for jQuery-Migrate).
+        assert_eq!(db.vuln_report_count(LibraryId::JQuery), 8);
+        assert_eq!(db.vuln_report_count(LibraryId::Bootstrap), 7);
+        assert_eq!(db.vuln_report_count(LibraryId::JQueryMigrate), 1);
+        assert_eq!(db.vuln_report_count(LibraryId::JQueryUi), 6);
+        assert_eq!(db.vuln_report_count(LibraryId::Modernizr), 0);
+        assert_eq!(db.vuln_report_count(LibraryId::JsCookie), 0);
+        assert_eq!(db.vuln_report_count(LibraryId::Underscore), 1);
+        assert_eq!(db.vuln_report_count(LibraryId::MomentJs), 2);
+        assert_eq!(db.vuln_report_count(LibraryId::Prototype), 2);
+        assert_eq!(db.vuln_report_count(LibraryId::SwfObject), 0);
+    }
+
+    #[test]
+    fn dominant_jquery_version_has_four_claimed_vulns() {
+        // §6.3: v1.12.4 carries CVE-2020-11023, CVE-2020-11022,
+        // CVE-2015-9251 and CVE-2019-11358.
+        let db = VulnDb::builtin();
+        let found = db.affecting(LibraryId::JQuery, &v("1.12.4"), Basis::CveClaimed);
+        let ids: Vec<_> = found.iter().map(|r| r.id.as_str()).collect();
+        assert!(ids.contains(&"CVE-2020-11023"));
+        assert!(ids.contains(&"CVE-2020-11022"));
+        assert!(ids.contains(&"CVE-2015-9251"));
+        assert!(ids.contains(&"CVE-2019-11358"));
+        assert_eq!(ids.len(), 4, "{ids:?}");
+    }
+
+    #[test]
+    fn microsofts_jquery_351_vulnerable_only_under_tvv() {
+        let db = VulnDb::builtin();
+        let ver = v("3.5.1");
+        assert!(!db.is_vulnerable(LibraryId::JQuery, &ver, Basis::CveClaimed));
+        assert!(db.is_vulnerable(LibraryId::JQuery, &ver, Basis::TrueVulnerable));
+        let tvv = db.affecting(LibraryId::JQuery, &ver, Basis::TrueVulnerable);
+        assert_eq!(tvv.len(), 1);
+        assert_eq!(tvv[0].id, "CVE-2020-7656");
+    }
+
+    #[test]
+    fn latest_jquery_is_clean_under_both_bases() {
+        let db = VulnDb::builtin();
+        let ver = v("3.6.0");
+        assert!(!db.is_vulnerable(LibraryId::JQuery, &ver, Basis::CveClaimed));
+        assert!(!db.is_vulnerable(LibraryId::JQuery, &ver, Basis::TrueVulnerable));
+    }
+
+    #[test]
+    fn every_prototype_version_is_vulnerable() {
+        let db = VulnDb::builtin();
+        for release in &db.catalog(LibraryId::Prototype).releases {
+            assert!(
+                db.is_vulnerable(LibraryId::Prototype, &release.version, Basis::TrueVulnerable),
+                "{} should be vulnerable (CVE-2020-27511 affects all)",
+                release.version
+            );
+        }
+    }
+
+    #[test]
+    fn record_lookup_by_id() {
+        let db = VulnDb::builtin();
+        assert!(db.record("CVE-2020-11022").is_some());
+        assert!(db.record("CVE-1999-0000").is_none());
+    }
+
+    #[test]
+    fn catalogs_are_reachable_for_all_libraries() {
+        let db = VulnDb::builtin();
+        for lib in LibraryId::ALL {
+            assert!(!db.catalog(lib).is_empty(), "{lib}");
+        }
+    }
+}

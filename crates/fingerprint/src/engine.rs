@@ -1,0 +1,600 @@
+//! The analysis engine: parses a landing page and reports every
+//! recognised client-side resource with its version — the pipeline stage
+//! the paper delegates to Wappalyzer (§4.2).
+
+use crate::patterns::{fingerprints, wordpress_fingerprint, Fingerprint, WordPressFingerprint};
+use serde::{Deserialize, Serialize};
+use webvuln_cvedb::LibraryId;
+use webvuln_html::{extract, url_host, Document, PageResources, ScriptRef};
+use webvuln_version::Version;
+
+/// Broad resource classes counted in Figure 2(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceType {
+    /// Any JavaScript (inline or external).
+    JavaScript,
+    /// Stylesheets.
+    Css,
+    /// Favicons.
+    Favicon,
+    /// `.php`-generated resources.
+    ImportedHtml,
+    /// XML resources (feeds etc.).
+    Xml,
+    /// SVG images.
+    Svg,
+    /// Adobe Flash content.
+    Flash,
+    /// ASP.NET `.axd` handlers.
+    Axd,
+}
+
+impl ResourceType {
+    /// All classes in Figure 2(b) order.
+    pub const ALL: [ResourceType; 8] = [
+        ResourceType::JavaScript,
+        ResourceType::Css,
+        ResourceType::Favicon,
+        ResourceType::ImportedHtml,
+        ResourceType::Xml,
+        ResourceType::Svg,
+        ResourceType::Flash,
+        ResourceType::Axd,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResourceType::JavaScript => "JavaScript",
+            ResourceType::Css => "CSS",
+            ResourceType::Favicon => "Favicon",
+            ResourceType::ImportedHtml => "imported-HTML",
+            ResourceType::Xml => "XML",
+            ResourceType::Svg => "SVG",
+            ResourceType::Flash => "Flash",
+            ResourceType::Axd => "AXD",
+        }
+    }
+}
+
+/// How a detected library is included.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectedInclusion {
+    /// Same-origin (or inline).
+    Internal,
+    /// Cross-origin, with the serving host.
+    External {
+        /// Serving host name.
+        host: String,
+    },
+}
+
+/// One detected library deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Detection {
+    /// The library.
+    pub library: LibraryId,
+    /// Extracted version, when observable.
+    pub version: Option<Version>,
+    /// Inclusion type.
+    pub inclusion: DetectedInclusion,
+    /// Whether the tag carried `integrity`.
+    pub integrity: bool,
+    /// The `crossorigin` attribute value, if present.
+    pub crossorigin: Option<String>,
+    /// The URL the detection came from (empty for inline detections).
+    pub url: String,
+}
+
+impl Detection {
+    /// True when served from another origin.
+    pub fn is_external(&self) -> bool {
+        matches!(self.inclusion, DetectedInclusion::External { .. })
+    }
+}
+
+/// Flash-specific findings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashDetection {
+    /// `.swf` URL.
+    pub swf_url: String,
+    /// Lower-cased `AllowScriptAccess` value, if specified.
+    pub allow_script_access: Option<String>,
+}
+
+/// An external script that is not one of the known libraries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExternalScript {
+    /// Serving host.
+    pub host: String,
+    /// Full URL.
+    pub url: String,
+    /// Whether the tag carried `integrity`.
+    pub integrity: bool,
+    /// `crossorigin` value, if present.
+    pub crossorigin: Option<String>,
+}
+
+/// Everything the engine extracts from one page.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageAnalysis {
+    /// Detected library deployments.
+    pub detections: Vec<Detection>,
+    /// WordPress: `Some(version)`; `Some(None)` = detected, no version.
+    /// (Custom serde representation: plain JSON `null` cannot tell
+    /// `Some(None)` from `None`.)
+    #[serde(with = "wordpress_serde")]
+    pub wordpress: Option<Option<Version>>,
+    /// Flash findings.
+    pub flash: Vec<FlashDetection>,
+    /// Resource classes present.
+    pub resource_types: Vec<ResourceType>,
+    /// External scripts from `github.io`/`github.com` hosts (§6.5).
+    pub github_scripts: Vec<ExternalScript>,
+    /// Count of external scripts on the page.
+    pub external_scripts: usize,
+    /// Count of external scripts lacking `integrity` (Figure 10).
+    pub external_scripts_without_integrity: usize,
+    /// `crossorigin` values seen on integrity-carrying scripts (§6.5).
+    pub crossorigin_values: Vec<String>,
+}
+
+impl PageAnalysis {
+    /// The detections for one library.
+    pub fn library(&self, lib: LibraryId) -> Option<&Detection> {
+        self.detections.iter().find(|d| d.library == lib)
+    }
+
+    /// True when the page includes `lib` at any version.
+    pub fn has_library(&self, lib: LibraryId) -> bool {
+        self.library(lib).is_some()
+    }
+
+    /// True when any library at all was recognised.
+    pub fn has_any_library(&self) -> bool {
+        !self.detections.is_empty()
+    }
+}
+
+/// The fingerprint engine. Compile once, analyze many pages; `Engine` is
+/// immutable and `Sync`, so workers can share one instance.
+pub struct Engine {
+    db: Vec<Fingerprint>,
+    wordpress: WordPressFingerprint,
+    use_inline: bool,
+}
+
+impl Engine {
+    /// Compiles the built-in fingerprint database.
+    pub fn new() -> Engine {
+        Engine {
+            db: fingerprints(),
+            wordpress: wordpress_fingerprint(),
+            use_inline: true,
+        }
+    }
+
+    /// An engine that only matches script URLs, ignoring inline banners —
+    /// the DESIGN.md "fingerprint source" ablation. Internally-hosted
+    /// renamed files whose version only shows in a banner go undetected.
+    pub fn url_only() -> Engine {
+        Engine {
+            use_inline: false,
+            ..Engine::new()
+        }
+    }
+
+    /// Analyzes a landing page fetched from `domain`.
+    pub fn analyze(&self, html: &str, domain: &str) -> PageAnalysis {
+        let doc = Document::parse(html);
+        let resources = extract(&doc);
+        self.analyze_resources(&resources, domain)
+    }
+
+    /// Analyzes already-extracted page resources.
+    pub fn analyze_resources(&self, resources: &PageResources, domain: &str) -> PageAnalysis {
+        let mut out = PageAnalysis::default();
+        let mut wp_version: Option<Option<Version>> = None;
+        let mut wp_path_hit = false;
+
+        for script in &resources.scripts {
+            match &script.src {
+                Some(src) => {
+                    self.match_script_url(script, src, domain, &mut out);
+                    if self.wordpress.path.is_match(src) {
+                        wp_path_hit = true;
+                    }
+                }
+                None => self.match_inline(&script.inline, &mut out),
+            }
+        }
+        for link in &resources.links {
+            if self.wordpress.path.is_match(&link.href) {
+                wp_path_hit = true;
+            }
+        }
+        for generator in &resources.generators {
+            if let Some(caps) = self.wordpress.generator.captures(generator) {
+                let version = caps.get(1).filter(|s| !s.is_empty()).and_then(|s| {
+                    Version::parse(s).ok()
+                });
+                wp_version = Some(version);
+            }
+        }
+        if wp_version.is_none() && wp_path_hit {
+            wp_version = Some(None);
+        }
+        out.wordpress = wp_version;
+
+        for flash in &resources.flash {
+            out.flash.push(FlashDetection {
+                swf_url: flash.swf_url.clone(),
+                allow_script_access: flash.allow_script_access.clone(),
+            });
+        }
+
+        out.resource_types = self.classify_resources(resources);
+        out
+    }
+
+    fn match_script_url(
+        &self,
+        script: &ScriptRef,
+        src: &str,
+        domain: &str,
+        out: &mut PageAnalysis,
+    ) {
+        let external_host = url_host(src)
+            .filter(|h| !h.eq_ignore_ascii_case(domain))
+            .map(str::to_string);
+        if let Some(host) = &external_host {
+            out.external_scripts += 1;
+            if script.integrity.is_none() {
+                out.external_scripts_without_integrity += 1;
+            } else if let Some(co) = &script.crossorigin {
+                out.crossorigin_values.push(co.to_ascii_lowercase());
+            }
+            if host.ends_with(".github.io") || host.ends_with(".github.com") {
+                out.github_scripts.push(ExternalScript {
+                    host: host.clone(),
+                    url: src.to_string(),
+                    integrity: script.integrity.is_some(),
+                    crossorigin: script.crossorigin.clone(),
+                });
+            }
+        }
+        for fp in &self.db {
+            for pat in &fp.url_patterns {
+                if let Some(caps) = pat.captures(src) {
+                    let version = caps
+                        .get(1)
+                        .filter(|s| !s.is_empty())
+                        .and_then(|s| Version::parse(s).ok());
+                    let inclusion = match &external_host {
+                        Some(host) => DetectedInclusion::External { host: host.clone() },
+                        None => DetectedInclusion::Internal,
+                    };
+                    push_detection(
+                        out,
+                        Detection {
+                            library: fp.library,
+                            version,
+                            inclusion,
+                            integrity: script.integrity.is_some(),
+                            crossorigin: script.crossorigin.clone(),
+                            url: src.to_string(),
+                        },
+                    );
+                    return; // first matching library wins for this script
+                }
+            }
+        }
+    }
+
+    fn match_inline(&self, text: &str, out: &mut PageAnalysis) {
+        if !self.use_inline || text.is_empty() {
+            return;
+        }
+        for fp in &self.db {
+            for pat in &fp.inline_patterns {
+                if let Some(caps) = pat.captures(text) {
+                    let version = caps
+                        .get(1)
+                        .filter(|s| !s.is_empty())
+                        .and_then(|s| Version::parse(s).ok());
+                    push_detection(
+                        out,
+                        Detection {
+                            library: fp.library,
+                            version,
+                            inclusion: DetectedInclusion::Internal,
+                            integrity: false,
+                            crossorigin: None,
+                            url: String::new(),
+                        },
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    fn classify_resources(&self, resources: &PageResources) -> Vec<ResourceType> {
+        let mut found = Vec::new();
+        let mut add = |t: ResourceType| {
+            if !found.contains(&t) {
+                found.push(t);
+            }
+        };
+        if !resources.scripts.is_empty() {
+            add(ResourceType::JavaScript);
+        }
+        for script in &resources.scripts {
+            if let Some(src) = &script.src {
+                classify_url(src, &mut add);
+            }
+        }
+        for link in &resources.links {
+            match link.rel.as_str() {
+                // The paper classifies `.php`-generated stylesheets as
+                // imported-HTML, not CSS (§5 footnote 7).
+                "stylesheet" if !link.href.contains(".php") => add(ResourceType::Css),
+                "icon" | "shortcut icon" | "apple-touch-icon" => add(ResourceType::Favicon),
+                "alternate"
+                    if (link.href.contains(".xml") || link.href.contains("rss")) => {
+                        add(ResourceType::Xml);
+                    }
+                _ => {}
+            }
+            classify_url(&link.href, &mut add);
+        }
+        for img in &resources.images {
+            classify_url(img, &mut add);
+        }
+        if !resources.flash.is_empty() {
+            add(ResourceType::Flash);
+        }
+        found.sort();
+        found
+    }
+}
+
+fn classify_url(url: &str, add: &mut dyn FnMut(ResourceType)) {
+    let path = url.split(['?', '#']).next().unwrap_or(url).to_ascii_lowercase();
+    if path.ends_with(".php") || path.contains(".php") {
+        add(ResourceType::ImportedHtml);
+    }
+    if path.ends_with(".xml") {
+        add(ResourceType::Xml);
+    }
+    if path.ends_with(".svg") {
+        add(ResourceType::Svg);
+    }
+    if path.ends_with(".axd") || url.contains(".axd?") {
+        add(ResourceType::Axd);
+    }
+    if path.ends_with(".css") {
+        add(ResourceType::Css);
+    }
+    if path.ends_with(".ico") {
+        add(ResourceType::Favicon);
+    }
+}
+
+/// Keeps at most one detection per library, preferring versioned ones.
+fn push_detection(out: &mut PageAnalysis, det: Detection) {
+    match out.detections.iter_mut().find(|d| d.library == det.library) {
+        Some(existing) => {
+            if existing.version.is_none() && det.version.is_some() {
+                *existing = det;
+            }
+        }
+        None => out.detections.push(det),
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+/// Serde representation for the nested WordPress option: a struct with an
+/// explicit `detected` flag, since JSON `null` collapses `Some(None)`.
+mod wordpress_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use webvuln_version::Version;
+
+    #[derive(Serialize, Deserialize)]
+    struct Wp {
+        detected: bool,
+        version: Option<Version>,
+    }
+
+    pub fn serialize<S: Serializer>(
+        value: &Option<Option<Version>>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        Wp {
+            detected: value.is_some(),
+            version: value.clone().flatten(),
+        }
+        .serialize(serializer)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<Option<Option<Version>>, D::Error> {
+        let wp = Wp::deserialize(deserializer)?;
+        Ok(if wp.detected { Some(wp.version) } else { None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new()
+    }
+
+    #[test]
+    fn detects_versioned_cdn_jquery() {
+        let html = r#"<script src="https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery.min.js"></script>"#;
+        let a = engine().analyze(html, "site.example");
+        assert_eq!(a.detections.len(), 1);
+        let d = &a.detections[0];
+        assert_eq!(d.library, LibraryId::JQuery);
+        assert_eq!(d.version, Some(Version::parse("1.12.4").expect("version")));
+        assert_eq!(
+            d.inclusion,
+            DetectedInclusion::External {
+                host: "ajax.googleapis.com".into()
+            }
+        );
+    }
+
+    #[test]
+    fn detects_internal_without_host() {
+        let html = r#"<script src="/assets/js/bootstrap-3.3.7.min.js"></script>"#;
+        let a = engine().analyze(html, "site.example");
+        let d = a.library(LibraryId::Bootstrap).expect("bootstrap");
+        assert_eq!(d.inclusion, DetectedInclusion::Internal);
+        assert_eq!(d.version.as_ref().map(ToString::to_string), Some("3.3.7".into()));
+    }
+
+    #[test]
+    fn library_without_version_is_detected_versionless() {
+        let html = r#"<script src="/js/jquery.min.js"></script>"#;
+        let a = engine().analyze(html, "site.example");
+        let d = a.library(LibraryId::JQuery).expect("jquery");
+        assert_eq!(d.version, None);
+    }
+
+    #[test]
+    fn wordpress_meta_and_query_version() {
+        let html = r#"
+            <meta name="generator" content="WordPress 5.6">
+            <script src="/wp-includes/js/jquery/jquery.min.js?ver=3.5.1"></script>
+            <script src="/wp-includes/js/jquery/jquery-migrate.min.js?ver=3.3.2"></script>
+        "#;
+        let a = engine().analyze(html, "wp.example");
+        assert_eq!(
+            a.wordpress,
+            Some(Some(Version::parse("5.6").expect("version")))
+        );
+        assert_eq!(
+            a.library(LibraryId::JQuery).expect("jq").version,
+            Some(Version::parse("3.5.1").expect("version"))
+        );
+        assert_eq!(
+            a.library(LibraryId::JQueryMigrate).expect("migrate").version,
+            Some(Version::parse("3.3.2").expect("version"))
+        );
+    }
+
+    #[test]
+    fn wordpress_detected_from_paths_alone() {
+        let html = r#"<link rel="stylesheet" href="/wp-content/themes/a/style.css">"#;
+        let a = engine().analyze(html, "wp.example");
+        assert_eq!(a.wordpress, Some(None));
+    }
+
+    #[test]
+    fn migrate_and_ui_not_confused_with_jquery() {
+        let html = r#"
+            <script src="/wp-includes/js/jquery/jquery-migrate.min.js?ver=1.4.1"></script>
+            <script src="https://code.jquery.com/ui/1.12.1/jquery-ui.min.js"></script>
+        "#;
+        let a = engine().analyze(html, "x.example");
+        assert!(a.has_library(LibraryId::JQueryMigrate));
+        assert!(a.has_library(LibraryId::JQueryUi));
+        assert!(!a.has_library(LibraryId::JQuery));
+    }
+
+    #[test]
+    fn inline_banner_detection() {
+        let html = "<script>/*! jQuery v3.5.1 | (c) OpenJS */ core();</script>";
+        let a = engine().analyze(html, "x.example");
+        let d = a.library(LibraryId::JQuery).expect("jquery");
+        assert_eq!(d.version.as_ref().map(ToString::to_string), Some("3.5.1".into()));
+        assert_eq!(d.inclusion, DetectedInclusion::Internal);
+    }
+
+    #[test]
+    fn flash_detection_with_script_access() {
+        let html = r#"
+            <object data="banner.swf">
+              <param name="AllowScriptAccess" value="always">
+            </object>"#;
+        let a = engine().analyze(html, "f.example");
+        assert_eq!(a.flash.len(), 1);
+        assert_eq!(a.flash[0].allow_script_access.as_deref(), Some("always"));
+        assert!(a.resource_types.contains(&ResourceType::Flash));
+    }
+
+    #[test]
+    fn sri_accounting() {
+        let html = r#"
+            <script src="https://cdn.a.example/x.js" integrity="sha384-aaa" crossorigin="anonymous"></script>
+            <script src="https://cdn.b.example/y.js"></script>
+            <script src="/local.js"></script>
+        "#;
+        let a = engine().analyze(html, "s.example");
+        assert_eq!(a.external_scripts, 2);
+        assert_eq!(a.external_scripts_without_integrity, 1);
+        assert_eq!(a.crossorigin_values, vec!["anonymous"]);
+    }
+
+    #[test]
+    fn github_hosted_scripts_are_collected() {
+        let html = r#"<script src="https://blueimp.github.io/jQuery-File-Upload/js/vendor/jquery.ui.widget.js"></script>"#;
+        let a = engine().analyze(html, "g.example");
+        assert_eq!(a.github_scripts.len(), 1);
+        assert_eq!(a.github_scripts[0].host, "blueimp.github.io");
+        assert!(!a.github_scripts[0].integrity);
+    }
+
+    #[test]
+    fn resource_classification() {
+        let html = r#"
+            <link rel="stylesheet" href="/style.css">
+            <link rel="icon" href="/favicon.ico">
+            <link rel="alternate" type="application/rss+xml" href="/feed.xml">
+            <script src="/inc/loader.js.php"></script>
+            <img src="/logo.svg">
+            <script src="/WebResource.axd?d=x"></script>
+        "#;
+        let a = engine().analyze(html, "r.example");
+        for t in [
+            ResourceType::JavaScript,
+            ResourceType::Css,
+            ResourceType::Favicon,
+            ResourceType::Xml,
+            ResourceType::ImportedHtml,
+            ResourceType::Axd,
+            ResourceType::Svg,
+        ] {
+            assert!(a.resource_types.contains(&t), "{t:?} in {:?}", a.resource_types);
+        }
+    }
+
+    #[test]
+    fn one_detection_per_library_prefers_versioned() {
+        let html = r#"
+            <script src="/js/jquery.min.js"></script>
+            <script src="/js/jquery-1.12.4.min.js"></script>
+        "#;
+        let a = engine().analyze(html, "x.example");
+        assert_eq!(a.detections.len(), 1);
+        assert!(a.detections[0].version.is_some());
+    }
+
+    #[test]
+    fn empty_page_yields_empty_analysis() {
+        let a = engine().analyze("", "x.example");
+        assert!(a.detections.is_empty());
+        assert!(a.wordpress.is_none());
+        assert!(a.resource_types.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # webvuln-fingerprint
+//!
+//! The Wappalyzer-equivalent of the `webvuln` pipeline (§4.2 of the
+//! paper): given a landing page's static HTML, identify the client-side
+//! resources in use — the top-15 JavaScript libraries with their versions,
+//! WordPress, Flash content and its `AllowScriptAccess` policy, SRI and
+//! `crossorigin` hygiene, GitHub-hosted third-party scripts, and the
+//! Figure 2(b) resource classes.
+//!
+//! Detection is regular-expression based (via the workspace's own
+//! linear-time [`webvuln_pattern`] engine), exactly like Wappalyzer:
+//! URL shapes (`jquery-1.12.4.min.js`, `/jquery/3.5.1/`, `?ver=…`),
+//! inline banners (`/*! jQuery v3.5.1`), and `<meta generator>` tags.
+//!
+//! ```
+//! use webvuln_fingerprint::Engine;
+//! use webvuln_cvedb::LibraryId;
+//!
+//! let engine = Engine::new();
+//! let page = r#"<script src="https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery.min.js"></script>"#;
+//! let analysis = engine.analyze(page, "example.com");
+//! let jq = analysis.library(LibraryId::JQuery).unwrap();
+//! assert_eq!(jq.version.as_ref().unwrap().to_string(), "1.12.4");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod patterns;
+
+pub use engine::{
+    Detection, DetectedInclusion, Engine, ExternalScript, FlashDetection, PageAnalysis,
+    ResourceType,
+};
+pub use patterns::{fingerprints, wordpress_fingerprint, Fingerprint, WordPressFingerprint};

@@ -1,0 +1,300 @@
+//! The fingerprint database: per-library URL and inline patterns.
+//!
+//! Mirrors Wappalyzer's technology definitions (§4.2): each library is
+//! recognised by regular expressions over script URLs and inline script
+//! text; capture group 1, when present, extracts the version. Patterns are
+//! checked in declaration order and the first match wins, so more specific
+//! libraries (jQuery-Migrate, jQuery-UI, jQuery-Cookie) are declared
+//! before jQuery itself.
+
+use webvuln_cvedb::LibraryId;
+use webvuln_pattern::Pattern;
+
+/// A compiled fingerprint for one library.
+pub struct Fingerprint {
+    /// The library this fingerprint detects.
+    pub library: LibraryId,
+    /// Patterns over the script `src` URL; group 1 captures the version.
+    pub url_patterns: Vec<Pattern>,
+    /// Patterns over inline script text; group 1 captures the version.
+    pub inline_patterns: Vec<Pattern>,
+}
+
+fn p(pattern: &str) -> Pattern {
+    Pattern::new_ci(pattern).unwrap_or_else(|e| panic!("builtin pattern {pattern:?}: {e}"))
+}
+
+/// Builds the full fingerprint database in match-priority order.
+pub fn fingerprints() -> Vec<Fingerprint> {
+    use LibraryId::*;
+    let fp = |library, urls: &[&str], inlines: &[&str]| Fingerprint {
+        library,
+        url_patterns: urls.iter().map(|s| p(s)).collect(),
+        inline_patterns: inlines.iter().map(|s| p(s)).collect(),
+    };
+    vec![
+        // --- jQuery plugins before jQuery itself ------------------------
+        fp(
+            JQueryMigrate,
+            &[
+                r"/(?:jquery-migrate)@(\d+(?:\.\d+)*)/",
+                r"jquery-migrate(?:\.min)?\.js\?ver=(\d+(?:\.\d+)*)",
+                r"jquery-migrate[/-](\d+(?:\.\d+)*)",
+                r"/jquery-migrate/(\d+(?:\.\d+)*)/",
+                r"jquery-migrate(?:\.min)?\.js",
+            ],
+            &[r"jQuery Migrate v?(\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            JQueryUi,
+            &[
+                r"/jquery-ui/(\d+(?:\.\d+)*)/",
+                r"/(?:jqueryui|jquery-ui)@(\d+(?:\.\d+)*)/",
+                r"jquery-ui[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/jqueryui/(\d+(?:\.\d+)*)/",
+                r"/ui/(\d+(?:\.\d+)*)/jquery-ui",
+                r"jquery-ui(?:\.min)?\.js\?ver=(\d+(?:\.\d+)*)",
+                r"jquery-ui(?:\.min)?\.js",
+            ],
+            &[r"jQuery UI v?(\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            JQueryCookie,
+            &[
+                r"/jquery\.cookie/(\d+(?:\.\d+)*)/",
+                r"/(?:jquery-cookie)@(\d+(?:\.\d+)*)/",
+                r"jquery\.cookie[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/jquery-cookie/(\d+(?:\.\d+)*)/",
+                r"jquery\.cookie(?:\.min)?\.js",
+            ],
+            &[],
+        ),
+        fp(
+            JQuery,
+            &[
+                r"/(?:jquery)@(\d+(?:\.\d+)*)/",
+                r"jquery[.-](\d+(?:\.\d+)*)(?:\.min|\.slim)?\.js",
+                r"/jquery/(\d+(?:\.\d+)*)/jquery",
+                r"jquery(?:\.min|\.slim)?\.js\?ver=(\d+(?:\.\d+)*)",
+                r"jquery(?:\.min|\.slim)?\.js",
+            ],
+            &[r"jQuery (?:JavaScript Library )?v(\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            Bootstrap,
+            &[
+                r"/(?:twitter-bootstrap|bootstrap)@(\d+(?:\.\d+)*)/",
+                r"bootstrap(?:\.bundle)?[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/bootstrap/(\d+(?:\.\d+)*)/",
+                r"/twitter-bootstrap/(\d+(?:\.\d+)*)/",
+                r"bootstrap(?:\.bundle)?(?:\.min)?\.js",
+            ],
+            &[r"Bootstrap v(\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            Modernizr,
+            &[
+                r"/(?:modernizr)@(\d+(?:\.\d+)*)/",
+                r"modernizr[.-](\d+(?:\.\d+)*)(?:\.min)?(?:[.-]custom)?\.js",
+                r"/modernizr/(\d+(?:\.\d+)*)/",
+                r"modernizr(?:[.-]custom)?(?:\.min)?\.js",
+            ],
+            &[r"Modernizr v?(\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            JsCookie,
+            &[
+                r"/js\.cookie/(\d+(?:\.\d+)*)/",
+                r"/(?:js-cookie)@(\d+(?:\.\d+)*)/",
+                r"js\.cookie[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/js-cookie/(\d+(?:\.\d+)*)/",
+                r"js\.cookie(?:\.min)?\.js",
+            ],
+            &[],
+        ),
+        fp(
+            Underscore,
+            &[
+                r"/underscore/(\d+(?:\.\d+)*)/",
+                r"/(?:underscore\.js|underscore)@(\d+(?:\.\d+)*)/",
+                r"underscore[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/underscore\.js/(\d+(?:\.\d+)*)/",
+                r"underscore(?:[.-]min)?\.js",
+            ],
+            &[r"Underscore\.js (\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            Isotope,
+            &[
+                r"/isotope(?:\.pkgd)?/(\d+(?:\.\d+)*)/",
+                r"/(?:jquery\.isotope|isotope)@(\d+(?:\.\d+)*)/",
+                r"isotope(?:\.pkgd)?[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/jquery\.isotope/(\d+(?:\.\d+)*)/",
+                r"isotope(?:\.pkgd)?(?:\.min)?\.js",
+            ],
+            &[r"Isotope (?:PACKAGED )?v(\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            Popper,
+            &[
+                r"/popper/(\d+(?:\.\d+)*)/",
+                r"/(?:popper\.js|popper)@(\d+(?:\.\d+)*)/",
+                r"popper[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/popper\.js/(\d+(?:\.\d+)*)/",
+                r"popper(?:\.min)?\.js",
+            ],
+            &[],
+        ),
+        fp(
+            MomentJs,
+            &[
+                r"/moment/(\d+(?:\.\d+)*)/",
+                r"/(?:moment\.js|moment)@(\d+(?:\.\d+)*)/",
+                r"moment[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/moment\.js/(\d+(?:\.\d+)*)/",
+                r"moment(?:-with-locales)?(?:\.min)?\.js",
+            ],
+            &[r"//! moment\.js\s+//! version : (\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            RequireJs,
+            &[
+                r"/require/(\d+(?:\.\d+)*)/",
+                r"/(?:require\.js|requirejs)@(\d+(?:\.\d+)*)/",
+                r"require[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/require\.js/(\d+(?:\.\d+)*)/",
+                r"require(?:\.min)?\.js",
+            ],
+            &[r"RequireJS (\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            SwfObject,
+            &[
+                r"/(?:swfobject)@(\d+(?:\.\d+)*)/",
+                r"swfobject[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/swfobject/(\d+(?:\.\d+)*)/",
+                r"swfobject(?:\.min)?\.js",
+            ],
+            &[r"SWFObject v(\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            Prototype,
+            &[
+                r"/(?:prototype)@(\d+(?:\.\d+)*)/",
+                r"prototype[.-](\d+(?:\.\d+)*)(?:\.min)?\.js",
+                r"/prototype/(\d+(?:\.\d+)*)/",
+                r"prototype(?:\.min)?\.js",
+            ],
+            &[r"Prototype JavaScript framework, version (\d+(?:\.\d+)*)"],
+        ),
+        fp(
+            PolyfillIo,
+            &[
+                r"/polyfill/(\d+(?:\.\d+)*)/",
+                r"/(?:polyfill)@(\d+(?:\.\d+)*)/",
+                r"polyfill\.(?:io|min\.js)[^?]*\?version=(\d+(?:\.\d+)*)",
+                r"/v(\d)/polyfill(?:\.min)?\.js",
+                r"polyfill(?:\.min)?\.js",
+            ],
+            &[],
+        ),
+    ]
+}
+
+/// WordPress detection: meta generator (with optional version) and the
+/// tell-tale include paths.
+pub struct WordPressFingerprint {
+    /// Pattern over `<meta name="generator">` content.
+    pub generator: Pattern,
+    /// Pattern over any URL on the page.
+    pub path: Pattern,
+}
+
+/// Builds the WordPress fingerprint.
+pub fn wordpress_fingerprint() -> WordPressFingerprint {
+    WordPressFingerprint {
+        generator: p(r"WordPress ?(\d+(?:\.\d+)*)?"),
+        path: p(r"/wp-(?:content|includes)/"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_covers_all_fifteen_libraries() {
+        let db = fingerprints();
+        assert_eq!(db.len(), 15);
+        for lib in LibraryId::ALL {
+            assert!(db.iter().any(|f| f.library == lib), "{lib}");
+        }
+    }
+
+    #[test]
+    fn plugins_precede_jquery() {
+        let db = fingerprints();
+        let pos = |lib| db.iter().position(|f| f.library == lib).expect("present");
+        assert!(pos(LibraryId::JQueryMigrate) < pos(LibraryId::JQuery));
+        assert!(pos(LibraryId::JQueryUi) < pos(LibraryId::JQuery));
+        assert!(pos(LibraryId::JQueryCookie) < pos(LibraryId::JQuery));
+    }
+
+    #[test]
+    fn jquery_url_patterns_extract_versions() {
+        let db = fingerprints();
+        let jq = db
+            .iter()
+            .find(|f| f.library == LibraryId::JQuery)
+            .expect("jquery");
+        let extract = |url: &str| -> Option<String> {
+            for pat in &jq.url_patterns {
+                if let Some(caps) = pat.captures(url) {
+                    return Some(caps.get(1).unwrap_or("").to_string());
+                }
+            }
+            None
+        };
+        assert_eq!(
+            extract("https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery.min.js"),
+            Some("1.12.4".into())
+        );
+        assert_eq!(
+            extract("/assets/js/jquery-3.5.1.min.js"),
+            Some("3.5.1".into())
+        );
+        assert_eq!(
+            extract("/wp-includes/js/jquery/jquery.min.js?ver=3.6.0"),
+            Some("3.6.0".into())
+        );
+        assert_eq!(extract("/assets/js/jquery.min.js"), Some("".into()));
+        assert_eq!(extract("/assets/app.js"), None);
+    }
+
+    #[test]
+    fn migrate_is_not_mistaken_for_jquery() {
+        let db = fingerprints();
+        let jq = db
+            .iter()
+            .find(|f| f.library == LibraryId::JQuery)
+            .expect("jquery");
+        let url = "/wp-includes/js/jquery/jquery-migrate.min.js?ver=1.4.1";
+        for pat in &jq.url_patterns {
+            if let Some(c) = pat.captures(url) {
+                // The bare-presence pattern may not fire on migrate URLs,
+                // and no version pattern may extract 1.4.1 as jQuery's.
+                assert_ne!(c.get(1), Some("1.4.1"), "pattern {pat}");
+            }
+        }
+    }
+
+    #[test]
+    fn wordpress_generator_versions() {
+        let wp = wordpress_fingerprint();
+        let caps = wp.generator.captures("WordPress 5.6").expect("match");
+        assert_eq!(caps.get(1), Some("5.6"));
+        assert!(wp.generator.is_match("WordPress"));
+        assert!(wp.path.is_match("/wp-content/themes/x/style.css"));
+        assert!(!wp.path.is_match("/assets/site.css"));
+    }
+}

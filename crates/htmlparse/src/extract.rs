@@ -1,0 +1,310 @@
+//! Extraction of resource references from a parsed document.
+//!
+//! This is the bridge between the DOM and the fingerprinting stage: it
+//! pulls out everything the paper's pipeline cares about — external and
+//! inline scripts (with their SRI/CORS attributes), stylesheet and icon
+//! links, `<object>`/`<embed>` Flash content with its
+//! `AllowScriptAccess` parameter, and generator `<meta>` tags.
+
+use crate::dom::{Document, Element, Node};
+
+/// A `<script>` reference found in a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptRef {
+    /// `src` attribute; `None` for inline scripts.
+    pub src: Option<String>,
+    /// Inline source text (empty for external scripts).
+    pub inline: String,
+    /// `integrity` attribute (Subresource Integrity hash).
+    pub integrity: Option<String>,
+    /// `crossorigin` attribute value; empty string for a bare attribute.
+    pub crossorigin: Option<String>,
+}
+
+impl ScriptRef {
+    /// True when the script is loaded from another origin than `host`.
+    ///
+    /// Protocol-relative (`//cdn…`) and absolute (`https://…`) URLs that
+    /// name a different host are external; everything else (relative paths,
+    /// same-host absolute URLs) is internal.
+    pub fn is_external_to(&self, host: &str) -> bool {
+        match &self.src {
+            None => false,
+            Some(src) => match url_host(src) {
+                Some(h) => !h.eq_ignore_ascii_case(host),
+                None => false,
+            },
+        }
+    }
+}
+
+/// A `<link>` reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkRef {
+    /// `rel` attribute, lower-cased.
+    pub rel: String,
+    /// `href` attribute.
+    pub href: String,
+    /// `integrity` attribute.
+    pub integrity: Option<String>,
+}
+
+/// Flash content (`<object>` / `<embed>`), with script-access policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashRef {
+    /// URL of the `.swf` resource.
+    pub swf_url: String,
+    /// Value of `AllowScriptAccess` (param or attribute), lower-cased;
+    /// `None` when unspecified (browsers default to `samedomain`).
+    pub allow_script_access: Option<String>,
+}
+
+/// Everything extracted from one landing page.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageResources {
+    /// All scripts in document order.
+    pub scripts: Vec<ScriptRef>,
+    /// All links in document order.
+    pub links: Vec<LinkRef>,
+    /// Flash objects/embeds.
+    pub flash: Vec<FlashRef>,
+    /// `<meta name="generator" content="…">` values.
+    pub generators: Vec<String>,
+    /// Comment nodes (library banners often live in comments).
+    pub comments: Vec<String>,
+    /// `<img src>` URLs (SVG usage classification).
+    pub images: Vec<String>,
+}
+
+/// Extracts [`PageResources`] from a document.
+pub fn extract(doc: &Document) -> PageResources {
+    let mut out = PageResources::default();
+    for element in doc.elements() {
+        match element.name.as_str() {
+            "script" => out.scripts.push(ScriptRef {
+                src: element.attr("src").map(str::to_string),
+                inline: element.text_content(),
+                integrity: element.attr("integrity").map(str::to_string),
+                crossorigin: element.attr("crossorigin").map(str::to_string),
+            }),
+            "link" => {
+                if let Some(href) = element.attr("href") {
+                    out.links.push(LinkRef {
+                        rel: element.attr("rel").unwrap_or("").to_ascii_lowercase(),
+                        href: href.to_string(),
+                        integrity: element.attr("integrity").map(str::to_string),
+                    });
+                }
+            }
+            "object" => {
+                if let Some(flash) = extract_object_flash(element) {
+                    out.flash.push(flash);
+                }
+            }
+            "embed" => {
+                if let Some(src) = element.attr("src") {
+                    if is_swf_url(src) {
+                        out.flash.push(FlashRef {
+                            swf_url: src.to_string(),
+                            allow_script_access: element
+                                .attr("allowscriptaccess")
+                                .map(str::to_ascii_lowercase),
+                        });
+                    }
+                }
+            }
+            "img" => {
+                if let Some(src) = element.attr("src") {
+                    out.images.push(src.to_string());
+                }
+            }
+            "meta" => {
+                let is_generator = element
+                    .attr("name")
+                    .is_some_and(|n| n.eq_ignore_ascii_case("generator"));
+                if is_generator {
+                    if let Some(content) = element.attr("content") {
+                        out.generators.push(content.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    collect_comments(&doc.children, &mut out.comments);
+    out
+}
+
+fn collect_comments(nodes: &[Node], out: &mut Vec<String>) {
+    for node in nodes {
+        match node {
+            Node::Comment(c) => out.push(c.clone()),
+            Node::Element(e) => collect_comments(&e.children, out),
+            Node::Text(_) => {}
+        }
+    }
+}
+
+fn extract_object_flash(object: &Element) -> Option<FlashRef> {
+    // The movie URL may be in `data` or in a `<param name="movie">`.
+    let mut swf_url = object
+        .attr("data")
+        .filter(|u| is_swf_url(u))
+        .map(str::to_string);
+    let mut allow = None;
+    for param in object.descendants().filter(|e| e.name == "param") {
+        let name = param.attr("name").unwrap_or("").to_ascii_lowercase();
+        let value = param.attr("value").unwrap_or("");
+        match name.as_str() {
+            "movie" | "src" if swf_url.is_none() && is_swf_url(value) => {
+                swf_url = Some(value.to_string());
+            }
+            "allowscriptaccess" => allow = Some(value.to_ascii_lowercase()),
+            _ => {}
+        }
+    }
+    // Nested <embed> may carry the policy when the object doesn't.
+    if allow.is_none() {
+        if let Some(embed) = object.descendants().find(|e| e.name == "embed") {
+            allow = embed
+                .attr("allowscriptaccess")
+                .map(str::to_ascii_lowercase);
+        }
+    }
+    swf_url.map(|swf_url| FlashRef {
+        swf_url,
+        allow_script_access: allow,
+    })
+}
+
+/// True when `url` points at a Flash movie.
+pub fn is_swf_url(url: &str) -> bool {
+    let path = url.split(['?', '#']).next().unwrap_or(url);
+    path.len() >= 4 && path[path.len() - 4..].eq_ignore_ascii_case(".swf")
+}
+
+/// Extracts the host from an absolute or protocol-relative URL.
+///
+/// Returns `None` for relative URLs (which are same-origin by definition).
+pub fn url_host(url: &str) -> Option<&str> {
+    let rest = url
+        .strip_prefix("https://")
+        .or_else(|| url.strip_prefix("http://"))
+        .or_else(|| url.strip_prefix("//"))?;
+    let end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
+    let host_port = &rest[..end];
+    let host = host_port.split('@').next_back().unwrap_or(host_port);
+    let host = host.split(':').next().unwrap_or(host);
+    if host.is_empty() {
+        None
+    } else {
+        Some(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    #[test]
+    fn extracts_scripts_with_sri() {
+        let doc = Document::parse(
+            r#"<script src="https://cdn.example/a.js"
+                       integrity="sha384-xyz" crossorigin="anonymous"></script>
+               <script>inline()</script>"#,
+        );
+        let res = extract(&doc);
+        assert_eq!(res.scripts.len(), 2);
+        assert_eq!(res.scripts[0].integrity.as_deref(), Some("sha384-xyz"));
+        assert_eq!(res.scripts[0].crossorigin.as_deref(), Some("anonymous"));
+        assert!(res.scripts[1].src.is_none());
+        assert_eq!(res.scripts[1].inline, "inline()");
+    }
+
+    #[test]
+    fn externality_detection() {
+        let s = |src: &str| ScriptRef {
+            src: Some(src.to_string()),
+            inline: String::new(),
+            integrity: None,
+            crossorigin: None,
+        };
+        assert!(s("https://cdn.example/a.js").is_external_to("example.com"));
+        assert!(!s("https://example.com/a.js").is_external_to("example.com"));
+        assert!(!s("/local/a.js").is_external_to("example.com"));
+        assert!(!s("a.js").is_external_to("example.com"));
+        assert!(s("//ajax.googleapis.com/x.js").is_external_to("example.com"));
+    }
+
+    #[test]
+    fn url_host_shapes() {
+        assert_eq!(url_host("https://a.example.com/x"), Some("a.example.com"));
+        assert_eq!(url_host("http://h:8080/x"), Some("h"));
+        assert_eq!(url_host("//cdn.example"), Some("cdn.example"));
+        assert_eq!(url_host("/relative"), None);
+        assert_eq!(url_host("relative.js"), None);
+        assert_eq!(url_host("https://"), None);
+        assert_eq!(url_host("https://user@h/x"), Some("h"));
+    }
+
+    #[test]
+    fn extracts_flash_from_object_and_embed() {
+        let doc = Document::parse(
+            r#"<object data="m.swf"><param name="allowScriptAccess" value="ALWAYS"></object>
+               <embed src="n.swf">
+               <embed src="video.mp4">"#,
+        );
+        let res = extract(&doc);
+        assert_eq!(res.flash.len(), 2);
+        assert_eq!(res.flash[0].swf_url, "m.swf");
+        assert_eq!(res.flash[0].allow_script_access.as_deref(), Some("always"));
+        assert_eq!(res.flash[1].swf_url, "n.swf");
+        assert_eq!(res.flash[1].allow_script_access, None);
+    }
+
+    #[test]
+    fn object_with_param_movie() {
+        let doc = Document::parse(
+            r#"<object classid="clsid:D27CDB6E"><param name="movie" value="banner.swf?x=1"></object>"#,
+        );
+        let res = extract(&doc);
+        assert_eq!(res.flash.len(), 1);
+        assert_eq!(res.flash[0].swf_url, "banner.swf?x=1");
+    }
+
+    #[test]
+    fn swf_url_detection() {
+        assert!(is_swf_url("a.swf"));
+        assert!(is_swf_url("a.SWF?q=1"));
+        assert!(is_swf_url("/path/m.swf#frag"));
+        assert!(!is_swf_url("a.js"));
+        assert!(!is_swf_url("swf"));
+    }
+
+    #[test]
+    fn extracts_generator_and_comments() {
+        let doc = Document::parse(
+            r#"<meta name="Generator" content="WordPress 5.6">
+               <!-- served by cache node 3 -->"#,
+        );
+        let res = extract(&doc);
+        assert_eq!(res.generators, vec!["WordPress 5.6"]);
+        assert_eq!(res.comments, vec![" served by cache node 3 "]);
+    }
+
+    #[test]
+    fn images_are_collected() {
+        let doc = Document::parse(r#"<img src="/logo.svg" alt="x"><img alt="no-src">"#);
+        let res = extract(&doc);
+        assert_eq!(res.images, vec!["/logo.svg"]);
+    }
+
+    #[test]
+    fn links_require_href() {
+        let doc = Document::parse(r#"<link rel="stylesheet"><link rel="icon" href="/f.ico">"#);
+        let res = extract(&doc);
+        assert_eq!(res.links.len(), 1);
+        assert_eq!(res.links[0].rel, "icon");
+    }
+}

@@ -1,0 +1,39 @@
+//! # webvuln-html
+//!
+//! A forgiving HTML tokenizer, lightweight DOM, and resource extractor —
+//! the parsing substrate of the `webvuln` measurement pipeline.
+//!
+//! The paper's crawler downloads ~780k landing pages a week and hands the
+//! static HTML to a fingerprinting stage. This crate turns raw page bytes
+//! into exactly what that stage needs:
+//!
+//! * a token stream ([`tokenize`]) and a DOM ([`Document::parse`]) that
+//!   never fail on real-world tag soup,
+//! * raw-text handling for `<script>`/`<style>` so inline library banners
+//!   (`/*! jQuery v3.5.1 */`) survive intact,
+//! * [`extract`]: scripts with `src`/`integrity`/`crossorigin`, links,
+//!   Flash `<object>`/`<embed>` with `AllowScriptAccess`, generator metas
+//!   and comments.
+//!
+//! ```
+//! use webvuln_html::{Document, extract};
+//!
+//! let doc = Document::parse(
+//!     r#"<script src="https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery.min.js"></script>"#,
+//! );
+//! let res = extract(&doc);
+//! assert!(res.scripts[0].src.as_deref().unwrap().contains("1.12.4"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dom;
+mod extract;
+mod tokenizer;
+
+pub use dom::{Descendants, Document, Element, Node};
+pub use extract::{
+    extract, is_swf_url, url_host, FlashRef, LinkRef, PageResources, ScriptRef,
+};
+pub use tokenizer::{decode_entities, tokenize, Token};

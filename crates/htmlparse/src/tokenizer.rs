@@ -1,0 +1,527 @@
+//! A forgiving HTML tokenizer.
+//!
+//! The crawler only ever sees *landing pages in the wild*: truncated
+//! documents, unquoted attributes, stray `<`, mismatched tags, upper-case
+//! tag soup. The tokenizer therefore never fails — every input produces a
+//! token stream — and follows the WHATWG error-recovery spirit without
+//! implementing the full spec (which fingerprinting does not need).
+//!
+//! `<script>` and `<style>` switch the tokenizer into raw-text mode: their
+//! content is emitted as a single [`Token::Text`] without interpreting `<`.
+
+/// A lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="value" …>`; `self_closing` reflects a trailing `/`.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in document order; names lower-cased, values decoded.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// Character data (entity-decoded outside raw-text elements).
+    Text(String),
+    /// `<!-- … -->`.
+    Comment(String),
+    /// `<!DOCTYPE …>` (content kept verbatim).
+    Doctype(String),
+}
+
+/// Tokenizes `input` into a sequence of [`Token`]s. Never fails.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+/// Elements whose content is raw text (no markup interpretation).
+fn is_raw_text_element(name: &str) -> bool {
+    matches!(name, "script" | "style" | "textarea" | "title" | "xmp")
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.input.len() {
+            match self.rest().find('<') {
+                None => {
+                    self.emit_text(self.pos, self.input.len());
+                    break;
+                }
+                Some(rel) => {
+                    let lt = self.pos + rel;
+                    self.emit_text(self.pos, lt);
+                    self.pos = lt;
+                    self.consume_markup();
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn emit_text(&mut self, from: usize, to: usize) {
+        if from < to {
+            let decoded = decode_entities(&self.input[from..to]);
+            if let Some(Token::Text(prev)) = self.tokens.last_mut() {
+                prev.push_str(&decoded);
+            } else {
+                self.tokens.push(Token::Text(decoded));
+            }
+        }
+    }
+
+    /// Consumes markup starting at `<` (self.pos points at it).
+    fn consume_markup(&mut self) {
+        let rest = self.rest();
+        debug_assert!(rest.starts_with('<'));
+        if rest.starts_with("<!--") {
+            self.consume_comment();
+        } else if rest.len() >= 2 && (rest.as_bytes()[1] == b'!' || rest.as_bytes()[1] == b'?') {
+            self.consume_declaration();
+        } else if rest.starts_with("</") {
+            self.consume_end_tag();
+        } else if rest[1..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic())
+        {
+            self.consume_start_tag();
+        } else {
+            // A lone '<' — literal text.
+            self.emit_text(self.pos, self.pos + 1);
+            self.pos += 1;
+        }
+    }
+
+    fn consume_comment(&mut self) {
+        let body_start = self.pos + 4;
+        match self.input[body_start..].find("-->") {
+            Some(rel) => {
+                let body = &self.input[body_start..body_start + rel];
+                self.tokens.push(Token::Comment(body.to_string()));
+                self.pos = body_start + rel + 3;
+            }
+            None => {
+                // Unterminated comment swallows the rest of the document.
+                self.tokens
+                    .push(Token::Comment(self.input[body_start..].to_string()));
+                self.pos = self.input.len();
+            }
+        }
+    }
+
+    fn consume_declaration(&mut self) {
+        // `<!DOCTYPE …>`, `<![CDATA[…]]>`, `<?xml …?>` — find closing '>'.
+        let start = self.pos;
+        match self.rest().find('>') {
+            Some(rel) => {
+                let inner = &self.input[start + 2..start + rel];
+                let is_doctype = inner
+                    .get(..7)
+                    .is_some_and(|p| p.eq_ignore_ascii_case("DOCTYPE"));
+                if is_doctype {
+                    self.tokens
+                        .push(Token::Doctype(inner[7..].trim().to_string()));
+                }
+                self.pos = start + rel + 1;
+            }
+            None => self.pos = self.input.len(),
+        }
+    }
+
+    fn consume_end_tag(&mut self) {
+        let name_start = self.pos + 2;
+        let after: &str = &self.input[name_start..];
+        let name_len = after
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '-' && c != ':')
+            .unwrap_or(after.len());
+        let name = after[..name_len].to_ascii_lowercase();
+        // Skip to '>' (tolerating junk inside the end tag).
+        match self.input[name_start + name_len..].find('>') {
+            Some(rel) => self.pos = name_start + name_len + rel + 1,
+            None => self.pos = self.input.len(),
+        }
+        if !name.is_empty() {
+            self.tokens.push(Token::EndTag { name });
+        }
+    }
+
+    fn consume_start_tag(&mut self) {
+        let name_start = self.pos + 1;
+        let after: &str = &self.input[name_start..];
+        let name_len = after
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '-' && c != ':')
+            .unwrap_or(after.len());
+        let name = after[..name_len].to_ascii_lowercase();
+        let mut p = name_start + name_len;
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+
+        loop {
+            p += self.input[p..]
+                .find(|c: char| !c.is_whitespace())
+                .unwrap_or(self.input.len() - p);
+            if p >= self.input.len() {
+                break;
+            }
+            let b = self.input.as_bytes()[p];
+            if b == b'>' {
+                p += 1;
+                break;
+            }
+            if b == b'/' {
+                // `/>` or stray slash.
+                if self.input.as_bytes().get(p + 1) == Some(&b'>') {
+                    self_closing = true;
+                    p += 2;
+                    break;
+                }
+                p += 1;
+                continue;
+            }
+            // Attribute name.
+            let attr_start = p;
+            p += self.input[p..]
+                .find(|c: char| c.is_whitespace() || c == '=' || c == '>' || c == '/')
+                .unwrap_or(self.input.len() - p);
+            let attr_name = self.input[attr_start..p].to_ascii_lowercase();
+            if attr_name.is_empty() {
+                // Defensive: avoid an infinite loop on weird bytes.
+                p += self.input[p..].chars().next().map_or(1, char::len_utf8);
+                continue;
+            }
+            // Optional value.
+            let mut q = p;
+            q += self.input[q..]
+                .find(|c: char| !c.is_whitespace())
+                .unwrap_or(self.input.len() - q);
+            if self.input.as_bytes().get(q) == Some(&b'=') {
+                q += 1;
+                q += self.input[q..]
+                    .find(|c: char| !c.is_whitespace())
+                    .unwrap_or(self.input.len() - q);
+                let (value, next) = self.consume_attr_value(q);
+                attrs.push((attr_name, value));
+                p = next;
+            } else {
+                attrs.push((attr_name, String::new()));
+            }
+        }
+        self.pos = p.min(self.input.len());
+
+        let raw = is_raw_text_element(&name);
+        self.tokens.push(Token::StartTag {
+            name: name.clone(),
+            attrs,
+            self_closing,
+        });
+        if raw && !self_closing {
+            self.consume_raw_text(&name);
+        }
+    }
+
+    fn consume_attr_value(&self, at: usize) -> (String, usize) {
+        let bytes = self.input.as_bytes();
+        match bytes.get(at) {
+            Some(&q @ (b'"' | b'\'')) => {
+                let start = at + 1;
+                match self.input[start..].find(q as char) {
+                    Some(rel) => (
+                        decode_entities(&self.input[start..start + rel]),
+                        start + rel + 1,
+                    ),
+                    None => (decode_entities(&self.input[start..]), self.input.len()),
+                }
+            }
+            Some(_) => {
+                let end = self.input[at..]
+                    .find(|c: char| c.is_whitespace() || c == '>')
+                    .map(|r| at + r)
+                    .unwrap_or(self.input.len());
+                (decode_entities(&self.input[at..end]), end)
+            }
+            None => (String::new(), self.input.len()),
+        }
+    }
+
+    /// Consumes raw text until `</name` (case-insensitive), emitting it as
+    /// one Text token plus the closing EndTag.
+    fn consume_raw_text(&mut self, name: &str) {
+        let closer = format!("</{name}");
+        let hay = self.rest();
+        let mut search_from = 0;
+        let end = loop {
+            match find_ci(&hay[search_from..], &closer) {
+                None => break hay.len(),
+                Some(rel) => {
+                    let at = search_from + rel;
+                    // The char after the name must end the tag name.
+                    match hay[at + closer.len()..].chars().next() {
+                        Some(c) if c.is_ascii_alphanumeric() => {
+                            search_from = at + closer.len();
+                        }
+                        _ => break at,
+                    }
+                }
+            }
+        };
+        if end > 0 {
+            // Raw text is *not* entity-decoded (matches browser behaviour).
+            self.tokens.push(Token::Text(hay[..end].to_string()));
+        }
+        if end < hay.len() {
+            self.pos += end;
+            self.consume_end_tag_at_current();
+        } else {
+            self.pos = self.input.len();
+        }
+    }
+
+    fn consume_end_tag_at_current(&mut self) {
+        debug_assert!(self.rest().starts_with("</"));
+        self.consume_end_tag();
+    }
+}
+
+/// Case-insensitive ASCII substring search.
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let hay = haystack.as_bytes();
+    let nee = needle.as_bytes();
+    if nee.is_empty() || hay.len() < nee.len() {
+        return if nee.is_empty() { Some(0) } else { None };
+    }
+    'outer: for i in 0..=(hay.len() - nee.len()) {
+        for (j, &n) in nee.iter().enumerate() {
+            if !hay[i + j].eq_ignore_ascii_case(&n) {
+                continue 'outer;
+            }
+        }
+        return Some(i);
+    }
+    None
+}
+
+/// Decodes the five standard named entities plus numeric references.
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        // Entity names are short; a ';' further than 12 bytes away means
+        // this '&' is literal. (Byte-indexed find avoids slicing at a
+        // non-char-boundary in multibyte text.)
+        let Some(semi) = rest.find(';').filter(|&i| i <= 12) else {
+            out.push('&');
+            rest = &rest[1..];
+            continue;
+        };
+        let entity = &rest[1..semi];
+        let decoded = match entity {
+            "amp" => Some('&'),
+            "lt" => Some('<'),
+            "gt" => Some('>'),
+            "quot" => Some('"'),
+            "apos" => Some('\''),
+            "nbsp" => Some('\u{A0}'),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+            }
+            _ if entity.starts_with('#') => {
+                entity[1..].parse::<u32>().ok().and_then(char::from_u32)
+            }
+            _ => None,
+        };
+        match decoded {
+            Some(c) => {
+                out.push(c);
+                rest = &rest[semi + 1..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn tokenizes_simple_document() {
+        let toks = tokenize("<html><body>hi</body></html>");
+        assert_eq!(
+            toks,
+            vec![
+                start("html", &[]),
+                start("body", &[]),
+                Token::Text("hi".into()),
+                Token::EndTag { name: "body".into() },
+                Token::EndTag { name: "html".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_attributes_in_all_quote_styles() {
+        let toks = tokenize(r#"<script src="a.js" type='text/javascript' async data-x=5>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "script");
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("src".to_string(), "a.js".to_string()),
+                        ("type".to_string(), "text/javascript".to_string()),
+                        ("async".to_string(), String::new()),
+                        ("data-x".to_string(), "5".to_string()),
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn script_content_is_raw_text() {
+        let toks = tokenize("<script>if (a < b) { x(\"</div>\"); }</script>after");
+        assert_eq!(toks.len(), 4);
+        match &toks[1] {
+            Token::Text(t) => assert_eq!(t, "if (a < b) { x(\"</div>\"); }"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(toks[3], Token::Text("after".into()));
+    }
+
+    #[test]
+    fn script_closer_embedded_in_string_wins_like_browsers() {
+        // Browsers end script content at the first `</script`; so do we.
+        let toks = tokenize("<script>var s = '</scriptx'; done</script>");
+        match &toks[1] {
+            Token::Text(t) => assert!(t.contains("</scriptx"), "{t}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing_script_does_not_swallow_document() {
+        let toks = tokenize("<script src=\"a.js\"/><p>hi</p>");
+        assert!(matches!(&toks[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(&toks[1], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- hello --><p>x</p>");
+        assert_eq!(toks[0], Token::Doctype("html".into()));
+        assert_eq!(toks[1], Token::Comment(" hello ".into()));
+    }
+
+    #[test]
+    fn unterminated_structures_do_not_panic() {
+        for input in [
+            "<script>never closed",
+            "<!-- never closed",
+            "<p attr=\"unclosed",
+            "</",
+            "<",
+            "<p",
+            "<p a=",
+            "<!DOCTYPE html",
+        ] {
+            let _ = tokenize(input); // must not panic
+        }
+    }
+
+    #[test]
+    fn lone_angle_bracket_is_text() {
+        let toks = tokenize("a < b");
+        assert_eq!(toks, vec![Token::Text("a < b".into())]);
+    }
+
+    #[test]
+    fn uppercase_tags_are_lowercased() {
+        let toks = tokenize("<DIV CLASS=\"X\"></DIV>");
+        assert_eq!(
+            toks[0],
+            start("div", &[("class", "X")]) // names fold, values don't
+        );
+    }
+
+    #[test]
+    fn entity_decoding() {
+        assert_eq!(decode_entities("a &amp; b"), "a & b");
+        assert_eq!(decode_entities("&lt;p&gt;"), "<p>");
+        assert_eq!(decode_entities("&#65;&#x42;"), "AB");
+        assert_eq!(decode_entities("&unknown; &"), "&unknown; &");
+        assert_eq!(decode_entities("no entities"), "no entities");
+    }
+
+    #[test]
+    fn attribute_values_are_entity_decoded() {
+        let toks = tokenize(r#"<a href="?a=1&amp;b=2">"#);
+        match &toks[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].1, "?a=1&b=2"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flash_embed_markup() {
+        let html = r#"<object data="movie.swf"><param name="AllowScriptAccess" value="always"/></object>"#;
+        let toks = tokenize(html);
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "object"));
+        match &toks[1] {
+            Token::StartTag { name, attrs, self_closing } => {
+                assert_eq!(name, "param");
+                assert!(self_closing);
+                assert_eq!(attrs[0], ("name".to_string(), "AllowScriptAccess".to_string()));
+                assert_eq!(attrs[1], ("value".to_string(), "always".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The HTTP client used by the crawler: one-shot fetches with redirect
+//! following, generic over the [`Connect`] transport.
+
+use crate::codec::{encode_request, MessageReader};
+use crate::error::{NetError, Result};
+use crate::http::{Request, Response};
+use crate::server::Connect;
+
+/// Maximum redirect hops before giving up (the paper's crawler fetches
+/// landing pages; deep redirect chains are treated as inaccessible).
+pub const MAX_REDIRECTS: usize = 5;
+
+/// Fetches `http(s)://host{target}` through `connector`.
+pub fn fetch(connector: &dyn Connect, host: &str, target: &str) -> Result<Response> {
+    fetch_with_redirects(connector, host, target, MAX_REDIRECTS)
+}
+
+/// Like [`fetch`], following up to `max_redirects` 3xx hops (both
+/// same-host path redirects and absolute-URL host changes).
+pub fn fetch_with_redirects(
+    connector: &dyn Connect,
+    host: &str,
+    target: &str,
+    max_redirects: usize,
+) -> Result<Response> {
+    let mut host = host.to_string();
+    let mut target = target.to_string();
+    for _hop in 0..=max_redirects {
+        let response = fetch_once(connector, &host, &target)?;
+        if !response.status.is_redirect() {
+            return Ok(response);
+        }
+        let Some(location) = response.headers.get("location") else {
+            return Ok(response); // 3xx without Location: surface as-is
+        };
+        match parse_location(location, &host) {
+            Some((next_host, next_target)) => {
+                host = next_host;
+                target = next_target;
+            }
+            None => return Ok(response),
+        }
+    }
+    Err(NetError::Malformed("redirect loop"))
+}
+
+/// Single request/response exchange on a fresh connection.
+pub fn fetch_once(connector: &dyn Connect, host: &str, target: &str) -> Result<Response> {
+    let mut stream = connector.connect(host)?;
+    let request = Request::get(host, target);
+    let mut wire = Vec::new();
+    encode_request(&request, &mut wire);
+    stream.write_all(&wire).map_err(NetError::from)?;
+    stream.flush().map_err(NetError::from)?;
+    MessageReader::new(stream).read_response(false)
+}
+
+/// Splits a `Location` header into `(host, target)` relative to the
+/// current host. Returns `None` for unsupported schemes.
+fn parse_location(location: &str, current_host: &str) -> Option<(String, String)> {
+    let after_scheme = location
+        .strip_prefix("https://")
+        .or_else(|| location.strip_prefix("http://"));
+    if let Some(rest) = after_scheme {
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if host.is_empty() {
+            return None;
+        }
+        return Some((host.to_string(), path.to_string()));
+    }
+    if let Some(rest) = location.strip_prefix("//") {
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        return Some((host.to_string(), path.to_string()));
+    }
+    if location.starts_with('/') {
+        return Some((current_host.to_string(), location.to_string()));
+    }
+    // Relative path without leading slash: resolve against root.
+    Some((current_host.to_string(), format!("/{location}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Response, Status};
+    use crate::server::VirtualNet;
+    use std::sync::Arc;
+
+    #[test]
+    fn follows_same_host_redirect() {
+        let net = VirtualNet::new(Arc::new(|req: &Request| {
+            if req.target == "/" {
+                let mut r = Response::status(Status::MOVED_PERMANENTLY);
+                r.headers.insert("Location", "/home");
+                r
+            } else {
+                Response::html(format!("at {}", req.target))
+            }
+        }));
+        let resp = fetch(&net, "r.example", "/").expect("fetch");
+        assert_eq!(resp.body_text(), "at /home");
+    }
+
+    #[test]
+    fn follows_cross_host_redirect() {
+        let net = VirtualNet::new(Arc::new(|req: &Request| {
+            match req.host() {
+                Some("old.example") => {
+                    let mut r = Response::status(Status::FOUND);
+                    r.headers.insert("Location", "https://new.example/landed");
+                    r
+                }
+                _ => Response::html(format!(
+                    "welcome to {} {}",
+                    req.host().unwrap_or("?"),
+                    req.target
+                )),
+            }
+        }));
+        let resp = fetch(&net, "old.example", "/").expect("fetch");
+        assert_eq!(resp.body_text(), "welcome to new.example /landed");
+    }
+
+    #[test]
+    fn redirect_loop_errors_out() {
+        let net = VirtualNet::new(Arc::new(|_req: &Request| {
+            let mut r = Response::status(Status::FOUND);
+            r.headers.insert("Location", "/again");
+            r
+        }));
+        assert!(fetch(&net, "loop.example", "/").is_err());
+    }
+
+    #[test]
+    fn redirect_without_location_is_returned() {
+        let net = VirtualNet::new(Arc::new(|_req: &Request| {
+            Response::status(Status::FOUND)
+        }));
+        let resp = fetch(&net, "bare.example", "/").expect("fetch");
+        assert_eq!(resp.status, Status::FOUND);
+    }
+
+    #[test]
+    fn parse_location_shapes() {
+        let p = |l: &str| parse_location(l, "cur.example");
+        assert_eq!(
+            p("https://a.example/x"),
+            Some(("a.example".into(), "/x".into()))
+        );
+        assert_eq!(p("http://a.example"), Some(("a.example".into(), "/".into())));
+        assert_eq!(p("//b.example/y"), Some(("b.example".into(), "/y".into())));
+        assert_eq!(p("/path"), Some(("cur.example".into(), "/path".into())));
+        assert_eq!(p("page"), Some(("cur.example".into(), "/page".into())));
+        assert_eq!(p("https://"), None);
+    }
+}

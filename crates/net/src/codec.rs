@@ -1,0 +1,492 @@
+//! HTTP/1.1 wire format: encoding and incremental parsing.
+//!
+//! The parser reads from any [`std::io::Read`] through an internal buffer
+//! and supports the three body framings of RFC 9112: `Content-Length`,
+//! `Transfer-Encoding: chunked`, and (for responses only) read-to-EOF.
+//! Hard limits keep a hostile peer from ballooning memory: 64 KiB of
+//! headers, 8 MiB of body.
+
+use crate::error::{NetError, Result};
+use crate::http::{Headers, Method, Request, Response, Status};
+use std::io::Read;
+
+/// Maximum size of a request/status line plus all header fields.
+pub const MAX_HEAD: usize = 64 * 1024;
+/// Maximum body size the parser will buffer.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// Serializes a request in origin-form.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    out.extend_from_slice(req.method.as_str().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(req.target.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\n");
+    encode_headers(&req.headers, req.body.len(), !req.body.is_empty(), out);
+    out.extend_from_slice(&req.body);
+}
+
+/// Serializes a response. When `chunked` is set the body is written as a
+/// single chunk plus terminator (exercising the decoder's chunked path).
+pub fn encode_response(resp: &Response, chunked: bool, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    out.extend_from_slice(resp.status.0.to_string().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(resp.status.reason().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    if chunked {
+        let mut headers = resp.headers.clone();
+        headers.set("Transfer-Encoding", "chunked");
+        headers.fields_remove("content-length");
+        encode_headers(&headers, 0, false, out);
+        if !resp.body.is_empty() {
+            out.extend_from_slice(format!("{:x}\r\n", resp.body.len()).as_bytes());
+            out.extend_from_slice(&resp.body);
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"0\r\n\r\n");
+    } else {
+        encode_headers(&resp.headers, resp.body.len(), true, out);
+        out.extend_from_slice(&resp.body);
+    }
+}
+
+fn encode_headers(headers: &Headers, body_len: usize, ensure_length: bool, out: &mut Vec<u8>) {
+    let mut has_length = false;
+    for (name, value) in headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            has_length = true;
+        }
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    if ensure_length && !has_length && !headers.is_chunked() {
+        out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+impl Headers {
+    /// Removes every field named `name` (codec-internal helper).
+    pub(crate) fn fields_remove(&mut self, name: &str) {
+        let keep: Vec<(String, String)> = self
+            .iter()
+            .filter(|(k, _)| !k.eq_ignore_ascii_case(name))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        *self = Headers::new();
+        for (k, v) in keep {
+            self.insert(k, v);
+        }
+    }
+}
+
+/// Incremental HTTP/1.1 message reader over any byte stream.
+pub struct MessageReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    pos: usize,
+    /// True once the underlying stream reported EOF.
+    eof: bool,
+}
+
+impl<R: Read> MessageReader<R> {
+    /// Wraps a stream.
+    pub fn new(inner: R) -> Self {
+        MessageReader {
+            inner,
+            buf: Vec::with_capacity(8 * 1024),
+            pos: 0,
+            eof: false,
+        }
+    }
+
+    /// Consumes the reader, returning the stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Reads one request (server side).
+    pub fn read_request(&mut self) -> Result<Request> {
+        let head = self.read_head()?;
+        let (line, headers) = parse_head(&head)?;
+        let mut parts = line.split(' ');
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or(NetError::Malformed("request method"))?;
+        let target = parts
+            .next()
+            .ok_or(NetError::Malformed("request target"))?
+            .to_string();
+        let version = parts.next().ok_or(NetError::Malformed("http version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(NetError::Malformed("http version"));
+        }
+        let body = self.read_body(&headers, /*allow_eof_body=*/ false)?;
+        Ok(Request {
+            method,
+            target,
+            headers,
+            body,
+        })
+    }
+
+    /// Reads one response (client side). `head_request` suppresses body
+    /// reading for responses to `HEAD`.
+    pub fn read_response(&mut self, head_request: bool) -> Result<Response> {
+        let head = self.read_head()?;
+        let (line, headers) = parse_head(&head)?;
+        let mut parts = line.splitn(3, ' ');
+        let version = parts.next().ok_or(NetError::Malformed("status line"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(NetError::Malformed("http version"));
+        }
+        let code: u16 = parts
+            .next()
+            .ok_or(NetError::Malformed("status code"))?
+            .parse()
+            .map_err(|_| NetError::Malformed("status code"))?;
+        let status = Status(code);
+        let body = if head_request || code == 204 || code == 304 || (100..200).contains(&code) {
+            Vec::new()
+        } else {
+            self.read_body(&headers, /*allow_eof_body=*/ true)?
+        };
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// True when the next read would hit a cleanly-closed stream.
+    pub fn at_eof(&mut self) -> bool {
+        if self.pos < self.buf.len() {
+            return false;
+        }
+        if self.eof {
+            return true;
+        }
+        // Peek by attempting a fill.
+        match self.fill() {
+            Ok(0) => true,
+            _ => self.pos >= self.buf.len() && self.eof,
+        }
+    }
+
+    fn fill(&mut self) -> Result<usize> {
+        // Compact the consumed prefix: always when fully drained, and
+        // whenever it exceeds 16 KiB — otherwise a long keep-alive
+        // connection's buffer grows with the total bytes ever received.
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 16 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let mut chunk = [0u8; 8 * 1024];
+        let n = self.inner.read(&mut chunk)?;
+        if n == 0 {
+            self.eof = true;
+        } else {
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        Ok(n)
+    }
+
+    /// Reads until the `\r\n\r\n` head terminator, returning head bytes.
+    fn read_head(&mut self) -> Result<Vec<u8>> {
+        loop {
+            if let Some(end) = find_subsequence(&self.buf[self.pos..], b"\r\n\r\n") {
+                let head = self.buf[self.pos..self.pos + end].to_vec();
+                self.pos += end + 4;
+                return Ok(head);
+            }
+            if self.buf.len() - self.pos > MAX_HEAD {
+                return Err(NetError::TooLarge("header block"));
+            }
+            if self.eof {
+                return Err(NetError::UnexpectedEof);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn read_body(&mut self, headers: &Headers, allow_eof_body: bool) -> Result<Vec<u8>> {
+        if headers.is_chunked() {
+            return self.read_chunked();
+        }
+        if let Some(len) = headers.content_length() {
+            if len > MAX_BODY {
+                return Err(NetError::TooLarge("body"));
+            }
+            return self.read_exact_body(len);
+        }
+        if allow_eof_body {
+            // Response without framing: body runs to connection close.
+            return self.read_to_eof();
+        }
+        Ok(Vec::new())
+    }
+
+    fn read_exact_body(&mut self, len: usize) -> Result<Vec<u8>> {
+        while self.buf.len() - self.pos < len {
+            if self.eof {
+                return Err(NetError::UnexpectedEof);
+            }
+            self.fill()?;
+        }
+        let body = self.buf[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(body)
+    }
+
+    fn read_to_eof(&mut self) -> Result<Vec<u8>> {
+        while !self.eof {
+            if self.buf.len() - self.pos > MAX_BODY {
+                return Err(NetError::TooLarge("body"));
+            }
+            self.fill()?;
+        }
+        let body = self.buf[self.pos..].to_vec();
+        self.pos = self.buf.len();
+        Ok(body)
+    }
+
+    fn read_chunked(&mut self) -> Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let size_str = line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_str, 16)
+                .map_err(|_| NetError::Malformed("chunk size"))?;
+            if body.len() + size > MAX_BODY {
+                return Err(NetError::TooLarge("chunked body"));
+            }
+            if size == 0 {
+                // Trailer section: read lines until the blank one.
+                loop {
+                    let trailer = self.read_line()?;
+                    if trailer.is_empty() {
+                        break;
+                    }
+                }
+                return Ok(body);
+            }
+            body.extend_from_slice(&self.read_exact_body(size)?);
+            let crlf = self.read_exact_body(2)?;
+            if crlf != b"\r\n" {
+                return Err(NetError::Malformed("chunk terminator"));
+            }
+        }
+    }
+
+    /// Reads a CRLF-terminated line (without the terminator).
+    fn read_line(&mut self) -> Result<String> {
+        loop {
+            if let Some(end) = find_subsequence(&self.buf[self.pos..], b"\r\n") {
+                let line = String::from_utf8_lossy(&self.buf[self.pos..self.pos + end]).into_owned();
+                self.pos += end + 2;
+                return Ok(line);
+            }
+            if self.buf.len() - self.pos > MAX_HEAD {
+                return Err(NetError::TooLarge("line"));
+            }
+            if self.eof {
+                return Err(NetError::UnexpectedEof);
+            }
+            self.fill()?;
+        }
+    }
+}
+
+/// Splits a head block into its first line and parsed header fields.
+fn parse_head(head: &[u8]) -> Result<(String, Headers)> {
+    let text = std::str::from_utf8(head).map_err(|_| NetError::Malformed("non-utf8 head"))?;
+    let mut lines = text.split("\r\n");
+    let first = lines
+        .next()
+        .ok_or(NetError::Malformed("empty head"))?
+        .to_string();
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(NetError::Malformed("header field"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(NetError::Malformed("header name"));
+        }
+        headers.insert(name, value.trim());
+    }
+    Ok((first, headers))
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse_response_bytes(bytes: &[u8]) -> Result<Response> {
+        MessageReader::new(Cursor::new(bytes.to_vec())).read_response(false)
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::get("example.com", "/index.html");
+        let mut wire = Vec::new();
+        encode_request(&req, &mut wire);
+        let text = String::from_utf8(wire.clone()).expect("ascii");
+        assert!(text.starts_with("GET /index.html HTTP/1.1\r\n"));
+        assert!(text.contains("Host: example.com\r\n"));
+        let back = MessageReader::new(Cursor::new(wire))
+            .read_request()
+            .expect("parse");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_round_trip_content_length() {
+        let resp = Response::html("<html>hello</html>");
+        let mut wire = Vec::new();
+        encode_response(&resp, false, &mut wire);
+        let back = parse_response_bytes(&wire).expect("parse");
+        assert_eq!(back.status, Status::OK);
+        assert_eq!(back.body, resp.body);
+    }
+
+    #[test]
+    fn response_round_trip_chunked() {
+        let resp = Response::html("chunky body content");
+        let mut wire = Vec::new();
+        encode_response(&resp, true, &mut wire);
+        let text = String::from_utf8(wire.clone()).expect("ascii");
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(!text.to_lowercase().contains("content-length"));
+        let back = parse_response_bytes(&wire).expect("parse");
+        assert_eq!(back.body, resp.body);
+    }
+
+    #[test]
+    fn multi_chunk_body_decodes() {
+        let wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let back = parse_response_bytes(wire).expect("parse");
+        assert_eq!(back.body, b"Wikipedia");
+    }
+
+    #[test]
+    fn chunked_with_extensions_and_trailers() {
+        let wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     5;ext=1\r\nhello\r\n0\r\nX-Trailer: v\r\n\r\n";
+        let back = parse_response_bytes(wire).expect("parse");
+        assert_eq!(back.body, b"hello");
+    }
+
+    #[test]
+    fn eof_delimited_response_body() {
+        let wire = b"HTTP/1.1 200 OK\r\n\r\nbody until close";
+        let back = parse_response_bytes(wire).expect("parse");
+        assert_eq!(back.body, b"body until close");
+    }
+
+    #[test]
+    fn head_response_has_no_body() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n";
+        let back = MessageReader::new(Cursor::new(wire.to_vec()))
+            .read_response(true)
+            .expect("parse");
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn status_204_has_no_body() {
+        let wire = b"HTTP/1.1 204 No Content\r\n\r\n";
+        let back = parse_response_bytes(wire).expect("parse");
+        assert_eq!(back.status, Status::NO_CONTENT);
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn truncated_body_is_unexpected_eof() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\nshort";
+        match parse_response_bytes(wire) {
+            Err(NetError::UnexpectedEof) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for wire in [
+            &b"BREW / HTTP/1.1\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],
+            &b"GET / SPDY/4\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nBad Header Name: x\r\n\r\n"[..],
+        ] {
+            let r = MessageReader::new(Cursor::new(wire.to_vec())).read_request();
+            assert!(r.is_err(), "{:?}", String::from_utf8_lossy(wire));
+        }
+        assert!(parse_response_bytes(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn header_block_limit_is_enforced() {
+        let mut wire = b"HTTP/1.1 200 OK\r\n".to_vec();
+        for i in 0..10_000 {
+            wire.extend_from_slice(format!("X-Filler-{i}: {}\r\n", "y".repeat(64)).as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        match parse_response_bytes(&wire) {
+            Err(NetError::TooLarge(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected() {
+        let wire = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        match parse_response_bytes(wire.as_bytes()) {
+            Err(NetError::TooLarge(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let mut wire = Vec::new();
+        encode_request(&Request::get("a.com", "/1"), &mut wire);
+        encode_request(&Request::get("b.com", "/2"), &mut wire);
+        let mut reader = MessageReader::new(Cursor::new(wire));
+        let r1 = reader.read_request().expect("first");
+        let r2 = reader.read_request().expect("second");
+        assert_eq!(r1.target, "/1");
+        assert_eq!(r2.target, "/2");
+        assert!(reader.at_eof());
+    }
+
+    #[test]
+    fn request_with_body_round_trips() {
+        let mut req = Request::get("example.com", "/submit");
+        req.method = Method::Post;
+        req.body = b"a=1&b=2".to_vec();
+        let mut wire = Vec::new();
+        encode_request(&req, &mut wire);
+        let back = MessageReader::new(Cursor::new(wire))
+            .read_request()
+            .expect("parse");
+        assert_eq!(back.body, b"a=1&b=2");
+    }
+}

@@ -1,0 +1,229 @@
+//! The weekly snapshot crawler (paper §4.1).
+//!
+//! Given the domain list and a [`Connect`] transport, the crawler fetches
+//! each domain's landing page with a pool of worker threads and returns
+//! per-domain [`FetchRecord`]s. Results are keyed and ordered by domain so
+//! that worker scheduling never changes the dataset.
+
+use crate::client::fetch;
+
+use crate::server::Connect;
+use crossbeam::channel::unbounded;
+use std::collections::BTreeMap;
+
+/// Outcome of fetching one domain's landing page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchRecord {
+    /// The domain.
+    pub domain: String,
+    /// HTTP status (None when the connection failed).
+    pub status: Option<u16>,
+    /// Response body (empty on failure).
+    pub body: String,
+    /// Transport/protocol error rendered as text, if any.
+    pub error: Option<String>,
+}
+
+impl FetchRecord {
+    /// Body length in bytes.
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// True when the fetch produced a usable page: 2xx status and a body
+    /// of at least `min_bytes` (the paper prunes pages under 400 bytes as
+    /// error/empty pages).
+    pub fn is_usable(&self, min_bytes: usize) -> bool {
+        matches!(self.status, Some(s) if (200..300).contains(&s)) && self.body.len() >= min_bytes
+    }
+}
+
+/// Crawler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CrawlConfig {
+    /// Number of worker threads.
+    pub concurrency: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig { concurrency: 8 }
+    }
+}
+
+/// Fetches the landing page of every domain. Returns records in domain
+/// order (deterministic regardless of scheduling).
+pub fn crawl(
+    domains: &[String],
+    connector: &dyn Connect,
+    config: CrawlConfig,
+) -> BTreeMap<String, FetchRecord> {
+    let concurrency = config.concurrency.max(1).min(domains.len().max(1));
+    let (work_tx, work_rx) = unbounded::<String>();
+    let (done_tx, done_rx) = unbounded::<FetchRecord>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok(domain) = work_rx.recv() {
+                    let record = fetch_domain(connector, &domain);
+                    if done_tx.send(record).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        for d in domains {
+            work_tx.send(d.clone()).expect("workers alive");
+        }
+        drop(work_tx);
+
+        let mut out = BTreeMap::new();
+        for record in done_rx.iter() {
+            out.insert(record.domain.clone(), record);
+        }
+        out
+    })
+}
+
+/// Fetches one domain's landing page, folding all failure modes into a
+/// [`FetchRecord`] (the crawler never aborts the snapshot on one domain).
+pub fn fetch_domain(connector: &dyn Connect, domain: &str) -> FetchRecord {
+    match fetch(connector, domain, "/") {
+        Ok(response) => FetchRecord {
+            domain: domain.to_string(),
+            status: Some(response.status.0),
+            body: response.body_text(),
+            error: None,
+        },
+        // Transport and protocol failures alike count as inaccessible —
+        // the paper's filter does not distinguish them.
+        Err(e) => FetchRecord {
+            domain: domain.to_string(),
+            status: None,
+            body: String::new(),
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::http::{Request, Response, Status};
+    use crate::server::VirtualNet;
+    use std::sync::Arc;
+
+    fn domains(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("site{i:04}.example")).collect()
+    }
+
+    fn content_handler() -> Arc<dyn crate::server::Handler> {
+        Arc::new(|req: &Request| {
+            let host = req.host().unwrap_or("?").to_string();
+            if host.ends_with("7.example") {
+                // Simulated anti-bot block.
+                Response::status(Status::FORBIDDEN)
+            } else {
+                Response::html(format!("<html><body>{}</body></html>", "x".repeat(500)))
+            }
+        })
+    }
+
+    #[test]
+    fn crawl_covers_every_domain() {
+        let net = VirtualNet::new(content_handler());
+        let ds = domains(50);
+        let got = crawl(&ds, &net, CrawlConfig { concurrency: 4 });
+        assert_eq!(got.len(), 50);
+        for d in &ds {
+            assert!(got.contains_key(d), "{d} missing");
+        }
+    }
+
+    #[test]
+    fn status_codes_are_recorded() {
+        let net = VirtualNet::new(content_handler());
+        let ds = domains(20);
+        let got = crawl(&ds, &net, CrawlConfig::default());
+        assert_eq!(got["site0007.example"].status, Some(403));
+        assert_eq!(got["site0001.example"].status, Some(200));
+        assert!(got["site0001.example"].is_usable(400));
+        assert!(!got["site0007.example"].is_usable(400));
+    }
+
+    #[test]
+    fn crawl_is_deterministic_across_concurrency_levels() {
+        let ds = domains(64);
+        let run = |workers: usize, seed: u64| {
+            let net = VirtualNet::new(content_handler())
+                .with_faults(FaultPlan::realistic(seed));
+            crawl(&ds, &net, CrawlConfig { concurrency: workers })
+        };
+        let a = run(1, 99);
+        let b = run(8, 99);
+        assert_eq!(a, b, "results must not depend on scheduling");
+        let c = run(8, 100);
+        assert_ne!(a, c, "different fault seeds change outcomes");
+    }
+
+    #[test]
+    fn connection_failures_become_error_records() {
+        let net = VirtualNet::new(content_handler()).with_faults(FaultPlan {
+            seed: 5,
+            connect_fail_permille: 1000, // everything refused
+            truncate_permille: 0,
+            chunked_permille: 0,
+        });
+        let got = crawl(&domains(10), &net, CrawlConfig::default());
+        for (_, rec) in got {
+            assert_eq!(rec.status, None);
+            assert!(rec.error.is_some());
+            assert!(!rec.is_usable(400));
+        }
+    }
+
+    #[test]
+    fn truncated_responses_surface_as_errors() {
+        // Every host truncates, but the cut point (64..1024 bytes) only
+        // bites when it falls inside the ~600-byte response — so some
+        // domains fail mid-body and the rest survive intact.
+        let net = VirtualNet::new(content_handler()).with_faults(FaultPlan {
+            seed: 6,
+            connect_fail_permille: 0,
+            truncate_permille: 1000,
+            chunked_permille: 0,
+        });
+        let got = crawl(&domains(40), &net, CrawlConfig::default());
+        let failed = got.values().filter(|r| r.error.is_some()).count();
+        let succeeded = got.values().filter(|r| r.error.is_none()).count();
+        assert!(failed > 0, "some responses must be cut mid-body");
+        assert!(succeeded > 0, "cut points past the body leave pages intact");
+        for r in got.values().filter(|r| r.error.is_some()) {
+            assert_eq!(r.status, None);
+            assert!(r.body.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_domain_single_worker() {
+        let net = VirtualNet::new(content_handler());
+        let got = crawl(
+            &["one.example".to_string()],
+            &net,
+            CrawlConfig { concurrency: 16 },
+        );
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn empty_domain_list() {
+        let net = VirtualNet::new(content_handler());
+        let got = crawl(&[], &net, CrawlConfig::default());
+        assert!(got.is_empty());
+    }
+}

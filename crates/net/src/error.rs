@@ -1,0 +1,56 @@
+//! Error type shared across the networking stack.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the HTTP codec, transports, client and crawler.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying transport I/O failure (includes injected faults).
+    Io(io::Error),
+    /// The peer's bytes do not form a valid HTTP/1.1 message.
+    Malformed(&'static str),
+    /// A protocol limit was exceeded (header block or body too large).
+    TooLarge(&'static str),
+    /// Connection closed before a complete message was received.
+    UnexpectedEof,
+    /// The requested host is not reachable through this connector.
+    HostUnreachable(String),
+    /// The operation did not finish within its deadline.
+    Timeout,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Malformed(what) => write!(f, "malformed message: {what}"),
+            NetError::TooLarge(what) => write!(f, "message too large: {what}"),
+            NetError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            NetError::HostUnreachable(host) => write!(f, "host unreachable: {host}"),
+            NetError::Timeout => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            NetError::UnexpectedEof
+        } else {
+            NetError::Io(e)
+        }
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, NetError>;

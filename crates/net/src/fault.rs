@@ -1,0 +1,172 @@
+//! Deterministic fault injection for the virtual internet.
+//!
+//! The paper's four-year crawl hit expired domains, flaky servers, empty
+//! pages and anti-bot blocks (§4.1). [`FaultPlan`] reproduces the
+//! *connection-level* failures (refused connections, responses truncated
+//! mid-body); HTTP-level failures (4xx anti-bot pages, empty bodies) are
+//! the synthetic web generator's job since they depend on the domain model.
+//!
+//! Fault decisions are pure functions of `(seed, host)` — no RNG state —
+//! so a crawl is reproducible regardless of worker-thread interleaving.
+
+/// Per-crawl fault configuration. Probabilities are in permille (‰).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision.
+    pub seed: u64,
+    /// Probability that `connect()` is refused.
+    pub connect_fail_permille: u32,
+    /// Probability that a response is truncated mid-body.
+    pub truncate_permille: u32,
+    /// Probability that a response uses chunked framing (not a fault, but
+    /// wire-format diversity that keeps the decoder honest).
+    pub chunked_permille: u32,
+}
+
+impl FaultPlan {
+    /// No faults, plain content-length framing.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            connect_fail_permille: 0,
+            truncate_permille: 0,
+            chunked_permille: 0,
+        }
+    }
+
+    /// A plan resembling the paper's observed failure rates: occasional
+    /// refused connections and rare truncations, with a quarter of servers
+    /// speaking chunked.
+    pub fn realistic(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            connect_fail_permille: 8,
+            truncate_permille: 2,
+            chunked_permille: 250,
+        }
+    }
+
+    /// Should connecting to `host` fail?
+    pub fn connect_fails(&self, host: &str) -> bool {
+        self.decide(host, 0xC0,
+            self.connect_fail_permille)
+    }
+
+    /// Truncation point for `host`'s responses, if any.
+    pub fn truncate_at(&self, host: &str) -> Option<usize> {
+        if self.decide(host, 0x7B, self.truncate_permille) {
+            // Cut somewhere in the first kilobyte, but past the status line
+            // so the client sees a mid-body drop rather than a dead socket.
+            Some(64 + (mix(self.seed ^ 0x7C, host) % 960) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `host` frames responses with chunked transfer encoding.
+    pub fn prefers_chunked(&self, host: &str) -> bool {
+        self.decide(host, 0x11, self.chunked_permille)
+    }
+
+    fn decide(&self, host: &str, salt: u64, permille: u32) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        (mix(self.seed ^ salt, host) % 1000) < permille as u64
+    }
+}
+
+/// SplitMix64-style hash of `(seed, text)`.
+pub fn mix(seed: u64, text: &str) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for &b in text.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    h ^= h >> 31;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 29)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_faults() {
+        let plan = FaultPlan::none();
+        for host in ["a.com", "b.com", "c.net"] {
+            assert!(!plan.connect_fails(host));
+            assert!(plan.truncate_at(host).is_none());
+            assert!(!plan.prefers_chunked(host));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_host() {
+        let plan = FaultPlan::realistic(42);
+        for host in ["x.com", "y.com", "z.org"] {
+            assert_eq!(plan.connect_fails(host), plan.connect_fails(host));
+            assert_eq!(plan.truncate_at(host), plan.truncate_at(host));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan {
+            seed: 7,
+            connect_fail_permille: 100, // 10%
+            truncate_permille: 50,      // 5%
+            chunked_permille: 500,      // 50%
+        };
+        let n = 20_000;
+        let fails = (0..n)
+            .filter(|i| plan.connect_fails(&format!("host{i}.example")))
+            .count();
+        let chunked = (0..n)
+            .filter(|i| plan.prefers_chunked(&format!("host{i}.example")))
+            .count();
+        assert!((1600..2400).contains(&fails), "{fails} ≈ 2000 expected");
+        assert!((9000..11000).contains(&chunked), "{chunked} ≈ 10000 expected");
+    }
+
+    #[test]
+    fn different_seeds_pick_different_victims() {
+        let a = FaultPlan {
+            seed: 1,
+            connect_fail_permille: 100,
+            truncate_permille: 0,
+            chunked_permille: 0,
+        };
+        let b = FaultPlan { seed: 2, ..a };
+        let hosts: Vec<String> = (0..5000).map(|i| format!("h{i}.example")).collect();
+        let va: Vec<bool> = hosts.iter().map(|h| a.connect_fails(h)).collect();
+        let vb: Vec<bool> = hosts.iter().map(|h| b.connect_fails(h)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn truncation_point_is_in_range() {
+        let plan = FaultPlan {
+            seed: 3,
+            connect_fail_permille: 0,
+            truncate_permille: 1000,
+            chunked_permille: 0,
+        };
+        for i in 0..100 {
+            let at = plan
+                .truncate_at(&format!("t{i}.example"))
+                .expect("always truncates");
+            assert!((64..1024).contains(&at));
+        }
+    }
+
+    #[test]
+    fn mix_spreads_bits() {
+        // Adjacent inputs should not collide.
+        use std::collections::HashSet;
+        let got: HashSet<u64> = (0..1000).map(|i| mix(0, &format!("d{i}"))).collect();
+        assert_eq!(got.len(), 1000);
+    }
+}

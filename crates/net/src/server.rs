@@ -1,0 +1,462 @@
+//! Server side: the [`Handler`] trait, the connection service loop, a real
+//! TCP server, and the thread-free in-process "virtual internet" connector
+//! the crawler uses for simulation runs.
+
+use crate::codec::{encode_request, encode_response, MessageReader};
+use crate::error::{NetError, Result};
+use crate::fault::FaultPlan;
+use crate::http::{Request, Response, Status};
+use crate::transport::ByteStream;
+use parking_lot::Mutex;
+use std::io::{self, Cursor, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Produces a response for a request. Implemented by the synthetic web
+/// generator; closures work too.
+pub trait Handler: Send + Sync {
+    /// Handles one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Serves HTTP/1.1 on one connection until close/EOF/error.
+///
+/// Parse failures answer `400 Bad Request` and close. `Connection: close`
+/// from either side ends the loop after the in-flight exchange. Returns
+/// the number of requests served.
+///
+/// The codec reader keeps its buffer across requests, so pipelined
+/// requests that arrived in one read are served in order rather than lost.
+pub fn serve_connection(stream: &mut dyn ByteStream, handler: &dyn Handler) -> Result<usize> {
+    let mut served = 0usize;
+    // The reader holds one handle to the stream for the lifetime of the
+    // connection (preserving read-ahead); responses are written through a
+    // second handle to the same underlying stream.
+    let shared = Shared(Arc::new(Mutex::new(stream)));
+    let writer = Shared(Arc::clone(&shared.0));
+    let mut reader = MessageReader::new(shared);
+    let write_all = |bytes: &[u8]| -> Result<()> {
+        let mut guard = writer.0.lock();
+        guard.write_all(bytes)?;
+        guard.flush()?;
+        Ok(())
+    };
+    loop {
+        if reader.at_eof() {
+            return Ok(served);
+        }
+        let request = match reader.read_request() {
+            Ok(r) => r,
+            Err(NetError::UnexpectedEof) => return Ok(served),
+            // Keep-alive idle timeout: a blocked read that times out ends
+            // the connection gracefully (the client may simply be holding
+            // the socket open).
+            Err(NetError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(served)
+            }
+            Err(NetError::Io(e)) => return Err(NetError::Io(e)),
+            Err(_) => {
+                let mut wire = Vec::new();
+                encode_response(&Response::status(Status::BAD_REQUEST), false, &mut wire);
+                let _ = write_all(&wire);
+                return Ok(served);
+            }
+        };
+        let close = request.headers.wants_close();
+        let response = handler.handle(&request);
+        let close = close || response.headers.wants_close();
+        let mut wire = Vec::new();
+        encode_response(&response, false, &mut wire);
+        write_all(&wire)?;
+        served += 1;
+        if close {
+            return Ok(served);
+        }
+    }
+}
+
+/// Shared stream handle letting the codec reader and the response writer
+/// reference the same connection.
+struct Shared<'a>(Arc<Mutex<&'a mut dyn ByteStream>>);
+
+impl Read for Shared<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.lock().read(buf)
+    }
+}
+
+/// A real TCP server running the handler on every accepted connection.
+///
+/// Used by the live-crawl example and the TCP integration tests; the
+/// large-scale simulation path uses [`VirtualNet`] instead.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `127.0.0.1:0` (ephemeral port) and starts accepting.
+    pub fn start(handler: Arc<dyn Handler>) -> Result<TcpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(NetError::Io)?;
+        let addr = listener.local_addr().map_err(NetError::Io)?;
+        listener
+            .set_nonblocking(true)
+            .map_err(NetError::Io)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut conn, _peer)) => {
+                        let handler = Arc::clone(&handler);
+                        conn.set_nodelay(true).ok();
+                        // Keep-alive idle timeout: without it a client that
+                        // parks an open connection pins the worker forever
+                        // (and `shutdown()` joins workers).
+                        conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_connection(&mut conn, handler.as_ref());
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Opens connections to named hosts. The client and crawler are generic
+/// over this, so the same code crawls the in-process virtual internet and
+/// real TCP endpoints.
+pub trait Connect: Send + Sync {
+    /// Opens a stream to `host`.
+    fn connect(&self, host: &str) -> Result<Box<dyn ByteStream>>;
+}
+
+/// Connects every host to one fixed TCP address (the live-crawl example
+/// points this at a local [`TcpServer`], playing DNS for the test realm).
+pub struct TcpConnector {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl TcpConnector {
+    /// Creates a connector dialing `addr` for every host.
+    pub fn fixed(addr: SocketAddr) -> TcpConnector {
+        TcpConnector {
+            addr,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Overrides the connect/read timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> TcpConnector {
+        self.timeout = timeout;
+        self
+    }
+}
+
+impl Connect for TcpConnector {
+    fn connect(&self, _host: &str) -> Result<Box<dyn ByteStream>> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout).map_err(NetError::Io)?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(NetError::Io)?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(stream))
+    }
+}
+
+/// The in-process virtual internet: a [`Connect`] whose streams loop back
+/// into a handler without threads or sockets.
+///
+/// Every request still round-trips through the full wire codec (the
+/// client's encoded request bytes are parsed server-side, and the encoded
+/// response bytes are parsed client-side), so simulation runs exercise the
+/// identical protocol path as TCP — just without the kernel.
+pub struct VirtualNet {
+    handler: Arc<dyn Handler>,
+    faults: FaultPlan,
+}
+
+impl VirtualNet {
+    /// Creates a virtual internet served entirely by `handler`.
+    pub fn new(handler: Arc<dyn Handler>) -> VirtualNet {
+        VirtualNet {
+            handler,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Installs a fault plan (connection failures, truncation).
+    pub fn with_faults(mut self, faults: FaultPlan) -> VirtualNet {
+        self.faults = faults;
+        self
+    }
+}
+
+impl Connect for VirtualNet {
+    fn connect(&self, host: &str) -> Result<Box<dyn ByteStream>> {
+        if self.faults.connect_fails(host) {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("simulated refusal for {host}"),
+            )));
+        }
+        Ok(Box::new(LoopbackStream {
+            handler: Arc::clone(&self.handler),
+            request_buf: Vec::new(),
+            request_pos: 0,
+            response: Cursor::new(Vec::new()),
+            truncate_at: self.faults.truncate_at(host),
+            chunked: self.faults.prefers_chunked(host),
+        }))
+    }
+}
+
+/// Client-side stream that dispatches written requests straight into the
+/// handler and serves the encoded response back on reads.
+struct LoopbackStream {
+    handler: Arc<dyn Handler>,
+    request_buf: Vec<u8>,
+    request_pos: usize,
+    response: Cursor<Vec<u8>>,
+    /// When set, the response bytes are cut at this length and then EOF —
+    /// simulating a connection dropped mid-body.
+    truncate_at: Option<usize>,
+    /// Whether responses use chunked framing (for codec-path diversity).
+    chunked: bool,
+}
+
+impl Read for LoopbackStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            let n = self.response.read(buf)?;
+            if n > 0 {
+                return Ok(n);
+            }
+            // Response drained: try to service the next buffered request.
+            if self.request_pos >= self.request_buf.len() {
+                return Ok(0); // no request pending: EOF
+            }
+            let pending = self.request_buf[self.request_pos..].to_vec();
+            let mut reader = MessageReader::new(Cursor::new(pending));
+            let request = match reader.read_request() {
+                Ok(r) => r,
+                Err(NetError::UnexpectedEof) => return Ok(0), // incomplete request
+                Err(_) => {
+                    let mut wire = Vec::new();
+                    encode_response(&Response::status(Status::BAD_REQUEST), false, &mut wire);
+                    self.request_pos = self.request_buf.len();
+                    self.install_response(wire);
+                    continue;
+                }
+            };
+            let consumed = reader.into_inner().position() as usize;
+            self.request_pos += consumed;
+            let response = self.handler.handle(&request);
+            let mut wire = Vec::new();
+            encode_response(&response, self.chunked, &mut wire);
+            self.install_response(wire);
+        }
+    }
+}
+
+impl LoopbackStream {
+    fn install_response(&mut self, mut wire: Vec<u8>) {
+        if let Some(limit) = self.truncate_at {
+            if wire.len() > limit {
+                wire.truncate(limit);
+                // After the truncated bytes the stream is dead.
+                self.request_pos = self.request_buf.len();
+            }
+        }
+        self.response = Cursor::new(wire);
+    }
+}
+
+impl Write for LoopbackStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.request_buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Encodes a request and returns the handler's encoded response — a pure
+/// helper used by tests and micro-benchmarks to drive the codec path.
+pub fn roundtrip(handler: &dyn Handler, request: &Request) -> Result<Response> {
+    let mut wire = Vec::new();
+    encode_request(request, &mut wire);
+    let mut reader = MessageReader::new(Cursor::new(wire));
+    let parsed = reader.read_request()?;
+    let response = handler.handle(&parsed);
+    let mut resp_wire = Vec::new();
+    encode_response(&response, false, &mut resp_wire);
+    MessageReader::new(Cursor::new(resp_wire)).read_response(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::fetch;
+    use crate::transport::mem_pipe;
+
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: &Request| {
+            Response::html(format!(
+                "<html>host={} target={}</html>",
+                req.host().unwrap_or("?"),
+                req.target
+            ))
+        })
+    }
+
+    #[test]
+    fn serve_connection_over_mem_pipe() {
+        let (mut client, mut server) = mem_pipe();
+        let handler = echo_handler();
+        let t = std::thread::spawn(move || {
+            serve_connection(&mut server, handler.as_ref()).expect("serve ok")
+        });
+
+        let mut wire = Vec::new();
+        encode_request(&Request::get("pipe.example", "/x"), &mut wire);
+        client.write_all(&wire).expect("send");
+        let resp = MessageReader::new(&mut client)
+            .read_response(false)
+            .expect("response");
+        assert!(resp.body_text().contains("host=pipe.example"));
+        drop(client); // EOF ends the serve loop
+        assert_eq!(t.join().expect("join"), 1);
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let (mut client, mut server) = mem_pipe();
+        let handler = echo_handler();
+        let t = std::thread::spawn(move || {
+            serve_connection(&mut server, handler.as_ref()).expect("serve ok")
+        });
+        for i in 0..3 {
+            let mut wire = Vec::new();
+            encode_request(&Request::get("k.example", &format!("/{i}")), &mut wire);
+            client.write_all(&wire).expect("send");
+            let resp = MessageReader::new(&mut client)
+                .read_response(false)
+                .expect("response");
+            assert!(resp.body_text().contains(&format!("target=/{i}")));
+        }
+        drop(client);
+        assert_eq!(t.join().expect("join"), 3);
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let (mut client, mut server) = mem_pipe();
+        let handler = echo_handler();
+        let t = std::thread::spawn(move || {
+            serve_connection(&mut server, handler.as_ref()).expect("serve ok")
+        });
+        client.write_all(b"NONSENSE\r\n\r\n").expect("send");
+        client.shutdown_write();
+        let resp = MessageReader::new(&mut client)
+            .read_response(false)
+            .expect("response");
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+        assert_eq!(t.join().expect("join"), 0);
+    }
+
+    #[test]
+    fn virtual_net_round_trip() {
+        let net = VirtualNet::new(echo_handler());
+        let resp = fetch(&net, "v.example", "/index.html").expect("fetch");
+        assert_eq!(resp.status, Status::OK);
+        assert!(resp.body_text().contains("host=v.example"));
+        assert!(resp.body_text().contains("target=/index.html"));
+    }
+
+    #[test]
+    fn virtual_net_keep_alive_on_one_stream() {
+        let net = VirtualNet::new(echo_handler());
+        let mut stream = net.connect("kv.example").expect("connect");
+        for i in 0..2 {
+            let mut wire = Vec::new();
+            encode_request(&Request::get("kv.example", &format!("/{i}")), &mut wire);
+            stream.write_all(&wire).expect("send");
+            let resp = MessageReader::new(&mut stream)
+                .read_response(false)
+                .expect("response");
+            assert!(resp.body_text().contains(&format!("target=/{i}")));
+        }
+    }
+
+    #[test]
+    fn tcp_server_end_to_end() {
+        let mut server = TcpServer::start(echo_handler()).expect("bind");
+        let connector = TcpConnector::fixed(server.addr());
+        let resp = fetch(&connector, "tcp.example", "/live").expect("fetch");
+        assert_eq!(resp.status, Status::OK);
+        assert!(resp.body_text().contains("host=tcp.example"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn roundtrip_helper() {
+        let handler = echo_handler();
+        let resp = roundtrip(handler.as_ref(), &Request::get("h.example", "/rt")).expect("ok");
+        assert!(resp.body_text().contains("target=/rt"));
+    }
+}

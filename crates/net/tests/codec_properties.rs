@@ -1,0 +1,127 @@
+//! Property-based tests for the HTTP codec: arbitrary messages must
+//! round-trip through the wire format under both framings, and the parser
+//! must never panic on arbitrary bytes.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use webvuln_net::codec::{encode_request, encode_response, MessageReader};
+use webvuln_net::{Headers, Method, Request, Response, Status};
+
+fn arb_header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,20}".prop_filter("reserved framing headers", |name| {
+        ![
+            "content-length",
+            "transfer-encoding",
+            "connection",
+        ]
+        .contains(&name.to_ascii_lowercase().as_str())
+    })
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    // Header values: printable ASCII without CR/LF; trimmed by the parser.
+    "[ -~]{0,30}".prop_map(|s| s.trim().to_string())
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        prop::sample::select(vec![Method::Get, Method::Head, Method::Post, Method::Put]),
+        "/[a-zA-Z0-9/_.-]{0,30}",
+        proptest::collection::vec((arb_header_name(), arb_header_value()), 0..6),
+        proptest::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(method, target, headers, body)| {
+            let mut h = Headers::new();
+            h.insert("Host", "prop.example");
+            for (k, v) in headers {
+                h.insert(k, v);
+            }
+            let body = if method == Method::Get { Vec::new() } else { body };
+            Request {
+                method,
+                target,
+                headers: h,
+                body,
+            }
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        prop::sample::select(vec![200u16, 204, 301, 403, 404, 500, 503]),
+        proptest::collection::vec(any::<u8>(), 0..500),
+    )
+        .prop_map(|(code, body)| {
+            let body = if code == 204 { Vec::new() } else { body };
+            Response::new(Status(code), "text/html", body)
+        })
+}
+
+proptest! {
+    /// Requests round-trip exactly.
+    #[test]
+    fn request_round_trip(req in arb_request()) {
+        let mut wire = Vec::new();
+        encode_request(&req, &mut wire);
+        let back = MessageReader::new(Cursor::new(wire)).read_request().expect("parses");
+        prop_assert_eq!(back.method, req.method);
+        prop_assert_eq!(back.target, req.target);
+        prop_assert_eq!(back.body, req.body);
+        // Headers round-trip in order (duplicates included); names keep
+        // their case, values come back trimmed.
+        let sent: Vec<(String, String)> = req
+            .headers
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.trim().to_string()))
+            .collect();
+        let got: Vec<(String, String)> = back
+            .headers
+            .iter()
+            .filter(|(k, _)| !k.eq_ignore_ascii_case("content-length"))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        prop_assert_eq!(got, sent);
+    }
+
+    /// Responses round-trip under content-length framing.
+    #[test]
+    fn response_round_trip_plain(resp in arb_response()) {
+        let mut wire = Vec::new();
+        encode_response(&resp, false, &mut wire);
+        let back = MessageReader::new(Cursor::new(wire)).read_response(false).expect("parses");
+        prop_assert_eq!(back.status, resp.status);
+        prop_assert_eq!(back.body, resp.body);
+    }
+
+    /// Responses round-trip under chunked framing.
+    #[test]
+    fn response_round_trip_chunked(resp in arb_response()) {
+        let mut wire = Vec::new();
+        encode_response(&resp, true, &mut wire);
+        let back = MessageReader::new(Cursor::new(wire)).read_response(false).expect("parses");
+        prop_assert_eq!(back.status, resp.status);
+        prop_assert_eq!(back.body, resp.body);
+    }
+
+    /// Arbitrary bytes never panic the parser — every outcome is a clean
+    /// Ok or Err.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = MessageReader::new(Cursor::new(bytes.clone())).read_request();
+        let _ = MessageReader::new(Cursor::new(bytes)).read_response(false);
+    }
+
+    /// Truncating a valid message at any point yields an error or a
+    /// shorter EOF-delimited body — never a panic, never a phantom body
+    /// longer than the original.
+    #[test]
+    fn truncation_is_graceful(resp in arb_response(), cut in 0usize..600) {
+        let mut wire = Vec::new();
+        encode_response(&resp, false, &mut wire);
+        let cut = cut.min(wire.len());
+        let truncated = wire[..cut].to_vec();
+        if let Ok(parsed) = MessageReader::new(Cursor::new(truncated)).read_response(false) {
+            prop_assert!(parsed.body.len() <= resp.body.len());
+        }
+    }
+}

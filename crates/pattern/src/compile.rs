@@ -1,0 +1,417 @@
+//! Compilation from the AST to a bytecode program for the Pike VM.
+//!
+//! The instruction set follows the classic Thompson construction with
+//! capture slots (`Save`). `Split` encodes priority: the first target is
+//! preferred, which yields leftmost-greedy (perl-like) match semantics when
+//! executed by the priority-aware VM in [`crate::vm`].
+
+use crate::ast::{Ast, ClassSet, Repeat};
+use crate::Error;
+
+/// Upper bound on compiled program size, guarding against counted
+/// repetitions exploding the program.
+const MAX_PROGRAM: usize = 100_000;
+
+/// A single VM instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Match one specific character and advance.
+    Char(char),
+    /// Match any character in the indexed class and advance.
+    Class(u32),
+    /// Match any character except `\n` and advance.
+    Any,
+    /// Try `0` first, then `1` (priority order), consuming nothing.
+    Split(u32, u32),
+    /// Unconditional jump, consuming nothing.
+    Jmp(u32),
+    /// Store the current position into capture slot `0`.
+    Save(u16),
+    /// Succeed only at the start of the haystack.
+    AssertStart,
+    /// Succeed only at the end of the haystack.
+    AssertEnd,
+    /// Successful match.
+    Match,
+}
+
+/// A compiled pattern program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction stream; entry point is instruction 0.
+    pub insts: Vec<Inst>,
+    /// Character classes referenced by [`Inst::Class`].
+    pub classes: Vec<ClassSet>,
+    /// Number of capturing groups (excluding the implicit group 0).
+    pub group_count: u32,
+    /// Number of capture slots (`2 * (group_count + 1)`).
+    pub slot_count: usize,
+    /// Whether matching folds ASCII case.
+    pub case_insensitive: bool,
+    /// A literal prefix every match must start with (used as a fast
+    /// pre-filter when scanning long haystacks). Lower-cased when
+    /// `case_insensitive` is set.
+    pub literal_prefix: String,
+    /// True when the program starts with `^`.
+    pub anchored_start: bool,
+}
+
+/// Compiles `ast` into a [`Program`].
+pub fn compile(ast: &Ast, group_count: u32, case_insensitive: bool) -> Result<Program, Error> {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        classes: Vec::new(),
+        ci: case_insensitive,
+    };
+    // Program shape: Save(0) <body> Save(1) Match
+    c.push(Inst::Save(0))?;
+    c.emit(ast)?;
+    c.push(Inst::Save(1))?;
+    c.push(Inst::Match)?;
+    let anchored_start = matches!(
+        peel_prefix(ast),
+        Some(Ast::StartAnchor)
+    );
+    let literal_prefix = literal_prefix(ast, case_insensitive);
+    Ok(Program {
+        insts: c.insts,
+        classes: c.classes,
+        group_count,
+        slot_count: 2 * (group_count as usize + 1),
+        case_insensitive,
+        literal_prefix,
+        anchored_start,
+    })
+}
+
+/// Returns the first concrete atom of the AST, looking through concats.
+fn peel_prefix(ast: &Ast) -> Option<&Ast> {
+    match ast {
+        Ast::Concat(items) => items.first().and_then(peel_prefix),
+        other => Some(other),
+    }
+}
+
+/// Extracts a mandatory literal prefix from the AST, if any.
+fn literal_prefix(ast: &Ast, ci: bool) -> String {
+    let mut out = String::new();
+    collect_prefix(ast, &mut out);
+    if ci {
+        out = out.to_ascii_lowercase();
+    }
+    out
+}
+
+fn collect_prefix(ast: &Ast, out: &mut String) -> bool {
+    // Returns false when the scan must stop (non-literal encountered).
+    match ast {
+        Ast::Literal(c) => {
+            out.push(*c);
+            true
+        }
+        Ast::StartAnchor => true,
+        Ast::Concat(items) => {
+            for item in items {
+                if !collect_prefix(item, out) {
+                    return false;
+                }
+            }
+            true
+        }
+        Ast::Group(g) => {
+            // Keep whatever prefix the group contributes, but stop the
+            // scan at the group boundary (its suffix may be optional).
+            let _ = collect_prefix(&g.node, out);
+            false
+        }
+        Ast::Repeat(r) if r.min >= 1 => {
+            // A required first iteration contributes its prefix, then stop.
+            collect_prefix(&r.node, out);
+            false
+        }
+        _ => false,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    classes: Vec<ClassSet>,
+    ci: bool,
+}
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> Result<u32, Error> {
+        if self.insts.len() >= MAX_PROGRAM {
+            return Err(Error::ProgramTooLarge);
+        }
+        self.insts.push(inst);
+        Ok((self.insts.len() - 1) as u32)
+    }
+
+    fn next_pc(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    fn patch_split(&mut self, at: u32, which: usize, target: u32) {
+        if let Inst::Split(a, b) = &mut self.insts[at as usize] {
+            if which == 0 {
+                *a = target;
+            } else {
+                *b = target;
+            }
+        } else {
+            unreachable!("patch target is not a split");
+        }
+    }
+
+    fn patch_jmp(&mut self, at: u32, target: u32) {
+        if let Inst::Jmp(t) = &mut self.insts[at as usize] {
+            *t = target;
+        } else {
+            unreachable!("patch target is not a jmp");
+        }
+    }
+
+    fn class_index(&mut self, set: ClassSet) -> u32 {
+        // Deduplicate identical classes to keep programs small.
+        if let Some(i) = self.classes.iter().position(|c| *c == set) {
+            return i as u32;
+        }
+        self.classes.push(set);
+        (self.classes.len() - 1) as u32
+    }
+
+    fn emit(&mut self, ast: &Ast) -> Result<(), Error> {
+        match ast {
+            Ast::Empty => Ok(()),
+            Ast::Literal(c) => {
+                if self.ci && c.is_ascii_alphabetic() {
+                    self.push(Inst::Char(c.to_ascii_lowercase()))?;
+                } else {
+                    self.push(Inst::Char(*c))?;
+                }
+                Ok(())
+            }
+            Ast::Class(set) => {
+                let mut set = set.clone();
+                if self.ci {
+                    set.ascii_fold();
+                }
+                let idx = self.class_index(set);
+                self.push(Inst::Class(idx))?;
+                Ok(())
+            }
+            Ast::Dot => {
+                self.push(Inst::Any)?;
+                Ok(())
+            }
+            Ast::StartAnchor => {
+                self.push(Inst::AssertStart)?;
+                Ok(())
+            }
+            Ast::EndAnchor => {
+                self.push(Inst::AssertEnd)?;
+                Ok(())
+            }
+            Ast::Concat(items) => {
+                for item in items {
+                    self.emit(item)?;
+                }
+                Ok(())
+            }
+            Ast::Alternate(branches) => self.emit_alternate(branches),
+            Ast::Group(g) => {
+                if let Some(idx) = g.index {
+                    self.push(Inst::Save((idx * 2) as u16))?;
+                    self.emit(&g.node)?;
+                    self.push(Inst::Save((idx * 2 + 1) as u16))?;
+                } else {
+                    self.emit(&g.node)?;
+                }
+                Ok(())
+            }
+            Ast::Repeat(r) => self.emit_repeat(r),
+        }
+    }
+
+    fn emit_alternate(&mut self, branches: &[Ast]) -> Result<(), Error> {
+        // Chain of splits; earlier branches get priority.
+        let mut jumps = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < branches.len() {
+                let split = self.push(Inst::Split(0, 0))?;
+                let body = self.next_pc();
+                self.patch_split(split, 0, body);
+                self.emit(branch)?;
+                let jmp = self.push(Inst::Jmp(0))?;
+                jumps.push(jmp);
+                let next = self.next_pc();
+                self.patch_split(split, 1, next);
+            } else {
+                self.emit(branch)?;
+            }
+        }
+        let end = self.next_pc();
+        for j in jumps {
+            self.patch_jmp(j, end);
+        }
+        Ok(())
+    }
+
+    fn emit_repeat(&mut self, r: &Repeat) -> Result<(), Error> {
+        match (r.min, r.max) {
+            (0, Some(1)) => {
+                // e?
+                let split = self.push(Inst::Split(0, 0))?;
+                let body = self.next_pc();
+                self.emit(&r.node)?;
+                let end = self.next_pc();
+                if r.greedy {
+                    self.patch_split(split, 0, body);
+                    self.patch_split(split, 1, end);
+                } else {
+                    self.patch_split(split, 0, end);
+                    self.patch_split(split, 1, body);
+                }
+                Ok(())
+            }
+            (0, None) => {
+                // e*
+                let split = self.push(Inst::Split(0, 0))?;
+                let body = self.next_pc();
+                self.emit(&r.node)?;
+                self.push(Inst::Jmp(split))?;
+                let end = self.next_pc();
+                if r.greedy {
+                    self.patch_split(split, 0, body);
+                    self.patch_split(split, 1, end);
+                } else {
+                    self.patch_split(split, 0, end);
+                    self.patch_split(split, 1, body);
+                }
+                Ok(())
+            }
+            (1, None) => {
+                // e+
+                let body = self.next_pc();
+                self.emit(&r.node)?;
+                let split = self.push(Inst::Split(0, 0))?;
+                let end = self.next_pc();
+                if r.greedy {
+                    self.patch_split(split, 0, body);
+                    self.patch_split(split, 1, end);
+                } else {
+                    self.patch_split(split, 0, end);
+                    self.patch_split(split, 1, body);
+                }
+                Ok(())
+            }
+            (min, max) => {
+                // Counted repetition: unroll. `min` mandatory copies, then
+                // either (max-min) optional copies or a trailing `*`.
+                for _ in 0..min {
+                    self.emit(&r.node)?;
+                }
+                match max {
+                    None => self.emit_repeat(&Repeat {
+                        node: r.node.clone(),
+                        min: 0,
+                        max: None,
+                        greedy: r.greedy,
+                    }),
+                    Some(max) => {
+                        // Nested optionals so that bailing out of iteration i
+                        // skips all following iterations.
+                        let mut splits = Vec::new();
+                        for _ in min..max {
+                            let split = self.push(Inst::Split(0, 0))?;
+                            let body = self.next_pc();
+                            if r.greedy {
+                                self.patch_split(split, 0, body);
+                            } else {
+                                self.patch_split(split, 1, body);
+                            }
+                            splits.push(split);
+                            self.emit(&r.node)?;
+                        }
+                        let end = self.next_pc();
+                        for split in splits {
+                            if r.greedy {
+                                self.patch_split(split, 1, end);
+                            } else {
+                                self.patch_split(split, 0, end);
+                            }
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(p: &str) -> Program {
+        let (ast, n) = parse(p).expect("parse ok");
+        compile(&ast, n, false).expect("compile ok")
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        assert_eq!(
+            p.insts,
+            vec![
+                Inst::Save(0),
+                Inst::Char('a'),
+                Inst::Char('b'),
+                Inst::Save(1),
+                Inst::Match
+            ]
+        );
+    }
+
+    #[test]
+    fn detects_anchored_start() {
+        assert!(prog("^ab").anchored_start);
+        assert!(!prog("ab").anchored_start);
+    }
+
+    #[test]
+    fn extracts_literal_prefix() {
+        assert_eq!(prog("jquery").literal_prefix, "jquery");
+        assert_eq!(prog(r"jquery[.-]").literal_prefix, "jquery");
+        assert_eq!(prog(r"jq(u|v)ery").literal_prefix, "jq");
+        assert_eq!(prog(r"\d+").literal_prefix, "");
+        let (ast, n) = parse("JQuery").expect("parse ok");
+        let ci = compile(&ast, n, true).expect("compile ok");
+        assert_eq!(ci.literal_prefix, "jquery");
+    }
+
+    #[test]
+    fn classes_are_deduplicated() {
+        let p = prog(r"\d\d\d");
+        assert_eq!(p.classes.len(), 1);
+    }
+
+    #[test]
+    fn counted_repetition_unrolls() {
+        let p = prog("a{3}");
+        let chars = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Char('a')))
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn slot_count_includes_group_zero() {
+        assert_eq!(prog("(a)(b)").slot_count, 6);
+        assert_eq!(prog("a").slot_count, 2);
+    }
+}

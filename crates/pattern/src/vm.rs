@@ -1,0 +1,264 @@
+//! Pike VM: executes a compiled [`Program`] over a haystack.
+//!
+//! This is the classic breadth-first NFA simulation with capture slots and
+//! thread priority, giving perl-style leftmost-greedy semantics in
+//! `O(len(program) * len(haystack))` time — no backtracking, so fingerprint
+//! patterns can never blow up on adversarial page content.
+
+use crate::compile::{Inst, Program};
+
+/// Capture slots for one match: `slots[2k]`/`slots[2k+1]` hold the byte
+/// offsets of group `k`'s start/end (group 0 is the whole match).
+pub type Slots = Vec<Option<usize>>;
+
+/// Runs `prog` against `haystack` starting the search at byte offset
+/// `start`. Returns capture slots of the leftmost match, if any.
+///
+/// When `prog.anchored_start` is false, the search effectively prefixes the
+/// program with `.*?` by seeding a fresh thread at every input position
+/// (at lowest priority, preserving leftmost-first semantics).
+pub fn exec(prog: &Program, haystack: &str, start: usize) -> Option<Slots> {
+    Vm::new(prog, haystack).run(start)
+}
+
+struct Thread {
+    pc: u32,
+    slots: Slots,
+}
+
+struct ThreadList {
+    threads: Vec<Thread>,
+    /// Dense generation-stamped membership test, avoids clearing a set.
+    seen: Vec<u32>,
+    generation: u32,
+}
+
+impl ThreadList {
+    fn new(prog_len: usize) -> Self {
+        ThreadList {
+            threads: Vec::new(),
+            seen: vec![0; prog_len],
+            generation: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.generation += 1;
+    }
+
+    fn contains(&self, pc: u32) -> bool {
+        self.seen[pc as usize] == self.generation
+    }
+
+    fn mark(&mut self, pc: u32) {
+        self.seen[pc as usize] = self.generation;
+    }
+}
+
+struct Vm<'p, 't> {
+    prog: &'p Program,
+    haystack: &'t str,
+}
+
+impl<'p, 't> Vm<'p, 't> {
+    fn new(prog: &'p Program, haystack: &'t str) -> Self {
+        Vm { prog, haystack }
+    }
+
+    fn run(&self, start: usize) -> Option<Slots> {
+        let insts = &self.prog.insts;
+        let mut clist = ThreadList::new(insts.len());
+        let mut nlist = ThreadList::new(insts.len());
+        clist.clear();
+        nlist.clear();
+
+        let mut matched: Option<Slots> = None;
+        let mut pos = start;
+        // Iterate char boundaries from `start` to end-of-string inclusive.
+        loop {
+            let ch = self.haystack[pos..].chars().next();
+            // Seed a new thread at this position unless anchored or a match
+            // was already found at an earlier position (leftmost wins).
+            if matched.is_none() && (!self.prog.anchored_start || pos == 0) {
+                let slots = vec![None; self.prog.slot_count];
+                self.add_thread(&mut clist, 0, slots, pos);
+            }
+            if clist.threads.is_empty() && matched.is_some() {
+                break;
+            }
+
+            let next_pos = pos + ch.map_or(1, char::len_utf8);
+            let folded = ch.map(|c| {
+                if self.prog.case_insensitive {
+                    c.to_ascii_lowercase()
+                } else {
+                    c
+                }
+            });
+
+            nlist.clear();
+            let mut cut = false;
+            // `threads` is drained by index so `add_thread` can borrow nlist.
+            let threads = std::mem::take(&mut clist.threads);
+            for th in threads {
+                if cut {
+                    break;
+                }
+                match &insts[th.pc as usize] {
+                    Inst::Match => {
+                        // Highest-priority thread matched at this position:
+                        // lower-priority threads are discarded.
+                        matched = Some(th.slots);
+                        cut = true;
+                    }
+                    Inst::Char(c) => {
+                        if folded == Some(*c) {
+                            self.add_thread(&mut nlist, th.pc + 1, th.slots, next_pos);
+                        }
+                    }
+                    Inst::Class(idx) => {
+                        if let Some(c) = folded {
+                            if self.prog.classes[*idx as usize].matches(c) {
+                                self.add_thread(&mut nlist, th.pc + 1, th.slots, next_pos);
+                            }
+                        }
+                    }
+                    Inst::Any => {
+                        if matches!(ch, Some(c) if c != '\n') {
+                            self.add_thread(&mut nlist, th.pc + 1, th.slots, next_pos);
+                        }
+                    }
+                    // Epsilon instructions are resolved inside `add_thread`;
+                    // reaching one here is a logic error.
+                    Inst::Split(..) | Inst::Jmp(_) | Inst::Save(_) | Inst::AssertStart
+                    | Inst::AssertEnd => {
+                        unreachable!("epsilon instruction survived add_thread")
+                    }
+                }
+            }
+
+            std::mem::swap(&mut clist, &mut nlist);
+            if ch.is_none() {
+                break;
+            }
+            pos = next_pos;
+        }
+        matched
+    }
+
+    /// Adds `pc` to `list`, transitively following epsilon transitions
+    /// (splits, jumps, saves, satisfied assertions) in priority order.
+    fn add_thread(&self, list: &mut ThreadList, pc: u32, slots: Slots, pos: usize) {
+        if list.contains(pc) {
+            return;
+        }
+        list.mark(pc);
+        match &self.prog.insts[pc as usize] {
+            Inst::Jmp(t) => self.add_thread(list, *t, slots, pos),
+            Inst::Split(a, b) => {
+                self.add_thread(list, *a, slots.clone(), pos);
+                self.add_thread(list, *b, slots, pos);
+            }
+            Inst::Save(slot) => {
+                let mut slots = slots;
+                slots[*slot as usize] = Some(pos);
+                self.add_thread(list, pc + 1, slots, pos);
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    self.add_thread(list, pc + 1, slots, pos);
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == self.haystack.len() {
+                    self.add_thread(list, pc + 1, slots, pos);
+                }
+            }
+            _ => list.threads.push(Thread { pc, slots }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+
+    fn run(pattern: &str, text: &str) -> Option<(usize, usize)> {
+        let (ast, n) = parse(pattern).expect("parse ok");
+        let prog = compile(&ast, n, false).expect("compile ok");
+        exec(&prog, text, 0).map(|s| (s[0].expect("start"), s[1].expect("end")))
+    }
+
+    #[test]
+    fn finds_leftmost_match() {
+        assert_eq!(run("b", "abc"), Some((1, 2)));
+        assert_eq!(run("a", "abc"), Some((0, 1)));
+        assert_eq!(run("z", "abc"), None);
+    }
+
+    #[test]
+    fn greedy_takes_longest() {
+        assert_eq!(run("a+", "aaab"), Some((0, 3)));
+        assert_eq!(run("a*", "aaab"), Some((0, 3)));
+    }
+
+    #[test]
+    fn lazy_takes_shortest() {
+        assert_eq!(run("a+?", "aaab"), Some((0, 1)));
+        assert_eq!(run("<.*?>", "<a><b>"), Some((0, 3)));
+        assert_eq!(run("<.*>", "<a><b>"), Some((0, 6)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(run("^abc$", "abc"), Some((0, 3)));
+        assert_eq!(run("^bc", "abc"), None);
+        assert_eq!(run("bc$", "abc"), Some((1, 3)));
+        assert_eq!(run("ab$", "abc"), None);
+    }
+
+    #[test]
+    fn alternation_prefers_first_branch() {
+        // Both branches match at 0; the first wins even though shorter.
+        assert_eq!(run("a|ab", "ab"), Some((0, 1)));
+        assert_eq!(run("ab|a", "ab"), Some((0, 2)));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_at_start() {
+        assert_eq!(run("", "xyz"), Some((0, 0)));
+        assert_eq!(run("", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn dot_does_not_match_newline() {
+        assert_eq!(run("a.c", "a\nc"), None);
+        assert_eq!(run("a.c", "axc"), Some((0, 3)));
+    }
+
+    #[test]
+    fn unicode_input_is_handled() {
+        assert_eq!(run("é", "café"), Some((3, 5)));
+        assert_eq!(run(".+", "日本"), Some((0, 6)));
+    }
+
+    #[test]
+    fn captures_are_recorded() {
+        let (ast, n) = parse(r"v(\d+)\.(\d+)").expect("parse ok");
+        let prog = compile(&ast, n, false).expect("compile ok");
+        let slots = exec(&prog, "jquery v3.14 here", 0).expect("match");
+        assert_eq!(&"jquery v3.14 here"[slots[2].unwrap()..slots[3].unwrap()], "3");
+        assert_eq!(&"jquery v3.14 here"[slots[4].unwrap()..slots[5].unwrap()], "14");
+    }
+
+    #[test]
+    fn no_catastrophic_backtracking() {
+        // (a*)*b against a long 'a' run with no 'b' — backtrackers explode,
+        // the Pike VM stays linear.
+        let text = "a".repeat(2000);
+        assert_eq!(run("(a*)*b", &text), None);
+    }
+}

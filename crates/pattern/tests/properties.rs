@@ -1,0 +1,110 @@
+//! Property-based tests for the pattern engine.
+//!
+//! These pit the engine against a simple reference model on restricted
+//! pattern families where the expected behaviour is computable by
+//! construction.
+
+use proptest::prelude::*;
+use webvuln_pattern::Pattern;
+
+/// Escapes a character so it matches literally.
+fn escape_char(c: char, out: &mut String) {
+    if "\\.^$|?*+()[]{}/".contains(c) {
+        out.push('\\');
+    }
+    out.push(c);
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        escape_char(c, &mut out);
+    }
+    out
+}
+
+proptest! {
+    /// A pattern built by escaping a literal string matches exactly where
+    /// `str::find` says it should.
+    #[test]
+    fn literal_pattern_agrees_with_str_find(
+        needle in "[ -~]{1,8}",
+        haystack in "[ -~]{0,64}",
+    ) {
+        let p = Pattern::new(&escape(&needle)).expect("escaped literal compiles");
+        let expected = haystack.find(&needle);
+        let actual = p.find(&haystack).map(|m| m.start());
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// `\d+` finds the same digit runs a hand-rolled scanner finds.
+    #[test]
+    fn digit_runs_match_scanner(haystack in "[a-z0-9.]{0,64}") {
+        let p = Pattern::new(r"\d+").expect("compiles");
+        let engine: Vec<(usize, usize)> =
+            p.find_iter(&haystack).map(|m| (m.start(), m.end())).collect();
+
+        let mut scanner = Vec::new();
+        let bytes = haystack.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i].is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                scanner.push((start, i));
+            } else {
+                i += 1;
+            }
+        }
+        prop_assert_eq!(engine, scanner);
+    }
+
+    /// The match reported by `find` really is a match: re-running the
+    /// pattern anchored on the reported substring succeeds.
+    #[test]
+    fn reported_match_is_self_consistent(
+        haystack in "[a-z0-9 ./<>=\"-]{0,80}",
+    ) {
+        let p = Pattern::new(r"[a-z]+-[0-9]+(?:\.[0-9]+)*").expect("compiles");
+        if let Some(m) = p.find(&haystack) {
+            let sub = m.as_str();
+            let anchored = Pattern::new(&format!("^(?:{})$", r"[a-z]+-[0-9]+(?:\.[0-9]+)*"))
+                .expect("compiles");
+            prop_assert!(anchored.is_match(sub), "substring {sub:?} should match anchored");
+        }
+    }
+
+    /// Case-insensitive matching equals matching the lower-cased haystack.
+    #[test]
+    fn ci_equals_lowercased_match(haystack in "[A-Za-z0-9 ]{0,64}") {
+        let ci = Pattern::new_ci("jquery").expect("compiles");
+        let cs = Pattern::new("jquery").expect("compiles");
+        prop_assert_eq!(
+            ci.is_match(&haystack),
+            cs.is_match(&haystack.to_ascii_lowercase())
+        );
+    }
+
+    /// replace_all with an empty replacement deletes every match and leaves
+    /// a string the pattern no longer matches (for non-empty-match patterns).
+    #[test]
+    fn replace_all_removes_all_matches(haystack in "[a-c0-3]{0,64}") {
+        let p = Pattern::new(r"[0-9]+").expect("compiles");
+        let replaced = p.replace_all(&haystack, "");
+        prop_assert!(!p.is_match(&replaced), "digits remain in {replaced:?}");
+    }
+
+    /// Iteration never yields overlapping or out-of-order matches.
+    #[test]
+    fn find_iter_is_ordered_and_disjoint(haystack in "[ab]{0,64}") {
+        let p = Pattern::new("ab?").expect("compiles");
+        let mut prev_end = 0;
+        for m in p.find_iter(&haystack) {
+            prop_assert!(m.start() >= prev_end);
+            prop_assert!(m.end() >= m.start());
+            prev_end = m.end().max(prev_end.max(m.start()));
+        }
+    }
+}

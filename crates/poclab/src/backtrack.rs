@@ -1,0 +1,373 @@
+//! A deliberately naive backtracking regex matcher.
+//!
+//! Real JavaScript engines execute regular expressions by backtracking,
+//! which is what makes ReDoS (CVE-2020-27511 in Prototype, the Moment.js
+//! resource-exhaustion CVEs) possible. The main `webvuln-pattern` engine is
+//! a linear-time Pike VM and *cannot* exhibit the blow-up, so the lab
+//! carries this small faithful backtracker: it counts every step it takes,
+//! and a PoC declares denial-of-service when the step budget is exhausted.
+//!
+//! Syntax: literals, `.`, classes `[…]`/`[^…]` with ranges, `\d \w \s`,
+//! groups `( … )`, alternation `|`, quantifiers `* + ?` (greedy only),
+//! and the `$` end anchor. Matching is anchored at the start.
+
+/// Result of a bounded backtracking match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtOutcome {
+    /// Matched within the budget.
+    Matched,
+    /// Proven non-matching within the budget.
+    NotMatched,
+    /// Step budget exhausted — the catastrophic-backtracking signal.
+    BudgetExhausted,
+}
+
+/// A parsed naive-regex program.
+#[derive(Debug, Clone)]
+pub struct BtRegex {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Char(char),
+    Any,
+    Class { ranges: Vec<(char, char)>, negated: bool },
+    Alt(Vec<Vec<Node>>),
+    Star(Box<Node>),
+    Plus(Box<Node>),
+    Opt(Box<Node>),
+    Group(Vec<Node>),
+    End,
+}
+
+impl BtRegex {
+    /// Parses the pattern. Panics on syntax errors (lab patterns are
+    /// compiled in tests, never from user input).
+    pub fn new(pattern: &str) -> BtRegex {
+        let mut parser = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let nodes = parser.alternation();
+        assert_eq!(parser.pos, parser.chars.len(), "trailing pattern junk");
+        BtRegex { nodes: vec![nodes] }
+    }
+
+    /// Runs an anchored match against `input` with the given step budget.
+    /// Returns the outcome and the number of steps consumed.
+    pub fn run(&self, input: &str, budget: u64) -> (BtOutcome, u64) {
+        let chars: Vec<char> = input.chars().collect();
+        let ctx = Ctx {
+            steps: std::cell::Cell::new(0),
+            budget,
+        };
+        let matched = match_seq(&self.nodes, &chars, 0, &ctx, &mut |_pos| true);
+        let steps = ctx.steps.get();
+        if steps >= budget {
+            (BtOutcome::BudgetExhausted, steps)
+        } else if matched {
+            (BtOutcome::Matched, steps)
+        } else {
+            (BtOutcome::NotMatched, steps)
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn alternation(&mut self) -> Node {
+        let mut branches = vec![self.sequence()];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.sequence());
+        }
+        if branches.len() == 1 {
+            Node::Group(branches.pop().expect("one branch"))
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    fn sequence(&mut self) -> Vec<Node> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            out.push(self.quantified(atom));
+        }
+        out
+    }
+
+    fn atom(&mut self) -> Node {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        match c {
+            '(' => {
+                let inner = self.alternation();
+                assert_eq!(self.peek(), Some(')'), "missing ')'");
+                self.pos += 1;
+                inner
+            }
+            '[' => self.class(),
+            '.' => Node::Any,
+            '$' => Node::End,
+            '\\' => {
+                let e = self.chars[self.pos];
+                self.pos += 1;
+                match e {
+                    'd' => Node::Class {
+                        ranges: vec![('0', '9')],
+                        negated: false,
+                    },
+                    'w' => Node::Class {
+                        ranges: vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')],
+                        negated: false,
+                    },
+                    's' => Node::Class {
+                        ranges: vec![('\t', '\r'), (' ', ' ')],
+                        negated: false,
+                    },
+                    other => Node::Char(other),
+                }
+            }
+            c => Node::Char(c),
+        }
+    }
+
+    fn class(&mut self) -> Node {
+        let negated = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ']' {
+                self.pos += 1;
+                return Node::Class { ranges, negated };
+            }
+            self.pos += 1;
+            let lo = if c == '\\' {
+                let e = self.chars[self.pos];
+                self.pos += 1;
+                e
+            } else {
+                c
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1;
+                let hi = self.chars[self.pos];
+                self.pos += 1;
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        panic!("unterminated class");
+    }
+
+    fn quantified(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                Node::Star(Box::new(atom))
+            }
+            Some('+') => {
+                self.pos += 1;
+                Node::Plus(Box::new(atom))
+            }
+            Some('?') => {
+                self.pos += 1;
+                Node::Opt(Box::new(atom))
+            }
+            _ => atom,
+        }
+    }
+}
+
+/// Shared step accounting for one match run.
+struct Ctx {
+    steps: std::cell::Cell<u64>,
+    budget: u64,
+}
+
+impl Ctx {
+    /// Charges one step; returns false when the budget is gone.
+    fn tick(&self) -> bool {
+        let s = self.steps.get() + 1;
+        self.steps.set(s);
+        s < self.budget
+    }
+}
+
+/// Matches `nodes` starting at `pos`, invoking `k` (the continuation) with
+/// each candidate end position — classic exponential backtracking.
+fn match_seq(
+    nodes: &[Node],
+    input: &[char],
+    pos: usize,
+    ctx: &Ctx,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if !ctx.tick() {
+        return false;
+    }
+    match nodes.split_first() {
+        None => k(pos),
+        Some((first, rest)) => {
+            let mut cont = |end: usize| match_seq(rest, input, end, ctx, k);
+            match_node(first, input, pos, ctx, &mut cont)
+        }
+    }
+}
+
+fn match_node(
+    node: &Node,
+    input: &[char],
+    pos: usize,
+    ctx: &Ctx,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if !ctx.tick() {
+        return false;
+    }
+    match node {
+        Node::Char(c) => input.get(pos) == Some(c) && k(pos + 1),
+        Node::Any => pos < input.len() && k(pos + 1),
+        Node::Class { ranges, negated } => match input.get(pos) {
+            Some(&c) => {
+                let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+                inside != *negated && k(pos + 1)
+            }
+            None => false,
+        },
+        Node::End => pos == input.len() && k(pos),
+        Node::Group(seq) => match_seq(seq, input, pos, ctx, k),
+        Node::Alt(branches) => {
+            for branch in branches {
+                if match_seq(branch, input, pos, ctx, k) {
+                    return true;
+                }
+                if ctx.steps.get() >= ctx.budget {
+                    return false;
+                }
+            }
+            false
+        }
+        Node::Opt(inner) => {
+            let mut took = |end: usize| k(end);
+            if match_node(inner, input, pos, ctx, &mut took) {
+                return true;
+            }
+            if ctx.steps.get() >= ctx.budget {
+                return false;
+            }
+            k(pos)
+        }
+        Node::Star(inner) => match_repeat(inner, input, pos, ctx, k),
+        Node::Plus(inner) => {
+            let mut after_first = |end: usize| match_repeat(inner, input, end, ctx, k);
+            match_node(inner, input, pos, ctx, &mut after_first)
+        }
+    }
+}
+
+/// Greedy `X*` continuation: try consuming one more `X`, falling back to
+/// the continuation — every fallback point is a backtracking opportunity.
+fn match_repeat(
+    inner: &Node,
+    input: &[char],
+    pos: usize,
+    ctx: &Ctx,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if !ctx.tick() {
+        return false;
+    }
+    // Greedy: attempt another iteration first.
+    let mut again = |end: usize| {
+        if end == pos {
+            // Zero-width iteration: stop to guarantee termination.
+            return false;
+        }
+        match_repeat(inner, input, end, ctx, k)
+    };
+    if match_node(inner, input, pos, ctx, &mut again) {
+        return true;
+    }
+    if ctx.steps.get() >= ctx.budget {
+        return false;
+    }
+    k(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matched(pattern: &str, input: &str) -> bool {
+        matches!(BtRegex::new(pattern).run(input, 1_000_000).0, BtOutcome::Matched)
+    }
+
+    #[test]
+    fn basic_matching_works() {
+        assert!(matched("abc", "abc"));
+        assert!(matched("abc", "abcd"), "anchored at start only");
+        assert!(!matched("abc", "abd"));
+        assert!(matched("a+b", "aaab"));
+        assert!(matched("a*b", "b"));
+        assert!(matched("(a|b)+c", "abbac"));
+        assert!(matched("[a-z]+\\d$", "abc7"));
+        assert!(!matched("[a-z]+\\d$", "abc77x"));
+        assert!(matched("a?b", "b"));
+        assert!(matched("<[^>]+>", "<div>"));
+    }
+
+    #[test]
+    fn classic_redos_pattern_explodes() {
+        // (a+)+$ against aⁿb — the canonical catastrophic case.
+        let re = BtRegex::new("(a+)+$");
+        let evil = format!("{}b", "a".repeat(28));
+        let (outcome, steps) = re.run(&evil, 300_000);
+        assert_eq!(outcome, BtOutcome::BudgetExhausted, "{steps} steps");
+    }
+
+    #[test]
+    fn same_pattern_is_fast_on_benign_input() {
+        let re = BtRegex::new("(a+)+$");
+        let benign = "a".repeat(28);
+        let (outcome, steps) = re.run(&benign, 300_000);
+        assert_eq!(outcome, BtOutcome::Matched);
+        assert!(steps < 10_000, "{steps}");
+    }
+
+    #[test]
+    fn steps_grow_superlinearly_on_evil_input() {
+        let re = BtRegex::new("(a+)+$");
+        let steps_at = |n: usize| {
+            let evil = format!("{}b", "a".repeat(n));
+            re.run(&evil, u64::MAX >> 1).1
+        };
+        let (s10, s20) = (steps_at(10), steps_at(20));
+        // Exponential: doubling the input should far more than double steps.
+        assert!(s20 > s10 * 50, "{s10} -> {s20}");
+    }
+
+    #[test]
+    fn budget_zero_is_exhausted_immediately() {
+        let re = BtRegex::new("a");
+        assert_eq!(re.run("a", 1).0, BtOutcome::BudgetExhausted);
+    }
+}

@@ -1,0 +1,78 @@
+//! Cross-validation of the lab's naive backtracking matcher against the
+//! workspace's linear-time Pike VM: on the syntax subset both support,
+//! the two independently-written engines must agree on every input.
+
+use proptest::prelude::*;
+use webvuln_pattern::Pattern;
+use webvuln_poclab::{BtOutcome, BtRegex};
+
+/// Generates patterns in the shared subset: literals, classes, groups,
+/// alternation and quantifiers — shallow enough that the backtracker
+/// terminates fast.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        "[a-c]",                              // literal
+        Just(".".to_string()),                // any
+        Just("[ab]".to_string()),             // class
+        Just("[^c]".to_string()),             // negated class
+        Just("\\d".to_string()),              // perl class
+    ];
+    let quantified = (atom, prop_oneof![
+        Just(""),
+        Just("*"),
+        Just("+"),
+        Just("?"),
+    ])
+        .prop_map(|(a, q)| format!("{a}{q}"));
+    let seq = proptest::collection::vec(quantified, 1..4).prop_map(|v| v.concat());
+    // Optional alternation of two sequences, wrapped in a group.
+    (seq.clone(), proptest::option::of(seq)).prop_map(|(a, b)| match b {
+        Some(b) => format!("({a}|{b})"),
+        None => a,
+    })
+}
+
+proptest! {
+    /// Anchored-at-start match decisions agree between the two engines.
+    #[test]
+    fn backtracker_agrees_with_pike_vm(
+        pattern in arb_pattern(),
+        input in "[a-d0-2]{0,10}",
+    ) {
+        let bt = BtRegex::new(&pattern);
+        // The backtracker is start-anchored and allows the match to end
+        // anywhere; mirror that with a `^(?:…)` prefix for the Pike VM.
+        let pike = Pattern::new(&format!("^(?:{pattern})")).expect("subset compiles");
+
+        let (bt_outcome, _steps) = bt.run(&input, 2_000_000);
+        prop_assume!(bt_outcome != BtOutcome::BudgetExhausted);
+        let bt_matched = bt_outcome == BtOutcome::Matched;
+        let pike_matched = pike.is_match(&input);
+        prop_assert_eq!(
+            bt_matched,
+            pike_matched,
+            "pattern {:?} on {:?}",
+            pattern,
+            input
+        );
+    }
+
+    /// With the `$` anchor appended, full-string decisions also agree.
+    #[test]
+    fn anchored_full_match_agrees(
+        pattern in arb_pattern(),
+        input in "[a-d]{0,8}",
+    ) {
+        let bt = BtRegex::new(&format!("{pattern}$"));
+        let pike = Pattern::new(&format!("^(?:{pattern})$")).expect("subset compiles");
+        let (bt_outcome, _steps) = bt.run(&input, 2_000_000);
+        prop_assume!(bt_outcome != BtOutcome::BudgetExhausted);
+        prop_assert_eq!(
+            bt_outcome == BtOutcome::Matched,
+            pike.is_match(&input),
+            "pattern {:?} on {:?}",
+            pattern,
+            input
+        );
+    }
+}

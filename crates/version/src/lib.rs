@@ -1,0 +1,64 @@
+//! # webvuln-version
+//!
+//! Version handling for the `webvuln` workspace: parsing the loose version
+//! strings found in client-side JavaScript library URLs, ordering them,
+//! evaluating CVE-style requirements against them, and doing set algebra
+//! over version ranges.
+//!
+//! The interval algebra is what powers the paper's §6.4 CVE-accuracy
+//! analysis: given the range a CVE *claims* is vulnerable and the range the
+//! PoC lab *measured* as vulnerable (the True Vulnerable Versions), the
+//! understated slice is `TVV \ CVE` and the overstated slice is
+//! `CVE \ TVV`.
+//!
+//! ```
+//! use webvuln_version::{Version, VersionReq};
+//!
+//! // CVE-2020-7656 claims "< 1.9.0"; the paper's experiment shows "< 3.6.0".
+//! let claimed = VersionReq::parse("< 1.9.0").unwrap().to_interval_set();
+//! let measured = VersionReq::parse("< 3.6.0").unwrap().to_interval_set();
+//!
+//! let understated = measured.subtract(&claimed);
+//! assert!(understated.contains(&Version::parse("1.10.1").unwrap()));
+//! assert!(understated.contains(&Version::parse("3.5.1").unwrap())); // microsoft.com
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod req;
+mod version;
+
+pub use interval::{Bound, Interval, IntervalSet};
+pub use req::{Comparator, Op, ParseReqError, VersionReq};
+pub use version::{ParseVersionError, Version};
+
+/// Sorts a vector of version strings ascending, dropping unparseable ones.
+///
+/// Convenience used by analysis code that works with raw detected strings.
+pub fn sort_version_strings(strings: &mut Vec<String>) {
+    let mut parsed: Vec<(Version, String)> = strings
+        .drain(..)
+        .filter_map(|s| Version::parse(&s).ok().map(|v| (v, s)))
+        .collect();
+    parsed.sort_by(|a, b| a.0.cmp(&b.0));
+    *strings = parsed.into_iter().map(|(_, s)| s).collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_version_strings_orders_and_drops_garbage() {
+        let mut v = vec![
+            "3.5.1".to_string(),
+            "not-a-version".to_string(),
+            "1.12.4".to_string(),
+            "1.9".to_string(),
+        ];
+        sort_version_strings(&mut v);
+        assert_eq!(v, vec!["1.9", "1.12.4", "3.5.1"]);
+    }
+}

@@ -1,0 +1,512 @@
+//! Rendering a [`DomainState`] into the landing-page HTML the crawler
+//! downloads.
+//!
+//! URL shapes follow what the fingerprinting stage (and real Wappalyzer)
+//! keys on: version-in-filename for self-hosted files, version-in-path for
+//! CDNs, `?ver=` query strings for WordPress, `<meta generator>` for the
+//! CMS, and `<object>/<embed>` markup for Flash. Deployments flagged
+//! `version_visible = false` render without any version marker — the
+//! fingerprint sees the library but not the version, reproducing the
+//! "Found < Total" gap of Table 1.
+
+use crate::domain::{Deployment, DomainState, FlashState, GithubScript, Inclusion};
+use crate::rng::hash_str;
+use webvuln_cvedb::LibraryId;
+
+/// Renders the landing page for `domain` at snapshot `week`.
+pub fn render_page(domain: &str, week: usize, state: &DomainState) -> String {
+    let mut html = String::with_capacity(4096);
+    html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n");
+    html.push_str("<meta charset=\"utf-8\">\n");
+    if let Some(wp) = &state.wordpress {
+        html.push_str(&format!(
+            "<meta name=\"generator\" content=\"WordPress {wp}\">\n"
+        ));
+    }
+    html.push_str(&format!("<title>{domain}</title>\n"));
+    if state.resources.css {
+        let ver = state
+            .wordpress
+            .as_ref()
+            .map(|w| format!("?ver={w}"))
+            .unwrap_or_default();
+        html.push_str(&format!(
+            "<link rel=\"stylesheet\" href=\"/assets/style.css{ver}\">\n"
+        ));
+    }
+    if state.resources.favicon {
+        html.push_str("<link rel=\"icon\" href=\"/favicon.ico\">\n");
+    }
+    if state.resources.xml {
+        html.push_str(&format!(
+            "<link rel=\"alternate\" type=\"application/rss+xml\" href=\"https://{domain}/feed.xml\">\n"
+        ));
+    }
+    if state.resources.imported_html {
+        html.push_str("<link rel=\"stylesheet\" href=\"/theme/compiled.css.php\">\n");
+        html.push_str("<script src=\"/inc/loader.js.php\"></script>\n");
+    }
+    for dep in &state.deployments {
+        if dep.inlined {
+            html.push_str(&inline_script_tag(dep));
+        } else {
+            html.push_str(&script_tag(domain, dep));
+        }
+        html.push('\n');
+    }
+    for extra in &state.extra_scripts {
+        html.push_str(&format!(
+            "<script src=\"https://{}{}\" async></script>\n",
+            extra.host, extra.path
+        ));
+    }
+    if let Some(gh) = &state.github_script {
+        html.push_str(&github_tag(gh));
+        html.push('\n');
+    }
+    html.push_str("</head>\n<body>\n");
+    html.push_str(&format!("<h1>Welcome to {domain}</h1>\n"));
+    // Filler so real pages clear the 400-byte empty-page threshold.
+    for i in 0..3 {
+        html.push_str(&format!(
+            "<p>Section {i}: weekly edition {week}. Lorem ipsum dolor sit amet, \
+             consectetur adipiscing elit, sed do eiusmod tempor incididunt ut \
+             labore et dolore magna aliqua.</p>\n"
+        ));
+    }
+    if state.resources.svg {
+        html.push_str("<img src=\"/img/logo.svg\" alt=\"logo\">\n");
+    }
+    if state.resources.axd {
+        html.push_str("<script src=\"/WebResource.axd?d=aGVsbG8\"></script>\n");
+    }
+    if let Some(flash) = &state.flash {
+        html.push_str(&flash_markup(flash));
+    }
+    if state.resources.javascript {
+        html.push_str("<script>document.addEventListener('DOMContentLoaded',function(){var x=1;});</script>\n");
+    }
+    html.push_str("</body>\n</html>\n");
+    html
+}
+
+/// The small page anti-bot blockers answer with (paper §4.1: "Not allowed
+/// to access", served with a 200 status).
+pub fn antibot_page() -> String {
+    "<html><body>Not allowed to access.</body></html>".to_string()
+}
+
+/// File name stem of a library (what appears in URLs).
+fn file_stem(lib: LibraryId) -> &'static str {
+    // Matches the real projects' distributed file names.
+    match lib {
+        LibraryId::JQuery => "jquery",
+        LibraryId::Bootstrap => "bootstrap",
+        LibraryId::JQueryMigrate => "jquery-migrate",
+        LibraryId::JQueryUi => "jquery-ui",
+        LibraryId::Modernizr => "modernizr",
+        LibraryId::JsCookie => "js.cookie",
+        LibraryId::Underscore => "underscore",
+        LibraryId::Isotope => "isotope.pkgd",
+        LibraryId::Popper => "popper",
+        LibraryId::MomentJs => "moment",
+        LibraryId::RequireJs => "require",
+        LibraryId::SwfObject => "swfobject",
+        LibraryId::Prototype => "prototype",
+        LibraryId::JQueryCookie => "jquery.cookie",
+        LibraryId::PolyfillIo => "polyfill",
+    }
+}
+
+/// cdnjs (and jsdelivr) directory names differ from file stems.
+fn cdn_dir(lib: LibraryId) -> &'static str {
+    match lib {
+        LibraryId::JQuery => "jquery",
+        LibraryId::Bootstrap => "twitter-bootstrap",
+        LibraryId::JQueryMigrate => "jquery-migrate",
+        LibraryId::JQueryUi => "jqueryui",
+        LibraryId::Modernizr => "modernizr",
+        LibraryId::JsCookie => "js-cookie",
+        LibraryId::Underscore => "underscore.js",
+        LibraryId::Isotope => "jquery.isotope",
+        LibraryId::Popper => "popper.js",
+        LibraryId::MomentJs => "moment.js",
+        LibraryId::RequireJs => "require.js",
+        LibraryId::SwfObject => "swfobject",
+        LibraryId::Prototype => "prototype",
+        LibraryId::JQueryCookie => "jquery-cookie",
+        LibraryId::PolyfillIo => "polyfill",
+    }
+}
+
+/// Builds the `src` URL for a deployment.
+pub fn script_url(domain: &str, dep: &Deployment) -> String {
+    let stem = file_stem(dep.library);
+    let version = &dep.version;
+    match &dep.inclusion {
+        Inclusion::Internal => {
+            if dep.via_wordpress {
+                // WordPress ships versions in the query string.
+                let path = match dep.library {
+                    LibraryId::JQueryMigrate => "/wp-includes/js/jquery/jquery-migrate.min.js",
+                    _ => "/wp-includes/js/jquery/jquery.min.js",
+                };
+                if dep.version_visible {
+                    format!("{path}?ver={version}")
+                } else {
+                    path.to_string()
+                }
+            } else if dep.version_visible {
+                format!("/assets/js/{stem}-{version}.min.js")
+            } else {
+                format!("/assets/js/{stem}.min.js")
+            }
+        }
+        Inclusion::External { host, .. } => {
+            let path = match host.as_str() {
+                "ajax.googleapis.com" => {
+                    let dir = match dep.library {
+                        LibraryId::JQueryUi => "jqueryui",
+                        other => file_stem(other),
+                    };
+                    format!("/ajax/libs/{dir}/{version}/{stem}.min.js")
+                }
+                "code.jquery.com" => match dep.library {
+                    LibraryId::JQueryUi => format!("/ui/{version}/jquery-ui.min.js"),
+                    _ => format!("/{stem}-{version}.min.js"),
+                },
+                "maxcdn.bootstrapcdn.com" | "stackpath.bootstrapcdn.com" => {
+                    format!("/bootstrap/{version}/js/bootstrap.min.js")
+                }
+                "c0.wp.com" => format!("/p/{}/{version}/{stem}.min.js", cdn_dir(dep.library)),
+                "polyfill.io" | "cdn.polyfill.io" => {
+                    format!("/v{version}/polyfill.min.js")
+                }
+                "cdnjs.cloudflare.com" => {
+                    format!("/ajax/libs/{}/{version}/{stem}.min.js", cdn_dir(dep.library))
+                }
+                "cdn.jsdelivr.net" => {
+                    format!("/npm/{}@{version}/dist/{stem}.min.js", cdn_dir(dep.library))
+                }
+                _ => {
+                    if dep.version_visible {
+                        format!("/libs/{stem}/{version}/{stem}.min.js")
+                    } else {
+                        format!("/libs/{stem}/{stem}.min.js")
+                    }
+                }
+            };
+            // A hidden version on a versioned-path CDN makes no sense;
+            // hide by switching to an unversioned self-path instead.
+            if !dep.version_visible && path.contains(&version.to_string()) {
+                return format!("https://static.{domain}/js/{stem}.min.js");
+            }
+            format!("https://{host}{path}")
+        }
+    }
+}
+
+/// The banner comment a library's distributed file starts with, when the
+/// project ships one (what the fingerprint engine's inline patterns key
+/// on). `None` for projects without a recognisable banner.
+pub fn inline_banner(library: LibraryId, version: &webvuln_version::Version) -> Option<String> {
+    Some(match library {
+        LibraryId::JQuery => format!("/*! jQuery v{version} | (c) OpenJS Foundation */"),
+        LibraryId::JQueryMigrate => format!("/*! jQuery Migrate v{version} */"),
+        LibraryId::JQueryUi => format!("/*! jQuery UI v{version} */"),
+        LibraryId::Bootstrap => {
+            format!("/*! Bootstrap v{version} (https://getbootstrap.com) */")
+        }
+        LibraryId::Modernizr => format!("/*! Modernizr v{version} (Custom Build) */"),
+        LibraryId::Underscore => format!("// Underscore.js {version}"),
+        LibraryId::Isotope => format!("/*! Isotope PACKAGED v{version} */"),
+        LibraryId::MomentJs => format!("//! moment.js\n//! version : {version}"),
+        LibraryId::RequireJs => format!("/** vim: et:ts=4 RequireJS {version} */"),
+        LibraryId::SwfObject => format!("/*! SWFObject v{version} */"),
+        LibraryId::Prototype => {
+            format!("/*  Prototype JavaScript framework, version {version} */")
+        }
+        _ => return None,
+    })
+}
+
+/// Whether [`inline_banner`] exists for `library`.
+pub fn has_inline_banner(library: LibraryId) -> bool {
+    inline_banner(
+        library,
+        &webvuln_version::Version::parse("1.0").expect("static version"),
+    )
+    .is_some()
+}
+
+/// An inlined library: its banner comment plus a minified-looking stub.
+fn inline_script_tag(dep: &Deployment) -> String {
+    let banner = inline_banner(dep.library, &dep.version)
+        .expect("inlined deployments require a banner");
+    format!(
+        "<script>{banner}\n!function(g){{g.__{}_loaded=true}}(window);</script>",
+        dep.library.slug().replace(['.', '-'], "_")
+    )
+}
+
+fn script_tag(domain: &str, dep: &Deployment) -> String {
+    let url = script_url(domain, dep);
+    let mut attrs = String::new();
+    if dep.integrity {
+        attrs.push_str(&format!(
+            " integrity=\"sha384-{:016x}{:016x}\"",
+            hash_str(&url),
+            hash_str(domain)
+        ));
+    }
+    if let Some(co) = &dep.crossorigin {
+        if co.is_empty() {
+            attrs.push_str(" crossorigin");
+        } else {
+            attrs.push_str(&format!(" crossorigin=\"{co}\""));
+        }
+    }
+    format!("<script src=\"{url}\"{attrs}></script>")
+}
+
+fn github_tag(gh: &GithubScript) -> String {
+    let integrity = if gh.integrity {
+        format!(" integrity=\"sha384-{:032x}\"", hash_str(&gh.url_path))
+    } else {
+        String::new()
+    };
+    format!("<script src=\"https://{}\"{integrity}></script>", gh.url_path)
+}
+
+fn flash_markup(flash: &FlashState) -> String {
+    let param = flash
+        .allow_script_access
+        .as_ref()
+        .map(|v| format!("  <param name=\"AllowScriptAccess\" value=\"{v}\">\n"))
+        .unwrap_or_default();
+    let embed_attr = flash
+        .allow_script_access
+        .as_ref()
+        .map(|v| format!(" allowscriptaccess=\"{v}\""))
+        .unwrap_or_default();
+    format!(
+        "<object classid=\"clsid:D27CDB6E-AE6D-11cf-96B8-444553540000\" width=\"550\" height=\"400\">\n\
+         \x20 <param name=\"movie\" value=\"{swf}\">\n{param}\
+         \x20 <embed src=\"{swf}\" type=\"application/x-shockwave-flash\"{embed_attr}>\n\
+         </object>\n",
+        swf = flash.swf_url,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ResourceFlags;
+    use webvuln_cvedb::LibraryId;
+    use webvuln_version::Version;
+
+    fn dep(lib: LibraryId, version: &str) -> Deployment {
+        Deployment {
+            library: lib,
+            version: Version::parse(version).expect("version"),
+            inclusion: Inclusion::Internal,
+            integrity: false,
+            crossorigin: None,
+            via_wordpress: false,
+            version_visible: true,
+            inlined: false,
+        }
+    }
+
+    fn base_state() -> DomainState {
+        DomainState {
+            online: true,
+            antibot: false,
+            deployments: vec![],
+            wordpress: None,
+            flash: None,
+            github_script: None,
+            extra_scripts: vec![],
+            resources: ResourceFlags {
+                javascript: true,
+                css: true,
+                favicon: true,
+                imported_html: false,
+                xml: false,
+                svg: false,
+                axd: false,
+            },
+        }
+    }
+
+    #[test]
+    fn internal_url_carries_version() {
+        let d = dep(LibraryId::JQuery, "1.12.4");
+        assert_eq!(
+            script_url("a.com", &d),
+            "/assets/js/jquery-1.12.4.min.js"
+        );
+    }
+
+    #[test]
+    fn wordpress_url_uses_query_version() {
+        let mut d = dep(LibraryId::JQuery, "3.5.1");
+        d.via_wordpress = true;
+        assert_eq!(
+            script_url("a.com", &d),
+            "/wp-includes/js/jquery/jquery.min.js?ver=3.5.1"
+        );
+    }
+
+    #[test]
+    fn cdn_urls_follow_host_conventions() {
+        let mut d = dep(LibraryId::JQuery, "3.5.1");
+        d.inclusion = Inclusion::External {
+            host: "ajax.googleapis.com".into(),
+            cdn: true,
+        };
+        assert_eq!(
+            script_url("a.com", &d),
+            "https://ajax.googleapis.com/ajax/libs/jquery/3.5.1/jquery.min.js"
+        );
+        let mut d = dep(LibraryId::Bootstrap, "3.3.7");
+        d.inclusion = Inclusion::External {
+            host: "maxcdn.bootstrapcdn.com".into(),
+            cdn: true,
+        };
+        assert_eq!(
+            script_url("a.com", &d),
+            "https://maxcdn.bootstrapcdn.com/bootstrap/3.3.7/js/bootstrap.min.js"
+        );
+        let mut d = dep(LibraryId::MomentJs, "2.18.1");
+        d.inclusion = Inclusion::External {
+            host: "cdnjs.cloudflare.com".into(),
+            cdn: true,
+        };
+        assert_eq!(
+            script_url("a.com", &d),
+            "https://cdnjs.cloudflare.com/ajax/libs/moment.js/2.18.1/moment.min.js"
+        );
+    }
+
+    #[test]
+    fn hidden_version_is_really_hidden() {
+        let mut d = dep(LibraryId::JQuery, "1.12.4");
+        d.version_visible = false;
+        assert!(!script_url("a.com", &d).contains("1.12.4"));
+        d.inclusion = Inclusion::External {
+            host: "ajax.googleapis.com".into(),
+            cdn: true,
+        };
+        let url = script_url("a.com", &d);
+        assert!(!url.contains("1.12.4"), "{url}");
+    }
+
+    #[test]
+    fn page_contains_core_structure_and_clears_threshold() {
+        let mut state = base_state();
+        state.deployments.push(dep(LibraryId::JQuery, "1.12.4"));
+        let page = render_page("news1.example", 10, &state);
+        assert!(page.len() >= 400, "{} bytes", page.len());
+        assert!(page.contains("<!DOCTYPE html>"));
+        assert!(page.contains("jquery-1.12.4.min.js"));
+        assert!(page.contains("style.css"));
+        assert!(page.contains("favicon.ico"));
+    }
+
+    #[test]
+    fn wordpress_page_has_generator_meta() {
+        let mut state = base_state();
+        state.wordpress = Some(Version::parse("5.6").expect("version"));
+        let page = render_page("wp.example", 0, &state);
+        assert!(page.contains("content=\"WordPress 5.6\""));
+        assert!(page.contains("style.css?ver=5.6"));
+    }
+
+    #[test]
+    fn flash_markup_includes_script_access() {
+        let mut state = base_state();
+        state.flash = Some(FlashState {
+            swf_url: "/media/banner.swf".into(),
+            allow_script_access: Some("always".into()),
+        });
+        let page = render_page("f.example", 0, &state);
+        assert!(page.contains("banner.swf"));
+        assert!(page.contains("AllowScriptAccess"));
+        assert!(page.contains("value=\"always\""));
+        assert!(page.contains("<embed"));
+    }
+
+    #[test]
+    fn sri_attributes_render() {
+        let mut state = base_state();
+        let mut d = dep(LibraryId::Bootstrap, "4.3.1");
+        d.inclusion = Inclusion::External {
+            host: "stackpath.bootstrapcdn.com".into(),
+            cdn: true,
+        };
+        d.integrity = true;
+        d.crossorigin = Some("anonymous".into());
+        state.deployments.push(d);
+        let page = render_page("s.example", 0, &state);
+        assert!(page.contains("integrity=\"sha384-"));
+        assert!(page.contains("crossorigin=\"anonymous\""));
+    }
+
+    #[test]
+    fn github_script_renders() {
+        let mut state = base_state();
+        state.github_script = Some(GithubScript {
+            url_path: "malsup.github.com/jquery.form.js".into(),
+            integrity: false,
+        });
+        let page = render_page("g.example", 0, &state);
+        assert!(page.contains("https://malsup.github.com/jquery.form.js"));
+    }
+
+    #[test]
+    fn antibot_page_is_under_threshold() {
+        assert!(antibot_page().len() < 400);
+        assert!(antibot_page().contains("Not allowed"));
+    }
+
+    #[test]
+    fn inlined_library_renders_banner_not_url() {
+        let mut state = base_state();
+        let mut d = dep(LibraryId::JQuery, "1.12.4");
+        d.inlined = true;
+        state.deployments.push(d);
+        let page = render_page("i.example", 0, &state);
+        assert!(page.contains("/*! jQuery v1.12.4"), "{page}");
+        assert!(!page.contains("jquery-1.12.4.min.js"));
+    }
+
+    #[test]
+    fn banner_coverage_matches_flag() {
+        let v = Version::parse("2.0").expect("version");
+        for lib in LibraryId::ALL {
+            assert_eq!(
+                inline_banner(lib, &v).is_some(),
+                has_inline_banner(lib),
+                "{lib}"
+            );
+        }
+        assert!(has_inline_banner(LibraryId::JQuery));
+        assert!(!has_inline_banner(LibraryId::JsCookie));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut state = base_state();
+        state.deployments.push(dep(LibraryId::Underscore, "1.8.3"));
+        assert_eq!(
+            render_page("d.example", 3, &state),
+            render_page("d.example", 3, &state)
+        );
+        assert_ne!(
+            render_page("d.example", 3, &state),
+            render_page("d.example", 4, &state),
+            "week is visible in content"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The §6.4 Version Validation Experiment, standalone: sweep every
+//! released version of every library through its PoC exploit and print a
+//! Figure 4/13-style comparison of claimed vs measured ranges.
+//!
+//! ```sh
+//! cargo run --release --example cve_accuracy
+//! ```
+
+use webvuln::cvedb::Accuracy;
+use webvuln::poclab::{Lab, PocResult};
+
+fn main() {
+    let lab = Lab::new();
+    let reports = lab.validate_all();
+
+    println!("Version Validation Experiment — {} reports\n", reports.len());
+    let mut understated = 0;
+    let mut overstated = 0;
+    let mut mixed = 0;
+
+    for report in &reports {
+        let record = lab.db().record(&report.id).expect("record exists");
+        println!(
+            "{} ({}) — claimed: {}",
+            report.id,
+            report.library.name(),
+            record.claimed
+        );
+        if report.unavailable {
+            println!("  affected build no longer available; not measurable\n");
+            continue;
+        }
+        // Figure 4-style stripe line: one cell per released version.
+        let stripe: String = report
+            .per_version
+            .iter()
+            .map(|(version, outcome)| {
+                let claimed = record.claims(version);
+                match (outcome, claimed) {
+                    (PocResult::Exploited, true) => '#',  // disclosed vulnerable
+                    (PocResult::Exploited, false) => 'U', // understated
+                    (PocResult::Safe, true) => 'O',       // overstated
+                    (PocResult::Safe, false) => '.',      // agreed safe
+                    (PocResult::Unavailable, _) => '?',
+                }
+            })
+            .collect();
+        println!("  sweep ({} envs): {stripe}", report.environments());
+        match report.accuracy {
+            Accuracy::Accurate => println!("  -> accurate\n"),
+            Accuracy::Understated => {
+                understated += 1;
+                println!(
+                    "  -> UNDERSTATED: {} hidden-vulnerable versions (first: {})\n",
+                    report.understated.len(),
+                    report.understated.first().expect("non-empty")
+                );
+            }
+            Accuracy::Overstated => {
+                overstated += 1;
+                println!(
+                    "  -> OVERSTATED: {} safe-but-claimed versions (first: {})\n",
+                    report.overstated.len(),
+                    report.overstated.first().expect("non-empty")
+                );
+            }
+            Accuracy::Mixed => {
+                mixed += 1;
+                println!(
+                    "  -> MIXED: {} hidden-vulnerable, {} safe-but-claimed\n",
+                    report.understated.len(),
+                    report.overstated.len()
+                );
+            }
+        }
+    }
+
+    println!("legend: # disclosed-vulnerable  U understated  O overstated  . agreed-safe");
+    println!(
+        "summary: {} incorrect reports ({understated} understated, {overstated} overstated, {mixed} mixed)",
+        understated + overstated + mixed,
+    );
+    println!("paper:   13 incorrect CVE reports (5 understated, 8 overstated)");
+}

@@ -1,0 +1,129 @@
+//! Full study: regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release --example full_study -- [domains] [weeks] [seed]
+//! ```
+//!
+//! Defaults: 2,000 domains over the full 201-week timeline. Prints the
+//! complete text report (Tables 1–6, §6.4 validation, headline findings)
+//! and writes figure series as CSV files under `target/figures/`.
+
+use std::fs;
+use std::path::Path;
+use webvuln::core::{full_report, run_study, series_to_csv, StudyConfig, StudyResults};
+use webvuln::webgen::Timeline;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let domains: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000);
+    let weeks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(201);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    let config = StudyConfig {
+        seed,
+        domain_count: domains,
+        timeline: Timeline::truncated(weeks),
+        ..StudyConfig::default()
+    };
+    eprintln!("running study: {domains} domains x {weeks} weeks (seed {seed}) …");
+    let start = std::time::Instant::now();
+    let results = run_study(config);
+    eprintln!("collected + analyzed in {:.1?}", start.elapsed());
+
+    println!("{}", full_report(&results));
+
+    let dir = Path::new("target/figures");
+    if fs::create_dir_all(dir).is_ok() {
+        write_figures(dir, &results);
+        eprintln!("figure series written to {}", dir.display());
+    }
+}
+
+fn write_figures(dir: &Path, results: &StudyResults) {
+    let w = |name: &str, csv: String| {
+        let _ = fs::write(dir.join(name), csv);
+    };
+    w(
+        "fig2a_collection.csv",
+        series_to_csv(
+            "collected",
+            results.collection.points.iter().map(|&(d, c)| (d, c)),
+        ),
+    );
+    for usage in &results.resources {
+        w(
+            &format!("fig2b_{}.csv", usage.resource.name().to_lowercase()),
+            series_to_csv(
+                "share",
+                usage.weekly_share.iter().map(|&(d, s)| (d, s)),
+            ),
+        );
+    }
+    for trend in &results.trends {
+        w(
+            &format!("fig3_{}.csv", trend.library.slug().replace('.', "_")),
+            series_to_csv("share", trend.points.iter().map(|&(d, s)| (d, s))),
+        );
+    }
+    w(
+        "fig9_wordpress.csv",
+        series_to_csv(
+            "wordpress_sites",
+            results.wordpress.points.iter().map(|&(d, _, wp)| (d, wp)),
+        ),
+    );
+    w(
+        "fig8_flash.csv",
+        series_to_csv(
+            "flash_sites",
+            results.flash.points.iter().map(|&(d, all, _, _)| (d, all)),
+        ),
+    );
+    w(
+        "fig10_sri.csv",
+        series_to_csv(
+            "unprotected_sites",
+            results.sri.points.iter().map(|&(d, _, un)| (d, un)),
+        ),
+    );
+    w(
+        "fig11_scriptaccess.csv",
+        series_to_csv(
+            "always_sites",
+            results
+                .script_access
+                .points
+                .iter()
+                .map(|&(d, _, _, a)| (d, a)),
+        ),
+    );
+    // Figure 5-style per-CVE impact series for the three showcased CVEs.
+    for id in ["CVE-2020-7656", "CVE-2014-6071", "CVE-2020-11022"] {
+        if let Some(impact) = results.cve_impacts.iter().find(|i| i.id == id) {
+            w(
+                &format!("fig5_{}_claimed.csv", id.to_lowercase()),
+                series_to_csv(
+                    "sites",
+                    impact.claimed_sites.iter().map(|&(d, c)| (d, c)),
+                ),
+            );
+            w(
+                &format!("fig5_{}_true.csv", id.to_lowercase()),
+                series_to_csv("sites", impact.true_sites.iter().map(|&(d, c)| (d, c))),
+            );
+        }
+    }
+    // Figure 12 CDFs.
+    let cdf_csv = |dist: &webvuln::analysis::vuln::VulnCountDistribution| {
+        let mut out = String::from("vulns,cdf\n");
+        for &(x, f) in &dist.cdf.points {
+            out.push_str(&format!("{x},{f}\n"));
+        }
+        out
+    };
+    w("fig12_claimed.csv", cdf_csv(&results.fig12_claimed));
+    w("fig12_tvv.csv", cdf_csv(&results.fig12_tvv));
+}

@@ -1,0 +1,33 @@
+//! Quickstart: run a reduced study end-to-end and print the headline
+//! findings.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The pipeline is the paper's §4–§8: generate a synthetic Alexa-style
+//! web, crawl every weekly snapshot over the in-process HTTP stack,
+//! fingerprint each landing page, join against the CVE corpus, and
+//! compute the study's headline numbers.
+
+use webvuln::core::{render_headlines, run_study, StudyConfig};
+use webvuln::webgen::Timeline;
+
+fn main() {
+    let config = StudyConfig {
+        seed: 42,
+        domain_count: 1_000,
+        timeline: Timeline::paper(),
+        ..StudyConfig::quick()
+    };
+    eprintln!(
+        "crawling {} domains x {} weekly snapshots …",
+        config.domain_count, config.timeline.weeks
+    );
+    let results = run_study(config);
+    println!("{}", render_headlines(&results));
+    println!(
+        "paper reference: 41.2% vulnerable (CVE), 43.2% (TVV); 531.2-day delay (CVE), \
+         701.2 (TVV); 26.9% WordPress; 99.7% unprotected externals"
+    );
+}

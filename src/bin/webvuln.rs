@@ -1,0 +1,260 @@
+//! The `webvuln` command-line interface.
+//!
+//! ```text
+//! webvuln study   [--domains N] [--weeks N] [--seed N] [--csv DIR]
+//! webvuln validate [REPORT_ID]
+//! webvuln crawl   [--domains N] [--week N] [--tcp]
+//! webvuln inspect <FILE.html> [--domain HOST]
+//! ```
+
+use std::sync::Arc;
+use webvuln::core::{full_report, run_study, series_to_csv, StudyConfig};
+use webvuln::cvedb::{Accuracy, Basis, VulnDb};
+use webvuln::fingerprint::Engine;
+use webvuln::net::{crawl, CrawlConfig, FaultPlan, TcpConnector, TcpServer, VirtualNet};
+use webvuln::poclab::Lab;
+use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "study" => cmd_study(&args[1..]),
+        "validate" => cmd_validate(&args[1..]),
+        "crawl" => cmd_crawl(&args[1..]),
+        "inspect" => cmd_inspect(&args[1..]),
+        "help" | "--help" | "-h" => print_help(),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            print_help();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "webvuln — longitudinal measurement toolkit for vulnerable client-side resources
+
+USAGE:
+  webvuln study    [--domains N] [--weeks N] [--seed N] [--csv DIR]
+                   run the full study and print every table/figure
+  webvuln validate [REPORT_ID]
+                   run the §6.4 version-validation experiment
+  webvuln crawl    [--domains N] [--week N] [--tcp]
+                   crawl one snapshot week and summarize detections
+  webvuln inspect  FILE.html [--domain HOST]
+                   fingerprint a single HTML file and list vulnerabilities"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_study(args: &[String]) {
+    let domains = flag_usize(args, "--domains", 2_000);
+    let weeks = flag_usize(args, "--weeks", 201);
+    let seed = flag_usize(args, "--seed", 42) as u64;
+    let config = StudyConfig {
+        seed,
+        domain_count: domains,
+        timeline: Timeline::truncated(weeks),
+        ..StudyConfig::default()
+    };
+    eprintln!("study: {domains} domains x {weeks} weeks (seed {seed})");
+    let results = run_study(config);
+    // Write artifacts before printing: a closed stdout (e.g. `| head`)
+    // must not abort the CSV export.
+    if let Some(dir) = flag(args, "--csv") {
+        let dir = std::path::PathBuf::from(dir);
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(
+                dir.join("fig2a_collection.csv"),
+                series_to_csv(
+                    "collected",
+                    results.collection.points.iter().map(|&(d, c)| (d, c)),
+                ),
+            );
+            let _ = std::fs::write(
+                dir.join("fig9_wordpress.csv"),
+                series_to_csv(
+                    "wordpress",
+                    results.wordpress.points.iter().map(|&(d, _, w)| (d, w)),
+                ),
+            );
+            eprintln!("CSV series written to {}", dir.display());
+        }
+    }
+    println!("{}", full_report(&results));
+}
+
+fn cmd_validate(args: &[String]) {
+    let lab = Lab::new();
+    match args.first() {
+        Some(id) if !id.starts_with("--") => match lab.validate(id) {
+            Some(report) => {
+                println!(
+                    "{}: swept {} environments; {} vulnerable; accuracy: {}",
+                    report.id,
+                    report.environments(),
+                    report.vulnerable.len(),
+                    report.accuracy
+                );
+                if !report.understated.is_empty() {
+                    println!(
+                        "  understated versions: {}",
+                        report
+                            .understated
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+                if !report.overstated.is_empty() {
+                    println!(
+                        "  overstated versions: {}",
+                        report
+                            .overstated
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+            None => {
+                eprintln!("unknown report id: {id}");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            let reports = lab.validate_all();
+            let incorrect = reports
+                .iter()
+                .filter(|r| r.accuracy != Accuracy::Accurate)
+                .count();
+            for report in &reports {
+                println!(
+                    "{:<26} {:<14} {:>3} envs  {}",
+                    report.id,
+                    report.library.name(),
+                    report.environments(),
+                    report.accuracy
+                );
+            }
+            println!("\n{incorrect} of {} reports state incorrect versions", reports.len());
+        }
+    }
+}
+
+fn cmd_crawl(args: &[String]) {
+    let domains = flag_usize(args, "--domains", 500);
+    let week = flag_usize(args, "--week", 100);
+    let use_tcp = args.iter().any(|a| a == "--tcp");
+    let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+        seed: 42,
+        domain_count: domains,
+        timeline: Timeline::paper(),
+    }));
+    let names = eco.domain_names();
+    let snapshot = if use_tcp {
+        let mut server = TcpServer::start(Arc::new(eco.handler(week))).expect("bind");
+        eprintln!("crawling over TCP via {}", server.addr());
+        let got = crawl(
+            &names,
+            &TcpConnector::fixed(server.addr()),
+            CrawlConfig { concurrency: 16 },
+        );
+        server.shutdown();
+        got
+    } else {
+        let net = VirtualNet::new(Arc::new(eco.handler(week)))
+            .with_faults(FaultPlan::realistic(42));
+        crawl(&names, &net, CrawlConfig { concurrency: 8 })
+    };
+    let engine = Engine::new();
+    let db = VulnDb::builtin();
+    let usable: Vec<_> = snapshot.values().filter(|r| r.is_usable(400)).collect();
+    let mut vulnerable = 0;
+    for record in &usable {
+        let analysis = engine.analyze(&record.body, &record.domain);
+        if analysis.detections.iter().any(|d| {
+            d.version
+                .as_ref()
+                .is_some_and(|v| db.is_vulnerable(d.library, v, Basis::CveClaimed))
+        }) {
+            vulnerable += 1;
+        }
+    }
+    println!(
+        "week {week}: {} domains attempted, {} usable, {} vulnerable ({:.1}%)",
+        names.len(),
+        usable.len(),
+        vulnerable,
+        100.0 * vulnerable as f64 / usable.len().max(1) as f64
+    );
+}
+
+fn cmd_inspect(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: webvuln inspect FILE.html [--domain HOST]");
+        std::process::exit(2);
+    };
+    let domain = flag(args, "--domain").unwrap_or_else(|| "example.com".to_string());
+    let html = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let engine = Engine::new();
+    let db = VulnDb::builtin();
+    let analysis = engine.analyze(&html, &domain);
+    if analysis.detections.is_empty() {
+        println!("no known libraries detected");
+    }
+    for det in &analysis.detections {
+        let version = det
+            .version
+            .as_ref()
+            .map(ToString::to_string)
+            .unwrap_or_else(|| "unknown version".into());
+        println!("{} {version} ({:?})", det.library.name(), det.inclusion);
+        if let Some(v) = &det.version {
+            for basis in [Basis::CveClaimed, Basis::TrueVulnerable] {
+                for record in db.affecting(det.library, v, basis) {
+                    let tag = match basis {
+                        Basis::CveClaimed => "claimed",
+                        Basis::TrueVulnerable => "true",
+                    };
+                    println!("  [{tag}] {} ({})", record.id, record.attack);
+                }
+            }
+        }
+    }
+    if let Some(wp) = &analysis.wordpress {
+        println!(
+            "WordPress: {}",
+            wp.as_ref().map(ToString::to_string).unwrap_or_else(|| "version unknown".into())
+        );
+    }
+    for flash in &analysis.flash {
+        println!(
+            "Flash: {} (AllowScriptAccess: {})",
+            flash.swf_url,
+            flash.allow_script_access.as_deref().unwrap_or("unset")
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # webvuln
+//!
+//! A longitudinal measurement toolkit for vulnerable client-side web
+//! resources — a from-scratch Rust reproduction of *"A Longitudinal Study
+//! of Vulnerable Client-side Resources and Web Developers' Updating
+//! Behaviors"* (IMC '23).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`pattern`] | `webvuln-pattern` | linear-time regex engine |
+//! | [`version`] | `webvuln-version` | version parsing + interval algebra |
+//! | [`html`] | `webvuln-html` | HTML tokenizer / DOM / extractor |
+//! | [`cvedb`] | `webvuln-cvedb` | embedded CVE corpus + release catalogs |
+//! | [`webgen`] | `webvuln-webgen` | synthetic web ecosystem |
+//! | [`net`] | `webvuln-net` | HTTP/1.1 stack + crawler |
+//! | [`fingerprint`] | `webvuln-fingerprint` | Wappalyzer-equivalent |
+//! | [`poclab`] | `webvuln-poclab` | version-validation experiment |
+//! | [`analysis`] | `webvuln-analysis` | tables & figures |
+//! | [`core`] | `webvuln-core` | study orchestration + reports |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use webvuln::core::{run_study, full_report, StudyConfig};
+//!
+//! let results = run_study(StudyConfig::quick());
+//! println!("{}", full_report(&results));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use webvuln_analysis as analysis;
+pub use webvuln_core as core;
+pub use webvuln_cvedb as cvedb;
+pub use webvuln_fingerprint as fingerprint;
+pub use webvuln_html as html;
+pub use webvuln_net as net;
+pub use webvuln_pattern as pattern;
+pub use webvuln_poclab as poclab;
+pub use webvuln_version as version;
+pub use webvuln_webgen as webgen;

@@ -1,0 +1,133 @@
+//! Cross-crate integration: the full §4 pipeline over both transports.
+//!
+//! The same snapshot week crawled through the in-process virtual internet
+//! and through real TCP sockets must yield byte-identical pages and
+//! identical fingerprints — the property that makes the fast simulation
+//! path a valid stand-in for the socket path.
+
+use std::sync::Arc;
+use webvuln::analysis::dataset::{collect_dataset, CollectConfig};
+use webvuln::fingerprint::Engine;
+use webvuln::net::{crawl, CrawlConfig, FaultPlan, TcpConnector, TcpServer, VirtualNet};
+use webvuln::webgen::{Ecosystem, EcosystemConfig, PageOutcome, Timeline};
+
+fn ecosystem(domains: usize, weeks: usize) -> Arc<Ecosystem> {
+    Arc::new(Ecosystem::generate(EcosystemConfig {
+        seed: 31_337,
+        domain_count: domains,
+        timeline: Timeline::truncated(weeks),
+    }))
+}
+
+#[test]
+fn tcp_and_virtual_transports_agree() {
+    let eco = ecosystem(120, 2);
+    let week = 1;
+    let names = eco.domain_names();
+
+    let virtual_net = VirtualNet::new(Arc::new(eco.handler(week)));
+    let via_memory = crawl(&names, &virtual_net, CrawlConfig { concurrency: 4 });
+
+    let mut server = TcpServer::start(Arc::new(eco.handler(week))).expect("bind");
+    let connector = TcpConnector::fixed(server.addr());
+    let via_tcp = crawl(&names, &connector, CrawlConfig { concurrency: 8 });
+    server.shutdown();
+
+    assert_eq!(via_memory.len(), via_tcp.len());
+    for (domain, mem_record) in &via_memory {
+        let tcp_record = &via_tcp[domain];
+        assert_eq!(mem_record.status, tcp_record.status, "{domain}");
+        assert_eq!(mem_record.body, tcp_record.body, "{domain}");
+    }
+}
+
+#[test]
+fn fingerprints_survive_the_wire() {
+    // Ground truth -> render -> HTTP (chunked sometimes) -> parse ->
+    // fingerprint must agree with fingerprinting the rendered page
+    // directly.
+    let eco = ecosystem(200, 1);
+    let names = eco.domain_names();
+    let net = VirtualNet::new(Arc::new(eco.handler(0))).with_faults(FaultPlan {
+        seed: 1,
+        connect_fail_permille: 0,
+        truncate_permille: 0,
+        chunked_permille: 1000, // force the chunked encoder everywhere
+    });
+    let snapshot = crawl(&names, &net, CrawlConfig { concurrency: 4 });
+    let engine = Engine::new();
+    let mut compared = 0;
+    for (domain, record) in &snapshot {
+        let PageOutcome::Page(direct_html) = eco.page(domain, 0) else {
+            continue;
+        };
+        assert_eq!(record.body, direct_html, "{domain}: chunked round trip");
+        let direct = engine.analyze(&direct_html, domain);
+        let wired = engine.analyze(&record.body, domain);
+        assert_eq!(direct, wired, "{domain}");
+        compared += 1;
+    }
+    assert!(compared > 100, "enough pages compared: {compared}");
+}
+
+#[test]
+fn faults_shrink_but_do_not_corrupt_the_dataset() {
+    let eco = ecosystem(300, 6);
+    let clean = collect_dataset(&eco, CollectConfig::default());
+    let faulty = collect_dataset(
+        &eco,
+        CollectConfig {
+            concurrency: 4,
+            faults: FaultPlan {
+                seed: 5,
+                connect_fail_permille: 100, // 10% of hosts refuse
+                truncate_permille: 0,
+                chunked_permille: 200,
+            },
+        },
+    );
+    assert!(faulty.average_collected() < clean.average_collected());
+    // Pages that did arrive are identical to the clean crawl's.
+    for (week_clean, week_faulty) in clean.weeks.iter().zip(&faulty.weeks) {
+        for (domain, page) in &week_faulty.pages {
+            let clean_page = week_clean
+                .pages
+                .get(domain)
+                .unwrap_or_else(|| panic!("{domain} present in clean crawl"));
+            assert_eq!(page, clean_page, "{domain}");
+        }
+    }
+}
+
+#[test]
+fn dataset_scales_linearly_in_shape() {
+    // Shares must be scale-invariant: doubling the population leaves the
+    // landscape percentages roughly unchanged.
+    use webvuln::analysis::landscape::table1;
+    use webvuln::cvedb::{LibraryId, VulnDb};
+    let db = VulnDb::builtin();
+    let small = collect_dataset(&ecosystem(400, 3), CollectConfig::default());
+    let large = collect_dataset(
+        &Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 31_337,
+            domain_count: 1_200,
+            timeline: Timeline::truncated(3),
+        })),
+        CollectConfig::default(),
+    );
+    let share = |data, lib| {
+        table1(data, &db)
+            .into_iter()
+            .find(|r| r.library == lib)
+            .expect("present")
+            .usage_share
+    };
+    for lib in [LibraryId::JQuery, LibraryId::Bootstrap, LibraryId::JQueryMigrate] {
+        let s = share(&small, lib);
+        let l = share(&large, lib);
+        assert!(
+            (s - l).abs() < 0.08,
+            "{lib}: {s:.3} (400 domains) vs {l:.3} (1200 domains)"
+        );
+    }
+}
