@@ -7,9 +7,10 @@ use std::sync::Arc;
 use webvuln_cvedb::Date;
 use webvuln_fingerprint::{Engine, PageAnalysis};
 use webvuln_net::{
-    crawl, inaccessible_domains, CrawlConfig, FaultPlan, FetchSummary, VirtualNet,
+    crawl_instrumented, inaccessible_domains, CrawlConfig, FaultPlan, FetchSummary, VirtualNet,
     EMPTY_PAGE_THRESHOLD,
 };
+use webvuln_telemetry::Telemetry;
 use webvuln_webgen::{Ecosystem, Timeline};
 
 /// One analysed weekly snapshot.
@@ -69,29 +70,54 @@ impl Default for CollectConfig {
 /// full wire codec), the 400-byte/4xx usability rule, Wappalyzer-style
 /// fingerprinting, and the trailing-month inaccessibility filter.
 pub fn collect_dataset(ecosystem: &Arc<Ecosystem>, config: CollectConfig) -> Dataset {
-    let engine = Engine::new();
+    collect_dataset_with(ecosystem, config, &Telemetry::global())
+}
+
+/// Like [`collect_dataset`], recording crawl/fingerprint metrics, per-week
+/// phase spans, and weekly progress events into `telemetry`.
+pub fn collect_dataset_with(
+    ecosystem: &Arc<Ecosystem>,
+    config: CollectConfig,
+    telemetry: &Telemetry,
+) -> Dataset {
+    let registry = telemetry.registry();
+    let engine = Engine::instrumented(registry);
     let names = ecosystem.domain_names();
     let timeline = *ecosystem.timeline();
     let mut weeks = Vec::with_capacity(timeline.weeks);
 
     for (week, date) in timeline.iter() {
-        let net =
-            VirtualNet::new(Arc::new(ecosystem.handler(week))).with_faults(config.faults);
-        let records = crawl(
-            &names,
-            &net,
-            CrawlConfig {
-                concurrency: config.concurrency,
-            },
-        );
+        let net = VirtualNet::new(Arc::new(ecosystem.handler(week)))
+            .with_fault_metrics(registry)
+            .with_faults(config.faults);
+        let records = {
+            let _span = telemetry.span("crawl");
+            crawl_instrumented(
+                &names,
+                &net,
+                CrawlConfig {
+                    concurrency: config.concurrency,
+                },
+                registry,
+            )
+        };
         let mut pages = BTreeMap::new();
         let mut summaries = BTreeMap::new();
-        for (domain, record) in records {
-            summaries.insert(domain.clone(), FetchSummary::from(&record));
-            if record.is_usable(EMPTY_PAGE_THRESHOLD) {
-                pages.insert(domain.clone(), engine.analyze(&record.body, &domain));
+        {
+            let _span = telemetry.span("fingerprint");
+            for (domain, record) in records {
+                summaries.insert(domain.clone(), FetchSummary::from(&record));
+                if record.is_usable(EMPTY_PAGE_THRESHOLD) {
+                    pages.insert(domain.clone(), engine.analyze(&record.body, &domain));
+                }
             }
         }
+        telemetry.emit(
+            "crawl",
+            week as u64 + 1,
+            timeline.weeks as u64,
+            &format!("{date}: {} pages", pages.len()),
+        );
         weeks.push(WeekSnapshot {
             week,
             date,
@@ -119,11 +145,8 @@ impl Dataset {
     /// Applies the §4.1 filter: domains that are error/empty for the four
     /// consecutive final weeks are dropped from every snapshot.
     pub fn apply_inaccessibility_filter(&mut self) {
-        let weekly: Vec<BTreeMap<String, FetchSummary>> = self
-            .weeks
-            .iter()
-            .map(|w| w.summaries.clone())
-            .collect();
+        let weekly: Vec<BTreeMap<String, FetchSummary>> =
+            self.weeks.iter().map(|w| w.summaries.clone()).collect();
         let drop = inaccessible_domains(&weekly, webvuln_net::filter::FINAL_WEEKS);
         for week in &mut self.weeks {
             week.pages.retain(|d, _| !drop.contains(d));
@@ -137,7 +160,10 @@ impl Dataset {
         if self.weeks.is_empty() {
             return 0.0;
         }
-        self.weeks.iter().map(WeekSnapshot::collected).sum::<usize>() as f64
+        self.weeks
+            .iter()
+            .map(WeekSnapshot::collected)
+            .sum::<usize>() as f64
             / self.weeks.len() as f64
     }
 
@@ -186,7 +212,8 @@ impl Dataset {
     /// Reads a dataset from a JSON file.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Dataset> {
         let text = std::fs::read_to_string(path)?;
-        Dataset::from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Dataset::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -263,11 +290,7 @@ mod tests {
     fn pages_carry_fingerprints() {
         let data = testkit::small();
         let week0 = &data.weeks[0];
-        let with_libs = week0
-            .pages
-            .values()
-            .filter(|p| p.has_any_library())
-            .count();
+        let with_libs = week0.pages.values().filter(|p| p.has_any_library()).count();
         assert!(
             with_libs * 10 > week0.collected() * 6,
             "libraries are prevalent: {with_libs}/{}",

@@ -52,7 +52,12 @@ pub fn flash_usage(data: &Dataset) -> FlashUsage {
             (week.date, all, top10k, top1k)
         })
         .collect();
-    let average = mean(&points.iter().map(|&(_, a, _, _)| a as f64).collect::<Vec<_>>());
+    let average = mean(
+        &points
+            .iter()
+            .map(|&(_, a, _, _)| a as f64)
+            .collect::<Vec<_>>(),
+    );
     let eol = flash_eol();
     let after: Vec<f64> = points
         .iter()

@@ -69,11 +69,7 @@ pub fn table1(data: &Dataset, db: &VulnDb) -> Vec<LibraryRow> {
         .iter()
         .map(|&library| library_row(data, db, library))
         .collect();
-    rows.sort_by(|a, b| {
-        b.usage_share
-            .partial_cmp(&a.usage_share)
-            .expect("no NaNs")
-    });
+    rows.sort_by(|a, b| b.usage_share.partial_cmp(&a.usage_share).expect("no NaNs"));
     rows
 }
 
@@ -113,15 +109,16 @@ fn library_row(data: &Dataset, db: &VulnDb, library: LibraryId) -> LibraryRow {
     }
 
     let inclusions = (internal + external).max(1);
-    let dominant = version_counts
-        .iter()
-        .max_by_key(|(_, &count)| count)
-        .map(|(version, &count)| {
-            (
-                version.clone(),
-                count as f64 / users_with_version.max(1) as f64,
-            )
-        });
+    let dominant =
+        version_counts
+            .iter()
+            .max_by_key(|(_, &count)| count)
+            .map(|(version, &count)| {
+                (
+                    version.clone(),
+                    count as f64 / users_with_version.max(1) as f64,
+                )
+            });
     let latest_observed = version_counts.keys().max().cloned();
 
     LibraryRow {
@@ -309,7 +306,10 @@ mod tests {
         let db = VulnDb::builtin();
         let rows = table1(data, &db);
         let by = |lib: LibraryId| {
-            rows.iter().find(|r| r.library == lib).expect("present").vuln_reports
+            rows.iter()
+                .find(|r| r.library == lib)
+                .expect("present")
+                .vuln_reports
         };
         assert_eq!(by(LibraryId::JQuery), 8);
         assert_eq!(by(LibraryId::Bootstrap), 7);

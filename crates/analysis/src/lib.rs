@@ -31,4 +31,4 @@ pub mod updates;
 pub mod vuln;
 pub mod wordpress;
 
-pub use dataset::{collect_dataset, CollectConfig, Dataset, WeekSnapshot};
+pub use dataset::{collect_dataset, collect_dataset_with, CollectConfig, Dataset, WeekSnapshot};

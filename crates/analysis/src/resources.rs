@@ -16,11 +16,7 @@ pub struct CollectionSeries {
 
 /// Builds Figure 2(a).
 pub fn collection_series(data: &Dataset) -> CollectionSeries {
-    let points: Vec<(Date, usize)> = data
-        .weeks
-        .iter()
-        .map(|w| (w.date, w.collected()))
-        .collect();
+    let points: Vec<(Date, usize)> = data.weeks.iter().map(|w| (w.date, w.collected())).collect();
     let average = mean(&points.iter().map(|&(_, c)| c as f64).collect::<Vec<_>>());
     CollectionSeries { points, average }
 }
@@ -54,8 +50,7 @@ pub fn resource_usage(data: &Dataset) -> Vec<ResourceUsage> {
                     (w.date, using as f64 / total as f64)
                 })
                 .collect();
-            let average_share =
-                mean(&weekly_share.iter().map(|&(_, s)| s).collect::<Vec<_>>());
+            let average_share = mean(&weekly_share.iter().map(|&(_, s)| s).collect::<Vec<_>>());
             ResourceUsage {
                 resource,
                 weekly_share,
@@ -83,8 +78,18 @@ mod tests {
         assert_eq!(series.points.len(), 30);
         // The collected count stays within a narrow band week to week
         // (Fig 2a is flat apart from noise).
-        let min = series.points.iter().map(|&(_, c)| c).min().expect("nonempty");
-        let max = series.points.iter().map(|&(_, c)| c).max().expect("nonempty");
+        let min = series
+            .points
+            .iter()
+            .map(|&(_, c)| c)
+            .min()
+            .expect("nonempty");
+        let max = series
+            .points
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .expect("nonempty");
         assert!(
             (max - min) as f64 / series.average < 0.2,
             "min {min} max {max} avg {}",

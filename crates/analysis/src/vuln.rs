@@ -106,9 +106,17 @@ pub fn cve_impact(data: &Dataset, db: &VulnDb, id: &str) -> Option<CveImpact> {
     Some(CveImpact {
         id: id.to_string(),
         claimed_average: mean(
-            &claimed_sites.iter().map(|&(_, c)| c as f64).collect::<Vec<_>>(),
+            &claimed_sites
+                .iter()
+                .map(|&(_, c)| c as f64)
+                .collect::<Vec<_>>(),
         ),
-        true_average: mean(&true_sites.iter().map(|&(_, c)| c as f64).collect::<Vec<_>>()),
+        true_average: mean(
+            &true_sites
+                .iter()
+                .map(|&(_, c)| c as f64)
+                .collect::<Vec<_>>(),
+        ),
         claimed_share_of_users: mean(&shares),
         claimed_sites,
         true_sites,

@@ -32,10 +32,7 @@ pub fn table4(data: &Dataset, db: &VulnDb) -> Vec<WordPressCveRow> {
     db.wordpress_cves()
         .iter()
         .map(|cve| {
-            let affected = versions
-                .iter()
-                .filter(|v| cve.affected.contains(v))
-                .count();
+            let affected = versions.iter().filter(|v| cve.affected.contains(v)).count();
             WordPressCveRow {
                 cve: cve.clone(),
                 affected_sites: affected,

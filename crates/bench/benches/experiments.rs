@@ -111,19 +111,22 @@ fn fig3_trends(c: &mut Criterion) {
 
 fn table2_bench(c: &mut Criterion) {
     let data = bench_dataset();
-    print_once("Table 2 — per-CVE average affected sites (claimed vs TVV)", || {
-        db().records()
-            .iter()
-            .filter_map(|r| cve_impact(data, db(), &r.id))
-            .map(|i| {
-                format!(
-                    "{:<26} claimed {:>8.1}  true {:>8.1}",
-                    i.id, i.claimed_average, i.true_average
-                )
-            })
-            .collect::<Vec<_>>()
-            .join("\n")
-    });
+    print_once(
+        "Table 2 — per-CVE average affected sites (claimed vs TVV)",
+        || {
+            db().records()
+                .iter()
+                .filter_map(|r| cve_impact(data, db(), &r.id))
+                .map(|i| {
+                    format!(
+                        "{:<26} claimed {:>8.1}  true {:>8.1}",
+                        i.id, i.claimed_average, i.true_average
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        },
+    );
     c.bench_function("table2", |b| {
         b.iter(|| {
             for r in db().records() {
@@ -336,7 +339,12 @@ fn table3_bench(c: &mut Criterion) {
     print_once("Table 3 — browser Flash support", || {
         webvuln_cvedb::browser_flash_support()
             .iter()
-            .map(|r| format!("{:<16} {:>6.2}% {}", r.name, r.market_share, r.flash_support))
+            .map(|r| {
+                format!(
+                    "{:<16} {:>6.2}% {}",
+                    r.name, r.market_share, r.flash_support
+                )
+            })
             .collect::<Vec<_>>()
             .join("\n")
     });
@@ -350,7 +358,14 @@ fn table4_bench(c: &mut Criterion) {
     print_once("Table 4 — WordPress CVEs", || {
         table4(data, db())
             .iter()
-            .map(|r| format!("{:<18} {:>5} sites ({})", r.cve.id, r.affected_sites, pct(r.affected_share)))
+            .map(|r| {
+                format!(
+                    "{:<18} {:>5} sites ({})",
+                    r.cve.id,
+                    r.affected_sites,
+                    pct(r.affected_share)
+                )
+            })
             .collect::<Vec<_>>()
             .join("\n")
     });

@@ -13,7 +13,8 @@ use webvuln_pattern::Pattern;
 
 fn bench_pattern_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("pattern_engine");
-    let pattern = Pattern::new(r"jquery[.-](\d+(?:\.\d+)*)(?:\.min|\.slim)?\.js").expect("compiles");
+    let pattern =
+        Pattern::new(r"jquery[.-](\d+(?:\.\d+)*)(?:\.min|\.slim)?\.js").expect("compiles");
     let hit = "https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery-1.12.4.min.js";
     let miss = "https://example.com/static/app.bundle.4f3a2b1c.js?cache=3600&v=20220101";
 

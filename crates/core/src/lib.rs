@@ -19,6 +19,8 @@ pub mod study;
 
 pub use report::{
     full_report, render_headlines, render_table1, render_table2, render_table3, render_table4,
-    render_table5, render_table6, render_validation, series_to_csv,
+    render_table5, render_table6, render_telemetry, render_validation, series_to_csv,
+    telemetry_json,
 };
-pub use study::{analyze, run_study, StudyConfig, StudyResults};
+pub use study::{analyze, analyze_with, run_study, run_study_with, StudyConfig, StudyResults};
+pub use webvuln_telemetry::{Snapshot, StderrProgress, Telemetry};

@@ -17,7 +17,16 @@ pub fn render_table1(results: &StudyResults) -> String {
     let _ = writeln!(
         out,
         "{:<16} {:>10} {:>7} {:>7} {:>7} {:>6}/{:<6} {:>18} {:>9} {:>6}",
-        "Library", "AvgSites", "Usage", "Int.", "CDN", "Found", "Total", "Dominant", "Latest", "#Vul."
+        "Library",
+        "AvgSites",
+        "Usage",
+        "Int.",
+        "CDN",
+        "Found",
+        "Total",
+        "Dominant",
+        "Latest",
+        "#Vul."
     );
     for row in &results.table1 {
         let dominant = row
@@ -78,7 +87,10 @@ pub fn render_table2(results: &StudyResults) -> String {
 /// Renders Table 3 (browser Flash support — the paper's manual survey).
 pub fn render_table3() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 3 — Top 10 desktop browsers: market share and Flash support");
+    let _ = writeln!(
+        out,
+        "Table 3 — Top 10 desktop browsers: market share and Flash support"
+    );
     let _ = writeln!(out, "{:<16} {:>8} {:>7}", "Browser", "Share", "Flash");
     for row in browser_flash_support() {
         let _ = writeln!(
@@ -95,7 +107,10 @@ pub fn render_table3() -> String {
 /// Renders Table 4 (WordPress CVEs and affected sites).
 pub fn render_table4(results: &StudyResults) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 4 — WordPress CVEs (5 most recent, 5 most severe)");
+    let _ = writeln!(
+        out,
+        "Table 4 — WordPress CVEs (5 most recent, 5 most severe)"
+    );
     let _ = writeln!(
         out,
         "{:<18} {:>12} {:>10} {:>10} {:>10}",
@@ -267,6 +282,23 @@ pub fn render_headlines(results: &StudyResults) -> String {
     out
 }
 
+/// Renders the run's telemetry snapshot: the phase-timing table followed
+/// by crawler and fingerprint counters. Empty snapshots render a stub so
+/// the report shape stays stable.
+pub fn render_telemetry(results: &StudyResults) -> String {
+    let body = results.telemetry.render();
+    if body.is_empty() {
+        return "Run telemetry — none recorded\n".to_string();
+    }
+    format!("Run telemetry\n{body}")
+}
+
+/// The run's telemetry snapshot as machine-readable JSON (stable key
+/// order, durations in integer nanoseconds).
+pub fn telemetry_json(results: &StudyResults) -> String {
+    results.telemetry.to_json()
+}
+
 /// The complete text report.
 pub fn full_report(results: &StudyResults) -> String {
     let mut out = String::new();
@@ -285,6 +317,8 @@ pub fn full_report(results: &StudyResults) -> String {
     out.push_str(&render_table5(results));
     out.push('\n');
     out.push_str(&render_table6(results));
+    out.push('\n');
+    out.push_str(&render_telemetry(results));
     out
 }
 
@@ -350,6 +384,21 @@ mod tests {
         assert!(report.len() > 2_000);
         assert!(report.contains("Headline findings"));
         assert!(report.contains("Table 6"));
+        assert!(report.contains("Run telemetry"));
+    }
+
+    #[test]
+    fn telemetry_renders_text_and_json() {
+        let r = results();
+        let text = render_telemetry(r);
+        assert!(text.contains("Phase timings"), "{text}");
+        assert!(text.contains("crawl"), "{text}");
+        assert!(text.contains("net.fetches_total"), "{text}");
+
+        let json = telemetry_json(r);
+        assert!(json.contains("\"net.fetches_total\""), "{json}");
+        assert!(json.contains("\"path\":\"generate\""), "{json}");
+        assert!(json.contains("\"spans\":["), "{json}");
     }
 
     #[test]

@@ -2,17 +2,31 @@
 //! and returns every computed artifact.
 
 use std::sync::Arc;
-use webvuln_analysis::dataset::{collect_dataset, CollectConfig, Dataset};
-use webvuln_analysis::flash::{flash_by_tld, flash_usage, script_access_audit, FlashByTld, FlashUsage, ScriptAccessAudit};
-use webvuln_analysis::landscape::{table1, table5, usage_trends, CdnBreakdown, LibraryRow, UsageTrend};
-use webvuln_analysis::resources::{collection_series, resource_usage, CollectionSeries, ResourceUsage};
-use webvuln_analysis::sri::{crossorigin_census, github_report, sri_adoption, CrossoriginCensus, GithubReport, SriAdoption};
-use webvuln_analysis::updates::{regressions, update_delays, wordpress_usage, RegressionEvent, UpdateDelayReport, WordPressUsage};
-use webvuln_analysis::vuln::{cve_impact, prevalence, refinement_summary, vuln_count_distribution, CveImpact, PrevalenceSeries, RefinementSummary, VulnCountDistribution};
+use webvuln_analysis::dataset::{collect_dataset_with, CollectConfig, Dataset};
+use webvuln_analysis::flash::{
+    flash_by_tld, flash_usage, script_access_audit, FlashByTld, FlashUsage, ScriptAccessAudit,
+};
+use webvuln_analysis::landscape::{
+    table1, table5, usage_trends, CdnBreakdown, LibraryRow, UsageTrend,
+};
+use webvuln_analysis::resources::{
+    collection_series, resource_usage, CollectionSeries, ResourceUsage,
+};
+use webvuln_analysis::sri::{
+    crossorigin_census, github_report, sri_adoption, CrossoriginCensus, GithubReport, SriAdoption,
+};
+use webvuln_analysis::updates::{
+    regressions, update_delays, wordpress_usage, RegressionEvent, UpdateDelayReport, WordPressUsage,
+};
+use webvuln_analysis::vuln::{
+    cve_impact, prevalence, refinement_summary, vuln_count_distribution, CveImpact,
+    PrevalenceSeries, RefinementSummary, VulnCountDistribution,
+};
 use webvuln_analysis::wordpress::{table4, WordPressCveRow};
 use webvuln_cvedb::{Basis, VulnDb};
 use webvuln_net::FaultPlan;
 use webvuln_poclab::{Lab, ValidationReport};
+use webvuln_telemetry::{Snapshot, Telemetry};
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 
 /// Configuration of a full study run.
@@ -108,34 +122,88 @@ pub struct StudyResults {
     pub github: GithubReport,
     /// §6.4 version-validation experiment reports.
     pub validations: Vec<ValidationReport>,
+    /// Metrics and phase timings recorded during this run (see
+    /// [`webvuln_telemetry`]): `net.*` crawler counters, `fp.*`
+    /// fingerprint counters, and a span per pipeline phase.
+    pub telemetry: Snapshot,
 }
 
 /// Runs the full study.
+///
+/// Telemetry is recorded into a registry private to this run and attached
+/// to [`StudyResults::telemetry`]; use [`run_study_with`] to inject a
+/// [`Telemetry`] handle (e.g. for progress reporting).
 pub fn run_study(config: StudyConfig) -> StudyResults {
-    let ecosystem = Arc::new(Ecosystem::generate(EcosystemConfig {
-        seed: config.seed,
-        domain_count: config.domain_count,
-        timeline: config.timeline,
-    }));
-    let dataset = collect_dataset(
+    run_study_with(config, &Telemetry::new())
+}
+
+/// Runs the full study, recording metrics, per-phase spans
+/// (`generate`/`crawl`/`fingerprint`/`join`/`analyze`), and progress
+/// events through `telemetry`.
+pub fn run_study_with(config: StudyConfig, telemetry: &Telemetry) -> StudyResults {
+    let ecosystem = {
+        let _span = telemetry.span("generate");
+        Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: config.seed,
+            domain_count: config.domain_count,
+            timeline: config.timeline,
+        }))
+    };
+    telemetry.emit(
+        "generate",
+        1,
+        1,
+        &format!(
+            "{} domains, {} weeks",
+            config.domain_count, config.timeline.weeks
+        ),
+    );
+    let dataset = collect_dataset_with(
         &ecosystem,
         CollectConfig {
             concurrency: config.concurrency,
             faults: config.faults,
         },
+        telemetry,
     );
-    analyze(config, dataset)
+    analyze_with(config, dataset, telemetry)
 }
 
 /// Runs all analyses over an already-collected dataset.
 pub fn analyze(config: StudyConfig, dataset: Dataset) -> StudyResults {
-    let db = VulnDb::builtin();
-    let lab = Lab::new();
-    let cve_impacts = db
-        .records()
-        .iter()
-        .filter_map(|r| cve_impact(&dataset, &db, &r.id))
-        .collect();
+    analyze_with(config, dataset, &Telemetry::new())
+}
+
+/// Like [`analyze`], timing the CVE-join and table-building phases
+/// through `telemetry`. The snapshot attached to the results is taken
+/// from `telemetry` after both phases complete.
+pub fn analyze_with(config: StudyConfig, dataset: Dataset, telemetry: &Telemetry) -> StudyResults {
+    let (db, lab, cve_impacts) = {
+        let _span = telemetry.span("join");
+        let db = VulnDb::builtin();
+        let lab = Lab::new();
+        let cve_impacts: Vec<CveImpact> = db
+            .records()
+            .iter()
+            .filter_map(|r| cve_impact(&dataset, &db, &r.id))
+            .collect();
+        (db, lab, cve_impacts)
+    };
+    let mut results = {
+        let _span = telemetry.span("analyze");
+        build_results(config, dataset, db, &lab, cve_impacts)
+    };
+    results.telemetry = telemetry.snapshot();
+    results
+}
+
+fn build_results(
+    config: StudyConfig,
+    dataset: Dataset,
+    db: VulnDb,
+    lab: &Lab,
+    cve_impacts: Vec<CveImpact>,
+) -> StudyResults {
     StudyResults {
         collection: collection_series(&dataset),
         resources: resource_usage(&dataset),
@@ -160,6 +228,7 @@ pub fn analyze(config: StudyConfig, dataset: Dataset) -> StudyResults {
         crossorigin: crossorigin_census(&dataset),
         github: github_report(&dataset),
         validations: lab.validate_all(),
+        telemetry: Snapshot::default(),
         dataset,
         db,
         config,
@@ -187,5 +256,39 @@ mod tests {
         assert!(results.prevalence_claimed.average > 0.0);
         assert!(results.prevalence_tvv.average >= results.prevalence_claimed.average);
         assert!(results.sri.average_unprotected_share > 0.9);
+
+        // Telemetry: every phase timed, crawler/fingerprint counters exact.
+        let snap = &results.telemetry;
+        for phase in ["generate", "crawl", "fingerprint", "join", "analyze"] {
+            assert!(snap.span(phase).is_some(), "phase {phase} missing");
+        }
+        assert_eq!(snap.span("crawl").expect("crawl").count, 10);
+        assert_eq!(snap.span("fingerprint").expect("fp").count, 10);
+        assert_eq!(snap.counter("net.fetches_total"), Some(250 * 10));
+        assert!(snap.counter("fp.pages_total").unwrap_or(0) > 0);
+        assert!(snap.counter("fp.hits_url_total").unwrap_or(0) > 0);
+        assert!(snap.counter("fp.vm_steps_total").unwrap_or(0) > 0);
+        assert!(snap.histogram("net.fetch_latency_ns").is_some());
+    }
+
+    #[test]
+    fn injected_telemetry_reports_progress() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let events = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&events);
+        let telemetry = webvuln_telemetry::Telemetry::new().with_progress(Arc::new(
+            move |_event: &webvuln_telemetry::ProgressEvent<'_>| {
+                seen.fetch_add(1, Ordering::Relaxed);
+            },
+        ));
+        let mut config = StudyConfig::quick();
+        config.domain_count = 60;
+        config.timeline = Timeline::truncated(3);
+        let results = run_study_with(config, &telemetry);
+        // One event per week plus the generate event.
+        assert_eq!(events.load(Ordering::Relaxed), 3 + 1);
+        assert_eq!(results.telemetry.counter("net.fetches_total"), Some(60 * 3));
     }
 }

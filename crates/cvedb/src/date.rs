@@ -22,7 +22,11 @@ pub struct ParseDateError(String);
 
 impl fmt::Display for ParseDateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid date {:?} (expected YYYY-MM-DD or MM/DD/YYYY)", self.0)
+        write!(
+            f,
+            "invalid date {:?} (expected YYYY-MM-DD or MM/DD/YYYY)",
+            self.0
+        )
     }
 }
 
@@ -182,14 +186,30 @@ mod tests {
 
     #[test]
     fn parses_both_formats() {
-        assert_eq!(Date::parse("2020-04-10").expect("iso"), Date::new(2020, 4, 10));
-        assert_eq!(Date::parse("04/10/2020").expect("us"), Date::new(2020, 4, 10));
-        assert_eq!(Date::parse("2/7/2016").expect("short"), Date::new(2016, 2, 7));
+        assert_eq!(
+            Date::parse("2020-04-10").expect("iso"),
+            Date::new(2020, 4, 10)
+        );
+        assert_eq!(
+            Date::parse("04/10/2020").expect("us"),
+            Date::new(2020, 4, 10)
+        );
+        assert_eq!(
+            Date::parse("2/7/2016").expect("short"),
+            Date::new(2016, 2, 7)
+        );
     }
 
     #[test]
     fn rejects_invalid() {
-        for bad in ["", "2020", "2020-13-01", "2020-02-30", "x/y/z", "2019-02-29"] {
+        for bad in [
+            "",
+            "2020",
+            "2020-13-01",
+            "2020-02-30",
+            "x/y/z",
+            "2019-02-29",
+        ] {
             assert!(Date::parse(bad).is_err(), "{bad}");
         }
         assert!(Date::parse("2020-02-29").is_ok(), "2020 is a leap year");

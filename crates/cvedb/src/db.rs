@@ -222,7 +222,11 @@ mod tests {
         let db = VulnDb::builtin();
         for release in &db.catalog(LibraryId::Prototype).releases {
             assert!(
-                db.is_vulnerable(LibraryId::Prototype, &release.version, Basis::TrueVulnerable),
+                db.is_vulnerable(
+                    LibraryId::Prototype,
+                    &release.version,
+                    Basis::TrueVulnerable
+                ),
                 "{} should be vulnerable (CVE-2020-27511 affects all)",
                 release.version
             );

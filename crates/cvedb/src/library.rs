@@ -151,10 +151,8 @@ impl Catalog {
 
     /// The newest version available at `date`, if any release precedes it.
     pub fn latest_at(&self, date: Date) -> Option<&Release> {
-        self.available_at(date).max_by(|a, b| {
-            a.version
-                .cmp(&b.version)
-        })
+        self.available_at(date)
+            .max_by(|a, b| a.version.cmp(&b.version))
     }
 
     /// The newest version overall.
@@ -634,11 +632,27 @@ mod tests {
             cat.release_date(&Version::parse(v).expect("version"))
                 .unwrap_or_else(|| panic!("{v} in catalog"))
         };
-        assert_eq!(d("1.12.4"), Date::new(2016, 5, 20), "dominant version, May 2016");
+        assert_eq!(
+            d("1.12.4"),
+            Date::new(2016, 5, 20),
+            "dominant version, May 2016"
+        );
         assert_eq!(d("3.0.0"), Date::new(2016, 6, 9));
-        assert_eq!(d("3.5.0"), Date::new(2020, 4, 10), "patch for CVE-2020-11022/3");
-        assert_eq!(d("1.9.0"), Date::new(2013, 1, 15), "patch for CVE-2020-7656");
-        assert_eq!(d("3.4.0"), Date::new(2019, 4, 10), "patch for CVE-2019-11358");
+        assert_eq!(
+            d("3.5.0"),
+            Date::new(2020, 4, 10),
+            "patch for CVE-2020-11022/3"
+        );
+        assert_eq!(
+            d("1.9.0"),
+            Date::new(2013, 1, 15),
+            "patch for CVE-2020-7656"
+        );
+        assert_eq!(
+            d("3.4.0"),
+            Date::new(2019, 4, 10),
+            "patch for CVE-2019-11358"
+        );
     }
 
     #[test]
@@ -667,9 +681,7 @@ mod tests {
         let mid_2019 = Date::new(2019, 6, 1);
         let latest = cat.latest_at(mid_2019).expect("jQuery existed in 2019");
         assert_eq!(latest.version.to_string(), "3.4.1");
-        assert!(cat
-            .available_at(mid_2019)
-            .all(|r| r.date <= mid_2019));
+        assert!(cat.available_at(mid_2019).all(|r| r.date <= mid_2019));
         // 3.5.0 is not yet available mid-2019.
         assert!(!cat
             .available_at(mid_2019)
@@ -680,13 +692,9 @@ mod tests {
     fn latest_within_major() {
         let cat = catalog(LibraryId::JQuery);
         let late_2020 = Date::new(2020, 12, 1);
-        let in_1x = cat
-            .latest_at_in_major(late_2020, 1)
-            .expect("1.x exists");
+        let in_1x = cat.latest_at_in_major(late_2020, 1).expect("1.x exists");
         assert_eq!(in_1x.version.to_string(), "1.12.4");
-        let in_3x = cat
-            .latest_at_in_major(late_2020, 3)
-            .expect("3.x exists");
+        let in_3x = cat.latest_at_in_major(late_2020, 3).expect("3.x exists");
         assert_eq!(in_3x.version.to_string(), "3.5.1");
         assert!(cat.latest_at_in_major(late_2020, 9).is_none());
     }
@@ -707,7 +715,11 @@ mod tests {
                 .unwrap_or_else(|| panic!("{s} present"))
         };
         assert_eq!(find("5.5").date, Date::new(2020, 8, 11), "Migrate disabled");
-        assert_eq!(find("5.6").date, Date::new(2020, 12, 8), "Migrate re-enabled + jQuery 3.5.1");
+        assert_eq!(
+            find("5.6").date,
+            Date::new(2020, 12, 8),
+            "Migrate re-enabled + jQuery 3.5.1"
+        );
     }
 
     #[test]

@@ -526,15 +526,16 @@ mod tests {
             .iter()
             .filter(|r| r.attack == AttackType::Xss)
             .count();
-        assert_eq!(xss, 21, "paper: most vulnerabilities (20 CVEs + advisory) are XSS");
+        assert_eq!(
+            xss, 21,
+            "paper: most vulnerabilities (20 CVEs + advisory) are XSS"
+        );
     }
 
     #[test]
     fn accuracy_classification_matches_paper() {
         let records = builtin_records();
-        let strict = |acc: Accuracy| {
-            records.iter().filter(|r| r.accuracy() == acc).count()
-        };
+        let strict = |acc: Accuracy| records.iter().filter(|r| r.accuracy() == acc).count();
         // Strict set algebra: reports whose claimed and measured ranges
         // each contain versions the other lacks are Mixed (the paper's
         // Figures 4/13 show both red and blue stripes for exactly these).
@@ -543,9 +544,7 @@ mod tests {
         assert_eq!(strict(Accuracy::Mixed), 4, "6071, migrate, 7103, 4055");
 
         // The paper's labelling folds Mixed into Understated.
-        let paper = |acc: Accuracy| {
-            records.iter().filter(|r| r.paper_accuracy() == acc).count()
-        };
+        let paper = |acc: Accuracy| records.iter().filter(|r| r.paper_accuracy() == acc).count();
         assert_eq!(paper(Accuracy::Overstated), 8, "paper: 8 overstated");
         // Paper text says 5 understated among 13 incorrect CVE reports;
         // our corpus flags 6 (the paper's own Fig 13(a) marks Moment

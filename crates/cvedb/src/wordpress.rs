@@ -37,9 +37,7 @@ fn d(s: &str) -> Date {
 
 /// The ten Table 4 CVEs.
 pub fn wordpress_cves() -> Vec<WordPressCve> {
-    let range = |lo: &str, hi: &str| {
-        IntervalSet::from_interval(Interval::half_open(v(lo), v(hi)))
-    };
+    let range = |lo: &str, hi: &str| IntervalSet::from_interval(Interval::half_open(v(lo), v(hi)));
     let below = |hi: &str| IntervalSet::from_interval(Interval::below(v(hi)));
     vec![
         WordPressCve {

@@ -6,6 +6,8 @@ use crate::patterns::{fingerprints, wordpress_fingerprint, Fingerprint, WordPres
 use serde::{Deserialize, Serialize};
 use webvuln_cvedb::LibraryId;
 use webvuln_html::{extract, url_host, Document, PageResources, ScriptRef};
+use webvuln_pattern::thread_vm_steps;
+use webvuln_telemetry::{Counter, Registry};
 use webvuln_version::Version;
 
 /// Broad resource classes counted in Figure 2(b).
@@ -156,12 +158,50 @@ impl PageAnalysis {
     }
 }
 
+/// Counter handles for the `fp.*` metrics an instrumented engine records.
+#[derive(Clone)]
+struct EngineMetrics {
+    pages: Counter,
+    patterns_evaluated: Counter,
+    vm_steps: Counter,
+    hits_url: Counter,
+    hits_inline: Counter,
+    hits_meta: Counter,
+    misses: Counter,
+}
+
+impl EngineMetrics {
+    fn from_registry(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            pages: registry.counter("fp.pages_total"),
+            patterns_evaluated: registry.counter("fp.patterns_evaluated_total"),
+            vm_steps: registry.counter("fp.vm_steps_total"),
+            hits_url: registry.counter("fp.hits_url_total"),
+            hits_inline: registry.counter("fp.hits_inline_total"),
+            hits_meta: registry.counter("fp.hits_meta_total"),
+            misses: registry.counter("fp.misses_total"),
+        }
+    }
+}
+
+/// Per-page running totals, flushed into the counters once per page so the
+/// match loops touch plain integers, not atomics.
+#[derive(Default)]
+struct Tally {
+    patterns: u64,
+    hits_url: u64,
+    hits_inline: u64,
+    hits_meta: u64,
+    misses: u64,
+}
+
 /// The fingerprint engine. Compile once, analyze many pages; `Engine` is
 /// immutable and `Sync`, so workers can share one instance.
 pub struct Engine {
     db: Vec<Fingerprint>,
     wordpress: WordPressFingerprint,
     use_inline: bool,
+    metrics: Option<EngineMetrics>,
 }
 
 impl Engine {
@@ -171,6 +211,7 @@ impl Engine {
             db: fingerprints(),
             wordpress: wordpress_fingerprint(),
             use_inline: true,
+            metrics: None,
         }
     }
 
@@ -184,6 +225,16 @@ impl Engine {
         }
     }
 
+    /// An engine that records `fp.*` metrics into `registry`: pages
+    /// analyzed, patterns evaluated, regex-VM steps, and hit/miss counts
+    /// per detection source (URL / inline banner / generator meta).
+    pub fn instrumented(registry: &Registry) -> Engine {
+        Engine {
+            metrics: Some(EngineMetrics::from_registry(registry)),
+            ..Engine::new()
+        }
+    }
+
     /// Analyzes a landing page fetched from `domain`.
     pub fn analyze(&self, html: &str, domain: &str) -> PageAnalysis {
         let doc = Document::parse(html);
@@ -193,6 +244,8 @@ impl Engine {
 
     /// Analyzes already-extracted page resources.
     pub fn analyze_resources(&self, resources: &PageResources, domain: &str) -> PageAnalysis {
+        let steps_before = thread_vm_steps();
+        let mut tally = Tally::default();
         let mut out = PageAnalysis::default();
         let mut wp_version: Option<Option<Version>> = None;
         let mut wp_path_hit = false;
@@ -200,25 +253,30 @@ impl Engine {
         for script in &resources.scripts {
             match &script.src {
                 Some(src) => {
-                    self.match_script_url(script, src, domain, &mut out);
+                    self.match_script_url(script, src, domain, &mut out, &mut tally);
+                    tally.patterns += 1;
                     if self.wordpress.path.is_match(src) {
                         wp_path_hit = true;
                     }
                 }
-                None => self.match_inline(&script.inline, &mut out),
+                None => self.match_inline(&script.inline, &mut out, &mut tally),
             }
         }
         for link in &resources.links {
+            tally.patterns += 1;
             if self.wordpress.path.is_match(&link.href) {
                 wp_path_hit = true;
             }
         }
         for generator in &resources.generators {
+            tally.patterns += 1;
             if let Some(caps) = self.wordpress.generator.captures(generator) {
-                let version = caps.get(1).filter(|s| !s.is_empty()).and_then(|s| {
-                    Version::parse(s).ok()
-                });
+                let version = caps
+                    .get(1)
+                    .filter(|s| !s.is_empty())
+                    .and_then(|s| Version::parse(s).ok());
                 wp_version = Some(version);
+                tally.hits_meta += 1;
             }
         }
         if wp_version.is_none() && wp_path_hit {
@@ -234,6 +292,18 @@ impl Engine {
         }
 
         out.resource_types = self.classify_resources(resources);
+
+        if let Some(metrics) = &self.metrics {
+            metrics.pages.inc();
+            metrics.patterns_evaluated.add(tally.patterns);
+            metrics
+                .vm_steps
+                .add(thread_vm_steps().wrapping_sub(steps_before));
+            metrics.hits_url.add(tally.hits_url);
+            metrics.hits_inline.add(tally.hits_inline);
+            metrics.hits_meta.add(tally.hits_meta);
+            metrics.misses.add(tally.misses);
+        }
         out
     }
 
@@ -243,6 +313,7 @@ impl Engine {
         src: &str,
         domain: &str,
         out: &mut PageAnalysis,
+        tally: &mut Tally,
     ) {
         let external_host = url_host(src)
             .filter(|h| !h.eq_ignore_ascii_case(domain))
@@ -265,6 +336,7 @@ impl Engine {
         }
         for fp in &self.db {
             for pat in &fp.url_patterns {
+                tally.patterns += 1;
                 if let Some(caps) = pat.captures(src) {
                     let version = caps
                         .get(1)
@@ -285,18 +357,21 @@ impl Engine {
                             url: src.to_string(),
                         },
                     );
+                    tally.hits_url += 1;
                     return; // first matching library wins for this script
                 }
             }
         }
+        tally.misses += 1;
     }
 
-    fn match_inline(&self, text: &str, out: &mut PageAnalysis) {
+    fn match_inline(&self, text: &str, out: &mut PageAnalysis, tally: &mut Tally) {
         if !self.use_inline || text.is_empty() {
             return;
         }
         for fp in &self.db {
             for pat in &fp.inline_patterns {
+                tally.patterns += 1;
                 if let Some(caps) = pat.captures(text) {
                     let version = caps
                         .get(1)
@@ -313,6 +388,7 @@ impl Engine {
                             url: String::new(),
                         },
                     );
+                    tally.hits_inline += 1;
                     break;
                 }
             }
@@ -340,10 +416,9 @@ impl Engine {
                 // imported-HTML, not CSS (§5 footnote 7).
                 "stylesheet" if !link.href.contains(".php") => add(ResourceType::Css),
                 "icon" | "shortcut icon" | "apple-touch-icon" => add(ResourceType::Favicon),
-                "alternate"
-                    if (link.href.contains(".xml") || link.href.contains("rss")) => {
-                        add(ResourceType::Xml);
-                    }
+                "alternate" if (link.href.contains(".xml") || link.href.contains("rss")) => {
+                    add(ResourceType::Xml);
+                }
                 _ => {}
             }
             classify_url(&link.href, &mut add);
@@ -360,7 +435,11 @@ impl Engine {
 }
 
 fn classify_url(url: &str, add: &mut dyn FnMut(ResourceType)) {
-    let path = url.split(['?', '#']).next().unwrap_or(url).to_ascii_lowercase();
+    let path = url
+        .split(['?', '#'])
+        .next()
+        .unwrap_or(url)
+        .to_ascii_lowercase();
     if path.ends_with(".php") || path.contains(".php") {
         add(ResourceType::ImportedHtml);
     }
@@ -460,7 +539,10 @@ mod tests {
         let a = engine().analyze(html, "site.example");
         let d = a.library(LibraryId::Bootstrap).expect("bootstrap");
         assert_eq!(d.inclusion, DetectedInclusion::Internal);
-        assert_eq!(d.version.as_ref().map(ToString::to_string), Some("3.3.7".into()));
+        assert_eq!(
+            d.version.as_ref().map(ToString::to_string),
+            Some("3.3.7".into())
+        );
     }
 
     #[test]
@@ -488,7 +570,9 @@ mod tests {
             Some(Version::parse("3.5.1").expect("version"))
         );
         assert_eq!(
-            a.library(LibraryId::JQueryMigrate).expect("migrate").version,
+            a.library(LibraryId::JQueryMigrate)
+                .expect("migrate")
+                .version,
             Some(Version::parse("3.3.2").expect("version"))
         );
     }
@@ -517,7 +601,10 @@ mod tests {
         let html = "<script>/*! jQuery v3.5.1 | (c) OpenJS */ core();</script>";
         let a = engine().analyze(html, "x.example");
         let d = a.library(LibraryId::JQuery).expect("jquery");
-        assert_eq!(d.version.as_ref().map(ToString::to_string), Some("3.5.1".into()));
+        assert_eq!(
+            d.version.as_ref().map(ToString::to_string),
+            Some("3.5.1".into())
+        );
         assert_eq!(d.inclusion, DetectedInclusion::Internal);
     }
 
@@ -575,7 +662,11 @@ mod tests {
             ResourceType::Axd,
             ResourceType::Svg,
         ] {
-            assert!(a.resource_types.contains(&t), "{t:?} in {:?}", a.resource_types);
+            assert!(
+                a.resource_types.contains(&t),
+                "{t:?} in {:?}",
+                a.resource_types
+            );
         }
     }
 
@@ -596,5 +687,33 @@ mod tests {
         assert!(a.detections.is_empty());
         assert!(a.wordpress.is_none());
         assert!(a.resource_types.is_empty());
+    }
+
+    #[test]
+    fn instrumented_engine_records_hits_per_source() {
+        let registry = Registry::new();
+        let e = Engine::instrumented(&registry);
+        let html = r#"
+            <meta name="generator" content="WordPress 5.6">
+            <script src="https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery.min.js"></script>
+            <script>/*! jQuery v3.5.1 */ core();</script>
+            <script src="/js/unknown-widget.js"></script>
+        "#;
+        let a = e.analyze(html, "site.example");
+        assert!(a.has_library(LibraryId::JQuery));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("fp.pages_total"), Some(1));
+        assert_eq!(snap.counter("fp.hits_url_total"), Some(1));
+        assert_eq!(snap.counter("fp.hits_inline_total"), Some(1));
+        assert_eq!(snap.counter("fp.hits_meta_total"), Some(1));
+        assert_eq!(snap.counter("fp.misses_total"), Some(1));
+        assert!(snap.counter("fp.patterns_evaluated_total").unwrap_or(0) > 3);
+        assert!(snap.counter("fp.vm_steps_total").unwrap_or(0) > 0);
+
+        // The default engine records nothing.
+        let before = registry.snapshot();
+        let _ = engine().analyze(html, "site.example");
+        assert_eq!(registry.snapshot(), before);
     }
 }

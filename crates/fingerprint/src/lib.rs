@@ -30,7 +30,7 @@ mod engine;
 mod patterns;
 
 pub use engine::{
-    Detection, DetectedInclusion, Engine, ExternalScript, FlashDetection, PageAnalysis,
+    DetectedInclusion, Detection, Engine, ExternalScript, FlashDetection, PageAnalysis,
     ResourceType,
 };
 pub use patterns::{fingerprints, wordpress_fingerprint, Fingerprint, WordPressFingerprint};

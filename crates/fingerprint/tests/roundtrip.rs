@@ -34,10 +34,9 @@ fn every_planted_deployment_is_recovered() {
                     .unwrap_or_else(|| panic!("{}: {} missing", model.name, dep.library));
                 checked += 1;
                 if dep.version_visible {
-                    let got = det
-                        .version
-                        .as_ref()
-                        .unwrap_or_else(|| panic!("{}: {} version missing", model.name, dep.library));
+                    let got = det.version.as_ref().unwrap_or_else(|| {
+                        panic!("{}: {} version missing", model.name, dep.library)
+                    });
                     assert_eq!(
                         got, &dep.version,
                         "{}: {} version mismatch",
@@ -127,7 +126,12 @@ fn resource_flags_round_trip() {
         let truth = model.state_at(0);
         let analysis = engine.analyze(&html, &model.name);
         let has = |t: ResourceType| analysis.resource_types.contains(&t);
-        assert_eq!(has(ResourceType::Css), truth.resources.css, "{}", model.name);
+        assert_eq!(
+            has(ResourceType::Css),
+            truth.resources.css,
+            "{}",
+            model.name
+        );
         assert_eq!(
             has(ResourceType::Favicon),
             truth.resources.favicon,
@@ -140,8 +144,18 @@ fn resource_flags_round_trip() {
             "{}",
             model.name
         );
-        assert_eq!(has(ResourceType::Svg), truth.resources.svg, "{}", model.name);
-        assert_eq!(has(ResourceType::Axd), truth.resources.axd, "{}", model.name);
+        assert_eq!(
+            has(ResourceType::Svg),
+            truth.resources.svg,
+            "{}",
+            model.name
+        );
+        assert_eq!(
+            has(ResourceType::Axd),
+            truth.resources.axd,
+            "{}",
+            model.name
+        );
         assert_eq!(
             has(ResourceType::Flash),
             truth.flash.is_some(),

@@ -84,8 +84,20 @@ const MAX_DEPTH: usize = 256;
 fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -291,10 +303,7 @@ mod tests {
             </object>"#;
         let doc = Document::parse(html);
         let object = doc.elements_named("object").next().expect("object");
-        let params: Vec<_> = object
-            .descendants()
-            .filter(|e| e.name == "param")
-            .collect();
+        let params: Vec<_> = object.descendants().filter(|e| e.name == "param").collect();
         assert_eq!(params.len(), 2);
         assert_eq!(params[1].attr("value"), Some("always"));
         let embed = object
@@ -340,7 +349,10 @@ mod tests {
         let doc = Document::parse(html);
         let scripts: Vec<_> = doc.elements_named("script").collect();
         assert_eq!(scripts.len(), 3);
-        assert!(scripts[0].attr("src").expect("src").contains("jquery/1.12.4"));
+        assert!(scripts[0]
+            .attr("src")
+            .expect("src")
+            .contains("jquery/1.12.4"));
         let metas: Vec<_> = doc.elements_named("meta").collect();
         assert_eq!(metas[1].attr("content"), Some("WordPress 5.6"));
         let links: Vec<_> = doc.elements_named("link").collect();

@@ -166,9 +166,7 @@ fn extract_object_flash(object: &Element) -> Option<FlashRef> {
     // Nested <embed> may carry the policy when the object doesn't.
     if allow.is_none() {
         if let Some(embed) = object.descendants().find(|e| e.name == "embed") {
-            allow = embed
-                .attr("allowscriptaccess")
-                .map(str::to_ascii_lowercase);
+            allow = embed.attr("allowscriptaccess").map(str::to_ascii_lowercase);
         }
     }
     swf_url.map(|swf_url| FlashRef {

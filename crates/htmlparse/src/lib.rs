@@ -33,7 +33,5 @@ mod extract;
 mod tokenizer;
 
 pub use dom::{Descendants, Document, Element, Node};
-pub use extract::{
-    extract, is_swf_url, url_host, FlashRef, LinkRef, PageResources, ScriptRef,
-};
+pub use extract::{extract, is_swf_url, url_host, FlashRef, LinkRef, PageResources, ScriptRef};
 pub use tokenizer::{decode_entities, tokenize, Token};

@@ -398,8 +398,12 @@ mod tests {
                 start("html", &[]),
                 start("body", &[]),
                 Token::Text("hi".into()),
-                Token::EndTag { name: "body".into() },
-                Token::EndTag { name: "html".into() },
+                Token::EndTag {
+                    name: "body".into()
+                },
+                Token::EndTag {
+                    name: "html".into()
+                },
             ]
         );
     }
@@ -432,7 +436,12 @@ mod tests {
             Token::Text(t) => assert_eq!(t, "if (a < b) { x(\"</div>\"); }"),
             other => panic!("{other:?}"),
         }
-        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
         assert_eq!(toks[3], Token::Text("after".into()));
     }
 
@@ -449,7 +458,13 @@ mod tests {
     #[test]
     fn self_closing_script_does_not_swallow_document() {
         let toks = tokenize("<script src=\"a.js\"/><p>hi</p>");
-        assert!(matches!(&toks[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(
+            &toks[0],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
         assert!(matches!(&toks[1], Token::StartTag { name, .. } if name == "p"));
     }
 
@@ -511,14 +526,22 @@ mod tests {
 
     #[test]
     fn flash_embed_markup() {
-        let html = r#"<object data="movie.swf"><param name="AllowScriptAccess" value="always"/></object>"#;
+        let html =
+            r#"<object data="movie.swf"><param name="AllowScriptAccess" value="always"/></object>"#;
         let toks = tokenize(html);
         assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "object"));
         match &toks[1] {
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 assert_eq!(name, "param");
                 assert!(self_closing);
-                assert_eq!(attrs[0], ("name".to_string(), "AllowScriptAccess".to_string()));
+                assert_eq!(
+                    attrs[0],
+                    ("name".to_string(), "AllowScriptAccess".to_string())
+                );
                 assert_eq!(attrs[1], ("value".to_string(), "always".to_string()));
             }
             other => panic!("{other:?}"),

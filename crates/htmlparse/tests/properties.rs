@@ -12,8 +12,8 @@ fn well_formed(depth: u32) -> BoxedStrategy<(String, usize, String)> {
         return leaf.boxed();
     }
     let inner = proptest::collection::vec(well_formed(depth - 1), 0..3);
-    let node = (prop::sample::select(vec!["div", "p", "span", "b"]), inner).prop_map(
-        |(tag, kids)| {
+    let node =
+        (prop::sample::select(vec!["div", "p", "span", "b"]), inner).prop_map(|(tag, kids)| {
             let mut html = format!("<{tag}>");
             let mut count = 1usize;
             let mut text = String::new();
@@ -24,8 +24,7 @@ fn well_formed(depth: u32) -> BoxedStrategy<(String, usize, String)> {
             }
             html.push_str(&format!("</{tag}>"));
             (html, count, text)
-        },
-    );
+        });
     prop_oneof![leaf, node].boxed()
 }
 

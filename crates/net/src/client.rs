@@ -109,19 +109,17 @@ mod tests {
 
     #[test]
     fn follows_cross_host_redirect() {
-        let net = VirtualNet::new(Arc::new(|req: &Request| {
-            match req.host() {
-                Some("old.example") => {
-                    let mut r = Response::status(Status::FOUND);
-                    r.headers.insert("Location", "https://new.example/landed");
-                    r
-                }
-                _ => Response::html(format!(
-                    "welcome to {} {}",
-                    req.host().unwrap_or("?"),
-                    req.target
-                )),
+        let net = VirtualNet::new(Arc::new(|req: &Request| match req.host() {
+            Some("old.example") => {
+                let mut r = Response::status(Status::FOUND);
+                r.headers.insert("Location", "https://new.example/landed");
+                r
             }
+            _ => Response::html(format!(
+                "welcome to {} {}",
+                req.host().unwrap_or("?"),
+                req.target
+            )),
         }));
         let resp = fetch(&net, "old.example", "/").expect("fetch");
         assert_eq!(resp.body_text(), "welcome to new.example /landed");
@@ -139,9 +137,7 @@ mod tests {
 
     #[test]
     fn redirect_without_location_is_returned() {
-        let net = VirtualNet::new(Arc::new(|_req: &Request| {
-            Response::status(Status::FOUND)
-        }));
+        let net = VirtualNet::new(Arc::new(|_req: &Request| Response::status(Status::FOUND)));
         let resp = fetch(&net, "bare.example", "/").expect("fetch");
         assert_eq!(resp.status, Status::FOUND);
     }
@@ -153,7 +149,10 @@ mod tests {
             p("https://a.example/x"),
             Some(("a.example".into(), "/x".into()))
         );
-        assert_eq!(p("http://a.example"), Some(("a.example".into(), "/".into())));
+        assert_eq!(
+            p("http://a.example"),
+            Some(("a.example".into(), "/".into()))
+        );
         assert_eq!(p("//b.example/y"), Some(("b.example".into(), "/y".into())));
         assert_eq!(p("/path"), Some(("cur.example".into(), "/path".into())));
         assert_eq!(p("page"), Some(("cur.example".into(), "/page".into())));

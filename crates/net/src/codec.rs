@@ -289,7 +289,8 @@ impl<R: Read> MessageReader<R> {
     fn read_line(&mut self) -> Result<String> {
         loop {
             if let Some(end) = find_subsequence(&self.buf[self.pos..], b"\r\n") {
-                let line = String::from_utf8_lossy(&self.buf[self.pos..self.pos + end]).into_owned();
+                let line =
+                    String::from_utf8_lossy(&self.buf[self.pos..self.pos + end]).into_owned();
                 self.pos += end + 2;
                 return Ok(line);
             }
@@ -457,7 +458,10 @@ mod tests {
 
     #[test]
     fn oversized_declared_body_is_rejected() {
-        let wire = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let wire = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         match parse_response_bytes(wire.as_bytes()) {
             Err(NetError::TooLarge(_)) => {}
             other => panic!("{other:?}"),

@@ -10,6 +10,8 @@ use crate::client::fetch;
 use crate::server::Connect;
 use crossbeam::channel::unbounded;
 use std::collections::BTreeMap;
+use std::time::Instant;
+use webvuln_telemetry::{Counter, Histogram, Registry};
 
 /// Outcome of fetching one domain's landing page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,13 +53,70 @@ impl Default for CrawlConfig {
     }
 }
 
+/// Per-crawl metric handles, registered once and recorded lock-free by
+/// every worker thread.
+#[derive(Clone)]
+struct CrawlerMetrics {
+    fetches: Counter,
+    errors: Counter,
+    bytes: Counter,
+    status_2xx: Counter,
+    status_3xx: Counter,
+    status_4xx: Counter,
+    status_5xx: Counter,
+    latency: Histogram,
+}
+
+impl CrawlerMetrics {
+    fn from_registry(registry: &Registry) -> CrawlerMetrics {
+        CrawlerMetrics {
+            fetches: registry.counter("net.fetches_total"),
+            errors: registry.counter("net.fetch_errors_total"),
+            bytes: registry.counter("net.bytes_total"),
+            status_2xx: registry.counter("net.status_2xx_total"),
+            status_3xx: registry.counter("net.status_3xx_total"),
+            status_4xx: registry.counter("net.status_4xx_total"),
+            status_5xx: registry.counter("net.status_5xx_total"),
+            latency: registry.histogram("net.fetch_latency_ns"),
+        }
+    }
+
+    fn record(&self, record: &FetchRecord, elapsed_ns: u64) {
+        self.fetches.inc();
+        self.bytes.add(record.body.len() as u64);
+        self.latency.record(elapsed_ns);
+        match record.status {
+            Some(s) if (200..300).contains(&s) => self.status_2xx.inc(),
+            Some(s) if (300..400).contains(&s) => self.status_3xx.inc(),
+            Some(s) if (400..500).contains(&s) => self.status_4xx.inc(),
+            Some(_) => self.status_5xx.inc(),
+            None => self.errors.inc(),
+        }
+    }
+}
+
 /// Fetches the landing page of every domain. Returns records in domain
 /// order (deterministic regardless of scheduling).
+///
+/// Metrics land in the [global registry](Registry::global); use
+/// [`crawl_instrumented`] to account against an injected registry instead.
 pub fn crawl(
     domains: &[String],
     connector: &dyn Connect,
     config: CrawlConfig,
 ) -> BTreeMap<String, FetchRecord> {
+    crawl_instrumented(domains, connector, config, Registry::global())
+}
+
+/// Like [`crawl`], recording fetch counts, byte totals, status classes and
+/// per-request latency into `registry` (`net.*` metrics).
+pub fn crawl_instrumented(
+    domains: &[String],
+    connector: &dyn Connect,
+    config: CrawlConfig,
+    registry: &Registry,
+) -> BTreeMap<String, FetchRecord> {
+    let metrics = CrawlerMetrics::from_registry(registry);
     let concurrency = config.concurrency.max(1).min(domains.len().max(1));
     let (work_tx, work_rx) = unbounded::<String>();
     let (done_tx, done_rx) = unbounded::<FetchRecord>();
@@ -66,9 +125,13 @@ pub fn crawl(
         for _ in 0..concurrency {
             let work_rx = work_rx.clone();
             let done_tx = done_tx.clone();
+            let metrics = metrics.clone();
             scope.spawn(move || {
                 while let Ok(domain) = work_rx.recv() {
+                    let started = Instant::now();
                     let record = fetch_domain(connector, &domain);
+                    let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    metrics.record(&record, elapsed_ns);
                     if done_tx.send(record).is_err() {
                         return;
                     }
@@ -160,9 +223,14 @@ mod tests {
     fn crawl_is_deterministic_across_concurrency_levels() {
         let ds = domains(64);
         let run = |workers: usize, seed: u64| {
-            let net = VirtualNet::new(content_handler())
-                .with_faults(FaultPlan::realistic(seed));
-            crawl(&ds, &net, CrawlConfig { concurrency: workers })
+            let net = VirtualNet::new(content_handler()).with_faults(FaultPlan::realistic(seed));
+            crawl(
+                &ds,
+                &net,
+                CrawlConfig {
+                    concurrency: workers,
+                },
+            )
         };
         let a = run(1, 99);
         let b = run(8, 99);
@@ -225,5 +293,46 @@ mod tests {
         let net = VirtualNet::new(content_handler());
         let got = crawl(&[], &net, CrawlConfig::default());
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn instrumented_crawl_accounts_every_fetch() {
+        let registry = webvuln_telemetry::Registry::new();
+        let net = VirtualNet::new(content_handler());
+        let ds = domains(30);
+        let got = crawl_instrumented(&ds, &net, CrawlConfig { concurrency: 4 }, &registry);
+        let blocked = got.values().filter(|r| r.status == Some(403)).count();
+        let bytes: u64 = got.values().map(|r| r.body.len() as u64).sum();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net.fetches_total"), Some(30));
+        assert_eq!(
+            snap.counter("net.status_2xx_total"),
+            Some(30 - blocked as u64)
+        );
+        assert_eq!(snap.counter("net.status_4xx_total"), Some(blocked as u64));
+        assert_eq!(snap.counter("net.bytes_total"), Some(bytes));
+        assert_eq!(snap.counter("net.fetch_errors_total"), Some(0));
+        let latency = snap.histogram("net.fetch_latency_ns").expect("histogram");
+        assert_eq!(latency.count, 30);
+    }
+
+    #[test]
+    fn instrumented_crawl_counts_connection_errors() {
+        let registry = webvuln_telemetry::Registry::new();
+        let net = VirtualNet::new(content_handler())
+            .with_fault_metrics(&registry)
+            .with_faults(FaultPlan {
+                seed: 5,
+                connect_fail_permille: 1000,
+                truncate_permille: 0,
+                chunked_permille: 0,
+            });
+        let got = crawl_instrumented(&domains(12), &net, CrawlConfig::default(), &registry);
+        assert_eq!(got.len(), 12);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net.fetch_errors_total"), Some(12));
+        assert_eq!(snap.counter("net.faults_refused_total"), Some(12));
+        assert_eq!(snap.counter("net.status_2xx_total"), Some(0));
     }
 }

@@ -48,8 +48,7 @@ impl FaultPlan {
 
     /// Should connecting to `host` fail?
     pub fn connect_fails(&self, host: &str) -> bool {
-        self.decide(host, 0xC0,
-            self.connect_fail_permille)
+        self.decide(host, 0xC0, self.connect_fail_permille)
     }
 
     /// Truncation point for `host`'s responses, if any.
@@ -128,7 +127,10 @@ mod tests {
             .filter(|i| plan.prefers_chunked(&format!("host{i}.example")))
             .count();
         assert!((1600..2400).contains(&fails), "{fails} ≈ 2000 expected");
-        assert!((9000..11000).contains(&chunked), "{chunked} ≈ 10000 expected");
+        assert!(
+            (9000..11000).contains(&chunked),
+            "{chunked} ≈ 10000 expected"
+        );
     }
 
     #[test]

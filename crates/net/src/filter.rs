@@ -107,21 +107,23 @@ mod tests {
 
     fn weeks(rows: Vec<Vec<(&str, FetchSummary)>>) -> Vec<BTreeMap<String, FetchSummary>> {
         rows.into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|(d, s)| (d.to_string(), s))
-                    .collect()
-            })
+            .map(|row| row.into_iter().map(|(d, s)| (d.to_string(), s)).collect())
             .collect()
     }
 
     #[test]
     fn page_rule_matches_paper() {
         assert!(page_is_error_or_empty(None, 0));
-        assert!(page_is_error_or_empty(Some(404), 10_000), "4xx even with content");
+        assert!(
+            page_is_error_or_empty(Some(404), 10_000),
+            "4xx even with content"
+        );
         assert!(page_is_error_or_empty(Some(503), 10_000));
         assert!(page_is_error_or_empty(Some(200), 399), "below 400 bytes");
-        assert!(!page_is_error_or_empty(Some(200), 400), "threshold is inclusive-ok");
+        assert!(
+            !page_is_error_or_empty(Some(200), 400),
+            "threshold is inclusive-ok"
+        );
         assert!(!page_is_error_or_empty(Some(200), 50_000));
     }
 

@@ -39,8 +39,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod codec;
 mod client;
+pub mod codec;
 mod crawler;
 mod error;
 mod fault;
@@ -50,10 +50,14 @@ mod server;
 mod transport;
 
 pub use client::{fetch, fetch_once, fetch_with_redirects, MAX_REDIRECTS};
-pub use crawler::{crawl, fetch_domain, CrawlConfig, FetchRecord};
+pub use crawler::{crawl, crawl_instrumented, fetch_domain, CrawlConfig, FetchRecord};
 pub use error::{NetError, Result};
 pub use fault::{mix, FaultPlan};
-pub use filter::{inaccessible_domains, page_is_error_or_empty, FetchSummary, EMPTY_PAGE_THRESHOLD};
+pub use filter::{
+    inaccessible_domains, page_is_error_or_empty, FetchSummary, EMPTY_PAGE_THRESHOLD,
+};
 pub use http::{Headers, Method, Request, Response, Status};
-pub use server::{roundtrip, serve_connection, Connect, Handler, TcpConnector, TcpServer, VirtualNet};
+pub use server::{
+    roundtrip, serve_connection, Connect, Handler, TcpConnector, TcpServer, VirtualNet,
+};
 pub use transport::{mem_pipe, ByteStream, MemStream};

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use webvuln_telemetry::{Counter, Registry};
 
 /// Produces a response for a request. Implemented by the synthetic web
 /// generator; closures work too.
@@ -117,9 +118,7 @@ impl TcpServer {
     pub fn start(handler: Arc<dyn Handler>) -> Result<TcpServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(NetError::Io)?;
         let addr = listener.local_addr().map_err(NetError::Io)?;
-        listener
-            .set_nonblocking(true)
-            .map_err(NetError::Io)?;
+        listener.set_nonblocking(true).map_err(NetError::Io)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let accept_thread = std::thread::spawn(move || {
@@ -226,6 +225,26 @@ impl Connect for TcpConnector {
 pub struct VirtualNet {
     handler: Arc<dyn Handler>,
     faults: FaultPlan,
+    metrics: FaultMetrics,
+}
+
+/// Counters for each injected-fault kind, recorded at the moment the fault
+/// actually bites (a truncation point past the response is not a fault).
+#[derive(Clone)]
+struct FaultMetrics {
+    refused: Counter,
+    truncated: Counter,
+    chunked: Counter,
+}
+
+impl FaultMetrics {
+    fn from_registry(registry: &Registry) -> FaultMetrics {
+        FaultMetrics {
+            refused: registry.counter("net.faults_refused_total"),
+            truncated: registry.counter("net.faults_truncated_total"),
+            chunked: registry.counter("net.faults_chunked_total"),
+        }
+    }
 }
 
 impl VirtualNet {
@@ -234,6 +253,7 @@ impl VirtualNet {
         VirtualNet {
             handler,
             faults: FaultPlan::none(),
+            metrics: FaultMetrics::from_registry(Registry::global()),
         }
     }
 
@@ -242,15 +262,27 @@ impl VirtualNet {
         self.faults = faults;
         self
     }
+
+    /// Accounts injected faults (`net.faults_*` counters) against
+    /// `registry` instead of the global one.
+    pub fn with_fault_metrics(mut self, registry: &Registry) -> VirtualNet {
+        self.metrics = FaultMetrics::from_registry(registry);
+        self
+    }
 }
 
 impl Connect for VirtualNet {
     fn connect(&self, host: &str) -> Result<Box<dyn ByteStream>> {
         if self.faults.connect_fails(host) {
+            self.metrics.refused.inc();
             return Err(NetError::Io(io::Error::new(
                 io::ErrorKind::ConnectionRefused,
                 format!("simulated refusal for {host}"),
             )));
+        }
+        let chunked = self.faults.prefers_chunked(host);
+        if chunked {
+            self.metrics.chunked.inc();
         }
         Ok(Box::new(LoopbackStream {
             handler: Arc::clone(&self.handler),
@@ -258,7 +290,8 @@ impl Connect for VirtualNet {
             request_pos: 0,
             response: Cursor::new(Vec::new()),
             truncate_at: self.faults.truncate_at(host),
-            chunked: self.faults.prefers_chunked(host),
+            chunked,
+            truncated_counter: self.metrics.truncated.clone(),
         }))
     }
 }
@@ -275,6 +308,8 @@ struct LoopbackStream {
     truncate_at: Option<usize>,
     /// Whether responses use chunked framing (for codec-path diversity).
     chunked: bool,
+    /// Bumped when a response is actually cut (the point fell inside it).
+    truncated_counter: Counter,
 }
 
 impl Read for LoopbackStream {
@@ -318,6 +353,7 @@ impl LoopbackStream {
                 wire.truncate(limit);
                 // After the truncated bytes the stream is dead.
                 self.request_pos = self.request_buf.len();
+                self.truncated_counter.inc();
             }
         }
         self.response = Cursor::new(wire);
@@ -458,5 +494,35 @@ mod tests {
         let handler = echo_handler();
         let resp = roundtrip(handler.as_ref(), &Request::get("h.example", "/rt")).expect("ok");
         assert!(resp.body_text().contains("target=/rt"));
+    }
+
+    #[test]
+    fn fault_metrics_count_only_faults_that_bite() {
+        let registry = Registry::new();
+        // A body so large every truncation point (64..1024) falls inside it.
+        let big = Arc::new(|_req: &Request| Response::html("x".repeat(4096)));
+        let net = VirtualNet::new(big)
+            .with_fault_metrics(&registry)
+            .with_faults(FaultPlan {
+                seed: 9,
+                connect_fail_permille: 0,
+                truncate_permille: 1000,
+                chunked_permille: 0,
+            });
+        for i in 0..5 {
+            let _ = fetch(&net, &format!("cut{i}.example"), "/");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net.faults_truncated_total"), Some(5));
+        assert_eq!(snap.counter("net.faults_refused_total"), Some(0));
+
+        // With no faults installed nothing is counted.
+        let clean = Registry::new();
+        let net = VirtualNet::new(echo_handler()).with_fault_metrics(&clean);
+        let _ = fetch(&net, "ok.example", "/");
+        let snap = clean.snapshot();
+        assert_eq!(snap.counter("net.faults_truncated_total"), Some(0));
+        assert_eq!(snap.counter("net.faults_refused_total"), Some(0));
+        assert_eq!(snap.counter("net.faults_chunked_total"), Some(0));
     }
 }

@@ -79,7 +79,10 @@ impl Read for MemStream {
 impl Write for MemStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         if self.closed {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "write end shut down"));
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "write end shut down",
+            ));
         }
         self.tx
             .send(Bytes::copy_from_slice(buf))

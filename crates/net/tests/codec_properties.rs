@@ -9,12 +9,8 @@ use webvuln_net::{Headers, Method, Request, Response, Status};
 
 fn arb_header_name() -> impl Strategy<Value = String> {
     "[A-Za-z][A-Za-z0-9-]{0,20}".prop_filter("reserved framing headers", |name| {
-        ![
-            "content-length",
-            "transfer-encoding",
-            "connection",
-        ]
-        .contains(&name.to_ascii_lowercase().as_str())
+        !["content-length", "transfer-encoding", "connection"]
+            .contains(&name.to_ascii_lowercase().as_str())
     })
 }
 
@@ -36,7 +32,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
             for (k, v) in headers {
                 h.insert(k, v);
             }
-            let body = if method == Method::Get { Vec::new() } else { body };
+            let body = if method == Method::Get {
+                Vec::new()
+            } else {
+                body
+            };
             Request {
                 method,
                 target,

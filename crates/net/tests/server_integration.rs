@@ -98,9 +98,7 @@ fn garbage_gets_400_and_connection_close() {
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
         .expect("timeout");
-    stream
-        .write_all(b"GARBAGE GARBAGE\r\n\r\n")
-        .expect("send");
+    stream.write_all(b"GARBAGE GARBAGE\r\n\r\n").expect("send");
     let resp = MessageReader::new(&mut stream)
         .read_response(false)
         .expect("response");

@@ -68,10 +68,7 @@ pub fn compile(ast: &Ast, group_count: u32, case_insensitive: bool) -> Result<Pr
     c.emit(ast)?;
     c.push(Inst::Save(1))?;
     c.push(Inst::Match)?;
-    let anchored_start = matches!(
-        peel_prefix(ast),
-        Some(Ast::StartAnchor)
-    );
+    let anchored_start = matches!(peel_prefix(ast), Some(Ast::StartAnchor));
     let literal_prefix = literal_prefix(ast, case_insensitive);
     Ok(Program {
         insts: c.insts,

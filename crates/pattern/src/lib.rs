@@ -37,6 +37,7 @@ mod parser;
 mod vm;
 
 pub use ast::ClassSet;
+pub use vm::thread_vm_steps;
 
 use std::fmt;
 
@@ -394,14 +395,20 @@ mod tests {
     #[test]
     fn find_iter_non_overlapping() {
         let p = Pattern::new(r"\d+").unwrap();
-        let all: Vec<_> = p.find_iter("v1.2 and v3.44").map(|m| m.as_str().to_string()).collect();
+        let all: Vec<_> = p
+            .find_iter("v1.2 and v3.44")
+            .map(|m| m.as_str().to_string())
+            .collect();
         assert_eq!(all, vec!["1", "2", "3", "44"]);
     }
 
     #[test]
     fn find_iter_with_empty_matches_terminates() {
         let p = Pattern::new("a*").unwrap();
-        let all: Vec<_> = p.find_iter("baab").map(|m| m.as_str().to_string()).collect();
+        let all: Vec<_> = p
+            .find_iter("baab")
+            .map(|m| m.as_str().to_string())
+            .collect();
         // Empty at 0, "aa" at 1, empty at 3 (before 'b') and at 4 (end) —
         // the same sequence the `regex` crate produces.
         assert_eq!(all, vec!["", "aa", "", ""]);
@@ -441,7 +448,9 @@ mod tests {
     #[test]
     fn prefilter_agrees_with_vm_on_ci() {
         let p = Pattern::new_ci(r"Bootstrap[ /]v?([\d.]+)").unwrap();
-        let caps = p.captures("  * bootstrap v4.3.1 (https://getbootstrap.com)").unwrap();
+        let caps = p
+            .captures("  * bootstrap v4.3.1 (https://getbootstrap.com)")
+            .unwrap();
         assert_eq!(caps.get(1), Some("4.3.1"));
     }
 

@@ -207,9 +207,7 @@ impl Parser {
                     None => return Err(self.error("unterminated character class")),
                     Some('\\') => match self.class_escape()? {
                         ClassAtom::Char(c) => c,
-                        ClassAtom::Set(_) => {
-                            return Err(self.error("perl class as range endpoint"))
-                        }
+                        ClassAtom::Set(_) => return Err(self.error("perl class as range endpoint")),
                     },
                     Some(c) => c,
                 };
@@ -356,7 +354,10 @@ mod tests {
 
     #[test]
     fn parses_literals_and_concat() {
-        assert_eq!(ok("ab"), Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')]));
+        assert_eq!(
+            ok("ab"),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
         assert_eq!(ok("a"), Ast::Literal('a'));
         assert_eq!(ok(""), Ast::Empty);
     }

@@ -6,10 +6,28 @@
 //! patterns can never blow up on adversarial page content.
 
 use crate::compile::{Inst, Program};
+use std::cell::Cell;
 
 /// Capture slots for one match: `slots[2k]`/`slots[2k+1]` hold the byte
 /// offsets of group `k`'s start/end (group 0 is the whole match).
 pub type Slots = Vec<Option<usize>>;
+
+thread_local! {
+    /// Cumulative VM work done on this thread, in instruction dispatches
+    /// (including epsilon-closure work in `add_thread`).
+    static VM_STEPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total VM steps executed on the calling thread since it started.
+///
+/// A "step" is one instruction dispatch, counting epsilon-closure work.
+/// The Pike VM never backtracks, so steps grow linearly with
+/// `pattern × haystack` — instrumentation layers read this before and
+/// after a batch of matches to attribute regex cost (and to prove the
+/// no-blowup guarantee holds on real page content).
+pub fn thread_vm_steps() -> u64 {
+    VM_STEPS.with(Cell::get)
+}
 
 /// Runs `prog` against `haystack` starting the search at byte offset
 /// `start`. Returns capture slots of the leftmost match, if any.
@@ -74,6 +92,7 @@ impl<'p, 't> Vm<'p, 't> {
         nlist.clear();
 
         let mut matched: Option<Slots> = None;
+        let mut steps: u64 = 0;
         let mut pos = start;
         // Iterate char boundaries from `start` to end-of-string inclusive.
         loop {
@@ -82,7 +101,7 @@ impl<'p, 't> Vm<'p, 't> {
             // was already found at an earlier position (leftmost wins).
             if matched.is_none() && (!self.prog.anchored_start || pos == 0) {
                 let slots = vec![None; self.prog.slot_count];
-                self.add_thread(&mut clist, 0, slots, pos);
+                self.add_thread(&mut clist, 0, slots, pos, &mut steps);
             }
             if clist.threads.is_empty() && matched.is_some() {
                 break;
@@ -105,6 +124,7 @@ impl<'p, 't> Vm<'p, 't> {
                 if cut {
                     break;
                 }
+                steps += 1;
                 match &insts[th.pc as usize] {
                     Inst::Match => {
                         // Highest-priority thread matched at this position:
@@ -114,24 +134,33 @@ impl<'p, 't> Vm<'p, 't> {
                     }
                     Inst::Char(c) => {
                         if folded == Some(*c) {
-                            self.add_thread(&mut nlist, th.pc + 1, th.slots, next_pos);
+                            self.add_thread(&mut nlist, th.pc + 1, th.slots, next_pos, &mut steps);
                         }
                     }
                     Inst::Class(idx) => {
                         if let Some(c) = folded {
                             if self.prog.classes[*idx as usize].matches(c) {
-                                self.add_thread(&mut nlist, th.pc + 1, th.slots, next_pos);
+                                self.add_thread(
+                                    &mut nlist,
+                                    th.pc + 1,
+                                    th.slots,
+                                    next_pos,
+                                    &mut steps,
+                                );
                             }
                         }
                     }
                     Inst::Any => {
                         if matches!(ch, Some(c) if c != '\n') {
-                            self.add_thread(&mut nlist, th.pc + 1, th.slots, next_pos);
+                            self.add_thread(&mut nlist, th.pc + 1, th.slots, next_pos, &mut steps);
                         }
                     }
                     // Epsilon instructions are resolved inside `add_thread`;
                     // reaching one here is a logic error.
-                    Inst::Split(..) | Inst::Jmp(_) | Inst::Save(_) | Inst::AssertStart
+                    Inst::Split(..)
+                    | Inst::Jmp(_)
+                    | Inst::Save(_)
+                    | Inst::AssertStart
                     | Inst::AssertEnd => {
                         unreachable!("epsilon instruction survived add_thread")
                     }
@@ -144,35 +173,44 @@ impl<'p, 't> Vm<'p, 't> {
             }
             pos = next_pos;
         }
+        VM_STEPS.with(|c| c.set(c.get().wrapping_add(steps)));
         matched
     }
 
     /// Adds `pc` to `list`, transitively following epsilon transitions
     /// (splits, jumps, saves, satisfied assertions) in priority order.
-    fn add_thread(&self, list: &mut ThreadList, pc: u32, slots: Slots, pos: usize) {
+    fn add_thread(
+        &self,
+        list: &mut ThreadList,
+        pc: u32,
+        slots: Slots,
+        pos: usize,
+        steps: &mut u64,
+    ) {
         if list.contains(pc) {
             return;
         }
         list.mark(pc);
+        *steps += 1;
         match &self.prog.insts[pc as usize] {
-            Inst::Jmp(t) => self.add_thread(list, *t, slots, pos),
+            Inst::Jmp(t) => self.add_thread(list, *t, slots, pos, steps),
             Inst::Split(a, b) => {
-                self.add_thread(list, *a, slots.clone(), pos);
-                self.add_thread(list, *b, slots, pos);
+                self.add_thread(list, *a, slots.clone(), pos, steps);
+                self.add_thread(list, *b, slots, pos, steps);
             }
             Inst::Save(slot) => {
                 let mut slots = slots;
                 slots[*slot as usize] = Some(pos);
-                self.add_thread(list, pc + 1, slots, pos);
+                self.add_thread(list, pc + 1, slots, pos, steps);
             }
             Inst::AssertStart => {
                 if pos == 0 {
-                    self.add_thread(list, pc + 1, slots, pos);
+                    self.add_thread(list, pc + 1, slots, pos, steps);
                 }
             }
             Inst::AssertEnd => {
                 if pos == self.haystack.len() {
-                    self.add_thread(list, pc + 1, slots, pos);
+                    self.add_thread(list, pc + 1, slots, pos, steps);
                 }
             }
             _ => list.threads.push(Thread { pc, slots }),
@@ -250,8 +288,14 @@ mod tests {
         let (ast, n) = parse(r"v(\d+)\.(\d+)").expect("parse ok");
         let prog = compile(&ast, n, false).expect("compile ok");
         let slots = exec(&prog, "jquery v3.14 here", 0).expect("match");
-        assert_eq!(&"jquery v3.14 here"[slots[2].unwrap()..slots[3].unwrap()], "3");
-        assert_eq!(&"jquery v3.14 here"[slots[4].unwrap()..slots[5].unwrap()], "14");
+        assert_eq!(
+            &"jquery v3.14 here"[slots[2].unwrap()..slots[3].unwrap()],
+            "3"
+        );
+        assert_eq!(
+            &"jquery v3.14 here"[slots[4].unwrap()..slots[5].unwrap()],
+            "14"
+        );
     }
 
     #[test]
@@ -260,5 +304,28 @@ mod tests {
         // the Pike VM stays linear.
         let text = "a".repeat(2000);
         assert_eq!(run("(a*)*b", &text), None);
+    }
+
+    #[test]
+    fn thread_step_counter_advances_and_stays_linear() {
+        let (ast, n) = parse("(a*)*b").expect("parse ok");
+        let prog = compile(&ast, n, false).expect("compile ok");
+
+        let before = thread_vm_steps();
+        let short = "a".repeat(100);
+        exec(&prog, &short, 0);
+        let short_steps = thread_vm_steps() - before;
+        assert!(short_steps > 0, "exec must add steps");
+
+        let mid = thread_vm_steps();
+        let long = "a".repeat(1000);
+        exec(&prog, &long, 0);
+        let long_steps = thread_vm_steps() - mid;
+        // 10x the input must cost no more than ~10x the steps (plus a
+        // constant) — the linearity the Pike VM guarantees.
+        assert!(
+            long_steps <= short_steps * 10 + short_steps,
+            "steps grew superlinearly: {short_steps} -> {long_steps}"
+        );
     }
 }

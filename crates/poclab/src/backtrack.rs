@@ -32,7 +32,10 @@ pub struct BtRegex {
 enum Node {
     Char(char),
     Any,
-    Class { ranges: Vec<(char, char)>, negated: bool },
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
     Alt(Vec<Vec<Node>>),
     Star(Box<Node>),
     Plus(Box<Node>),
@@ -318,7 +321,10 @@ mod tests {
     use super::*;
 
     fn matched(pattern: &str, input: &str) -> bool {
-        matches!(BtRegex::new(pattern).run(input, 1_000_000).0, BtOutcome::Matched)
+        matches!(
+            BtRegex::new(pattern).run(input, 1_000_000).0,
+            BtOutcome::Matched
+        )
     }
 
     #[test]

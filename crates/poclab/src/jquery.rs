@@ -135,8 +135,7 @@ impl JQuery {
     /// 1.5.0 and 2.2.4 the select-wrapper fragment path attached
     /// attacker-controlled attributes live.
     pub fn create_option_element(&self, sandbox: &mut Sandbox, option_markup: &str) {
-        let vulnerable =
-            self.version >= v("1.5.0") && self.version < v("2.2.4");
+        let vulnerable = self.version >= v("1.5.0") && self.version < v("2.2.4");
         if vulnerable {
             sandbox.insert_and_fire(option_markup);
         } else {
@@ -147,8 +146,7 @@ impl JQuery {
     /// Cross-domain `$.ajax` auto-executing `text/javascript` responses
     /// (CVE-2015-9251's range as reported: 1.12.0 ≤ v < 3.0.0).
     pub fn ajax_cross_domain(&self, sandbox: &mut Sandbox, content_type: &str, body: &str) {
-        let auto_executes =
-            self.version >= v("1.12.0") && self.version < v("3.0.0");
+        let auto_executes = self.version >= v("1.12.0") && self.version < v("3.0.0");
         if auto_executes && content_type.eq_ignore_ascii_case("text/javascript") {
             sandbox.eval_script(body);
         }
@@ -226,8 +224,20 @@ fn expand_self_closing(html: &str) -> String {
 fn is_void_element(name: &str) -> bool {
     matches!(
         name.to_ascii_lowercase().as_str(),
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -285,7 +295,10 @@ mod tests {
 
         let mut sb = Sandbox::new();
         jq("1.4.2").html_method(&mut sb, payload);
-        assert!(!sb.exploited(), "pre-1.12 html() path is not affected (TVV)");
+        assert!(
+            !sb.exploited(),
+            "pre-1.12 html() path is not affected (TVV)"
+        );
     }
 
     #[test]
@@ -347,7 +360,12 @@ mod tests {
     #[test]
     fn option_runtime_range() {
         let payload = r#"<option value="x" onmouseover="alert('CVE-2014-6071')">x</option>"#;
-        for (ver, hit) in [("1.4.2", false), ("1.5.0", true), ("2.2.3", true), ("2.2.4", false)] {
+        for (ver, hit) in [
+            ("1.4.2", false),
+            ("1.5.0", true),
+            ("2.2.3", true),
+            ("2.2.4", false),
+        ] {
             let mut sb = Sandbox::new();
             jq(ver).create_option_element(&mut sb, payload);
             assert_eq!(sb.exploited(), hit, "{ver}");
@@ -356,7 +374,12 @@ mod tests {
 
     #[test]
     fn cross_domain_autoexec_range() {
-        for (ver, hit) in [("1.11.3", false), ("1.12.0", true), ("2.2.4", true), ("3.0.0", false)] {
+        for (ver, hit) in [
+            ("1.11.3", false),
+            ("1.12.0", true),
+            ("2.2.4", true),
+            ("3.0.0", false),
+        ] {
             let mut sb = Sandbox::new();
             jq(ver).ajax_cross_domain(&mut sb, "text/javascript", "alert('CVE-2015-9251')");
             assert_eq!(sb.exploited(), hit, "{ver}");

@@ -60,7 +60,10 @@ impl Lab {
 
     /// The PoC for a report id.
     pub fn poc(&self, id: &str) -> Option<&dyn PocExploit> {
-        self.corpus.iter().find(|p| p.id() == id).map(|b| b.as_ref())
+        self.corpus
+            .iter()
+            .find(|p| p.id() == id)
+            .map(|b| b.as_ref())
     }
 
     /// Validates one report: sweeps the library's release catalog.
@@ -75,9 +78,7 @@ impl Lab {
         self.db
             .records()
             .iter()
-            .filter_map(|record| {
-                self.poc(&record.id).map(|poc| self.run_sweep(record, poc))
-            })
+            .filter_map(|record| self.poc(&record.id).map(|poc| self.run_sweep(record, poc)))
             .collect()
     }
 
@@ -178,8 +179,11 @@ mod tests {
         // Understated: more versions vulnerable than claimed.
         assert_eq!(acc("CVE-2020-7656"), Accuracy::Understated);
         assert_eq!(acc("SNYK-JQUERY-MIGRATE-XSS"), Accuracy::Understated);
-        assert_eq!(acc("CVE-2020-27511"), Accuracy::Accurate,
-            "over the released catalog, ≤1.7.3 covers everything");
+        assert_eq!(
+            acc("CVE-2020-27511"),
+            Accuracy::Accurate,
+            "over the released catalog, ≤1.7.3 covers everything"
+        );
         // Overstated: claimed but not vulnerable.
         assert_eq!(acc("CVE-2020-11022"), Accuracy::Overstated);
         assert_eq!(acc("CVE-2020-11023"), Accuracy::Overstated);
@@ -208,7 +212,10 @@ mod tests {
             .filter(|r| r.accuracy != Accuracy::Accurate)
             .collect();
         assert_eq!(incorrect.len(), 13);
-        let with_cve = incorrect.iter().filter(|r| r.id.starts_with("CVE-")).count();
+        let with_cve = incorrect
+            .iter()
+            .filter(|r| r.id.starts_with("CVE-"))
+            .count();
         assert_eq!(with_cve, 12);
     }
 
@@ -235,7 +242,9 @@ mod tests {
         // clears jQuery 3.5.1 while the lab proves it exploitable.
         let lab = Lab::new();
         let v351 = Version::parse("3.5.1").expect("version");
-        assert!(!lab.db().is_vulnerable(LibraryId::JQuery, &v351, Basis::CveClaimed));
+        assert!(!lab
+            .db()
+            .is_vulnerable(LibraryId::JQuery, &v351, Basis::CveClaimed));
         let poc = lab.poc("CVE-2020-7656").expect("poc");
         assert_eq!(poc.attempt(&v351), crate::poc::PocResult::Exploited);
     }

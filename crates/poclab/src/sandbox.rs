@@ -30,9 +30,8 @@ impl Sandbox {
     /// Evaluates a script body: records it and extracts `alert()` beacons.
     pub fn eval_script(&mut self, source: &str) {
         static ALERT: std::sync::OnceLock<Pattern> = std::sync::OnceLock::new();
-        let alert = ALERT.get_or_init(|| {
-            Pattern::new(r#"alert\(\s*['"]?([^'")]*)"#).expect("static pattern")
-        });
+        let alert = ALERT
+            .get_or_init(|| Pattern::new(r#"alert\(\s*['"]?([^'")]*)"#).expect("static pattern"));
         if let Some(caps) = alert.captures(source) {
             self.alerts.push(caps.get(1).unwrap_or("").to_string());
         }

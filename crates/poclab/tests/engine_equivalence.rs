@@ -11,18 +11,16 @@ use webvuln_poclab::{BtOutcome, BtRegex};
 /// terminates fast.
 fn arb_pattern() -> impl Strategy<Value = String> {
     let atom = prop_oneof![
-        "[a-c]",                              // literal
-        Just(".".to_string()),                // any
-        Just("[ab]".to_string()),             // class
-        Just("[^c]".to_string()),             // negated class
-        Just("\\d".to_string()),              // perl class
+        "[a-c]",                  // literal
+        Just(".".to_string()),    // any
+        Just("[ab]".to_string()), // class
+        Just("[^c]".to_string()), // negated class
+        Just("\\d".to_string()),  // perl class
     ];
-    let quantified = (atom, prop_oneof![
-        Just(""),
-        Just("*"),
-        Just("+"),
-        Just("?"),
-    ])
+    let quantified = (
+        atom,
+        prop_oneof![Just(""), Just("*"), Just("+"), Just("?"),],
+    )
         .prop_map(|(a, q)| format!("{a}{q}"));
     let seq = proptest::collection::vec(quantified, 1..4).prop_map(|v| v.concat());
     // Optional alternation of two sequences, wrapped in a group.

@@ -1,0 +1,303 @@
+//! Point-in-time metric snapshots with text and JSON rendering.
+//!
+//! JSON is hand-rolled (stable key order, integer nanoseconds) so the
+//! telemetry crate stays dependency-free; consumers that want typed access
+//! parse it with whatever JSON stack they already have.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Summary of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Mean observation (0 when empty).
+    pub mean: u64,
+    /// Estimated 50th percentile.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+/// Aggregated timings of one span path at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// `/`-separated span path (`collect/crawl`).
+    pub path: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall time across entries.
+    pub total: Duration,
+    /// Mean wall time per entry.
+    pub mean: Duration,
+    /// Shortest entry.
+    pub min: Duration,
+    /// Longest entry.
+    pub max: Duration,
+}
+
+/// Everything a [`Registry`](crate::Registry) held at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span timings, in order of first entry (pipeline order).
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Looks up a span by full path.
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Renders the snapshot as a human-readable report section: the
+    /// phase-timing table first, then counters, gauges, and histograms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "Phase timings");
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>7} {:>12} {:>12} {:>12}",
+                "span", "calls", "total", "mean", "max"
+            );
+            for span in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<34} {:>7} {:>12} {:>12} {:>12}",
+                    span.path,
+                    span.count,
+                    fmt_nanos(span.total.as_nanos() as u64),
+                    fmt_nanos(span.mean.as_nanos() as u64),
+                    fmt_nanos(span.max.as_nanos() as u64),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "Counters");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {value:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "Gauges");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {value:>14}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "Histograms");
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<34} count={} mean={} p50={} p90={} p99={} max={}",
+                    h.name,
+                    h.count,
+                    fmt_nanos(h.mean),
+                    fmt_nanos(h.p50),
+                    fmt_nanos(h.p90),
+                    fmt_nanos(h.p99),
+                    fmt_nanos(h.max),
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot as one JSON object with stable key order.
+    /// Durations are integer nanoseconds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(name, &mut out);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(name, &mut out);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_string(&h.name, &mut out);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                h.count, h.sum, h.mean, h.p50, h.p90, h.p99, h.max
+            );
+        }
+        out.push_str("],\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"path\":");
+            json_string(&s.path, &mut out);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                s.count,
+                s.total.as_nanos(),
+                s.mean.as_nanos(),
+                s.min.as_nanos(),
+                s.max.as_nanos()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Formats a nanosecond quantity with a human-friendly unit
+/// (`421ns`, `3.2µs`, `15.4ms`, `2.41s`).
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Writes `s` as a JSON string literal (quoted, escaped).
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn populated() -> Snapshot {
+        let registry = Registry::new();
+        registry.counter("net.fetches_total").add(120);
+        registry.counter("fp.hits_url_total").add(88);
+        registry.gauge("net.inflight").set(3);
+        let h = registry.histogram("net.fetch_latency_ns");
+        for v in [1_000, 2_000, 4_000, 1_000_000] {
+            h.record(v);
+        }
+        {
+            let gen = registry.span("generate");
+            let _child = gen.child("render");
+        }
+        let _ = registry.span("crawl");
+        registry.snapshot()
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let text = populated().render();
+        assert!(text.contains("Phase timings"), "{text}");
+        assert!(text.contains("generate"), "{text}");
+        assert!(text.contains("generate/render"), "{text}");
+        assert!(text.contains("Counters"), "{text}");
+        assert!(text.contains("net.fetches_total"), "{text}");
+        assert!(text.contains("120"), "{text}");
+        assert!(text.contains("Histograms"), "{text}");
+        assert!(text.contains("p99="), "{text}");
+    }
+
+    #[test]
+    fn json_shape_is_stable_and_escaped() {
+        let json = populated().to_json();
+        assert!(json.starts_with("{\"counters\":{"), "{json}");
+        assert!(json.contains("\"net.fetches_total\":120"), "{json}");
+        assert!(json.contains("\"gauges\":{\"net.inflight\":3}"), "{json}");
+        assert!(json.contains("\"histograms\":[{\"name\":"), "{json}");
+        assert!(json.contains("\"spans\":["), "{json}");
+        assert!(json.contains("\"path\":\"generate/render\""), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+
+        let mut escaped = String::new();
+        json_string("a\"b\\c\nd\u{1}", &mut escaped);
+        assert_eq!(escaped, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Snapshot::default();
+        assert!(snap.is_empty());
+        assert_eq!(snap.render(), "");
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":[],\"spans\":[]}"
+        );
+    }
+
+    #[test]
+    fn fmt_nanos_units() {
+        assert_eq!(fmt_nanos(421), "421ns");
+        assert_eq!(fmt_nanos(3_200), "3.2µs");
+        assert_eq!(fmt_nanos(15_400_000), "15.4ms");
+        assert_eq!(fmt_nanos(2_410_000_000), "2.41s");
+    }
+}

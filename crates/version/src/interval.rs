@@ -178,7 +178,10 @@ impl Interval {
         match (&first.hi, &second.lo) {
             (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
             (hi, lo) => {
-                let (vh, vl) = (hi.version().expect("bounded"), lo.version().expect("bounded"));
+                let (vh, vl) = (
+                    hi.version().expect("bounded"),
+                    lo.version().expect("bounded"),
+                );
                 match vh.cmp(vl) {
                     Ordering::Greater => true,
                     Ordering::Less => false,
@@ -278,12 +281,7 @@ impl IntervalSet {
 
     /// Set union.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
-        IntervalSet::from_intervals(
-            self.intervals
-                .iter()
-                .chain(other.intervals.iter())
-                .cloned(),
-        )
+        IntervalSet::from_intervals(self.intervals.iter().chain(other.intervals.iter()).cloned())
     }
 
     /// Set intersection.

@@ -285,7 +285,10 @@ mod tests {
         assert!(req(">= 1.2, < 3.5.0").matches(&v("2.2.4")));
         assert!(req(">= 1.4.2 and < 1.6.2").matches(&v("1.5.0")));
         assert!(!req(">= 1.4.2 and < 1.6.2").matches(&v("1.6.2")));
-        assert!(req("1.0.3 ~ 3.5.0").matches(&v("3.5.0")), "tilde end is inclusive");
+        assert!(
+            req("1.0.3 ~ 3.5.0").matches(&v("3.5.0")),
+            "tilde end is inclusive"
+        );
         assert!(req("= 2.2").matches(&v("2.2")));
         assert!(req("2.2").matches(&v("2.2.0")));
         assert!(req("<= 1.7.3").matches(&v("1.7.3")));

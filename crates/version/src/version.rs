@@ -102,7 +102,10 @@ impl Version {
             reason,
         };
         let s = input.trim();
-        let s = s.strip_prefix('v').or_else(|| s.strip_prefix('V')).unwrap_or(s);
+        let s = s
+            .strip_prefix('v')
+            .or_else(|| s.strip_prefix('V'))
+            .unwrap_or(s);
         if s.is_empty() {
             return Err(err("empty"));
         }
@@ -289,7 +292,16 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "v", "a.b.c", "1..2", "1.2.3.4.5.6.7", ".", "-rc", "1.2-"] {
+        for bad in [
+            "",
+            "v",
+            "a.b.c",
+            "1..2",
+            "1.2.3.4.5.6.7",
+            ".",
+            "-rc",
+            "1.2-",
+        ] {
             assert!(Version::parse(bad).is_err(), "{bad:?} should fail");
         }
     }
@@ -309,7 +321,10 @@ mod tests {
         assert!(v("3.0.0-rc1") < v("3.0.0"));
         assert!(v("3.0.0-alpha") < v("3.0.0-beta"));
         assert!(v("3.0.0-rc.1") < v("3.0.0-rc.2"));
-        assert!(v("3.0.0-rc.2") < v("3.0.0-rc.10"), "numeric fields compare numerically");
+        assert!(
+            v("3.0.0-rc.2") < v("3.0.0-rc.10"),
+            "numeric fields compare numerically"
+        );
         assert!(v("1.0b1") < v("1.0"));
         assert!(v("3.0.0") < v("3.0.1-rc1"));
     }
@@ -325,7 +340,10 @@ mod tests {
     #[test]
     fn paper_version_facts_hold() {
         // Orderings the paper's analysis depends on.
-        assert!(v("1.12.4") < v("3.5.0"), "dominant jQuery is older than patch");
+        assert!(
+            v("1.12.4") < v("3.5.0"),
+            "dominant jQuery is older than patch"
+        );
         assert!(v("2.2.3") < v("3.6.0"), "docusign's jQuery in TVV range");
         assert!(v("3.5.1") < v("3.6.0"), "microsoft's jQuery in TVV range");
         assert!(v("1.4.1") < v("3.3.2"), "jQuery-Migrate dominant vs latest");

@@ -11,14 +11,10 @@ fn arb_version() -> impl Strategy<Value = Version> {
 /// Strategy producing an interval set built from random half-open ranges.
 fn arb_set() -> impl Strategy<Value = IntervalSet> {
     proptest::collection::vec((arb_version(), arb_version()), 0..5).prop_map(|pairs| {
-        IntervalSet::from_intervals(
-            pairs
-                .into_iter()
-                .map(|(a, b)| {
-                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                    Interval::half_open(lo, hi)
-                }),
-        )
+        IntervalSet::from_intervals(pairs.into_iter().map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            Interval::half_open(lo, hi)
+        }))
     })
 }
 

@@ -174,12 +174,12 @@ pub struct DomainModel {
 fn trend(lib: LibraryId) -> (u32, u32) {
     use LibraryId::*;
     match lib {
-        JQuery => (70, 0),        // 67.2% → 63.1% of sites
+        JQuery => (70, 0), // 67.2% → 63.1% of sites
         Bootstrap => (40, 20),
-        JQueryMigrate => (0, 0),  // WordPress dominates its dynamics
+        JQueryMigrate => (0, 0), // WordPress dominates its dynamics
         JQueryUi => (120, 0),
         Modernizr => (150, 0),
-        JsCookie => (0, 12),      // rising (Fig 3b)
+        JsCookie => (0, 12), // rising (Fig 3b)
         Underscore => (0, 6),
         Isotope => (80, 0),
         Popper => (0, 8),
@@ -187,7 +187,7 @@ fn trend(lib: LibraryId) -> (u32, u32) {
         RequireJs => (60, 0),
         SwfObject => (150, 0),
         Prototype => (100, 0),
-        JQueryCookie => (0, 0),   // migration handled explicitly
+        JQueryCookie => (0, 0), // migration handled explicitly
         PolyfillIo => (0, 7),
     }
 }
@@ -218,14 +218,19 @@ const TLDS: &[(&str, u32)] = &[
 
 const NAME_PARTS: &[&str] = &[
     "news", "shop", "blog", "tech", "media", "cloud", "data", "game", "home", "life", "web",
-    "star", "east", "blue", "fast", "soft", "live", "play", "gold", "city", "open", "plus",
-    "line", "link", "zone", "base", "mart", "port", "cast", "wave",
+    "star", "east", "blue", "fast", "soft", "live", "play", "gold", "city", "open", "plus", "line",
+    "link", "zone", "base", "mart", "port", "cast", "wave",
 ];
 
 impl DomainModel {
     /// Generates the model for `(seed, rank)` on `timeline` with
     /// `domain_count` total domains (for rank-relative probabilities).
-    pub fn generate(seed: u64, rank: usize, domain_count: usize, timeline: &Timeline) -> DomainModel {
+    pub fn generate(
+        seed: u64,
+        rank: usize,
+        domain_count: usize,
+        timeline: &Timeline,
+    ) -> DomainModel {
         let name = domain_name(seed, rank);
         Generator {
             seed,
@@ -361,8 +366,7 @@ impl Generator {
 
         // Organic library adoption.
         for model in &self.models {
-            if is_wordpress
-                && matches!(model.library, LibraryId::JQuery | LibraryId::JQueryMigrate)
+            if is_wordpress && matches!(model.library, LibraryId::JQuery | LibraryId::JQueryMigrate)
             {
                 continue; // WordPress bundles these
             }
@@ -681,13 +685,24 @@ impl Generator {
         let v = |s: &str| Version::parse(s).expect("wp versions parse");
         let weeks = self.timeline.weeks;
         // Initial core version.
-        let initial_weights = [("4.9", 400u32), ("5.0", 220), ("4.5", 160), ("4.0", 140), ("3.7", 80)];
+        let initial_weights = [
+            ("4.9", 400u32),
+            ("5.0", 220),
+            ("4.5", 160),
+            ("4.0", 140),
+            ("3.7", 80),
+        ];
         let pick = r.pick_weighted_index(&initial_weights.map(|(_, w)| w));
         let base_wp = v(initial_weights[pick].0);
 
         // Bundled jQuery (internal, wp-style): 1.12.4 since WP 4.5; older
         // cores still serve 1.11/1.10 builds.
-        let jq_weights = [("1.12.4", 700u32), ("1.11.3", 140), ("1.11.1", 90), ("1.10.2", 70)];
+        let jq_weights = [
+            ("1.12.4", 700u32),
+            ("1.11.3", 140),
+            ("1.11.1", 90),
+            ("1.10.2", 70),
+        ];
         let jq_pick = r.pick_weighted_index(&jq_weights.map(|(_, w)| w));
         let jq_version = v(jq_weights[jq_pick].0);
         deployments.push(Deployment {
@@ -851,7 +866,11 @@ impl Generator {
             events.push((w, Event::FlashRemoved));
         }
         // Flash sites often still carry the SWFObject embedder.
-        if r.permille(300) && !deployments.iter().any(|d| d.library == LibraryId::SwfObject) {
+        if r.permille(300)
+            && !deployments
+                .iter()
+                .any(|d| d.library == LibraryId::SwfObject)
+        {
             let model = self
                 .models
                 .iter()
@@ -878,7 +897,6 @@ mod tests {
     fn paper_tl() -> Timeline {
         Timeline::paper()
     }
-
 
     #[test]
     fn generation_is_deterministic() {
@@ -911,10 +929,7 @@ mod tests {
             .collect();
         let online: Vec<&DomainModel> = models.iter().filter(|m| m.online_at(0)).collect();
         let frac = |pred: &dyn Fn(&DomainState) -> bool| {
-            let hits = online
-                .iter()
-                .filter(|m| pred(&m.state_at(0)))
-                .count();
+            let hits = online.iter().filter(|m| pred(&m.state_at(0))).count();
             hits as f64 / online.len() as f64
         };
         let jquery = frac(&|s| s.deployments.iter().any(|d| d.library == LibraryId::JQuery));
@@ -995,10 +1010,7 @@ mod tests {
             during < before * 9 / 10,
             "dip: before={before} during={during}"
         );
-        assert!(
-            after > during,
-            "recovery: during={during} after={after}"
-        );
+        assert!(after > during, "recovery: during={during} after={after}");
     }
 
     #[test]

@@ -41,7 +41,9 @@ impl Ecosystem {
     /// Generates the whole population (deterministic in the config).
     pub fn generate(config: EcosystemConfig) -> Ecosystem {
         let models: Vec<DomainModel> = (1..=config.domain_count)
-            .map(|rank| DomainModel::generate(config.seed, rank, config.domain_count, &config.timeline))
+            .map(|rank| {
+                DomainModel::generate(config.seed, rank, config.domain_count, &config.timeline)
+            })
             .collect();
         let index = models
             .iter()
@@ -187,7 +189,10 @@ mod tests {
     #[test]
     fn unknown_host_is_distinguished() {
         let eco = small();
-        assert_eq!(eco.page("not-a-domain.example", 0), PageOutcome::UnknownHost);
+        assert_eq!(
+            eco.page("not-a-domain.example", 0),
+            PageOutcome::UnknownHost
+        );
     }
 
     #[test]

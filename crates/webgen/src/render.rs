@@ -183,7 +183,10 @@ pub fn script_url(domain: &str, dep: &Deployment) -> String {
                     format!("/v{version}/polyfill.min.js")
                 }
                 "cdnjs.cloudflare.com" => {
-                    format!("/ajax/libs/{}/{version}/{stem}.min.js", cdn_dir(dep.library))
+                    format!(
+                        "/ajax/libs/{}/{version}/{stem}.min.js",
+                        cdn_dir(dep.library)
+                    )
                 }
                 "cdn.jsdelivr.net" => {
                     format!("/npm/{}@{version}/dist/{stem}.min.js", cdn_dir(dep.library))
@@ -241,8 +244,8 @@ pub fn has_inline_banner(library: LibraryId) -> bool {
 
 /// An inlined library: its banner comment plus a minified-looking stub.
 fn inline_script_tag(dep: &Deployment) -> String {
-    let banner = inline_banner(dep.library, &dep.version)
-        .expect("inlined deployments require a banner");
+    let banner =
+        inline_banner(dep.library, &dep.version).expect("inlined deployments require a banner");
     format!(
         "<script>{banner}\n!function(g){{g.__{}_loaded=true}}(window);</script>",
         dep.library.slug().replace(['.', '-'], "_")
@@ -275,7 +278,10 @@ fn github_tag(gh: &GithubScript) -> String {
     } else {
         String::new()
     };
-    format!("<script src=\"https://{}\"{integrity}></script>", gh.url_path)
+    format!(
+        "<script src=\"https://{}\"{integrity}></script>",
+        gh.url_path
+    )
 }
 
 fn flash_markup(flash: &FlashState) -> String {
@@ -342,10 +348,7 @@ mod tests {
     #[test]
     fn internal_url_carries_version() {
         let d = dep(LibraryId::JQuery, "1.12.4");
-        assert_eq!(
-            script_url("a.com", &d),
-            "/assets/js/jquery-1.12.4.min.js"
-        );
+        assert_eq!(script_url("a.com", &d), "/assets/js/jquery-1.12.4.min.js");
     }
 
     #[test]

@@ -146,7 +146,11 @@ mod tests {
             let mut r = stream(1, "a.example", "x");
             (0..8).map(|_| r.next_u32()).collect()
         };
-        for (seed, dom, purpose) in [(2, "a.example", "x"), (1, "b.example", "x"), (1, "a.example", "y")] {
+        for (seed, dom, purpose) in [
+            (2, "a.example", "x"),
+            (1, "b.example", "x"),
+            (1, "a.example", "y"),
+        ] {
             let mut r = stream(seed, dom, purpose);
             let got: Vec<u32> = (0..8).map(|_| r.next_u32()).collect();
             assert_ne!(base, got, "{seed} {dom} {purpose}");

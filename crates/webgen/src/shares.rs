@@ -330,14 +330,28 @@ pub fn library_models() -> Vec<LibraryModel> {
         m(JQueryUi, 122, 497, 919, JQUERY_UI_CDNS, JQUERY_UI_VERSIONS),
         m(Modernizr, 95, 781, 682, MODERNIZR_CDNS, MODERNIZR_VERSIONS),
         m(JsCookie, 33, 805, 865, JS_COOKIE_CDNS, JS_COOKIE_VERSIONS),
-        m(Underscore, 25, 832, 497, UNDERSCORE_CDNS, UNDERSCORE_VERSIONS),
+        m(
+            Underscore,
+            25,
+            832,
+            497,
+            UNDERSCORE_CDNS,
+            UNDERSCORE_VERSIONS,
+        ),
         m(Isotope, 18, 908, 246, ISOTOPE_CDNS, ISOTOPE_VERSIONS),
         m(Popper, 17, 469, 920, POPPER_CDNS, POPPER_VERSIONS),
         m(MomentJs, 16, 704, 716, MOMENT_CDNS, MOMENT_VERSIONS),
         m(RequireJs, 16, 648, 281, REQUIREJS_CDNS, REQUIREJS_VERSIONS),
         m(SwfObject, 13, 742, 633, SWFOBJECT_CDNS, SWFOBJECT_VERSIONS),
         m(Prototype, 10, 812, 579, PROTOTYPE_CDNS, PROTOTYPE_VERSIONS),
-        m(JQueryCookie, 10, 633, 865, JQUERY_COOKIE_CDNS, JQUERY_COOKIE_VERSIONS),
+        m(
+            JQueryCookie,
+            10,
+            633,
+            865,
+            JQUERY_COOKIE_CDNS,
+            JQUERY_COOKIE_VERSIONS,
+        ),
         m(PolyfillIo, 9, 145, 378, POLYFILL_CDNS, POLYFILL_VERSIONS),
     ]
 }
@@ -386,20 +400,38 @@ pub const LIBRARY_OF_JS_PERMILLE: u32 = 970;
 /// GitHub-hosted library sources (Table 6): weight-ordered repositories.
 pub static GITHUB_HOSTS: &[(&str, u32)] = &[
     ("partnercoll.github.io/actualize.js", 113),
-    ("blueimp.github.io/jQuery-File-Upload/js/vendor/jquery.ui.widget.js", 90),
+    (
+        "blueimp.github.io/jQuery-File-Upload/js/vendor/jquery.ui.widget.js",
+        90,
+    ),
     ("malsup.github.com/jquery.form.js", 80),
     ("afarkas.github.io/lazysizes/lazysizes.min.js", 75),
     ("hammerjs.github.io/dist/hammer.min.js", 60),
     ("kodir2.github.io/actualize.js", 55),
-    ("gitcdn.github.io/bootstrap-toggle/js/bootstrap-toggle.min.js", 50),
-    ("owlcarousel2.github.io/OwlCarousel2/dist/owl.carousel.js", 50),
+    (
+        "gitcdn.github.io/bootstrap-toggle/js/bootstrap-toggle.min.js",
+        50,
+    ),
+    (
+        "owlcarousel2.github.io/OwlCarousel2/dist/owl.carousel.js",
+        50,
+    ),
     ("weblion777.github.io/hdvb.js", 45),
     ("radioafricagroup.github.io/js/cookiestrip.min.js", 40),
     ("kenwheeler.github.io/slick/slick.js", 40),
-    ("malihu.github.io/custom-scrollbar/jquery.mCustomScrollbar.concat.min.js", 35),
+    (
+        "malihu.github.io/custom-scrollbar/jquery.mCustomScrollbar.concat.min.js",
+        35,
+    ),
     ("klevron.github.io/threejs/OrbitControls.js", 30),
-    ("jonathantneal.github.io/svg4everybody/svg4everybody.min.js", 30),
-    ("hayageek.github.io/jQuery-Upload-File/jquery.uploadfile.min.js", 25),
+    (
+        "jonathantneal.github.io/svg4everybody/svg4everybody.min.js",
+        30,
+    ),
+    (
+        "hayageek.github.io/jQuery-Upload-File/jquery.uploadfile.min.js",
+        25,
+    ),
 ];
 
 /// Share of sites loading a library from a GitHub host (§6.5: an average
@@ -435,11 +467,8 @@ pub const EXTRA_SCRIPT_PERMILLE: u32 = 700;
 
 /// `crossorigin` values among scripts that carry `integrity` (§6.5:
 /// 97.1% anonymous, 1.9% use-credentials, remainder absent).
-pub static CROSSORIGIN_WEIGHTS: &[(&str, u32)] = &[
-    ("anonymous", 971),
-    ("use-credentials", 19),
-    ("", 10),
-];
+pub static CROSSORIGIN_WEIGHTS: &[(&str, u32)] =
+    &[("anonymous", 971), ("use-credentials", 19), ("", 10)];
 
 #[cfg(test)]
 mod tests {
@@ -463,11 +492,11 @@ mod tests {
             let cat = catalog(model.library);
             for (v, w) in model.initial_versions {
                 assert!(*w > 0, "{}: zero weight {v}", model.library);
-                let version = Version::parse(v)
-                    .unwrap_or_else(|e| panic!("{}: {e}", model.library));
-                let date = cat.release_date(&version).unwrap_or_else(|| {
-                    panic!("{} {v} missing from catalog", model.library)
-                });
+                let version =
+                    Version::parse(v).unwrap_or_else(|e| panic!("{}: {e}", model.library));
+                let date = cat
+                    .release_date(&version)
+                    .unwrap_or_else(|| panic!("{} {v} missing from catalog", model.library));
                 assert!(
                     date <= start,
                     "{} {v} released {date}, after study start",
@@ -485,8 +514,7 @@ mod tests {
             .iter()
             .find(|m| m.library == LibraryId::JQuery)
             .expect("jQuery model");
-        let combined =
-            jq.usage_permille as f64 / 1000.0 * (1.0 - 0.269) + 0.269;
+        let combined = jq.usage_permille as f64 / 1000.0 * (1.0 - 0.269) + 0.269;
         assert!((0.63..0.65).contains(&combined), "{combined}");
     }
 

@@ -13,7 +13,10 @@ fn main() {
     let lab = Lab::new();
     let reports = lab.validate_all();
 
-    println!("Version Validation Experiment — {} reports\n", reports.len());
+    println!(
+        "Version Validation Experiment — {} reports\n",
+        reports.len()
+    );
     let mut understated = 0;
     let mut overstated = 0;
     let mut mixed = 0;

@@ -15,10 +15,7 @@ use webvuln::webgen::Timeline;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let domains: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2_000);
+    let domains: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
     let weeks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(201);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
 
@@ -56,10 +53,7 @@ fn write_figures(dir: &Path, results: &StudyResults) {
     for usage in &results.resources {
         w(
             &format!("fig2b_{}.csv", usage.resource.name().to_lowercase()),
-            series_to_csv(
-                "share",
-                usage.weekly_share.iter().map(|&(d, s)| (d, s)),
-            ),
+            series_to_csv("share", usage.weekly_share.iter().map(|&(d, s)| (d, s))),
         );
     }
     for trend in &results.trends {
@@ -105,10 +99,7 @@ fn write_figures(dir: &Path, results: &StudyResults) {
         if let Some(impact) = results.cve_impacts.iter().find(|i| i.id == id) {
             w(
                 &format!("fig5_{}_claimed.csv", id.to_lowercase()),
-                series_to_csv(
-                    "sites",
-                    impact.claimed_sites.iter().map(|&(d, c)| (d, c)),
-                ),
+                series_to_csv("sites", impact.claimed_sites.iter().map(|&(d, c)| (d, c))),
             );
             w(
                 &format!("fig5_{}_true.csv", id.to_lowercase()),

@@ -1,0 +1,29 @@
+//! Telemetry demo: run the quick study with progress reporting and print
+//! the phase-timing table, the metrics snapshot, and its JSON form.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_demo
+//! ```
+//!
+//! Shows the observability layer end-to-end: per-week progress on stderr
+//! while the crawl runs, then the aggregated phase spans (generate →
+//! crawl → fingerprint → join → analyze), the `net.*` crawler counters
+//! (fetches, bytes, status classes, fault injections, latency quantiles),
+//! and the `fp.*` fingerprint counters (pages, pattern evaluations,
+//! regex-VM steps, hits per detection source).
+
+use webvuln::core::{render_telemetry, run_study_with, telemetry_json, StudyConfig, Telemetry};
+
+fn main() {
+    let config = StudyConfig::quick();
+    eprintln!(
+        "quick study: {} domains x {} weekly snapshots …",
+        config.domain_count, config.timeline.weeks
+    );
+    let telemetry = Telemetry::new().with_stderr_progress();
+    let results = run_study_with(config, &telemetry);
+
+    println!("{}", render_telemetry(&results));
+    println!("machine-readable snapshot:");
+    println!("{}", telemetry_json(&results));
+}

@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! webvuln study   [--domains N] [--weeks N] [--seed N] [--csv DIR]
+//!                 [--progress] [--telemetry [FILE]]
 //! webvuln validate [REPORT_ID]
-//! webvuln crawl   [--domains N] [--week N] [--tcp]
+//! webvuln crawl   [--domains N] [--week N] [--tcp] [--telemetry]
 //! webvuln inspect <FILE.html> [--domain HOST]
 //! ```
 
 use std::sync::Arc;
-use webvuln::core::{full_report, run_study, series_to_csv, StudyConfig};
+use webvuln::core::{
+    full_report, run_study_with, series_to_csv, telemetry_json, StudyConfig, Telemetry,
+};
 use webvuln::cvedb::{Accuracy, Basis, VulnDb};
 use webvuln::fingerprint::Engine;
-use webvuln::net::{crawl, CrawlConfig, FaultPlan, TcpConnector, TcpServer, VirtualNet};
+use webvuln::net::{
+    crawl_instrumented, CrawlConfig, FaultPlan, TcpConnector, TcpServer, VirtualNet,
+};
 use webvuln::poclab::Lab;
 use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
 
@@ -38,13 +43,19 @@ fn print_help() {
 
 USAGE:
   webvuln study    [--domains N] [--weeks N] [--seed N] [--csv DIR]
+                   [--progress] [--telemetry [FILE]]
                    run the full study and print every table/figure
   webvuln validate [REPORT_ID]
                    run the §6.4 version-validation experiment
-  webvuln crawl    [--domains N] [--week N] [--tcp]
+  webvuln crawl    [--domains N] [--week N] [--tcp] [--telemetry]
                    crawl one snapshot week and summarize detections
   webvuln inspect  FILE.html [--domain HOST]
-                   fingerprint a single HTML file and list vulnerabilities"
+                   fingerprint a single HTML file and list vulnerabilities
+
+FLAGS:
+  --progress         report per-week progress on stderr
+  --telemetry [FILE] print the metrics snapshot as JSON on stderr, or
+                     write it to FILE when one is given"
     );
 }
 
@@ -61,6 +72,13 @@ fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// `--telemetry` takes an optional FILE operand: `None` = flag absent,
+/// `Some(None)` = print to stderr, `Some(Some(path))` = write to `path`.
+fn telemetry_flag(args: &[String]) -> Option<Option<String>> {
+    let i = args.iter().position(|a| a == "--telemetry")?;
+    Some(args.get(i + 1).filter(|v| !v.starts_with("--")).cloned())
+}
+
 fn cmd_study(args: &[String]) {
     let domains = flag_usize(args, "--domains", 2_000);
     let weeks = flag_usize(args, "--weeks", 201);
@@ -71,8 +89,22 @@ fn cmd_study(args: &[String]) {
         timeline: Timeline::truncated(weeks),
         ..StudyConfig::default()
     };
+    let mut telemetry = Telemetry::new();
+    if args.iter().any(|a| a == "--progress") {
+        telemetry = telemetry.with_stderr_progress();
+    }
     eprintln!("study: {domains} domains x {weeks} weeks (seed {seed})");
-    let results = run_study(config);
+    let results = run_study_with(config, &telemetry);
+    if let Some(dest) = telemetry_flag(args) {
+        let json = telemetry_json(&results);
+        match dest {
+            Some(path) => match std::fs::write(&path, &json) {
+                Ok(()) => eprintln!("telemetry written to {path}"),
+                Err(e) => eprintln!("cannot write {path}: {e}"),
+            },
+            None => eprintln!("{json}"),
+        }
+    }
     // Write artifacts before printing: a closed stdout (e.g. `| head`)
     // must not abort the CSV export.
     if let Some(dir) = flag(args, "--csv") {
@@ -153,7 +185,10 @@ fn cmd_validate(args: &[String]) {
                     report.accuracy
                 );
             }
-            println!("\n{incorrect} of {} reports state incorrect versions", reports.len());
+            println!(
+                "\n{incorrect} of {} reports state incorrect versions",
+                reports.len()
+            );
         }
     }
 }
@@ -162,6 +197,8 @@ fn cmd_crawl(args: &[String]) {
     let domains = flag_usize(args, "--domains", 500);
     let week = flag_usize(args, "--week", 100);
     let use_tcp = args.iter().any(|a| a == "--tcp");
+    let telemetry = Telemetry::new();
+    let registry = telemetry.registry();
     let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
         seed: 42,
         domain_count: domains,
@@ -171,18 +208,23 @@ fn cmd_crawl(args: &[String]) {
     let snapshot = if use_tcp {
         let mut server = TcpServer::start(Arc::new(eco.handler(week))).expect("bind");
         eprintln!("crawling over TCP via {}", server.addr());
-        let got = crawl(
+        let got = crawl_instrumented(
             &names,
             &TcpConnector::fixed(server.addr()),
             CrawlConfig { concurrency: 16 },
+            registry,
         );
         server.shutdown();
         got
     } else {
         let net = VirtualNet::new(Arc::new(eco.handler(week)))
+            .with_fault_metrics(registry)
             .with_faults(FaultPlan::realistic(42));
-        crawl(&names, &net, CrawlConfig { concurrency: 8 })
+        crawl_instrumented(&names, &net, CrawlConfig { concurrency: 8 }, registry)
     };
+    if telemetry_flag(args).is_some() {
+        eprint!("{}", telemetry.snapshot().render());
+    }
     let engine = Engine::new();
     let db = VulnDb::builtin();
     let usable: Vec<_> = snapshot.values().filter(|r| r.is_usable(400)).collect();
@@ -247,7 +289,9 @@ fn cmd_inspect(args: &[String]) {
     if let Some(wp) = &analysis.wordpress {
         println!(
             "WordPress: {}",
-            wp.as_ref().map(ToString::to_string).unwrap_or_else(|| "version unknown".into())
+            wp.as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "version unknown".into())
         );
     }
     for flash in &analysis.flash {

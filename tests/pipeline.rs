@@ -122,7 +122,11 @@ fn dataset_scales_linearly_in_shape() {
             .expect("present")
             .usage_share
     };
-    for lib in [LibraryId::JQuery, LibraryId::Bootstrap, LibraryId::JQueryMigrate] {
+    for lib in [
+        LibraryId::JQuery,
+        LibraryId::Bootstrap,
+        LibraryId::JQueryMigrate,
+    ] {
         let s = share(&small, lib);
         let l = share(&large, lib);
         assert!(
