@@ -80,50 +80,20 @@ pub fn collect_dataset_with(
     config: CollectConfig,
     telemetry: &Telemetry,
 ) -> Dataset {
-    let registry = telemetry.registry();
-    let engine = Engine::instrumented(registry);
+    let engine = Engine::instrumented(telemetry.registry());
     let names = ecosystem.domain_names();
     let timeline = *ecosystem.timeline();
     let mut weeks = Vec::with_capacity(timeline.weeks);
 
     for (week, date) in timeline.iter() {
-        let net = VirtualNet::new(Arc::new(ecosystem.handler(week)))
-            .with_fault_metrics(registry)
-            .with_faults(config.faults);
-        let records = {
-            let _span = telemetry.span("crawl");
-            crawl_instrumented(
-                &names,
-                &net,
-                CrawlConfig {
-                    concurrency: config.concurrency,
-                },
-                registry,
-            )
-        };
-        let mut pages = BTreeMap::new();
-        let mut summaries = BTreeMap::new();
-        {
-            let _span = telemetry.span("fingerprint");
-            for (domain, record) in records {
-                summaries.insert(domain.clone(), FetchSummary::from(&record));
-                if record.is_usable(EMPTY_PAGE_THRESHOLD) {
-                    pages.insert(domain.clone(), engine.analyze(&record.body, &domain));
-                }
-            }
-        }
+        let snapshot = crawl_week(ecosystem, &engine, &names, week, date, config, telemetry);
         telemetry.emit(
             "crawl",
             week as u64 + 1,
             timeline.weeks as u64,
-            &format!("{date}: {} pages", pages.len()),
+            &format!("{date}: {} pages", snapshot.collected()),
         );
-        weeks.push(WeekSnapshot {
-            week,
-            date,
-            pages,
-            summaries,
-        });
+        weeks.push(snapshot);
     }
 
     let ranks = names
@@ -139,6 +109,52 @@ pub fn collect_dataset_with(
     };
     dataset.apply_inaccessibility_filter();
     dataset
+}
+
+/// Crawls and fingerprints one weekly snapshot — the per-week body of
+/// [`collect_dataset_with`], shared with the checkpointed collector in
+/// [`crate::store_io`].
+pub(crate) fn crawl_week(
+    ecosystem: &Arc<Ecosystem>,
+    engine: &Engine,
+    names: &[String],
+    week: usize,
+    date: Date,
+    config: CollectConfig,
+    telemetry: &Telemetry,
+) -> WeekSnapshot {
+    let registry = telemetry.registry();
+    let net = VirtualNet::new(Arc::new(ecosystem.handler(week)))
+        .with_fault_metrics(registry)
+        .with_faults(config.faults);
+    let records = {
+        let _span = telemetry.span("crawl");
+        crawl_instrumented(
+            names,
+            &net,
+            CrawlConfig {
+                concurrency: config.concurrency,
+            },
+            registry,
+        )
+    };
+    let mut pages = BTreeMap::new();
+    let mut summaries = BTreeMap::new();
+    {
+        let _span = telemetry.span("fingerprint");
+        for (domain, record) in records {
+            summaries.insert(domain.clone(), FetchSummary::from(&record));
+            if record.is_usable(EMPTY_PAGE_THRESHOLD) {
+                pages.insert(domain.clone(), engine.analyze(&record.body, &domain));
+            }
+        }
+    }
+    WeekSnapshot {
+        week,
+        date,
+        pages,
+        summaries,
+    }
 }
 
 impl Dataset {
@@ -204,16 +220,32 @@ impl Dataset {
         serde_json::from_str(json)
     }
 
-    /// Writes the JSON form to `path`.
+    /// Writes the JSON form to `path`, streaming through a buffered
+    /// writer rather than materialising the whole document in memory.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        use std::io::Write;
+        let path = path.as_ref();
+        let annotate =
+            |e: std::io::Error| std::io::Error::new(e.kind(), format!("{}: {e}", path.display()));
+        let file = std::fs::File::create(path).map_err(annotate)?;
+        let mut writer = std::io::BufWriter::new(file);
+        serde_json::to_writer(&mut writer, self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))
+            .and_then(|()| writer.flush())
+            .map_err(annotate)
     }
 
-    /// Reads a dataset from a JSON file.
+    /// Reads a dataset from a JSON file. Errors name the offending file.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Dataset> {
-        let text = std::fs::read_to_string(path)?;
-        Dataset::from_json(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        Dataset::from_json(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
     }
 }
 
@@ -355,7 +387,20 @@ mod tests {
         let restored = Dataset::load(&path).expect("read");
         assert_eq!(restored.week_count(), original.week_count());
         let _ = std::fs::remove_file(&path);
-        assert!(Dataset::load("/nonexistent/never.json").is_err());
+        let err = Dataset::load("/nonexistent/never.json").expect_err("missing file");
+        assert!(
+            err.to_string().contains("never.json"),
+            "error names the file: {err}"
+        );
+        // Parse failures are annotated too.
+        let bad = std::env::temp_dir().join("webvuln-dataset-bad.json");
+        std::fs::write(&bad, "{ not json").expect("write");
+        let err = Dataset::load(&bad).expect_err("invalid JSON");
+        assert!(
+            err.to_string().contains("webvuln-dataset-bad.json"),
+            "error names the file: {err}"
+        );
+        let _ = std::fs::remove_file(&bad);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`sri`] — §6.5: Figure 10 SRI adoption, `crossorigin` census,
 //!   Table 6 GitHub-hosted inclusions.
 //! * [`wordpress`] — Table 4 WordPress CVE census.
+//! * [`store_io`] — binary snapshot-store persistence: save/load through
+//!   `webvuln-store` and the checkpoint/resume collector.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +29,10 @@ pub mod landscape;
 pub mod resources;
 pub mod sri;
 pub mod stats;
+pub mod store_io;
 pub mod updates;
 pub mod vuln;
 pub mod wordpress;
 
 pub use dataset::{collect_dataset, collect_dataset_with, CollectConfig, Dataset, WeekSnapshot};
+pub use store_io::{collect_dataset_checkpointed, CheckpointOutcome};

@@ -1,0 +1,680 @@
+//! Bridge between the analysis dataset and the `webvuln-store` binary
+//! snapshot store: type conversions, [`Dataset::save_store`] /
+//! [`Dataset::load_store`], streaming snapshot iteration, and the
+//! checkpoint/resume collector used by `study --store`.
+//!
+//! The store is dependency-free and speaks a plain-string record model;
+//! this module is the single place that maps [`PageAnalysis`] and friends
+//! into it and back. Telemetry: every commit records into `store.*`
+//! counters and the `store.commit_latency_ns` histogram.
+
+use crate::dataset::{crawl_week, CollectConfig, Dataset, WeekSnapshot};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use webvuln_cvedb::{Date, LibraryId};
+use webvuln_fingerprint::{
+    DetectedInclusion, Detection, Engine, ExternalScript, FlashDetection, PageAnalysis,
+    ResourceType,
+};
+use webvuln_net::FetchSummary;
+use webvuln_store::{
+    DetectionRecord, DomainRecord, FlashRecord, Genesis, PageRecord, ScriptRecord, StoreReader,
+    StoreWriter, WeekData, WordPressRecord,
+};
+
+pub use webvuln_store::StoreError;
+use webvuln_telemetry::Telemetry;
+use webvuln_version::Version;
+use webvuln_webgen::{Ecosystem, Timeline};
+
+// ---------------------------------------------------------------------------
+// Type conversions
+// ---------------------------------------------------------------------------
+
+fn resource_type_code(rt: ResourceType) -> u8 {
+    ResourceType::ALL
+        .iter()
+        .position(|&candidate| candidate == rt)
+        .expect("every ResourceType is in ALL") as u8
+}
+
+fn resource_type_from_code(code: u8) -> Result<ResourceType, StoreError> {
+    ResourceType::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| StoreError::Mismatch(format!("unknown resource-type code {code}")))
+}
+
+fn page_to_record(page: &PageAnalysis) -> PageRecord {
+    PageRecord {
+        detections: page
+            .detections
+            .iter()
+            .map(|d| DetectionRecord {
+                library: d.library.slug().to_string(),
+                version: d.version.as_ref().map(|v| v.to_string()),
+                external_host: match &d.inclusion {
+                    DetectedInclusion::Internal => None,
+                    DetectedInclusion::External { host } => Some(host.clone()),
+                },
+                integrity: d.integrity,
+                crossorigin: d.crossorigin.clone(),
+                url: d.url.clone(),
+            })
+            .collect(),
+        wordpress: match &page.wordpress {
+            None => WordPressRecord::Absent,
+            Some(None) => WordPressRecord::DetectedUnknownVersion,
+            Some(Some(version)) => WordPressRecord::Detected(version.to_string()),
+        },
+        flash: page
+            .flash
+            .iter()
+            .map(|f| FlashRecord {
+                swf_url: f.swf_url.clone(),
+                allow_script_access: f.allow_script_access.clone(),
+            })
+            .collect(),
+        resource_types: page
+            .resource_types
+            .iter()
+            .copied()
+            .map(resource_type_code)
+            .collect(),
+        github_scripts: page
+            .github_scripts
+            .iter()
+            .map(|s| ScriptRecord {
+                host: s.host.clone(),
+                url: s.url.clone(),
+                integrity: s.integrity,
+                crossorigin: s.crossorigin.clone(),
+            })
+            .collect(),
+        external_scripts: page.external_scripts as u64,
+        external_scripts_without_integrity: page.external_scripts_without_integrity as u64,
+        crossorigin_values: page.crossorigin_values.clone(),
+    }
+}
+
+fn parse_version(text: &str) -> Result<Version, StoreError> {
+    Version::parse(text)
+        .map_err(|e| StoreError::Mismatch(format!("stored version {text:?} unparsable: {e}")))
+}
+
+fn record_to_page(record: &PageRecord) -> Result<PageAnalysis, StoreError> {
+    let detections = record
+        .detections
+        .iter()
+        .map(|d| {
+            let library = LibraryId::from_slug(&d.library).ok_or_else(|| {
+                StoreError::Mismatch(format!("unknown library slug {:?}", d.library))
+            })?;
+            Ok(Detection {
+                library,
+                version: d.version.as_deref().map(parse_version).transpose()?,
+                inclusion: match &d.external_host {
+                    None => DetectedInclusion::Internal,
+                    Some(host) => DetectedInclusion::External { host: host.clone() },
+                },
+                integrity: d.integrity,
+                crossorigin: d.crossorigin.clone(),
+                url: d.url.clone(),
+            })
+        })
+        .collect::<Result<Vec<_>, StoreError>>()?;
+    Ok(PageAnalysis {
+        detections,
+        wordpress: match &record.wordpress {
+            WordPressRecord::Absent => None,
+            WordPressRecord::DetectedUnknownVersion => Some(None),
+            WordPressRecord::Detected(version) => Some(Some(parse_version(version)?)),
+        },
+        flash: record
+            .flash
+            .iter()
+            .map(|f| FlashDetection {
+                swf_url: f.swf_url.clone(),
+                allow_script_access: f.allow_script_access.clone(),
+            })
+            .collect(),
+        resource_types: record
+            .resource_types
+            .iter()
+            .map(|&code| resource_type_from_code(code))
+            .collect::<Result<Vec<_>, StoreError>>()?,
+        github_scripts: record
+            .github_scripts
+            .iter()
+            .map(|s| ExternalScript {
+                host: s.host.clone(),
+                url: s.url.clone(),
+                integrity: s.integrity,
+                crossorigin: s.crossorigin.clone(),
+            })
+            .collect(),
+        external_scripts: record.external_scripts as usize,
+        external_scripts_without_integrity: record.external_scripts_without_integrity as usize,
+        crossorigin_values: record.crossorigin_values.clone(),
+    })
+}
+
+/// Converts one analysed snapshot into the store's record model. Records
+/// come out sorted by host (the summaries map is a `BTreeMap`), as the
+/// store's canonical encoding requires.
+pub fn snapshot_to_week(snapshot: &WeekSnapshot) -> WeekData {
+    WeekData {
+        week: snapshot.week,
+        date_days: i64::from(snapshot.date.day_number()),
+        records: snapshot
+            .summaries
+            .iter()
+            .map(|(host, summary)| DomainRecord {
+                host: host.clone(),
+                status: summary.status,
+                body_len: summary.body_len as u64,
+                page: snapshot.pages.get(host).map(page_to_record),
+            })
+            .collect(),
+    }
+}
+
+/// Converts a decoded store week back into an analysed snapshot.
+pub fn week_to_snapshot(week: &WeekData) -> Result<WeekSnapshot, StoreError> {
+    let date_days = i32::try_from(week.date_days)
+        .map_err(|_| StoreError::Mismatch(format!("week date {} out of range", week.date_days)))?;
+    let mut pages = BTreeMap::new();
+    let mut summaries = BTreeMap::new();
+    for record in &week.records {
+        summaries.insert(
+            record.host.clone(),
+            FetchSummary {
+                status: record.status,
+                body_len: record.body_len as usize,
+            },
+        );
+        if let Some(page) = &record.page {
+            pages.insert(record.host.clone(), record_to_page(page)?);
+        }
+    }
+    Ok(WeekSnapshot {
+        week: week.week,
+        date: Date::from_day_number(date_days),
+        pages,
+        summaries,
+    })
+}
+
+fn genesis_for(timeline: &Timeline, names: &[String]) -> Genesis {
+    Genesis {
+        start_days: i64::from(timeline.start.day_number()),
+        weeks_total: timeline.weeks,
+        ranks: names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), (i + 1) as u64))
+            .collect(),
+    }
+}
+
+fn genesis_to_parts(genesis: &Genesis) -> Result<(Timeline, BTreeMap<String, usize>), StoreError> {
+    let start_days = i32::try_from(genesis.start_days).map_err(|_| {
+        StoreError::Mismatch(format!("start date {} out of range", genesis.start_days))
+    })?;
+    let timeline = Timeline {
+        start: Date::from_day_number(start_days),
+        weeks: genesis.weeks_total,
+    };
+    let ranks = genesis
+        .ranks
+        .iter()
+        .map(|(host, rank)| (host.clone(), *rank as usize))
+        .collect();
+    Ok((timeline, ranks))
+}
+
+// ---------------------------------------------------------------------------
+// Dataset save/load
+// ---------------------------------------------------------------------------
+
+impl Dataset {
+    /// Writes the dataset to a binary snapshot store at `path` —
+    /// delta-encoded, string-interned, CRC-protected; a fraction of the
+    /// JSON dump's size. The inaccessibility-filter verdict is stored in
+    /// the finalize segment, so [`Dataset::load_store`] round-trips
+    /// exactly.
+    pub fn save_store(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let path = path.as_ref();
+        let names: Vec<String> = {
+            // Recover list order from ranks (rank is 1-based list position).
+            let mut by_rank: Vec<(&String, usize)> =
+                self.ranks.iter().map(|(n, &r)| (n, r)).collect();
+            by_rank.sort_by_key(|&(_, r)| r);
+            by_rank.into_iter().map(|(n, _)| n.clone()).collect()
+        };
+        let mut writer = StoreWriter::create(path, genesis_for(&self.timeline, &names))?;
+        for snapshot in &self.weeks {
+            writer.commit_week(&snapshot_to_week(snapshot))?;
+        }
+        writer.finalize(&self.filtered_out)?;
+        Ok(())
+    }
+
+    /// Reads a dataset from a binary snapshot store.
+    ///
+    /// A finalized store applies its stored filter verdict; an
+    /// unfinalized (checkpoint) store recomputes the §4.1 filter over
+    /// whatever weeks were committed.
+    pub fn load_store(path: impl AsRef<Path>) -> Result<Dataset, StoreError> {
+        let reader = StoreReader::open(path.as_ref())?;
+        let (timeline, ranks) = genesis_to_parts(reader.genesis())?;
+        let mut weeks = Vec::with_capacity(reader.weeks_committed());
+        for week in reader.iter_weeks() {
+            weeks.push(week_to_snapshot(&week?)?);
+        }
+        let mut dataset = Dataset {
+            timeline,
+            ranks,
+            weeks,
+            filtered_out: Vec::new(),
+        };
+        match reader.filtered_out() {
+            Some(filtered) => {
+                // Finalized: the verdict is authoritative. Dropping the
+                // listed domains is a no-op when the weeks were stored
+                // post-filter, and completes a raw checkpoint store.
+                for week in &mut dataset.weeks {
+                    week.pages.retain(|d, _| !filtered.contains(d));
+                    week.summaries.retain(|d, _| !filtered.contains(d));
+                }
+                dataset.filtered_out = filtered.to_vec();
+            }
+            None => dataset.apply_inaccessibility_filter(),
+        }
+        Ok(dataset)
+    }
+}
+
+/// Streams the snapshots of a store without materialising a [`Dataset`]:
+/// each week is decoded on demand and can be dropped before the next.
+pub fn stream_snapshots(
+    reader: &StoreReader,
+) -> impl Iterator<Item = Result<WeekSnapshot, StoreError>> + '_ {
+    reader.iter_weeks().map(|week| week_to_snapshot(&week?))
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed collection
+// ---------------------------------------------------------------------------
+
+/// What [`collect_dataset_checkpointed`] did.
+#[derive(Debug)]
+pub struct CheckpointOutcome {
+    /// The collected (or restored), filtered dataset.
+    pub dataset: Dataset,
+    /// Weeks actually crawled in this run.
+    pub weeks_crawled: usize,
+    /// Weeks restored from the store instead of crawled.
+    pub weeks_recovered: usize,
+    /// Torn tail bytes truncated during resume (0 for a clean store).
+    pub torn_bytes_recovered: u64,
+}
+
+/// Like [`crate::dataset::collect_dataset_with`], but committing every
+/// crawled week to the snapshot store at `store_path` as it completes.
+///
+/// With `resume` set and an existing store present, committed weeks are
+/// restored from disk (after torn-tail recovery) and only the missing
+/// weeks are crawled; the restored crawl is byte-for-byte the crawl that
+/// produced them, because collection is deterministic in the ecosystem
+/// seed. The store must have been created from the same ecosystem —
+/// timeline and domain list are checked against the genesis segment.
+pub fn collect_dataset_checkpointed(
+    ecosystem: &Arc<Ecosystem>,
+    config: CollectConfig,
+    telemetry: &Telemetry,
+    store_path: &Path,
+    resume: bool,
+) -> Result<CheckpointOutcome, StoreError> {
+    let registry = telemetry.registry();
+    let names = ecosystem.domain_names();
+    let timeline = *ecosystem.timeline();
+    let expected = genesis_for(&timeline, &names);
+
+    // Open or create the store, restoring any committed weeks.
+    let mut snapshots: Vec<WeekSnapshot> = Vec::with_capacity(timeline.weeks);
+    let mut torn_bytes_recovered = 0;
+    let mut finalized_filter = None;
+    let mut writer = if resume && store_path.exists() {
+        match StoreWriter::resume(store_path) {
+            Ok(resumed) => {
+                if resumed.writer.genesis() != &expected {
+                    return Err(StoreError::Mismatch(
+                        "store was created from a different ecosystem \
+                         (seed, domain count, or timeline differ)"
+                            .to_string(),
+                    ));
+                }
+                torn_bytes_recovered = resumed.torn_bytes;
+                finalized_filter = resumed.filtered_out;
+                for week in &resumed.weeks {
+                    snapshots.push(week_to_snapshot(week)?);
+                }
+                resumed.writer
+            }
+            // A crash before the genesis segment hit the disk leaves
+            // nothing worth resuming; start over.
+            Err(StoreError::MissingGenesis) => StoreWriter::create(store_path, expected)?,
+            Err(e) => return Err(e),
+        }
+    } else {
+        StoreWriter::create(store_path, expected)?
+    };
+    let weeks_recovered = snapshots.len();
+    registry
+        .counter("store.weeks_recovered_total")
+        .add(weeks_recovered as u64);
+    registry
+        .counter("store.torn_bytes_recovered_total")
+        .add(torn_bytes_recovered);
+    for (i, snapshot) in snapshots.iter().enumerate() {
+        telemetry.emit(
+            "crawl",
+            i as u64 + 1,
+            timeline.weeks as u64,
+            &format!(
+                "{}: {} pages (restored from store)",
+                snapshot.date,
+                snapshot.collected()
+            ),
+        );
+    }
+
+    // A finalized store is a completed run: nothing left to crawl.
+    if let Some(filtered) = finalized_filter {
+        if weeks_recovered != timeline.weeks {
+            return Err(StoreError::Mismatch(format!(
+                "store is finalized but holds {weeks_recovered} of {} weeks",
+                timeline.weeks
+            )));
+        }
+        let (timeline, ranks) = genesis_to_parts(writer.genesis())?;
+        let mut dataset = Dataset {
+            timeline,
+            ranks,
+            weeks: snapshots,
+            filtered_out: Vec::new(),
+        };
+        for week in &mut dataset.weeks {
+            week.pages.retain(|d, _| !filtered.contains(d));
+            week.summaries.retain(|d, _| !filtered.contains(d));
+        }
+        dataset.filtered_out = filtered;
+        return Ok(CheckpointOutcome {
+            dataset,
+            weeks_crawled: 0,
+            weeks_recovered,
+            torn_bytes_recovered,
+        });
+    }
+
+    // Crawl the missing weeks, committing each as it completes.
+    let engine = Engine::instrumented(registry);
+    let segments = registry.counter("store.segments_total");
+    let delta_hits = registry.counter("store.delta_hits_total");
+    let delta_misses = registry.counter("store.delta_misses_total");
+    let raw_bytes = registry.counter("store.raw_bytes_total");
+    let encoded_bytes = registry.counter("store.encoded_bytes_total");
+    let commit_latency = registry.histogram("store.commit_latency_ns");
+    let mut weeks_crawled = 0;
+    for (week, date) in timeline.iter().skip(weeks_recovered) {
+        let snapshot = crawl_week(ecosystem, &engine, &names, week, date, config, telemetry);
+        let info = {
+            let _span = telemetry.span("store");
+            let started = std::time::Instant::now();
+            let info = writer.commit_week(&snapshot_to_week(&snapshot))?;
+            commit_latency.record_duration(started.elapsed());
+            info
+        };
+        segments.add(1);
+        delta_hits.add(info.delta_hits as u64);
+        delta_misses.add((info.records - info.delta_hits) as u64);
+        raw_bytes.add(info.raw_bytes);
+        encoded_bytes.add(info.encoded_bytes);
+        telemetry.emit(
+            "crawl",
+            week as u64 + 1,
+            timeline.weeks as u64,
+            &format!("{date}: {} pages", snapshot.collected()),
+        );
+        snapshots.push(snapshot);
+        weeks_crawled += 1;
+    }
+
+    // All weeks present: filter, record the verdict, finalize.
+    let ranks = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i + 1))
+        .collect();
+    let mut dataset = Dataset {
+        timeline,
+        ranks,
+        weeks: snapshots,
+        filtered_out: Vec::new(),
+    };
+    dataset.apply_inaccessibility_filter();
+    writer.finalize(&dataset.filtered_out)?;
+    Ok(CheckpointOutcome {
+        dataset,
+        weeks_crawled,
+        weeks_recovered,
+        torn_bytes_recovered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{collect_dataset, testkit};
+    use webvuln_webgen::EcosystemConfig;
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "webvuln-storeio-{}-{tag}.wvstore",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn small_eco(seed: u64, domains: usize, weeks: usize) -> Arc<Ecosystem> {
+        Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed,
+            domain_count: domains,
+            timeline: Timeline::truncated(weeks),
+        }))
+    }
+
+    fn assert_datasets_equal(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.ranks, b.ranks);
+        assert_eq!(a.filtered_out, b.filtered_out);
+        assert_eq!(a.weeks.len(), b.weeks.len());
+        for (wa, wb) in a.weeks.iter().zip(&b.weeks) {
+            assert_eq!(wa.week, wb.week);
+            assert_eq!(wa.date, wb.date);
+            assert_eq!(wa.summaries, wb.summaries);
+            assert_eq!(wa.pages, wb.pages);
+        }
+    }
+
+    #[test]
+    fn store_round_trip_preserves_the_dataset() {
+        let eco = small_eco(21, 120, 6);
+        let original = collect_dataset(&eco, CollectConfig::default());
+        let path = temp_store("roundtrip");
+        original.save_store(&path).expect("save");
+        let restored = Dataset::load_store(&path).expect("load");
+        assert_datasets_equal(&original, &restored);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_is_much_smaller_than_json() {
+        let data = testkit::small();
+        let path = temp_store("size");
+        data.save_store(&path).expect("save");
+        let store_len = std::fs::metadata(&path).expect("stat").len();
+        let json_len = data.to_json().len() as u64;
+        assert!(
+            store_len * 4 < json_len,
+            "store {store_len} bytes vs JSON {json_len} bytes"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpointed_collection_matches_plain_collection() {
+        let eco = small_eco(31, 100, 6);
+        let plain = collect_dataset(&eco, CollectConfig::default());
+        let path = temp_store("checkpointed");
+        let outcome = collect_dataset_checkpointed(
+            &eco,
+            CollectConfig::default(),
+            &Telemetry::new(),
+            &path,
+            false,
+        )
+        .expect("collect");
+        assert_eq!(outcome.weeks_crawled, 6);
+        assert_eq!(outcome.weeks_recovered, 0);
+        assert_datasets_equal(&plain, &outcome.dataset);
+        // The store on disk is the finalized run; loading it restores the
+        // same dataset.
+        let restored = Dataset::load_store(&path).expect("load");
+        assert_datasets_equal(&plain, &restored);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_crawls_only_missing_weeks() {
+        let eco = small_eco(31, 100, 6);
+        let path = temp_store("resume");
+        let telemetry = Telemetry::new();
+        // Simulate a run killed after week 3: commit 4 weeks by hand.
+        {
+            let names = eco.domain_names();
+            let engine = Engine::instrumented(telemetry.registry());
+            let timeline = *eco.timeline();
+            let mut writer =
+                StoreWriter::create(&path, genesis_for(&timeline, &names)).expect("create");
+            for (week, date) in timeline.iter().take(4) {
+                let snap = crawl_week(
+                    &eco,
+                    &engine,
+                    &names,
+                    week,
+                    date,
+                    CollectConfig::default(),
+                    &telemetry,
+                );
+                writer
+                    .commit_week(&snapshot_to_week(&snap))
+                    .expect("commit");
+            }
+        }
+        let telemetry = Telemetry::new();
+        let outcome =
+            collect_dataset_checkpointed(&eco, CollectConfig::default(), &telemetry, &path, true)
+                .expect("resume");
+        assert_eq!(outcome.weeks_recovered, 4);
+        assert_eq!(outcome.weeks_crawled, 2);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("store.weeks_recovered_total"), Some(4));
+        assert_eq!(snap.counter("store.segments_total"), Some(2));
+        // Only the missing weeks were fetched over the network.
+        assert_eq!(snap.counter("net.fetches_total"), Some(100 * 2));
+        // The result is identical to an uninterrupted collection.
+        let plain = collect_dataset(&eco, CollectConfig::default());
+        assert_datasets_equal(&plain, &outcome.dataset);
+        // A second resume finds the finalized store and crawls nothing.
+        let outcome = collect_dataset_checkpointed(
+            &eco,
+            CollectConfig::default(),
+            &Telemetry::new(),
+            &path,
+            true,
+        )
+        .expect("resume finalized");
+        assert_eq!(outcome.weeks_crawled, 0);
+        assert_datasets_equal(&plain, &outcome.dataset);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_ecosystem() {
+        let eco = small_eco(31, 100, 6);
+        let path = temp_store("mismatch");
+        collect_dataset_checkpointed(
+            &eco,
+            CollectConfig::default(),
+            &Telemetry::new(),
+            &path,
+            false,
+        )
+        .expect("collect");
+        let other = small_eco(32, 100, 6);
+        let err = collect_dataset_checkpointed(
+            &other,
+            CollectConfig::default(),
+            &Telemetry::new(),
+            &path,
+            true,
+        )
+        .expect_err("different seed must be rejected");
+        assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn delta_encoding_pays_off_on_real_data() {
+        let eco = small_eco(41, 150, 8);
+        let path = temp_store("delta");
+        let telemetry = Telemetry::new();
+        collect_dataset_checkpointed(&eco, CollectConfig::default(), &telemetry, &path, false)
+            .expect("collect");
+        let snap = telemetry.snapshot();
+        let hits = snap.counter("store.delta_hits_total").unwrap_or(0);
+        let misses = snap.counter("store.delta_misses_total").unwrap_or(0);
+        // Most pages do not change in a typical week.
+        assert!(
+            hits > misses,
+            "delta hit-rate should dominate: {hits} hits / {misses} misses"
+        );
+        let raw = snap.counter("store.raw_bytes_total").unwrap_or(0);
+        let encoded = snap.counter("store.encoded_bytes_total").unwrap_or(0);
+        assert!(encoded < raw / 2, "encoded {encoded} raw {raw}");
+        assert!(snap.histogram("store.commit_latency_ns").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_matches_loading() {
+        let eco = small_eco(21, 80, 4);
+        let original = collect_dataset(&eco, CollectConfig::default());
+        let path = temp_store("stream");
+        original.save_store(&path).expect("save");
+        let reader = StoreReader::open(&path).expect("open");
+        let streamed: Vec<WeekSnapshot> = stream_snapshots(&reader)
+            .collect::<Result<_, _>>()
+            .expect("stream");
+        assert_eq!(streamed.len(), original.weeks.len());
+        for (a, b) in original.weeks.iter().zip(&streamed) {
+            assert_eq!(a.summaries, b.summaries);
+            assert_eq!(a.pages, b.pages);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,88 @@
+//! Snapshot-store benchmarks: encode and decode throughput of the binary
+//! delta-encoded store, plus the compression record — delta hit-rate and
+//! the JSON-vs-store size ratio — printed once per run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::{Arc, OnceLock};
+use webvuln_analysis::dataset::{collect_dataset, CollectConfig, Dataset};
+use webvuln_store::StoreReader;
+use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+/// A mid-sized longitudinal dataset: big enough that delta encoding has
+/// week-over-week stability to exploit, small enough to collect quickly.
+fn store_dataset() -> &'static Dataset {
+    static DATA: OnceLock<Dataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 2_023,
+            domain_count: 300,
+            timeline: Timeline::truncated(30),
+        }));
+        collect_dataset(&eco, CollectConfig::default())
+    })
+}
+
+/// The dataset saved to a store file once per process (decode input).
+fn saved_store() -> &'static std::path::PathBuf {
+    static PATH: OnceLock<std::path::PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let path =
+            std::env::temp_dir().join(format!("webvuln-bench-{}.wvstore", std::process::id()));
+        store_dataset().save_store(&path).expect("save bench store");
+        path
+    })
+}
+
+fn store_encode(c: &mut Criterion) {
+    let data = store_dataset();
+    let path =
+        std::env::temp_dir().join(format!("webvuln-bench-enc-{}.wvstore", std::process::id()));
+    let bytes = {
+        data.save_store(&path).expect("probe save");
+        std::fs::metadata(&path).expect("probe size").len()
+    };
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("store_encode", |b| {
+        b.iter(|| data.save_store(black_box(&path)).expect("save"))
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+fn store_decode(c: &mut Criterion) {
+    let path = saved_store();
+    let bytes = std::fs::metadata(path).expect("store size").len();
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("store_decode", |b| {
+        b.iter(|| black_box(Dataset::load_store(black_box(path)).expect("load")))
+    });
+    group.finish();
+}
+
+fn store_delta_ratio(c: &mut Criterion) {
+    let data = store_dataset();
+    let path = saved_store();
+    let reader = StoreReader::open(path).expect("open bench store");
+    let (hits, total) = reader.delta_stats().expect("delta stats");
+    let store_bytes = std::fs::metadata(path).expect("store size").len();
+    let json_bytes = data.to_json().len() as u64;
+    eprintln!(
+        "\n=== store compression record ===\n\
+         records:     {total} ({hits} back-references, {:.1}% delta hit-rate)\n\
+         store size:  {store_bytes} bytes\n\
+         JSON size:   {json_bytes} bytes\n\
+         ratio:       {:.1}x smaller than JSON\n",
+        100.0 * hits as f64 / total.max(1) as f64,
+        json_bytes as f64 / store_bytes.max(1) as f64,
+    );
+    // Time the exhaustive delta walk itself (every back-reference resolved).
+    c.bench_function("store_delta_ratio", |b| {
+        b.iter(|| black_box(reader.delta_stats().expect("delta stats")))
+    });
+}
+
+criterion_group!(benches, store_encode, store_decode, store_delta_ratio);
+criterion_main!(benches);

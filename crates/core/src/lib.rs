@@ -22,5 +22,8 @@ pub use report::{
     render_table5, render_table6, render_telemetry, render_validation, series_to_csv,
     telemetry_json,
 };
-pub use study::{analyze, analyze_with, run_study, run_study_with, StudyConfig, StudyResults};
+pub use study::{
+    analyze, analyze_with, run_study, run_study_checkpointed, run_study_with, StudyConfig,
+    StudyResults,
+};
 pub use webvuln_telemetry::{Snapshot, StderrProgress, Telemetry};

@@ -169,6 +169,53 @@ pub fn run_study_with(config: StudyConfig, telemetry: &Telemetry) -> StudyResult
     analyze_with(config, dataset, telemetry)
 }
 
+/// Runs the full study with week-by-week checkpointing into the snapshot
+/// store at `store_path`.
+///
+/// With `resume` set and a store already on disk, every committed week is
+/// restored instead of re-crawled (after torn-tail recovery, so a run
+/// killed mid-commit resumes cleanly), and the crawl continues from the
+/// first missing week. Because collection is deterministic in the
+/// ecosystem seed, the resumed study's analysis output is identical to an
+/// uninterrupted run's. The store's genesis is checked against `config`;
+/// a store built from a different seed/timeline is rejected rather than
+/// silently mixed.
+pub fn run_study_checkpointed(
+    config: StudyConfig,
+    telemetry: &Telemetry,
+    store_path: &std::path::Path,
+    resume: bool,
+) -> Result<StudyResults, webvuln_analysis::store_io::StoreError> {
+    let ecosystem = {
+        let _span = telemetry.span("generate");
+        Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: config.seed,
+            domain_count: config.domain_count,
+            timeline: config.timeline,
+        }))
+    };
+    telemetry.emit(
+        "generate",
+        1,
+        1,
+        &format!(
+            "{} domains, {} weeks",
+            config.domain_count, config.timeline.weeks
+        ),
+    );
+    let outcome = webvuln_analysis::store_io::collect_dataset_checkpointed(
+        &ecosystem,
+        CollectConfig {
+            concurrency: config.concurrency,
+            faults: config.faults,
+        },
+        telemetry,
+        store_path,
+        resume,
+    )?;
+    Ok(analyze_with(config, outcome.dataset, telemetry))
+}
+
 /// Runs all analyses over an already-collected dataset.
 pub fn analyze(config: StudyConfig, dataset: Dataset) -> StudyResults {
     analyze_with(config, dataset, &Telemetry::new())

@@ -112,6 +112,12 @@ impl LibraryId {
         }
     }
 
+    /// Resolves a [`LibraryId::slug`] back to its identifier — the inverse
+    /// used when decoding persisted datasets.
+    pub fn from_slug(slug: &str) -> Option<LibraryId> {
+        LibraryId::ALL.into_iter().find(|lib| lib.slug() == slug)
+    }
+
     /// True for projects the paper calls discontinued (§6.3).
     pub fn is_discontinued(&self) -> bool {
         matches!(self, LibraryId::SwfObject | LibraryId::JQueryCookie)
@@ -608,6 +614,14 @@ pub fn wordpress_catalog() -> Vec<Release> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slugs_round_trip() {
+        for lib in LibraryId::ALL {
+            assert_eq!(LibraryId::from_slug(lib.slug()), Some(lib));
+        }
+        assert_eq!(LibraryId::from_slug("angular"), None);
+    }
 
     #[test]
     fn all_catalogs_build_and_are_sorted() {

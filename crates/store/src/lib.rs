@@ -1,0 +1,256 @@
+//! # webvuln-store
+//!
+//! The on-disk persistence layer of the `webvuln` pipeline: an
+//! append-only, segment-per-week binary snapshot store with
+//! checkpoint/resume. The paper's longitudinal dataset spans 201 weekly
+//! snapshots of 72k domains; re-crawling from scratch after every
+//! interruption is untenable, and the naive JSON dump re-serializes 200
+//! near-identical copies of every stable page. This store fixes both:
+//!
+//! * **Checkpointing** — [`StoreWriter::commit_week`] appends one
+//!   CRC-protected segment per crawled week and re-syncs a footer index,
+//!   so a killed study loses at most the week in flight.
+//! * **Resume** — [`StoreWriter::resume`] walks the file, truncates any
+//!   torn tail (a mid-commit crash), and hands back every intact week so
+//!   the crawl continues from the first missing one.
+//! * **Delta encoding** — record bodies are canonical byte strings;
+//!   a domain whose fingerprint and fetch outcome did not change since
+//!   the previous week is stored as a back-reference to that week's
+//!   bytes. Across a realistic timeline most records are hits, and the
+//!   file ends up a fraction of the JSON dump's size.
+//! * **String interning** — hosts, library slugs, version strings, and
+//!   URLs are written once, file-wide, and referenced by varint symbol.
+//! * **Random access** — a footer index plus per-week offset tables give
+//!   [`StoreReader::get`] O(1) access to one `(domain, week)` record
+//!   without decoding anything else.
+//!
+//! The crate is dependency-free (std only) and knows nothing about the
+//! analysis layer's types: it stores a plain-string record model
+//! ([`DomainRecord`], [`PageRecord`]) that `webvuln-analysis` maps its
+//! snapshots into and out of.
+//!
+//! ```
+//! use webvuln_store::{Genesis, StoreReader, StoreWriter, WeekData};
+//!
+//! # let dir = std::env::temp_dir().join(format!("wvs-doc-{}", std::process::id()));
+//! # std::fs::create_dir_all(&dir).unwrap();
+//! # let path = dir.join("demo.wvstore");
+//! let genesis = Genesis {
+//!     start_days: 17_600,
+//!     weeks_total: 1,
+//!     ranks: vec![("site.example".into(), 1)],
+//! };
+//! let mut writer = StoreWriter::create(&path, genesis).unwrap();
+//! writer
+//!     .commit_week(&WeekData { week: 0, date_days: 17_600, records: vec![] })
+//!     .unwrap();
+//! let reader = StoreReader::open(&path).unwrap();
+//! assert_eq!(reader.weeks_committed(), 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc32;
+mod error;
+mod format;
+mod intern;
+mod reader;
+mod record;
+mod varint;
+mod writer;
+
+pub use error::StoreError;
+pub use format::{Genesis, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use reader::StoreReader;
+pub use record::{
+    DetectionRecord, DomainRecord, FlashRecord, PageRecord, ScriptRecord, WeekData, WordPressRecord,
+};
+pub use writer::{CommitInfo, Resumed, StoreWriter, WriterStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::testkit;
+    use std::path::PathBuf;
+
+    /// A scratch file that cleans up after itself.
+    struct TempStore {
+        path: PathBuf,
+    }
+
+    impl TempStore {
+        fn new(tag: &str) -> TempStore {
+            let path = std::env::temp_dir()
+                .join(format!("wvstore-test-{}-{tag}.wvstore", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            TempStore { path }
+        }
+    }
+
+    impl Drop for TempStore {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    fn genesis(domains: usize, weeks: usize) -> Genesis {
+        Genesis {
+            start_days: 17_600,
+            weeks_total: weeks,
+            ranks: (0..domains)
+                .map(|i| (format!("site{i:03}.example"), (i + 1) as u64))
+                .collect(),
+        }
+    }
+
+    fn write_weeks(path: &std::path::Path, weeks: usize, domains: usize) -> StoreWriter {
+        let mut writer = StoreWriter::create(path, genesis(domains, weeks)).expect("create");
+        for w in 0..weeks {
+            writer
+                .commit_week(&testkit::week(w, domains))
+                .expect("commit");
+        }
+        writer
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let tmp = TempStore::new("roundtrip");
+        write_weeks(&tmp.path, 4, 9);
+        let reader = StoreReader::open(&tmp.path).expect("open");
+        assert_eq!(reader.weeks_committed(), 4);
+        assert_eq!(reader.genesis(), &genesis(9, 4));
+        assert!(!reader.is_finalized());
+        assert_eq!(reader.torn_bytes(), 0);
+        assert!(reader.had_footer());
+        for w in 0..4 {
+            assert_eq!(reader.week(w).expect("week"), testkit::week(w, 9));
+        }
+        assert_eq!(reader.verify().expect("verify"), vec![9; 4]);
+    }
+
+    #[test]
+    fn random_access_matches_sequential() {
+        let tmp = TempStore::new("random");
+        write_weeks(&tmp.path, 3, 8);
+        let reader = StoreReader::open(&tmp.path).expect("open");
+        for w in 0..3 {
+            let full = reader.week(w).expect("week");
+            for record in &full.records {
+                assert_eq!(&reader.get(&record.host, w).expect("get"), record);
+            }
+        }
+        assert!(matches!(
+            reader.get("nope.example", 0),
+            Err(StoreError::UnknownDomain(_))
+        ));
+        assert!(matches!(
+            reader.get("site000.example", 7),
+            Err(StoreError::UnknownWeek(7))
+        ));
+    }
+
+    #[test]
+    fn unchanged_records_become_backrefs() {
+        let tmp = TempStore::new("delta");
+        let mut writer = StoreWriter::create(&tmp.path, genesis(10, 3)).expect("create");
+        // Identical weeks: everything after week 0 should delta-hit.
+        let mut week0 = testkit::week(0, 10);
+        let info0 = writer.commit_week(&week0).expect("w0");
+        assert_eq!(info0.delta_hits, 0);
+        week0.week = 1;
+        let info1 = writer.commit_week(&week0).expect("w1");
+        assert_eq!(info1.delta_hits, 10);
+        assert!(info1.segment_bytes < info0.segment_bytes / 4);
+        // One domain changes: exactly one miss.
+        week0.week = 2;
+        week0.records[4].body_len += 1;
+        let info2 = writer.commit_week(&week0).expect("w2");
+        assert_eq!(info2.delta_hits, 9);
+
+        let reader = StoreReader::open(&tmp.path).expect("open");
+        let (hits, total) = reader.delta_stats().expect("stats");
+        assert_eq!((hits, total), (19, 30));
+        // Backref chains resolve through multiple weeks.
+        let w2 = reader.week(2).expect("week 2");
+        assert_eq!(
+            w2.records[4].body_len,
+            testkit::week(0, 10).records[4].body_len + 1
+        );
+    }
+
+    #[test]
+    fn finalize_closes_the_store() {
+        let tmp = TempStore::new("finalize");
+        let mut writer = write_weeks(&tmp.path, 2, 6);
+        writer
+            .finalize(&["site003.example".to_string()])
+            .expect("finalize");
+        assert!(matches!(
+            writer.commit_week(&testkit::week(2, 6)),
+            Err(StoreError::AlreadyFinalized)
+        ));
+        assert!(matches!(
+            writer.finalize(&[]),
+            Err(StoreError::AlreadyFinalized)
+        ));
+        let reader = StoreReader::open(&tmp.path).expect("open");
+        assert_eq!(
+            reader.filtered_out(),
+            Some(&["site003.example".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn out_of_order_commits_are_rejected() {
+        let tmp = TempStore::new("order");
+        let mut writer = StoreWriter::create(&tmp.path, genesis(4, 4)).expect("create");
+        let err = writer.commit_week(&testkit::week(2, 4)).expect_err("skip");
+        assert!(matches!(
+            err,
+            StoreError::WeekOutOfOrder {
+                expected: 0,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn resume_continues_the_sequence() {
+        let tmp = TempStore::new("resume");
+        {
+            write_weeks(&tmp.path, 2, 7);
+        }
+        let resumed = StoreWriter::resume(&tmp.path).expect("resume");
+        assert_eq!(resumed.writer.weeks_committed(), 2);
+        assert_eq!(resumed.weeks.len(), 2);
+        assert_eq!(resumed.torn_bytes, 0);
+        assert_eq!(resumed.weeks[1], testkit::week(1, 7));
+        let mut writer = resumed.writer;
+        // Delta state survives resume: an identical week 2 is all hits.
+        let mut week2 = testkit::week(1, 7);
+        week2.week = 2;
+        let info = writer.commit_week(&week2).expect("w2");
+        assert_eq!(info.delta_hits, 7);
+        let reader = StoreReader::open(&tmp.path).expect("open");
+        assert_eq!(reader.weeks_committed(), 3);
+        assert_eq!(reader.week(2).expect("week"), week2);
+    }
+
+    #[test]
+    fn empty_weeks_and_empty_stores_work() {
+        let tmp = TempStore::new("empty");
+        let mut writer = StoreWriter::create(&tmp.path, genesis(0, 1)).expect("create");
+        writer
+            .commit_week(&WeekData {
+                week: 0,
+                date_days: 17_600,
+                records: vec![],
+            })
+            .expect("empty week");
+        let reader = StoreReader::open(&tmp.path).expect("open");
+        assert_eq!(reader.week(0).expect("week").records.len(), 0);
+    }
+}

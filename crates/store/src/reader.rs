@@ -1,0 +1,200 @@
+//! The store reader: open, iterate weeks, random access, verify.
+//!
+//! Opening a store scans the whole file once, verifying every segment
+//! CRC and decoding only the cheap structural parts (string blocks, week
+//! headers, indexes). Record bodies stay encoded until asked for — a
+//! whole-week decode via [`StoreReader::week`] or an O(1) single-record
+//! lookup via [`StoreReader::get`], which follows the footer-indexed
+//! per-week offset table straight to the body bytes.
+
+use crate::error::StoreError;
+use crate::format::{
+    self, decode_body_at, decode_week_full, kind, scan, Genesis, RawSegment, WeekPrefix,
+};
+use crate::intern::Interner;
+use crate::record::{DomainRecord, WeekData};
+use std::collections::HashMap;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+struct WeekEntry {
+    seg_index: usize,
+    prefix: WeekPrefix,
+    by_host: HashMap<u32, u64>,
+}
+
+/// Read-only access to a snapshot store.
+pub struct StoreReader {
+    path: PathBuf,
+    segments: Vec<RawSegment>,
+    table: Interner,
+    genesis: Genesis,
+    weeks: Vec<WeekEntry>,
+    filtered_out: Option<Vec<String>>,
+    torn_bytes: u64,
+    had_footer: bool,
+}
+
+impl StoreReader {
+    /// Opens `path`, validating every segment and indexing every week.
+    ///
+    /// A torn tail (from an interrupted commit) does not fail the open;
+    /// the intact prefix is served and [`StoreReader::torn_bytes`]
+    /// reports how much was dropped.
+    pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
+        let mut file = File::open(path).map_err(|e| StoreError::io(path, e))?;
+        let scanned = scan(&mut file, path)?;
+        let mut table = Interner::new();
+        let mut genesis = None;
+        let mut weeks: Vec<WeekEntry> = Vec::new();
+        let mut filtered_out = None;
+        for (i, seg) in scanned.segments.iter().enumerate() {
+            let base = seg.payload_offset();
+            match seg.kind {
+                kind::GENESIS => {
+                    genesis = Some(format::decode_genesis(&seg.payload, &mut table, base)?);
+                }
+                kind::WEEK => {
+                    let prefix = format::decode_week_prefix(&seg.payload, &mut table, base)?;
+                    if prefix.week != weeks.len() {
+                        return Err(StoreError::WeekOutOfOrder {
+                            expected: weeks.len(),
+                            got: prefix.week,
+                        });
+                    }
+                    let by_host = prefix.index.iter().copied().collect();
+                    weeks.push(WeekEntry {
+                        seg_index: i,
+                        prefix,
+                        by_host,
+                    });
+                }
+                kind::FINALIZE => {
+                    filtered_out = Some(format::decode_finalize(&seg.payload, &mut table, base)?);
+                }
+                _ => return Err(StoreError::corrupt(seg.offset, "unexpected segment kind")),
+            }
+        }
+        let genesis = genesis.ok_or(StoreError::MissingGenesis)?;
+        Ok(StoreReader {
+            path: path.to_path_buf(),
+            segments: scanned.segments,
+            table,
+            genesis,
+            weeks,
+            filtered_out,
+            torn_bytes: scanned.torn_bytes,
+            had_footer: scanned.had_footer,
+        })
+    }
+
+    /// The study metadata the store was created with.
+    pub fn genesis(&self) -> &Genesis {
+        &self.genesis
+    }
+
+    /// Number of committed weeks.
+    pub fn weeks_committed(&self) -> usize {
+        self.weeks.len()
+    }
+
+    /// The stored filter verdict; `Some` only when finalized.
+    pub fn filtered_out(&self) -> Option<&[String]> {
+        self.filtered_out.as_deref()
+    }
+
+    /// Whether the store was finalized.
+    pub fn is_finalized(&self) -> bool {
+        self.filtered_out.is_some()
+    }
+
+    /// Torn tail bytes dropped when the file was opened.
+    pub fn torn_bytes(&self) -> u64 {
+        self.torn_bytes
+    }
+
+    /// Whether the file ended with an intact footer index.
+    pub fn had_footer(&self) -> bool {
+        self.had_footer
+    }
+
+    /// The store file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The snapshot date (days since epoch) of committed week `week`.
+    pub fn week_date_days(&self, week: usize) -> Result<i64, StoreError> {
+        self.entry(week).map(|e| e.prefix.date_days)
+    }
+
+    /// Fully decodes week `week`.
+    pub fn week(&self, week: usize) -> Result<WeekData, StoreError> {
+        let entry = self.entry(week)?;
+        let decoded =
+            decode_week_full(&self.segments, entry.seg_index, &entry.prefix, &self.table)?;
+        Ok(WeekData {
+            week,
+            date_days: entry.prefix.date_days,
+            records: decoded.into_iter().map(|d| d.record).collect(),
+        })
+    }
+
+    /// Iterates every committed week in order, decoding lazily.
+    pub fn iter_weeks(&self) -> impl Iterator<Item = Result<WeekData, StoreError>> + '_ {
+        (0..self.weeks.len()).map(move |week| self.week(week))
+    }
+
+    /// O(1) random access: the record for `domain` in `week`, located via
+    /// the per-week offset index without decoding anything else.
+    pub fn get(&self, domain: &str, week: usize) -> Result<DomainRecord, StoreError> {
+        let sym = self
+            .table
+            .lookup(domain)
+            .ok_or_else(|| StoreError::UnknownDomain(domain.to_string()))?;
+        let entry = self.entry(week)?;
+        let offset = *entry
+            .by_host
+            .get(&sym)
+            .ok_or_else(|| StoreError::UnknownDomain(domain.to_string()))?;
+        let (record, _) = decode_body_at(&self.segments, &self.table, domain, offset)?;
+        Ok(record)
+    }
+
+    /// Exhaustively verifies the store: decodes every record of every
+    /// week (resolving and cross-checking all back-references and index
+    /// entries). Returns per-week record counts.
+    pub fn verify(&self) -> Result<Vec<usize>, StoreError> {
+        let mut counts = Vec::with_capacity(self.weeks.len());
+        for entry in &self.weeks {
+            let decoded =
+                decode_week_full(&self.segments, entry.seg_index, &entry.prefix, &self.table)?;
+            counts.push(decoded.len());
+        }
+        Ok(counts)
+    }
+
+    /// Delta statistics over the whole file: `(backref_records,
+    /// total_records)`.
+    pub fn delta_stats(&self) -> Result<(usize, usize), StoreError> {
+        let mut hits = 0;
+        let mut total = 0;
+        for entry in &self.weeks {
+            let decoded =
+                decode_week_full(&self.segments, entry.seg_index, &entry.prefix, &self.table)?;
+            total += decoded.len();
+            hits += decoded.iter().filter(|d| d.backref).count();
+        }
+        Ok((hits, total))
+    }
+
+    /// Total bytes of validated data segments (excludes header, footer,
+    /// and any torn tail).
+    pub fn data_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.env_len).sum()
+    }
+
+    fn entry(&self, week: usize) -> Result<&WeekEntry, StoreError> {
+        self.weeks.get(week).ok_or(StoreError::UnknownWeek(week))
+    }
+}

@@ -1,0 +1,302 @@
+//! The append-only store writer: create, resume, commit, finalize.
+//!
+//! Commit discipline: each [`StoreWriter::commit_week`] appends one week
+//! segment at the current data end, then rewrites the footer after it and
+//! syncs. A crash mid-commit therefore tears only the tail — the segment
+//! being written and/or the footer — and [`StoreWriter::resume`] recovers
+//! by truncating the file back to the last intact segment.
+
+use crate::error::StoreError;
+use crate::format::{
+    self, decode_week_full, encode_footer, encode_genesis, encode_header, encode_segment, kind,
+    scan, Genesis, PrevWeek, SegmentMeta,
+};
+use crate::intern::Interner;
+use crate::record::WeekData;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Running totals over everything this writer has committed (including
+/// segments recovered on resume).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Week segments written by this process (excludes recovered ones).
+    pub segments_written: usize,
+    /// Records stored as back-references to the previous week.
+    pub delta_hits: usize,
+    /// Records stored with a full body.
+    pub delta_misses: usize,
+    /// Total body bytes before delta substitution.
+    pub raw_bytes: u64,
+    /// Bytes of record regions actually written.
+    pub encoded_bytes: u64,
+    /// Torn tail bytes truncated during resume.
+    pub torn_bytes_recovered: u64,
+}
+
+/// What one [`StoreWriter::commit_week`] call did.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitInfo {
+    /// The committed week index.
+    pub week: usize,
+    /// Records in the segment.
+    pub records: usize,
+    /// Records stored as back-references.
+    pub delta_hits: usize,
+    /// Body bytes before delta substitution.
+    pub raw_bytes: u64,
+    /// Record-region bytes actually written.
+    pub encoded_bytes: u64,
+    /// Total envelope bytes appended (segment only, not the footer).
+    pub segment_bytes: u64,
+}
+
+/// A [`StoreWriter`] reopened on an existing file, plus everything the
+/// file already held.
+pub struct Resumed {
+    /// The writer, positioned after the last intact segment.
+    pub writer: StoreWriter,
+    /// Every week already committed, fully decoded, in week order.
+    pub weeks: Vec<WeekData>,
+    /// The stored filter verdict, present only when finalized.
+    pub filtered_out: Option<Vec<String>>,
+    /// Torn tail bytes dropped during recovery.
+    pub torn_bytes: u64,
+}
+
+/// Writes a snapshot store file.
+pub struct StoreWriter {
+    file: File,
+    path: PathBuf,
+    table: Interner,
+    metas: Vec<SegmentMeta>,
+    genesis: Genesis,
+    next_week: usize,
+    finalized: bool,
+    data_end: u64,
+    prev: PrevWeek,
+    stats: WriterStats,
+}
+
+impl StoreWriter {
+    /// Creates (truncating) a store at `path` and writes header + genesis.
+    pub fn create(path: &Path, genesis: Genesis) -> Result<StoreWriter, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, e))?;
+        file.write_all(&encode_header())
+            .map_err(|e| StoreError::io(path, e))?;
+        let mut table = Interner::new();
+        let payload = encode_genesis(&genesis, &mut table);
+        let envelope = encode_segment(kind::GENESIS, &payload);
+        file.write_all(&envelope)
+            .map_err(|e| StoreError::io(path, e))?;
+        let data_end = format::HEADER_LEN + envelope.len() as u64;
+        let metas = vec![SegmentMeta {
+            kind: kind::GENESIS,
+            week: 0,
+            offset: format::HEADER_LEN,
+            env_len: envelope.len() as u64,
+        }];
+        let mut writer = StoreWriter {
+            file,
+            path: path.to_path_buf(),
+            table,
+            metas,
+            genesis,
+            next_week: 0,
+            finalized: false,
+            data_end,
+            prev: PrevWeek::new(),
+            stats: WriterStats::default(),
+        };
+        writer.rewrite_footer()?;
+        Ok(writer)
+    }
+
+    /// Reopens an existing store, truncating any torn tail, and rebuilds
+    /// the delta state so the next commit continues the sequence.
+    pub fn resume(path: &Path) -> Result<Resumed, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, e))?;
+        let scanned = scan(&mut file, path)?;
+        let mut table = Interner::new();
+        let mut genesis = None;
+        let mut weeks = Vec::new();
+        let mut filtered_out = None;
+        let mut metas = Vec::new();
+        let mut prev = PrevWeek::new();
+        for (i, seg) in scanned.segments.iter().enumerate() {
+            let base = seg.payload_offset();
+            let mut week_no = 0;
+            match seg.kind {
+                kind::GENESIS => {
+                    genesis = Some(format::decode_genesis(&seg.payload, &mut table, base)?);
+                }
+                kind::WEEK => {
+                    let prefix = format::decode_week_prefix(&seg.payload, &mut table, base)?;
+                    week_no = prefix.week;
+                    let decoded = decode_week_full(&scanned.segments, i, &prefix, &table)?;
+                    prev = decoded
+                        .iter()
+                        .map(|d| (d.host_sym, (d.body_offset, d.body.clone())))
+                        .collect();
+                    weeks.push(WeekData {
+                        week: prefix.week,
+                        date_days: prefix.date_days,
+                        records: decoded.into_iter().map(|d| d.record).collect(),
+                    });
+                }
+                kind::FINALIZE => {
+                    filtered_out = Some(format::decode_finalize(&seg.payload, &mut table, base)?);
+                }
+                _ => return Err(StoreError::corrupt(seg.offset, "unexpected segment kind")),
+            }
+            metas.push(seg.meta(week_no));
+        }
+        let genesis = genesis.ok_or(StoreError::MissingGenesis)?;
+        for (expected, week) in weeks.iter().enumerate() {
+            if week.week != expected {
+                return Err(StoreError::WeekOutOfOrder {
+                    expected,
+                    got: week.week,
+                });
+            }
+        }
+
+        let mut writer = StoreWriter {
+            file,
+            path: path.to_path_buf(),
+            table,
+            metas,
+            genesis,
+            next_week: weeks.len(),
+            finalized: filtered_out.is_some(),
+            data_end: scanned.data_end,
+            prev,
+            stats: WriterStats {
+                torn_bytes_recovered: scanned.torn_bytes,
+                ..WriterStats::default()
+            },
+        };
+        // Drop the torn tail (and any stale footer) and re-establish a
+        // clean, indexed end of file.
+        writer.rewrite_footer()?;
+        Ok(Resumed {
+            writer,
+            weeks,
+            filtered_out,
+            torn_bytes: scanned.torn_bytes,
+        })
+    }
+
+    /// Appends one weekly snapshot. Weeks must arrive in order, starting
+    /// at 0 (or at the first uncommitted week after a resume).
+    pub fn commit_week(&mut self, week: &WeekData) -> Result<CommitInfo, StoreError> {
+        if self.finalized {
+            return Err(StoreError::AlreadyFinalized);
+        }
+        if week.week != self.next_week {
+            return Err(StoreError::WeekOutOfOrder {
+                expected: self.next_week,
+                got: week.week,
+            });
+        }
+        let encoded = format::encode_week(week, &mut self.table, &self.prev, self.data_end);
+        let envelope = encode_segment(kind::WEEK, &encoded.payload);
+        self.append_segment(&envelope, kind::WEEK, week.week)?;
+
+        self.prev = encoded.next_prev;
+        self.next_week += 1;
+        self.stats.segments_written += 1;
+        self.stats.delta_hits += encoded.delta_hits;
+        self.stats.delta_misses += week.records.len() - encoded.delta_hits;
+        self.stats.raw_bytes += encoded.raw_bytes;
+        self.stats.encoded_bytes += encoded.encoded_bytes;
+        Ok(CommitInfo {
+            week: week.week,
+            records: week.records.len(),
+            delta_hits: encoded.delta_hits,
+            raw_bytes: encoded.raw_bytes,
+            encoded_bytes: encoded.encoded_bytes,
+            segment_bytes: envelope.len() as u64,
+        })
+    }
+
+    /// Writes the finalize segment (the inaccessibility-filter verdict)
+    /// and closes the store to further commits.
+    pub fn finalize(&mut self, filtered_out: &[String]) -> Result<(), StoreError> {
+        if self.finalized {
+            return Err(StoreError::AlreadyFinalized);
+        }
+        let payload = format::encode_finalize(filtered_out, &mut self.table);
+        let envelope = encode_segment(kind::FINALIZE, &payload);
+        self.append_segment(&envelope, kind::FINALIZE, 0)?;
+        self.finalized = true;
+        Ok(())
+    }
+
+    fn append_segment(
+        &mut self,
+        envelope: &[u8],
+        seg_kind: u8,
+        week: usize,
+    ) -> Result<(), StoreError> {
+        let offset = self.data_end;
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.file.write_all(envelope))
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.data_end = offset + envelope.len() as u64;
+        self.metas.push(SegmentMeta {
+            kind: seg_kind,
+            week,
+            offset,
+            env_len: envelope.len() as u64,
+        });
+        self.rewrite_footer()
+    }
+
+    fn rewrite_footer(&mut self) -> Result<(), StoreError> {
+        let footer = encode_footer(&self.metas);
+        self.file
+            .seek(SeekFrom::Start(self.data_end))
+            .and_then(|_| self.file.write_all(&footer))
+            .and_then(|_| self.file.set_len(self.data_end + footer.len() as u64))
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| StoreError::io(&self.path, e))
+    }
+
+    /// The number of weeks committed so far (including recovered ones).
+    pub fn weeks_committed(&self) -> usize {
+        self.next_week
+    }
+
+    /// Whether the store carries a finalize segment.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// The study metadata this store was created with.
+    pub fn genesis(&self) -> &Genesis {
+        &self.genesis
+    }
+
+    /// The store file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Running totals for telemetry.
+    pub fn stats(&self) -> WriterStats {
+        self.stats
+    }
+}

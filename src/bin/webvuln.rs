@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! webvuln study   [--domains N] [--weeks N] [--seed N] [--csv DIR]
-//!                 [--progress] [--telemetry [FILE]]
+//!                 [--store FILE [--resume]] [--progress] [--telemetry [FILE]]
 //! webvuln validate [REPORT_ID]
 //! webvuln crawl   [--domains N] [--week N] [--tcp] [--telemetry]
 //! webvuln inspect <FILE.html> [--domain HOST]
+//! webvuln store   info|verify|export-json <FILE.wvstore>
 //! ```
 
 use std::sync::Arc;
+use webvuln::analysis::Dataset;
 use webvuln::core::{
-    full_report, run_study_with, series_to_csv, telemetry_json, StudyConfig, Telemetry,
+    full_report, run_study_checkpointed, run_study_with, series_to_csv, telemetry_json,
+    StudyConfig, Telemetry,
 };
 use webvuln::cvedb::{Accuracy, Basis, VulnDb};
 use webvuln::fingerprint::Engine;
@@ -28,6 +31,7 @@ fn main() {
         "validate" => cmd_validate(&args[1..]),
         "crawl" => cmd_crawl(&args[1..]),
         "inspect" => cmd_inspect(&args[1..]),
+        "store" => cmd_store(&args[1..]),
         "help" | "--help" | "-h" => print_help(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -43,7 +47,7 @@ fn print_help() {
 
 USAGE:
   webvuln study    [--domains N] [--weeks N] [--seed N] [--csv DIR]
-                   [--progress] [--telemetry [FILE]]
+                   [--store FILE [--resume]] [--progress] [--telemetry [FILE]]
                    run the full study and print every table/figure
   webvuln validate [REPORT_ID]
                    run the §6.4 version-validation experiment
@@ -51,9 +55,16 @@ USAGE:
                    crawl one snapshot week and summarize detections
   webvuln inspect  FILE.html [--domain HOST]
                    fingerprint a single HTML file and list vulnerabilities
+  webvuln store    info FILE         describe a snapshot store
+                   verify FILE       exhaustively decode + CRC-check a store
+                   export-json FILE [OUT.json]
+                                     convert a finalized store to Dataset JSON
 
 FLAGS:
   --progress         report per-week progress on stderr
+  --store FILE       commit each crawled week to a binary snapshot store
+  --resume           with --store: restore committed weeks instead of
+                     recrawling them (tolerates a torn tail after a crash)
   --telemetry [FILE] print the metrics snapshot as JSON on stderr, or
                      write it to FILE when one is given"
     );
@@ -94,7 +105,23 @@ fn cmd_study(args: &[String]) {
         telemetry = telemetry.with_stderr_progress();
     }
     eprintln!("study: {domains} domains x {weeks} weeks (seed {seed})");
-    let results = run_study_with(config, &telemetry);
+    let results = match flag(args, "--store") {
+        Some(store_path) => {
+            let resume = args.iter().any(|a| a == "--resume");
+            let path = std::path::PathBuf::from(store_path);
+            match run_study_checkpointed(config, &telemetry, &path, resume) {
+                Ok(results) => {
+                    eprintln!("snapshot store committed to {}", path.display());
+                    results
+                }
+                Err(e) => {
+                    eprintln!("snapshot store error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => run_study_with(config, &telemetry),
+    };
     if let Some(dest) = telemetry_flag(args) {
         let json = telemetry_json(&results);
         match dest {
@@ -246,6 +273,102 @@ fn cmd_crawl(args: &[String]) {
         vulnerable,
         100.0 * vulnerable as f64 / usable.len().max(1) as f64
     );
+}
+
+fn cmd_store(args: &[String]) {
+    let usage = || -> ! {
+        eprintln!("usage: webvuln store info|verify|export-json FILE [OUT.json]");
+        std::process::exit(2);
+    };
+    let action = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        usage()
+    };
+    let open = || {
+        webvuln::store::StoreReader::open(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    match action {
+        "info" => {
+            let reader = open();
+            let genesis = reader.genesis();
+            println!("store:      {path}");
+            println!("format:     version {}", webvuln::store::FORMAT_VERSION);
+            println!("domains:    {}", genesis.ranks.len());
+            println!(
+                "weeks:      {} committed of {} planned",
+                reader.weeks_committed(),
+                genesis.weeks_total
+            );
+            println!(
+                "finalized:  {}",
+                if reader.is_finalized() { "yes" } else { "no" }
+            );
+            if let Some(filtered) = reader.filtered_out() {
+                println!(
+                    "filtered:   {} domains removed by the §4.1 rule",
+                    filtered.len()
+                );
+            }
+            let (hits, total) = match reader.delta_stats() {
+                Ok(stats) => stats,
+                Err(e) => {
+                    eprintln!("cannot decode {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "records:    {total} total, {hits} stored as back-references ({:.1}%)",
+                100.0 * hits as f64 / total.max(1) as f64
+            );
+            println!("data bytes: {}", reader.data_bytes());
+            if reader.torn_bytes() > 0 {
+                println!("torn tail:  {} bytes (recoverable)", reader.torn_bytes());
+            }
+        }
+        "verify" => {
+            let reader = open();
+            match reader.verify() {
+                Ok(counts) => {
+                    for (week, records) in counts.iter().enumerate() {
+                        let date = reader
+                            .week_date_days(week)
+                            .map(|d| format!("day {d}"))
+                            .unwrap_or_else(|_| "?".into());
+                        println!("week {week:>3} ({date}): {records} records ok");
+                    }
+                    println!(
+                        "{}: {} weeks verified, every CRC and back-reference intact",
+                        path,
+                        counts.len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("{path}: verification FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "export-json" => {
+            let dataset = Dataset::load_store(std::path::Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("cannot load {path}: {e}");
+                std::process::exit(1);
+            });
+            match args.get(2).filter(|a| !a.starts_with("--")) {
+                Some(out) => match dataset.save(out) {
+                    Ok(()) => eprintln!("dataset written to {out}"),
+                    Err(e) => {
+                        eprintln!("cannot write dataset: {e}");
+                        std::process::exit(1);
+                    }
+                },
+                None => println!("{}", dataset.to_json()),
+            }
+        }
+        _ => usage(),
+    }
 }
 
 fn cmd_inspect(args: &[String]) {

@@ -18,6 +18,7 @@
 //! | [`fingerprint`] | `webvuln-fingerprint` | Wappalyzer-equivalent |
 //! | [`poclab`] | `webvuln-poclab` | version-validation experiment |
 //! | [`analysis`] | `webvuln-analysis` | tables & figures |
+//! | [`store`] | `webvuln-store` | binary snapshot store (checkpoint/resume) |
 //! | [`telemetry`] | `webvuln-telemetry` | metrics, spans, progress |
 //! | [`core`] | `webvuln-core` | study orchestration + reports |
 //!
@@ -41,6 +42,7 @@ pub use webvuln_html as html;
 pub use webvuln_net as net;
 pub use webvuln_pattern as pattern;
 pub use webvuln_poclab as poclab;
+pub use webvuln_store as store;
 pub use webvuln_telemetry as telemetry;
 pub use webvuln_version as version;
 pub use webvuln_webgen as webgen;

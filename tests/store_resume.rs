@@ -1,0 +1,82 @@
+//! Crash-recovery integration: a study interrupted mid-collection (the
+//! snapshot store torn at an arbitrary byte) and resumed with `--resume`
+//! semantics must produce the exact same analysis output — and the exact
+//! same store bytes — as an uninterrupted run.
+
+use webvuln::core::{full_report, run_study_checkpointed, run_study_with, StudyConfig, Telemetry};
+use webvuln::webgen::Timeline;
+
+fn config() -> StudyConfig {
+    StudyConfig {
+        seed: 1312,
+        domain_count: 80,
+        timeline: Timeline::truncated(5),
+        ..StudyConfig::default()
+    }
+}
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "webvuln-resume-test-{tag}-{}.wvstore",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The analysis portion of the report: everything before the run-telemetry
+/// section, which legitimately differs (a resumed run crawls fewer weeks,
+/// so its counters are smaller).
+fn analysis_part(report: &str) -> &str {
+    report.split("Run telemetry").next().unwrap()
+}
+
+#[test]
+fn killed_and_resumed_study_matches_the_uninterrupted_run() {
+    let baseline = full_report(&run_study_with(config(), &Telemetry::new()));
+
+    // An uninterrupted checkpointed run: same analysis output, and the
+    // reference store bytes.
+    let clean_store = temp_store("clean");
+    let clean = run_study_checkpointed(config(), &Telemetry::new(), &clean_store, false)
+        .expect("uninterrupted checkpointed run");
+    assert_eq!(
+        analysis_part(&baseline),
+        analysis_part(&full_report(&clean)),
+        "checkpointing must not change the analysis"
+    );
+
+    // Simulate a kill: tear the store at 60% of its length — mid-record,
+    // nowhere near a segment boundary in general.
+    let torn_store = temp_store("torn");
+    let bytes = std::fs::read(&clean_store).expect("read reference store");
+    let cut = bytes.len() * 6 / 10;
+    std::fs::write(&torn_store, &bytes[..cut]).expect("write torn store");
+
+    // Resume: restores intact weeks, truncates the torn tail, recrawls the
+    // rest, finalizes.
+    let resumed = run_study_checkpointed(config(), &Telemetry::new(), &torn_store, true)
+        .expect("resume after kill");
+    assert_eq!(
+        analysis_part(&baseline),
+        analysis_part(&full_report(&resumed)),
+        "resumed analysis output must be byte-identical"
+    );
+
+    // Determinism all the way down: the healed store is byte-identical to
+    // the uninterrupted one.
+    let healed = std::fs::read(&torn_store).expect("read healed store");
+    assert_eq!(healed, bytes, "healed store bytes must match");
+
+    // A second resume on the now-complete store crawls nothing and still
+    // reproduces the analysis.
+    let restored = run_study_checkpointed(config(), &Telemetry::new(), &torn_store, true)
+        .expect("resume on complete store");
+    assert_eq!(
+        analysis_part(&baseline),
+        analysis_part(&full_report(&restored))
+    );
+
+    let _ = std::fs::remove_file(&clean_store);
+    let _ = std::fs::remove_file(&torn_store);
+}
