@@ -2,15 +2,16 @@
 //! (synthetic) web over the real HTTP stack, fingerprint every usable
 //! landing page, and apply the inaccessible-domain filter.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use webvuln_cvedb::Date;
 use webvuln_fingerprint::{Engine, PageAnalysis};
 use webvuln_net::{
-    crawl_instrumented, inaccessible_domains, CrawlConfig, FaultPlan, FetchSummary, VirtualNet,
+    crawl_resilient, inaccessible_domains, page_is_error_or_empty, BreakerConfig, CrawlConfig,
+    FaultPlan, FetchSummary, HostBreakers, RetryPolicy, VirtualClock, VirtualNet,
     EMPTY_PAGE_THRESHOLD,
 };
-use webvuln_telemetry::Telemetry;
+use webvuln_telemetry::{Counter, Telemetry};
 use webvuln_webgen::{Ecosystem, Timeline};
 
 /// One analysed weekly snapshot.
@@ -20,16 +21,30 @@ pub struct WeekSnapshot {
     pub week: usize,
     /// Snapshot date.
     pub date: Date,
-    /// Fingerprinted pages of domains that served usable content.
+    /// Fingerprinted pages of domains that served usable content this
+    /// week, plus carried-forward pages for domains that were down (see
+    /// [`WeekSnapshot::carried_forward`]).
     pub pages: BTreeMap<String, PageAnalysis>,
     /// Fetch summaries for every attempted domain (filter input).
     pub summaries: BTreeMap<String, FetchSummary>,
+    /// Domains whose page this week is a copy of their last usable
+    /// snapshot (graceful degradation: the domain stayed down all week).
+    /// Their summaries still record the true failed fetch, so the
+    /// inaccessibility filter is unaffected.
+    #[serde(default)]
+    pub carried_forward: BTreeSet<String>,
 }
 
 impl WeekSnapshot {
-    /// Number of successfully collected pages (Figure 2(a)'s series).
+    /// Number of collected pages (Figure 2(a)'s series), including any
+    /// carried-forward pages.
     pub fn collected(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Pages actually fetched this week (excluding carried-forward ones).
+    pub fn fresh_collected(&self) -> usize {
+        self.pages.len() - self.carried_forward.len()
     }
 }
 
@@ -53,6 +68,13 @@ pub struct CollectConfig {
     pub concurrency: usize,
     /// Connection-level fault plan for the virtual internet.
     pub faults: FaultPlan,
+    /// Retry policy for each weekly fetch (default: single attempt).
+    pub retry: RetryPolicy,
+    /// Per-host circuit breakers across weeks (default: none).
+    pub breaker: Option<BreakerConfig>,
+    /// Carry a domain's last usable page forward through weeks where it
+    /// stays down (default: off — missing weeks stay missing).
+    pub carry_forward: bool,
 }
 
 impl Default for CollectConfig {
@@ -60,6 +82,9 @@ impl Default for CollectConfig {
         CollectConfig {
             concurrency: 8,
             faults: FaultPlan::none(),
+            retry: RetryPolicy::none(),
+            breaker: None,
+            carry_forward: false,
         }
     }
 }
@@ -80,13 +105,12 @@ pub fn collect_dataset_with(
     config: CollectConfig,
     telemetry: &Telemetry,
 ) -> Dataset {
-    let engine = Engine::instrumented(telemetry.registry());
-    let names = ecosystem.domain_names();
     let timeline = *ecosystem.timeline();
+    let mut collector = WeekCollector::new(ecosystem, config, telemetry);
     let mut weeks = Vec::with_capacity(timeline.weeks);
 
     for (week, date) in timeline.iter() {
-        let snapshot = crawl_week(ecosystem, &engine, &names, week, date, config, telemetry);
+        let snapshot = collector.collect_week(week, date, telemetry);
         telemetry.emit(
             "crawl",
             week as u64 + 1,
@@ -96,7 +120,8 @@ pub fn collect_dataset_with(
         weeks.push(snapshot);
     }
 
-    let ranks = names
+    let ranks = collector
+        .names()
         .iter()
         .enumerate()
         .map(|(i, n)| (n.clone(), i + 1))
@@ -111,49 +136,136 @@ pub fn collect_dataset_with(
     dataset
 }
 
-/// Crawls and fingerprints one weekly snapshot — the per-week body of
-/// [`collect_dataset_with`], shared with the checkpointed collector in
-/// [`crate::store_io`].
-pub(crate) fn crawl_week(
-    ecosystem: &Arc<Ecosystem>,
-    engine: &Engine,
-    names: &[String],
-    week: usize,
-    date: Date,
+/// The stateful per-week collector shared by [`collect_dataset_with`] and
+/// the checkpointed collector in [`crate::store_io`].
+///
+/// Week-to-week state lives here: per-host circuit breakers, the virtual
+/// backoff clock, and each domain's last usable fingerprint (the
+/// carry-forward source). The checkpointed collector reconstructs this
+/// state from a restored store by [`replay_week`](WeekCollector::replay_week)ing
+/// every recovered snapshot — breaker transitions are a pure function of
+/// each host's outcome sequence, so a resumed run continues exactly where
+/// an uninterrupted one would be.
+pub(crate) struct WeekCollector {
+    ecosystem: Arc<Ecosystem>,
+    names: Vec<String>,
     config: CollectConfig,
-    telemetry: &Telemetry,
-) -> WeekSnapshot {
-    let registry = telemetry.registry();
-    let net = VirtualNet::new(Arc::new(ecosystem.handler(week)))
-        .with_fault_metrics(registry)
-        .with_faults(config.faults);
-    let records = {
-        let _span = telemetry.span("crawl");
-        crawl_instrumented(
-            names,
-            &net,
-            CrawlConfig {
-                concurrency: config.concurrency,
-            },
-            registry,
-        )
-    };
-    let mut pages = BTreeMap::new();
-    let mut summaries = BTreeMap::new();
-    {
-        let _span = telemetry.span("fingerprint");
-        for (domain, record) in records {
-            summaries.insert(domain.clone(), FetchSummary::from(&record));
-            if record.is_usable(EMPTY_PAGE_THRESHOLD) {
-                pages.insert(domain.clone(), engine.analyze(&record.body, &domain));
-            }
+    engine: Engine,
+    breakers: Option<HostBreakers>,
+    clock: VirtualClock,
+    last_usable: BTreeMap<String, PageAnalysis>,
+    carry_forward: Counter,
+}
+
+impl WeekCollector {
+    pub(crate) fn new(
+        ecosystem: &Arc<Ecosystem>,
+        config: CollectConfig,
+        telemetry: &Telemetry,
+    ) -> WeekCollector {
+        WeekCollector {
+            ecosystem: Arc::clone(ecosystem),
+            names: ecosystem.domain_names(),
+            config,
+            engine: Engine::instrumented(telemetry.registry()),
+            breakers: config.breaker.map(HostBreakers::new),
+            clock: VirtualClock::new(),
+            last_usable: BTreeMap::new(),
+            carry_forward: telemetry.registry().counter("net.carry_forward_total"),
         }
     }
-    WeekSnapshot {
-        week,
-        date,
-        pages,
-        summaries,
+
+    /// The crawl's domain list, in rank order.
+    pub(crate) fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Crawls and fingerprints one weekly snapshot, advancing breaker and
+    /// carry-forward state.
+    pub(crate) fn collect_week(
+        &mut self,
+        week: usize,
+        date: Date,
+        telemetry: &Telemetry,
+    ) -> WeekSnapshot {
+        let registry = telemetry.registry();
+        let net = VirtualNet::new(Arc::new(self.ecosystem.handler(week)))
+            .with_fault_metrics(registry)
+            .with_week(week)
+            .with_faults(self.config.faults);
+        let records = {
+            let _span = telemetry.span("crawl");
+            crawl_resilient(
+                &self.names,
+                &net,
+                CrawlConfig {
+                    concurrency: self.config.concurrency,
+                },
+                self.config.retry,
+                self.breakers.as_ref(),
+                &self.clock,
+                registry,
+            )
+        };
+        let mut pages = BTreeMap::new();
+        let mut summaries = BTreeMap::new();
+        let mut carried_forward = BTreeSet::new();
+        {
+            let _span = telemetry.span("fingerprint");
+            for (domain, record) in records {
+                summaries.insert(domain.clone(), FetchSummary::from(&record));
+                if record.is_usable(EMPTY_PAGE_THRESHOLD) {
+                    let analysis = self.engine.analyze(&record.body, &domain);
+                    self.last_usable.insert(domain.clone(), analysis.clone());
+                    pages.insert(domain, analysis);
+                } else if self.config.carry_forward
+                    && page_is_error_or_empty(record.status, record.body_len())
+                {
+                    // The domain stayed down: degrade gracefully by
+                    // reusing its last usable fingerprint. (Carrying only
+                    // error/empty weeks keeps the page↔summary invariant
+                    // the store reconstruction relies on.)
+                    if let Some(prior) = self.last_usable.get(&domain) {
+                        pages.insert(domain.clone(), prior.clone());
+                        carried_forward.insert(domain);
+                        self.carry_forward.inc();
+                    }
+                }
+            }
+        }
+        if let Some(breakers) = &self.breakers {
+            breakers.tick_round();
+        }
+        WeekSnapshot {
+            week,
+            date,
+            pages,
+            summaries,
+            carried_forward,
+        }
+    }
+
+    /// Replays a restored snapshot's outcomes into breaker and
+    /// carry-forward state without crawling.
+    ///
+    /// Mirrors the live path exactly: a host is recorded only if its
+    /// breaker admitted it (which, inductively, matches whether the live
+    /// run fetched or skipped it), any HTTP status counts as success, and
+    /// the round ticks once at the end.
+    pub(crate) fn replay_week(&mut self, snapshot: &WeekSnapshot) {
+        if let Some(breakers) = &self.breakers {
+            for (domain, summary) in &snapshot.summaries {
+                if breakers.allow(domain) {
+                    breakers.record(domain, summary.status.is_some());
+                }
+            }
+            breakers.tick_round();
+        }
+        for (domain, page) in &snapshot.pages {
+            if !snapshot.carried_forward.contains(domain) {
+                self.last_usable.insert(domain.clone(), page.clone());
+            }
+        }
     }
 }
 
@@ -167,8 +279,14 @@ impl Dataset {
         for week in &mut self.weeks {
             week.pages.retain(|d, _| !drop.contains(d));
             week.summaries.retain(|d, _| !drop.contains(d));
+            week.carried_forward.retain(|d| !drop.contains(d));
         }
         self.filtered_out = drop.into_iter().collect();
+    }
+
+    /// Total carried-forward page instances across all weeks.
+    pub fn carried_forward_total(&self) -> usize {
+        self.weeks.iter().map(|w| w.carried_forward.len()).sum()
     }
 
     /// Average number of pages collected per week.
@@ -415,5 +533,96 @@ mod tests {
             .map(|(d, _)| d.clone())
             .expect("rank 1 exists");
         assert_eq!(data.rank(&domain), Some(1));
+    }
+
+    #[test]
+    fn carry_forward_reuses_the_last_usable_page() {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 61,
+            domain_count: 200,
+            timeline: Timeline::truncated(8),
+        }));
+        // A quarter of hosts flap each week; with no retries those weeks
+        // are lost unless carried forward.
+        let faults = FaultPlan {
+            seed: 61,
+            transient_fail_permille: 250,
+            heal_after_attempts: 1,
+            ..FaultPlan::none()
+        };
+        let degraded = collect_dataset(
+            &eco,
+            CollectConfig {
+                faults,
+                carry_forward: true,
+                ..CollectConfig::default()
+            },
+        );
+        let strict = collect_dataset(
+            &eco,
+            CollectConfig {
+                faults,
+                ..CollectConfig::default()
+            },
+        );
+        assert!(degraded.carried_forward_total() > 0, "some weeks degrade");
+        assert_eq!(strict.carried_forward_total(), 0);
+        assert!(degraded.average_collected() > strict.average_collected());
+
+        for (w, week) in degraded.weeks.iter().enumerate() {
+            assert_eq!(
+                week.fresh_collected(),
+                week.collected() - week.carried_forward.len()
+            );
+            for domain in &week.carried_forward {
+                // The carried page is byte-for-byte the last usable one.
+                let ancestor = degraded.weeks[..w]
+                    .iter()
+                    .rev()
+                    .find_map(|prior| {
+                        (!prior.carried_forward.contains(domain))
+                            .then(|| prior.pages.get(domain))
+                            .flatten()
+                    })
+                    .expect("carried page has a usable ancestor");
+                assert_eq!(&week.pages[domain], ancestor);
+                // A strict run has no page for this domain-week at all.
+                assert!(!strict.weeks[w].pages.contains_key(domain));
+                // The summary still records the true failed fetch.
+                let summary = week.summaries[domain];
+                assert!(page_is_error_or_empty(summary.status, summary.body_len));
+            }
+        }
+        // Carrying pages forward never alters the filter's input.
+        assert_eq!(degraded.filtered_out, strict.filtered_out);
+    }
+
+    #[test]
+    fn resilient_collection_is_deterministic_across_concurrency() {
+        let make = |concurrency| {
+            let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+                seed: 62,
+                domain_count: 150,
+                timeline: Timeline::truncated(6),
+            }));
+            collect_dataset(
+                &eco,
+                CollectConfig {
+                    concurrency,
+                    faults: FaultPlan::hostile(62),
+                    retry: RetryPolicy::standard(2),
+                    breaker: Some(BreakerConfig::default()),
+                    carry_forward: true,
+                },
+            )
+        };
+        let a = make(1);
+        let b = make(8);
+        assert_eq!(a.filtered_out, b.filtered_out);
+        for (wa, wb) in a.weeks.iter().zip(&b.weeks) {
+            assert_eq!(wa.pages, wb.pages);
+            assert_eq!(wa.summaries, wb.summaries);
+            assert_eq!(wa.carried_forward, wb.carried_forward);
+        }
     }
 }

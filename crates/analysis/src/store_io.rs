@@ -8,16 +8,15 @@
 //! into it and back. Telemetry: every commit records into `store.*`
 //! counters and the `store.commit_latency_ns` histogram.
 
-use crate::dataset::{crawl_week, CollectConfig, Dataset, WeekSnapshot};
-use std::collections::BTreeMap;
+use crate::dataset::{CollectConfig, Dataset, WeekCollector, WeekSnapshot};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::Arc;
 use webvuln_cvedb::{Date, LibraryId};
 use webvuln_fingerprint::{
-    DetectedInclusion, Detection, Engine, ExternalScript, FlashDetection, PageAnalysis,
-    ResourceType,
+    DetectedInclusion, Detection, ExternalScript, FlashDetection, PageAnalysis, ResourceType,
 };
-use webvuln_net::FetchSummary;
+use webvuln_net::{page_is_error_or_empty, FetchSummary};
 use webvuln_store::{
     DetectionRecord, DomainRecord, FlashRecord, Genesis, PageRecord, ScriptRecord, StoreReader,
     StoreWriter, WeekData, WordPressRecord,
@@ -181,11 +180,17 @@ pub fn snapshot_to_week(snapshot: &WeekSnapshot) -> WeekData {
 }
 
 /// Converts a decoded store week back into an analysed snapshot.
+///
+/// Carried-forward flags are not stored explicitly: a live crawl only
+/// attaches a page to an error-or-empty fetch when carry-forward
+/// degradation substituted the last usable snapshot, so the flag is
+/// reconstructed from exactly that combination.
 pub fn week_to_snapshot(week: &WeekData) -> Result<WeekSnapshot, StoreError> {
     let date_days = i32::try_from(week.date_days)
         .map_err(|_| StoreError::Mismatch(format!("week date {} out of range", week.date_days)))?;
     let mut pages = BTreeMap::new();
     let mut summaries = BTreeMap::new();
+    let mut carried_forward = BTreeSet::new();
     for record in &week.records {
         summaries.insert(
             record.host.clone(),
@@ -196,6 +201,9 @@ pub fn week_to_snapshot(week: &WeekData) -> Result<WeekSnapshot, StoreError> {
         );
         if let Some(page) = &record.page {
             pages.insert(record.host.clone(), record_to_page(page)?);
+            if page_is_error_or_empty(record.status, record.body_len as usize) {
+                carried_forward.insert(record.host.clone());
+            }
         }
     }
     Ok(WeekSnapshot {
@@ -203,6 +211,7 @@ pub fn week_to_snapshot(week: &WeekData) -> Result<WeekSnapshot, StoreError> {
         date: Date::from_day_number(date_days),
         pages,
         summaries,
+        carried_forward,
     })
 }
 
@@ -287,6 +296,7 @@ impl Dataset {
                 for week in &mut dataset.weeks {
                     week.pages.retain(|d, _| !filtered.contains(d));
                     week.summaries.retain(|d, _| !filtered.contains(d));
+                    week.carried_forward.retain(|d| !filtered.contains(d));
                 }
                 dataset.filtered_out = filtered.to_vec();
             }
@@ -409,6 +419,7 @@ pub fn collect_dataset_checkpointed(
         for week in &mut dataset.weeks {
             week.pages.retain(|d, _| !filtered.contains(d));
             week.summaries.retain(|d, _| !filtered.contains(d));
+            week.carried_forward.retain(|d| !filtered.contains(d));
         }
         dataset.filtered_out = filtered;
         return Ok(CheckpointOutcome {
@@ -419,8 +430,14 @@ pub fn collect_dataset_checkpointed(
         });
     }
 
-    // Crawl the missing weeks, committing each as it completes.
-    let engine = Engine::instrumented(registry);
+    // Crawl the missing weeks, committing each as it completes. The
+    // restored weeks are replayed through the collector first so
+    // week-to-week state — circuit breakers, carry-forward baselines —
+    // resumes exactly where the interrupted run left it.
+    let mut collector = WeekCollector::new(ecosystem, config, telemetry);
+    for snapshot in &snapshots {
+        collector.replay_week(snapshot);
+    }
     let segments = registry.counter("store.segments_total");
     let delta_hits = registry.counter("store.delta_hits_total");
     let delta_misses = registry.counter("store.delta_misses_total");
@@ -429,7 +446,7 @@ pub fn collect_dataset_checkpointed(
     let commit_latency = registry.histogram("store.commit_latency_ns");
     let mut weeks_crawled = 0;
     for (week, date) in timeline.iter().skip(weeks_recovered) {
-        let snapshot = crawl_week(ecosystem, &engine, &names, week, date, config, telemetry);
+        let snapshot = collector.collect_week(week, date, telemetry);
         let info = {
             let _span = telemetry.span("store");
             let started = std::time::Instant::now();
@@ -478,6 +495,7 @@ pub fn collect_dataset_checkpointed(
 mod tests {
     use super::*;
     use crate::dataset::{collect_dataset, testkit};
+    use webvuln_net::{BreakerConfig, FaultPlan, RetryPolicy};
     use webvuln_webgen::EcosystemConfig;
 
     fn temp_store(tag: &str) -> std::path::PathBuf {
@@ -507,6 +525,7 @@ mod tests {
             assert_eq!(wa.date, wb.date);
             assert_eq!(wa.summaries, wb.summaries);
             assert_eq!(wa.pages, wb.pages);
+            assert_eq!(wa.carried_forward, wb.carried_forward);
         }
     }
 
@@ -565,21 +584,12 @@ mod tests {
         let telemetry = Telemetry::new();
         // Simulate a run killed after week 3: commit 4 weeks by hand.
         {
-            let names = eco.domain_names();
-            let engine = Engine::instrumented(telemetry.registry());
+            let mut collector = WeekCollector::new(&eco, CollectConfig::default(), &telemetry);
             let timeline = *eco.timeline();
-            let mut writer =
-                StoreWriter::create(&path, genesis_for(&timeline, &names)).expect("create");
+            let mut writer = StoreWriter::create(&path, genesis_for(&timeline, collector.names()))
+                .expect("create");
             for (week, date) in timeline.iter().take(4) {
-                let snap = crawl_week(
-                    &eco,
-                    &engine,
-                    &names,
-                    week,
-                    date,
-                    CollectConfig::default(),
-                    &telemetry,
-                );
+                let snap = collector.collect_week(week, date, &telemetry);
                 writer
                     .commit_week(&snapshot_to_week(&snap))
                     .expect("commit");
@@ -609,6 +619,66 @@ mod tests {
         )
         .expect("resume finalized");
         assert_eq!(outcome.weeks_crawled, 0);
+        assert_datasets_equal(&plain, &outcome.dataset);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn carried_forward_flags_survive_the_store() {
+        let eco = small_eco(61, 150, 8);
+        let config = CollectConfig {
+            faults: FaultPlan {
+                transient_fail_permille: 200,
+                heal_after_attempts: 9,
+                ..FaultPlan::none()
+            },
+            retry: RetryPolicy::standard(2),
+            carry_forward: true,
+            ..CollectConfig::default()
+        };
+        let original = collect_dataset(&eco, config);
+        assert!(
+            original.carried_forward_total() > 0,
+            "fixture must exercise carry-forward"
+        );
+        let path = temp_store("carry");
+        original.save_store(&path).expect("save");
+        let restored = Dataset::load_store(&path).expect("load");
+        assert_datasets_equal(&original, &restored);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_under_faults_and_retries() {
+        let eco = small_eco(62, 120, 6);
+        let config = CollectConfig {
+            faults: FaultPlan::hostile(62),
+            retry: RetryPolicy::standard(2),
+            breaker: Some(BreakerConfig::default()),
+            carry_forward: true,
+            ..CollectConfig::default()
+        };
+        let plain = collect_dataset(&eco, config);
+        let path = temp_store("resilient-resume");
+        let telemetry = Telemetry::new();
+        // Kill after week 2: breaker and carry-forward state must be
+        // replayed from the store for the resumed weeks to match.
+        {
+            let mut collector = WeekCollector::new(&eco, config, &telemetry);
+            let timeline = *eco.timeline();
+            let mut writer = StoreWriter::create(&path, genesis_for(&timeline, collector.names()))
+                .expect("create");
+            for (week, date) in timeline.iter().take(3) {
+                let snap = collector.collect_week(week, date, &telemetry);
+                writer
+                    .commit_week(&snapshot_to_week(&snap))
+                    .expect("commit");
+            }
+        }
+        let outcome = collect_dataset_checkpointed(&eco, config, &Telemetry::new(), &path, true)
+            .expect("resume");
+        assert_eq!(outcome.weeks_recovered, 3);
+        assert_eq!(outcome.weeks_crawled, 3);
         assert_datasets_equal(&plain, &outcome.dataset);
         let _ = std::fs::remove_file(&path);
     }

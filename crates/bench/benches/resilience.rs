@@ -1,0 +1,74 @@
+//! Resilience-layer benchmarks: what the retry path costs when nothing
+//! fails. `crawl_resilient` with a 4-attempt budget over a fault-free
+//! virtual internet should be indistinguishable from the plain crawler —
+//! the policy is consulted only after a failure — so the pair of numbers
+//! here is the overhead budget for keeping retries always-on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::{Arc, OnceLock};
+use webvuln_net::{
+    crawl_instrumented, crawl_resilient, CrawlConfig, RetryPolicy, VirtualClock, VirtualNet,
+};
+use webvuln_telemetry::Registry;
+use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+const DOMAINS: usize = 400;
+
+fn fixture() -> &'static (Arc<Ecosystem>, Vec<String>) {
+    static FIXTURE: OnceLock<(Arc<Ecosystem>, Vec<String>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 7_331,
+            domain_count: DOMAINS,
+            timeline: Timeline::truncated(4),
+        }));
+        let names = eco.domain_names();
+        (eco, names)
+    })
+}
+
+fn crawl_plain(c: &mut Criterion) {
+    let (eco, names) = fixture();
+    let registry = Registry::new();
+    let net = VirtualNet::new(Arc::new(eco.handler(2)));
+    let mut group = c.benchmark_group("resilience");
+    group.throughput(Throughput::Elements(DOMAINS as u64));
+    group.bench_function("crawl_plain", |b| {
+        b.iter(|| {
+            black_box(crawl_instrumented(
+                black_box(names),
+                &net,
+                CrawlConfig { concurrency: 8 },
+                &registry,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn crawl_with_retry_policy(c: &mut Criterion) {
+    let (eco, names) = fixture();
+    let registry = Registry::new();
+    let net = VirtualNet::new(Arc::new(eco.handler(2)));
+    let clock = VirtualClock::new();
+    let mut group = c.benchmark_group("resilience");
+    group.throughput(Throughput::Elements(DOMAINS as u64));
+    group.bench_function("crawl_retry_policy_fault_free", |b| {
+        b.iter(|| {
+            black_box(crawl_resilient(
+                black_box(names),
+                &net,
+                CrawlConfig { concurrency: 8 },
+                RetryPolicy::standard(3),
+                None,
+                &clock,
+                &registry,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, crawl_plain, crawl_with_retry_policy);
+criterion_main!(benches);

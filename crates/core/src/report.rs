@@ -299,6 +299,37 @@ pub fn telemetry_json(results: &StudyResults) -> String {
     results.telemetry.to_json()
 }
 
+/// Renders the crawl-resilience summary: how many fetches were retried,
+/// how many recovered, how many were skipped by an open circuit breaker,
+/// and how many weekly snapshots were carried forward for downed domains.
+pub fn render_resilience(results: &StudyResults) -> String {
+    let snap = &results.telemetry;
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "Crawl resilience");
+    let _ = writeln!(
+        out,
+        "  retries attempted:          {}",
+        counter("net.retries_total")
+    );
+    let _ = writeln!(
+        out,
+        "  recovered after retry:      {}",
+        counter("net.retry_success_total")
+    );
+    let _ = writeln!(
+        out,
+        "  breaker-skipped fetches:    {}",
+        counter("net.breaker_open_total")
+    );
+    let _ = writeln!(
+        out,
+        "  carried-forward snapshots:  {}",
+        counter("net.carry_forward_total")
+    );
+    out
+}
+
 /// The complete text report.
 pub fn full_report(results: &StudyResults) -> String {
     let mut out = String::new();
@@ -319,6 +350,8 @@ pub fn full_report(results: &StudyResults) -> String {
     out.push_str(&render_table6(results));
     out.push('\n');
     out.push_str(&render_telemetry(results));
+    out.push('\n');
+    out.push_str(&render_resilience(results));
     out
 }
 
@@ -385,6 +418,15 @@ mod tests {
         assert!(report.contains("Headline findings"));
         assert!(report.contains("Table 6"));
         assert!(report.contains("Run telemetry"));
+        assert!(report.contains("Crawl resilience"));
+    }
+
+    #[test]
+    fn resilience_summary_renders_counters() {
+        let r = results();
+        let text = render_resilience(r);
+        assert!(text.contains("retries attempted"), "{text}");
+        assert!(text.contains("carried-forward snapshots"), "{text}");
     }
 
     #[test]

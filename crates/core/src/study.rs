@@ -24,7 +24,7 @@ use webvuln_analysis::vuln::{
 };
 use webvuln_analysis::wordpress::{table4, WordPressCveRow};
 use webvuln_cvedb::{Basis, VulnDb};
-use webvuln_net::FaultPlan;
+use webvuln_net::{BreakerConfig, FaultPlan, RetryPolicy};
 use webvuln_poclab::{Lab, ValidationReport};
 use webvuln_telemetry::{Snapshot, Telemetry};
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
@@ -43,6 +43,12 @@ pub struct StudyConfig {
     pub concurrency: usize,
     /// Connection-level fault injection.
     pub faults: FaultPlan,
+    /// Per-fetch retry budget and backoff (default: single attempt).
+    pub retry: RetryPolicy,
+    /// Per-host circuit breakers (default: disabled).
+    pub breaker: Option<BreakerConfig>,
+    /// Carry a domain's last usable snapshot through weeks it is down.
+    pub carry_forward: bool,
 }
 
 impl Default for StudyConfig {
@@ -53,6 +59,9 @@ impl Default for StudyConfig {
             timeline: Timeline::paper(),
             concurrency: 8,
             faults: FaultPlan::realistic(42),
+            retry: RetryPolicy::none(),
+            breaker: None,
+            carry_forward: false,
         }
     }
 }
@@ -163,6 +172,9 @@ pub fn run_study_with(config: StudyConfig, telemetry: &Telemetry) -> StudyResult
         CollectConfig {
             concurrency: config.concurrency,
             faults: config.faults,
+            retry: config.retry,
+            breaker: config.breaker,
+            carry_forward: config.carry_forward,
         },
         telemetry,
     );
@@ -208,6 +220,9 @@ pub fn run_study_checkpointed(
         CollectConfig {
             concurrency: config.concurrency,
             faults: config.faults,
+            retry: config.retry,
+            breaker: config.breaker,
+            carry_forward: config.carry_forward,
         },
         telemetry,
         store_path,
@@ -316,6 +331,28 @@ mod tests {
         assert!(snap.counter("fp.hits_url_total").unwrap_or(0) > 0);
         assert!(snap.counter("fp.vm_steps_total").unwrap_or(0) > 0);
         assert!(snap.histogram("net.fetch_latency_ns").is_some());
+    }
+
+    #[test]
+    fn resilient_study_records_retry_telemetry() {
+        let mut config = StudyConfig::quick();
+        config.domain_count = 150;
+        config.timeline = Timeline::truncated(6);
+        config.faults = FaultPlan::hostile(config.seed);
+        // Four attempts: one more than the hostile profile's healing
+        // threshold, so transient faults recover within the budget.
+        config.retry = RetryPolicy::standard(3);
+        config.breaker = Some(BreakerConfig::default());
+        config.carry_forward = true;
+        let results = run_study(config);
+        let snap = &results.telemetry;
+        assert!(snap.counter("net.retries_total").unwrap_or(0) > 0);
+        assert!(snap.counter("net.retry_success_total").unwrap_or(0) > 0);
+        assert!(snap.histogram("net.backoff_delay_ns").is_some());
+        // The counter tallies live carry events; the dataset keeps only
+        // those surviving the §4.1 filter.
+        let carried = snap.counter("net.carry_forward_total").unwrap_or(0);
+        assert!(carried >= results.dataset.carried_forward_total() as u64);
     }
 
     #[test]

@@ -4,13 +4,23 @@
 //! each domain's landing page with a pool of worker threads and returns
 //! per-domain [`FetchRecord`]s. Results are keyed and ordered by domain so
 //! that worker scheduling never changes the dataset.
+//!
+//! Two fetch paths exist: the historical single-attempt path
+//! ([`crawl`] / [`crawl_instrumented`]) and the resilient path
+//! ([`crawl_resilient`]) which retries transient failures under a
+//! [`RetryPolicy`], honors per-host [`HostBreakers`], and accounts its
+//! backoff against a [`VirtualClock`] instead of sleeping. Every retry
+//! decision is a pure function of `(policy seed, domain, attempt)`, so the
+//! resilient path is exactly as deterministic as the single-attempt one.
 
 use crate::client::fetch;
+use crate::error::ErrorClass;
 
 use crate::server::Connect;
 use crossbeam::channel::unbounded;
 use std::collections::BTreeMap;
 use std::time::Instant;
+use webvuln_resilience::{HostBreakers, RetryPolicy, VirtualClock};
 use webvuln_telemetry::{Counter, Histogram, Registry};
 
 /// Outcome of fetching one domain's landing page.
@@ -24,6 +34,14 @@ pub struct FetchRecord {
     pub body: String,
     /// Transport/protocol error rendered as text, if any.
     pub error: Option<String>,
+    /// Classification of the final error, when there was one.
+    pub error_class: Option<ErrorClass>,
+    /// Fetch attempts made (1 on the single-attempt path; 0 when the
+    /// domain was skipped because its circuit breaker was open).
+    pub attempts: u32,
+    /// True when the first attempt failed but a retry produced a usable
+    /// response — the fetches a single-attempt crawler would have lost.
+    pub recovered: bool,
 }
 
 impl FetchRecord {
@@ -95,6 +113,41 @@ impl CrawlerMetrics {
     }
 }
 
+/// Metric handles for the resilient fetch path.
+#[derive(Clone)]
+struct RetryMetrics {
+    retries: Counter,
+    retry_success: Counter,
+    breaker_open: Counter,
+    backoff_delay: Histogram,
+}
+
+impl RetryMetrics {
+    fn from_registry(registry: &Registry) -> RetryMetrics {
+        RetryMetrics {
+            retries: registry.counter("net.retries_total"),
+            retry_success: registry.counter("net.retry_success_total"),
+            breaker_open: registry.counter("net.breaker_open_total"),
+            backoff_delay: registry.histogram("net.backoff_delay_ns"),
+        }
+    }
+
+    /// Accounts one retry: the backoff delay is computed from the policy
+    /// and *recorded* by advancing the virtual clock rather than slept.
+    fn note_backoff(
+        &self,
+        retry: &RetryPolicy,
+        clock: &VirtualClock,
+        domain: &str,
+        failed_attempt: u32,
+    ) {
+        self.retries.inc();
+        let delay = retry.backoff_ns(domain, failed_attempt);
+        clock.advance(delay);
+        self.backoff_delay.record(delay);
+    }
+}
+
 /// Fetches the landing page of every domain. Returns records in domain
 /// order (deterministic regardless of scheduling).
 ///
@@ -117,9 +170,52 @@ pub fn crawl_instrumented(
     registry: &Registry,
 ) -> BTreeMap<String, FetchRecord> {
     let metrics = CrawlerMetrics::from_registry(registry);
+    crawl_pool(domains, config, &metrics, |domain| {
+        fetch_domain(connector, domain)
+    })
+}
+
+/// The resilient crawl: each domain is fetched under `retry`, skipping
+/// hosts whose circuit breaker is open, with backoff delays accounted
+/// against `clock`. Records `net.retries_total`,
+/// `net.retry_success_total`, `net.breaker_open_total` and the
+/// `net.backoff_delay_ns` histogram into `registry` alongside the usual
+/// crawl metrics.
+///
+/// Breaker-skipped domains still produce a [`FetchRecord`] (with
+/// `attempts == 0`) and still count toward `net.fetches_total` /
+/// `net.fetch_errors_total`, so coverage arithmetic stays uniform.
+pub fn crawl_resilient(
+    domains: &[String],
+    connector: &dyn Connect,
+    config: CrawlConfig,
+    retry: RetryPolicy,
+    breakers: Option<&HostBreakers>,
+    clock: &VirtualClock,
+    registry: &Registry,
+) -> BTreeMap<String, FetchRecord> {
+    let metrics = CrawlerMetrics::from_registry(registry);
+    let retry_metrics = RetryMetrics::from_registry(registry);
+    crawl_pool(domains, config, &metrics, |domain| {
+        fetch_domain_resilient(connector, domain, &retry, breakers, clock, &retry_metrics)
+    })
+}
+
+/// The shared worker pool: domains in, records out, results keyed and
+/// ordered by domain so scheduling never changes the dataset.
+fn crawl_pool<F>(
+    domains: &[String],
+    config: CrawlConfig,
+    metrics: &CrawlerMetrics,
+    fetch_one: F,
+) -> BTreeMap<String, FetchRecord>
+where
+    F: Fn(&str) -> FetchRecord + Sync,
+{
     let concurrency = config.concurrency.max(1).min(domains.len().max(1));
     let (work_tx, work_rx) = unbounded::<String>();
     let (done_tx, done_rx) = unbounded::<FetchRecord>();
+    let fetch_one = &fetch_one;
 
     std::thread::scope(|scope| {
         for _ in 0..concurrency {
@@ -129,7 +225,7 @@ pub fn crawl_instrumented(
             scope.spawn(move || {
                 while let Ok(domain) = work_rx.recv() {
                     let started = Instant::now();
-                    let record = fetch_domain(connector, &domain);
+                    let record = fetch_one(&domain);
                     let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                     metrics.record(&record, elapsed_ns);
                     if done_tx.send(record).is_err() {
@@ -155,21 +251,103 @@ pub fn crawl_instrumented(
 /// Fetches one domain's landing page, folding all failure modes into a
 /// [`FetchRecord`] (the crawler never aborts the snapshot on one domain).
 pub fn fetch_domain(connector: &dyn Connect, domain: &str) -> FetchRecord {
-    match fetch(connector, domain, "/") {
-        Ok(response) => FetchRecord {
-            domain: domain.to_string(),
-            status: Some(response.status.0),
-            body: response.body_text(),
-            error: None,
-        },
-        // Transport and protocol failures alike count as inaccessible —
-        // the paper's filter does not distinguish them.
-        Err(e) => FetchRecord {
-            domain: domain.to_string(),
-            status: None,
-            body: String::new(),
-            error: Some(e.to_string()),
-        },
+    fetch_domain_with_retry(connector, domain, &RetryPolicy::none())
+}
+
+/// Like [`fetch_domain`], retrying transient failures (refused
+/// connections, timeouts, truncations, 5xx responses) under `retry`.
+/// Retry metrics go to a scratch registry; use [`crawl_resilient`] when
+/// counters matter.
+pub fn fetch_domain_with_retry(
+    connector: &dyn Connect,
+    domain: &str,
+    retry: &RetryPolicy,
+) -> FetchRecord {
+    let scratch = Registry::new();
+    let metrics = RetryMetrics::from_registry(&scratch);
+    fetch_domain_resilient(
+        connector,
+        domain,
+        retry,
+        None,
+        &VirtualClock::new(),
+        &metrics,
+    )
+}
+
+/// The full resilient fetch: breaker gate, retry loop, outcome recording.
+fn fetch_domain_resilient(
+    connector: &dyn Connect,
+    domain: &str,
+    retry: &RetryPolicy,
+    breakers: Option<&HostBreakers>,
+    clock: &VirtualClock,
+    metrics: &RetryMetrics,
+) -> FetchRecord {
+    if let Some(breakers) = breakers {
+        if !breakers.allow(domain) {
+            metrics.breaker_open.inc();
+            // No breaker.record: a skipped host learns nothing; the
+            // collector's round tick moves it toward half-open.
+            return FetchRecord {
+                domain: domain.to_string(),
+                status: None,
+                body: String::new(),
+                error: Some("skipped: circuit breaker open".to_string()),
+                error_class: None,
+                attempts: 0,
+                recovered: false,
+            };
+        }
+    }
+
+    let mut attempts = 0u32;
+    let (status, body, error, error_class) = loop {
+        attempts += 1;
+        match fetch(connector, domain, "/") {
+            // 5xx responses are retryable at the HTTP level: the server
+            // answered, but with a failure a later attempt may outlive.
+            Ok(response) if response.status.0 >= 500 && retry.allows_retry(attempts) => {
+                metrics.note_backoff(retry, clock, domain, attempts - 1);
+            }
+            Ok(response) => {
+                break (Some(response.status.0), response.body_text(), None, None);
+            }
+            Err(e) if e.is_retryable() && retry.allows_retry(attempts) => {
+                metrics.note_backoff(retry, clock, domain, attempts - 1);
+            }
+            // Permanent failures and exhausted budgets alike count as
+            // inaccessible — the paper's filter does not distinguish them.
+            Err(e) => {
+                let class = e.class();
+                break (
+                    None,
+                    String::new(),
+                    Some(format!("{class}: {e}")),
+                    Some(class),
+                );
+            }
+        }
+    };
+
+    let usable_outcome = error.is_none() && matches!(status, Some(s) if s < 500);
+    let recovered = attempts > 1 && usable_outcome;
+    if recovered {
+        metrics.retry_success.inc();
+    }
+    if let Some(breakers) = breakers {
+        // Any HTTP response (even 4xx/5xx) proves the host is alive;
+        // only transport-level failures count against the breaker.
+        breakers.record(domain, status.is_some());
+    }
+    FetchRecord {
+        domain: domain.to_string(),
+        status,
+        body,
+        error,
+        error_class,
+        attempts,
+        recovered,
     }
 }
 
@@ -180,6 +358,7 @@ mod tests {
     use crate::http::{Request, Response, Status};
     use crate::server::VirtualNet;
     use std::sync::Arc;
+    use webvuln_resilience::BreakerConfig;
 
     fn domains(n: usize) -> Vec<String> {
         (0..n).map(|i| format!("site{i:04}.example")).collect()
@@ -217,6 +396,8 @@ mod tests {
         assert_eq!(got["site0001.example"].status, Some(200));
         assert!(got["site0001.example"].is_usable(400));
         assert!(!got["site0007.example"].is_usable(400));
+        assert_eq!(got["site0001.example"].attempts, 1);
+        assert!(!got["site0001.example"].recovered);
     }
 
     #[test]
@@ -244,13 +425,13 @@ mod tests {
         let net = VirtualNet::new(content_handler()).with_faults(FaultPlan {
             seed: 5,
             connect_fail_permille: 1000, // everything refused
-            truncate_permille: 0,
-            chunked_permille: 0,
+            ..FaultPlan::none()
         });
         let got = crawl(&domains(10), &net, CrawlConfig::default());
         for (_, rec) in got {
             assert_eq!(rec.status, None);
             assert!(rec.error.is_some());
+            assert_eq!(rec.error_class, Some(ErrorClass::Refused));
             assert!(!rec.is_usable(400));
         }
     }
@@ -262,9 +443,8 @@ mod tests {
         // domains fail mid-body and the rest survive intact.
         let net = VirtualNet::new(content_handler()).with_faults(FaultPlan {
             seed: 6,
-            connect_fail_permille: 0,
             truncate_permille: 1000,
-            chunked_permille: 0,
+            ..FaultPlan::none()
         });
         let got = crawl(&domains(40), &net, CrawlConfig::default());
         let failed = got.values().filter(|r| r.error.is_some()).count();
@@ -274,6 +454,7 @@ mod tests {
         for r in got.values().filter(|r| r.error.is_some()) {
             assert_eq!(r.status, None);
             assert!(r.body.is_empty());
+            assert_eq!(r.error_class, Some(ErrorClass::Truncated));
         }
     }
 
@@ -325,8 +506,7 @@ mod tests {
             .with_faults(FaultPlan {
                 seed: 5,
                 connect_fail_permille: 1000,
-                truncate_permille: 0,
-                chunked_permille: 0,
+                ..FaultPlan::none()
             });
         let got = crawl_instrumented(&domains(12), &net, CrawlConfig::default(), &registry);
         assert_eq!(got.len(), 12);
@@ -334,5 +514,209 @@ mod tests {
         assert_eq!(snap.counter("net.fetch_errors_total"), Some(12));
         assert_eq!(snap.counter("net.faults_refused_total"), Some(12));
         assert_eq!(snap.counter("net.status_2xx_total"), Some(0));
+    }
+
+    #[test]
+    fn retries_recover_transiently_refused_hosts() {
+        let registry = webvuln_telemetry::Registry::new();
+        let plan = FaultPlan {
+            seed: 31,
+            transient_fail_permille: 1000, // every host flaps this week
+            heal_after_attempts: 2,
+            ..FaultPlan::none()
+        };
+        let ds = domains(16);
+
+        // Single attempt: everything is lost.
+        let net = VirtualNet::new(content_handler()).with_faults(plan);
+        let once = crawl_instrumented(&ds, &net, CrawlConfig::default(), &registry);
+        assert!(once.values().all(|r| r.status.is_none()));
+
+        // Two retries out-wait the two-attempt fault: everything heals.
+        let registry = webvuln_telemetry::Registry::new();
+        let net = VirtualNet::new(content_handler()).with_faults(plan);
+        let clock = VirtualClock::new();
+        let got = crawl_resilient(
+            &ds,
+            &net,
+            CrawlConfig::default(),
+            RetryPolicy::standard(2),
+            None,
+            &clock,
+            &registry,
+        );
+        let usable = got.values().filter(|r| r.is_usable(400)).count();
+        let blocked = got.values().filter(|r| r.status == Some(403)).count();
+        assert_eq!(usable + blocked, 16, "every host answered after retries");
+        for r in got.values() {
+            assert_eq!(r.attempts, 3);
+            assert!(r.recovered);
+            assert!(r.error.is_none());
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net.retries_total"), Some(32), "2 × 16");
+        assert_eq!(snap.counter("net.retry_success_total"), Some(16));
+        assert_eq!(snap.counter("net.breaker_open_total"), Some(0));
+        let delays = snap.histogram("net.backoff_delay_ns").expect("histogram");
+        assert_eq!(delays.count, 32);
+        assert!(clock.now_ns() > 0, "backoff advanced simulated time");
+    }
+
+    #[test]
+    fn flaky_5xx_responses_are_retried_at_the_http_level() {
+        let plan = FaultPlan {
+            seed: 32,
+            flaky_5xx_permille: 1000,
+            heal_after_attempts: 1,
+            ..FaultPlan::none()
+        };
+        let net = VirtualNet::new(content_handler()).with_faults(plan);
+        let registry = webvuln_telemetry::Registry::new();
+        let got = crawl_resilient(
+            &domains(8),
+            &net,
+            CrawlConfig { concurrency: 2 },
+            RetryPolicy::standard(1),
+            None,
+            &VirtualClock::new(),
+            &registry,
+        );
+        for r in got.values() {
+            assert_ne!(r.status, Some(503), "the 503 burst healed");
+            assert_eq!(r.attempts, 2);
+        }
+        assert_eq!(
+            registry.snapshot().counter("net.retry_success_total"),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn permanent_failures_exhaust_the_budget_and_stay_failed() {
+        let plan = FaultPlan {
+            seed: 33,
+            connect_fail_permille: 1000,
+            ..FaultPlan::none()
+        };
+        let net = VirtualNet::new(content_handler()).with_faults(plan);
+        let registry = webvuln_telemetry::Registry::new();
+        let got = crawl_resilient(
+            &domains(5),
+            &net,
+            CrawlConfig::default(),
+            RetryPolicy::standard(3),
+            None,
+            &VirtualClock::new(),
+            &registry,
+        );
+        for r in got.values() {
+            assert_eq!(r.status, None);
+            assert_eq!(r.attempts, 4, "budget exhausted");
+            assert!(!r.recovered);
+            assert_eq!(r.error_class, Some(ErrorClass::Refused));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net.retries_total"), Some(15), "3 × 5");
+        assert_eq!(snap.counter("net.retry_success_total"), Some(0));
+    }
+
+    #[test]
+    fn open_breakers_skip_fetches_entirely() {
+        let plan = FaultPlan {
+            seed: 34,
+            connect_fail_permille: 1000,
+            ..FaultPlan::none()
+        };
+        // Cooldown counts the tripping round as the first open round, so
+        // a 2-round cooldown skips exactly one full crawl round.
+        let breakers = HostBreakers::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_rounds: 2,
+        });
+        let ds = domains(4);
+        let registry = webvuln_telemetry::Registry::new();
+        let clock = VirtualClock::new();
+        let round = |registry: &webvuln_telemetry::Registry| {
+            let net = VirtualNet::new(content_handler()).with_faults(plan);
+            let got = crawl_resilient(
+                &ds,
+                &net,
+                CrawlConfig { concurrency: 1 },
+                RetryPolicy::none(),
+                Some(&breakers),
+                &clock,
+                registry,
+            );
+            breakers.tick_round();
+            got
+        };
+
+        round(&registry); // failure 1
+        round(&registry); // failure 2: breakers open
+        let skipped = round(&registry); // round 3: skipped, cooldown runs
+        for r in skipped.values() {
+            assert_eq!(r.attempts, 0, "breaker-skipped, no connect");
+            assert!(r.error.as_deref().unwrap().contains("circuit breaker"));
+        }
+        assert_eq!(
+            registry.snapshot().counter("net.breaker_open_total"),
+            Some(4)
+        );
+        // After the cooldown round the breaker is half-open: probes flow.
+        let probed = round(&registry);
+        for r in probed.values() {
+            assert_eq!(r.attempts, 1, "half-open admits a probe");
+        }
+    }
+
+    #[test]
+    fn resilient_crawl_is_deterministic_across_concurrency() {
+        let ds = domains(48);
+        let run = |workers: usize| {
+            let net = VirtualNet::new(content_handler())
+                .with_week(9)
+                .with_faults(FaultPlan::hostile(77));
+            let clock = VirtualClock::new();
+            let registry = webvuln_telemetry::Registry::new();
+            let got = crawl_resilient(
+                &ds,
+                &net,
+                CrawlConfig {
+                    concurrency: workers,
+                },
+                RetryPolicy::standard(3),
+                None,
+                &clock,
+                &registry,
+            );
+            (got, clock.now_ns())
+        };
+        let (a, clock_a) = run(1);
+        let (b, clock_b) = run(8);
+        assert_eq!(a, b, "records identical regardless of scheduling");
+        assert_eq!(clock_a, clock_b, "total simulated backoff identical");
+    }
+
+    #[test]
+    fn resilient_crawl_with_no_retries_matches_plain_crawl() {
+        let ds = domains(32);
+        let plan = FaultPlan::realistic(55);
+        let plain = {
+            let net = VirtualNet::new(content_handler()).with_faults(plan);
+            crawl(&ds, &net, CrawlConfig::default())
+        };
+        let resilient = {
+            let net = VirtualNet::new(content_handler()).with_faults(plan);
+            crawl_resilient(
+                &ds,
+                &net,
+                CrawlConfig::default(),
+                RetryPolicy::none(),
+                None,
+                &VirtualClock::new(),
+                &webvuln_telemetry::Registry::new(),
+            )
+        };
+        assert_eq!(plain, resilient);
     }
 }

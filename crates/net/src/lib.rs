@@ -18,9 +18,14 @@
 //!   dials real sockets; [`VirtualNet`] loops back into a [`Handler`]
 //!   in-process (every request still round-trips through the full codec).
 //! * [`FaultPlan`] — deterministic per-host connection failures and
-//!   truncations, in the spirit of smoltcp's example fault injection.
+//!   truncations, in the spirit of smoltcp's example fault injection,
+//!   plus *transient* faults (refusals, stalls, 5xx bursts) that heal
+//!   after a few attempts.
 //! * [`crawl`] — the multi-threaded crawler producing per-domain
 //!   [`FetchRecord`]s with scheduling-independent results.
+//! * [`crawl_resilient`] — the same crawler under a
+//!   [`RetryPolicy`](webvuln_resilience::RetryPolicy) with per-host
+//!   circuit breakers and simulated-time backoff.
 //! * [`filter`] — the paper's inaccessible-domain rule (4xx / <400 bytes
 //!   for the four consecutive final weeks).
 //!
@@ -50,8 +55,11 @@ mod server;
 mod transport;
 
 pub use client::{fetch, fetch_once, fetch_with_redirects, MAX_REDIRECTS};
-pub use crawler::{crawl, crawl_instrumented, fetch_domain, CrawlConfig, FetchRecord};
-pub use error::{NetError, Result};
+pub use crawler::{
+    crawl, crawl_instrumented, crawl_resilient, fetch_domain, fetch_domain_with_retry, CrawlConfig,
+    FetchRecord,
+};
+pub use error::{ErrorClass, NetError, Result};
 pub use fault::{mix, FaultPlan};
 pub use filter::{
     inaccessible_domains, page_is_error_or_empty, FetchSummary, EMPTY_PAGE_THRESHOLD,
@@ -61,3 +69,6 @@ pub use server::{
     roundtrip, serve_connection, Connect, Handler, TcpConnector, TcpServer, VirtualNet,
 };
 pub use transport::{mem_pipe, ByteStream, MemStream};
+pub use webvuln_resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, HostBreakers, RetryPolicy, VirtualClock,
+};

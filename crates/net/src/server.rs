@@ -64,14 +64,7 @@ pub fn serve_connection(stream: &mut dyn ByteStream, handler: &dyn Handler) -> R
             // Keep-alive idle timeout: a blocked read that times out ends
             // the connection gracefully (the client may simply be holding
             // the socket open).
-            Err(NetError::Io(e))
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                return Ok(served)
-            }
+            Err(NetError::Timeout) => return Ok(served),
             Err(NetError::Io(e)) => return Err(NetError::Io(e)),
             Err(_) => {
                 let mut wire = Vec::new();
@@ -226,6 +219,13 @@ pub struct VirtualNet {
     handler: Arc<dyn Handler>,
     faults: FaultPlan,
     metrics: FaultMetrics,
+    /// Crawl week mixed into transient-fault decisions.
+    week: usize,
+    /// Per-host connect counter driving transient-fault healing. Reset
+    /// implicitly each week (the collector builds a fresh `VirtualNet`
+    /// per round). Each host is only fetched by one worker at a time, so
+    /// the mutex serializes bookkeeping without affecting outcomes.
+    attempts: Mutex<std::collections::HashMap<String, u32>>,
 }
 
 /// Counters for each injected-fault kind, recorded at the moment the fault
@@ -233,6 +233,9 @@ pub struct VirtualNet {
 #[derive(Clone)]
 struct FaultMetrics {
     refused: Counter,
+    transient_refused: Counter,
+    stalled: Counter,
+    flaky_5xx: Counter,
     truncated: Counter,
     chunked: Counter,
 }
@@ -241,6 +244,9 @@ impl FaultMetrics {
     fn from_registry(registry: &Registry) -> FaultMetrics {
         FaultMetrics {
             refused: registry.counter("net.faults_refused_total"),
+            transient_refused: registry.counter("net.faults_transient_refused_total"),
+            stalled: registry.counter("net.faults_stalled_total"),
+            flaky_5xx: registry.counter("net.faults_5xx_total"),
             truncated: registry.counter("net.faults_truncated_total"),
             chunked: registry.counter("net.faults_chunked_total"),
         }
@@ -254,12 +260,21 @@ impl VirtualNet {
             handler,
             faults: FaultPlan::none(),
             metrics: FaultMetrics::from_registry(Registry::global()),
+            week: 0,
+            attempts: Mutex::new(std::collections::HashMap::new()),
         }
     }
 
     /// Installs a fault plan (connection failures, truncation).
     pub fn with_faults(mut self, faults: FaultPlan) -> VirtualNet {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the crawl week mixed into transient-fault decisions (which
+    /// hosts flap changes week to week).
+    pub fn with_week(mut self, week: usize) -> VirtualNet {
+        self.week = week;
         self
     }
 
@@ -273,12 +288,35 @@ impl VirtualNet {
 
 impl Connect for VirtualNet {
     fn connect(&self, host: &str) -> Result<Box<dyn ByteStream>> {
+        let attempt = {
+            let mut attempts = self.attempts.lock();
+            let slot = attempts.entry(host.to_string()).or_insert(0);
+            let current = *slot;
+            *slot += 1;
+            current
+        };
         if self.faults.connect_fails(host) {
             self.metrics.refused.inc();
             return Err(NetError::Io(io::Error::new(
                 io::ErrorKind::ConnectionRefused,
                 format!("simulated refusal for {host}"),
             )));
+        }
+        if self
+            .faults
+            .transient_connect_fails(host, self.week, attempt)
+        {
+            self.metrics.transient_refused.inc();
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("simulated transient refusal for {host} (attempt {attempt})"),
+            )));
+        }
+        if self.faults.stalls(host, self.week, attempt) {
+            // The stall always bites: the client writes its request and
+            // then blocks on the first read until the deadline trips.
+            self.metrics.stalled.inc();
+            return Ok(Box::new(StalledStream));
         }
         let chunked = self.faults.prefers_chunked(host);
         if chunked {
@@ -291,8 +329,34 @@ impl Connect for VirtualNet {
             response: Cursor::new(Vec::new()),
             truncate_at: self.faults.truncate_at(host),
             chunked,
+            force_5xx: self.faults.serves_5xx(host, self.week, attempt),
             truncated_counter: self.metrics.truncated.clone(),
+            flaky_5xx_counter: self.metrics.flaky_5xx.clone(),
         }))
+    }
+}
+
+/// A connection whose reads never produce data: every read trips the
+/// simulated deadline, modeling a server that accepts the connection and
+/// then hangs.
+struct StalledStream;
+
+impl Read for StalledStream {
+    fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "simulated stalled read",
+        ))
+    }
+}
+
+impl Write for StalledStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Ok(buf.len()) // the request disappears into the void
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
     }
 }
 
@@ -308,8 +372,13 @@ struct LoopbackStream {
     truncate_at: Option<usize>,
     /// Whether responses use chunked framing (for codec-path diversity).
     chunked: bool,
+    /// When set, every handled request is answered with `503 Service
+    /// Unavailable` instead of the handler's response.
+    force_5xx: bool,
     /// Bumped when a response is actually cut (the point fell inside it).
     truncated_counter: Counter,
+    /// Bumped each time a 503 actually substitutes a handler response.
+    flaky_5xx_counter: Counter,
 }
 
 impl Read for LoopbackStream {
@@ -338,7 +407,12 @@ impl Read for LoopbackStream {
             };
             let consumed = reader.into_inner().position() as usize;
             self.request_pos += consumed;
-            let response = self.handler.handle(&request);
+            let response = if self.force_5xx {
+                self.flaky_5xx_counter.inc();
+                Response::status(Status::SERVICE_UNAVAILABLE)
+            } else {
+                self.handler.handle(&request)
+            };
             let mut wire = Vec::new();
             encode_response(&response, self.chunked, &mut wire);
             self.install_response(wire);
@@ -505,9 +579,8 @@ mod tests {
             .with_fault_metrics(&registry)
             .with_faults(FaultPlan {
                 seed: 9,
-                connect_fail_permille: 0,
                 truncate_permille: 1000,
-                chunked_permille: 0,
+                ..FaultPlan::none()
             });
         for i in 0..5 {
             let _ = fetch(&net, &format!("cut{i}.example"), "/");
@@ -524,5 +597,70 @@ mod tests {
         assert_eq!(snap.counter("net.faults_truncated_total"), Some(0));
         assert_eq!(snap.counter("net.faults_refused_total"), Some(0));
         assert_eq!(snap.counter("net.faults_chunked_total"), Some(0));
+    }
+
+    #[test]
+    fn transient_refusals_heal_after_repeated_connects() {
+        let registry = Registry::new();
+        let net = VirtualNet::new(echo_handler())
+            .with_fault_metrics(&registry)
+            .with_week(3)
+            .with_faults(FaultPlan {
+                seed: 21,
+                transient_fail_permille: 1000,
+                heal_after_attempts: 2,
+                ..FaultPlan::none()
+            });
+        // First two connects are refused, the third heals.
+        for _ in 0..2 {
+            let err = fetch(&net, "flap.example", "/").expect_err("refused");
+            assert_eq!(err.class(), crate::ErrorClass::Refused);
+            assert!(err.is_retryable());
+        }
+        let resp = fetch(&net, "flap.example", "/").expect("healed");
+        assert_eq!(resp.status, Status::OK);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net.faults_transient_refused_total"), Some(2));
+        assert_eq!(snap.counter("net.faults_refused_total"), Some(0));
+    }
+
+    #[test]
+    fn stalled_hosts_surface_timeouts_then_heal() {
+        let registry = Registry::new();
+        let net = VirtualNet::new(echo_handler())
+            .with_fault_metrics(&registry)
+            .with_faults(FaultPlan {
+                seed: 22,
+                stall_permille: 1000,
+                heal_after_attempts: 1,
+                ..FaultPlan::none()
+            });
+        let err = fetch(&net, "slow.example", "/").expect_err("stalled");
+        assert!(matches!(err, NetError::Timeout), "got {err:?}");
+        let resp = fetch(&net, "slow.example", "/").expect("healed");
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(
+            registry.snapshot().counter("net.faults_stalled_total"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn flaky_5xx_substitutes_responses_then_heals() {
+        let registry = Registry::new();
+        let net = VirtualNet::new(echo_handler())
+            .with_fault_metrics(&registry)
+            .with_week(7)
+            .with_faults(FaultPlan {
+                seed: 23,
+                flaky_5xx_permille: 1000,
+                heal_after_attempts: 1,
+                ..FaultPlan::none()
+            });
+        let resp = fetch(&net, "burst.example", "/").expect("a response arrives");
+        assert_eq!(resp.status, Status::SERVICE_UNAVAILABLE);
+        let resp = fetch(&net, "burst.example", "/").expect("healed");
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(registry.snapshot().counter("net.faults_5xx_total"), Some(1));
     }
 }

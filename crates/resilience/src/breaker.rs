@@ -1,0 +1,290 @@
+//! Per-host circuit breakers: closed → open → half-open.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (across rounds) before the breaker opens.
+    pub failure_threshold: u32,
+    /// Rounds an open breaker stays open before probing (half-open).
+    pub cooldown_rounds: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_rounds: 2,
+        }
+    }
+}
+
+/// The breaker's position in the classic state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; failures are being counted.
+    Closed,
+    /// Requests are skipped until the cooldown elapses.
+    Open,
+    /// Cooldown over: the next request is a probe.
+    HalfOpen,
+}
+
+/// One host's breaker.
+///
+/// Time is counted in *rounds* (crawl weeks), not wall clock: the
+/// collector calls [`tick`](CircuitBreaker::tick) once per round, which
+/// makes every transition a pure function of the host's own outcome
+/// sequence — reproducible regardless of scheduling, and replayable from
+/// a checkpointed store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with no recorded failures.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a request may proceed right now.
+    pub fn allow(&self) -> bool {
+        !matches!(self.state, BreakerState::Open)
+    }
+
+    /// Records a successful exchange: the breaker closes and the failure
+    /// streak resets.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.cooldown_left = 0;
+    }
+
+    /// Records a failed exchange. In `Closed`, the streak grows and the
+    /// breaker opens at the threshold; in `HalfOpen`, the probe failed
+    /// and the breaker re-opens for a full cooldown.
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold.max(1) {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Advances one round: an open breaker counts down toward half-open.
+    pub fn tick(&mut self) {
+        if self.state == BreakerState::Open {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.cooldown_left = self.config.cooldown_rounds.max(1);
+    }
+}
+
+/// A lazily populated map of per-host breakers, shared by the crawler's
+/// worker threads.
+///
+/// Each host's entry is only ever touched by the worker fetching that
+/// host (the crawler hands every domain to exactly one worker per
+/// round), so the interior mutex serializes map access without making
+/// any outcome schedule-dependent.
+#[derive(Debug)]
+pub struct HostBreakers {
+    config: BreakerConfig,
+    hosts: Mutex<BTreeMap<String, CircuitBreaker>>,
+}
+
+impl HostBreakers {
+    /// An empty registry handing out breakers configured with `config`.
+    pub fn new(config: BreakerConfig) -> HostBreakers {
+        HostBreakers {
+            config,
+            hosts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether `host` may be fetched right now. Hosts with no history
+    /// are allowed (their breaker starts closed).
+    pub fn allow(&self, host: &str) -> bool {
+        self.hosts
+            .lock()
+            .expect("breaker map lock")
+            .get(host)
+            .map(CircuitBreaker::allow)
+            .unwrap_or(true)
+    }
+
+    /// Records the outcome of a completed fetch against `host`.
+    pub fn record(&self, host: &str, success: bool) {
+        let mut hosts = self.hosts.lock().expect("breaker map lock");
+        let breaker = hosts
+            .entry(host.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.config));
+        if success {
+            breaker.record_success();
+        } else {
+            breaker.record_failure();
+        }
+    }
+
+    /// The state of `host`'s breaker (closed when never recorded).
+    pub fn state(&self, host: &str) -> BreakerState {
+        self.hosts
+            .lock()
+            .expect("breaker map lock")
+            .get(host)
+            .map(CircuitBreaker::state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Ends a crawl round: every breaker ticks once.
+    pub fn tick_round(&self) {
+        for breaker in self.hosts.lock().expect("breaker map lock").values_mut() {
+            breaker.tick();
+        }
+    }
+
+    /// Number of breakers currently open.
+    pub fn open_count(&self) -> usize {
+        self.hosts
+            .lock()
+            .expect("breaker map lock")
+            .values()
+            .filter(|b| b.state() == BreakerState::Open)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(threshold: u32, cooldown: u32) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_rounds: cooldown,
+        }
+    }
+
+    #[test]
+    fn opens_at_the_failure_threshold() {
+        let mut b = CircuitBreaker::new(config(3, 2));
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(config(3, 2));
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak restarted");
+    }
+
+    #[test]
+    fn cooldown_leads_to_half_open_then_probe_decides() {
+        let mut b = CircuitBreaker::new(config(1, 2));
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        b.tick();
+        assert_eq!(b.state(), BreakerState::Open, "one round left");
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(), "half-open admits a probe");
+
+        // Failed probe: back to open for a full cooldown.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        b.tick();
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+
+        // Successful probe: closed again.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn zero_threshold_still_works() {
+        let mut b = CircuitBreaker::new(config(0, 0));
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "threshold clamps to 1");
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "cooldown clamps to 1");
+    }
+
+    #[test]
+    fn host_breakers_track_hosts_independently() {
+        let breakers = HostBreakers::new(config(2, 1));
+        for _ in 0..2 {
+            breakers.record("bad.example", false);
+        }
+        breakers.record("good.example", true);
+        assert!(!breakers.allow("bad.example"));
+        assert!(breakers.allow("good.example"));
+        assert!(breakers.allow("unknown.example"));
+        assert_eq!(breakers.state("bad.example"), BreakerState::Open);
+        assert_eq!(breakers.state("unknown.example"), BreakerState::Closed);
+        assert_eq!(breakers.open_count(), 1);
+
+        breakers.tick_round();
+        assert_eq!(breakers.state("bad.example"), BreakerState::HalfOpen);
+        assert_eq!(breakers.open_count(), 0);
+        breakers.record("bad.example", true);
+        assert_eq!(breakers.state("bad.example"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn replaying_an_outcome_sequence_reproduces_the_state() {
+        // The property the checkpoint/resume path depends on: breaker
+        // state is a pure function of the per-host outcome sequence.
+        let outcomes = [false, false, true, false, false, false, true];
+        let run = || {
+            let breakers = HostBreakers::new(BreakerConfig::default());
+            for &ok in &outcomes {
+                if breakers.allow("h.example") {
+                    breakers.record("h.example", ok);
+                }
+                breakers.tick_round();
+            }
+            breakers.state("h.example")
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! webvuln study   [--domains N] [--weeks N] [--seed N] [--csv DIR]
-//!                 [--store FILE [--resume]] [--progress] [--telemetry [FILE]]
+//!                 [--retries N] [--fault-profile none|realistic|hostile]
+//!                 [--carry-forward] [--store FILE [--resume]] [--progress]
+//!                 [--telemetry [FILE]]
 //! webvuln validate [REPORT_ID]
-//! webvuln crawl   [--domains N] [--week N] [--tcp] [--telemetry]
+//! webvuln crawl   [--domains N] [--week N] [--retries N]
+//!                 [--fault-profile none|realistic|hostile] [--tcp] [--telemetry]
 //! webvuln inspect <FILE.html> [--domain HOST]
 //! webvuln store   info|verify|export-json <FILE.wvstore>
 //! ```
@@ -18,7 +21,8 @@ use webvuln::core::{
 use webvuln::cvedb::{Accuracy, Basis, VulnDb};
 use webvuln::fingerprint::Engine;
 use webvuln::net::{
-    crawl_instrumented, CrawlConfig, FaultPlan, TcpConnector, TcpServer, VirtualNet,
+    crawl_instrumented, crawl_resilient, BreakerConfig, CrawlConfig, FaultPlan, RetryPolicy,
+    TcpConnector, TcpServer, VirtualClock, VirtualNet,
 };
 use webvuln::poclab::Lab;
 use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
@@ -47,11 +51,14 @@ fn print_help() {
 
 USAGE:
   webvuln study    [--domains N] [--weeks N] [--seed N] [--csv DIR]
-                   [--store FILE [--resume]] [--progress] [--telemetry [FILE]]
+                   [--retries N] [--fault-profile none|realistic|hostile]
+                   [--carry-forward] [--store FILE [--resume]] [--progress]
+                   [--telemetry [FILE]]
                    run the full study and print every table/figure
   webvuln validate [REPORT_ID]
                    run the §6.4 version-validation experiment
-  webvuln crawl    [--domains N] [--week N] [--tcp] [--telemetry]
+  webvuln crawl    [--domains N] [--week N] [--retries N]
+                   [--fault-profile none|realistic|hostile] [--tcp] [--telemetry]
                    crawl one snapshot week and summarize detections
   webvuln inspect  FILE.html [--domain HOST]
                    fingerprint a single HTML file and list vulnerabilities
@@ -61,6 +68,12 @@ USAGE:
                                      convert a finalized store to Dataset JSON
 
 FLAGS:
+  --retries N        retry failed fetches up to N times with exponential
+                     backoff and per-host circuit breakers
+  --fault-profile P  injected network faults: none, realistic (default),
+                     or hostile (transient refusals, stalls, 5xx bursts)
+  --carry-forward    when a domain stays down for a whole week, reuse its
+                     last usable snapshot (flagged carried_forward)
   --progress         report per-week progress on stderr
   --store FILE       commit each crawled week to a binary snapshot store
   --resume           with --store: restore committed weeks instead of
@@ -90,14 +103,39 @@ fn telemetry_flag(args: &[String]) -> Option<Option<String>> {
     Some(args.get(i + 1).filter(|v| !v.starts_with("--")).cloned())
 }
 
+/// Resolves `--fault-profile` (default `realistic`) against `seed`.
+fn fault_profile_flag(args: &[String], seed: u64) -> FaultPlan {
+    match flag(args, "--fault-profile")
+        .as_deref()
+        .unwrap_or("realistic")
+    {
+        "none" => FaultPlan::none(),
+        "realistic" => FaultPlan::realistic(seed),
+        "hostile" => FaultPlan::hostile(seed),
+        other => {
+            eprintln!("unknown fault profile: {other} (use none|realistic|hostile)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn cmd_study(args: &[String]) {
     let domains = flag_usize(args, "--domains", 2_000);
     let weeks = flag_usize(args, "--weeks", 201);
     let seed = flag_usize(args, "--seed", 42) as u64;
+    let retries = flag_usize(args, "--retries", 0) as u32;
     let config = StudyConfig {
         seed,
         domain_count: domains,
         timeline: Timeline::truncated(weeks),
+        faults: fault_profile_flag(args, seed),
+        retry: if retries > 0 {
+            RetryPolicy::standard(retries)
+        } else {
+            RetryPolicy::none()
+        },
+        breaker: (retries > 0).then(BreakerConfig::default),
+        carry_forward: args.iter().any(|a| a == "--carry-forward"),
         ..StudyConfig::default()
     };
     let mut telemetry = Telemetry::new();
@@ -122,6 +160,18 @@ fn cmd_study(args: &[String]) {
         }
         None => run_study_with(config, &telemetry),
     };
+    {
+        let snap = &results.telemetry;
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+        eprintln!(
+            "crawl resilience: {} retries, {} recovered after retry, \
+             {} breaker-skipped, {} carried forward",
+            counter("net.retries_total"),
+            counter("net.retry_success_total"),
+            counter("net.breaker_open_total"),
+            counter("net.carry_forward_total"),
+        );
+    }
     if let Some(dest) = telemetry_flag(args) {
         let json = telemetry_json(&results);
         match dest {
@@ -223,6 +273,7 @@ fn cmd_validate(args: &[String]) {
 fn cmd_crawl(args: &[String]) {
     let domains = flag_usize(args, "--domains", 500);
     let week = flag_usize(args, "--week", 100);
+    let retries = flag_usize(args, "--retries", 0) as u32;
     let use_tcp = args.iter().any(|a| a == "--tcp");
     let telemetry = Telemetry::new();
     let registry = telemetry.registry();
@@ -246,9 +297,22 @@ fn cmd_crawl(args: &[String]) {
     } else {
         let net = VirtualNet::new(Arc::new(eco.handler(week)))
             .with_fault_metrics(registry)
-            .with_faults(FaultPlan::realistic(42));
-        crawl_instrumented(&names, &net, CrawlConfig { concurrency: 8 }, registry)
+            .with_week(week)
+            .with_faults(fault_profile_flag(args, 42));
+        crawl_resilient(
+            &names,
+            &net,
+            CrawlConfig { concurrency: 8 },
+            RetryPolicy::standard(retries),
+            None,
+            &VirtualClock::new(),
+            registry,
+        )
     };
+    let recovered = snapshot.values().filter(|r| r.recovered).count();
+    if recovered > 0 {
+        eprintln!("{recovered} domains recovered after retry");
+    }
     if telemetry_flag(args).is_some() {
         eprint!("{}", telemetry.snapshot().render());
     }

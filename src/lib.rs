@@ -15,6 +15,7 @@
 //! | [`cvedb`] | `webvuln-cvedb` | embedded CVE corpus + release catalogs |
 //! | [`webgen`] | `webvuln-webgen` | synthetic web ecosystem |
 //! | [`net`] | `webvuln-net` | HTTP/1.1 stack + crawler |
+//! | [`resilience`] | `webvuln-resilience` | retries, backoff, circuit breakers |
 //! | [`fingerprint`] | `webvuln-fingerprint` | Wappalyzer-equivalent |
 //! | [`poclab`] | `webvuln-poclab` | version-validation experiment |
 //! | [`analysis`] | `webvuln-analysis` | tables & figures |
@@ -42,6 +43,7 @@ pub use webvuln_html as html;
 pub use webvuln_net as net;
 pub use webvuln_pattern as pattern;
 pub use webvuln_poclab as poclab;
+pub use webvuln_resilience as resilience;
 pub use webvuln_store as store;
 pub use webvuln_telemetry as telemetry;
 pub use webvuln_version as version;

@@ -17,6 +17,7 @@ fn study() -> &'static StudyResults {
             timeline: Timeline::paper(),
             concurrency: 8,
             faults: FaultPlan::realistic(7_777),
+            ..StudyConfig::default()
         })
     })
 }

@@ -53,6 +53,7 @@ fn fingerprints_survive_the_wire() {
         connect_fail_permille: 0,
         truncate_permille: 0,
         chunked_permille: 1000, // force the chunked encoder everywhere
+        ..FaultPlan::none()
     });
     let snapshot = crawl(&names, &net, CrawlConfig { concurrency: 4 });
     let engine = Engine::new();
@@ -83,7 +84,9 @@ fn faults_shrink_but_do_not_corrupt_the_dataset() {
                 connect_fail_permille: 100, // 10% of hosts refuse
                 truncate_permille: 0,
                 chunked_permille: 200,
+                ..FaultPlan::none()
             },
+            ..CollectConfig::default()
         },
     );
     assert!(faulty.average_collected() < clean.average_collected());

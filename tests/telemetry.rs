@@ -55,6 +55,7 @@ fn fault_counters_match_the_injected_plan() {
         connect_fail_permille: 120,
         truncate_permille: 0,
         chunked_permille: 0,
+        ..FaultPlan::none()
     };
     let names: Vec<String> = (0..400).map(|i| format!("h{i:04}.example")).collect();
     let expected_refusals = names.iter().filter(|h| plan.connect_fails(h)).count() as u64;
@@ -90,6 +91,7 @@ fn truncation_counter_counts_only_cuts_that_bite() {
         connect_fail_permille: 0,
         truncate_permille: 250,
         chunked_permille: 0,
+        ..FaultPlan::none()
     };
     let names: Vec<String> = (0..200).map(|i| format!("t{i:04}.example")).collect();
     let expected_cuts = names
