@@ -2,13 +2,16 @@
 //! (synthetic) web over the real HTTP stack, fingerprint every usable
 //! landing page, and apply the inaccessible-domain filter.
 
+use crate::store_io::{CheckpointOutcome, StoreError};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 use webvuln_cvedb::Date;
+use webvuln_exec::Executor;
 use webvuln_fingerprint::{Engine, PageAnalysis};
 use webvuln_net::{
-    crawl_resilient, inaccessible_domains, page_is_error_or_empty, BreakerConfig, CrawlConfig,
-    FaultPlan, FetchSummary, HostBreakers, RetryPolicy, VirtualClock, VirtualNet,
+    inaccessible_domains, page_is_error_or_empty, record_exec_stats, BreakerConfig, CrawlOptions,
+    FaultPlan, FetchRecord, FetchSummary, HostBreakers, RetryPolicy, VirtualClock, VirtualNet,
     EMPTY_PAGE_THRESHOLD,
 };
 use webvuln_telemetry::{Counter, Telemetry};
@@ -62,7 +65,7 @@ pub struct Dataset {
 }
 
 /// Collection configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CollectConfig {
     /// Crawler worker threads.
     pub concurrency: usize,
@@ -89,39 +92,227 @@ impl Default for CollectConfig {
     }
 }
 
-/// Crawls every week of `ecosystem` and fingerprints the results.
+/// Builder for one dataset collection: resilience, carry-forward,
+/// checkpointing and threads compose as orthogonal options, then
+/// [`run`](Collector::run) executes the §4 pipeline end-to-end — HTTP
+/// fetch (through the full wire codec), the 400-byte/4xx usability rule,
+/// Wappalyzer-style fingerprinting, and the trailing-month
+/// inaccessibility filter.
 ///
-/// This is the paper's §4 pipeline end-to-end: HTTP fetch (through the
-/// full wire codec), the 400-byte/4xx usability rule, Wappalyzer-style
-/// fingerprinting, and the trailing-month inaccessibility filter.
+/// ```no_run
+/// # use std::sync::Arc;
+/// # use webvuln_analysis::dataset::Collector;
+/// # use webvuln_webgen::{Ecosystem, EcosystemConfig};
+/// # let eco = Arc::new(Ecosystem::generate(EcosystemConfig::default()));
+/// let outcome = Collector::new()
+///     .threads(8)
+///     .carry_forward(true)
+///     .run(&eco)
+///     .expect("collection");
+/// println!("{} weeks", outcome.dataset.week_count());
+/// ```
+#[derive(Clone)]
+pub struct Collector<'a> {
+    config: CollectConfig,
+    telemetry: Option<&'a Telemetry>,
+    store: Option<PathBuf>,
+    resume: bool,
+}
+
+impl Default for Collector<'_> {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+impl<'a> Collector<'a> {
+    /// A fault-free, single-attempt, non-checkpointed collection on the
+    /// default 8-thread pool, accounting to the global telemetry.
+    pub fn new() -> Collector<'a> {
+        Collector::from_config(CollectConfig::default())
+    }
+
+    /// Starts from an existing [`CollectConfig`].
+    pub fn from_config(config: CollectConfig) -> Collector<'a> {
+        Collector {
+            config,
+            telemetry: None,
+            store: None,
+            resume: false,
+        }
+    }
+
+    /// Worker threads for the crawl and fingerprint pools. `0` sizes the
+    /// pools by [`std::thread::available_parallelism`]. Thread count
+    /// never changes the dataset — only how fast it arrives.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.concurrency = threads;
+        self
+    }
+
+    /// Connection-level fault plan for the virtual internet.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Retry policy for each weekly fetch.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Per-host circuit breakers across weeks.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = Some(breaker);
+        self
+    }
+
+    /// Carries a domain's last usable page forward through weeks where
+    /// it stays down.
+    pub fn carry_forward(mut self, carry_forward: bool) -> Self {
+        self.config.carry_forward = carry_forward;
+        self
+    }
+
+    /// Records crawl/fingerprint metrics, per-week phase spans, and
+    /// weekly progress events into `telemetry`.
+    pub fn telemetry(mut self, telemetry: &'a Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Commits every crawled week to the snapshot store at `path` as it
+    /// completes.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
+        self
+    }
+
+    /// With a [`checkpoint`](Collector::checkpoint) store present,
+    /// restores committed weeks from disk and crawls only the missing
+    /// ones.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The accumulated [`CollectConfig`] (builder round-trip).
+    pub fn config(&self) -> CollectConfig {
+        self.config
+    }
+
+    /// Collects the dataset. Only the checkpointed path can fail; a
+    /// collection without [`checkpoint`](Collector::checkpoint) always
+    /// returns `Ok` with every week freshly crawled.
+    pub fn run(&self, ecosystem: &Arc<Ecosystem>) -> Result<CheckpointOutcome, StoreError> {
+        let fallback;
+        let telemetry = match self.telemetry {
+            Some(telemetry) => telemetry,
+            None => {
+                fallback = Telemetry::global();
+                &fallback
+            }
+        };
+        match &self.store {
+            Some(path) => crate::store_io::collect_checkpointed(
+                ecosystem,
+                self.config,
+                telemetry,
+                path,
+                self.resume,
+            ),
+            None => {
+                let dataset = collect_plain(ecosystem, self.config, telemetry);
+                let weeks_crawled = dataset.week_count();
+                Ok(CheckpointOutcome {
+                    dataset,
+                    weeks_crawled,
+                    weeks_recovered: 0,
+                    torn_bytes_recovered: 0,
+                })
+            }
+        }
+    }
+}
+
+/// Crawls every week of `ecosystem` and fingerprints the results.
+#[deprecated(note = "use `Collector::new().run(ecosystem)`")]
 pub fn collect_dataset(ecosystem: &Arc<Ecosystem>, config: CollectConfig) -> Dataset {
-    collect_dataset_with(ecosystem, config, &Telemetry::global())
+    Collector::from_config(config)
+        .run(ecosystem)
+        .expect("plain collection is infallible")
+        .dataset
 }
 
 /// Like [`collect_dataset`], recording crawl/fingerprint metrics, per-week
 /// phase spans, and weekly progress events into `telemetry`.
+#[deprecated(note = "use `Collector::new().telemetry(telemetry).run(ecosystem)`")]
 pub fn collect_dataset_with(
     ecosystem: &Arc<Ecosystem>,
     config: CollectConfig,
     telemetry: &Telemetry,
 ) -> Dataset {
+    Collector::from_config(config)
+        .telemetry(telemetry)
+        .run(ecosystem)
+        .expect("plain collection is infallible")
+        .dataset
+}
+
+/// The non-checkpointed collection loop behind [`Collector::run`].
+///
+/// When weeks share no cross-week state (no circuit breakers, no
+/// carry-forward), they are independent crawls of independent snapshots:
+/// the loop fans whole weeks out across the worker pool (each week then
+/// crawling single-threaded so the pool is not oversubscribed) and
+/// merges in week order. Otherwise weeks run sequentially and the
+/// parallelism lives inside each week's crawl and fingerprint phases.
+/// Both paths produce byte-identical datasets.
+fn collect_plain(
+    ecosystem: &Arc<Ecosystem>,
+    config: CollectConfig,
+    telemetry: &Telemetry,
+) -> Dataset {
     let timeline = *ecosystem.timeline();
-    let mut collector = WeekCollector::new(ecosystem, config, telemetry);
-    let mut weeks = Vec::with_capacity(timeline.weeks);
+    let week_list: Vec<(usize, Date)> = timeline.iter().collect();
+    let weeks_independent = config.breaker.is_none() && !config.carry_forward;
+    let collector = WeekCollector::new(ecosystem, config, telemetry);
 
-    for (week, date) in timeline.iter() {
-        let snapshot = collector.collect_week(week, date, telemetry);
-        telemetry.emit(
-            "crawl",
-            week as u64 + 1,
-            timeline.weeks as u64,
-            &format!("{date}: {} pages", snapshot.collected()),
-        );
-        weeks.push(snapshot);
-    }
+    let weeks: Vec<WeekSnapshot> = if weeks_independent && config.concurrency != 1 {
+        let executor = Executor::new(config.concurrency);
+        let (weeks, stats) = executor.map_with_stats(&week_list, |&(week, date)| {
+            collector.collect_week_independent(week, date, telemetry)
+        });
+        record_exec_stats(telemetry.registry(), &stats);
+        for snapshot in &weeks {
+            telemetry.emit(
+                "crawl",
+                snapshot.week as u64 + 1,
+                timeline.weeks as u64,
+                &format!("{}: {} pages", snapshot.date, snapshot.collected()),
+            );
+        }
+        weeks
+    } else {
+        let mut collector = collector;
+        week_list
+            .iter()
+            .map(|&(week, date)| {
+                let snapshot = collector.collect_week(week, date, telemetry);
+                telemetry.emit(
+                    "crawl",
+                    week as u64 + 1,
+                    timeline.weeks as u64,
+                    &format!("{date}: {} pages", snapshot.collected()),
+                );
+                snapshot
+            })
+            .collect()
+    };
 
-    let ranks = collector
-        .names()
+    let ranks = ecosystem
+        .domain_names()
         .iter()
         .enumerate()
         .map(|(i, n)| (n.clone(), i + 1))
@@ -151,6 +342,7 @@ pub(crate) struct WeekCollector {
     names: Vec<String>,
     config: CollectConfig,
     engine: Engine,
+    executor: Executor,
     breakers: Option<HostBreakers>,
     clock: VirtualClock,
     last_usable: BTreeMap<String, PageAnalysis>,
@@ -168,6 +360,7 @@ impl WeekCollector {
             names: ecosystem.domain_names(),
             config,
             engine: Engine::instrumented(telemetry.registry()),
+            executor: Executor::new(config.concurrency),
             breakers: config.breaker.map(HostBreakers::new),
             clock: VirtualClock::new(),
             last_usable: BTreeMap::new(),
@@ -175,9 +368,47 @@ impl WeekCollector {
         }
     }
 
-    /// The crawl's domain list, in rank order.
-    pub(crate) fn names(&self) -> &[String] {
-        &self.names
+    /// Crawls one week's domain list on `threads` workers.
+    fn fetch_week(
+        &self,
+        week: usize,
+        threads: usize,
+        telemetry: &Telemetry,
+    ) -> BTreeMap<String, FetchRecord> {
+        let registry = telemetry.registry();
+        let net = VirtualNet::new(Arc::new(self.ecosystem.handler(week)))
+            .with_fault_metrics(registry)
+            .with_week(week)
+            .with_faults(self.config.faults);
+        let _span = telemetry.span("crawl");
+        let mut options = CrawlOptions::new()
+            .threads(threads)
+            .retry(self.config.retry)
+            .clock(&self.clock)
+            .registry(registry);
+        if let Some(breakers) = &self.breakers {
+            options = options.breakers(breakers);
+        }
+        options.run(&self.names, &net)
+    }
+
+    /// Fingerprints every usable record on `executor`, in domain order.
+    /// Returns one analysis per usable record, aligned with a filtered
+    /// in-order walk of `records`.
+    fn fingerprint_usable(
+        &self,
+        records: &BTreeMap<String, FetchRecord>,
+        executor: &Executor,
+        telemetry: &Telemetry,
+    ) -> Vec<PageAnalysis> {
+        let usable: Vec<(&str, &str)> = records
+            .iter()
+            .filter(|(_, record)| record.is_usable(EMPTY_PAGE_THRESHOLD))
+            .map(|(domain, record)| (domain.as_str(), record.body.as_str()))
+            .collect();
+        let (analyses, stats) = self.engine.analyze_batch(&usable, executor);
+        record_exec_stats(telemetry.registry(), &stats);
+        analyses
     }
 
     /// Crawls and fingerprints one weekly snapshot, advancing breaker and
@@ -188,34 +419,20 @@ impl WeekCollector {
         date: Date,
         telemetry: &Telemetry,
     ) -> WeekSnapshot {
-        let registry = telemetry.registry();
-        let net = VirtualNet::new(Arc::new(self.ecosystem.handler(week)))
-            .with_fault_metrics(registry)
-            .with_week(week)
-            .with_faults(self.config.faults);
-        let records = {
-            let _span = telemetry.span("crawl");
-            crawl_resilient(
-                &self.names,
-                &net,
-                CrawlConfig {
-                    concurrency: self.config.concurrency,
-                },
-                self.config.retry,
-                self.breakers.as_ref(),
-                &self.clock,
-                registry,
-            )
-        };
+        let records = self.fetch_week(week, self.config.concurrency, telemetry);
         let mut pages = BTreeMap::new();
         let mut summaries = BTreeMap::new();
         let mut carried_forward = BTreeSet::new();
         {
             let _span = telemetry.span("fingerprint");
+            // Parallel pass over the usable bodies, then a sequential
+            // merge in domain order that advances carry-forward state.
+            let analyses = self.fingerprint_usable(&records, &self.executor, telemetry);
+            let mut analyses = analyses.into_iter();
             for (domain, record) in records {
                 summaries.insert(domain.clone(), FetchSummary::from(&record));
                 if record.is_usable(EMPTY_PAGE_THRESHOLD) {
-                    let analysis = self.engine.analyze(&record.body, &domain);
+                    let analysis = analyses.next().expect("one analysis per usable page");
                     self.last_usable.insert(domain.clone(), analysis.clone());
                     pages.insert(domain, analysis);
                 } else if self.config.carry_forward
@@ -242,6 +459,50 @@ impl WeekCollector {
             pages,
             summaries,
             carried_forward,
+        }
+    }
+
+    /// Collects one week with no cross-week state: used by the
+    /// parallel-week fast path, where each week runs on one pool worker
+    /// (so the inner crawl and fingerprint stay single-threaded).
+    ///
+    /// Only valid when weeks are independent — no circuit breakers, no
+    /// carry-forward. Produces exactly what [`collect_week`] would for
+    /// the same week, because without those features `collect_week`
+    /// neither reads nor is affected by the state it advances.
+    pub(crate) fn collect_week_independent(
+        &self,
+        week: usize,
+        date: Date,
+        telemetry: &Telemetry,
+    ) -> WeekSnapshot {
+        debug_assert!(
+            self.breakers.is_none() && !self.config.carry_forward,
+            "parallel weeks require independent weeks"
+        );
+        let records = self.fetch_week(week, 1, telemetry);
+        let mut pages = BTreeMap::new();
+        let mut summaries = BTreeMap::new();
+        {
+            let _span = telemetry.span("fingerprint");
+            let analyses = self.fingerprint_usable(&records, &Executor::new(1), telemetry);
+            let mut analyses = analyses.into_iter();
+            for (domain, record) in records {
+                summaries.insert(domain.clone(), FetchSummary::from(&record));
+                if record.is_usable(EMPTY_PAGE_THRESHOLD) {
+                    pages.insert(
+                        domain,
+                        analyses.next().expect("one analysis per usable page"),
+                    );
+                }
+            }
+        }
+        WeekSnapshot {
+            week,
+            date,
+            pages,
+            summaries,
+            carried_forward: BTreeSet::new(),
         }
     }
 
@@ -375,6 +636,14 @@ pub(crate) mod testkit {
     use std::sync::OnceLock;
     use webvuln_webgen::EcosystemConfig;
 
+    /// Collects a plain (non-checkpointed) dataset through the builder.
+    pub fn collect(ecosystem: &Arc<Ecosystem>, config: CollectConfig) -> Dataset {
+        Collector::from_config(config)
+            .run(ecosystem)
+            .expect("plain collection is infallible")
+            .dataset
+    }
+
     /// A small but fully featured dataset: 1,200 domains, 30 weeks
     /// starting Mar 2018 (covers no WordPress events — fast tests).
     pub fn small() -> &'static Dataset {
@@ -385,7 +654,7 @@ pub(crate) mod testkit {
                 domain_count: 1_200,
                 timeline: Timeline::truncated(30),
             }));
-            collect_dataset(&eco, CollectConfig::default())
+            collect(&eco, CollectConfig::default())
         })
     }
 
@@ -399,7 +668,7 @@ pub(crate) mod testkit {
                 domain_count: 700,
                 timeline: Timeline::paper(),
             }));
-            collect_dataset(&eco, CollectConfig::default())
+            collect(&eco, CollectConfig::default())
         })
     }
 }
@@ -456,7 +725,7 @@ mod tests {
                 domain_count: 150,
                 timeline: Timeline::truncated(6),
             }));
-            collect_dataset(&eco, CollectConfig::default())
+            testkit::collect(&eco, CollectConfig::default())
         };
         let a = make();
         let b = make();
@@ -478,7 +747,7 @@ mod tests {
             domain_count: 120,
             timeline: Timeline::truncated(5),
         }));
-        let original = collect_dataset(&eco, CollectConfig::default());
+        let original = testkit::collect(&eco, CollectConfig::default());
         let json = original.to_json();
         let restored = Dataset::from_json(&json).expect("valid JSON");
         assert_eq!(restored.week_count(), original.week_count());
@@ -499,7 +768,7 @@ mod tests {
             domain_count: 40,
             timeline: Timeline::truncated(2),
         }));
-        let original = collect_dataset(&eco, CollectConfig::default());
+        let original = testkit::collect(&eco, CollectConfig::default());
         let path = std::env::temp_dir().join("webvuln-dataset-test.json");
         original.save(&path).expect("write");
         let restored = Dataset::load(&path).expect("read");
@@ -550,7 +819,7 @@ mod tests {
             heal_after_attempts: 1,
             ..FaultPlan::none()
         };
-        let degraded = collect_dataset(
+        let degraded = testkit::collect(
             &eco,
             CollectConfig {
                 faults,
@@ -558,7 +827,7 @@ mod tests {
                 ..CollectConfig::default()
             },
         );
-        let strict = collect_dataset(
+        let strict = testkit::collect(
             &eco,
             CollectConfig {
                 faults,
@@ -598,6 +867,97 @@ mod tests {
     }
 
     #[test]
+    fn parallel_weeks_match_sequential_weeks() {
+        // No breakers, no carry-forward: weeks are independent, so
+        // threads(8) takes the parallel-week fast path while threads(1)
+        // runs the sequential loop. Same dataset either way, even under
+        // hostile faults with retries.
+        let make = |threads| {
+            let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+                seed: 63,
+                domain_count: 120,
+                timeline: Timeline::truncated(6),
+            }));
+            Collector::new()
+                .threads(threads)
+                .faults(FaultPlan::hostile(63))
+                .retry(RetryPolicy::standard(2))
+                .run(&eco)
+                .expect("plain collection")
+                .dataset
+        };
+        let sequential = make(1);
+        let parallel = make(8);
+        assert_datasets_identical(&sequential, &parallel);
+    }
+
+    fn assert_datasets_identical(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.ranks, b.ranks);
+        assert_eq!(a.filtered_out, b.filtered_out);
+        assert_eq!(a.weeks.len(), b.weeks.len());
+        for (wa, wb) in a.weeks.iter().zip(&b.weeks) {
+            assert_eq!(wa.week, wb.week);
+            assert_eq!(wa.date, wb.date);
+            assert_eq!(wa.pages, wb.pages);
+            assert_eq!(wa.summaries, wb.summaries);
+            assert_eq!(wa.carried_forward, wb.carried_forward);
+        }
+    }
+
+    #[test]
+    fn exec_metrics_surface_through_collection() {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 64,
+            domain_count: 80,
+            timeline: Timeline::truncated(3),
+        }));
+        let telemetry = Telemetry::new();
+        Collector::new()
+            .threads(4)
+            .telemetry(&telemetry)
+            .run(&eco)
+            .expect("plain collection");
+        let snap = telemetry.snapshot();
+        assert!(snap.counter("exec.tasks_total").unwrap_or(0) > 0);
+        assert!(snap.histogram("exec.worker_busy_ns").is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_entry_points_match_the_builder() {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 65,
+            domain_count: 60,
+            timeline: Timeline::truncated(3),
+        }));
+        let config = CollectConfig::default();
+        let builder = testkit::collect(&eco, config);
+        assert_datasets_identical(&collect_dataset(&eco, config), &builder);
+        assert_datasets_identical(
+            &collect_dataset_with(&eco, config, &Telemetry::new()),
+            &builder,
+        );
+    }
+
+    #[test]
+    fn builder_round_trips_its_config() {
+        let config = CollectConfig {
+            concurrency: 3,
+            faults: FaultPlan::hostile(9),
+            retry: RetryPolicy::standard(4),
+            breaker: Some(BreakerConfig::default()),
+            carry_forward: true,
+        };
+        let round_tripped = Collector::from_config(config).config();
+        assert_eq!(round_tripped.concurrency, config.concurrency);
+        assert_eq!(round_tripped.faults.seed, config.faults.seed);
+        assert_eq!(round_tripped.retry.retries(), config.retry.retries());
+        assert_eq!(round_tripped.breaker.is_some(), config.breaker.is_some());
+        assert_eq!(round_tripped.carry_forward, config.carry_forward);
+    }
+
+    #[test]
     fn resilient_collection_is_deterministic_across_concurrency() {
         let make = |concurrency| {
             let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
@@ -605,7 +965,7 @@ mod tests {
                 domain_count: 150,
                 timeline: Timeline::truncated(6),
             }));
-            collect_dataset(
+            testkit::collect(
                 &eco,
                 CollectConfig {
                     concurrency,

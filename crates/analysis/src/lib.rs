@@ -34,5 +34,9 @@ pub mod updates;
 pub mod vuln;
 pub mod wordpress;
 
-pub use dataset::{collect_dataset, collect_dataset_with, CollectConfig, Dataset, WeekSnapshot};
-pub use store_io::{collect_dataset_checkpointed, CheckpointOutcome};
+#[allow(deprecated)]
+pub use dataset::{collect_dataset, collect_dataset_with};
+pub use dataset::{CollectConfig, Collector, Dataset, WeekSnapshot};
+#[allow(deprecated)]
+pub use store_io::collect_dataset_checkpointed;
+pub use store_io::CheckpointOutcome;

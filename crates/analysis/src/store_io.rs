@@ -318,7 +318,7 @@ pub fn stream_snapshots(
 // Checkpointed collection
 // ---------------------------------------------------------------------------
 
-/// What [`collect_dataset_checkpointed`] did.
+/// What a [`Collector::run`](crate::dataset::Collector::run) did.
 #[derive(Debug)]
 pub struct CheckpointOutcome {
     /// The collected (or restored), filtered dataset.
@@ -331,8 +331,22 @@ pub struct CheckpointOutcome {
     pub torn_bytes_recovered: u64,
 }
 
-/// Like [`crate::dataset::collect_dataset_with`], but committing every
-/// crawled week to the snapshot store at `store_path` as it completes.
+/// Collects a dataset, committing every crawled week to the snapshot
+/// store at `store_path` as it completes.
+#[deprecated(note = "use `Collector::from_config(config).telemetry(telemetry)\
+            .checkpoint(store_path).resume(resume).run(ecosystem)`")]
+pub fn collect_dataset_checkpointed(
+    ecosystem: &Arc<Ecosystem>,
+    config: CollectConfig,
+    telemetry: &Telemetry,
+    store_path: &Path,
+    resume: bool,
+) -> Result<CheckpointOutcome, StoreError> {
+    collect_checkpointed(ecosystem, config, telemetry, store_path, resume)
+}
+
+/// The checkpointed collection loop behind
+/// [`Collector::run`](crate::dataset::Collector::run).
 ///
 /// With `resume` set and an existing store present, committed weeks are
 /// restored from disk (after torn-tail recovery) and only the missing
@@ -340,7 +354,7 @@ pub struct CheckpointOutcome {
 /// produced them, because collection is deterministic in the ecosystem
 /// seed. The store must have been created from the same ecosystem —
 /// timeline and domain list are checked against the genesis segment.
-pub fn collect_dataset_checkpointed(
+pub(crate) fn collect_checkpointed(
     ecosystem: &Arc<Ecosystem>,
     config: CollectConfig,
     telemetry: &Telemetry,
@@ -494,7 +508,7 @@ pub fn collect_dataset_checkpointed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::{collect_dataset, testkit};
+    use crate::dataset::testkit;
     use webvuln_net::{BreakerConfig, FaultPlan, RetryPolicy};
     use webvuln_webgen::EcosystemConfig;
 
@@ -532,7 +546,7 @@ mod tests {
     #[test]
     fn store_round_trip_preserves_the_dataset() {
         let eco = small_eco(21, 120, 6);
-        let original = collect_dataset(&eco, CollectConfig::default());
+        let original = testkit::collect(&eco, CollectConfig::default());
         let path = temp_store("roundtrip");
         original.save_store(&path).expect("save");
         let restored = Dataset::load_store(&path).expect("load");
@@ -557,9 +571,9 @@ mod tests {
     #[test]
     fn checkpointed_collection_matches_plain_collection() {
         let eco = small_eco(31, 100, 6);
-        let plain = collect_dataset(&eco, CollectConfig::default());
+        let plain = testkit::collect(&eco, CollectConfig::default());
         let path = temp_store("checkpointed");
-        let outcome = collect_dataset_checkpointed(
+        let outcome = collect_checkpointed(
             &eco,
             CollectConfig::default(),
             &Telemetry::new(),
@@ -586,8 +600,9 @@ mod tests {
         {
             let mut collector = WeekCollector::new(&eco, CollectConfig::default(), &telemetry);
             let timeline = *eco.timeline();
-            let mut writer = StoreWriter::create(&path, genesis_for(&timeline, collector.names()))
-                .expect("create");
+            let mut writer =
+                StoreWriter::create(&path, genesis_for(&timeline, &eco.domain_names()))
+                    .expect("create");
             for (week, date) in timeline.iter().take(4) {
                 let snap = collector.collect_week(week, date, &telemetry);
                 writer
@@ -596,9 +611,8 @@ mod tests {
             }
         }
         let telemetry = Telemetry::new();
-        let outcome =
-            collect_dataset_checkpointed(&eco, CollectConfig::default(), &telemetry, &path, true)
-                .expect("resume");
+        let outcome = collect_checkpointed(&eco, CollectConfig::default(), &telemetry, &path, true)
+            .expect("resume");
         assert_eq!(outcome.weeks_recovered, 4);
         assert_eq!(outcome.weeks_crawled, 2);
         let snap = telemetry.snapshot();
@@ -607,10 +621,10 @@ mod tests {
         // Only the missing weeks were fetched over the network.
         assert_eq!(snap.counter("net.fetches_total"), Some(100 * 2));
         // The result is identical to an uninterrupted collection.
-        let plain = collect_dataset(&eco, CollectConfig::default());
+        let plain = testkit::collect(&eco, CollectConfig::default());
         assert_datasets_equal(&plain, &outcome.dataset);
         // A second resume finds the finalized store and crawls nothing.
-        let outcome = collect_dataset_checkpointed(
+        let outcome = collect_checkpointed(
             &eco,
             CollectConfig::default(),
             &Telemetry::new(),
@@ -636,7 +650,7 @@ mod tests {
             carry_forward: true,
             ..CollectConfig::default()
         };
-        let original = collect_dataset(&eco, config);
+        let original = testkit::collect(&eco, config);
         assert!(
             original.carried_forward_total() > 0,
             "fixture must exercise carry-forward"
@@ -658,7 +672,7 @@ mod tests {
             carry_forward: true,
             ..CollectConfig::default()
         };
-        let plain = collect_dataset(&eco, config);
+        let plain = testkit::collect(&eco, config);
         let path = temp_store("resilient-resume");
         let telemetry = Telemetry::new();
         // Kill after week 2: breaker and carry-forward state must be
@@ -666,8 +680,9 @@ mod tests {
         {
             let mut collector = WeekCollector::new(&eco, config, &telemetry);
             let timeline = *eco.timeline();
-            let mut writer = StoreWriter::create(&path, genesis_for(&timeline, collector.names()))
-                .expect("create");
+            let mut writer =
+                StoreWriter::create(&path, genesis_for(&timeline, &eco.domain_names()))
+                    .expect("create");
             for (week, date) in timeline.iter().take(3) {
                 let snap = collector.collect_week(week, date, &telemetry);
                 writer
@@ -675,8 +690,8 @@ mod tests {
                     .expect("commit");
             }
         }
-        let outcome = collect_dataset_checkpointed(&eco, config, &Telemetry::new(), &path, true)
-            .expect("resume");
+        let outcome =
+            collect_checkpointed(&eco, config, &Telemetry::new(), &path, true).expect("resume");
         assert_eq!(outcome.weeks_recovered, 3);
         assert_eq!(outcome.weeks_crawled, 3);
         assert_datasets_equal(&plain, &outcome.dataset);
@@ -687,7 +702,7 @@ mod tests {
     fn resume_rejects_a_mismatched_ecosystem() {
         let eco = small_eco(31, 100, 6);
         let path = temp_store("mismatch");
-        collect_dataset_checkpointed(
+        collect_checkpointed(
             &eco,
             CollectConfig::default(),
             &Telemetry::new(),
@@ -696,7 +711,7 @@ mod tests {
         )
         .expect("collect");
         let other = small_eco(32, 100, 6);
-        let err = collect_dataset_checkpointed(
+        let err = collect_checkpointed(
             &other,
             CollectConfig::default(),
             &Telemetry::new(),
@@ -713,7 +728,7 @@ mod tests {
         let eco = small_eco(41, 150, 8);
         let path = temp_store("delta");
         let telemetry = Telemetry::new();
-        collect_dataset_checkpointed(&eco, CollectConfig::default(), &telemetry, &path, false)
+        collect_checkpointed(&eco, CollectConfig::default(), &telemetry, &path, false)
             .expect("collect");
         let snap = telemetry.snapshot();
         let hits = snap.counter("store.delta_hits_total").unwrap_or(0);
@@ -733,7 +748,7 @@ mod tests {
     #[test]
     fn streaming_matches_loading() {
         let eco = small_eco(21, 80, 4);
-        let original = collect_dataset(&eco, CollectConfig::default());
+        let original = testkit::collect(&eco, CollectConfig::default());
         let path = temp_store("stream");
         original.save_store(&path).expect("save");
         let reader = StoreReader::open(&path).expect("open");

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use webvuln_analysis::dataset::{collect_dataset, CollectConfig, Dataset};
+use webvuln_analysis::dataset::{CollectConfig, Collector, Dataset};
 use webvuln_store::StoreReader;
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 
@@ -23,7 +23,10 @@ fn collect(seed: u64, domains: usize, weeks: usize) -> Dataset {
         domain_count: domains,
         timeline: Timeline::truncated(weeks),
     }));
-    collect_dataset(&eco, CollectConfig::default())
+    Collector::from_config(CollectConfig::default())
+        .run(&eco)
+        .expect("collection")
+        .dataset
 }
 
 fn assert_datasets_equal(a: &Dataset, b: &Dataset) {

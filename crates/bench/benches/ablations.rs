@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::{Arc, OnceLock};
-use webvuln_analysis::dataset::{collect_dataset, CollectConfig};
+use webvuln_analysis::dataset::Collector;
 use webvuln_bench::{bench_ecosystem, bench_pages};
 use webvuln_fingerprint::Engine;
 use webvuln_net::{inaccessible_domains, FetchSummary};
@@ -73,7 +73,7 @@ fn ablation_filtering(c: &mut Criterion) {
         OnceLock::new();
     let weekly = SUMMARIES.get_or_init(|| {
         let eco = bench_ecosystem();
-        let data = collect_dataset(eco, CollectConfig::default());
+        let data = Collector::new().run(eco).expect("collection").dataset;
         // Reconstruct unfiltered summaries by re-crawling? Not needed: the
         // dataset keeps per-week summaries post-filter; for the ablation
         // we rebuild the raw views from the ecosystem pages directly.
@@ -137,7 +137,7 @@ fn ablation_pipeline_scale(c: &mut Criterion) {
                     domain_count: domains,
                     timeline: Timeline::truncated(20),
                 }));
-                b.iter(|| black_box(collect_dataset(&eco, CollectConfig::default())))
+                b.iter(|| black_box(Collector::new().run(&eco).expect("collection").dataset))
             },
         );
     }

@@ -1,0 +1,81 @@
+//! Executor scaling: the same crawl at 1/2/4/8 worker threads.
+//!
+//! The virtual internet answers in-process, so a bare crawl is CPU-bound
+//! and scales only with physical cores. Real crawls are latency-bound —
+//! the worker sits in `connect()` waiting on the network — so the
+//! workload here wraps the virtual net in a connector that charges a
+//! fixed per-connection RTT. That makes the scaling curve measure what
+//! the work-stealing pool actually buys on a crawl: overlapping wait
+//! time, not just burning more cores. `BENCH_exec.json` at the repo root
+//! records the curve for the acceptance threshold (8 threads ≥ 3× one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use webvuln_net::{ByteStream, Connect, CrawlOptions, NetError, VirtualNet};
+use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+const DOMAINS: usize = 200;
+/// Simulated round-trip charged per connection, in microseconds. Chosen
+/// small enough to keep the bench quick, large enough to dominate the
+/// in-process handler cost the way a real network does.
+const RTT_US: u64 = 1_000;
+
+/// A [`Connect`] that charges a fixed RTT before delegating to the
+/// virtual internet — the latency profile of a real crawl without
+/// sockets.
+struct SlowConnector {
+    inner: VirtualNet,
+    rtt: Duration,
+}
+
+impl Connect for SlowConnector {
+    fn connect(&self, host: &str) -> Result<Box<dyn ByteStream>, NetError> {
+        std::thread::sleep(self.rtt);
+        self.inner.connect(host)
+    }
+}
+
+fn fixture() -> &'static (Arc<Ecosystem>, Vec<String>) {
+    static FIXTURE: OnceLock<(Arc<Ecosystem>, Vec<String>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 9_001,
+            domain_count: DOMAINS,
+            timeline: Timeline::truncated(4),
+        }));
+        let names = eco.domain_names();
+        (eco, names)
+    })
+}
+
+fn crawl_scaling(c: &mut Criterion) {
+    let (eco, names) = fixture();
+    let net = SlowConnector {
+        inner: VirtualNet::new(Arc::new(eco.handler(2))),
+        rtt: Duration::from_micros(RTT_US),
+    };
+    let mut group = c.benchmark_group("exec_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(DOMAINS as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        CrawlOptions::new()
+                            .threads(threads)
+                            .run(black_box(names), &net),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, crawl_scaling);
+criterion_main!(benches);

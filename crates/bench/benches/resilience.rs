@@ -1,5 +1,5 @@
 //! Resilience-layer benchmarks: what the retry path costs when nothing
-//! fails. `crawl_resilient` with a 4-attempt budget over a fault-free
+//! fails. A `CrawlOptions` run with a 4-attempt budget over a fault-free
 //! virtual internet should be indistinguishable from the plain crawler —
 //! the policy is consulted only after a failure — so the pair of numbers
 //! here is the overhead budget for keeping retries always-on.
@@ -7,9 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::{Arc, OnceLock};
-use webvuln_net::{
-    crawl_instrumented, crawl_resilient, CrawlConfig, RetryPolicy, VirtualClock, VirtualNet,
-};
+use webvuln_net::{CrawlOptions, RetryPolicy, VirtualClock, VirtualNet};
 use webvuln_telemetry::Registry;
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 
@@ -36,12 +34,12 @@ fn crawl_plain(c: &mut Criterion) {
     group.throughput(Throughput::Elements(DOMAINS as u64));
     group.bench_function("crawl_plain", |b| {
         b.iter(|| {
-            black_box(crawl_instrumented(
-                black_box(names),
-                &net,
-                CrawlConfig { concurrency: 8 },
-                &registry,
-            ))
+            black_box(
+                CrawlOptions::new()
+                    .threads(8)
+                    .registry(&registry)
+                    .run(black_box(names), &net),
+            )
         })
     });
     group.finish();
@@ -56,15 +54,14 @@ fn crawl_with_retry_policy(c: &mut Criterion) {
     group.throughput(Throughput::Elements(DOMAINS as u64));
     group.bench_function("crawl_retry_policy_fault_free", |b| {
         b.iter(|| {
-            black_box(crawl_resilient(
-                black_box(names),
-                &net,
-                CrawlConfig { concurrency: 8 },
-                RetryPolicy::standard(3),
-                None,
-                &clock,
-                &registry,
-            ))
+            black_box(
+                CrawlOptions::new()
+                    .threads(8)
+                    .retry(RetryPolicy::standard(3))
+                    .clock(&clock)
+                    .registry(&registry)
+                    .run(black_box(names), &net),
+            )
         })
     });
     group.finish();

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::{Arc, OnceLock};
-use webvuln_analysis::dataset::{collect_dataset, CollectConfig, Dataset};
+use webvuln_analysis::dataset::{CollectConfig, Collector, Dataset};
 use webvuln_store::StoreReader;
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 
@@ -19,7 +19,10 @@ fn store_dataset() -> &'static Dataset {
             domain_count: 300,
             timeline: Timeline::truncated(30),
         }));
-        collect_dataset(&eco, CollectConfig::default())
+        Collector::from_config(CollectConfig::default())
+            .run(&eco)
+            .expect("collection")
+            .dataset
     })
 }
 

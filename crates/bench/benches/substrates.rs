@@ -8,7 +8,7 @@ use webvuln_bench::{bench_ecosystem, bench_pages};
 use webvuln_fingerprint::Engine;
 use webvuln_html::Document;
 use webvuln_net::codec::{encode_request, encode_response, MessageReader};
-use webvuln_net::{crawl, CrawlConfig, Request, Response, VirtualNet};
+use webvuln_net::{CrawlOptions, Request, Response, VirtualNet};
 use webvuln_pattern::Pattern;
 
 fn bench_pattern_engine(c: &mut Criterion) {
@@ -116,13 +116,7 @@ fn bench_crawler_concurrency(c: &mut Criterion) {
             |b, &workers| {
                 b.iter(|| {
                     let net = VirtualNet::new(Arc::new(eco.handler(100)));
-                    black_box(crawl(
-                        &names,
-                        &net,
-                        CrawlConfig {
-                            concurrency: workers,
-                        },
-                    ))
+                    black_box(CrawlOptions::new().threads(workers).run(&names, &net))
                 })
             },
         );

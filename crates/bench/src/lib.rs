@@ -13,7 +13,7 @@
 #![forbid(unsafe_code)]
 
 use std::sync::{Arc, OnceLock};
-use webvuln_analysis::dataset::{collect_dataset, CollectConfig, Dataset};
+use webvuln_analysis::dataset::{Collector, Dataset};
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 
 /// Domains in the shared bench dataset.
@@ -27,7 +27,7 @@ pub fn bench_dataset() -> &'static Dataset {
         eprintln!("[bench] collecting shared dataset: {BENCH_DOMAINS} domains x 201 weeks …");
         let eco = bench_ecosystem();
         let started = std::time::Instant::now();
-        let data = collect_dataset(eco, CollectConfig::default());
+        let data = Collector::new().run(eco).expect("collection").dataset;
         eprintln!("[bench] dataset ready in {:.1?}", started.elapsed());
         data
     })

@@ -5,9 +5,12 @@
 //! render the paper-shaped report.
 //!
 //! ```no_run
-//! use webvuln_core::{run_study, full_report, StudyConfig};
+//! use webvuln_core::{full_report, Pipeline, StudyConfig};
 //!
-//! let results = run_study(StudyConfig::quick());
+//! let results = Pipeline::new(StudyConfig::quick())
+//!     .threads(8)
+//!     .run()
+//!     .expect("study");
 //! println!("{}", full_report(&results));
 //! ```
 
@@ -18,12 +21,11 @@ pub mod report;
 pub mod study;
 
 pub use report::{
-    full_report, render_headlines, render_table1, render_table2, render_table3, render_table4,
-    render_table5, render_table6, render_telemetry, render_validation, series_to_csv,
-    telemetry_json,
+    full_report, render_headlines, render_parallelism, render_table1, render_table2, render_table3,
+    render_table4, render_table5, render_table6, render_telemetry, render_validation,
+    series_to_csv, telemetry_json,
 };
-pub use study::{
-    analyze, analyze_with, run_study, run_study_checkpointed, run_study_with, StudyConfig,
-    StudyResults,
-};
+pub use study::{analyze, analyze_with, Pipeline, StudyBuilder, StudyConfig, StudyResults};
+#[allow(deprecated)]
+pub use study::{run_study, run_study_checkpointed, run_study_with};
 pub use webvuln_telemetry::{Snapshot, StderrProgress, Telemetry};

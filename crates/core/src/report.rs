@@ -330,6 +330,39 @@ pub fn render_resilience(results: &StudyResults) -> String {
     out
 }
 
+/// Renders the parallel-execution summary: pool size, executor tasks,
+/// work-steal count, and per-worker busy time from the `exec.*` metrics
+/// the work-stealing executor records.
+pub fn render_parallelism(results: &StudyResults) -> String {
+    let snap = &results.telemetry;
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "Parallel execution");
+    let _ = writeln!(
+        out,
+        "  worker pool size:           {}",
+        snap.gauge("exec.workers").unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "  executor tasks:             {}",
+        counter("exec.tasks_total")
+    );
+    let _ = writeln!(
+        out,
+        "  work steals:                {}",
+        counter("exec.steals_total")
+    );
+    if let Some(busy) = snap.histogram("exec.worker_busy_ns") {
+        let _ = writeln!(
+            out,
+            "  worker busy time:           {} samples, mean {}ns, max {}ns",
+            busy.count, busy.mean, busy.max
+        );
+    }
+    out
+}
+
 /// The complete text report.
 pub fn full_report(results: &StudyResults) -> String {
     let mut out = String::new();
@@ -352,6 +385,8 @@ pub fn full_report(results: &StudyResults) -> String {
     out.push_str(&render_telemetry(results));
     out.push('\n');
     out.push_str(&render_resilience(results));
+    out.push('\n');
+    out.push_str(&render_parallelism(results));
     out
 }
 
@@ -370,17 +405,18 @@ pub fn series_to_csv<V: std::fmt::Display>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::study::{run_study, StudyConfig};
+    use crate::study::{Pipeline, StudyConfig};
     use std::sync::OnceLock;
     use webvuln_webgen::Timeline;
 
     fn results() -> &'static StudyResults {
         static RESULTS: OnceLock<StudyResults> = OnceLock::new();
         RESULTS.get_or_init(|| {
-            let mut config = StudyConfig::quick();
-            config.domain_count = 300;
-            config.timeline = Timeline::truncated(12);
-            run_study(config)
+            Pipeline::new(StudyConfig::quick())
+                .domains(300)
+                .timeline(Timeline::truncated(12))
+                .run()
+                .expect("study")
         })
     }
 
@@ -419,6 +455,7 @@ mod tests {
         assert!(report.contains("Table 6"));
         assert!(report.contains("Run telemetry"));
         assert!(report.contains("Crawl resilience"));
+        assert!(report.contains("Parallel execution"));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The study driver: one call runs §4–§8 end-to-end on a synthetic web
 //! and returns every computed artifact.
 
+use std::path::PathBuf;
 use std::sync::Arc;
-use webvuln_analysis::dataset::{collect_dataset_with, CollectConfig, Dataset};
+use webvuln_analysis::dataset::{CollectConfig, Collector, Dataset};
 use webvuln_analysis::flash::{
     flash_by_tld, flash_usage, script_access_audit, FlashByTld, FlashUsage, ScriptAccessAudit,
 };
@@ -15,6 +16,7 @@ use webvuln_analysis::resources::{
 use webvuln_analysis::sri::{
     crossorigin_census, github_report, sri_adoption, CrossoriginCensus, GithubReport, SriAdoption,
 };
+use webvuln_analysis::store_io::StoreError;
 use webvuln_analysis::updates::{
     regressions, update_delays, wordpress_usage, RegressionEvent, UpdateDelayReport, WordPressUsage,
 };
@@ -30,7 +32,7 @@ use webvuln_telemetry::{Snapshot, Telemetry};
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 
 /// Configuration of a full study run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StudyConfig {
     /// Master seed for the synthetic web.
     pub seed: u64,
@@ -137,98 +139,217 @@ pub struct StudyResults {
     pub telemetry: Snapshot,
 }
 
-/// Runs the full study.
+/// Builder for a full §4–§8 study run: web generation, resilience,
+/// checkpointing, telemetry and threads compose as orthogonal options,
+/// then [`run`](Pipeline::run) executes the pipeline end-to-end.
 ///
-/// Telemetry is recorded into a registry private to this run and attached
-/// to [`StudyResults::telemetry`]; use [`run_study_with`] to inject a
-/// [`Telemetry`] handle (e.g. for progress reporting).
-pub fn run_study(config: StudyConfig) -> StudyResults {
-    run_study_with(config, &Telemetry::new())
+/// ```no_run
+/// use webvuln_core::{Pipeline, StudyConfig};
+///
+/// let results = Pipeline::new(StudyConfig::quick())
+///     .threads(8)
+///     .run()
+///     .expect("study");
+/// println!("{} weeks collected", results.dataset.week_count());
+/// ```
+#[derive(Clone)]
+pub struct Pipeline<'a> {
+    config: StudyConfig,
+    telemetry: Option<&'a Telemetry>,
+    store: Option<PathBuf>,
+    resume: bool,
 }
 
-/// Runs the full study, recording metrics, per-phase spans
-/// (`generate`/`crawl`/`fingerprint`/`join`/`analyze`), and progress
-/// events through `telemetry`.
-pub fn run_study_with(config: StudyConfig, telemetry: &Telemetry) -> StudyResults {
-    let ecosystem = {
-        let _span = telemetry.span("generate");
-        Arc::new(Ecosystem::generate(EcosystemConfig {
-            seed: config.seed,
-            domain_count: config.domain_count,
-            timeline: config.timeline,
-        }))
-    };
-    telemetry.emit(
-        "generate",
-        1,
-        1,
-        &format!(
-            "{} domains, {} weeks",
-            config.domain_count, config.timeline.weeks
-        ),
-    );
-    let dataset = collect_dataset_with(
-        &ecosystem,
-        CollectConfig {
+/// Alias for [`Pipeline`]: `StudyBuilder::from(config)` reads naturally
+/// when the builder starts from an existing [`StudyConfig`].
+pub type StudyBuilder<'a> = Pipeline<'a>;
+
+impl From<StudyConfig> for Pipeline<'_> {
+    fn from(config: StudyConfig) -> Self {
+        Pipeline::new(config)
+    }
+}
+
+impl Default for Pipeline<'_> {
+    fn default() -> Self {
+        Pipeline::new(StudyConfig::default())
+    }
+}
+
+impl<'a> Pipeline<'a> {
+    /// Starts a pipeline from `config`.
+    pub fn new(config: StudyConfig) -> Pipeline<'a> {
+        Pipeline {
+            config,
+            telemetry: None,
+            store: None,
+            resume: false,
+        }
+    }
+
+    /// Master seed for the synthetic web.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Alexa-style list size.
+    pub fn domains(mut self, domain_count: usize) -> Self {
+        self.config.domain_count = domain_count;
+        self
+    }
+
+    /// Snapshot timeline.
+    pub fn timeline(mut self, timeline: Timeline) -> Self {
+        self.config.timeline = timeline;
+        self
+    }
+
+    /// Worker threads for the crawl and fingerprint pools. `0` sizes the
+    /// pools by [`std::thread::available_parallelism`]. Thread count
+    /// never changes the results — only how fast they arrive.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.concurrency = threads;
+        self
+    }
+
+    /// Connection-level fault injection.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Per-fetch retry budget and backoff.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Per-host circuit breakers.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = Some(breaker);
+        self
+    }
+
+    /// Carries a domain's last usable snapshot through weeks it is down.
+    pub fn carry_forward(mut self, carry_forward: bool) -> Self {
+        self.config.carry_forward = carry_forward;
+        self
+    }
+
+    /// Records metrics, per-phase spans
+    /// (`generate`/`crawl`/`fingerprint`/`join`/`analyze`), and progress
+    /// events through `telemetry`. Without this, telemetry goes to a
+    /// registry private to the run, attached to
+    /// [`StudyResults::telemetry`].
+    pub fn telemetry(mut self, telemetry: &'a Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Commits every crawled week to the snapshot store at `path` as it
+    /// completes.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
+        self
+    }
+
+    /// With a [`checkpoint`](Pipeline::checkpoint) store present, restores
+    /// committed weeks from disk (after torn-tail recovery) and crawls
+    /// only the missing ones. Because collection is deterministic in the
+    /// ecosystem seed, the resumed study's output is identical to an
+    /// uninterrupted run's. The store's genesis is checked against the
+    /// config; a store built from a different seed/timeline is rejected
+    /// rather than silently mixed.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The accumulated [`StudyConfig`] (builder round-trip).
+    pub fn build(&self) -> StudyConfig {
+        self.config
+    }
+
+    /// Runs the full study. Only the checkpointed path can fail; a
+    /// pipeline without [`checkpoint`](Pipeline::checkpoint) always
+    /// returns `Ok`.
+    pub fn run(&self) -> Result<StudyResults, StoreError> {
+        let fallback;
+        let telemetry = match self.telemetry {
+            Some(telemetry) => telemetry,
+            None => {
+                fallback = Telemetry::new();
+                &fallback
+            }
+        };
+        let config = self.config;
+        let ecosystem = {
+            let _span = telemetry.span("generate");
+            Arc::new(Ecosystem::generate(EcosystemConfig {
+                seed: config.seed,
+                domain_count: config.domain_count,
+                timeline: config.timeline,
+            }))
+        };
+        telemetry.emit(
+            "generate",
+            1,
+            1,
+            &format!(
+                "{} domains, {} weeks",
+                config.domain_count, config.timeline.weeks
+            ),
+        );
+        let mut collector = Collector::from_config(CollectConfig {
             concurrency: config.concurrency,
             faults: config.faults,
             retry: config.retry,
             breaker: config.breaker,
             carry_forward: config.carry_forward,
-        },
-        telemetry,
-    );
-    analyze_with(config, dataset, telemetry)
+        })
+        .telemetry(telemetry);
+        if let Some(path) = &self.store {
+            collector = collector.checkpoint(path).resume(self.resume);
+        }
+        let outcome = collector.run(&ecosystem)?;
+        Ok(analyze_with(config, outcome.dataset, telemetry))
+    }
+}
+
+/// Runs the full study.
+#[deprecated(note = "use `Pipeline::new(config).run()`")]
+pub fn run_study(config: StudyConfig) -> StudyResults {
+    Pipeline::new(config)
+        .run()
+        .expect("non-checkpointed study is infallible")
+}
+
+/// Runs the full study, recording metrics, per-phase spans, and progress
+/// events through `telemetry`.
+#[deprecated(note = "use `Pipeline::new(config).telemetry(telemetry).run()`")]
+pub fn run_study_with(config: StudyConfig, telemetry: &Telemetry) -> StudyResults {
+    Pipeline::new(config)
+        .telemetry(telemetry)
+        .run()
+        .expect("non-checkpointed study is infallible")
 }
 
 /// Runs the full study with week-by-week checkpointing into the snapshot
 /// store at `store_path`.
-///
-/// With `resume` set and a store already on disk, every committed week is
-/// restored instead of re-crawled (after torn-tail recovery, so a run
-/// killed mid-commit resumes cleanly), and the crawl continues from the
-/// first missing week. Because collection is deterministic in the
-/// ecosystem seed, the resumed study's analysis output is identical to an
-/// uninterrupted run's. The store's genesis is checked against `config`;
-/// a store built from a different seed/timeline is rejected rather than
-/// silently mixed.
+#[deprecated(note = "use `Pipeline::new(config).telemetry(telemetry)\
+            .checkpoint(store_path).resume(resume).run()`")]
 pub fn run_study_checkpointed(
     config: StudyConfig,
     telemetry: &Telemetry,
     store_path: &std::path::Path,
     resume: bool,
-) -> Result<StudyResults, webvuln_analysis::store_io::StoreError> {
-    let ecosystem = {
-        let _span = telemetry.span("generate");
-        Arc::new(Ecosystem::generate(EcosystemConfig {
-            seed: config.seed,
-            domain_count: config.domain_count,
-            timeline: config.timeline,
-        }))
-    };
-    telemetry.emit(
-        "generate",
-        1,
-        1,
-        &format!(
-            "{} domains, {} weeks",
-            config.domain_count, config.timeline.weeks
-        ),
-    );
-    let outcome = webvuln_analysis::store_io::collect_dataset_checkpointed(
-        &ecosystem,
-        CollectConfig {
-            concurrency: config.concurrency,
-            faults: config.faults,
-            retry: config.retry,
-            breaker: config.breaker,
-            carry_forward: config.carry_forward,
-        },
-        telemetry,
-        store_path,
-        resume,
-    )?;
-    Ok(analyze_with(config, outcome.dataset, telemetry))
+) -> Result<StudyResults, StoreError> {
+    Pipeline::new(config)
+        .telemetry(telemetry)
+        .checkpoint(store_path)
+        .resume(resume)
+        .run()
 }
 
 /// Runs all analyses over an already-collected dataset.
@@ -303,10 +424,11 @@ mod tests {
 
     #[test]
     fn quick_study_produces_all_artifacts() {
-        let mut config = StudyConfig::quick();
-        config.domain_count = 250;
-        config.timeline = Timeline::truncated(10);
-        let results = run_study(config);
+        let results = Pipeline::new(StudyConfig::quick())
+            .domains(250)
+            .timeline(Timeline::truncated(10))
+            .run()
+            .expect("study");
         assert_eq!(results.collection.points.len(), 10);
         assert_eq!(results.resources.len(), 8);
         assert_eq!(results.table1.len(), 15);
@@ -335,16 +457,18 @@ mod tests {
 
     #[test]
     fn resilient_study_records_retry_telemetry() {
-        let mut config = StudyConfig::quick();
-        config.domain_count = 150;
-        config.timeline = Timeline::truncated(6);
-        config.faults = FaultPlan::hostile(config.seed);
-        // Four attempts: one more than the hostile profile's healing
-        // threshold, so transient faults recover within the budget.
-        config.retry = RetryPolicy::standard(3);
-        config.breaker = Some(BreakerConfig::default());
-        config.carry_forward = true;
-        let results = run_study(config);
+        let seed = StudyConfig::quick().seed;
+        let results = Pipeline::new(StudyConfig::quick())
+            .domains(150)
+            .timeline(Timeline::truncated(6))
+            .faults(FaultPlan::hostile(seed))
+            // Four attempts: one more than the hostile profile's healing
+            // threshold, so transient faults recover within the budget.
+            .retry(RetryPolicy::standard(3))
+            .breaker(BreakerConfig::default())
+            .carry_forward(true)
+            .run()
+            .expect("study");
         let snap = &results.telemetry;
         assert!(snap.counter("net.retries_total").unwrap_or(0) > 0);
         assert!(snap.counter("net.retry_success_total").unwrap_or(0) > 0);
@@ -367,12 +491,67 @@ mod tests {
                 seen.fetch_add(1, Ordering::Relaxed);
             },
         ));
-        let mut config = StudyConfig::quick();
-        config.domain_count = 60;
-        config.timeline = Timeline::truncated(3);
-        let results = run_study_with(config, &telemetry);
+        let results = Pipeline::new(StudyConfig::quick())
+            .domains(60)
+            .timeline(Timeline::truncated(3))
+            .telemetry(&telemetry)
+            .run()
+            .expect("study");
         // One event per week plus the generate event.
         assert_eq!(events.load(Ordering::Relaxed), 3 + 1);
         assert_eq!(results.telemetry.counter("net.fetches_total"), Some(60 * 3));
+    }
+
+    #[test]
+    fn builder_round_trips_every_config_field() {
+        // `StudyBuilder::from(config).build()` must preserve every field,
+        // for quick() and for a fully customised config.
+        let quick = StudyConfig::quick();
+        assert_eq!(StudyBuilder::from(quick).build(), quick);
+        let custom = StudyConfig {
+            seed: 7,
+            domain_count: 123,
+            timeline: Timeline::truncated(17),
+            concurrency: 3,
+            faults: FaultPlan::hostile(7),
+            retry: RetryPolicy::standard(2),
+            breaker: Some(BreakerConfig::default()),
+            carry_forward: true,
+        };
+        assert_eq!(StudyBuilder::from(custom).build(), custom);
+        // Builder setters land in the built config too.
+        let built = Pipeline::new(quick)
+            .seed(7)
+            .domains(123)
+            .timeline(Timeline::truncated(17))
+            .threads(3)
+            .faults(FaultPlan::hostile(7))
+            .retry(RetryPolicy::standard(2))
+            .breaker(BreakerConfig::default())
+            .carry_forward(true)
+            .build();
+        assert_eq!(built, custom);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_entry_points_match_the_builder() {
+        let config = StudyConfig {
+            domain_count: 60,
+            timeline: Timeline::truncated(3),
+            ..StudyConfig::quick()
+        };
+        let builder = Pipeline::new(config).run().expect("study");
+        let legacy = run_study(config);
+        assert_eq!(legacy.dataset.weeks.len(), builder.dataset.weeks.len());
+        for (a, b) in legacy.dataset.weeks.iter().zip(&builder.dataset.weeks) {
+            assert_eq!(a.pages, b.pages);
+            assert_eq!(a.summaries, b.summaries);
+        }
+        let legacy = run_study_with(config, &Telemetry::new());
+        assert_eq!(
+            legacy.collection.points.len(),
+            builder.collection.points.len()
+        );
     }
 }

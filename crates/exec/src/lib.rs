@@ -1,0 +1,424 @@
+//! webvuln-exec — a dependency-free work-stealing executor.
+//!
+//! The paper's crawl is embarrassingly parallel per domain: 157.2M pages
+//! over 201 weeks only becomes tractable when fetch and fingerprint work
+//! fans out across every core. This crate provides the one execution
+//! primitive the pipeline needs — a parallel `map` over a slice — built
+//! on plain `std` so it compiles with a bare `rustc --test` in offline
+//! containers, exactly like `webvuln-telemetry` and `webvuln-resilience`.
+//!
+//! Design:
+//!
+//! - **Fixed worker pool** sized by [`std::thread::available_parallelism`]
+//!   (or an explicit `threads(n)` override). Workers live for the duration
+//!   of one [`Executor::map`] call via [`std::thread::scope`]; no unsafe,
+//!   no leaked threads.
+//! - **Chunked sharding.** The input slice is cut into contiguous chunks
+//!   (roughly four per worker) and each chunk is assigned a *home* worker
+//!   by a seeded hash of its index, so the initial distribution is stable
+//!   for a given `(seed, len, threads)` triple.
+//! - **Work stealing.** Each worker drains its own deque from the front;
+//!   when empty it scans the other deques in a seeded order and steals
+//!   from the back. Stealing only changes *who* runs a chunk, never *what*
+//!   the chunk produces.
+//! - **Deterministic merge.** Every chunk's results are tagged with the
+//!   chunk index and the final output is stitched back in index order, so
+//!   the returned `Vec` is byte-identical regardless of thread count,
+//!   steal interleaving, or scheduling jitter. This is the property the
+//!   chaos suite pins: `run(threads = 1) == run(threads = N)`.
+//!
+//! Scheduling statistics ([`ExecStats`]: tasks, steals, per-worker busy
+//! nanoseconds) are returned out-of-band by [`Executor::map_with_stats`]
+//! so callers can feed `exec.*` telemetry without this crate depending on
+//! `webvuln-telemetry`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// SplitMix64-style mixer used for seeded chunk→worker assignment and
+/// steal-scan ordering. Mirrors the hash used by `webvuln-resilience` for
+/// fault/backoff derivation so scheduling shares the repo's one PRNG idiom.
+fn mix(seed: u64, value: u64) -> u64 {
+    let mut h = seed ^ value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Scheduling statistics for one [`Executor::map_with_stats`] call.
+///
+/// Everything here describes *how* the work was executed, never *what* it
+/// produced: stats vary run to run (steals depend on OS scheduling) while
+/// the mapped results stay byte-identical. Callers surface these as
+/// `exec.*` telemetry counters and histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Number of worker threads the pool ran with.
+    pub threads: usize,
+    /// Number of items mapped.
+    pub items: u64,
+    /// Number of chunks (tasks) the items were sharded into.
+    pub tasks: u64,
+    /// Number of chunks a worker executed after stealing them from
+    /// another worker's deque.
+    pub steals: u64,
+    /// Per-worker busy time in nanoseconds (time spent inside the mapped
+    /// closure, excluding idle spinning). Length equals `threads`.
+    pub worker_busy_ns: Vec<u64>,
+}
+
+impl ExecStats {
+    fn empty(threads: usize) -> Self {
+        ExecStats {
+            threads,
+            items: 0,
+            tasks: 0,
+            steals: 0,
+            worker_busy_ns: vec![0; threads],
+        }
+    }
+}
+
+/// A reusable parallel-map executor.
+///
+/// Construction is cheap (no threads are spawned until [`Executor::map`]
+/// is called), so pipelines can hold one and pass it by reference.
+///
+/// ```
+/// use webvuln_exec::Executor;
+///
+/// let exec = Executor::new(4);
+/// let squares = exec.map(&[1u64, 2, 3, 4, 5], |n| n * n);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+    chunk_size: usize,
+    seed: u64,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::auto()
+    }
+}
+
+impl Executor {
+    /// An executor with an explicit thread count. `0` means "size by
+    /// [`std::thread::available_parallelism`]", same as [`Executor::auto`].
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads,
+            chunk_size: 0,
+            seed: 0x5eed_c0de,
+        }
+    }
+
+    /// An executor sized by the host's available parallelism.
+    pub fn auto() -> Self {
+        Executor::new(0)
+    }
+
+    /// Overrides the chunk size (items per task). `0` (the default) picks
+    /// roughly four chunks per worker. Chunking affects scheduling
+    /// granularity only; results are identical for any chunk size.
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Overrides the seed used for chunk→worker assignment and steal-scan
+    /// order. Results are identical for any seed; this exists so chaos
+    /// tests can shake the scheduler.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The number of worker threads a `map` call will use: the configured
+    /// count, or the host's available parallelism when configured as `0`.
+    pub fn threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input
+    /// order. Byte-identical to a sequential `items.iter().map(f)` run
+    /// regardless of thread count.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_with_stats(items, f).0
+    }
+
+    /// [`Executor::map`] plus the scheduling statistics for the call.
+    pub fn map_with_stats<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, ExecStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = self.threads().max(1);
+        if items.is_empty() {
+            return (Vec::new(), ExecStats::empty(threads));
+        }
+        let chunk = if self.chunk_size > 0 {
+            self.chunk_size
+        } else {
+            // ~4 chunks per worker keeps the steal queue busy without
+            // drowning in per-chunk bookkeeping.
+            items.len().div_ceil(threads * 4).max(1)
+        };
+        let bounds: Vec<(usize, usize)> = (0..items.len())
+            .step_by(chunk)
+            .map(|start| (start, (start + chunk).min(items.len())))
+            .collect();
+        let tasks = bounds.len() as u64;
+
+        if threads == 1 || bounds.len() == 1 {
+            // Inline fast path: no pool, no locks — the degenerate case
+            // the determinism tests compare everything against.
+            let started = Instant::now();
+            let out: Vec<R> = items.iter().map(|item| f(item)).collect();
+            let mut stats = ExecStats::empty(threads);
+            stats.items = items.len() as u64;
+            stats.tasks = tasks;
+            stats.worker_busy_ns[0] = started.elapsed().as_nanos() as u64;
+            return (out, stats);
+        }
+
+        // Seeded home assignment: chunk i starts on worker mix(seed, i).
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (index, _) in bounds.iter().enumerate() {
+            let home = (mix(self.seed, index as u64) % threads as u64) as usize;
+            deques[home].lock().unwrap().push_back(index);
+        }
+
+        let remaining = AtomicUsize::new(bounds.len());
+        let steals = AtomicU64::new(0);
+        let busy_ns: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+        let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(bounds.len()));
+
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let deques = &deques;
+                let bounds = &bounds;
+                let remaining = &remaining;
+                let steals = &steals;
+                let busy_ns = &busy_ns;
+                let results = &results;
+                let f = &f;
+                let seed = self.seed;
+                scope.spawn(move || {
+                    let mut local_busy: u64 = 0;
+                    loop {
+                        // Own deque first (front), then seeded-order scan
+                        // of the victims (back) — classic work stealing.
+                        let mut task = deques[worker].lock().unwrap().pop_front();
+                        let mut stolen = false;
+                        if task.is_none() {
+                            let start = (mix(seed, worker as u64) % threads as u64) as usize;
+                            for offset in 1..threads {
+                                let victim = (start + offset) % threads;
+                                if victim == worker {
+                                    continue;
+                                }
+                                task = deques[victim].lock().unwrap().pop_back();
+                                if task.is_some() {
+                                    stolen = true;
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(index) = task else {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            // Chunks are in flight on other workers and
+                            // nothing is stealable: yield and re-scan.
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        if stolen {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let (lo, hi) = bounds[index];
+                        let started = Instant::now();
+                        let out: Vec<R> = items[lo..hi].iter().map(|item| f(item)).collect();
+                        local_busy += started.elapsed().as_nanos() as u64;
+                        results.lock().unwrap().push((index, out));
+                        remaining.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    busy_ns[worker].store(local_busy, Ordering::Relaxed);
+                });
+            }
+        });
+
+        // Deterministic merge: completion order is scheduling-dependent,
+        // index order is not.
+        let mut tagged = results.into_inner().unwrap();
+        tagged.sort_unstable_by_key(|(index, _)| *index);
+        let merged: Vec<R> = tagged.into_iter().flat_map(|(_, out)| out).collect();
+
+        let stats = ExecStats {
+            threads,
+            items: items.len() as u64,
+            tasks,
+            steals: steals.into_inner(),
+            worker_busy_ns: busy_ns.into_iter().map(AtomicU64::into_inner).collect(),
+        };
+        (merged, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let exec = Executor::new(4);
+        let items: Vec<u64> = (0..1_000).collect();
+        let out = exec.map(&items, |n| n * 2 + 1);
+        let expected: Vec<u64> = items.iter().map(|n| n * 2 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let items: Vec<String> = (0..537).map(|i| format!("domain-{i:04}.example")).collect();
+        let reference = Executor::new(1).map(&items, |d| format!("{d}/fetched"));
+        for threads in [2, 3, 4, 8, 16] {
+            for seed in [1u64, 42, 0xdead_beef] {
+                let out = Executor::new(threads)
+                    .seed(seed)
+                    .map(&items, |d| format!("{d}/fetched"));
+                assert_eq!(out, reference, "threads={threads} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_across_chunk_sizes() {
+        let items: Vec<u64> = (0..301).collect();
+        let reference: Vec<u64> = items.iter().map(|n| n.wrapping_mul(31)).collect();
+        for chunk in [1, 2, 7, 64, 1_000] {
+            let out = Executor::new(4)
+                .chunk_size(chunk)
+                .map(&items, |n| n.wrapping_mul(31));
+            assert_eq!(out, reference, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let exec = Executor::new(8);
+        let (out, stats) = exec.map_with_stats(&[] as &[u64], |n| *n);
+        assert!(out.is_empty());
+        assert_eq!(stats.items, 0);
+        assert_eq!(stats.tasks, 0);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.worker_busy_ns.len(), 8);
+    }
+
+    #[test]
+    fn fewer_items_than_workers() {
+        let exec = Executor::new(16);
+        let out = exec.map(&[10u64, 20, 30], |n| n + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn single_item() {
+        let (out, stats) = Executor::new(8).map_with_stats(&[7u64], |n| n * n);
+        assert_eq!(out, vec![49]);
+        assert_eq!(stats.items, 1);
+        assert_eq!(stats.tasks, 1);
+    }
+
+    #[test]
+    fn stats_account_for_every_item_and_task() {
+        let items: Vec<u64> = (0..250).collect();
+        let (out, stats) = Executor::new(4)
+            .chunk_size(10)
+            .map_with_stats(&items, |n| *n);
+        assert_eq!(out.len(), 250);
+        assert_eq!(stats.items, 250);
+        assert_eq!(stats.tasks, 25);
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.worker_busy_ns.len(), 4);
+        // Steals never exceed the task count: a chunk runs exactly once.
+        assert!(stats.steals <= stats.tasks);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let exec = Executor::auto();
+        assert!(exec.threads() >= 1);
+        let out = exec.map(&[1u64, 2, 3], |n| n * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn results_are_not_required_to_be_clone_or_default() {
+        // R = Box<str>: no Default, merge must move values, not fill.
+        let items: Vec<u64> = (0..97).collect();
+        let out = Executor::new(3).map(&items, |n| format!("v{n}").into_boxed_str());
+        assert_eq!(out.len(), 97);
+        assert_eq!(&*out[96], "v96");
+    }
+
+    #[test]
+    fn uneven_work_is_rebalanced() {
+        // A pathological distribution (one chunk 100x slower) still
+        // completes and still merges in order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = Executor::new(4).chunk_size(1).map(&items, |n| {
+            if *n == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            n + 100
+        });
+        let expected: Vec<u64> = (100..164).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn busy_time_is_recorded() {
+        let items: Vec<u64> = (0..8).collect();
+        let (_, stats) = Executor::new(2).chunk_size(1).map_with_stats(&items, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let total: u64 = stats.worker_busy_ns.iter().sum();
+        assert!(
+            total >= 8_000_000,
+            "8 one-millisecond tasks must record >= 8ms busy, got {total}ns"
+        );
+    }
+
+    #[test]
+    fn mix_is_stable() {
+        // Pin the scheduling hash: a silent change would reshuffle home
+        // assignment and invalidate recorded BENCH numbers.
+        assert_eq!(mix(42, 0) % 8, mix(42, 0) % 8);
+        assert_ne!(mix(1, 2), mix(2, 1));
+        assert_ne!(mix(7, 3), mix(7, 4));
+    }
+}

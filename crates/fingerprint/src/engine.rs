@@ -5,6 +5,7 @@
 use crate::patterns::{fingerprints, wordpress_fingerprint, Fingerprint, WordPressFingerprint};
 use serde::{Deserialize, Serialize};
 use webvuln_cvedb::LibraryId;
+use webvuln_exec::{ExecStats, Executor};
 use webvuln_html::{extract, url_host, Document, PageResources, ScriptRef};
 use webvuln_pattern::thread_vm_steps;
 use webvuln_telemetry::{Counter, Registry};
@@ -240,6 +241,18 @@ impl Engine {
         let doc = Document::parse(html);
         let resources = extract(&doc);
         self.analyze_resources(&resources, domain)
+    }
+
+    /// Analyzes a batch of `(domain, html)` pages on `executor`,
+    /// returning analyses in input order plus the run's scheduling
+    /// stats. The engine is immutable and `Sync`, so every worker shares
+    /// this instance; results are byte-identical for any thread count.
+    pub fn analyze_batch(
+        &self,
+        pages: &[(&str, &str)],
+        executor: &Executor,
+    ) -> (Vec<PageAnalysis>, ExecStats) {
+        executor.map_with_stats(pages, |&(domain, html)| self.analyze(html, domain))
     }
 
     /// Analyzes already-extracted page resources.
@@ -531,6 +544,35 @@ mod tests {
                 host: "ajax.googleapis.com".into()
             }
         );
+    }
+
+    #[test]
+    fn batch_analysis_matches_sequential_for_any_thread_count() {
+        let pages: Vec<(String, String)> = (0..60)
+            .map(|i| {
+                (
+                    format!("site{i:03}.example"),
+                    format!(
+                        r#"<script src="https://ajax.googleapis.com/ajax/libs/jquery/1.{}.0/jquery.min.js"></script>"#,
+                        i % 12
+                    ),
+                )
+            })
+            .collect();
+        let refs: Vec<(&str, &str)> = pages
+            .iter()
+            .map(|(d, h)| (d.as_str(), h.as_str()))
+            .collect();
+        let engine = engine();
+        let sequential: Vec<PageAnalysis> = refs
+            .iter()
+            .map(|&(domain, html)| engine.analyze(html, domain))
+            .collect();
+        for threads in [1, 2, 8] {
+            let (batch, stats) = engine.analyze_batch(&refs, &Executor::new(threads));
+            assert_eq!(batch, sequential, "threads={threads}");
+            assert_eq!(stats.items, 60);
+        }
     }
 
     #[test]

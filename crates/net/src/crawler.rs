@@ -1,25 +1,31 @@
 //! The weekly snapshot crawler (paper §4.1).
 //!
 //! Given the domain list and a [`Connect`] transport, the crawler fetches
-//! each domain's landing page with a pool of worker threads and returns
-//! per-domain [`FetchRecord`]s. Results are keyed and ordered by domain so
-//! that worker scheduling never changes the dataset.
+//! each domain's landing page on a work-stealing pool
+//! ([`webvuln_exec::Executor`]) and returns per-domain [`FetchRecord`]s.
+//! Results are keyed and ordered by domain so that worker scheduling
+//! never changes the dataset.
 //!
-//! Two fetch paths exist: the historical single-attempt path
-//! ([`crawl`] / [`crawl_instrumented`]) and the resilient path
-//! ([`crawl_resilient`]) which retries transient failures under a
-//! [`RetryPolicy`], honors per-host [`HostBreakers`], and accounts its
-//! backoff against a [`VirtualClock`] instead of sleeping. Every retry
-//! decision is a pure function of `(policy seed, domain, attempt)`, so the
-//! resilient path is exactly as deterministic as the single-attempt one.
+//! All crawl behavior — thread count, retry policy, per-host circuit
+//! breakers, virtual-clock backoff, telemetry registry — composes through
+//! one builder, [`CrawlOptions`]. A plain `CrawlOptions::new()` run makes
+//! a single attempt per domain; adding [`retry`](CrawlOptions::retry) /
+//! [`breakers`](CrawlOptions::breakers) turns on the resilient path,
+//! which retries transient failures under a [`RetryPolicy`], honors
+//! per-host [`HostBreakers`], and accounts its backoff against a
+//! [`VirtualClock`] instead of sleeping. Every retry decision is a pure
+//! function of `(policy seed, domain, attempt)`, so the resilient path is
+//! exactly as deterministic as the single-attempt one. The legacy entry
+//! points ([`crawl`], [`crawl_instrumented`], [`crawl_resilient`]) remain
+//! as deprecated shims over the builder.
 
 use crate::client::fetch;
 use crate::error::ErrorClass;
 
 use crate::server::Connect;
-use crossbeam::channel::unbounded;
 use std::collections::BTreeMap;
 use std::time::Instant;
+use webvuln_exec::{ExecStats, Executor};
 use webvuln_resilience::{HostBreakers, RetryPolicy, VirtualClock};
 use webvuln_telemetry::{Counter, Histogram, Registry};
 
@@ -148,43 +154,198 @@ impl RetryMetrics {
     }
 }
 
+/// Copies one executor run's scheduling stats into `exec.*` telemetry:
+/// `exec.tasks_total`, `exec.steals_total`, the `exec.workers` gauge and
+/// the `exec.worker_busy_ns` per-worker busy histogram.
+pub fn record_exec_stats(registry: &Registry, stats: &ExecStats) {
+    registry.counter("exec.tasks_total").add(stats.tasks);
+    registry.counter("exec.steals_total").add(stats.steals);
+    registry.gauge("exec.workers").set(stats.threads as i64);
+    let busy = registry.histogram("exec.worker_busy_ns");
+    for &ns in &stats.worker_busy_ns {
+        busy.record(ns);
+    }
+}
+
+/// Builder for one crawl: thread count, resilience, and telemetry compose
+/// as orthogonal options, then [`run`](CrawlOptions::run) executes the
+/// fetches on a work-stealing pool and returns records in domain order.
+///
+/// ```no_run
+/// # use webvuln_net::{CrawlOptions, VirtualNet, Request, Response, RetryPolicy};
+/// # use std::sync::Arc;
+/// # let net = VirtualNet::new(Arc::new(|_: &Request| Response::html("x")));
+/// # let domains = vec!["a.example".to_string()];
+/// let records = CrawlOptions::new()
+///     .threads(8)
+///     .retry(RetryPolicy::standard(2))
+///     .run(&domains, &net);
+/// ```
+///
+/// Defaults: 8 worker threads (`threads(0)` sizes the pool by
+/// [`std::thread::available_parallelism`]), no retries, no breakers, a
+/// private [`VirtualClock`], the [global registry](Registry::global).
+#[derive(Clone, Copy)]
+pub struct CrawlOptions<'a> {
+    threads: usize,
+    retry: RetryPolicy,
+    breakers: Option<&'a HostBreakers>,
+    clock: Option<&'a VirtualClock>,
+    registry: Option<&'a Registry>,
+}
+
+impl Default for CrawlOptions<'_> {
+    fn default() -> Self {
+        CrawlOptions::new()
+    }
+}
+
+impl<'a> CrawlOptions<'a> {
+    /// Single-attempt crawl on the default 8-thread pool, accounting to
+    /// the global registry.
+    pub fn new() -> CrawlOptions<'a> {
+        CrawlOptions {
+            threads: CrawlConfig::default().concurrency,
+            retry: RetryPolicy::none(),
+            breakers: None,
+            clock: None,
+            registry: None,
+        }
+    }
+
+    /// Carries the thread count over from a legacy [`CrawlConfig`].
+    pub fn from_config(config: CrawlConfig) -> CrawlOptions<'a> {
+        CrawlOptions::new().threads(config.concurrency)
+    }
+
+    /// Worker threads for the fetch pool. `0` sizes the pool by
+    /// [`std::thread::available_parallelism`]. Thread count never changes
+    /// the returned records — only how fast they arrive.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Retries transient failures (refused connections, timeouts,
+    /// truncations, 5xx responses) under `retry`.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Skips hosts whose circuit breaker is open and records every fetch
+    /// outcome against `breakers`.
+    pub fn breakers(mut self, breakers: &'a HostBreakers) -> Self {
+        self.breakers = Some(breakers);
+        self
+    }
+
+    /// Accounts backoff delays against `clock` (simulated time) instead
+    /// of a private throwaway clock.
+    pub fn clock(mut self, clock: &'a VirtualClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Records `net.*` and `exec.*` metrics into `registry` instead of
+    /// the global one.
+    pub fn registry(mut self, registry: &'a Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// True when any resilience feature is engaged — retry metrics are
+    /// only published then, matching the historical split between the
+    /// plain and resilient entry points.
+    fn is_resilient(&self) -> bool {
+        self.retry.retries() > 0 || self.breakers.is_some() || self.clock.is_some()
+    }
+
+    /// Fetches the landing page of every domain. Returns records in
+    /// domain order — byte-identical for any thread count.
+    ///
+    /// Breaker-skipped domains still produce a [`FetchRecord`] (with
+    /// `attempts == 0`) and still count toward `net.fetches_total` /
+    /// `net.fetch_errors_total`, so coverage arithmetic stays uniform.
+    /// On the resilient path `net.retries_total`,
+    /// `net.retry_success_total`, `net.breaker_open_total` and the
+    /// `net.backoff_delay_ns` histogram are published too.
+    pub fn run(
+        &self,
+        domains: &[String],
+        connector: &dyn Connect,
+    ) -> BTreeMap<String, FetchRecord> {
+        let registry = self.registry.unwrap_or_else(|| Registry::global());
+        let metrics = CrawlerMetrics::from_registry(registry);
+        // The plain path keeps retry counters out of the caller's
+        // registry (they would all be zero); a scratch registry absorbs
+        // the handles.
+        let scratch;
+        let retry_metrics = if self.is_resilient() {
+            RetryMetrics::from_registry(registry)
+        } else {
+            scratch = Registry::new();
+            RetryMetrics::from_registry(&scratch)
+        };
+        let owned_clock;
+        let clock = match self.clock {
+            Some(clock) => clock,
+            None => {
+                owned_clock = VirtualClock::new();
+                &owned_clock
+            }
+        };
+        let retry = &self.retry;
+        let breakers = self.breakers;
+        let (records, stats) = Executor::new(self.threads).map_with_stats(domains, |domain| {
+            let started = Instant::now();
+            let record =
+                fetch_domain_resilient(connector, domain, retry, breakers, clock, &retry_metrics);
+            let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            metrics.record(&record, elapsed_ns);
+            record
+        });
+        record_exec_stats(registry, &stats);
+        records
+            .into_iter()
+            .map(|record| (record.domain.clone(), record))
+            .collect()
+    }
+}
+
 /// Fetches the landing page of every domain. Returns records in domain
 /// order (deterministic regardless of scheduling).
 ///
-/// Metrics land in the [global registry](Registry::global); use
-/// [`crawl_instrumented`] to account against an injected registry instead.
+/// Metrics land in the [global registry](Registry::global).
+#[deprecated(note = "use `CrawlOptions::new().run(domains, connector)`")]
 pub fn crawl(
     domains: &[String],
     connector: &dyn Connect,
     config: CrawlConfig,
 ) -> BTreeMap<String, FetchRecord> {
-    crawl_instrumented(domains, connector, config, Registry::global())
+    CrawlOptions::from_config(config).run(domains, connector)
 }
 
 /// Like [`crawl`], recording fetch counts, byte totals, status classes and
 /// per-request latency into `registry` (`net.*` metrics).
+#[deprecated(note = "use `CrawlOptions::new().registry(registry).run(domains, connector)`")]
 pub fn crawl_instrumented(
     domains: &[String],
     connector: &dyn Connect,
     config: CrawlConfig,
     registry: &Registry,
 ) -> BTreeMap<String, FetchRecord> {
-    let metrics = CrawlerMetrics::from_registry(registry);
-    crawl_pool(domains, config, &metrics, |domain| {
-        fetch_domain(connector, domain)
-    })
+    CrawlOptions::from_config(config)
+        .registry(registry)
+        .run(domains, connector)
 }
 
 /// The resilient crawl: each domain is fetched under `retry`, skipping
 /// hosts whose circuit breaker is open, with backoff delays accounted
-/// against `clock`. Records `net.retries_total`,
-/// `net.retry_success_total`, `net.breaker_open_total` and the
-/// `net.backoff_delay_ns` histogram into `registry` alongside the usual
-/// crawl metrics.
-///
-/// Breaker-skipped domains still produce a [`FetchRecord`] (with
-/// `attempts == 0`) and still count toward `net.fetches_total` /
-/// `net.fetch_errors_total`, so coverage arithmetic stays uniform.
+/// against `clock`.
+#[deprecated(
+    note = "use `CrawlOptions::new().retry(retry).breakers(b).clock(clock).registry(registry).run(domains, connector)`"
+)]
 pub fn crawl_resilient(
     domains: &[String],
     connector: &dyn Connect,
@@ -194,58 +355,14 @@ pub fn crawl_resilient(
     clock: &VirtualClock,
     registry: &Registry,
 ) -> BTreeMap<String, FetchRecord> {
-    let metrics = CrawlerMetrics::from_registry(registry);
-    let retry_metrics = RetryMetrics::from_registry(registry);
-    crawl_pool(domains, config, &metrics, |domain| {
-        fetch_domain_resilient(connector, domain, &retry, breakers, clock, &retry_metrics)
-    })
-}
-
-/// The shared worker pool: domains in, records out, results keyed and
-/// ordered by domain so scheduling never changes the dataset.
-fn crawl_pool<F>(
-    domains: &[String],
-    config: CrawlConfig,
-    metrics: &CrawlerMetrics,
-    fetch_one: F,
-) -> BTreeMap<String, FetchRecord>
-where
-    F: Fn(&str) -> FetchRecord + Sync,
-{
-    let concurrency = config.concurrency.max(1).min(domains.len().max(1));
-    let (work_tx, work_rx) = unbounded::<String>();
-    let (done_tx, done_rx) = unbounded::<FetchRecord>();
-    let fetch_one = &fetch_one;
-
-    std::thread::scope(|scope| {
-        for _ in 0..concurrency {
-            let work_rx = work_rx.clone();
-            let done_tx = done_tx.clone();
-            let metrics = metrics.clone();
-            scope.spawn(move || {
-                while let Ok(domain) = work_rx.recv() {
-                    let started = Instant::now();
-                    let record = fetch_one(&domain);
-                    let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                    metrics.record(&record, elapsed_ns);
-                    if done_tx.send(record).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-        drop(done_tx);
-        for d in domains {
-            work_tx.send(d.clone()).expect("workers alive");
-        }
-        drop(work_tx);
-
-        let mut out = BTreeMap::new();
-        for record in done_rx.iter() {
-            out.insert(record.domain.clone(), record);
-        }
-        out
-    })
+    let mut options = CrawlOptions::from_config(config)
+        .retry(retry)
+        .clock(clock)
+        .registry(registry);
+    if let Some(breakers) = breakers {
+        options = options.breakers(breakers);
+    }
+    options.run(domains, connector)
 }
 
 /// Fetches one domain's landing page, folding all failure modes into a
@@ -380,7 +497,7 @@ mod tests {
     fn crawl_covers_every_domain() {
         let net = VirtualNet::new(content_handler());
         let ds = domains(50);
-        let got = crawl(&ds, &net, CrawlConfig { concurrency: 4 });
+        let got = CrawlOptions::new().threads(4).run(&ds, &net);
         assert_eq!(got.len(), 50);
         for d in &ds {
             assert!(got.contains_key(d), "{d} missing");
@@ -391,7 +508,7 @@ mod tests {
     fn status_codes_are_recorded() {
         let net = VirtualNet::new(content_handler());
         let ds = domains(20);
-        let got = crawl(&ds, &net, CrawlConfig::default());
+        let got = CrawlOptions::new().run(&ds, &net);
         assert_eq!(got["site0007.example"].status, Some(403));
         assert_eq!(got["site0001.example"].status, Some(200));
         assert!(got["site0001.example"].is_usable(400));
@@ -405,13 +522,7 @@ mod tests {
         let ds = domains(64);
         let run = |workers: usize, seed: u64| {
             let net = VirtualNet::new(content_handler()).with_faults(FaultPlan::realistic(seed));
-            crawl(
-                &ds,
-                &net,
-                CrawlConfig {
-                    concurrency: workers,
-                },
-            )
+            CrawlOptions::new().threads(workers).run(&ds, &net)
         };
         let a = run(1, 99);
         let b = run(8, 99);
@@ -427,7 +538,7 @@ mod tests {
             connect_fail_permille: 1000, // everything refused
             ..FaultPlan::none()
         });
-        let got = crawl(&domains(10), &net, CrawlConfig::default());
+        let got = CrawlOptions::new().run(&domains(10), &net);
         for (_, rec) in got {
             assert_eq!(rec.status, None);
             assert!(rec.error.is_some());
@@ -446,7 +557,7 @@ mod tests {
             truncate_permille: 1000,
             ..FaultPlan::none()
         });
-        let got = crawl(&domains(40), &net, CrawlConfig::default());
+        let got = CrawlOptions::new().run(&domains(40), &net);
         let failed = got.values().filter(|r| r.error.is_some()).count();
         let succeeded = got.values().filter(|r| r.error.is_none()).count();
         assert!(failed > 0, "some responses must be cut mid-body");
@@ -461,18 +572,16 @@ mod tests {
     #[test]
     fn single_domain_single_worker() {
         let net = VirtualNet::new(content_handler());
-        let got = crawl(
-            &["one.example".to_string()],
-            &net,
-            CrawlConfig { concurrency: 16 },
-        );
+        let got = CrawlOptions::new()
+            .threads(16)
+            .run(&["one.example".to_string()], &net);
         assert_eq!(got.len(), 1);
     }
 
     #[test]
     fn empty_domain_list() {
         let net = VirtualNet::new(content_handler());
-        let got = crawl(&[], &net, CrawlConfig::default());
+        let got = CrawlOptions::new().run(&[], &net);
         assert!(got.is_empty());
     }
 
@@ -481,7 +590,10 @@ mod tests {
         let registry = webvuln_telemetry::Registry::new();
         let net = VirtualNet::new(content_handler());
         let ds = domains(30);
-        let got = crawl_instrumented(&ds, &net, CrawlConfig { concurrency: 4 }, &registry);
+        let got = CrawlOptions::new()
+            .threads(4)
+            .registry(&registry)
+            .run(&ds, &net);
         let blocked = got.values().filter(|r| r.status == Some(403)).count();
         let bytes: u64 = got.values().map(|r| r.body.len() as u64).sum();
 
@@ -496,6 +608,13 @@ mod tests {
         assert_eq!(snap.counter("net.fetch_errors_total"), Some(0));
         let latency = snap.histogram("net.fetch_latency_ns").expect("histogram");
         assert_eq!(latency.count, 30);
+        // The plain path publishes no retry counters, but the executor
+        // always accounts its scheduling.
+        assert_eq!(snap.counter("net.retries_total"), None);
+        assert!(snap.counter("exec.tasks_total").unwrap_or(0) > 0);
+        assert_eq!(snap.gauge("exec.workers"), Some(4));
+        let busy = snap.histogram("exec.worker_busy_ns").expect("histogram");
+        assert_eq!(busy.count, 4, "one busy sample per worker");
     }
 
     #[test]
@@ -508,7 +627,9 @@ mod tests {
                 connect_fail_permille: 1000,
                 ..FaultPlan::none()
             });
-        let got = crawl_instrumented(&domains(12), &net, CrawlConfig::default(), &registry);
+        let got = CrawlOptions::new()
+            .registry(&registry)
+            .run(&domains(12), &net);
         assert_eq!(got.len(), 12);
         let snap = registry.snapshot();
         assert_eq!(snap.counter("net.fetch_errors_total"), Some(12));
@@ -529,22 +650,18 @@ mod tests {
 
         // Single attempt: everything is lost.
         let net = VirtualNet::new(content_handler()).with_faults(plan);
-        let once = crawl_instrumented(&ds, &net, CrawlConfig::default(), &registry);
+        let once = CrawlOptions::new().registry(&registry).run(&ds, &net);
         assert!(once.values().all(|r| r.status.is_none()));
 
         // Two retries out-wait the two-attempt fault: everything heals.
         let registry = webvuln_telemetry::Registry::new();
         let net = VirtualNet::new(content_handler()).with_faults(plan);
         let clock = VirtualClock::new();
-        let got = crawl_resilient(
-            &ds,
-            &net,
-            CrawlConfig::default(),
-            RetryPolicy::standard(2),
-            None,
-            &clock,
-            &registry,
-        );
+        let got = CrawlOptions::new()
+            .retry(RetryPolicy::standard(2))
+            .clock(&clock)
+            .registry(&registry)
+            .run(&ds, &net);
         let usable = got.values().filter(|r| r.is_usable(400)).count();
         let blocked = got.values().filter(|r| r.status == Some(403)).count();
         assert_eq!(usable + blocked, 16, "every host answered after retries");
@@ -572,15 +689,11 @@ mod tests {
         };
         let net = VirtualNet::new(content_handler()).with_faults(plan);
         let registry = webvuln_telemetry::Registry::new();
-        let got = crawl_resilient(
-            &domains(8),
-            &net,
-            CrawlConfig { concurrency: 2 },
-            RetryPolicy::standard(1),
-            None,
-            &VirtualClock::new(),
-            &registry,
-        );
+        let got = CrawlOptions::new()
+            .threads(2)
+            .retry(RetryPolicy::standard(1))
+            .registry(&registry)
+            .run(&domains(8), &net);
         for r in got.values() {
             assert_ne!(r.status, Some(503), "the 503 burst healed");
             assert_eq!(r.attempts, 2);
@@ -600,15 +713,10 @@ mod tests {
         };
         let net = VirtualNet::new(content_handler()).with_faults(plan);
         let registry = webvuln_telemetry::Registry::new();
-        let got = crawl_resilient(
-            &domains(5),
-            &net,
-            CrawlConfig::default(),
-            RetryPolicy::standard(3),
-            None,
-            &VirtualClock::new(),
-            &registry,
-        );
+        let got = CrawlOptions::new()
+            .retry(RetryPolicy::standard(3))
+            .registry(&registry)
+            .run(&domains(5), &net);
         for r in got.values() {
             assert_eq!(r.status, None);
             assert_eq!(r.attempts, 4, "budget exhausted");
@@ -638,15 +746,12 @@ mod tests {
         let clock = VirtualClock::new();
         let round = |registry: &webvuln_telemetry::Registry| {
             let net = VirtualNet::new(content_handler()).with_faults(plan);
-            let got = crawl_resilient(
-                &ds,
-                &net,
-                CrawlConfig { concurrency: 1 },
-                RetryPolicy::none(),
-                Some(&breakers),
-                &clock,
-                registry,
-            );
+            let got = CrawlOptions::new()
+                .threads(1)
+                .breakers(&breakers)
+                .clock(&clock)
+                .registry(registry)
+                .run(&ds, &net);
             breakers.tick_round();
             got
         };
@@ -678,17 +783,12 @@ mod tests {
                 .with_faults(FaultPlan::hostile(77));
             let clock = VirtualClock::new();
             let registry = webvuln_telemetry::Registry::new();
-            let got = crawl_resilient(
-                &ds,
-                &net,
-                CrawlConfig {
-                    concurrency: workers,
-                },
-                RetryPolicy::standard(3),
-                None,
-                &clock,
-                &registry,
-            );
+            let got = CrawlOptions::new()
+                .threads(workers)
+                .retry(RetryPolicy::standard(3))
+                .clock(&clock)
+                .registry(&registry)
+                .run(&ds, &net);
             (got, clock.now_ns())
         };
         let (a, clock_a) = run(1);
@@ -703,20 +803,77 @@ mod tests {
         let plan = FaultPlan::realistic(55);
         let plain = {
             let net = VirtualNet::new(content_handler()).with_faults(plan);
-            crawl(&ds, &net, CrawlConfig::default())
+            CrawlOptions::new().run(&ds, &net)
         };
         let resilient = {
             let net = VirtualNet::new(content_handler()).with_faults(plan);
-            crawl_resilient(
-                &ds,
-                &net,
-                CrawlConfig::default(),
-                RetryPolicy::none(),
-                None,
-                &VirtualClock::new(),
-                &webvuln_telemetry::Registry::new(),
-            )
+            CrawlOptions::new()
+                .clock(&VirtualClock::new())
+                .registry(&webvuln_telemetry::Registry::new())
+                .run(&ds, &net)
         };
         assert_eq!(plain, resilient);
+    }
+
+    /// The nine legacy entry points live on as deprecated shims; this
+    /// module is the only place allowed to call the crawler's three.
+    #[allow(deprecated)]
+    mod legacy_shims {
+        use super::*;
+
+        #[test]
+        fn crawl_matches_the_builder() {
+            let ds = domains(24);
+            let plan = FaultPlan::realistic(7);
+            let via_shim = {
+                let net = VirtualNet::new(content_handler()).with_faults(plan);
+                crawl(&ds, &net, CrawlConfig { concurrency: 4 })
+            };
+            let via_builder = {
+                let net = VirtualNet::new(content_handler()).with_faults(plan);
+                CrawlOptions::new().threads(4).run(&ds, &net)
+            };
+            assert_eq!(via_shim, via_builder);
+        }
+
+        #[test]
+        fn crawl_instrumented_matches_the_builder() {
+            let ds = domains(16);
+            let registry = webvuln_telemetry::Registry::new();
+            let net = VirtualNet::new(content_handler());
+            let via_shim = crawl_instrumented(&ds, &net, CrawlConfig::default(), &registry);
+            assert_eq!(
+                registry.snapshot().counter("net.fetches_total"),
+                Some(16),
+                "shim still instruments"
+            );
+            let via_builder = CrawlOptions::new().run(&ds, &net);
+            assert_eq!(via_shim, via_builder);
+        }
+
+        #[test]
+        fn crawl_resilient_matches_the_builder() {
+            let ds = domains(16);
+            let plan = FaultPlan::hostile(13);
+            let run_shim = || {
+                let net = VirtualNet::new(content_handler()).with_faults(plan);
+                crawl_resilient(
+                    &ds,
+                    &net,
+                    CrawlConfig::default(),
+                    RetryPolicy::standard(2),
+                    None,
+                    &VirtualClock::new(),
+                    &webvuln_telemetry::Registry::new(),
+                )
+            };
+            let run_builder = || {
+                let net = VirtualNet::new(content_handler()).with_faults(plan);
+                CrawlOptions::new()
+                    .retry(RetryPolicy::standard(2))
+                    .run(&ds, &net)
+            };
+            assert_eq!(run_shim(), run_builder());
+        }
     }
 }

@@ -21,23 +21,22 @@
 //!   truncations, in the spirit of smoltcp's example fault injection,
 //!   plus *transient* faults (refusals, stalls, 5xx bursts) that heal
 //!   after a few attempts.
-//! * [`crawl`] — the multi-threaded crawler producing per-domain
-//!   [`FetchRecord`]s with scheduling-independent results.
-//! * [`crawl_resilient`] — the same crawler under a
-//!   [`RetryPolicy`](webvuln_resilience::RetryPolicy) with per-host
-//!   circuit breakers and simulated-time backoff.
+//! * [`CrawlOptions`] — the builder for the work-stealing crawler:
+//!   threads, retry policy, per-host circuit breakers, simulated-time
+//!   backoff and telemetry compose as orthogonal options, producing
+//!   per-domain [`FetchRecord`]s with scheduling-independent results.
 //! * [`filter`] — the paper's inaccessible-domain rule (4xx / <400 bytes
 //!   for the four consecutive final weeks).
 //!
 //! ```
 //! use std::sync::Arc;
-//! use webvuln_net::{crawl, CrawlConfig, Request, Response, VirtualNet};
+//! use webvuln_net::{CrawlOptions, Request, Response, VirtualNet};
 //!
 //! let net = VirtualNet::new(Arc::new(|req: &Request| {
 //!     Response::html(format!("<html>hello {}</html>", req.host().unwrap_or("?")))
 //! }));
 //! let domains = vec!["a.example".to_string(), "b.example".to_string()];
-//! let snapshot = crawl(&domains, &net, CrawlConfig::default());
+//! let snapshot = CrawlOptions::new().threads(2).run(&domains, &net);
 //! assert_eq!(snapshot["a.example"].status, Some(200));
 //! ```
 
@@ -55,8 +54,10 @@ mod server;
 mod transport;
 
 pub use client::{fetch, fetch_once, fetch_with_redirects, MAX_REDIRECTS};
+#[allow(deprecated)]
+pub use crawler::{crawl, crawl_instrumented, crawl_resilient};
 pub use crawler::{
-    crawl, crawl_instrumented, crawl_resilient, fetch_domain, fetch_domain_with_retry, CrawlConfig,
+    fetch_domain, fetch_domain_with_retry, record_exec_stats, CrawlConfig, CrawlOptions,
     FetchRecord,
 };
 pub use error::{ErrorClass, NetError, Result};
@@ -69,6 +70,7 @@ pub use server::{
     roundtrip, serve_connection, Connect, Handler, TcpConnector, TcpServer, VirtualNet,
 };
 pub use transport::{mem_pipe, ByteStream, MemStream};
+pub use webvuln_exec::{ExecStats, Executor};
 pub use webvuln_resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, HostBreakers, RetryPolicy, VirtualClock,
 };

@@ -108,17 +108,25 @@ impl CircuitBreaker {
     }
 }
 
+/// Number of independent shards the host map is split across. A fixed
+/// power of two keeps the `host → shard` mapping a pure function of the
+/// host name alone, so shard membership never depends on map size.
+const BREAKER_SHARDS: usize = 16;
+
 /// A lazily populated map of per-host breakers, shared by the crawler's
 /// worker threads.
 ///
-/// Each host's entry is only ever touched by the worker fetching that
-/// host (the crawler hands every domain to exactly one worker per
-/// round), so the interior mutex serializes map access without making
-/// any outcome schedule-dependent.
+/// The map is split into [`BREAKER_SHARDS`] independently locked shards
+/// keyed by a hash of the host name, so parallel workers fetching
+/// different hosts almost never contend on the same mutex. Each host's
+/// entry is still only ever touched by the worker fetching that host
+/// (the crawler hands every domain to exactly one worker per round), and
+/// shard membership is a pure function of the host name — sharding
+/// changes lock granularity, never any outcome.
 #[derive(Debug)]
 pub struct HostBreakers {
     config: BreakerConfig,
-    hosts: Mutex<BTreeMap<String, CircuitBreaker>>,
+    shards: Vec<Mutex<BTreeMap<String, CircuitBreaker>>>,
 }
 
 impl HostBreakers {
@@ -126,16 +134,23 @@ impl HostBreakers {
     pub fn new(config: BreakerConfig) -> HostBreakers {
         HostBreakers {
             config,
-            hosts: Mutex::new(BTreeMap::new()),
+            shards: (0..BREAKER_SHARDS)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect(),
         }
+    }
+
+    fn shard(&self, host: &str) -> &Mutex<BTreeMap<String, CircuitBreaker>> {
+        let index = (crate::mix(0xb4ea_4e85, host) % BREAKER_SHARDS as u64) as usize;
+        &self.shards[index]
     }
 
     /// Whether `host` may be fetched right now. Hosts with no history
     /// are allowed (their breaker starts closed).
     pub fn allow(&self, host: &str) -> bool {
-        self.hosts
+        self.shard(host)
             .lock()
-            .expect("breaker map lock")
+            .expect("breaker shard lock")
             .get(host)
             .map(CircuitBreaker::allow)
             .unwrap_or(true)
@@ -143,7 +158,7 @@ impl HostBreakers {
 
     /// Records the outcome of a completed fetch against `host`.
     pub fn record(&self, host: &str, success: bool) {
-        let mut hosts = self.hosts.lock().expect("breaker map lock");
+        let mut hosts = self.shard(host).lock().expect("breaker shard lock");
         let breaker = hosts
             .entry(host.to_string())
             .or_insert_with(|| CircuitBreaker::new(self.config));
@@ -156,9 +171,9 @@ impl HostBreakers {
 
     /// The state of `host`'s breaker (closed when never recorded).
     pub fn state(&self, host: &str) -> BreakerState {
-        self.hosts
+        self.shard(host)
             .lock()
-            .expect("breaker map lock")
+            .expect("breaker shard lock")
             .get(host)
             .map(CircuitBreaker::state)
             .unwrap_or(BreakerState::Closed)
@@ -166,19 +181,26 @@ impl HostBreakers {
 
     /// Ends a crawl round: every breaker ticks once.
     pub fn tick_round(&self) {
-        for breaker in self.hosts.lock().expect("breaker map lock").values_mut() {
-            breaker.tick();
+        for shard in &self.shards {
+            for breaker in shard.lock().expect("breaker shard lock").values_mut() {
+                breaker.tick();
+            }
         }
     }
 
     /// Number of breakers currently open.
     pub fn open_count(&self) -> usize {
-        self.hosts
-            .lock()
-            .expect("breaker map lock")
-            .values()
-            .filter(|b| b.state() == BreakerState::Open)
-            .count()
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .expect("breaker shard lock")
+                    .values()
+                    .filter(|b| b.state() == BreakerState::Open)
+                    .count()
+            })
+            .sum()
     }
 }
 
@@ -268,6 +290,45 @@ mod tests {
         assert_eq!(breakers.open_count(), 0);
         breakers.record("bad.example", true);
         assert_eq!(breakers.state("bad.example"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn sharding_keeps_every_host_visible() {
+        // Many hosts, enough to land in every shard: the sharded map
+        // must behave exactly like one big map.
+        let breakers = HostBreakers::new(config(1, 1));
+        let hosts: Vec<String> = (0..200).map(|i| format!("h{i:03}.example")).collect();
+        for (i, host) in hosts.iter().enumerate() {
+            breakers.record(host, i % 2 == 0);
+        }
+        let open = hosts.iter().filter(|h| !breakers.allow(h)).count();
+        assert_eq!(open, 100, "every odd-indexed host tripped its breaker");
+        assert_eq!(breakers.open_count(), 100);
+        breakers.tick_round();
+        assert_eq!(breakers.open_count(), 0, "tick_round reaches all shards");
+        for host in &hosts {
+            assert!(breakers.allow(host), "{host} admits a half-open probe");
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_hosts_never_interfere() {
+        use std::sync::Arc;
+        let breakers = Arc::new(HostBreakers::new(config(2, 1)));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let breakers = Arc::clone(&breakers);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let host = format!("t{t}-h{i}.example");
+                        breakers.record(&host, false);
+                        breakers.record(&host, false);
+                        assert_eq!(breakers.state(&host), BreakerState::Open);
+                    }
+                });
+            }
+        });
+        assert_eq!(breakers.open_count(), 200);
     }
 
     #[test]

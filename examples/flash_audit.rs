@@ -9,7 +9,7 @@
 //! ecosystem that keeps Flash alive (Table 3).
 
 use std::sync::Arc;
-use webvuln::analysis::dataset::{collect_dataset, CollectConfig};
+use webvuln::analysis::dataset::Collector;
 use webvuln::analysis::flash::{flash_eol, flash_usage, script_access_audit};
 use webvuln::core::render_table3;
 use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
@@ -25,7 +25,7 @@ fn main() {
         domain_count: domains,
         timeline: Timeline::paper(),
     }));
-    let data = collect_dataset(&eco, CollectConfig::default());
+    let data = Collector::new().run(&eco).expect("collection").dataset;
 
     let usage = flash_usage(&data);
     println!("Figure 8 — Flash usage over the study");

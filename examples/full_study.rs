@@ -10,7 +10,7 @@
 
 use std::fs;
 use std::path::Path;
-use webvuln::core::{full_report, run_study, series_to_csv, StudyConfig, StudyResults};
+use webvuln::core::{full_report, series_to_csv, Pipeline, StudyConfig, StudyResults};
 use webvuln::webgen::Timeline;
 
 fn main() {
@@ -19,15 +19,14 @@ fn main() {
     let weeks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(201);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
 
-    let config = StudyConfig {
-        seed,
-        domain_count: domains,
-        timeline: Timeline::truncated(weeks),
-        ..StudyConfig::default()
-    };
     eprintln!("running study: {domains} domains x {weeks} weeks (seed {seed}) …");
     let start = std::time::Instant::now();
-    let results = run_study(config);
+    let results = Pipeline::new(StudyConfig::default())
+        .seed(seed)
+        .domains(domains)
+        .timeline(Timeline::truncated(weeks))
+        .run()
+        .expect("study");
     eprintln!("collected + analyzed in {:.1?}", start.elapsed());
 
     println!("{}", full_report(&results));

@@ -10,21 +10,20 @@
 //! fingerprint each landing page, join against the CVE corpus, and
 //! compute the study's headline numbers.
 
-use webvuln::core::{render_headlines, run_study, StudyConfig};
+use webvuln::core::{render_headlines, Pipeline, StudyConfig};
 use webvuln::webgen::Timeline;
 
 fn main() {
-    let config = StudyConfig {
-        seed: 42,
-        domain_count: 1_000,
-        timeline: Timeline::paper(),
-        ..StudyConfig::quick()
-    };
+    let pipeline = Pipeline::new(StudyConfig::quick())
+        .seed(42)
+        .domains(1_000)
+        .timeline(Timeline::paper());
+    let config = pipeline.build();
     eprintln!(
         "crawling {} domains x {} weekly snapshots …",
         config.domain_count, config.timeline.weeks
     );
-    let results = run_study(config);
+    let results = pipeline.run().expect("study");
     println!("{}", render_headlines(&results));
     println!(
         "paper reference: 41.2% vulnerable (CVE), 43.2% (TVV); 531.2-day delay (CVE), \

@@ -7,7 +7,7 @@
 //! cargo run --release --example resume_study -- [domains] [weeks]
 //! ```
 
-use webvuln::core::{full_report, run_study_checkpointed, StudyConfig, Telemetry};
+use webvuln::core::{full_report, Pipeline, StudyConfig, Telemetry};
 use webvuln::store::StoreReader;
 use webvuln::webgen::Timeline;
 
@@ -29,7 +29,11 @@ fn main() {
         store.display()
     );
     let telemetry = Telemetry::new().with_stderr_progress();
-    let full = run_study_checkpointed(config, &telemetry, &store, false).expect("pass 1");
+    let full = Pipeline::new(config)
+        .telemetry(&telemetry)
+        .checkpoint(&store)
+        .run()
+        .expect("pass 1");
 
     // Simulate a crash: tear the store at 40% of its length.
     let bytes = std::fs::read(&store).expect("read store");
@@ -45,7 +49,12 @@ fn main() {
 
     // Pass 2: resume. Intact weeks restore from disk; the rest recrawl.
     let telemetry = Telemetry::new().with_stderr_progress();
-    let resumed = run_study_checkpointed(config, &telemetry, &store, true).expect("pass 2");
+    let resumed = Pipeline::new(config)
+        .telemetry(&telemetry)
+        .checkpoint(&store)
+        .resume(true)
+        .run()
+        .expect("pass 2");
 
     let same = full_report(&full).split("Run telemetry").next()
         == full_report(&resumed).split("Run telemetry").next();

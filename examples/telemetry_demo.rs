@@ -12,7 +12,7 @@
 //! and the `fp.*` fingerprint counters (pages, pattern evaluations,
 //! regex-VM steps, hits per detection source).
 
-use webvuln::core::{render_telemetry, run_study_with, telemetry_json, StudyConfig, Telemetry};
+use webvuln::core::{render_telemetry, telemetry_json, Pipeline, StudyConfig, Telemetry};
 
 fn main() {
     let config = StudyConfig::quick();
@@ -21,7 +21,10 @@ fn main() {
         config.domain_count, config.timeline.weeks
     );
     let telemetry = Telemetry::new().with_stderr_progress();
-    let results = run_study_with(config, &telemetry);
+    let results = Pipeline::new(config)
+        .telemetry(&telemetry)
+        .run()
+        .expect("study");
 
     println!("{}", render_telemetry(&results));
     println!("machine-readable snapshot:");

@@ -1,12 +1,12 @@
 //! The `webvuln` command-line interface.
 //!
 //! ```text
-//! webvuln study   [--domains N] [--weeks N] [--seed N] [--csv DIR]
+//! webvuln study   [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
 //!                 [--retries N] [--fault-profile none|realistic|hostile]
 //!                 [--carry-forward] [--store FILE [--resume]] [--progress]
 //!                 [--telemetry [FILE]]
 //! webvuln validate [REPORT_ID]
-//! webvuln crawl   [--domains N] [--week N] [--retries N]
+//! webvuln crawl   [--domains N] [--week N] [--retries N] [--threads N]
 //!                 [--fault-profile none|realistic|hostile] [--tcp] [--telemetry]
 //! webvuln inspect <FILE.html> [--domain HOST]
 //! webvuln store   info|verify|export-json <FILE.wvstore>
@@ -14,15 +14,12 @@
 
 use std::sync::Arc;
 use webvuln::analysis::Dataset;
-use webvuln::core::{
-    full_report, run_study_checkpointed, run_study_with, series_to_csv, telemetry_json,
-    StudyConfig, Telemetry,
-};
+use webvuln::core::{full_report, series_to_csv, telemetry_json, Pipeline, StudyConfig, Telemetry};
 use webvuln::cvedb::{Accuracy, Basis, VulnDb};
 use webvuln::fingerprint::Engine;
 use webvuln::net::{
-    crawl_instrumented, crawl_resilient, BreakerConfig, CrawlConfig, FaultPlan, RetryPolicy,
-    TcpConnector, TcpServer, VirtualClock, VirtualNet,
+    BreakerConfig, CrawlOptions, FaultPlan, RetryPolicy, TcpConnector, TcpServer, VirtualClock,
+    VirtualNet,
 };
 use webvuln::poclab::Lab;
 use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
@@ -50,14 +47,14 @@ fn print_help() {
         "webvuln — longitudinal measurement toolkit for vulnerable client-side resources
 
 USAGE:
-  webvuln study    [--domains N] [--weeks N] [--seed N] [--csv DIR]
+  webvuln study    [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
                    [--retries N] [--fault-profile none|realistic|hostile]
                    [--carry-forward] [--store FILE [--resume]] [--progress]
                    [--telemetry [FILE]]
                    run the full study and print every table/figure
   webvuln validate [REPORT_ID]
                    run the §6.4 version-validation experiment
-  webvuln crawl    [--domains N] [--week N] [--retries N]
+  webvuln crawl    [--domains N] [--week N] [--retries N] [--threads N]
                    [--fault-profile none|realistic|hostile] [--tcp] [--telemetry]
                    crawl one snapshot week and summarize detections
   webvuln inspect  FILE.html [--domain HOST]
@@ -68,6 +65,9 @@ USAGE:
                                      convert a finalized store to Dataset JSON
 
 FLAGS:
+  --threads N        worker threads for the crawl and fingerprint pools
+                     (0 = one per CPU core); results are byte-identical
+                     for every thread count
   --retries N        retry failed fetches up to N times with exponential
                      backoff and per-host circuit breakers
   --fault-profile P  injected network faults: none, realistic (default),
@@ -124,10 +124,12 @@ fn cmd_study(args: &[String]) {
     let weeks = flag_usize(args, "--weeks", 201);
     let seed = flag_usize(args, "--seed", 42) as u64;
     let retries = flag_usize(args, "--retries", 0) as u32;
+    let threads = flag_usize(args, "--threads", StudyConfig::default().concurrency);
     let config = StudyConfig {
         seed,
         domain_count: domains,
         timeline: Timeline::truncated(weeks),
+        concurrency: threads,
         faults: fault_profile_flag(args, seed),
         retry: if retries > 0 {
             RetryPolicy::standard(retries)
@@ -143,22 +145,24 @@ fn cmd_study(args: &[String]) {
         telemetry = telemetry.with_stderr_progress();
     }
     eprintln!("study: {domains} domains x {weeks} weeks (seed {seed})");
-    let results = match flag(args, "--store") {
-        Some(store_path) => {
-            let resume = args.iter().any(|a| a == "--resume");
-            let path = std::path::PathBuf::from(store_path);
-            match run_study_checkpointed(config, &telemetry, &path, resume) {
-                Ok(results) => {
-                    eprintln!("snapshot store committed to {}", path.display());
-                    results
-                }
-                Err(e) => {
-                    eprintln!("snapshot store error: {e}");
-                    std::process::exit(1);
-                }
+    let mut pipeline = Pipeline::new(config).telemetry(&telemetry);
+    let store = flag(args, "--store").map(std::path::PathBuf::from);
+    if let Some(path) = &store {
+        pipeline = pipeline
+            .checkpoint(path)
+            .resume(args.iter().any(|a| a == "--resume"));
+    }
+    let results = match pipeline.run() {
+        Ok(results) => {
+            if let Some(path) = &store {
+                eprintln!("snapshot store committed to {}", path.display());
             }
+            results
         }
-        None => run_study_with(config, &telemetry),
+        Err(e) => {
+            eprintln!("snapshot store error: {e}");
+            std::process::exit(1);
+        }
     };
     {
         let snap = &results.telemetry;
@@ -284,30 +288,28 @@ fn cmd_crawl(args: &[String]) {
     }));
     let names = eco.domain_names();
     let snapshot = if use_tcp {
+        let threads = flag_usize(args, "--threads", 16);
         let mut server = TcpServer::start(Arc::new(eco.handler(week))).expect("bind");
         eprintln!("crawling over TCP via {}", server.addr());
-        let got = crawl_instrumented(
-            &names,
-            &TcpConnector::fixed(server.addr()),
-            CrawlConfig { concurrency: 16 },
-            registry,
-        );
+        let got = CrawlOptions::new()
+            .threads(threads)
+            .registry(registry)
+            .run(&names, &TcpConnector::fixed(server.addr()));
         server.shutdown();
         got
     } else {
+        let threads = flag_usize(args, "--threads", 8);
         let net = VirtualNet::new(Arc::new(eco.handler(week)))
             .with_fault_metrics(registry)
             .with_week(week)
             .with_faults(fault_profile_flag(args, 42));
-        crawl_resilient(
-            &names,
-            &net,
-            CrawlConfig { concurrency: 8 },
-            RetryPolicy::standard(retries),
-            None,
-            &VirtualClock::new(),
-            registry,
-        )
+        let clock = VirtualClock::new();
+        CrawlOptions::new()
+            .threads(threads)
+            .retry(RetryPolicy::standard(retries))
+            .clock(&clock)
+            .registry(registry)
+            .run(&names, &net)
     };
     let recovered = snapshot.values().filter(|r| r.recovered).count();
     if recovered > 0 {

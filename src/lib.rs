@@ -26,9 +26,12 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use webvuln::core::{run_study, full_report, StudyConfig};
+//! use webvuln::core::{full_report, Pipeline, StudyConfig};
 //!
-//! let results = run_study(StudyConfig::quick());
+//! let results = Pipeline::new(StudyConfig::quick())
+//!     .threads(8)
+//!     .run()
+//!     .expect("study");
 //! println!("{}", full_report(&results));
 //! ```
 

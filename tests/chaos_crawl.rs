@@ -9,11 +9,12 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use webvuln::analysis::dataset::{collect_dataset, collect_dataset_with, CollectConfig};
-use webvuln::core::{full_report, run_study_checkpointed, run_study_with, StudyConfig, Telemetry};
+use webvuln::analysis::dataset::{CollectConfig, Collector};
+use webvuln::analysis::Dataset;
+use webvuln::core::{full_report, Pipeline, StudyConfig, Telemetry};
 use webvuln::net::{
-    crawl_resilient, BreakerConfig, CrawlConfig, FaultPlan, Request, Response, RetryPolicy,
-    VirtualClock, VirtualNet,
+    BreakerConfig, CrawlOptions, FaultPlan, Request, Response, RetryPolicy, VirtualClock,
+    VirtualNet,
 };
 use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
 
@@ -25,7 +26,22 @@ fn ecosystem(seed: u64, domains: usize, weeks: usize) -> Arc<Ecosystem> {
     }))
 }
 
-fn usable_pages(dataset: &webvuln::analysis::Dataset) -> Vec<BTreeSet<String>> {
+fn collect(eco: &Arc<Ecosystem>, config: CollectConfig) -> Dataset {
+    Collector::from_config(config)
+        .run(eco)
+        .expect("collection")
+        .dataset
+}
+
+fn collect_with(eco: &Arc<Ecosystem>, config: CollectConfig, telemetry: &Telemetry) -> Dataset {
+    Collector::from_config(config)
+        .telemetry(telemetry)
+        .run(eco)
+        .expect("collection")
+        .dataset
+}
+
+fn usable_pages(dataset: &Dataset) -> Vec<BTreeSet<String>> {
     dataset
         .weeks
         .iter()
@@ -37,14 +53,14 @@ fn usable_pages(dataset: &webvuln::analysis::Dataset) -> Vec<BTreeSet<String>> {
 fn retries_recover_strictly_more_than_a_single_attempt() {
     let eco = ecosystem(4_242, 250, 5);
     let hostile = FaultPlan::hostile(4_242);
-    let single = collect_dataset(
+    let single = collect(
         &eco,
         CollectConfig {
             faults: hostile,
             ..CollectConfig::default()
         },
     );
-    let retried = collect_dataset(
+    let retried = collect(
         &eco,
         CollectConfig {
             faults: hostile,
@@ -84,8 +100,8 @@ fn chaos_crawl_is_identical_across_concurrency() {
         carry_forward: true,
         ..CollectConfig::default()
     };
-    let serial = collect_dataset(&eco, config(1));
-    let parallel = collect_dataset(&eco, config(8));
+    let serial = collect(&eco, config(1));
+    let parallel = collect(&eco, config(8));
     assert_eq!(serial.ranks, parallel.ranks);
     assert_eq!(serial.filtered_out, parallel.filtered_out);
     assert_eq!(serial.weeks.len(), parallel.weeks.len());
@@ -122,15 +138,13 @@ fn retry_counters_match_the_injected_plan_exactly() {
         .with_fault_metrics(registry)
         .with_week(week)
         .with_faults(plan);
-    let records = crawl_resilient(
-        &names,
-        &net,
-        CrawlConfig { concurrency: 8 },
-        RetryPolicy::standard(2),
-        None,
-        &VirtualClock::new(),
-        registry,
-    );
+    let clock = VirtualClock::new();
+    let records = CrawlOptions::new()
+        .threads(8)
+        .retry(RetryPolicy::standard(2))
+        .clock(&clock)
+        .registry(registry)
+        .run(&names, &net);
 
     let recovered = records.values().filter(|r| r.recovered).count() as u64;
     assert_eq!(recovered, afflicted);
@@ -150,7 +164,7 @@ fn carry_forward_counter_covers_the_dataset_ground_truth() {
     // down for the whole week and their last usable snapshot is carried.
     let eco = ecosystem(4_245, 200, 7);
     let telemetry = Telemetry::new();
-    let dataset = collect_dataset_with(
+    let dataset = collect_with(
         &eco,
         CollectConfig {
             faults: FaultPlan {
@@ -203,14 +217,18 @@ fn store_resumes_cleanly_mid_retry_storm() {
         ..StudyConfig::default()
     };
     let analysis_part = |report: &str| report.split("Run telemetry").next().unwrap().to_string();
-    let baseline = analysis_part(&full_report(&run_study_with(config, &Telemetry::new())));
+    let baseline = analysis_part(&full_report(
+        &Pipeline::new(config).run().expect("baseline"),
+    ));
 
     let store = std::env::temp_dir().join(format!(
         "webvuln-chaos-resume-{}.wvstore",
         std::process::id()
     ));
     let _ = std::fs::remove_file(&store);
-    let clean = run_study_checkpointed(config, &Telemetry::new(), &store, false)
+    let clean = Pipeline::new(config)
+        .checkpoint(&store)
+        .run()
         .expect("uninterrupted checkpointed run");
     assert_eq!(baseline, analysis_part(&full_report(&clean)));
     let reference_bytes = std::fs::read(&store).expect("read reference store");
@@ -220,8 +238,11 @@ fn store_resumes_cleanly_mid_retry_storm() {
     // restored weeks for the continuation to match.
     let cut = reference_bytes.len() * 6 / 10;
     std::fs::write(&store, &reference_bytes[..cut]).expect("write torn store");
-    let resumed =
-        run_study_checkpointed(config, &Telemetry::new(), &store, true).expect("resume after kill");
+    let resumed = Pipeline::new(config)
+        .checkpoint(&store)
+        .resume(true)
+        .run()
+        .expect("resume after kill");
     assert_eq!(
         baseline,
         analysis_part(&full_report(&resumed)),
@@ -229,5 +250,110 @@ fn store_resumes_cleanly_mid_retry_storm() {
     );
     let healed = std::fs::read(&store).expect("read healed store");
     assert_eq!(healed, reference_bytes, "healed store bytes must match");
+    let _ = std::fs::remove_file(&store);
+}
+
+/// The tentpole determinism contract: the same study at 1, 2, and 8
+/// threads produces an identical dataset, byte-identical store files,
+/// and an identical analysis report — under the hostile fault profile
+/// with retries, where scheduling races would show up first.
+#[test]
+fn study_is_byte_identical_across_threads() {
+    let config = |threads| StudyConfig {
+        seed: 4_247,
+        domain_count: 70,
+        timeline: Timeline::truncated(4),
+        concurrency: threads,
+        faults: FaultPlan::hostile(4_247),
+        retry: RetryPolicy::standard(2),
+        ..StudyConfig::default()
+    };
+    let analysis_part = |report: &str| report.split("Run telemetry").next().unwrap().to_string();
+    let run = |threads: usize| {
+        let store = std::env::temp_dir().join(format!(
+            "webvuln-thread-matrix-{threads}-{}.wvstore",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&store);
+        let results = Pipeline::new(config(threads))
+            .checkpoint(&store)
+            .run()
+            .expect("study");
+        let bytes = std::fs::read(&store).expect("read store");
+        let _ = std::fs::remove_file(&store);
+        (results, bytes)
+    };
+    let (one, store_one) = run(1);
+    let report_one = analysis_part(&full_report(&one));
+    for threads in [2, 8] {
+        let (many, store_many) = run(threads);
+        assert_eq!(
+            store_one, store_many,
+            "store bytes differ at {threads} threads"
+        );
+        assert_eq!(
+            report_one,
+            analysis_part(&full_report(&many)),
+            "analysis report differs at {threads} threads"
+        );
+        assert_eq!(one.dataset.ranks, many.dataset.ranks);
+        assert_eq!(one.dataset.filtered_out, many.dataset.filtered_out);
+        for (a, b) in one.dataset.weeks.iter().zip(&many.dataset.weeks) {
+            assert_eq!(a.pages, b.pages, "week {} at {threads} threads", a.week);
+            assert_eq!(a.summaries, b.summaries);
+            assert_eq!(a.carried_forward, b.carried_forward);
+        }
+    }
+}
+
+/// Kill/resume under parallelism: a single-threaded checkpointed run is
+/// the reference; an 8-thread run killed mid-collection (store torn at an
+/// arbitrary byte) and resumed on 8 threads must heal the store to the
+/// reference bytes and reproduce the reference analysis.
+#[test]
+fn torn_store_resumes_identically_under_parallelism() {
+    let config = |threads| StudyConfig {
+        seed: 4_248,
+        domain_count: 60,
+        timeline: Timeline::truncated(5),
+        concurrency: threads,
+        faults: FaultPlan::hostile(4_248),
+        retry: RetryPolicy::standard(2),
+        breaker: Some(BreakerConfig::default()),
+        carry_forward: true,
+        ..StudyConfig::default()
+    };
+    let analysis_part = |report: &str| report.split("Run telemetry").next().unwrap().to_string();
+    let store = std::env::temp_dir().join(format!(
+        "webvuln-parallel-resume-{}.wvstore",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&store);
+
+    let reference = Pipeline::new(config(1))
+        .checkpoint(&store)
+        .run()
+        .expect("single-threaded reference");
+    let reference_bytes = std::fs::read(&store).expect("read reference store");
+    let baseline = analysis_part(&full_report(&reference));
+
+    // Kill an 8-thread run mid-collection: tear at 55% of the store.
+    let cut = reference_bytes.len() * 55 / 100;
+    std::fs::write(&store, &reference_bytes[..cut]).expect("write torn store");
+    let resumed = Pipeline::new(config(8))
+        .checkpoint(&store)
+        .resume(true)
+        .run()
+        .expect("parallel resume");
+    assert_eq!(
+        baseline,
+        analysis_part(&full_report(&resumed)),
+        "parallel resume must reproduce the single-threaded analysis"
+    );
+    let healed = std::fs::read(&store).expect("read healed store");
+    assert_eq!(
+        healed, reference_bytes,
+        "parallel resume must heal the store to the single-threaded bytes"
+    );
     let _ = std::fs::remove_file(&store);
 }

@@ -3,7 +3,7 @@
 //! the paper section it checks.
 
 use std::sync::OnceLock;
-use webvuln::core::{run_study, StudyConfig, StudyResults};
+use webvuln::core::{Pipeline, StudyConfig, StudyResults};
 use webvuln::cvedb::{Accuracy, Date, LibraryId};
 use webvuln::net::FaultPlan;
 use webvuln::webgen::Timeline;
@@ -11,7 +11,7 @@ use webvuln::webgen::Timeline;
 fn study() -> &'static StudyResults {
     static RESULTS: OnceLock<StudyResults> = OnceLock::new();
     RESULTS.get_or_init(|| {
-        run_study(StudyConfig {
+        Pipeline::new(StudyConfig {
             seed: 7_777,
             domain_count: 900,
             timeline: Timeline::paper(),
@@ -19,6 +19,8 @@ fn study() -> &'static StudyResults {
             faults: FaultPlan::realistic(7_777),
             ..StudyConfig::default()
         })
+        .run()
+        .expect("study")
     })
 }
 

@@ -6,10 +6,17 @@
 //! path a valid stand-in for the socket path.
 
 use std::sync::Arc;
-use webvuln::analysis::dataset::{collect_dataset, CollectConfig};
+use webvuln::analysis::dataset::{CollectConfig, Collector, Dataset};
 use webvuln::fingerprint::Engine;
-use webvuln::net::{crawl, CrawlConfig, FaultPlan, TcpConnector, TcpServer, VirtualNet};
+use webvuln::net::{CrawlOptions, FaultPlan, TcpConnector, TcpServer, VirtualNet};
 use webvuln::webgen::{Ecosystem, EcosystemConfig, PageOutcome, Timeline};
+
+fn collect(eco: &Arc<Ecosystem>, config: CollectConfig) -> Dataset {
+    Collector::from_config(config)
+        .run(eco)
+        .expect("collection")
+        .dataset
+}
 
 fn ecosystem(domains: usize, weeks: usize) -> Arc<Ecosystem> {
     Arc::new(Ecosystem::generate(EcosystemConfig {
@@ -26,11 +33,11 @@ fn tcp_and_virtual_transports_agree() {
     let names = eco.domain_names();
 
     let virtual_net = VirtualNet::new(Arc::new(eco.handler(week)));
-    let via_memory = crawl(&names, &virtual_net, CrawlConfig { concurrency: 4 });
+    let via_memory = CrawlOptions::new().threads(4).run(&names, &virtual_net);
 
     let mut server = TcpServer::start(Arc::new(eco.handler(week))).expect("bind");
     let connector = TcpConnector::fixed(server.addr());
-    let via_tcp = crawl(&names, &connector, CrawlConfig { concurrency: 8 });
+    let via_tcp = CrawlOptions::new().threads(8).run(&names, &connector);
     server.shutdown();
 
     assert_eq!(via_memory.len(), via_tcp.len());
@@ -55,7 +62,7 @@ fn fingerprints_survive_the_wire() {
         chunked_permille: 1000, // force the chunked encoder everywhere
         ..FaultPlan::none()
     });
-    let snapshot = crawl(&names, &net, CrawlConfig { concurrency: 4 });
+    let snapshot = CrawlOptions::new().threads(4).run(&names, &net);
     let engine = Engine::new();
     let mut compared = 0;
     for (domain, record) in &snapshot {
@@ -74,8 +81,8 @@ fn fingerprints_survive_the_wire() {
 #[test]
 fn faults_shrink_but_do_not_corrupt_the_dataset() {
     let eco = ecosystem(300, 6);
-    let clean = collect_dataset(&eco, CollectConfig::default());
-    let faulty = collect_dataset(
+    let clean = collect(&eco, CollectConfig::default());
+    let faulty = collect(
         &eco,
         CollectConfig {
             concurrency: 4,
@@ -109,8 +116,8 @@ fn dataset_scales_linearly_in_shape() {
     use webvuln::analysis::landscape::table1;
     use webvuln::cvedb::{LibraryId, VulnDb};
     let db = VulnDb::builtin();
-    let small = collect_dataset(&ecosystem(400, 3), CollectConfig::default());
-    let large = collect_dataset(
+    let small = collect(&ecosystem(400, 3), CollectConfig::default());
+    let large = collect(
         &Arc::new(Ecosystem::generate(EcosystemConfig {
             seed: 31_337,
             domain_count: 1_200,

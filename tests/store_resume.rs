@@ -3,7 +3,7 @@
 //! semantics must produce the exact same analysis output — and the exact
 //! same store bytes — as an uninterrupted run.
 
-use webvuln::core::{full_report, run_study_checkpointed, run_study_with, StudyConfig, Telemetry};
+use webvuln::core::{full_report, Pipeline, StudyConfig, Telemetry};
 use webvuln::webgen::Timeline;
 
 fn config() -> StudyConfig {
@@ -33,12 +33,16 @@ fn analysis_part(report: &str) -> &str {
 
 #[test]
 fn killed_and_resumed_study_matches_the_uninterrupted_run() {
-    let baseline = full_report(&run_study_with(config(), &Telemetry::new()));
+    let baseline = full_report(&Pipeline::new(config()).run().expect("baseline"));
 
     // An uninterrupted checkpointed run: same analysis output, and the
     // reference store bytes.
     let clean_store = temp_store("clean");
-    let clean = run_study_checkpointed(config(), &Telemetry::new(), &clean_store, false)
+    let telemetry = Telemetry::new();
+    let clean = Pipeline::new(config())
+        .telemetry(&telemetry)
+        .checkpoint(&clean_store)
+        .run()
         .expect("uninterrupted checkpointed run");
     assert_eq!(
         analysis_part(&baseline),
@@ -55,7 +59,10 @@ fn killed_and_resumed_study_matches_the_uninterrupted_run() {
 
     // Resume: restores intact weeks, truncates the torn tail, recrawls the
     // rest, finalizes.
-    let resumed = run_study_checkpointed(config(), &Telemetry::new(), &torn_store, true)
+    let resumed = Pipeline::new(config())
+        .checkpoint(&torn_store)
+        .resume(true)
+        .run()
         .expect("resume after kill");
     assert_eq!(
         analysis_part(&baseline),
@@ -70,7 +77,10 @@ fn killed_and_resumed_study_matches_the_uninterrupted_run() {
 
     // A second resume on the now-complete store crawls nothing and still
     // reproduces the analysis.
-    let restored = run_study_checkpointed(config(), &Telemetry::new(), &torn_store, true)
+    let restored = Pipeline::new(config())
+        .checkpoint(&torn_store)
+        .resume(true)
+        .run()
         .expect("resume on complete store");
     assert_eq!(
         analysis_part(&baseline),

@@ -3,9 +3,9 @@
 //! actually did, and a study run must time every phase.
 
 use std::sync::Arc;
-use webvuln::analysis::dataset::{collect_dataset_with, CollectConfig};
-use webvuln::core::{run_study_with, telemetry_json, StudyConfig};
-use webvuln::net::{crawl_instrumented, CrawlConfig, FaultPlan, VirtualNet};
+use webvuln::analysis::dataset::{CollectConfig, Collector};
+use webvuln::core::{telemetry_json, Pipeline, StudyConfig};
+use webvuln::net::{CrawlOptions, FaultPlan, VirtualNet};
 use webvuln::net::{Request, Response};
 use webvuln::telemetry::{Registry, Telemetry};
 use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
@@ -24,7 +24,11 @@ fn crawler_fetch_count_equals_dataset_page_count() {
     let weeks = 4;
     let eco = ecosystem(domains, weeks);
     let telemetry = Telemetry::new();
-    let dataset = collect_dataset_with(&eco, CollectConfig::default(), &telemetry);
+    let dataset = Collector::from_config(CollectConfig::default())
+        .telemetry(&telemetry)
+        .run(&eco)
+        .expect("collection")
+        .dataset;
 
     // Every domain is attempted every week, regardless of filtering.
     let snap = telemetry.snapshot();
@@ -66,7 +70,7 @@ fn fault_counters_match_the_injected_plan() {
     let net = VirtualNet::new(handler)
         .with_fault_metrics(&registry)
         .with_faults(plan);
-    let records = crawl_instrumented(&names, &net, CrawlConfig::default(), &registry);
+    let records = CrawlOptions::new().registry(&registry).run(&names, &net);
 
     let snap = registry.snapshot();
     assert_eq!(
@@ -105,7 +109,7 @@ fn truncation_counter_counts_only_cuts_that_bite() {
     let net = VirtualNet::new(handler)
         .with_fault_metrics(&registry)
         .with_faults(plan);
-    let _ = crawl_instrumented(&names, &net, CrawlConfig::default(), &registry);
+    let _ = CrawlOptions::new().registry(&registry).run(&names, &net);
 
     let snap = registry.snapshot();
     assert_eq!(
@@ -120,7 +124,10 @@ fn quick_study_times_all_five_phases_and_renders_json() {
     config.domain_count = 120;
     config.timeline = Timeline::truncated(5);
     let telemetry = Telemetry::new();
-    let results = run_study_with(config, &telemetry);
+    let results = Pipeline::new(config)
+        .telemetry(&telemetry)
+        .run()
+        .expect("study");
 
     let snap = &results.telemetry;
     for phase in ["generate", "crawl", "fingerprint", "join", "analyze"] {
