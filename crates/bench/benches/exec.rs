@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
-use webvuln_net::{ByteStream, Connect, CrawlOptions, NetError, VirtualNet};
+use webvuln_net::{ByteStream, Connect, CrawlOptions, NetError, SuperviseConfig, VirtualNet};
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 
 const DOMAINS: usize = 200;
@@ -77,5 +77,52 @@ fn crawl_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, crawl_scaling);
+/// Supervision ablation on the fault-free path: the same crawl plain and
+/// under `SuperviseConfig` (per-task `catch_unwind`, virtual deadline
+/// accounting, stall watchdog, and the unarmed `exec.task`/`crawl.fetch`
+/// fail-point probes — a single relaxed atomic load each). The deltas
+/// are recorded in `BENCH_supervise.json`; the acceptance threshold is
+/// that containment costs noise, not throughput.
+fn supervise_ablation(c: &mut Criterion) {
+    let (eco, names) = fixture();
+    let net = SlowConnector {
+        inner: VirtualNet::new(Arc::new(eco.handler(2))),
+        rtt: Duration::from_micros(RTT_US),
+    };
+    let mut group = c.benchmark_group("supervise_ablation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(DOMAINS as u64));
+    for threads in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("unsupervised", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        CrawlOptions::new()
+                            .threads(threads)
+                            .run(black_box(names), &net),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("supervised", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        CrawlOptions::new()
+                            .threads(threads)
+                            .supervise(SuperviseConfig::new())
+                            .run_contained(black_box(names), &net),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, crawl_scaling, supervise_ablation);
 criterion_main!(benches);

@@ -330,6 +330,38 @@ pub fn render_resilience(results: &StudyResults) -> String {
     out
 }
 
+/// Renders the failure-containment summary: how many supervised tasks
+/// panicked, how many blew their virtual deadline, the total quarantined
+/// (each one degraded to a down-domain instead of aborting the run), and
+/// how many wall-clock stalls the watchdog flagged.
+pub fn render_containment(results: &StudyResults) -> String {
+    let snap = &results.telemetry;
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "Failure containment");
+    let _ = writeln!(
+        out,
+        "  panicking tasks:            {}",
+        counter("exec.panics_total")
+    );
+    let _ = writeln!(
+        out,
+        "  deadline-exceeded tasks:    {}",
+        counter("exec.deadline_exceeded_total")
+    );
+    let _ = writeln!(
+        out,
+        "  quarantined (total):        {}",
+        counter("exec.quarantined_total")
+    );
+    let _ = writeln!(
+        out,
+        "  watchdog-flagged stalls:    {}",
+        counter("exec.stalls_total")
+    );
+    out
+}
+
 /// Renders the parallel-execution summary: pool size, executor tasks,
 /// work-steal count, and per-worker busy time from the `exec.*` metrics
 /// the work-stealing executor records.
@@ -385,6 +417,8 @@ pub fn full_report(results: &StudyResults) -> String {
     out.push_str(&render_telemetry(results));
     out.push('\n');
     out.push_str(&render_resilience(results));
+    out.push('\n');
+    out.push_str(&render_containment(results));
     out.push('\n');
     out.push_str(&render_parallelism(results));
     out
@@ -455,7 +489,22 @@ mod tests {
         assert!(report.contains("Table 6"));
         assert!(report.contains("Run telemetry"));
         assert!(report.contains("Crawl resilience"));
+        assert!(report.contains("Failure containment"));
         assert!(report.contains("Parallel execution"));
+        // The containment section sits after the telemetry block, so
+        // report prefixes split at "Run telemetry" stay comparable
+        // across runs whose only difference is quarantine counts.
+        assert!(
+            report.find("Run telemetry").unwrap() < report.find("Failure containment").unwrap()
+        );
+    }
+
+    #[test]
+    fn containment_summary_renders_counters() {
+        let r = results();
+        let text = render_containment(r);
+        assert!(text.contains("panicking tasks"), "{text}");
+        assert!(text.contains("quarantined (total):        0"), "{text}");
     }
 
     #[test]

@@ -26,10 +26,37 @@ use webvuln_analysis::vuln::{
 };
 use webvuln_analysis::wordpress::{table4, WordPressCveRow};
 use webvuln_cvedb::{Basis, VulnDb};
+use webvuln_exec::SuperviseConfig;
 use webvuln_net::{BreakerConfig, FaultPlan, RetryPolicy};
 use webvuln_poclab::{Lab, ValidationReport};
 use webvuln_telemetry::{Snapshot, Telemetry};
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+/// Fail-point sites owned by this crate: the three study phases that run
+/// outside the weekly collection loop.
+///
+/// - `phase.generate` — fires before the synthetic web is generated.
+/// - `phase.join` — fires before the CVE join (after collection, so the
+///   store is already finalized when it crashes a checkpointed run).
+/// - `phase.analyze` — fires before the table/figure build.
+pub const FAILPOINTS: &[&str] = &["phase.generate", "phase.join", "phase.analyze"];
+
+/// The full fail-point catalog: every site registered anywhere in the
+/// workspace, sorted and deduplicated. The chaos harness enumerates this
+/// to prove crash-recovery at each site; it covers the store writer, the
+/// checkpoint commit loop, the exec worker loop, the per-domain fetch,
+/// and all five study phases.
+pub fn failpoint_catalog() -> Vec<&'static str> {
+    let mut sites: Vec<&'static str> = Vec::new();
+    sites.extend_from_slice(webvuln_exec::FAILPOINTS);
+    sites.extend_from_slice(webvuln_net::FAILPOINTS);
+    sites.extend_from_slice(webvuln_store::FAILPOINTS);
+    sites.extend_from_slice(webvuln_analysis::FAILPOINTS);
+    sites.extend_from_slice(FAILPOINTS);
+    sites.sort_unstable();
+    sites.dedup();
+    sites
+}
 
 /// Configuration of a full study run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +78,13 @@ pub struct StudyConfig {
     pub breaker: Option<BreakerConfig>,
     /// Carry a domain's last usable snapshot through weeks it is down.
     pub carry_forward: bool,
+    /// Supervised execution (default: off — a panicking task aborts the
+    /// run). When set, every crawl and fingerprint task runs under panic
+    /// containment and a virtual deadline; failures are quarantined as
+    /// down-domains, and the run fails only once quarantined tasks
+    /// exceed `supervise.max_failures` (the `--max-task-failures`
+    /// budget).
+    pub supervise: Option<SuperviseConfig>,
 }
 
 impl Default for StudyConfig {
@@ -64,6 +98,7 @@ impl Default for StudyConfig {
             retry: RetryPolicy::none(),
             breaker: None,
             carry_forward: false,
+            supervise: None,
         }
     }
 }
@@ -237,6 +272,25 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Runs crawl and fingerprint tasks under supervision: panicking or
+    /// over-deadline tasks are quarantined as down-domains (eligible for
+    /// [`carry_forward`](Pipeline::carry_forward)) instead of aborting
+    /// the study.
+    pub fn supervise(mut self, supervise: SuperviseConfig) -> Self {
+        self.config.supervise = Some(supervise);
+        self
+    }
+
+    /// Convenience for the CLI's `--max-task-failures N`: enables
+    /// supervision (if not already configured) with a quarantine budget
+    /// of `budget` tasks. Exceeding the budget fails the run with
+    /// [`StoreError::FailureBudgetExceeded`].
+    pub fn max_task_failures(mut self, budget: u64) -> Self {
+        let supervise = self.config.supervise.unwrap_or_default();
+        self.config.supervise = Some(supervise.max_failures(budget));
+        self
+    }
+
     /// Records metrics, per-phase spans
     /// (`generate`/`crawl`/`fingerprint`/`join`/`analyze`), and progress
     /// events through `telemetry`. Without this, telemetry goes to a
@@ -271,9 +325,10 @@ impl<'a> Pipeline<'a> {
         self.config
     }
 
-    /// Runs the full study. Only the checkpointed path can fail; a
-    /// pipeline without [`checkpoint`](Pipeline::checkpoint) always
-    /// returns `Ok`.
+    /// Runs the full study. A pipeline without
+    /// [`checkpoint`](Pipeline::checkpoint) fails only under
+    /// [`supervise`](Pipeline::supervise), when quarantined tasks exceed
+    /// the failure budget.
     pub fn run(&self) -> Result<StudyResults, StoreError> {
         let fallback;
         let telemetry = match self.telemetry {
@@ -286,6 +341,7 @@ impl<'a> Pipeline<'a> {
         let config = self.config;
         let ecosystem = {
             let _span = telemetry.span("generate");
+            let _ = webvuln_failpoint::hit("phase.generate", "");
             Arc::new(Ecosystem::generate(EcosystemConfig {
                 seed: config.seed,
                 domain_count: config.domain_count,
@@ -307,6 +363,7 @@ impl<'a> Pipeline<'a> {
             retry: config.retry,
             breaker: config.breaker,
             carry_forward: config.carry_forward,
+            supervise: config.supervise,
         })
         .telemetry(telemetry);
         if let Some(path) = &self.store {
@@ -363,6 +420,7 @@ pub fn analyze(config: StudyConfig, dataset: Dataset) -> StudyResults {
 pub fn analyze_with(config: StudyConfig, dataset: Dataset, telemetry: &Telemetry) -> StudyResults {
     let (db, lab, cve_impacts) = {
         let _span = telemetry.span("join");
+        let _ = webvuln_failpoint::hit("phase.join", "");
         let db = VulnDb::builtin();
         let lab = Lab::new();
         let cve_impacts: Vec<CveImpact> = db
@@ -374,6 +432,7 @@ pub fn analyze_with(config: StudyConfig, dataset: Dataset, telemetry: &Telemetry
     };
     let mut results = {
         let _span = telemetry.span("analyze");
+        let _ = webvuln_failpoint::hit("phase.analyze", "");
         build_results(config, dataset, db, &lab, cve_impacts)
     };
     results.telemetry = telemetry.snapshot();
@@ -517,6 +576,7 @@ mod tests {
             retry: RetryPolicy::standard(2),
             breaker: Some(BreakerConfig::default()),
             carry_forward: true,
+            supervise: Some(SuperviseConfig::default().max_failures(5)),
         };
         assert_eq!(StudyBuilder::from(custom).build(), custom);
         // Builder setters land in the built config too.
@@ -529,8 +589,36 @@ mod tests {
             .retry(RetryPolicy::standard(2))
             .breaker(BreakerConfig::default())
             .carry_forward(true)
+            .max_task_failures(5)
             .build();
         assert_eq!(built, custom);
+    }
+
+    #[test]
+    fn failpoint_catalog_covers_every_layer() {
+        let catalog = failpoint_catalog();
+        assert!(!catalog.is_empty());
+        // Sorted, deduplicated, and covering the store writer, the
+        // checkpoint loop, the worker loops, and all five phases.
+        let mut sorted = catalog.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(catalog, sorted);
+        for site in [
+            "store.segment.mid_write",
+            "store.footer.rewrite",
+            "store.finalize",
+            "checkpoint.commit",
+            "exec.task",
+            "crawl.fetch",
+            "phase.generate",
+            "phase.crawl",
+            "phase.fingerprint",
+            "phase.join",
+            "phase.analyze",
+        ] {
+            assert!(catalog.contains(&site), "catalog missing {site}");
+        }
     }
 
     #[test]

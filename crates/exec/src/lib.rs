@@ -26,19 +26,42 @@
 //!   the returned `Vec` is byte-identical regardless of thread count,
 //!   steal interleaving, or scheduling jitter. This is the property the
 //!   chaos suite pins: `run(threads = 1) == run(threads = N)`.
+//! - **Failure containment.** A panicking task never hangs or aborts the
+//!   pool. Unsupervised maps catch the unwind, drain the pool, and
+//!   re-raise the lowest-index panic after every worker has joined.
+//!   [`Executor::map_supervised`] goes further: each task runs under
+//!   `catch_unwind` with a per-task *virtual* deadline (tasks charge
+//!   simulated cost via [`charge_task`], mirroring the
+//!   `webvuln-resilience` virtual clock), and a panicking or over-deadline
+//!   task is quarantined as a structured [`TaskFailure`] instead of
+//!   failing the run. A wall-clock stall watchdog counts workers stuck
+//!   past the deadline into [`ExecStats::stalls`] — observational only,
+//!   so it can never perturb results.
 //!
 //! Scheduling statistics ([`ExecStats`]: tasks, steals, per-worker busy
-//! nanoseconds) are returned out-of-band by [`Executor::map_with_stats`]
-//! so callers can feed `exec.*` telemetry without this crate depending on
+//! nanoseconds, containment counts) are returned out-of-band so callers
+//! can feed `exec.*` telemetry without this crate depending on
 //! `webvuln-telemetry`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
+
+/// Fail-point sites owned by this crate, for the chaos-harness catalog.
+///
+/// - `exec.task` — probed before every mapped item runs, on both the
+///   plain and supervised paths. `Panic` crashes the task (quarantined
+///   under supervision, propagated otherwise), `Error` escalates to a
+///   panic (the worker loop has no error channel), `Delay(ns)` charges
+///   virtual task cost toward the supervision deadline.
+pub const FAILPOINTS: &[&str] = &["exec.task"];
 
 /// SplitMix64-style mixer used for seeded chunk→worker assignment and
 /// steal-scan ordering. Mirrors the hash used by `webvuln-resilience` for
@@ -50,6 +73,36 @@ fn mix(seed: u64, value: u64) -> u64 {
     h ^= h >> 27;
     h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
     h ^ (h >> 31)
+}
+
+thread_local! {
+    /// Virtual cost accumulated by the task currently running on this
+    /// worker. Reset before each supervised task; compared against the
+    /// supervision deadline after it returns.
+    static TASK_COST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Charges `ns` of *virtual* cost to the task currently running on this
+/// thread. Deterministic collaborators (retry backoff, injected
+/// fail-point delays) call this instead of sleeping; the supervised
+/// executor compares the accumulated cost against the per-task deadline.
+/// Outside a supervised map the charge is accumulated and discarded.
+pub fn charge_task(ns: u64) {
+    TASK_COST.with(|c| c.set(c.get().saturating_add(ns)));
+}
+
+/// Resets and returns the current task's accumulated virtual cost.
+fn take_task_cost() -> u64 {
+    TASK_COST.with(|c| c.replace(0))
+}
+
+/// Probes the `exec.task` fail-point, charging any injected delay.
+#[inline]
+fn probe_task() {
+    let ns = webvuln_failpoint::hit("exec.task", "");
+    if ns > 0 {
+        charge_task(ns);
+    }
 }
 
 /// Scheduling statistics for one [`Executor::map_with_stats`] call.
@@ -72,6 +125,14 @@ pub struct ExecStats {
     /// Per-worker busy time in nanoseconds (time spent inside the mapped
     /// closure, excluding idle spinning). Length equals `threads`.
     pub worker_busy_ns: Vec<u64>,
+    /// Supervised tasks quarantined because they panicked.
+    pub panics: u64,
+    /// Supervised tasks quarantined because their virtual cost exceeded
+    /// the per-task deadline.
+    pub deadline_exceeded: u64,
+    /// Stall-watchdog events: a worker observed past the wall-clock
+    /// stall threshold while inside one task. Observational only.
+    pub stalls: u64,
 }
 
 impl ExecStats {
@@ -82,8 +143,180 @@ impl ExecStats {
             tasks: 0,
             steals: 0,
             worker_busy_ns: vec![0; threads],
+            panics: 0,
+            deadline_exceeded: 0,
+            stalls: 0,
         }
     }
+}
+
+/// Why a supervised task was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The task panicked; the unwind was caught at the task boundary.
+    Panic,
+    /// The task's accumulated virtual cost exceeded the per-task
+    /// deadline.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panic => write!(f, "panic"),
+            FailureKind::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// One quarantined task from an [`Executor::map_supervised`] run.
+///
+/// Everything in here is deterministic for a deterministic workload: the
+/// item index, the failure kind, the panic payload text (or deadline
+/// description), and the *virtual* elapsed cost — never wall time — so
+/// quarantine decisions and any records derived from them are
+/// byte-identical across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Index of the failed item in the input slice.
+    pub index: usize,
+    /// Panic or deadline.
+    pub kind: FailureKind,
+    /// Panic payload rendered as text, or the deadline description.
+    pub payload: String,
+    /// Virtual cost the task had accumulated when it failed.
+    pub elapsed_ns: u64,
+}
+
+impl TaskFailure {
+    /// One-line deterministic description, used for quarantined fetch
+    /// records and reports.
+    pub fn describe(&self) -> String {
+        match self.kind {
+            FailureKind::Panic => format!("panic: {}", self.payload),
+            FailureKind::DeadlineExceeded => self.payload.clone(),
+        }
+    }
+}
+
+/// Supervision policy for [`Executor::map_supervised`].
+///
+/// `deadline_ns` is a *virtual* per-task budget (tasks charge cost via
+/// [`charge_task`]); `u64::MAX` disables it. `max_failures` is the
+/// run-wide quarantine budget — the executor reports failures and leaves
+/// enforcement to the caller, which can degrade gracefully (carry
+/// forward quarantined domains) until the budget is exhausted.
+/// `stall_ms` is the wall-clock threshold for the observational stall
+/// watchdog; `u64::MAX` disables the watchdog thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperviseConfig {
+    /// Virtual per-task deadline in nanoseconds (`u64::MAX` = none).
+    pub deadline_ns: u64,
+    /// Run-wide quarantine budget, enforced by the caller.
+    pub max_failures: u64,
+    /// Wall-clock stall-watchdog threshold in milliseconds
+    /// (`u64::MAX` = watchdog off).
+    pub stall_ms: u64,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            deadline_ns: u64::MAX,
+            max_failures: u64::MAX,
+            stall_ms: 30_000,
+        }
+    }
+}
+
+impl SuperviseConfig {
+    /// Supervision with no deadline, an unlimited failure budget, and a
+    /// 30s stall watchdog.
+    pub fn new() -> SuperviseConfig {
+        SuperviseConfig::default()
+    }
+
+    /// Sets the virtual per-task deadline.
+    pub fn deadline_ns(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = deadline_ns;
+        self
+    }
+
+    /// Sets the run-wide quarantine budget.
+    pub fn max_failures(mut self, max_failures: u64) -> Self {
+        self.max_failures = max_failures;
+        self
+    }
+
+    /// Sets the wall-clock stall-watchdog threshold.
+    pub fn stall_ms(mut self, stall_ms: u64) -> Self {
+        self.stall_ms = stall_ms;
+        self
+    }
+}
+
+/// Renders a caught panic payload as text. `panic!` with a literal gives
+/// `&'static str`; with a format string gives `String`; anything else is
+/// opaque.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one supervised task: resets the virtual cost, catches unwinds,
+/// applies the deadline. Returns the result or records a [`TaskFailure`].
+fn run_supervised_item<T, R, F>(
+    f: &F,
+    item: &T,
+    index: usize,
+    deadline_ns: u64,
+    failures: &mut Vec<TaskFailure>,
+) -> Option<R>
+where
+    F: Fn(&T) -> R,
+{
+    let _ = take_task_cost();
+    // AssertUnwindSafe: on panic the task's partial result is discarded
+    // and the item is quarantined; mapped closures observe only shared
+    // state that is itself unwind-tolerant (atomic counters, breakers
+    // keyed per domain).
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        probe_task();
+        f(item)
+    }));
+    let elapsed_ns = take_task_cost();
+    match caught {
+        Ok(value) if elapsed_ns <= deadline_ns => Some(value),
+        Ok(_) => {
+            failures.push(TaskFailure {
+                index,
+                kind: FailureKind::DeadlineExceeded,
+                payload: format!(
+                    "virtual task cost {elapsed_ns}ns exceeded deadline {deadline_ns}ns"
+                ),
+                elapsed_ns,
+            });
+            None
+        }
+        Err(payload) => {
+            failures.push(TaskFailure {
+                index,
+                kind: FailureKind::Panic,
+                payload: payload_text(payload.as_ref()),
+                elapsed_ns,
+            });
+            None
+        }
+    }
+}
+
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// A reusable parallel-map executor.
@@ -155,6 +388,21 @@ impl Executor {
         }
     }
 
+    /// Chunk bounds for `len` items: contiguous `(lo, hi)` ranges.
+    fn chunk_bounds(&self, len: usize, threads: usize) -> Vec<(usize, usize)> {
+        let chunk = if self.chunk_size > 0 {
+            self.chunk_size
+        } else {
+            // ~4 chunks per worker keeps the steal queue busy without
+            // drowning in per-chunk bookkeeping.
+            len.div_ceil(threads * 4).max(1)
+        };
+        (0..len)
+            .step_by(chunk)
+            .map(|start| (start, (start + chunk).min(len)))
+            .collect()
+    }
+
     /// Maps `f` over `items` in parallel, returning results in input
     /// order. Byte-identical to a sequential `items.iter().map(f)` run
     /// regardless of thread count.
@@ -168,6 +416,12 @@ impl Executor {
     }
 
     /// [`Executor::map`] plus the scheduling statistics for the call.
+    ///
+    /// A panicking task can never hang the pool: the unwind is caught at
+    /// the chunk boundary, every worker drains and joins, and the
+    /// lowest-index caught panic is re-raised on the calling thread. Use
+    /// [`Executor::map_supervised`] to quarantine failures instead of
+    /// propagating them.
     pub fn map_with_stats<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, ExecStats)
     where
         T: Sync,
@@ -178,24 +432,22 @@ impl Executor {
         if items.is_empty() {
             return (Vec::new(), ExecStats::empty(threads));
         }
-        let chunk = if self.chunk_size > 0 {
-            self.chunk_size
-        } else {
-            // ~4 chunks per worker keeps the steal queue busy without
-            // drowning in per-chunk bookkeeping.
-            items.len().div_ceil(threads * 4).max(1)
-        };
-        let bounds: Vec<(usize, usize)> = (0..items.len())
-            .step_by(chunk)
-            .map(|start| (start, (start + chunk).min(items.len())))
-            .collect();
+        let bounds = self.chunk_bounds(items.len(), threads);
         let tasks = bounds.len() as u64;
 
         if threads == 1 || bounds.len() == 1 {
             // Inline fast path: no pool, no locks — the degenerate case
-            // the determinism tests compare everything against.
+            // the determinism tests compare everything against. Panics
+            // propagate natively here, matching the pooled path's
+            // lowest-index re-raise (sequential order *is* index order).
             let started = Instant::now();
-            let out: Vec<R> = items.iter().map(|item| f(item)).collect();
+            let out: Vec<R> = items
+                .iter()
+                .map(|item| {
+                    probe_task();
+                    f(item)
+                })
+                .collect();
             let mut stats = ExecStats::empty(threads);
             stats.items = items.len() as u64;
             stats.tasks = tasks;
@@ -208,30 +460,37 @@ impl Executor {
             (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
         for (index, _) in bounds.iter().enumerate() {
             let home = (mix(self.seed, index as u64) % threads as u64) as usize;
-            deques[home].lock().unwrap().push_back(index);
+            lock_ignore_poison(&deques[home]).push_back(index);
         }
 
         let remaining = AtomicUsize::new(bounds.len());
+        let abort = AtomicBool::new(false);
         let steals = AtomicU64::new(0);
         let busy_ns: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
         let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(bounds.len()));
+        let panicked: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
             for worker in 0..threads {
                 let deques = &deques;
                 let bounds = &bounds;
                 let remaining = &remaining;
+                let abort = &abort;
                 let steals = &steals;
                 let busy_ns = &busy_ns;
                 let results = &results;
+                let panicked = &panicked;
                 let f = &f;
                 let seed = self.seed;
                 scope.spawn(move || {
                     let mut local_busy: u64 = 0;
                     loop {
+                        if abort.load(Ordering::Acquire) {
+                            break;
+                        }
                         // Own deque first (front), then seeded-order scan
                         // of the victims (back) — classic work stealing.
-                        let mut task = deques[worker].lock().unwrap().pop_front();
+                        let mut task = lock_ignore_poison(&deques[worker]).pop_front();
                         let mut stolen = false;
                         if task.is_none() {
                             let start = (mix(seed, worker as u64) % threads as u64) as usize;
@@ -240,7 +499,7 @@ impl Executor {
                                 if victim == worker {
                                     continue;
                                 }
-                                task = deques[victim].lock().unwrap().pop_back();
+                                task = lock_ignore_poison(&deques[victim]).pop_back();
                                 if task.is_some() {
                                     stolen = true;
                                     break;
@@ -261,9 +520,26 @@ impl Executor {
                         }
                         let (lo, hi) = bounds[index];
                         let started = Instant::now();
-                        let out: Vec<R> = items[lo..hi].iter().map(|item| f(item)).collect();
+                        // AssertUnwindSafe: the partial chunk output is
+                        // discarded and the panic re-raised after every
+                        // worker joins — no torn state is ever observed.
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            items[lo..hi]
+                                .iter()
+                                .map(|item| {
+                                    probe_task();
+                                    f(item)
+                                })
+                                .collect::<Vec<R>>()
+                        }));
                         local_busy += started.elapsed().as_nanos() as u64;
-                        results.lock().unwrap().push((index, out));
+                        match run {
+                            Ok(out) => lock_ignore_poison(results).push((index, out)),
+                            Err(payload) => {
+                                lock_ignore_poison(panicked).push((index, payload));
+                                abort.store(true, Ordering::Release);
+                            }
+                        }
                         remaining.fetch_sub(1, Ordering::AcqRel);
                     }
                     busy_ns[worker].store(local_busy, Ordering::Relaxed);
@@ -271,20 +547,233 @@ impl Executor {
             }
         });
 
+        let mut panics = panicked.into_inner().unwrap_or_else(|p| p.into_inner());
+        if !panics.is_empty() {
+            // Deterministic propagation: always re-raise the panic of the
+            // lowest-index chunk that failed before the pool drained.
+            panics.sort_by_key(|(index, _)| *index);
+            let (_, payload) = panics.remove(0);
+            resume_unwind(payload);
+        }
+
         // Deterministic merge: completion order is scheduling-dependent,
         // index order is not.
-        let mut tagged = results.into_inner().unwrap();
+        let mut tagged = results.into_inner().unwrap_or_else(|p| p.into_inner());
         tagged.sort_unstable_by_key(|(index, _)| *index);
         let merged: Vec<R> = tagged.into_iter().flat_map(|(_, out)| out).collect();
 
-        let stats = ExecStats {
-            threads,
-            items: items.len() as u64,
-            tasks,
-            steals: steals.into_inner(),
-            worker_busy_ns: busy_ns.into_iter().map(AtomicU64::into_inner).collect(),
-        };
+        let mut stats = ExecStats::empty(threads);
+        stats.items = items.len() as u64;
+        stats.tasks = tasks;
+        stats.steals = steals.into_inner();
+        stats.worker_busy_ns = busy_ns.into_iter().map(AtomicU64::into_inner).collect();
         (merged, stats)
+    }
+
+    /// Maps `f` over `items` under supervision: each task runs inside
+    /// `catch_unwind` with a virtual per-task deadline, and a failing
+    /// task yields `None` in the output plus a structured [`TaskFailure`]
+    /// instead of aborting the run.
+    ///
+    /// Output positions and failures are index-ordered and — for a
+    /// deterministic workload — byte-identical across thread counts,
+    /// exactly like [`Executor::map`]. The stall watchdog (one extra
+    /// thread while the pool runs, when `stall_ms` is finite) only
+    /// increments [`ExecStats::stalls`]; it cannot cancel a task, so it
+    /// never affects results.
+    pub fn map_supervised<T, R, F>(
+        &self,
+        items: &[T],
+        supervise: SuperviseConfig,
+        f: F,
+    ) -> (Vec<Option<R>>, ExecStats, Vec<TaskFailure>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = self.threads().max(1);
+        if items.is_empty() {
+            return (Vec::new(), ExecStats::empty(threads), Vec::new());
+        }
+        let bounds = self.chunk_bounds(items.len(), threads);
+        let tasks = bounds.len() as u64;
+        let deadline_ns = supervise.deadline_ns;
+
+        if threads == 1 || bounds.len() == 1 {
+            let started = Instant::now();
+            let mut failures = Vec::new();
+            let out: Vec<Option<R>> = items
+                .iter()
+                .enumerate()
+                .map(|(index, item)| run_supervised_item(&f, item, index, deadline_ns, &mut failures))
+                .collect();
+            let mut stats = ExecStats::empty(threads);
+            stats.items = items.len() as u64;
+            stats.tasks = tasks;
+            stats.worker_busy_ns[0] = started.elapsed().as_nanos() as u64;
+            stats.panics = failures
+                .iter()
+                .filter(|t| t.kind == FailureKind::Panic)
+                .count() as u64;
+            stats.deadline_exceeded = failures.len() as u64 - stats.panics;
+            return (out, stats, failures);
+        }
+
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (index, _) in bounds.iter().enumerate() {
+            let home = (mix(self.seed, index as u64) % threads as u64) as usize;
+            lock_ignore_poison(&deques[home]).push_back(index);
+        }
+
+        let remaining = AtomicUsize::new(bounds.len());
+        let steals = AtomicU64::new(0);
+        let stall_events = AtomicU64::new(0);
+        let busy_ns: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+        // Wall milliseconds (+1, so 0 means idle) when each worker's
+        // current task started — the stall watchdog's only input.
+        let task_started_ms: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+        let results: Mutex<Vec<(usize, Vec<Option<R>>)>> =
+            Mutex::new(Vec::with_capacity(bounds.len()));
+        let all_failures: Mutex<Vec<TaskFailure>> = Mutex::new(Vec::new());
+        // Completion signal for the watchdog: the worker finishing the
+        // last chunk notifies, so the scope join never waits out the
+        // watchdog's poll interval on a short run.
+        let watchdog_done = (Mutex::new(false), Condvar::new());
+        let base = Instant::now();
+
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let deques = &deques;
+                let bounds = &bounds;
+                let remaining = &remaining;
+                let steals = &steals;
+                let busy_ns = &busy_ns;
+                let task_started_ms = &task_started_ms;
+                let results = &results;
+                let all_failures = &all_failures;
+                let watchdog_done = &watchdog_done;
+                let f = &f;
+                let seed = self.seed;
+                let base = &base;
+                scope.spawn(move || {
+                    let mut local_busy: u64 = 0;
+                    loop {
+                        let mut task = lock_ignore_poison(&deques[worker]).pop_front();
+                        let mut stolen = false;
+                        if task.is_none() {
+                            let start = (mix(seed, worker as u64) % threads as u64) as usize;
+                            for offset in 1..threads {
+                                let victim = (start + offset) % threads;
+                                if victim == worker {
+                                    continue;
+                                }
+                                task = lock_ignore_poison(&deques[victim]).pop_back();
+                                if task.is_some() {
+                                    stolen = true;
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(index) = task else {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        if stolen {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let (lo, hi) = bounds[index];
+                        let started = Instant::now();
+                        let mut failures = Vec::new();
+                        let mut out: Vec<Option<R>> = Vec::with_capacity(hi - lo);
+                        for (offset, item) in items[lo..hi].iter().enumerate() {
+                            let now_ms = base.elapsed().as_millis().min(u64::MAX as u128) as u64;
+                            task_started_ms[worker].store(now_ms + 1, Ordering::Relaxed);
+                            out.push(run_supervised_item(
+                                f,
+                                item,
+                                lo + offset,
+                                deadline_ns,
+                                &mut failures,
+                            ));
+                            task_started_ms[worker].store(0, Ordering::Relaxed);
+                        }
+                        local_busy += started.elapsed().as_nanos() as u64;
+                        lock_ignore_poison(results).push((index, out));
+                        if !failures.is_empty() {
+                            lock_ignore_poison(all_failures).append(&mut failures);
+                        }
+                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let (done, signal) = watchdog_done;
+                            *lock_ignore_poison(done) = true;
+                            signal.notify_all();
+                        }
+                    }
+                    busy_ns[worker].store(local_busy, Ordering::Relaxed);
+                });
+            }
+
+            if supervise.stall_ms != u64::MAX {
+                let stall_events = &stall_events;
+                let task_started_ms = &task_started_ms;
+                let base = &base;
+                let watchdog_done = &watchdog_done;
+                let stall_ms = supervise.stall_ms;
+                scope.spawn(move || {
+                    // Observational watchdog: flags each over-threshold
+                    // (worker, task) pair once. It cannot cancel work —
+                    // CI's hard test timeout backstops a true hang.
+                    let poll = std::time::Duration::from_millis((stall_ms / 4).clamp(1, 50));
+                    let mut flagged: Vec<u64> = vec![0; threads];
+                    let (done, signal) = watchdog_done;
+                    let mut guard = lock_ignore_poison(done);
+                    while !*guard {
+                        guard = signal
+                            .wait_timeout(guard, poll)
+                            .unwrap_or_else(|p| p.into_inner())
+                            .0;
+                        if *guard {
+                            break;
+                        }
+                        let now_ms = base.elapsed().as_millis().min(u64::MAX as u128) as u64 + 1;
+                        for (worker, flag) in flagged.iter_mut().enumerate() {
+                            let started = task_started_ms[worker].load(Ordering::Relaxed);
+                            if started != 0
+                                && now_ms.saturating_sub(started) > stall_ms
+                                && *flag != started
+                            {
+                                *flag = started;
+                                stall_events.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut tagged = results.into_inner().unwrap_or_else(|p| p.into_inner());
+        tagged.sort_unstable_by_key(|(index, _)| *index);
+        let merged: Vec<Option<R>> = tagged.into_iter().flat_map(|(_, out)| out).collect();
+
+        let mut failures = all_failures.into_inner().unwrap_or_else(|p| p.into_inner());
+        failures.sort_by_key(|t| t.index);
+
+        let mut stats = ExecStats::empty(threads);
+        stats.items = items.len() as u64;
+        stats.tasks = tasks;
+        stats.steals = steals.into_inner();
+        stats.worker_busy_ns = busy_ns.into_iter().map(AtomicU64::into_inner).collect();
+        stats.panics = failures
+            .iter()
+            .filter(|t| t.kind == FailureKind::Panic)
+            .count() as u64;
+        stats.deadline_exceeded = failures.len() as u64 - stats.panics;
+        stats.stalls = stall_events.into_inner();
+        (merged, stats, failures)
     }
 }
 
@@ -420,5 +909,130 @@ mod tests {
         assert_eq!(mix(42, 0) % 8, mix(42, 0) % 8);
         assert_ne!(mix(1, 2), mix(2, 1));
         assert_ne!(mix(7, 3), mix(7, 4));
+    }
+
+    #[test]
+    fn unsupervised_panic_propagates_instead_of_hanging() {
+        // Regression: a panicking task used to leave `remaining` above
+        // zero forever, spinning every other worker. Now the pool drains
+        // and the panic is re-raised on the caller.
+        let items: Vec<u64> = (0..200).collect();
+        for threads in [1, 2, 4, 8] {
+            let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                Executor::new(threads).chunk_size(4).map(&items, |n| {
+                    if *n == 57 {
+                        panic!("task 57 exploded");
+                    }
+                    *n
+                })
+            }));
+            let payload = unwound.expect_err("panic must propagate");
+            assert_eq!(payload_text(payload.as_ref()), "task 57 exploded");
+        }
+    }
+
+    #[test]
+    fn supervised_quarantines_panics_deterministically() {
+        let items: Vec<u64> = (0..300).collect();
+        let run = |threads: usize| {
+            Executor::new(threads).chunk_size(7).map_supervised(
+                &items,
+                SuperviseConfig::new(),
+                |n| {
+                    if n % 71 == 3 {
+                        panic!("bad item {n}");
+                    }
+                    n * 10
+                },
+            )
+        };
+        let (ref_out, ref_stats, ref_failures) = run(1);
+        assert_eq!(ref_out.len(), 300);
+        assert_eq!(ref_stats.panics, ref_failures.len() as u64);
+        assert!(ref_failures.iter().all(|t| t.kind == FailureKind::Panic));
+        assert_eq!(
+            ref_failures.iter().map(|t| t.index).collect::<Vec<_>>(),
+            vec![3, 74, 145, 216, 287]
+        );
+        assert!(ref_failures[0].describe().contains("bad item 3"));
+        for threads in [2, 4, 8] {
+            let (out, stats, failures) = run(threads);
+            assert_eq!(out, ref_out, "threads={threads}");
+            assert_eq!(failures, ref_failures, "threads={threads}");
+            assert_eq!(stats.panics, 5);
+            assert_eq!(stats.deadline_exceeded, 0);
+        }
+    }
+
+    #[test]
+    fn supervised_deadline_uses_virtual_cost() {
+        let items: Vec<u64> = (0..50).collect();
+        let supervise = SuperviseConfig::new().deadline_ns(1_000);
+        for threads in [1, 4] {
+            let (out, stats, failures) =
+                Executor::new(threads)
+                    .chunk_size(3)
+                    .map_supervised(&items, supervise, |n| {
+                        if n % 10 == 0 {
+                            charge_task(5_000);
+                        } else {
+                            charge_task(10);
+                        }
+                        *n
+                    });
+            assert_eq!(stats.deadline_exceeded, 5, "threads={threads}");
+            assert_eq!(stats.panics, 0);
+            assert_eq!(
+                failures.iter().map(|t| t.index).collect::<Vec<_>>(),
+                vec![0, 10, 20, 30, 40]
+            );
+            assert!(failures
+                .iter()
+                .all(|t| t.kind == FailureKind::DeadlineExceeded && t.elapsed_ns == 5_000));
+            let returned: Vec<u64> = out.into_iter().flatten().collect();
+            assert_eq!(returned.len(), 45);
+        }
+    }
+
+    #[test]
+    fn supervised_fault_free_run_has_no_failures() {
+        let items: Vec<u64> = (0..128).collect();
+        let (out, stats, failures) =
+            Executor::new(4).map_supervised(&items, SuperviseConfig::new(), |n| n + 1);
+        assert_eq!(failures, Vec::new());
+        assert_eq!(stats.panics + stats.deadline_exceeded, 0);
+        let expected: Vec<Option<u64>> = (1..=128).map(Some).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn stall_watchdog_counts_slow_tasks() {
+        // One task sleeps well past a 5ms threshold; the watchdog must
+        // notice without changing the results.
+        let items: Vec<u64> = (0..8).collect();
+        let supervise = SuperviseConfig::new().stall_ms(5);
+        let (out, stats, failures) =
+            Executor::new(2)
+                .chunk_size(1)
+                .map_supervised(&items, supervise, |n| {
+                    if *n == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(40));
+                    }
+                    *n
+                });
+        assert_eq!(failures, Vec::new());
+        assert_eq!(out.into_iter().flatten().collect::<Vec<_>>(), items);
+        assert!(stats.stalls >= 1, "stalls = {}", stats.stalls);
+    }
+
+    #[test]
+    fn charge_outside_supervision_is_harmless() {
+        charge_task(123);
+        let items: Vec<u64> = (0..10).collect();
+        let out = Executor::new(2).map(&items, |n| {
+            charge_task(1);
+            *n
+        });
+        assert_eq!(out.len(), 10);
     }
 }

@@ -255,6 +255,24 @@ impl Engine {
         executor.map_with_stats(pages, |&(domain, html)| self.analyze(html, domain))
     }
 
+    /// [`Engine::analyze_batch`] under supervision: a page whose analysis
+    /// panics or blows the virtual deadline yields `None` plus a
+    /// structured [`TaskFailure`](webvuln_exec::TaskFailure) instead of
+    /// aborting the batch. Quarantine decisions are deterministic, so
+    /// outputs stay byte-identical for any thread count.
+    pub fn analyze_batch_supervised(
+        &self,
+        pages: &[(&str, &str)],
+        executor: &Executor,
+        supervise: webvuln_exec::SuperviseConfig,
+    ) -> (
+        Vec<Option<PageAnalysis>>,
+        ExecStats,
+        Vec<webvuln_exec::TaskFailure>,
+    ) {
+        executor.map_supervised(pages, supervise, |&(domain, html)| self.analyze(html, domain))
+    }
+
     /// Analyzes already-extracted page resources.
     pub fn analyze_resources(&self, resources: &PageResources, domain: &str) -> PageAnalysis {
         let steps_before = thread_vm_steps();

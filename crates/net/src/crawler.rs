@@ -25,9 +25,20 @@ use crate::error::ErrorClass;
 use crate::server::Connect;
 use std::collections::BTreeMap;
 use std::time::Instant;
-use webvuln_exec::{ExecStats, Executor};
+use webvuln_exec::{charge_task, ExecStats, Executor, SuperviseConfig, TaskFailure};
 use webvuln_resilience::{HostBreakers, RetryPolicy, VirtualClock};
 use webvuln_telemetry::{Counter, Histogram, Registry};
+
+/// Fail-point sites owned by this crate, for the chaos-harness catalog.
+///
+/// - `crawl.fetch` — probed at the top of every per-domain fetch, keyed
+///   by the domain, *before* the breaker gate or any metric mutates:
+///   an injected panic or error leaves no partial crawl state behind,
+///   so injection is deterministic across thread counts. `Error`
+///   yields a failed [`FetchRecord`], `Panic` crashes the task
+///   (quarantined under supervision), `Delay(ns)` charges virtual task
+///   cost toward the supervision deadline.
+pub const FAILPOINTS: &[&str] = &["crawl.fetch"];
 
 /// Outcome of fetching one domain's landing page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +72,23 @@ impl FetchRecord {
     /// error/empty pages).
     pub fn is_usable(&self, min_bytes: usize) -> bool {
         matches!(self.status, Some(s) if (200..300).contains(&s)) && self.body.len() >= min_bytes
+    }
+
+    /// The record a quarantined task (panicked or over-deadline under
+    /// supervision) leaves behind: failed, `attempts == 0`, mirroring a
+    /// breaker-skipped host, with a deterministic `quarantined: …` error
+    /// text. Used by the crawler and by the fingerprint phase when it
+    /// demotes a domain whose analysis task was quarantined.
+    pub fn quarantined(domain: &str, failure: &TaskFailure) -> FetchRecord {
+        FetchRecord {
+            domain: domain.to_string(),
+            status: None,
+            body: String::new(),
+            error: Some(format!("quarantined: {}", failure.describe())),
+            error_class: None,
+            attempts: 0,
+            recovered: false,
+        }
     }
 }
 
@@ -150,13 +178,20 @@ impl RetryMetrics {
         self.retries.inc();
         let delay = retry.backoff_ns(domain, failed_attempt);
         clock.advance(delay);
+        // Backoff also counts against the supervised per-task deadline:
+        // virtual cost, never a sleep.
+        charge_task(delay);
         self.backoff_delay.record(delay);
     }
 }
 
 /// Copies one executor run's scheduling stats into `exec.*` telemetry:
 /// `exec.tasks_total`, `exec.steals_total`, the `exec.workers` gauge and
-/// the `exec.worker_busy_ns` per-worker busy histogram.
+/// the `exec.worker_busy_ns` per-worker busy histogram. Failure
+/// containment counters (`exec.panics_total`,
+/// `exec.deadline_exceeded_total`, `exec.quarantined_total`,
+/// `exec.stalls_total`) are published only when nonzero, so fault-free
+/// snapshots keep their historical shape.
 pub fn record_exec_stats(registry: &Registry, stats: &ExecStats) {
     registry.counter("exec.tasks_total").add(stats.tasks);
     registry.counter("exec.steals_total").add(stats.steals);
@@ -164,6 +199,21 @@ pub fn record_exec_stats(registry: &Registry, stats: &ExecStats) {
     let busy = registry.histogram("exec.worker_busy_ns");
     for &ns in &stats.worker_busy_ns {
         busy.record(ns);
+    }
+    if stats.panics > 0 {
+        registry.counter("exec.panics_total").add(stats.panics);
+    }
+    if stats.deadline_exceeded > 0 {
+        registry
+            .counter("exec.deadline_exceeded_total")
+            .add(stats.deadline_exceeded);
+    }
+    let quarantined = stats.panics + stats.deadline_exceeded;
+    if quarantined > 0 {
+        registry.counter("exec.quarantined_total").add(quarantined);
+    }
+    if stats.stalls > 0 {
+        registry.counter("exec.stalls_total").add(stats.stalls);
     }
 }
 
@@ -192,6 +242,7 @@ pub struct CrawlOptions<'a> {
     breakers: Option<&'a HostBreakers>,
     clock: Option<&'a VirtualClock>,
     registry: Option<&'a Registry>,
+    supervise: Option<SuperviseConfig>,
 }
 
 impl Default for CrawlOptions<'_> {
@@ -210,6 +261,7 @@ impl<'a> CrawlOptions<'a> {
             breakers: None,
             clock: None,
             registry: None,
+            supervise: None,
         }
     }
 
@@ -254,6 +306,16 @@ impl<'a> CrawlOptions<'a> {
         self
     }
 
+    /// Supervises every fetch task: panics and blown virtual deadlines
+    /// are quarantined as [`TaskFailure`]s (surfaced by
+    /// [`run_contained`](CrawlOptions::run_contained)) and the domain
+    /// gets a deterministic failed [`FetchRecord`] instead of crashing
+    /// the crawl.
+    pub fn supervise(mut self, supervise: SuperviseConfig) -> Self {
+        self.supervise = Some(supervise);
+        self
+    }
+
     /// True when any resilience feature is engaged — retry metrics are
     /// only published then, matching the historical split between the
     /// plain and resilient entry points.
@@ -275,6 +337,27 @@ impl<'a> CrawlOptions<'a> {
         domains: &[String],
         connector: &dyn Connect,
     ) -> BTreeMap<String, FetchRecord> {
+        self.run_contained(domains, connector).0
+    }
+
+    /// Like [`run`](CrawlOptions::run), also returning the quarantined
+    /// [`TaskFailure`]s (always empty without
+    /// [`supervise`](CrawlOptions::supervise)).
+    ///
+    /// Under supervision a panicking or over-deadline fetch task is
+    /// quarantined: the domain still gets a [`FetchRecord`] — failed,
+    /// with a deterministic `quarantined: …` error text and
+    /// `attempts == 0`, mirroring breaker-skipped hosts — so downstream
+    /// coverage arithmetic and carry-forward treat it exactly like a
+    /// host that was down that week. Quarantine counts surface as
+    /// `exec.panics_total` / `exec.deadline_exceeded_total` /
+    /// `exec.quarantined_total` (and `exec.stalls_total` from the
+    /// watchdog).
+    pub fn run_contained(
+        &self,
+        domains: &[String],
+        connector: &dyn Connect,
+    ) -> (BTreeMap<String, FetchRecord>, Vec<TaskFailure>) {
         let registry = self.registry.unwrap_or_else(|| Registry::global());
         let metrics = CrawlerMetrics::from_registry(registry);
         // The plain path keeps retry counters out of the caller's
@@ -297,19 +380,82 @@ impl<'a> CrawlOptions<'a> {
         };
         let retry = &self.retry;
         let breakers = self.breakers;
-        let (records, stats) = Executor::new(self.threads).map_with_stats(domains, |domain| {
-            let started = Instant::now();
-            let record =
-                fetch_domain_resilient(connector, domain, retry, breakers, clock, &retry_metrics);
-            let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            metrics.record(&record, elapsed_ns);
-            record
-        });
+
+        let Some(supervise) = self.supervise else {
+            let (records, stats) = Executor::new(self.threads).map_with_stats(domains, |domain| {
+                let started = Instant::now();
+                let record = fetch_domain_resilient(
+                    connector,
+                    domain,
+                    retry,
+                    breakers,
+                    clock,
+                    &retry_metrics,
+                );
+                let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                metrics.record(&record, elapsed_ns);
+                record
+            });
+            record_exec_stats(registry, &stats);
+            let records = records
+                .into_iter()
+                .map(|record| (record.domain.clone(), record))
+                .collect();
+            return (records, Vec::new());
+        };
+
+        // Supervised path: metrics are recorded after the map (once per
+        // final record, quarantined or not), so a task that completes
+        // but blows its deadline is not double-counted.
+        let (outcomes, stats, failures) = Executor::new(self.threads).map_supervised(
+            domains,
+            supervise,
+            |domain| {
+                let started = Instant::now();
+                let record = fetch_domain_resilient(
+                    connector,
+                    domain,
+                    retry,
+                    breakers,
+                    clock,
+                    &retry_metrics,
+                );
+                let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                (record, elapsed_ns)
+            },
+        );
         record_exec_stats(registry, &stats);
-        records
-            .into_iter()
-            .map(|record| (record.domain.clone(), record))
-            .collect()
+        let mut quarantined = failures.iter();
+        let mut next_failure = quarantined.next();
+        let mut records = BTreeMap::new();
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            let record = match outcome {
+                Some((record, elapsed_ns)) => {
+                    metrics.record(&record, elapsed_ns);
+                    record
+                }
+                None => {
+                    let failure = match next_failure {
+                        Some(failure) if failure.index == index => failure,
+                        _ => unreachable!("every quarantined slot has a TaskFailure"),
+                    };
+                    next_failure = quarantined.next();
+                    let record = FetchRecord {
+                        domain: domains[index].clone(),
+                        status: None,
+                        body: String::new(),
+                        error: Some(format!("quarantined: {}", failure.describe())),
+                        error_class: None,
+                        attempts: 0,
+                        recovered: false,
+                    };
+                    metrics.record(&record, 0);
+                    record
+                }
+            };
+            records.insert(record.domain.clone(), record);
+        }
+        (records, failures)
     }
 }
 
@@ -401,6 +547,24 @@ fn fetch_domain_resilient(
     clock: &VirtualClock,
     metrics: &RetryMetrics,
 ) -> FetchRecord {
+    // Probed before the breaker gate or any counter mutates, so an
+    // injected crash leaves no partial state and the outcome is
+    // identical for every thread count.
+    match webvuln_failpoint::failpoint!("crawl.fetch", domain) {
+        Ok(0) => {}
+        Ok(delay_ns) => charge_task(delay_ns),
+        Err(injected) => {
+            return FetchRecord {
+                domain: domain.to_string(),
+                status: None,
+                body: String::new(),
+                error: Some(format!("injected: {injected}")),
+                error_class: None,
+                attempts: 0,
+                recovered: false,
+            };
+        }
+    }
     if let Some(breakers) = breakers {
         if !breakers.allow(domain) {
             metrics.breaker_open.inc();
@@ -474,6 +638,7 @@ mod tests {
     use crate::fault::FaultPlan;
     use crate::http::{Request, Response, Status};
     use crate::server::VirtualNet;
+    use webvuln_exec::FailureKind;
     use std::sync::Arc;
     use webvuln_resilience::BreakerConfig;
 
@@ -795,6 +960,87 @@ mod tests {
         let (b, clock_b) = run(8);
         assert_eq!(a, b, "records identical regardless of scheduling");
         assert_eq!(clock_a, clock_b, "total simulated backoff identical");
+    }
+
+    /// Serializes tests that arm the global `crawl.fetch` fail-point —
+    /// a site holds one arm at a time. The keyed victims use a
+    /// `quarantine-` prefix no other test's domain list contains, so
+    /// concurrent unsupervised crawls can never trip an armed site.
+    static CRAWL_FP_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn quarantine_domains(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("quarantine-{i:02}.example")).collect()
+    }
+
+    #[test]
+    fn supervised_crawl_quarantines_a_panicking_domain() {
+        let _guard = CRAWL_FP_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let victim = "quarantine-05.example";
+        webvuln_failpoint::arm_key("crawl.fetch", victim, webvuln_failpoint::Action::Panic);
+        let ds = quarantine_domains(24);
+        let run = |workers: usize| {
+            let net = VirtualNet::new(content_handler()).with_week(3);
+            let registry = webvuln_telemetry::Registry::new();
+            let (records, failures) = CrawlOptions::new()
+                .threads(workers)
+                .registry(&registry)
+                .supervise(SuperviseConfig::new())
+                .run_contained(&ds, &net);
+            let snapshot = registry.snapshot();
+            (records, failures, snapshot)
+        };
+        let (records, failures, snapshot) = run(1);
+        let (records8, failures8, _) = run(8);
+        webvuln_failpoint::disarm("crawl.fetch");
+
+        assert_eq!(records, records8, "quarantine is thread-count independent");
+        assert_eq!(failures, failures8);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, FailureKind::Panic);
+        let bad = &records[victim];
+        assert_eq!(bad.status, None);
+        assert_eq!(bad.attempts, 0);
+        assert!(
+            bad.error.as_deref().unwrap().starts_with("quarantined: panic:"),
+            "error: {:?}",
+            bad.error
+        );
+        // Every other domain fetched normally.
+        assert_eq!(records.len(), 24);
+        assert!(records
+            .iter()
+            .filter(|(d, _)| d.as_str() != victim)
+            .all(|(_, r)| r.status.is_some()));
+        assert_eq!(snapshot.counter("exec.panics_total"), Some(1));
+        assert_eq!(snapshot.counter("exec.quarantined_total"), Some(1));
+        assert_eq!(snapshot.counter("net.fetches_total"), Some(24));
+    }
+
+    #[test]
+    fn supervised_deadline_quarantines_injected_slowness() {
+        let _guard = CRAWL_FP_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let victim = "quarantine-11.example";
+        webvuln_failpoint::arm_key(
+            "crawl.fetch",
+            victim,
+            webvuln_failpoint::Action::Delay(10_000_000),
+        );
+        let ds = quarantine_domains(16);
+        let net = VirtualNet::new(content_handler());
+        let (records, failures) = CrawlOptions::new()
+            .threads(4)
+            .supervise(SuperviseConfig::new().deadline_ns(1_000_000))
+            .registry(&webvuln_telemetry::Registry::new())
+            .run_contained(&ds, &net);
+        webvuln_failpoint::disarm("crawl.fetch");
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, FailureKind::DeadlineExceeded);
+        assert_eq!(failures[0].elapsed_ns, 10_000_000);
+        assert!(records[victim]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("exceeded deadline"));
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use client::{fetch, fetch_once, fetch_with_redirects, MAX_REDIRECTS};
 pub use crawler::{crawl, crawl_instrumented, crawl_resilient};
 pub use crawler::{
     fetch_domain, fetch_domain_with_retry, record_exec_stats, CrawlConfig, CrawlOptions,
-    FetchRecord,
+    FetchRecord, FAILPOINTS,
 };
 pub use error::{ErrorClass, NetError, Result};
 pub use fault::{mix, FaultPlan};
@@ -70,7 +70,7 @@ pub use server::{
     roundtrip, serve_connection, Connect, Handler, TcpConnector, TcpServer, VirtualNet,
 };
 pub use transport::{mem_pipe, ByteStream, MemStream};
-pub use webvuln_exec::{ExecStats, Executor};
+pub use webvuln_exec::{ExecStats, Executor, FailureKind, SuperviseConfig, TaskFailure};
 pub use webvuln_resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, HostBreakers, RetryPolicy, VirtualClock,
 };

@@ -332,6 +332,113 @@ mod tests {
     }
 
     #[test]
+    fn half_open_probes_race_through_the_sharded_map() {
+        use std::sync::Arc;
+        // 160 hosts (~10 per shard) all tripped open and cooled to
+        // half-open, then probed from 8 racing threads: even-indexed
+        // hosts' probes succeed, odd-indexed fail. The outcome must be
+        // exactly what a sequential replay would give.
+        let breakers = Arc::new(HostBreakers::new(config(1, 2)));
+        let hosts: Vec<String> = (0..160).map(|i| format!("ho{i:03}.example")).collect();
+        for host in &hosts {
+            breakers.record(host, false);
+        }
+        assert_eq!(breakers.open_count(), 160);
+        breakers.tick_round();
+        breakers.tick_round();
+        for host in &hosts {
+            assert_eq!(breakers.state(host), BreakerState::HalfOpen);
+        }
+
+        std::thread::scope(|scope| {
+            for (chunk_index, chunk) in hosts.chunks(20).enumerate() {
+                let breakers = Arc::clone(&breakers);
+                scope.spawn(move || {
+                    for (offset, host) in chunk.iter().enumerate() {
+                        assert!(breakers.allow(host), "half-open admits the probe");
+                        breakers.record(host, (chunk_index * 20 + offset) % 2 == 0);
+                    }
+                });
+            }
+        });
+
+        for (i, host) in hosts.iter().enumerate() {
+            let expected = if i % 2 == 0 {
+                BreakerState::Closed
+            } else {
+                BreakerState::Open
+            };
+            assert_eq!(breakers.state(host), expected, "{host}");
+        }
+        assert_eq!(breakers.open_count(), 80);
+        // A failed probe re-opens for the full cooldown: two more rounds
+        // bring every failed host back to half-open.
+        breakers.tick_round();
+        assert_eq!(breakers.open_count(), 80, "one cooldown round left");
+        breakers.tick_round();
+        for (i, host) in hosts.iter().enumerate() {
+            if i % 2 != 0 {
+                assert_eq!(breakers.state(host), BreakerState::HalfOpen, "{host}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_shard_hosts_transition_independently_under_contention() {
+        use std::sync::Arc;
+        // Hosts chosen to collide in shard 0, so every thread contends on
+        // a single shard mutex — which may change timing, never outcomes.
+        let colliding: Vec<String> = (0u32..)
+            .map(|i| format!("collide-{i}.example"))
+            .filter(|h| crate::mix(0xb4ea_4e85, h) % BREAKER_SHARDS as u64 == 0)
+            .take(8)
+            .collect();
+        assert_eq!(colliding.len(), 8);
+        let breakers = Arc::new(HostBreakers::new(config(2, 1)));
+
+        // Phase 1 (racing): trip every colliding host open. Extra
+        // failures on an open breaker are no-ops, so iteration count is
+        // irrelevant to the outcome.
+        std::thread::scope(|scope| {
+            for host in &colliding {
+                let breakers = Arc::clone(&breakers);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        breakers.record(host, false);
+                        breakers.record(host, false);
+                    }
+                });
+            }
+        });
+        assert_eq!(breakers.open_count(), colliding.len());
+        breakers.tick_round();
+        for host in &colliding {
+            assert_eq!(breakers.state(host), BreakerState::HalfOpen);
+        }
+
+        // Phase 2 (racing): every thread probes its own host; the first
+        // four succeed, the rest fail their probe.
+        std::thread::scope(|scope| {
+            for (i, host) in colliding.iter().enumerate() {
+                let breakers = Arc::clone(&breakers);
+                scope.spawn(move || {
+                    assert!(breakers.allow(host));
+                    breakers.record(host, i < 4);
+                });
+            }
+        });
+        for (i, host) in colliding.iter().enumerate() {
+            let expected = if i < 4 {
+                BreakerState::Closed
+            } else {
+                BreakerState::Open
+            };
+            assert_eq!(breakers.state(host), expected, "{host}");
+        }
+        assert_eq!(breakers.open_count(), 4);
+    }
+
+    #[test]
     fn replaying_an_outcome_sequence_reproduces_the_state() {
         // The property the checkpoint/resume path depends on: breaker
         // state is a pure function of the per-host outcome sequence.

@@ -41,6 +41,21 @@ pub enum StoreError {
     UnknownDomain(String),
     /// Random access asked for a week beyond the committed range.
     UnknownWeek(usize),
+    /// A deterministic fail-point injected this failure (chaos testing;
+    /// never produced by real I/O).
+    Injected {
+        /// The fail-point site that fired.
+        site: String,
+    },
+    /// Supervised execution quarantined more tasks than the
+    /// `--max-task-failures` budget allows; the run gave up rather than
+    /// degrade further.
+    FailureBudgetExceeded {
+        /// Tasks quarantined so far.
+        failures: u64,
+        /// The configured budget.
+        budget: u64,
+    },
 }
 
 impl StoreError {
@@ -80,6 +95,23 @@ impl fmt::Display for StoreError {
             StoreError::Mismatch(detail) => write!(f, "store/config mismatch: {detail}"),
             StoreError::UnknownDomain(domain) => write!(f, "domain {domain:?} not in store"),
             StoreError::UnknownWeek(week) => write!(f, "week {week} not committed"),
+            StoreError::Injected { site } => {
+                write!(f, "injected failure at fail-point '{site}'")
+            }
+            StoreError::FailureBudgetExceeded { failures, budget } => {
+                write!(
+                    f,
+                    "task-failure budget exceeded: {failures} tasks quarantined (budget {budget})"
+                )
+            }
+        }
+    }
+}
+
+impl From<webvuln_failpoint::Injected> for StoreError {
+    fn from(injected: webvuln_failpoint::Injected) -> StoreError {
+        StoreError::Injected {
+            site: injected.site.to_string(),
         }
     }
 }

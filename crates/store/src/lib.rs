@@ -67,7 +67,7 @@ pub use reader::StoreReader;
 pub use record::{
     DetectionRecord, DomainRecord, FlashRecord, PageRecord, ScriptRecord, WeekData, WordPressRecord,
 };
-pub use writer::{CommitInfo, Resumed, StoreWriter, WriterStats};
+pub use writer::{CommitInfo, Resumed, StoreWriter, WriterStats, FAILPOINTS};
 
 #[cfg(test)]
 mod tests {

@@ -6,6 +6,20 @@
 //! being written and/or the footer — and [`StoreWriter::resume`] recovers
 //! by truncating the file back to the last intact segment.
 
+/// Fail-point sites owned by this crate, for the chaos-harness catalog.
+///
+/// - `store.segment.mid_write` — fires between the two halves of a
+///   segment envelope write, leaving a genuinely torn segment for
+///   resume to truncate.
+/// - `store.footer.rewrite` — fires before the footer is rewritten, so
+///   the file ends with data the footer does not index (or no footer).
+/// - `store.finalize` — fires before the finalize segment is appended.
+pub const FAILPOINTS: &[&str] = &[
+    "store.segment.mid_write",
+    "store.footer.rewrite",
+    "store.finalize",
+];
+
 use crate::error::StoreError;
 use crate::format::{
     self, decode_week_full, encode_footer, encode_genesis, encode_header, encode_segment, kind,
@@ -237,6 +251,7 @@ impl StoreWriter {
         if self.finalized {
             return Err(StoreError::AlreadyFinalized);
         }
+        let _ = webvuln_failpoint::failpoint!("store.finalize")?;
         let payload = format::encode_finalize(filtered_out, &mut self.table);
         let envelope = encode_segment(kind::FINALIZE, &payload);
         self.append_segment(&envelope, kind::FINALIZE, 0)?;
@@ -251,9 +266,17 @@ impl StoreWriter {
         week: usize,
     ) -> Result<(), StoreError> {
         let offset = self.data_end;
+        // The envelope is written in two halves around the mid-write
+        // fail-point, so an injected crash leaves a genuinely torn
+        // segment (and a stale footer) for resume to truncate.
+        let (head, tail) = envelope.split_at(envelope.len() / 2);
         self.file
             .seek(SeekFrom::Start(offset))
-            .and_then(|_| self.file.write_all(envelope))
+            .and_then(|_| self.file.write_all(head))
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        let _ = webvuln_failpoint::failpoint!("store.segment.mid_write")?;
+        self.file
+            .write_all(tail)
             .map_err(|e| StoreError::io(&self.path, e))?;
         self.data_end = offset + envelope.len() as u64;
         self.metas.push(SegmentMeta {
@@ -266,6 +289,7 @@ impl StoreWriter {
     }
 
     fn rewrite_footer(&mut self) -> Result<(), StoreError> {
+        let _ = webvuln_failpoint::failpoint!("store.footer.rewrite")?;
         let footer = encode_footer(&self.metas);
         self.file
             .seek(SeekFrom::Start(self.data_end))

@@ -4,7 +4,7 @@
 //! webvuln study   [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
 //!                 [--retries N] [--fault-profile none|realistic|hostile]
 //!                 [--carry-forward] [--store FILE [--resume]] [--progress]
-//!                 [--telemetry [FILE]]
+//!                 [--max-task-failures N] [--telemetry [FILE]]
 //! webvuln validate [REPORT_ID]
 //! webvuln crawl   [--domains N] [--week N] [--retries N] [--threads N]
 //!                 [--fault-profile none|realistic|hostile] [--tcp] [--telemetry]
@@ -50,7 +50,7 @@ USAGE:
   webvuln study    [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
                    [--retries N] [--fault-profile none|realistic|hostile]
                    [--carry-forward] [--store FILE [--resume]] [--progress]
-                   [--telemetry [FILE]]
+                   [--max-task-failures N] [--telemetry [FILE]]
                    run the full study and print every table/figure
   webvuln validate [REPORT_ID]
                    run the §6.4 version-validation experiment
@@ -78,6 +78,11 @@ FLAGS:
   --store FILE       commit each crawled week to a binary snapshot store
   --resume           with --store: restore committed weeks instead of
                      recrawling them (tolerates a torn tail after a crash)
+  --max-task-failures N
+                     run crawl/fingerprint tasks under supervision: a
+                     panicking or over-deadline task quarantines its
+                     domain instead of aborting; the study fails only
+                     after more than N tasks have been quarantined
   --telemetry [FILE] print the metrics snapshot as JSON on stderr, or
                      write it to FILE when one is given"
     );
@@ -146,6 +151,9 @@ fn cmd_study(args: &[String]) {
     }
     eprintln!("study: {domains} domains x {weeks} weeks (seed {seed})");
     let mut pipeline = Pipeline::new(config).telemetry(&telemetry);
+    if let Some(budget) = flag(args, "--max-task-failures").and_then(|v| v.parse().ok()) {
+        pipeline = pipeline.max_task_failures(budget);
+    }
     let store = flag(args, "--store").map(std::path::PathBuf::from);
     if let Some(path) = &store {
         pipeline = pipeline

@@ -16,6 +16,7 @@
 //! | [`webgen`] | `webvuln-webgen` | synthetic web ecosystem |
 //! | [`net`] | `webvuln-net` | HTTP/1.1 stack + crawler |
 //! | [`resilience`] | `webvuln-resilience` | retries, backoff, circuit breakers |
+//! | [`failpoint`] | `webvuln-failpoint` | deterministic fail-point injection |
 //! | [`fingerprint`] | `webvuln-fingerprint` | Wappalyzer-equivalent |
 //! | [`poclab`] | `webvuln-poclab` | version-validation experiment |
 //! | [`analysis`] | `webvuln-analysis` | tables & figures |
@@ -41,6 +42,7 @@
 pub use webvuln_analysis as analysis;
 pub use webvuln_core as core;
 pub use webvuln_cvedb as cvedb;
+pub use webvuln_failpoint as failpoint;
 pub use webvuln_fingerprint as fingerprint;
 pub use webvuln_html as html;
 pub use webvuln_net as net;

@@ -1,0 +1,238 @@
+//! Crash-consistency chaos harness: kill the study at every registered
+//! fail-point and prove that resuming from the snapshot store reproduces
+//! an uninterrupted run exactly — byte-identical store file, identical
+//! analysis report.
+//!
+//! The harness enumerates [`failpoint_catalog`] so a fail-point added to
+//! any crate is automatically killed here; a site without a kill
+//! schedule fails the test loudly instead of being skipped. A second
+//! group pins the supervision contract: a panicking domain is
+//! quarantined — not fatal — at 1, 2, and 8 threads with identical
+//! output bytes, and the `--max-task-failures` budget turns sustained
+//! failure into a structured error.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use webvuln::core::{failpoint_catalog, full_report, Pipeline, StudyConfig, StudyResults};
+use webvuln::failpoint::{arm_key, arm_nth, disarm, reset, Action};
+use webvuln::net::{FaultPlan, RetryPolicy, SuperviseConfig};
+use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+/// Serializes every test in this binary: the fail-point registry is
+/// process-global and a site holds one arm at a time.
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FP_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+const DOMAINS: usize = 40;
+const WEEKS: usize = 3;
+
+fn config(seed: u64, threads: usize) -> StudyConfig {
+    StudyConfig {
+        seed,
+        domain_count: DOMAINS,
+        timeline: Timeline::truncated(WEEKS),
+        concurrency: threads,
+        faults: FaultPlan::realistic(seed),
+        retry: RetryPolicy::standard(1),
+        ..StudyConfig::default()
+    }
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let tag = tag.replace('.', "-");
+    std::env::temp_dir().join(format!("webvuln-chaosfp-{tag}-{}.wvstore", std::process::id()))
+}
+
+/// The report prefix that depends only on the dataset (everything before
+/// the run-specific telemetry tables).
+fn analysis_part(results: &StudyResults) -> String {
+    let report = full_report(results);
+    report.split("Run telemetry").next().unwrap().to_string()
+}
+
+/// How many hits a site takes before the injected kill. Once-per-run
+/// sites die on their first hit; per-week sites on their second (so at
+/// least one week is already committed); per-task sites deep enough into
+/// the run that the store holds a committed week.
+fn kill_schedule(site: &str) -> u64 {
+    match site {
+        "phase.generate" | "phase.join" | "phase.analyze" | "store.finalize" => 1,
+        "phase.crawl" | "phase.fingerprint" | "checkpoint.commit" | "store.footer.rewrite"
+        | "store.segment.mid_write" => 2,
+        "crawl.fetch" => DOMAINS as u64 + 10,
+        "exec.task" => 100,
+        other => panic!("fail-point {other:?} has no kill schedule — add one to this harness"),
+    }
+}
+
+/// The tentpole: for every registered fail-point, crash an unsupervised
+/// checkpointed study at that site, resume from whatever the store holds,
+/// and require the healed store bytes and the analysis report to match an
+/// uninterrupted run exactly.
+#[test]
+fn kill_at_every_fail_point_resumes_byte_identically() {
+    let _guard = lock();
+    reset();
+    let seed = 7_300;
+    let catalog = failpoint_catalog();
+    assert!(!catalog.is_empty(), "fail-point catalog must not be empty");
+    for required in [
+        "checkpoint.commit",
+        "crawl.fetch",
+        "exec.task",
+        "phase.analyze",
+        "phase.crawl",
+        "phase.fingerprint",
+        "phase.generate",
+        "phase.join",
+        "store.finalize",
+        "store.footer.rewrite",
+        "store.segment.mid_write",
+    ] {
+        assert!(
+            catalog.contains(&required),
+            "catalog must register {required}"
+        );
+    }
+
+    // Uninterrupted reference run.
+    let reference_store = temp_store("reference");
+    let _ = std::fs::remove_file(&reference_store);
+    let reference = Pipeline::new(config(seed, 4))
+        .checkpoint(&reference_store)
+        .run()
+        .expect("uninterrupted reference run");
+    let reference_bytes = std::fs::read(&reference_store).expect("read reference store");
+    let baseline = analysis_part(&reference);
+    let _ = std::fs::remove_file(&reference_store);
+
+    for site in catalog {
+        let store = temp_store(site);
+        let _ = std::fs::remove_file(&store);
+        arm_nth(site, kill_schedule(site), Action::Panic);
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            Pipeline::new(config(seed, 4)).checkpoint(&store).run()
+        }));
+        reset();
+        assert!(
+            crashed.is_err(),
+            "fail-point {site} never fired — kill schedule stale?"
+        );
+
+        let resumed = Pipeline::new(config(seed, 4))
+            .checkpoint(&store)
+            .resume(true)
+            .run()
+            .unwrap_or_else(|e| panic!("resume after kill at {site}: {e}"));
+        let healed = std::fs::read(&store).expect("read healed store");
+        assert_eq!(
+            healed, reference_bytes,
+            "store bytes after kill-and-resume at {site} must match the clean run"
+        );
+        assert_eq!(
+            analysis_part(&resumed),
+            baseline,
+            "analysis report after kill-and-resume at {site} must match the clean run"
+        );
+        let _ = std::fs::remove_file(&store);
+    }
+}
+
+/// Acceptance pin: under supervision a domain whose fetch task panics in
+/// every week is quarantined — the study completes (within the failure
+/// budget), surfaces the quarantine in telemetry and the report, and the
+/// output is byte-identical at 1, 2, and 8 threads.
+#[test]
+fn supervised_study_quarantines_a_panicking_domain_across_threads() {
+    let _guard = lock();
+    reset();
+    let seed = 7_301;
+    let eco = Ecosystem::generate(EcosystemConfig {
+        seed,
+        domain_count: DOMAINS,
+        timeline: Timeline::truncated(WEEKS),
+    });
+    let victim = eco.domain_names()[11].clone();
+    arm_key("crawl.fetch", &victim, Action::Panic);
+
+    let run = |threads: usize| {
+        let store = temp_store(&format!("supervised-{threads}"));
+        let _ = std::fs::remove_file(&store);
+        let results = Pipeline::new(config(seed, threads))
+            .supervise(SuperviseConfig::new())
+            .max_task_failures(10)
+            .checkpoint(&store)
+            .run()
+            .expect("supervised study must survive a panicking domain");
+        let bytes = std::fs::read(&store).expect("read store");
+        let _ = std::fs::remove_file(&store);
+        (results, bytes)
+    };
+    let (one, bytes_one) = run(1);
+    let report_one = analysis_part(&one);
+    for threads in [2, 8] {
+        let (many, bytes_many) = run(threads);
+        assert_eq!(
+            bytes_one, bytes_many,
+            "store bytes differ at {threads} threads"
+        );
+        assert_eq!(
+            report_one,
+            analysis_part(&many),
+            "analysis report differs at {threads} threads"
+        );
+    }
+    disarm("crawl.fetch");
+
+    // The victim panicked once per week and was quarantined each time.
+    let panics = one.telemetry.counter("exec.panics_total").unwrap_or(0);
+    assert_eq!(panics, WEEKS as u64, "one quarantined fetch per week");
+    assert_eq!(
+        one.telemetry.counter("exec.quarantined_total"),
+        Some(WEEKS as u64)
+    );
+    // The quarantined domain is carried as a failed fetch, not dropped:
+    // every week still accounts for all domains minus the §4.1 filter.
+    let report = full_report(&one);
+    assert!(
+        report.contains("Failure containment"),
+        "report must render the containment section"
+    );
+}
+
+/// Acceptance pin: the failure budget is a hard ceiling — a study whose
+/// quarantine count exceeds `--max-task-failures` degrades gracefully up
+/// to the budget, then fails with a structured error instead of limping
+/// on.
+#[test]
+fn exhausted_failure_budget_is_a_structured_error() {
+    let _guard = lock();
+    reset();
+    let seed = 7_302;
+    let eco = Ecosystem::generate(EcosystemConfig {
+        seed,
+        domain_count: DOMAINS,
+        timeline: Timeline::truncated(WEEKS),
+    });
+    let victim = eco.domain_names()[3].clone();
+    arm_key("crawl.fetch", &victim, Action::Panic);
+    // Budget 1 < the 3 weekly quarantines the victim will accrue.
+    let outcome = Pipeline::new(config(seed, 4))
+        .supervise(SuperviseConfig::new())
+        .max_task_failures(1)
+        .run();
+    disarm("crawl.fetch");
+    let message = match outcome {
+        Ok(_) => panic!("budget of 1 must not survive 3 quarantines"),
+        Err(e) => e.to_string(),
+    };
+    assert!(
+        message.contains("task-failure budget exceeded"),
+        "unexpected error: {message}"
+    );
+    assert!(message.contains("(budget 1)"), "unexpected error: {message}");
+}
