@@ -428,6 +428,12 @@ impl WeekCollector {
         threads: usize,
         telemetry: &Telemetry,
     ) -> BTreeMap<String, FetchRecord> {
+        // Trace scopes stamp every fetch event below with (phase, week);
+        // they reset the task field so the week summary emitted at the
+        // end has identical canonical keys on the sequential and
+        // parallel-week paths.
+        let _trace_phase = webvuln_trace::phase_scope("crawl");
+        let _trace_week = webvuln_trace::week_scope(week as u64);
         let _ = webvuln_failpoint::hit("phase.crawl", &week.to_string());
         let registry = telemetry.registry();
         let net = VirtualNet::new(Arc::new(self.ecosystem.handler(week)))
@@ -449,6 +455,13 @@ impl WeekCollector {
         let (records, failures) = options.run_contained(&self.names, &net);
         self.task_failures
             .fetch_add(failures.len() as u64, Ordering::Relaxed);
+        webvuln_trace::emit(
+            "crawl.week",
+            "",
+            &format!("domains={} quarantined={}", records.len(), failures.len()),
+            self.names.len() as u64 * 1_000,
+            webvuln_trace::Sink::Export,
+        );
         records
     }
 
@@ -467,20 +480,29 @@ impl WeekCollector {
         executor: &Executor,
         telemetry: &Telemetry,
     ) -> (Vec<PageAnalysis>, Vec<FetchRecord>) {
+        let _trace_phase = webvuln_trace::phase_scope("fingerprint");
+        let _trace_week = webvuln_trace::week_scope(week as u64);
         let _ = webvuln_failpoint::hit("phase.fingerprint", &week.to_string());
         let usable: Vec<(&str, &str)> = records
             .iter()
             .filter(|(_, record)| record.is_usable(EMPTY_PAGE_THRESHOLD))
             .map(|(domain, record)| (domain.as_str(), record.body.as_str()))
             .collect();
+        webvuln_trace::emit(
+            "fingerprint.week",
+            "",
+            &format!("usable={}", usable.len()),
+            usable.len() as u64 * 1_000,
+            webvuln_trace::Sink::Export,
+        );
         let Some(supervise) = self.config.supervise else {
             let (analyses, stats) = self.engine.analyze_batch(&usable, executor);
             record_exec_stats(telemetry.registry(), &stats);
             return (analyses, Vec::new());
         };
-        let (outcomes, stats, failures) =
-            self.engine
-                .analyze_batch_supervised(&usable, executor, supervise);
+        let (outcomes, stats, failures) = self
+            .engine
+            .analyze_batch_supervised(&usable, executor, supervise);
         record_exec_stats(telemetry.registry(), &stats);
         self.task_failures
             .fetch_add(failures.len() as u64, Ordering::Relaxed);

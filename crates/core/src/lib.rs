@@ -21,9 +21,9 @@ pub mod report;
 pub mod study;
 
 pub use report::{
-    full_report, render_containment, render_headlines, render_parallelism, render_table1,
-    render_table2, render_table3, render_table4, render_table5, render_table6, render_telemetry,
-    render_validation, series_to_csv, telemetry_json,
+    full_report, render_containment, render_cost_centers, render_headlines, render_parallelism,
+    render_table1, render_table2, render_table3, render_table4, render_table5, render_table6,
+    render_telemetry, render_validation, series_to_csv, telemetry_json,
 };
 pub use study::{
     analyze, analyze_with, failpoint_catalog, Pipeline, StudyBuilder, StudyConfig, StudyResults,
@@ -32,3 +32,4 @@ pub use study::{
 #[allow(deprecated)]
 pub use study::{run_study, run_study_checkpointed, run_study_with};
 pub use webvuln_telemetry::{Snapshot, StderrProgress, Telemetry};
+pub use webvuln_trace::{TraceData, TraceMode};

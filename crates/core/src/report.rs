@@ -395,6 +395,16 @@ pub fn render_parallelism(results: &StudyResults) -> String {
     out
 }
 
+/// Renders the "Top cost centers" section from a run's trace: the
+/// top-K fingerprint patterns by VM steps, the top-K slowest domains,
+/// and the per-phase timeline. Empty when the run was not traced.
+pub fn render_cost_centers(results: &StudyResults) -> String {
+    match &results.trace {
+        Some(trace) => trace.render_top_cost_centers(10),
+        None => String::new(),
+    }
+}
+
 /// The complete text report.
 pub fn full_report(results: &StudyResults) -> String {
     let mut out = String::new();
@@ -421,6 +431,13 @@ pub fn full_report(results: &StudyResults) -> String {
     out.push_str(&render_containment(results));
     out.push('\n');
     out.push_str(&render_parallelism(results));
+    // Appended last, and only for traced runs, so untraced reports keep
+    // their historical shape byte-for-byte.
+    let cost_centers = render_cost_centers(results);
+    if !cost_centers.is_empty() {
+        out.push('\n');
+        out.push_str(&cost_centers);
+    }
     out
 }
 
@@ -527,6 +544,27 @@ mod tests {
         assert!(json.contains("\"net.fetches_total\""), "{json}");
         assert!(json.contains("\"path\":\"generate\""), "{json}");
         assert!(json.contains("\"spans\":["), "{json}");
+    }
+
+    #[test]
+    fn traced_report_appends_cost_centers() {
+        let traced = Pipeline::new(StudyConfig::quick())
+            .domains(60)
+            .timeline(Timeline::truncated(3))
+            .trace(webvuln_trace::TraceMode::Full)
+            .run()
+            .expect("study");
+        let report = full_report(&traced);
+        assert!(report.contains("Top cost centers"), "{report}");
+        assert!(report.contains("patterns by VM steps"), "{report}");
+        assert!(report.contains("slowest domains"), "{report}");
+        // The section comes after everything else.
+        assert!(
+            report.find("Parallel execution").unwrap() < report.find("Top cost centers").unwrap()
+        );
+        // Untraced reports keep their historical shape: no section.
+        assert!(!full_report(results()).contains("Top cost centers"));
+        assert!(render_cost_centers(results()).is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use webvuln_exec::SuperviseConfig;
 use webvuln_net::{BreakerConfig, FaultPlan, RetryPolicy};
 use webvuln_poclab::{Lab, ValidationReport};
 use webvuln_telemetry::{Snapshot, Telemetry};
+use webvuln_trace::{TraceData, TraceMode, Tracer};
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 
 /// Fail-point sites owned by this crate: the three study phases that run
@@ -172,6 +173,11 @@ pub struct StudyResults {
     /// [`webvuln_telemetry`]): `net.*` crawler counters, `fp.*`
     /// fingerprint counters, and a span per pipeline phase.
     pub telemetry: Snapshot,
+    /// Causal trace of the run (see [`webvuln_trace`]): canonical event
+    /// log, per-pattern VM-step attribution, and per-domain fetch
+    /// lifecycles. `None` unless the pipeline enabled
+    /// [`trace`](Pipeline::trace).
+    pub trace: Option<TraceData>,
 }
 
 /// Builder for a full §4–§8 study run: web generation, resilience,
@@ -193,6 +199,7 @@ pub struct Pipeline<'a> {
     telemetry: Option<&'a Telemetry>,
     store: Option<PathBuf>,
     resume: bool,
+    trace: TraceMode,
 }
 
 /// Alias for [`Pipeline`]: `StudyBuilder::from(config)` reads naturally
@@ -219,6 +226,7 @@ impl<'a> Pipeline<'a> {
             telemetry: None,
             store: None,
             resume: false,
+            trace: TraceMode::Disabled,
         }
     }
 
@@ -320,6 +328,18 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Causal tracing for this run (default: [`TraceMode::Disabled`]).
+    /// [`TraceMode::Ring`] keeps only the flight recorder (bounded
+    /// memory, panic/quarantine context); [`TraceMode::Full`] also
+    /// retains the exportable event log, cost attribution, and the
+    /// "Top cost centers" report section, attached to
+    /// [`StudyResults::trace`]. The trace never changes the study's
+    /// results — only what is observed about them.
+    pub fn trace(mut self, mode: TraceMode) -> Self {
+        self.trace = mode;
+        self
+    }
+
     /// The accumulated [`StudyConfig`] (builder round-trip).
     pub fn build(&self) -> StudyConfig {
         self.config
@@ -339,14 +359,31 @@ impl<'a> Pipeline<'a> {
             }
         };
         let config = self.config;
+        let tracer = match self.trace {
+            TraceMode::Disabled => None,
+            mode => Some(Tracer::new(mode)),
+        };
+        let _trace_guard = tracer.as_ref().map(Tracer::install);
         let ecosystem = {
             let _span = telemetry.span("generate");
+            let _trace = webvuln_trace::phase_scope("generate");
             let _ = webvuln_failpoint::hit("phase.generate", "");
-            Arc::new(Ecosystem::generate(EcosystemConfig {
+            let ecosystem = Arc::new(Ecosystem::generate(EcosystemConfig {
                 seed: config.seed,
                 domain_count: config.domain_count,
                 timeline: config.timeline,
-            }))
+            }));
+            webvuln_trace::emit(
+                "generate.done",
+                "",
+                &format!(
+                    "domains={} weeks={}",
+                    config.domain_count, config.timeline.weeks
+                ),
+                config.domain_count as u64 * 1_000,
+                webvuln_trace::Sink::Export,
+            );
+            ecosystem
         };
         telemetry.emit(
             "generate",
@@ -369,8 +406,24 @@ impl<'a> Pipeline<'a> {
         if let Some(path) = &self.store {
             collector = collector.checkpoint(path).resume(self.resume);
         }
-        let outcome = collector.run(&ecosystem)?;
-        Ok(analyze_with(config, outcome.dataset, telemetry))
+        let outcome = match collector.run(&ecosystem) {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                // The run is aborting (failure budget exhausted or a
+                // store error): dump the flight recorder so the final
+                // moments of every in-flight task are not lost.
+                if let Some(tracer) = &tracer {
+                    eprintln!("study aborted: {err}");
+                    eprintln!("{}", tracer.flight_recorder_dump());
+                }
+                return Err(err);
+            }
+        };
+        let mut results = analyze_with(config, outcome.dataset, telemetry);
+        if let Some(tracer) = &tracer {
+            results.trace = Some(tracer.finish());
+        }
+        Ok(results)
     }
 }
 
@@ -420,6 +473,7 @@ pub fn analyze(config: StudyConfig, dataset: Dataset) -> StudyResults {
 pub fn analyze_with(config: StudyConfig, dataset: Dataset, telemetry: &Telemetry) -> StudyResults {
     let (db, lab, cve_impacts) = {
         let _span = telemetry.span("join");
+        let _trace = webvuln_trace::phase_scope("join");
         let _ = webvuln_failpoint::hit("phase.join", "");
         let db = VulnDb::builtin();
         let lab = Lab::new();
@@ -428,12 +482,29 @@ pub fn analyze_with(config: StudyConfig, dataset: Dataset, telemetry: &Telemetry
             .iter()
             .filter_map(|r| cve_impact(&dataset, &db, &r.id))
             .collect();
+        webvuln_trace::emit(
+            "join.done",
+            "",
+            &format!("cve_impacts={}", cve_impacts.len()),
+            cve_impacts.len() as u64 * 1_000,
+            webvuln_trace::Sink::Export,
+        );
         (db, lab, cve_impacts)
     };
     let mut results = {
         let _span = telemetry.span("analyze");
+        let _trace = webvuln_trace::phase_scope("analyze");
         let _ = webvuln_failpoint::hit("phase.analyze", "");
-        build_results(config, dataset, db, &lab, cve_impacts)
+        let weeks = dataset.week_count();
+        let results = build_results(config, dataset, db, &lab, cve_impacts);
+        webvuln_trace::emit(
+            "analyze.done",
+            "",
+            &format!("weeks={weeks}"),
+            weeks as u64 * 1_000,
+            webvuln_trace::Sink::Export,
+        );
+        results
     };
     results.telemetry = telemetry.snapshot();
     results
@@ -471,6 +542,7 @@ fn build_results(
         github: github_report(&dataset),
         validations: lab.validate_all(),
         telemetry: Snapshot::default(),
+        trace: None,
         dataset,
         db,
         config,
@@ -618,6 +690,55 @@ mod tests {
             "phase.analyze",
         ] {
             assert!(catalog.contains(&site), "catalog missing {site}");
+        }
+    }
+
+    #[test]
+    fn traced_study_is_deterministic_and_attributes_costs() {
+        let run = |threads| {
+            Pipeline::new(StudyConfig::quick())
+                .domains(80)
+                .timeline(Timeline::truncated(4))
+                .threads(threads)
+                .trace(TraceMode::Full)
+                .run()
+                .expect("study")
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        let ta = a.trace.as_ref().expect("trace");
+        let tb = b.trace.as_ref().expect("trace");
+        let tc = c.trace.as_ref().expect("trace");
+        // The canonical trace — events, pattern attribution, domain
+        // lifecycles — is identical whatever the thread count, so the
+        // exported JSON is byte-identical too.
+        assert_eq!(ta, tb);
+        assert_eq!(tb, tc);
+        assert_eq!(ta.to_chrome_json(), tc.to_chrome_json());
+        // Every study phase shows up in the event log.
+        for phase in ["generate", "crawl", "fingerprint", "join", "analyze"] {
+            assert!(
+                ta.events.iter().any(|e| e.phase == phase),
+                "phase {phase} missing from trace"
+            );
+        }
+        // Cost attribution reached both profilers.
+        assert!(!ta.patterns.is_empty(), "pattern profile empty");
+        assert!(!ta.domains.is_empty(), "domain profile empty");
+        assert!(ta.patterns.iter().any(|(_, s)| s.vm_steps > 0));
+        // Tracing is observational: the study's results are unchanged,
+        // and an untraced run attaches no trace at all.
+        let plain = Pipeline::new(StudyConfig::quick())
+            .domains(80)
+            .timeline(Timeline::truncated(4))
+            .run()
+            .expect("study");
+        assert!(plain.trace.is_none());
+        assert_eq!(plain.collection.points.len(), a.collection.points.len());
+        for (wa, wb) in plain.dataset.weeks.iter().zip(&a.dataset.weeks) {
+            assert_eq!(wa.pages, wb.pages);
+            assert_eq!(wa.summaries, wb.summaries);
         }
     }
 

@@ -173,7 +173,8 @@ impl fmt::Display for FailureKind {
 ///
 /// Everything in here is deterministic for a deterministic workload: the
 /// item index, the failure kind, the panic payload text (or deadline
-/// description), and the *virtual* elapsed cost — never wall time — so
+/// description), the *virtual* elapsed cost — never wall time — and the
+/// flight-recorder tail (rendered without physical worker ids), so
 /// quarantine decisions and any records derived from them are
 /// byte-identical across thread counts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +187,9 @@ pub struct TaskFailure {
     pub payload: String,
     /// Virtual cost the task had accumulated when it failed.
     pub elapsed_ns: u64,
+    /// The task's last trace events (newest last) at quarantine time —
+    /// the flight-recorder tail. Empty when tracing is off.
+    pub trace_tail: Vec<String>,
 }
 
 impl TaskFailure {
@@ -268,18 +272,26 @@ fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs one supervised task: resets the virtual cost, catches unwinds,
-/// applies the deadline. Returns the result or records a [`TaskFailure`].
+/// Runs one supervised task: installs the propagated trace context,
+/// resets the virtual cost, catches unwinds, applies the deadline.
+/// Returns the result or records a [`TaskFailure`] carrying the task's
+/// flight-recorder tail.
 fn run_supervised_item<T, R, F>(
     f: &F,
     item: &T,
     index: usize,
+    worker: u64,
     deadline_ns: u64,
+    trace: Option<&webvuln_trace::TraceCtx>,
     failures: &mut Vec<TaskFailure>,
 ) -> Option<R>
 where
     F: Fn(&T) -> R,
 {
+    let _scope = webvuln_trace::task_scope(trace, index as u64, worker);
+    // Ring-only breadcrumb: guarantees the tail is non-empty even when
+    // the very first thing the task does (the fail-point probe) panics.
+    webvuln_trace::emit("task.begin", "", "", 0, webvuln_trace::Sink::RingOnly);
     let _ = take_task_cost();
     // AssertUnwindSafe: on panic the task's partial result is discarded
     // and the item is quarantined; mapped closures observe only shared
@@ -300,6 +312,7 @@ where
                     "virtual task cost {elapsed_ns}ns exceeded deadline {deadline_ns}ns"
                 ),
                 elapsed_ns,
+                trace_tail: webvuln_trace::current_tail(),
             });
             None
         }
@@ -309,6 +322,7 @@ where
                 kind: FailureKind::Panic,
                 payload: payload_text(payload.as_ref()),
                 elapsed_ns,
+                trace_tail: webvuln_trace::current_tail(),
             });
             None
         }
@@ -432,6 +446,10 @@ impl Executor {
         if items.is_empty() {
             return (Vec::new(), ExecStats::empty(threads));
         }
+        // Captured once on the calling thread; each item (re-)installs it
+        // as its task scope so events land in the caller's trace no
+        // matter which worker ends up running a stolen chunk.
+        let trace = webvuln_trace::capture();
         let bounds = self.chunk_bounds(items.len(), threads);
         let tasks = bounds.len() as u64;
 
@@ -443,7 +461,9 @@ impl Executor {
             let started = Instant::now();
             let out: Vec<R> = items
                 .iter()
-                .map(|item| {
+                .enumerate()
+                .map(|(index, item)| {
+                    let _scope = webvuln_trace::task_scope(trace.as_ref(), index as u64, 0);
                     probe_task();
                     f(item)
                 })
@@ -481,6 +501,7 @@ impl Executor {
                 let results = &results;
                 let panicked = &panicked;
                 let f = &f;
+                let trace = trace.as_ref();
                 let seed = self.seed;
                 scope.spawn(move || {
                     let mut local_busy: u64 = 0;
@@ -526,7 +547,13 @@ impl Executor {
                         let run = catch_unwind(AssertUnwindSafe(|| {
                             items[lo..hi]
                                 .iter()
-                                .map(|item| {
+                                .enumerate()
+                                .map(|(offset, item)| {
+                                    let _scope = webvuln_trace::task_scope(
+                                        trace,
+                                        (lo + offset) as u64,
+                                        worker as u64,
+                                    );
                                     probe_task();
                                     f(item)
                                 })
@@ -549,6 +576,11 @@ impl Executor {
 
         let mut panics = panicked.into_inner().unwrap_or_else(|p| p.into_inner());
         if !panics.is_empty() {
+            // A crash escapes the run here: dump the flight recorder so
+            // the panic comes with its last-N-events context.
+            if let Some(trace) = &trace {
+                eprintln!("{}", trace.flight_recorder_dump());
+            }
             // Deterministic propagation: always re-raise the panic of the
             // lowest-index chunk that failed before the pool drained.
             panics.sort_by_key(|(index, _)| *index);
@@ -596,6 +628,7 @@ impl Executor {
         if items.is_empty() {
             return (Vec::new(), ExecStats::empty(threads), Vec::new());
         }
+        let trace = webvuln_trace::capture();
         let bounds = self.chunk_bounds(items.len(), threads);
         let tasks = bounds.len() as u64;
         let deadline_ns = supervise.deadline_ns;
@@ -606,7 +639,17 @@ impl Executor {
             let out: Vec<Option<R>> = items
                 .iter()
                 .enumerate()
-                .map(|(index, item)| run_supervised_item(&f, item, index, deadline_ns, &mut failures))
+                .map(|(index, item)| {
+                    run_supervised_item(
+                        &f,
+                        item,
+                        index,
+                        0,
+                        deadline_ns,
+                        trace.as_ref(),
+                        &mut failures,
+                    )
+                })
                 .collect();
             let mut stats = ExecStats::empty(threads);
             stats.items = items.len() as u64;
@@ -655,6 +698,7 @@ impl Executor {
                 let all_failures = &all_failures;
                 let watchdog_done = &watchdog_done;
                 let f = &f;
+                let trace = trace.as_ref();
                 let seed = self.seed;
                 let base = &base;
                 scope.spawn(move || {
@@ -697,7 +741,9 @@ impl Executor {
                                 f,
                                 item,
                                 lo + offset,
+                                worker as u64,
                                 deadline_ns,
+                                trace,
                                 &mut failures,
                             ));
                             task_started_ms[worker].store(0, Ordering::Relaxed);
@@ -1023,6 +1069,68 @@ mod tests {
         assert_eq!(failures, Vec::new());
         assert_eq!(out.into_iter().flatten().collect::<Vec<_>>(), items);
         assert!(stats.stalls >= 1, "stalls = {}", stats.stalls);
+    }
+
+    #[test]
+    fn trace_context_propagates_and_failures_carry_tails() {
+        let tracer = webvuln_trace::Tracer::new(webvuln_trace::TraceMode::Full);
+        let items: Vec<u64> = (0..120).collect();
+        let run = |threads: usize| {
+            let _g = tracer.install();
+            let _p = webvuln_trace::phase_scope("crawl");
+            Executor::new(threads).chunk_size(5).map_supervised(
+                &items,
+                SuperviseConfig::new(),
+                |n| {
+                    webvuln_trace::emit("item.seen", "", "", 100, webvuln_trace::Sink::Export);
+                    if n % 37 == 1 {
+                        panic!("bad item {n}");
+                    }
+                    *n
+                },
+            )
+        };
+        let (_, _, ref_failures) = run(1);
+        assert_eq!(
+            ref_failures.iter().map(|t| t.index).collect::<Vec<_>>(),
+            vec![1, 38, 75, 112]
+        );
+        for failure in &ref_failures {
+            assert!(!failure.trace_tail.is_empty(), "tail must not be empty");
+            // task.begin breadcrumb plus the event emitted before the panic.
+            assert!(
+                failure.trace_tail[0].contains("task.begin"),
+                "{:?}",
+                failure.trace_tail
+            );
+            assert!(
+                failure.trace_tail.iter().any(|l| l.contains("item.seen")),
+                "{:?}",
+                failure.trace_tail
+            );
+            assert!(
+                failure.trace_tail[0].starts_with("[crawl"),
+                "phase propagated"
+            );
+        }
+        // Identical failures — tails included — at any thread count.
+        for threads in [2, 8] {
+            let (_, _, failures) = run(threads);
+            assert_eq!(failures, ref_failures, "threads={threads}");
+        }
+        // Every mapped item emitted exactly one export event with its own
+        // task index, regardless of which worker ran it.
+        let data = tracer.finish();
+        let mut item_events: Vec<u64> = data
+            .events
+            .iter()
+            .filter(|e| e.name == "item.seen")
+            .map(|e| e.task)
+            .collect();
+        assert_eq!(item_events.len(), 3 * items.len(), "3 runs x 120 items");
+        item_events.dedup();
+        assert_eq!(item_events.len(), items.len(), "every task index covered");
+        assert!(data.events.iter().all(|e| e.phase == "crawl"));
     }
 
     #[test]

@@ -196,6 +196,80 @@ struct Tally {
     misses: u64,
 }
 
+/// Stable labels and flat offsets for every compiled pattern, so the
+/// self-profiler can attribute VM steps to individual patterns
+/// (`jQuery/url#0`, `WordPress/generator`, …) without allocating on the
+/// match path. Built once per [`Engine`].
+struct PatternIndex {
+    /// One label per pattern, flat.
+    labels: Vec<String>,
+    /// `url_base[i]` = index in `labels` of `db[i].url_patterns[0]`.
+    url_base: Vec<usize>,
+    /// `inline_base[i]` = index in `labels` of `db[i].inline_patterns[0]`.
+    inline_base: Vec<usize>,
+    /// Index of the WordPress generator-meta pattern.
+    generator: usize,
+    /// Index of the WordPress path pattern.
+    path: usize,
+}
+
+impl PatternIndex {
+    fn build(db: &[Fingerprint]) -> PatternIndex {
+        let mut labels = Vec::new();
+        let mut url_base = Vec::with_capacity(db.len());
+        let mut inline_base = Vec::with_capacity(db.len());
+        for fp in db {
+            url_base.push(labels.len());
+            for i in 0..fp.url_patterns.len() {
+                labels.push(format!("{}/url#{i}", fp.library.name()));
+            }
+            inline_base.push(labels.len());
+            for i in 0..fp.inline_patterns.len() {
+                labels.push(format!("{}/inline#{i}", fp.library.name()));
+            }
+        }
+        let generator = labels.len();
+        labels.push("WordPress/generator".to_string());
+        let path = labels.len();
+        labels.push("WordPress/path".to_string());
+        PatternIndex {
+            labels,
+            url_base,
+            inline_base,
+            generator,
+            path,
+        }
+    }
+}
+
+/// Per-page profiler scratch: one [`PatternStat`] slot per pattern in the
+/// [`PatternIndex`], accumulated with plain integer adds and flushed into
+/// the tracer once per page. `None` when tracing is off — the match loops
+/// then pay nothing.
+type PageProfile = Option<Vec<webvuln_trace::PatternStat>>;
+
+/// Evaluates `pattern(input)` through `eval`, charging the VM steps and
+/// eval/match counts to `slot` when profiling.
+fn profiled<T>(
+    prof: &mut PageProfile,
+    slot: usize,
+    hit: impl Fn(&T) -> bool,
+    eval: impl FnOnce() -> T,
+) -> T {
+    match prof {
+        Some(stats) => {
+            let before = thread_vm_steps();
+            let value = eval();
+            let stat = &mut stats[slot];
+            stat.vm_steps += thread_vm_steps().wrapping_sub(before);
+            stat.evals += 1;
+            stat.matches += hit(&value) as u64;
+            value
+        }
+        None => eval(),
+    }
+}
+
 /// The fingerprint engine. Compile once, analyze many pages; `Engine` is
 /// immutable and `Sync`, so workers can share one instance.
 pub struct Engine {
@@ -203,16 +277,20 @@ pub struct Engine {
     wordpress: WordPressFingerprint,
     use_inline: bool,
     metrics: Option<EngineMetrics>,
+    index: PatternIndex,
 }
 
 impl Engine {
     /// Compiles the built-in fingerprint database.
     pub fn new() -> Engine {
+        let db = fingerprints();
+        let index = PatternIndex::build(&db);
         Engine {
-            db: fingerprints(),
+            db,
             wordpress: wordpress_fingerprint(),
             use_inline: true,
             metrics: None,
+            index,
         }
     }
 
@@ -270,13 +348,26 @@ impl Engine {
         ExecStats,
         Vec<webvuln_exec::TaskFailure>,
     ) {
-        executor.map_supervised(pages, supervise, |&(domain, html)| self.analyze(html, domain))
+        executor.map_supervised(pages, supervise, |&(domain, html)| {
+            self.analyze(html, domain)
+        })
     }
 
     /// Analyzes already-extracted page resources.
     pub fn analyze_resources(&self, resources: &PageResources, domain: &str) -> PageAnalysis {
         let steps_before = thread_vm_steps();
         let mut tally = Tally::default();
+        // One profiler check per page: when a tracer is on this causal
+        // path, every pattern evaluation below is individually timed in
+        // VM steps and flushed to the tracer once, at the end.
+        let mut prof: PageProfile = if webvuln_trace::profiling() {
+            Some(vec![
+                webvuln_trace::PatternStat::default();
+                self.index.labels.len()
+            ])
+        } else {
+            None
+        };
         let mut out = PageAnalysis::default();
         let mut wp_version: Option<Option<Version>> = None;
         let mut wp_path_hit = false;
@@ -284,24 +375,40 @@ impl Engine {
         for script in &resources.scripts {
             match &script.src {
                 Some(src) => {
-                    self.match_script_url(script, src, domain, &mut out, &mut tally);
+                    self.match_script_url(script, src, domain, &mut out, &mut tally, &mut prof);
                     tally.patterns += 1;
-                    if self.wordpress.path.is_match(src) {
+                    if profiled(
+                        &mut prof,
+                        self.index.path,
+                        |m: &bool| *m,
+                        || self.wordpress.path.is_match(src),
+                    ) {
                         wp_path_hit = true;
                     }
                 }
-                None => self.match_inline(&script.inline, &mut out, &mut tally),
+                None => self.match_inline(&script.inline, &mut out, &mut tally, &mut prof),
             }
         }
         for link in &resources.links {
             tally.patterns += 1;
-            if self.wordpress.path.is_match(&link.href) {
+            if profiled(
+                &mut prof,
+                self.index.path,
+                |m: &bool| *m,
+                || self.wordpress.path.is_match(&link.href),
+            ) {
                 wp_path_hit = true;
             }
         }
         for generator in &resources.generators {
             tally.patterns += 1;
-            if let Some(caps) = self.wordpress.generator.captures(generator) {
+            let caps = profiled(
+                &mut prof,
+                self.index.generator,
+                |c: &Option<_>| c.is_some(),
+                || self.wordpress.generator.captures(generator),
+            );
+            if let Some(caps) = caps {
                 let version = caps
                     .get(1)
                     .filter(|s| !s.is_empty())
@@ -335,6 +442,13 @@ impl Engine {
             metrics.hits_meta.add(tally.hits_meta);
             metrics.misses.add(tally.misses);
         }
+        if let Some(stats) = prof {
+            // One tracer lock for the whole page; zero-eval slots are
+            // skipped inside.
+            webvuln_trace::pattern_stats_add(
+                self.index.labels.iter().map(String::as_str).zip(stats),
+            );
+        }
         out
     }
 
@@ -345,6 +459,7 @@ impl Engine {
         domain: &str,
         out: &mut PageAnalysis,
         tally: &mut Tally,
+        prof: &mut PageProfile,
     ) {
         let external_host = url_host(src)
             .filter(|h| !h.eq_ignore_ascii_case(domain))
@@ -365,10 +480,16 @@ impl Engine {
                 });
             }
         }
-        for fp in &self.db {
-            for pat in &fp.url_patterns {
+        for (fi, fp) in self.db.iter().enumerate() {
+            for (pi, pat) in fp.url_patterns.iter().enumerate() {
                 tally.patterns += 1;
-                if let Some(caps) = pat.captures(src) {
+                let caps = profiled(
+                    prof,
+                    self.index.url_base[fi] + pi,
+                    |c: &Option<_>| c.is_some(),
+                    || pat.captures(src),
+                );
+                if let Some(caps) = caps {
                     let version = caps
                         .get(1)
                         .filter(|s| !s.is_empty())
@@ -396,14 +517,26 @@ impl Engine {
         tally.misses += 1;
     }
 
-    fn match_inline(&self, text: &str, out: &mut PageAnalysis, tally: &mut Tally) {
+    fn match_inline(
+        &self,
+        text: &str,
+        out: &mut PageAnalysis,
+        tally: &mut Tally,
+        prof: &mut PageProfile,
+    ) {
         if !self.use_inline || text.is_empty() {
             return;
         }
-        for fp in &self.db {
-            for pat in &fp.inline_patterns {
+        for (fi, fp) in self.db.iter().enumerate() {
+            for (pi, pat) in fp.inline_patterns.iter().enumerate() {
                 tally.patterns += 1;
-                if let Some(caps) = pat.captures(text) {
+                let caps = profiled(
+                    prof,
+                    self.index.inline_base[fi] + pi,
+                    |c: &Option<_>| c.is_some(),
+                    || pat.captures(text),
+                );
+                if let Some(caps) = caps {
                     let version = caps
                         .get(1)
                         .filter(|s| !s.is_empty())
@@ -747,6 +880,58 @@ mod tests {
         assert!(a.detections.is_empty());
         assert!(a.wordpress.is_none());
         assert!(a.resource_types.is_empty());
+    }
+
+    #[test]
+    fn profiler_attributes_vm_steps_to_individual_patterns() {
+        let tracer = webvuln_trace::Tracer::new(webvuln_trace::TraceMode::Ring);
+        let html = r#"
+            <meta name="generator" content="WordPress 5.6">
+            <script src="https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery.min.js"></script>
+            <script src="/js/unknown-widget.js"></script>
+        "#;
+        let e = engine();
+        let baseline = e.analyze(html, "site.example");
+        {
+            let _g = tracer.install();
+            let profiled = e.analyze(html, "site.example");
+            assert_eq!(profiled, baseline, "profiling never changes results");
+        }
+        let data = tracer.finish();
+        assert!(!data.patterns.is_empty());
+        // Attribution is per-pattern, not per-library: exactly one of the
+        // jQuery url patterns matched the CDN script; its siblings were
+        // evaluated (and charged VM steps) without matching.
+        let jq: Vec<_> = data
+            .patterns
+            .iter()
+            .filter(|(label, _)| label.starts_with("jQuery/url#"))
+            .collect();
+        assert!(!jq.is_empty(), "jQuery url patterns were evaluated");
+        let hit = jq
+            .iter()
+            .find(|(_, s)| s.matches >= 1)
+            .expect("the CDN script matched one jQuery url pattern");
+        assert!(hit.1.evals >= 1);
+        assert!(hit.1.vm_steps > 0, "VM steps attributed to the pattern");
+        assert!(
+            jq.iter().any(|(_, s)| s.evals >= 1 && s.matches == 0),
+            "sibling patterns carry their own (missed) evaluations"
+        );
+        let wp = data
+            .patterns
+            .iter()
+            .find(|(label, _)| label == "WordPress/generator")
+            .map(|(_, s)| *s)
+            .expect("generator evaluated");
+        assert_eq!(wp.matches, 1);
+        // The unknown script walked (and missed) many patterns; each
+        // evaluation is individually attributed, never lumped.
+        let total_evals: u64 = data.patterns.iter().map(|(_, s)| s.evals).sum();
+        assert!(total_evals > 10, "evals = {total_evals}");
+        // Without a tracer the profiler adds nothing.
+        let again = e.analyze(html, "site.example");
+        assert_eq!(again, baseline);
     }
 
     #[test]

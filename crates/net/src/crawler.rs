@@ -119,6 +119,20 @@ struct CrawlerMetrics {
     latency: Histogram,
 }
 
+/// The distinct `net.*` counter each [`ErrorClass`] bites into — every
+/// transport/protocol failure mode is attributable from a snapshot, not
+/// flattened into `net.fetch_errors_total`.
+fn class_counter_name(class: ErrorClass) -> &'static str {
+    match class {
+        ErrorClass::Refused => "net.errors_refused_total",
+        ErrorClass::Timeout => "net.errors_timeout_total",
+        ErrorClass::Truncated => "net.errors_truncated_total",
+        ErrorClass::Protocol => "net.errors_protocol_total",
+        ErrorClass::Unreachable => "net.errors_unreachable_total",
+        ErrorClass::Io => "net.errors_io_total",
+    }
+}
+
 impl CrawlerMetrics {
     fn from_registry(registry: &Registry) -> CrawlerMetrics {
         CrawlerMetrics {
@@ -133,7 +147,7 @@ impl CrawlerMetrics {
         }
     }
 
-    fn record(&self, record: &FetchRecord, elapsed_ns: u64) {
+    fn record(&self, registry: &Registry, record: &FetchRecord, elapsed_ns: u64) {
         self.fetches.inc();
         self.bytes.add(record.body.len() as u64);
         self.latency.record(elapsed_ns);
@@ -142,7 +156,24 @@ impl CrawlerMetrics {
             Some(s) if (300..400).contains(&s) => self.status_3xx.inc(),
             Some(s) if (400..500).contains(&s) => self.status_4xx.inc(),
             Some(_) => self.status_5xx.inc(),
-            None => self.errors.inc(),
+            None => {
+                self.errors.inc();
+                // Per-cause counters, registered lazily so fault-free
+                // snapshots keep their historical shape. The classless
+                // synthetic outcomes (injected fail-points, quarantines,
+                // breaker skips) get distinct counters too — no failure
+                // mode ever disappears into the aggregate.
+                let cause = match record.error_class {
+                    Some(class) => class_counter_name(class),
+                    None => match record.error.as_deref() {
+                        Some(e) if e.starts_with("injected:") => "net.errors_injected_total",
+                        Some(e) if e.starts_with("quarantined:") => "net.errors_quarantined_total",
+                        Some(e) if e.starts_with("skipped:") => "net.errors_breaker_skip_total",
+                        _ => "net.errors_other_total",
+                    },
+                };
+                registry.counter(cause).inc();
+            }
         }
     }
 }
@@ -168,13 +199,14 @@ impl RetryMetrics {
 
     /// Accounts one retry: the backoff delay is computed from the policy
     /// and *recorded* by advancing the virtual clock rather than slept.
+    /// Returns the delay so tracing can attribute it to the domain.
     fn note_backoff(
         &self,
         retry: &RetryPolicy,
         clock: &VirtualClock,
         domain: &str,
         failed_attempt: u32,
-    ) {
+    ) -> u64 {
         self.retries.inc();
         let delay = retry.backoff_ns(domain, failed_attempt);
         clock.advance(delay);
@@ -182,6 +214,7 @@ impl RetryMetrics {
         // virtual cost, never a sleep.
         charge_task(delay);
         self.backoff_delay.record(delay);
+        delay
     }
 }
 
@@ -393,7 +426,7 @@ impl<'a> CrawlOptions<'a> {
                     &retry_metrics,
                 );
                 let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                metrics.record(&record, elapsed_ns);
+                metrics.record(registry, &record, elapsed_ns);
                 record
             });
             record_exec_stats(registry, &stats);
@@ -407,10 +440,8 @@ impl<'a> CrawlOptions<'a> {
         // Supervised path: metrics are recorded after the map (once per
         // final record, quarantined or not), so a task that completes
         // but blows its deadline is not double-counted.
-        let (outcomes, stats, failures) = Executor::new(self.threads).map_supervised(
-            domains,
-            supervise,
-            |domain| {
+        let (outcomes, stats, failures) =
+            Executor::new(self.threads).map_supervised(domains, supervise, |domain| {
                 let started = Instant::now();
                 let record = fetch_domain_resilient(
                     connector,
@@ -422,8 +453,7 @@ impl<'a> CrawlOptions<'a> {
                 );
                 let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 (record, elapsed_ns)
-            },
-        );
+            });
         record_exec_stats(registry, &stats);
         let mut quarantined = failures.iter();
         let mut next_failure = quarantined.next();
@@ -431,7 +461,7 @@ impl<'a> CrawlOptions<'a> {
         for (index, outcome) in outcomes.into_iter().enumerate() {
             let record = match outcome {
                 Some((record, elapsed_ns)) => {
-                    metrics.record(&record, elapsed_ns);
+                    metrics.record(registry, &record, elapsed_ns);
                     record
                 }
                 None => {
@@ -449,7 +479,7 @@ impl<'a> CrawlOptions<'a> {
                         attempts: 0,
                         recovered: false,
                     };
-                    metrics.record(&record, 0);
+                    metrics.record(registry, &record, 0);
                     record
                 }
             };
@@ -538,7 +568,16 @@ pub fn fetch_domain_with_retry(
     )
 }
 
+/// Nominal deterministic cost of one connection attempt, used for trace
+/// timeline layout and "slowest domain" ranking. Wall time would differ
+/// run to run; a domain's *deterministic* cost is its virtual backoff
+/// plus this per-attempt charge.
+const ATTEMPT_COST_NS: u64 = 1_000_000;
+
 /// The full resilient fetch: breaker gate, retry loop, outcome recording.
+/// When tracing is on, the whole lifecycle — fail-point hits, breaker
+/// skips, each backoff, the final outcome — is emitted as trace events
+/// and attributed to the domain via [`webvuln_trace::domain_stat_add`].
 fn fetch_domain_resilient(
     connector: &dyn Connect,
     domain: &str,
@@ -547,13 +586,37 @@ fn fetch_domain_resilient(
     clock: &VirtualClock,
     metrics: &RetryMetrics,
 ) -> FetchRecord {
+    use webvuln_trace::{domain_stat_add, emit, DomainStat, Sink};
+
+    // Ring-only breadcrumb before the fail-point probe: an injected
+    // panic's flight-recorder tail always names the domain it hit.
+    emit("fetch.begin", domain, "", 0, Sink::RingOnly);
+    let mut stat = DomainStat {
+        fetches: 1,
+        ..DomainStat::default()
+    };
     // Probed before the breaker gate or any counter mutates, so an
     // injected crash leaves no partial state and the outcome is
     // identical for every thread count.
     match webvuln_failpoint::failpoint!("crawl.fetch", domain) {
         Ok(0) => {}
-        Ok(delay_ns) => charge_task(delay_ns),
+        Ok(delay_ns) => {
+            charge_task(delay_ns);
+            stat.failpoints += 1;
+            stat.cost_ns += delay_ns;
+            emit("fetch.failpoint", domain, "delay", delay_ns, Sink::Export);
+        }
         Err(injected) => {
+            stat.failpoints += 1;
+            stat.errors += 1;
+            emit(
+                "fetch.injected",
+                domain,
+                &injected.to_string(),
+                0,
+                Sink::Export,
+            );
+            domain_stat_add(domain, stat);
             return FetchRecord {
                 domain: domain.to_string(),
                 status: None,
@@ -568,6 +631,9 @@ fn fetch_domain_resilient(
     if let Some(breakers) = breakers {
         if !breakers.allow(domain) {
             metrics.breaker_open.inc();
+            stat.breaker_skips += 1;
+            emit("fetch.breaker_open", domain, "skipped", 0, Sink::Export);
+            domain_stat_add(domain, stat);
             // No breaker.record: a skipped host learns nothing; the
             // collector's round tick moves it toward half-open.
             return FetchRecord {
@@ -589,13 +655,29 @@ fn fetch_domain_resilient(
             // 5xx responses are retryable at the HTTP level: the server
             // answered, but with a failure a later attempt may outlive.
             Ok(response) if response.status.0 >= 500 && retry.allows_retry(attempts) => {
-                metrics.note_backoff(retry, clock, domain, attempts - 1);
+                let delay = metrics.note_backoff(retry, clock, domain, attempts - 1);
+                stat.backoff_ns += delay;
+                emit(
+                    "fetch.retry",
+                    domain,
+                    &format!("5xx attempt={attempts}"),
+                    delay,
+                    Sink::Export,
+                );
             }
             Ok(response) => {
                 break (Some(response.status.0), response.body_text(), None, None);
             }
             Err(e) if e.is_retryable() && retry.allows_retry(attempts) => {
-                metrics.note_backoff(retry, clock, domain, attempts - 1);
+                let delay = metrics.note_backoff(retry, clock, domain, attempts - 1);
+                stat.backoff_ns += delay;
+                emit(
+                    "fetch.retry",
+                    domain,
+                    &format!("{} attempt={attempts}", e.class()),
+                    delay,
+                    Sink::Export,
+                );
             }
             // Permanent failures and exhausted budgets alike count as
             // inaccessible — the paper's filter does not distinguish them.
@@ -621,6 +703,17 @@ fn fetch_domain_resilient(
         // only transport-level failures count against the breaker.
         breakers.record(domain, status.is_some());
     }
+    stat.attempts += attempts as u64;
+    stat.retries += attempts.saturating_sub(1) as u64;
+    stat.errors += error.is_some() as u64;
+    stat.cost_ns += stat.backoff_ns + attempts as u64 * ATTEMPT_COST_NS;
+    let detail = match (&status, &error_class) {
+        (Some(s), _) => format!("status={s} attempts={attempts} recovered={recovered}"),
+        (None, Some(class)) => format!("error={class} attempts={attempts}"),
+        (None, None) => format!("failed attempts={attempts}"),
+    };
+    emit("fetch.outcome", domain, &detail, stat.cost_ns, Sink::Export);
+    domain_stat_add(domain, stat);
     FetchRecord {
         domain: domain.to_string(),
         status,
@@ -638,8 +731,8 @@ mod tests {
     use crate::fault::FaultPlan;
     use crate::http::{Request, Response, Status};
     use crate::server::VirtualNet;
-    use webvuln_exec::FailureKind;
     use std::sync::Arc;
+    use webvuln_exec::FailureKind;
     use webvuln_resilience::BreakerConfig;
 
     fn domains(n: usize) -> Vec<String> {
@@ -969,7 +1062,9 @@ mod tests {
     static CRAWL_FP_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn quarantine_domains(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("quarantine-{i:02}.example")).collect()
+        (0..n)
+            .map(|i| format!("quarantine-{i:02}.example"))
+            .collect()
     }
 
     #[test]
@@ -1001,7 +1096,10 @@ mod tests {
         assert_eq!(bad.status, None);
         assert_eq!(bad.attempts, 0);
         assert!(
-            bad.error.as_deref().unwrap().starts_with("quarantined: panic:"),
+            bad.error
+                .as_deref()
+                .unwrap()
+                .starts_with("quarantined: panic:"),
             "error: {:?}",
             bad.error
         );
@@ -1041,6 +1139,140 @@ mod tests {
             .as_deref()
             .unwrap()
             .contains("exceeded deadline"));
+    }
+
+    #[test]
+    fn every_net_error_variant_bites_a_distinct_counter() {
+        use crate::error::NetError;
+        use std::io;
+
+        // One NetError per variant (and per distinguishable Io kind);
+        // each must land in its own net.errors_*_total counter, and the
+        // class counters must sum to net.fetch_errors_total — no variant
+        // silently drops into the aggregate.
+        let variants: Vec<NetError> = vec![
+            NetError::Io(io::Error::new(io::ErrorKind::ConnectionRefused, "x")),
+            NetError::Io(io::Error::new(io::ErrorKind::TimedOut, "x")),
+            NetError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x")),
+            NetError::Malformed("header"),
+            NetError::TooLarge("body"),
+            NetError::UnexpectedEof,
+            NetError::HostUnreachable("h.example".to_string()),
+            NetError::Timeout,
+        ];
+        let registry = webvuln_telemetry::Registry::new();
+        let metrics = CrawlerMetrics::from_registry(&registry);
+        let failed = |error: Option<String>, class: Option<ErrorClass>| FetchRecord {
+            domain: "d.example".to_string(),
+            status: None,
+            body: String::new(),
+            error,
+            error_class: class,
+            attempts: 1,
+            recovered: false,
+        };
+        for e in &variants {
+            let class = e.class();
+            metrics.record(
+                &registry,
+                &failed(Some(format!("{class}: {e}")), Some(class)),
+                0,
+            );
+        }
+        // The three classless synthetic outcomes bite distinct counters too.
+        metrics.record(&registry, &failed(Some("injected: error".into()), None), 0);
+        metrics.record(
+            &registry,
+            &failed(Some("quarantined: panic: boom".into()), None),
+            0,
+        );
+        metrics.record(
+            &registry,
+            &failed(Some("skipped: circuit breaker open".into()), None),
+            0,
+        );
+
+        let snap = registry.snapshot();
+        let by_class = [
+            ("net.errors_refused_total", 1),
+            ("net.errors_timeout_total", 2),
+            ("net.errors_io_total", 1),
+            ("net.errors_protocol_total", 2),
+            ("net.errors_truncated_total", 1),
+            ("net.errors_unreachable_total", 1),
+            ("net.errors_injected_total", 1),
+            ("net.errors_quarantined_total", 1),
+            ("net.errors_breaker_skip_total", 1),
+        ];
+        let mut accounted = 0;
+        for (name, expected) in by_class {
+            assert_eq!(snap.counter(name), Some(expected), "{name}");
+            accounted += expected;
+        }
+        assert_eq!(
+            snap.counter("net.fetch_errors_total"),
+            Some(accounted),
+            "every error is attributed exactly once"
+        );
+        assert_eq!(
+            snap.counter("net.errors_other_total"),
+            None,
+            "nothing fell through"
+        );
+    }
+
+    #[test]
+    fn traced_crawl_attributes_cost_to_domains() {
+        let tracer = webvuln_trace::Tracer::new(webvuln_trace::TraceMode::Full);
+        {
+            let _g = tracer.install();
+            let _p = webvuln_trace::phase_scope("crawl");
+            let plan = FaultPlan {
+                seed: 31,
+                transient_fail_permille: 1000,
+                heal_after_attempts: 2,
+                ..FaultPlan::none()
+            };
+            let net = VirtualNet::new(content_handler()).with_faults(plan);
+            let clock = VirtualClock::new();
+            CrawlOptions::new()
+                .threads(4)
+                .retry(RetryPolicy::standard(2))
+                .clock(&clock)
+                .registry(&webvuln_telemetry::Registry::new())
+                .run(&domains(6), &net);
+        }
+        let data = tracer.finish();
+        // Every domain's lifecycle: 2 retries + 1 outcome exported.
+        assert_eq!(data.domains.len(), 6);
+        for (domain, stat) in &data.domains {
+            assert_eq!(stat.fetches, 1, "{domain}");
+            assert_eq!(stat.attempts, 3, "{domain}");
+            assert_eq!(stat.retries, 2, "{domain}");
+            assert!(stat.backoff_ns > 0, "{domain}");
+            assert_eq!(
+                stat.cost_ns,
+                stat.backoff_ns + 3 * ATTEMPT_COST_NS,
+                "{domain}"
+            );
+            assert_eq!(stat.errors, 0, "{domain}");
+        }
+        let retries = data
+            .events
+            .iter()
+            .filter(|e| e.name == "fetch.retry")
+            .count();
+        let outcomes = data
+            .events
+            .iter()
+            .filter(|e| e.name == "fetch.outcome")
+            .count();
+        assert_eq!(retries, 12, "2 per domain");
+        assert_eq!(outcomes, 6);
+        assert!(data
+            .events
+            .iter()
+            .all(|e| e.phase == "crawl" && e.task != webvuln_trace::NONE));
     }
 
     #[test]

@@ -224,6 +224,8 @@ impl StoreWriter {
                 got: week.week,
             });
         }
+        let _phase = webvuln_trace::phase_scope("store");
+        let _week = webvuln_trace::week_scope(week.week as u64);
         let encoded = format::encode_week(week, &mut self.table, &self.prev, self.data_end);
         let envelope = encode_segment(kind::WEEK, &encoded.payload);
         self.append_segment(&envelope, kind::WEEK, week.week)?;
@@ -235,6 +237,20 @@ impl StoreWriter {
         self.stats.delta_misses += week.records.len() - encoded.delta_hits;
         self.stats.raw_bytes += encoded.raw_bytes;
         self.stats.encoded_bytes += encoded.encoded_bytes;
+        // Synthetic cost: proportional to bytes appended, never wall time,
+        // so traces stay byte-identical across runs and thread counts.
+        webvuln_trace::emit(
+            "store.commit",
+            "",
+            &format!(
+                "records={} delta_hits={} segment_bytes={}",
+                week.records.len(),
+                encoded.delta_hits,
+                envelope.len()
+            ),
+            envelope.len() as u64 * 200,
+            webvuln_trace::Sink::Export,
+        );
         Ok(CommitInfo {
             week: week.week,
             records: week.records.len(),
@@ -251,11 +267,26 @@ impl StoreWriter {
         if self.finalized {
             return Err(StoreError::AlreadyFinalized);
         }
+        let _phase = webvuln_trace::phase_scope("store");
+        webvuln_trace::emit(
+            "store.finalize.begin",
+            "",
+            &format!("filtered_out={}", filtered_out.len()),
+            0,
+            webvuln_trace::Sink::RingOnly,
+        );
         let _ = webvuln_failpoint::failpoint!("store.finalize")?;
         let payload = format::encode_finalize(filtered_out, &mut self.table);
         let envelope = encode_segment(kind::FINALIZE, &payload);
         self.append_segment(&envelope, kind::FINALIZE, 0)?;
         self.finalized = true;
+        webvuln_trace::emit(
+            "store.finalize",
+            "",
+            &format!("filtered_out={}", filtered_out.len()),
+            envelope.len() as u64 * 200,
+            webvuln_trace::Sink::Export,
+        );
         Ok(())
     }
 

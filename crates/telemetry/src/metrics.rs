@@ -129,6 +129,23 @@ impl Histogram {
         }
     }
 
+    /// The non-empty buckets as `(upper_bound, count)` pairs, sorted by
+    /// bound. Bucket `i` covers `[2^(i-1), 2^i)` (bucket 0 holds exactly
+    /// zero; the top bucket's bound is `u64::MAX`), so the pairs fully
+    /// reconstruct the recorded distribution at bucket resolution —
+    /// empty buckets are implied by the fixed power-of-two boundaries.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bucket)| {
+                let count = bucket.load(Ordering::Relaxed);
+                (count > 0).then(|| (bucket_upper_bound(i), count))
+            })
+            .collect()
+    }
+
     /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
     /// bucket containing the `ceil(q * count)`-th smallest observation,
     /// clamped to the observed maximum.
@@ -255,6 +272,23 @@ mod tests {
         assert_eq!(bucket_index(1024), 11);
         assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
         assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn buckets_expose_the_raw_distribution() {
+        let h = Histogram::new();
+        for v in [0, 0, 1, 2, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        // (bound, count): zeros, exactly-one, [2,4), [1024,2048), top.
+        assert_eq!(
+            buckets,
+            vec![(0, 2), (1, 1), (3, 2), (2047, 1), (u64::MAX, 1)]
+        );
+        // Counts reconcile with the summary statistics.
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert!(Histogram::new().buckets().is_empty());
     }
 
     #[test]

@@ -125,6 +125,7 @@ impl Registry {
                 p90: h.quantile(0.90),
                 p99: h.quantile(0.99),
                 max: h.max(),
+                buckets: h.buckets(),
             })
             .collect();
         let mut spans: Vec<(usize, SpanSnapshot)> = self

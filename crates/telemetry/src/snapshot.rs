@@ -26,6 +26,11 @@ pub struct HistogramSnapshot {
     pub p99: u64,
     /// Largest observation.
     pub max: u64,
+    /// Non-empty buckets as `(upper_bound, count)` pairs, sorted by
+    /// bound (see [`Histogram::buckets`](crate::Histogram::buckets)).
+    /// Empty buckets are implied by the fixed power-of-two boundaries,
+    /// so these pairs carry the full distribution at bucket resolution.
+    pub buckets: Vec<(u64, u64)>,
 }
 
 /// Aggregated timings of one span path at snapshot time.
@@ -172,9 +177,17 @@ impl Snapshot {
             json_string(&h.name, &mut out);
             let _ = write!(
                 out,
-                ",\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                ",\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}",
                 h.count, h.sum, h.mean, h.p50, h.p90, h.p99, h.max
             );
+            out.push_str(",\"buckets\":[");
+            for (j, (le, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"le\":{le},\"count\":{count}}}");
+            }
+            out.push_str("]}");
         }
         out.push_str("],\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
@@ -264,6 +277,8 @@ mod tests {
         assert!(text.contains("120"), "{text}");
         assert!(text.contains("Histograms"), "{text}");
         assert!(text.contains("p99="), "{text}");
+        // Raw buckets are JSON-only; the text renderer keeps its shape.
+        assert!(!text.contains("buckets"), "{text}");
     }
 
     #[test]
@@ -273,6 +288,16 @@ mod tests {
         assert!(json.contains("\"net.fetches_total\":120"), "{json}");
         assert!(json.contains("\"gauges\":{\"net.inflight\":3}"), "{json}");
         assert!(json.contains("\"histograms\":[{\"name\":"), "{json}");
+        // Raw bucket boundaries and counts ride along with the summary:
+        // 1000/2000/4000/1000000 land in four distinct power-of-two
+        // buckets, one observation each.
+        assert!(
+            json.contains(
+                "\"buckets\":[{\"le\":1023,\"count\":1},{\"le\":2047,\"count\":1},\
+                 {\"le\":4095,\"count\":1},{\"le\":1048575,\"count\":1}]"
+            ),
+            "{json}"
+        );
         assert!(json.contains("\"spans\":["), "{json}");
         assert!(json.contains("\"path\":\"generate/render\""), "{json}");
         assert!(json.ends_with("]}"), "{json}");

@@ -4,7 +4,7 @@
 //! webvuln study   [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
 //!                 [--retries N] [--fault-profile none|realistic|hostile]
 //!                 [--carry-forward] [--store FILE [--resume]] [--progress]
-//!                 [--max-task-failures N] [--telemetry [FILE]]
+//!                 [--max-task-failures N] [--telemetry [FILE]] [--trace FILE]
 //! webvuln validate [REPORT_ID]
 //! webvuln crawl   [--domains N] [--week N] [--retries N] [--threads N]
 //!                 [--fault-profile none|realistic|hostile] [--tcp] [--telemetry]
@@ -14,7 +14,9 @@
 
 use std::sync::Arc;
 use webvuln::analysis::Dataset;
-use webvuln::core::{full_report, series_to_csv, telemetry_json, Pipeline, StudyConfig, Telemetry};
+use webvuln::core::{
+    full_report, series_to_csv, telemetry_json, Pipeline, StudyConfig, Telemetry, TraceMode,
+};
 use webvuln::cvedb::{Accuracy, Basis, VulnDb};
 use webvuln::fingerprint::Engine;
 use webvuln::net::{
@@ -50,7 +52,7 @@ USAGE:
   webvuln study    [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
                    [--retries N] [--fault-profile none|realistic|hostile]
                    [--carry-forward] [--store FILE [--resume]] [--progress]
-                   [--max-task-failures N] [--telemetry [FILE]]
+                   [--max-task-failures N] [--telemetry [FILE]] [--trace FILE]
                    run the full study and print every table/figure
   webvuln validate [REPORT_ID]
                    run the §6.4 version-validation experiment
@@ -84,7 +86,12 @@ FLAGS:
                      domain instead of aborting; the study fails only
                      after more than N tasks have been quarantined
   --telemetry [FILE] print the metrics snapshot as JSON on stderr, or
-                     write it to FILE when one is given"
+                     write it to FILE when one is given
+  --trace FILE       record a causal trace of the run and write it to
+                     FILE as Chrome trace-event JSON (load in Perfetto
+                     or chrome://tracing); appends a \"Top cost centers\"
+                     section to the report. The trace is canonical:
+                     byte-identical for every --threads value"
     );
 }
 
@@ -160,6 +167,10 @@ fn cmd_study(args: &[String]) {
             .checkpoint(path)
             .resume(args.iter().any(|a| a == "--resume"));
     }
+    let trace_out = flag(args, "--trace");
+    if trace_out.is_some() {
+        pipeline = pipeline.trace(TraceMode::Full);
+    }
     let results = match pipeline.run() {
         Ok(results) => {
             if let Some(path) = &store {
@@ -183,6 +194,12 @@ fn cmd_study(args: &[String]) {
             counter("net.breaker_open_total"),
             counter("net.carry_forward_total"),
         );
+    }
+    if let (Some(path), Some(trace)) = (&trace_out, &results.trace) {
+        match std::fs::write(path, trace.to_chrome_json()) {
+            Ok(()) => eprintln!("trace written to {path} (open in Perfetto or chrome://tracing)"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
     }
     if let Some(dest) = telemetry_flag(args) {
         let json = telemetry_json(&results);

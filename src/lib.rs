@@ -16,12 +16,14 @@
 //! | [`webgen`] | `webvuln-webgen` | synthetic web ecosystem |
 //! | [`net`] | `webvuln-net` | HTTP/1.1 stack + crawler |
 //! | [`resilience`] | `webvuln-resilience` | retries, backoff, circuit breakers |
+//! | [`exec`] | `webvuln-exec` | work-stealing executor, supervised tasks |
 //! | [`failpoint`] | `webvuln-failpoint` | deterministic fail-point injection |
 //! | [`fingerprint`] | `webvuln-fingerprint` | Wappalyzer-equivalent |
 //! | [`poclab`] | `webvuln-poclab` | version-validation experiment |
 //! | [`analysis`] | `webvuln-analysis` | tables & figures |
 //! | [`store`] | `webvuln-store` | binary snapshot store (checkpoint/resume) |
 //! | [`telemetry`] | `webvuln-telemetry` | metrics, spans, progress |
+//! | [`trace`] | `webvuln-trace` | causal tracing, flight recorder, cost attribution |
 //! | [`core`] | `webvuln-core` | study orchestration + reports |
 //!
 //! ## Quickstart
@@ -42,6 +44,7 @@
 pub use webvuln_analysis as analysis;
 pub use webvuln_core as core;
 pub use webvuln_cvedb as cvedb;
+pub use webvuln_exec as exec;
 pub use webvuln_failpoint as failpoint;
 pub use webvuln_fingerprint as fingerprint;
 pub use webvuln_html as html;
@@ -51,5 +54,6 @@ pub use webvuln_poclab as poclab;
 pub use webvuln_resilience as resilience;
 pub use webvuln_store as store;
 pub use webvuln_telemetry as telemetry;
+pub use webvuln_trace as trace;
 pub use webvuln_version as version;
 pub use webvuln_webgen as webgen;
