@@ -47,6 +47,12 @@ pub const FAILPOINTS: &[&str] = &["phase.generate", "phase.join", "phase.analyze
 /// to prove crash-recovery at each site; it covers the store writer, the
 /// checkpoint commit loop, the exec worker loop, the per-domain fetch,
 /// and all five study phases.
+///
+/// The serving layer (`webvuln-serve`) keeps its own catalog,
+/// `webvuln_serve::FAILPOINTS`: its `serve.*` sites fire in a live API
+/// server, not during a study run, so the study chaos harness — which
+/// requires every listed site to fire under `Pipeline::run` — cannot
+/// exercise them. `tests/chaos_serve.rs` covers them instead.
 pub fn failpoint_catalog() -> Vec<&'static str> {
     let mut sites: Vec<&'static str> = Vec::new();
     sites.extend_from_slice(webvuln_exec::FAILPOINTS);

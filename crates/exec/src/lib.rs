@@ -515,7 +515,12 @@ impl Executor {
                         let mut stolen = false;
                         if task.is_none() {
                             let start = (mix(seed, worker as u64) % threads as u64) as usize;
-                            for offset in 1..threads {
+                            // `offset` starts at 0 so the scan visits every
+                            // other worker: starting at 1 would skip `start`
+                            // itself, and a worker whose seeded start equals
+                            // its own index would then have no victims at
+                            // all (with two workers, no stealing ever).
+                            for offset in 0..threads {
                                 let victim = (start + offset) % threads;
                                 if victim == worker {
                                     continue;
@@ -708,7 +713,12 @@ impl Executor {
                         let mut stolen = false;
                         if task.is_none() {
                             let start = (mix(seed, worker as u64) % threads as u64) as usize;
-                            for offset in 1..threads {
+                            // `offset` starts at 0 so the scan visits every
+                            // other worker: starting at 1 would skip `start`
+                            // itself, and a worker whose seeded start equals
+                            // its own index would then have no victims at
+                            // all (with two workers, no stealing ever).
+                            for offset in 0..threads {
                                 let victim = (start + offset) % threads;
                                 if victim == worker {
                                     continue;
@@ -1142,5 +1152,33 @@ mod tests {
             *n
         });
         assert_eq!(out.len(), 10);
+    }
+
+    /// Two single-item chunks on two workers must run concurrently for
+    /// every seed. Regression test: the steal scan used to start one slot
+    /// past its seeded origin, so a worker whose origin equaled its own
+    /// index had no victims at all and long-lived tasks (the serve crate's
+    /// per-worker connection loops) serialized on one thread.
+    #[test]
+    fn two_workers_overlap_two_long_tasks_for_every_seed() {
+        use std::sync::atomic::AtomicUsize;
+        for seed in 0..8 {
+            let running = AtomicUsize::new(0);
+            let peak = AtomicUsize::new(0);
+            let slots: Vec<usize> = vec![0, 1];
+            Executor::new(2).chunk_size(1).seed(seed).map(&slots, |_| {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                // Hold the slot until the other task has started (or a
+                // deadline passes, so a broken scan fails fast instead of
+                // deadlocking the test).
+                let deadline = Instant::now() + std::time::Duration::from_millis(500);
+                while peak.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+                running.fetch_sub(1, Ordering::SeqCst);
+            });
+            assert_eq!(peak.load(Ordering::SeqCst), 2, "seed {seed}: no overlap");
+        }
     }
 }

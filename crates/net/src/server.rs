@@ -41,6 +41,19 @@ where
 /// The codec reader keeps its buffer across requests, so pipelined
 /// requests that arrived in one read are served in order rather than lost.
 pub fn serve_connection(stream: &mut dyn ByteStream, handler: &dyn Handler) -> Result<usize> {
+    serve_connection_until(stream, handler, &AtomicBool::new(false))
+}
+
+/// [`serve_connection`] with a drain signal: once `stop` is set, the
+/// in-flight exchange finishes with `Connection: close` appended and the
+/// loop ends instead of reading further requests. This is the graceful
+/// half of [`TcpServer::shutdown`] — keep-alive clients get a clean
+/// final response rather than an abrupt reset.
+pub fn serve_connection_until(
+    stream: &mut dyn ByteStream,
+    handler: &dyn Handler,
+    stop: &AtomicBool,
+) -> Result<usize> {
     let mut served = 0usize;
     // The reader holds one handle to the stream for the lifetime of the
     // connection (preserving read-ahead); responses are written through a
@@ -55,6 +68,9 @@ pub fn serve_connection(stream: &mut dyn ByteStream, handler: &dyn Handler) -> R
         Ok(())
     };
     loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(served);
+        }
         if reader.at_eof() {
             return Ok(served);
         }
@@ -74,8 +90,12 @@ pub fn serve_connection(stream: &mut dyn ByteStream, handler: &dyn Handler) -> R
             }
         };
         let close = request.headers.wants_close();
-        let response = handler.handle(&request);
-        let close = close || response.headers.wants_close();
+        let mut response = handler.handle(&request);
+        let draining = stop.load(Ordering::Relaxed);
+        if draining {
+            response.headers.set("Connection", "close");
+        }
+        let close = close || draining || response.headers.wants_close();
         let mut wire = Vec::new();
         encode_response(&response, false, &mut wire);
         write_all(&wire)?;
@@ -107,8 +127,19 @@ pub struct TcpServer {
 }
 
 impl TcpServer {
-    /// Binds `127.0.0.1:0` (ephemeral port) and starts accepting.
+    /// Binds `127.0.0.1:0` (ephemeral port) and starts accepting, with a
+    /// 5-second keep-alive idle timeout.
     pub fn start(handler: Arc<dyn Handler>) -> Result<TcpServer> {
+        TcpServer::start_with_idle_timeout(handler, Duration::from_secs(5))
+    }
+
+    /// [`start`](TcpServer::start) with an explicit keep-alive idle
+    /// timeout. The timeout also bounds drain latency: a worker parked in
+    /// a blocking read notices the drain flag within one timeout.
+    pub fn start_with_idle_timeout(
+        handler: Arc<dyn Handler>,
+        idle_timeout: Duration,
+    ) -> Result<TcpServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(NetError::Io)?;
         let addr = listener.local_addr().map_err(NetError::Io)?;
         listener.set_nonblocking(true).map_err(NetError::Io)?;
@@ -120,13 +151,14 @@ impl TcpServer {
                 match listener.accept() {
                     Ok((mut conn, _peer)) => {
                         let handler = Arc::clone(&handler);
+                        let drain = Arc::clone(&flag);
                         conn.set_nodelay(true).ok();
                         // Keep-alive idle timeout: without it a client that
                         // parks an open connection pins the worker forever
                         // (and `shutdown()` joins workers).
-                        conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                        conn.set_read_timeout(Some(idle_timeout)).ok();
                         workers.push(std::thread::spawn(move || {
-                            let _ = serve_connection(&mut conn, handler.as_ref());
+                            let _ = serve_connection_until(&mut conn, handler.as_ref(), &drain);
                         }));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -135,6 +167,9 @@ impl TcpServer {
                     Err(_) => break,
                 }
             }
+            // Graceful drain: the flag is set, so every worker finishes
+            // its in-flight exchange (marked `Connection: close`) and
+            // returns; joining here is what `shutdown()` waits on.
             for w in workers {
                 let _ = w.join();
             }
@@ -151,7 +186,9 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting and joins the accept thread.
+    /// Graceful shutdown: stop accepting, let in-flight exchanges finish
+    /// (their responses carry `Connection: close`), and join the accept
+    /// thread and every connection worker. Idempotent.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
@@ -561,6 +598,140 @@ mod tests {
         assert_eq!(resp.status, Status::OK);
         assert!(resp.body_text().contains("host=tcp.example"));
         server.shutdown();
+    }
+
+    /// One keep-alive TCP client sending `count` sequential requests on a
+    /// single connection, asserting every response echoes its target.
+    fn run_keep_alive_client(addr: std::net::SocketAddr, tag: usize, count: usize) -> usize {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut served = 0;
+        for i in 0..count {
+            let mut wire = Vec::new();
+            encode_request(
+                &Request::get("ka.example", &format!("/c{tag}/r{i}")),
+                &mut wire,
+            );
+            stream.write_all(&wire).expect("send");
+            let resp = MessageReader::new(stream.try_clone().expect("clone"))
+                .read_response(false)
+                .expect("response");
+            assert!(
+                resp.body_text().contains(&format!("target=/c{tag}/r{i}")),
+                "client {tag} request {i} got wrong body"
+            );
+            served += 1;
+        }
+        served
+    }
+
+    #[test]
+    fn tcp_server_serves_concurrent_keep_alive_clients() {
+        let mut server = TcpServer::start(echo_handler()).expect("bind");
+        let addr = server.addr();
+        let clients: Vec<_> = (0..4)
+            .map(|tag| std::thread::spawn(move || run_keep_alive_client(addr, tag, 5)))
+            .collect();
+        for c in clients {
+            assert_eq!(c.join().expect("client"), 5);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_server_serves_pipelined_requests_in_order() {
+        let mut server = TcpServer::start(echo_handler()).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        // All three requests written before any response is read.
+        let mut wire = Vec::new();
+        for i in 0..3 {
+            encode_request(&Request::get("pipe.example", &format!("/p{i}")), &mut wire);
+        }
+        stream.write_all(&wire).expect("send pipeline");
+        let mut reader = MessageReader::new(stream.try_clone().expect("clone"));
+        for i in 0..3 {
+            let resp = reader.read_response(false).expect("response");
+            assert!(
+                resp.body_text().contains(&format!("target=/p{i}")),
+                "pipelined response {i} out of order"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_server_honors_connection_close() {
+        let mut server = TcpServer::start(echo_handler()).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut req = Request::get("bye.example", "/last");
+        req.headers.insert("Connection", "close");
+        let mut wire = Vec::new();
+        encode_request(&req, &mut wire);
+        stream.write_all(&wire).expect("send");
+        let mut reader = MessageReader::new(stream.try_clone().expect("clone"));
+        let resp = reader.read_response(false).expect("response");
+        assert!(resp.body_text().contains("target=/last"));
+        // The server closed its side: the next read is EOF, not a hang.
+        let mut rest = Vec::new();
+        let n = stream.read_to_end(&mut rest).expect("read to end");
+        assert_eq!(n, 0, "connection must be closed after Connection: close");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_keep_alive_connections_gracefully() {
+        let mut server = TcpServer::start_with_idle_timeout(
+            echo_handler(),
+            Duration::from_millis(200),
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        // First exchange completes normally on a keep-alive connection.
+        let mut wire = Vec::new();
+        encode_request(&Request::get("drain.example", "/one"), &mut wire);
+        stream.write_all(&wire).expect("send");
+        let mut reader = MessageReader::new(stream.try_clone().expect("clone"));
+        let resp = reader.read_response(false).expect("response");
+        assert!(resp.body_text().contains("target=/one"));
+
+        // Shutdown with the connection still open: the drain must finish
+        // well under the join-forever failure mode (bounded by the idle
+        // timeout), and afterwards the port accepts no new connections.
+        let started = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "drain took {:?}",
+            started.elapsed()
+        );
+        // The parked connection was closed by the drain (EOF or reset —
+        // never a hang).
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+    }
+
+    #[test]
+    fn serve_connection_until_marks_final_response_close() {
+        let (mut client, mut server) = mem_pipe();
+        let handler = echo_handler();
+        let stop = Arc::new(AtomicBool::new(true)); // draining from the start
+        let stop_t = Arc::clone(&stop);
+        // Queue a request in the pipe before the loop starts, so the only
+        // variable is whether the drain flag is honored.
+        let mut wire = Vec::new();
+        encode_request(&Request::get("d.example", "/inflight"), &mut wire);
+        client.write_all(&wire).expect("send");
+        drop(client);
+        let t = std::thread::spawn(move || {
+            serve_connection_until(&mut server, handler.as_ref(), &stop_t).expect("serve ok")
+        });
+        // Drain-before-first-read returns without serving the queued
+        // request — the loop must never hang.
+        let served = t.join().expect("join");
+        assert_eq!(served, 0, "drain served {served} requests");
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! The query evaluator: opens one snapshot store read-only and answers
+//! every API route from it.
+//!
+//! Two data paths back the endpoints, mirroring how the batch pipeline
+//! consumes a store:
+//!
+//! * `/domain/{d}/history` uses the [`StoreReader`]'s O(1) per-week
+//!   offset index directly — no full decode, exactly the random-access
+//!   path `webvuln store` exposes offline.
+//! * The table endpoints (`/library`, `/week`, `/cve`) answer from the
+//!   same `webvuln-analysis` computations the batch reports use
+//!   ([`table1`], [`usage_trends`], [`cve_impact`]), precomputed once at
+//!   open, so a served body is *definitionally* consistent with the
+//!   batch tables for the same store.
+
+use crate::json::{Arr, Obj};
+use crate::router::{ApiError, Route};
+use std::path::Path;
+use webvuln_analysis::landscape::{table1, usage_trends, LibraryRow, UsageTrend};
+use webvuln_analysis::vuln::{cve_impact, CveImpact};
+use webvuln_analysis::Dataset;
+use webvuln_cvedb::{Basis, LibraryId, VulnDb};
+use webvuln_store::{StoreError, StoreReader};
+use webvuln_version::Version;
+
+/// A read-only query service over one snapshot store.
+pub struct QueryService {
+    reader: StoreReader,
+    dataset: Dataset,
+    db: VulnDb,
+    rows: Vec<LibraryRow>,
+    trends: Vec<UsageTrend>,
+}
+
+impl QueryService {
+    /// Opens `path` and precomputes the hot analysis tables.
+    pub fn open(path: &Path) -> Result<QueryService, StoreError> {
+        let reader = StoreReader::open(path)?;
+        let dataset = Dataset::load_store(path)?;
+        let db = VulnDb::builtin();
+        let rows = table1(&dataset, &db);
+        let trends = usage_trends(&dataset);
+        Ok(QueryService {
+            reader,
+            dataset,
+            db,
+            rows,
+            trends,
+        })
+    }
+
+    /// The underlying store reader (tests inspect it).
+    pub fn reader(&self) -> &StoreReader {
+        &self.reader
+    }
+
+    /// The dataset the table endpoints answer from.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Evaluates a route to a JSON body. `requests_total` feeds the
+    /// healthz report (the service itself holds no mutable state).
+    pub fn evaluate(&self, route: &Route, requests_total: u64) -> Result<String, ApiError> {
+        match route {
+            Route::Healthz => Ok(self.healthz(requests_total)),
+            Route::DomainHistory(d) => self.domain_history(d),
+            Route::LibraryPrevalence(lib) => self.library_prevalence(lib),
+            Route::WeekLandscape(w) => self.week_landscape(*w),
+            Route::CveExposure(id) => self.cve_exposure(id),
+        }
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self, requests_total: u64) -> String {
+        let genesis = self.reader.genesis();
+        Obj::new()
+            .str("status", "ok")
+            .u64("weeks_committed", self.reader.weeks_committed() as u64)
+            .u64("weeks_total", genesis.weeks_total as u64)
+            .u64("domains", genesis.ranks.len() as u64)
+            .bool("finalized", self.reader.is_finalized())
+            .u64(
+                "filtered_out",
+                self.reader.filtered_out().map_or(0, |f| f.len()) as u64,
+            )
+            .u64("requests_total", requests_total)
+            .finish()
+    }
+
+    /// `GET /domain/{d}/history`: every committed week's record for one
+    /// domain, via the store's O(1) random-access index.
+    pub fn domain_history(&self, domain: &str) -> Result<String, ApiError> {
+        let genesis = self.reader.genesis();
+        let rank = genesis
+            .ranks
+            .iter()
+            .find(|(d, _)| d == domain)
+            .map(|&(_, r)| r)
+            .ok_or_else(|| ApiError::NotFound(format!("unknown domain '{domain}'")))?;
+        let mut weeks = Arr::new();
+        for week in 0..self.reader.weeks_committed() {
+            let record = match self.reader.get(domain, week) {
+                Ok(r) => r,
+                Err(StoreError::UnknownDomain(_)) => continue,
+                Err(e) => return Err(ApiError::Unavailable(format!("store read failed: {e}"))),
+            };
+            let date_days = self
+                .reader
+                .week_date_days(week)
+                .map_err(|e| ApiError::Unavailable(format!("store read failed: {e}")))?;
+            let mut detections = Arr::new();
+            if let Some(page) = &record.page {
+                for det in &page.detections {
+                    detections.push_raw(&self.detection_json(det));
+                }
+            }
+            weeks.push_raw(
+                &Obj::new()
+                    .u64("week", week as u64)
+                    .i64("date_days", date_days)
+                    .raw(
+                        "status",
+                        &record
+                            .status
+                            .map_or("null".to_string(), |s| s.to_string()),
+                    )
+                    .u64("body_len", record.body_len)
+                    .bool("page", record.page.is_some())
+                    .raw("detections", &detections.finish())
+                    .finish(),
+            );
+        }
+        Ok(Obj::new()
+            .str("domain", domain)
+            .u64("rank", rank)
+            .bool(
+                "filtered_out",
+                self.reader
+                    .filtered_out()
+                    .is_some_and(|f| f.iter().any(|d| d == domain)),
+            )
+            .raw("weeks", &weeks.finish())
+            .finish())
+    }
+
+    fn detection_json(&self, det: &webvuln_store::DetectionRecord) -> String {
+        // How many disclosed reports claim this exact version — the
+        // per-record flavor of the §6.2 prevalence computation.
+        let vulns_claimed = LibraryId::from_slug(&det.library)
+            .zip(det.version.as_ref().and_then(|v| Version::parse(v).ok()))
+            .map_or(0, |(lib, ver)| {
+                self.db.vuln_count(lib, &ver, Basis::CveClaimed)
+            });
+        Obj::new()
+            .str("library", &det.library)
+            .opt_str("version", det.version.as_deref())
+            .opt_str("external_host", det.external_host.as_deref())
+            .bool("integrity", det.integrity)
+            .u64("vulns_claimed", vulns_claimed as u64)
+            .finish()
+    }
+
+    /// `GET /library/{lib}/prevalence`: the library's Table 1 row plus
+    /// its Figure 3 weekly usage-share series.
+    pub fn library_prevalence(&self, slug: &str) -> Result<String, ApiError> {
+        let library = LibraryId::from_slug(slug)
+            .ok_or_else(|| ApiError::NotFound(format!("unknown library '{slug}'")))?;
+        let row = self
+            .rows
+            .iter()
+            .find(|r| r.library == library)
+            .ok_or_else(|| ApiError::Unavailable("table1 row missing".to_string()))?;
+        let trend = self
+            .trends
+            .iter()
+            .find(|t| t.library == library)
+            .ok_or_else(|| ApiError::Unavailable("usage trend missing".to_string()))?;
+        let mut points = Arr::new();
+        for &(date, share) in &trend.points {
+            points.push_raw(
+                &Obj::new()
+                    .i64("date_days", date.day_number() as i64)
+                    .f64("share", share)
+                    .finish(),
+            );
+        }
+        Ok(Obj::new()
+            .str("library", slug)
+            .str("name", library.name())
+            .f64("average_sites", row.average_sites)
+            .f64("usage_share", row.usage_share)
+            .f64("internal_share", row.internal_share)
+            .f64("external_share", row.external_share)
+            .f64("cdn_share", row.cdn_share)
+            .u64("versions_found", row.versions_found as u64)
+            .u64("versions_total", row.versions_total as u64)
+            .u64("vuln_reports", row.vuln_reports as u64)
+            .f64("first_share", trend.first())
+            .f64("last_share", trend.last())
+            .raw("points", &points.finish())
+            .finish())
+    }
+
+    /// `GET /week/{w}/landscape`: per-library users and share for one
+    /// week, consistent with the Figure 3 series at that index.
+    pub fn week_landscape(&self, week: usize) -> Result<String, ApiError> {
+        let snapshot = self.dataset.weeks.get(week).ok_or_else(|| {
+            ApiError::NotFound(format!(
+                "week {week} out of range (store holds {})",
+                self.dataset.weeks.len()
+            ))
+        })?;
+        let total = snapshot.collected().max(1);
+        let mut libraries = Arr::new();
+        for &library in LibraryId::ALL.iter() {
+            let users = snapshot
+                .pages
+                .values()
+                .filter(|p| p.has_library(library))
+                .count();
+            libraries.push_raw(
+                &Obj::new()
+                    .str("library", library.slug())
+                    .u64("users", users as u64)
+                    .f64("share", users as f64 / total as f64)
+                    .finish(),
+            );
+        }
+        Ok(Obj::new()
+            .u64("week", week as u64)
+            .i64("date_days", snapshot.date.day_number() as i64)
+            .u64("collected", snapshot.collected() as u64)
+            .u64("fresh", snapshot.fresh_collected() as u64)
+            .u64("carried_forward", snapshot.carried_forward.len() as u64)
+            .raw("libraries", &libraries.finish())
+            .finish())
+    }
+
+    /// `GET /cve/{id}/exposure`: the report's Table 2 / Figure 5 series
+    /// plus its exposure window under True Vulnerable Versions.
+    pub fn cve_exposure(&self, id: &str) -> Result<String, ApiError> {
+        let impact: CveImpact = cve_impact(&self.dataset, &self.db, id)
+            .ok_or_else(|| ApiError::NotFound(format!("unknown report '{id}'")))?;
+        let library = self
+            .db
+            .record(id)
+            .map(|r| r.library.slug())
+            .unwrap_or("unknown");
+        let mut points = Arr::new();
+        let mut first_exposed: Option<i64> = None;
+        let mut last_exposed: Option<i64> = None;
+        let mut weeks_exposed = 0u64;
+        for (&(date, claimed), &(_, truly)) in
+            impact.claimed_sites.iter().zip(impact.true_sites.iter())
+        {
+            let days = date.day_number() as i64;
+            if truly > 0 {
+                weeks_exposed += 1;
+                first_exposed.get_or_insert(days);
+                last_exposed = Some(days);
+            }
+            points.push_raw(
+                &Obj::new()
+                    .i64("date_days", days)
+                    .u64("claimed", claimed as u64)
+                    .u64("true", truly as u64)
+                    .finish(),
+            );
+        }
+        let obj = Obj::new()
+            .str("id", id)
+            .str("library", library)
+            .f64("claimed_average", impact.claimed_average)
+            .f64("true_average", impact.true_average)
+            .f64("claimed_share_of_users", impact.claimed_share_of_users)
+            .u64("weeks_exposed", weeks_exposed);
+        let obj = match first_exposed {
+            Some(d) => obj.i64("first_exposed_days", d),
+            None => obj.raw("first_exposed_days", "null"),
+        };
+        let obj = match last_exposed {
+            Some(d) => obj.i64("last_exposed_days", d),
+            None => obj.raw("last_exposed_days", "null"),
+        };
+        Ok(obj.raw("points", &points.finish()).finish())
+    }
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("store", &self.reader.path())
+            .field("weeks", &self.reader.weeks_committed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::route;
+    use std::sync::Arc;
+    use webvuln_analysis::dataset::Collector;
+    use webvuln_net::Request;
+    use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "webvuln-serve-svc-{tag}-{}.wvstore",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn service(tag: &str) -> QueryService {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 77,
+            domain_count: 40,
+            timeline: Timeline::truncated(3),
+        }));
+        let path = temp_store(tag);
+        Collector::new()
+            .threads(2)
+            .checkpoint(&path)
+            .run(&eco)
+            .expect("collect");
+        QueryService::open(&path).expect("open")
+    }
+
+    #[test]
+    fn healthz_reports_store_shape() {
+        let svc = service("healthz");
+        let body = svc.healthz(3);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"weeks_committed\":3"), "{body}");
+        assert!(body.contains("\"domains\":40"), "{body}");
+        assert!(body.contains("\"requests_total\":3"), "{body}");
+    }
+
+    #[test]
+    fn every_route_evaluates_against_a_real_store() {
+        let svc = service("routes");
+        let domain = svc.reader().genesis().ranks[0].0.clone();
+        for target in [
+            "/healthz".to_string(),
+            format!("/domain/{domain}/history"),
+            "/library/jquery/prevalence".to_string(),
+            "/week/1/landscape".to_string(),
+        ] {
+            let r = route(&Request::get("t", &target)).expect("route");
+            let body = svc.evaluate(&r, 0).expect("evaluate");
+            assert!(body.starts_with('{'), "{target} → {body}");
+        }
+    }
+
+    #[test]
+    fn unknown_entities_are_not_found() {
+        let svc = service("missing");
+        assert!(matches!(
+            svc.domain_history("no-such.example"),
+            Err(ApiError::NotFound(_))
+        ));
+        assert!(matches!(
+            svc.library_prevalence("left-pad"),
+            Err(ApiError::NotFound(_))
+        ));
+        assert!(matches!(
+            svc.week_landscape(999),
+            Err(ApiError::NotFound(_))
+        ));
+        assert!(matches!(
+            svc.cve_exposure("CVE-1999-0000"),
+            Err(ApiError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn history_matches_random_access_reads() {
+        let svc = service("history");
+        let domain = svc.reader().genesis().ranks[2].0.clone();
+        let body = svc.domain_history(&domain).expect("history");
+        for week in 0..svc.reader().weeks_committed() {
+            let record = svc.reader().get(&domain, week).expect("get");
+            assert!(
+                body.contains(&format!("\"body_len\":{}", record.body_len)),
+                "week {week} body_len missing from {body}"
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+#!/bin/bash
+# Shadow build: compiles the whole workspace with bare rustc — no cargo,
+# no network — substituting the tiny stubs in stubs/ for the external
+# crates. This is how the repo is verified in offline containers, and CI
+# runs it to prove the advertised dependency boundaries hold: a crate
+# that quietly grows a real external dependency fails here.
+#
+#   scripts/shadow/build.sh            # build every crate + the CLI
+#   SHADOW_DIR=/tmp/mydir scripts/shadow/build.sh
+#
+# Artifacts (rlibs + the webvuln_bin CLI) land in $SHADOW_DIR
+# (default /tmp/webvuln-shadow). See scripts/shadow/test.sh for the
+# matching unit-test runner.
+set -e
+R="$(cd "$(dirname "$0")/../.." && pwd)"
+S="${SHADOW_DIR:-/tmp/webvuln-shadow}"
+mkdir -p "$S"
+STUBS="$R/scripts/shadow/stubs"
+RUSTC="rustc --edition 2021 -O -L $S --out-dir $S"
+
+# --- external stubs ---
+rustc --edition 2021 --crate-type proc-macro --crate-name serde_derive "$STUBS/serde_derive.rs" --out-dir "$S"
+$RUSTC --crate-type rlib --crate-name serde "$STUBS/serde.rs" --extern serde_derive="$S/libserde_derive.so"
+$RUSTC --crate-type rlib --crate-name serde_json "$STUBS/serde_json.rs"
+$RUSTC --crate-type rlib --crate-name bytes "$STUBS/bytes.rs"
+$RUSTC --crate-type rlib --crate-name crossbeam "$STUBS/crossbeam.rs"
+$RUSTC --crate-type rlib --crate-name parking_lot "$STUBS/parking_lot.rs"
+
+ext() { echo "--extern $1=$S/lib$1.rlib"; }
+wv() { echo "--extern webvuln_$1=$S/libwebvuln_$1.rlib"; }
+
+# --- workspace crates in dependency order ---
+$RUSTC --crate-type rlib --crate-name webvuln_failpoint "$R/crates/failpoint/src/lib.rs"
+$RUSTC --crate-type rlib --crate-name webvuln_telemetry "$R/crates/telemetry/src/lib.rs"
+$RUSTC --crate-type rlib --crate-name webvuln_trace "$R/crates/trace/src/lib.rs"
+$RUSTC --crate-type rlib --crate-name webvuln_resilience "$R/crates/resilience/src/lib.rs"
+$RUSTC --crate-type rlib --crate-name webvuln_pattern "$R/crates/pattern/src/lib.rs"
+$RUSTC --crate-type rlib --crate-name webvuln_html "$R/crates/htmlparse/src/lib.rs"
+$RUSTC --crate-type rlib --crate-name webvuln_version "$R/crates/version/src/lib.rs" $(ext serde) $(ext serde_derive)
+$RUSTC --crate-type rlib --crate-name webvuln_exec "$R/crates/exec/src/lib.rs" $(wv failpoint) $(wv trace)
+$RUSTC --crate-type rlib --crate-name webvuln_cvedb "$R/crates/cvedb/src/lib.rs" $(ext serde) $(wv version)
+$RUSTC --crate-type rlib --crate-name webvuln_net "$R/crates/net/src/lib.rs" \
+  $(wv telemetry) $(wv failpoint) $(wv exec) $(wv resilience) $(wv trace) \
+  $(ext serde) $(ext bytes) $(ext crossbeam) $(ext parking_lot)
+$RUSTC --crate-type rlib --crate-name webvuln_webgen "$R/crates/webgen/src/lib.rs" \
+  $(ext serde) $(wv version) $(wv cvedb) $(wv net)
+$RUSTC --crate-type rlib --crate-name webvuln_store "$R/crates/store/src/lib.rs" $(wv failpoint) $(wv trace)
+$RUSTC --crate-type rlib --crate-name webvuln_fingerprint "$R/crates/fingerprint/src/lib.rs" \
+  $(ext serde) $(wv telemetry) $(wv exec) $(wv pattern) $(wv trace) $(wv html) $(wv version) $(wv cvedb)
+$RUSTC --crate-type rlib --crate-name webvuln_poclab "$R/crates/poclab/src/lib.rs" \
+  $(wv version) $(wv cvedb) $(wv html) $(wv pattern)
+$RUSTC --crate-type rlib --crate-name webvuln_analysis "$R/crates/analysis/src/lib.rs" \
+  $(ext serde) $(ext serde_json) $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv store) \
+  $(wv version) $(wv cvedb) $(wv html) $(wv net) $(wv webgen) $(wv fingerprint) $(wv poclab)
+$RUSTC --crate-type rlib --crate-name webvuln_serve "$R/crates/serve/src/lib.rs" \
+  $(wv telemetry) $(wv failpoint) $(wv exec) $(wv store) $(wv net) \
+  $(wv cvedb) $(wv version) $(wv analysis)
+$RUSTC --crate-type rlib --crate-name webvuln_core "$R/crates/core/src/lib.rs" \
+  $(ext serde) $(ext serde_json) $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv store) \
+  $(wv version) $(wv cvedb) $(wv net) $(wv webgen) $(wv fingerprint) $(wv poclab) $(wv analysis)
+$RUSTC --crate-type rlib --crate-name webvuln "$R/src/lib.rs" \
+  $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv resilience) $(wv store) $(wv pattern) \
+  $(wv version) $(wv html) $(wv cvedb) $(wv webgen) $(wv net) $(wv fingerprint) $(wv poclab) \
+  $(wv analysis) $(wv serve) $(wv core)
+$RUSTC --crate-name webvuln_bin "$R/src/bin/webvuln.rs" --extern webvuln="$S/libwebvuln.rlib"
+echo "shadow build OK ($S)"

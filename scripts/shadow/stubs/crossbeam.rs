@@ -1,0 +1,35 @@
+//! Offline crossbeam stub: channel API over std::sync::mpsc.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline serde stub: real trait shapes, blanket impls, no codegen.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Constructible error bound for the stubbed (de)serializer paths.
+pub trait StubError {
+    fn stub() -> Self;
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: StubError;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: StubError;
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: ?Sized> Serialize for T {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        Err(S::Error::stub())
+    }
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de, T> Deserialize<'de> for T {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(D::Error::stub())
+    }
+}
+
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}

@@ -1,0 +1,23 @@
+//! Offline serde_json stub: every call fails loudly but typed-correctly.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub (offline shadow build): JSON unavailable")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: ?Sized>(_value: &T) -> Result<String, Error> {
+    Err(Error)
+}
+
+pub fn from_str<'a, T>(_s: &'a str) -> Result<T, Error> {
+    Err(Error)
+}
+
+pub fn to_writer<W, T: ?Sized>(_writer: W, _value: &T) -> Result<(), Error> {
+    Err(Error)
+}

@@ -10,6 +10,8 @@
 //!                 [--fault-profile none|realistic|hostile] [--tcp] [--telemetry]
 //! webvuln inspect <FILE.html> [--domain HOST]
 //! webvuln store   info|verify|export-json <FILE.wvstore>
+//! webvuln serve   --store FILE [--threads N] [--port P] [--cache N]
+//!                 [--max-conns N] [--requests N]
 //! ```
 
 use std::sync::Arc;
@@ -35,6 +37,7 @@ fn main() {
         "crawl" => cmd_crawl(&args[1..]),
         "inspect" => cmd_inspect(&args[1..]),
         "store" => cmd_store(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "help" | "--help" | "-h" => print_help(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -65,6 +68,17 @@ USAGE:
                    verify FILE       exhaustively decode + CRC-check a store
                    export-json FILE [OUT.json]
                                      convert a finalized store to Dataset JSON
+  webvuln serve    --store FILE [--threads N] [--port P] [--cache N]
+                   [--max-conns N] [--requests N]
+                   serve JSON queries over a snapshot store:
+                     GET /healthz
+                     GET /domain/HOST/history
+                     GET /library/SLUG/prevalence
+                     GET /week/W/landscape
+                     GET /cve/ID/exposure
+                   --port 0 picks a free port (printed on stdout);
+                   --requests N drains gracefully after N requests
+                   (0 = run until killed) and prints serve.* metrics
 
 FLAGS:
   --threads N        worker threads for the crawl and fingerprint pools
@@ -459,6 +473,77 @@ fn cmd_store(args: &[String]) {
             }
         }
         _ => usage(),
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    let store = match flag(args, "--store") {
+        Some(p) => p,
+        None => {
+            eprintln!("serve: --store FILE is required");
+            std::process::exit(2);
+        }
+    };
+    let config = webvuln::ServeConfig {
+        threads: flag_usize(args, "--threads", 4),
+        port: flag_usize(args, "--port", 0) as u16,
+        cache_capacity: flag_usize(args, "--cache", 256),
+        max_connections: flag_usize(args, "--max-conns", 64),
+        ..webvuln::ServeConfig::default()
+    };
+    let request_budget = flag_usize(args, "--requests", 0) as u64;
+
+    let service = match webvuln::QueryService::open(std::path::Path::new(&store)) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("serve: cannot open {store}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "serve: {} weeks committed, {} domains, {} worker threads",
+        service.reader().weeks_committed(),
+        service.reader().genesis().ranks.len(),
+        config.threads
+    );
+
+    let registry = webvuln::telemetry::Registry::new();
+    let mut server = match webvuln::ApiServer::serve(service, config, &registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The smoke harness scrapes this line for the chosen port.
+    println!("listening on {}", server.addr());
+
+    // Run until the request budget is spent (`--requests 0` = forever);
+    // then drain in-flight connections and report the serve.* counters.
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if request_budget > 0 {
+            let served = registry
+                .snapshot()
+                .counter("serve.requests_total")
+                .unwrap_or(0);
+            if served >= request_budget {
+                break;
+            }
+        }
+    }
+    server.shutdown();
+    let snap = registry.snapshot();
+    for key in [
+        "serve.requests_total",
+        "serve.responses_2xx_total",
+        "serve.responses_4xx_total",
+        "serve.responses_5xx_total",
+        "serve.cache_hits_total",
+        "serve.cache_misses_total",
+        "serve.connections_total",
+    ] {
+        eprintln!("{key} = {}", snap.counter(key).unwrap_or(0));
     }
 }
 

@@ -21,6 +21,7 @@
 //! | [`fingerprint`] | `webvuln-fingerprint` | Wappalyzer-equivalent |
 //! | [`poclab`] | `webvuln-poclab` | version-validation experiment |
 //! | [`analysis`] | `webvuln-analysis` | tables & figures |
+//! | [`serve`] | `webvuln-serve` | multi-threaded query API over the store |
 //! | [`store`] | `webvuln-store` | binary snapshot store (checkpoint/resume) |
 //! | [`telemetry`] | `webvuln-telemetry` | metrics, spans, progress |
 //! | [`trace`] | `webvuln-trace` | causal tracing, flight recorder, cost attribution |
@@ -52,8 +53,14 @@ pub use webvuln_net as net;
 pub use webvuln_pattern as pattern;
 pub use webvuln_poclab as poclab;
 pub use webvuln_resilience as resilience;
+pub use webvuln_serve as serve;
 pub use webvuln_store as store;
 pub use webvuln_telemetry as telemetry;
 pub use webvuln_trace as trace;
 pub use webvuln_version as version;
 pub use webvuln_webgen as webgen;
+
+// The serving stack's front door, re-exported flat: open a store, build
+// the service, start the server — without spelling the module paths.
+pub use webvuln_serve::{ApiHandler, ApiServer, QueryService, ServeConfig};
+pub use webvuln_store::StoreReader;

@@ -1,0 +1,254 @@
+//! End-to-end tests for `webvuln-serve`: a real `ApiServer` on a
+//! loopback socket, queried over TCP, answering from a real snapshot
+//! store — and every table endpoint cross-checked against the batch
+//! `webvuln-analysis` computation for the same store.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use webvuln::analysis::landscape::{table1, usage_trends};
+use webvuln::analysis::vuln::cve_impact;
+use webvuln::analysis::Collector;
+use webvuln::cvedb::VulnDb;
+use webvuln::net::codec::{encode_request, MessageReader};
+use webvuln::net::{fetch, Request, Status, TcpConnector};
+use webvuln::telemetry::Registry;
+use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
+use webvuln::{ApiServer, QueryService, ServeConfig};
+
+const DOMAINS: usize = 40;
+const WEEKS: usize = 3;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "webvuln-serve-api-{tag}-{}.wvstore",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Builds a small finalized store and opens a query service over it.
+fn service(tag: &str) -> Arc<QueryService> {
+    let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+        seed: 77,
+        domain_count: DOMAINS,
+        timeline: Timeline::truncated(WEEKS),
+    }));
+    let path = temp_store(tag);
+    Collector::new()
+        .threads(2)
+        .checkpoint(&path)
+        .run(&eco)
+        .expect("collect");
+    Arc::new(QueryService::open(&path).expect("open"))
+}
+
+fn start(tag: &str, threads: usize) -> (ApiServer, Arc<QueryService>, Registry) {
+    let svc = service(tag);
+    let registry = Registry::new();
+    let config = ServeConfig {
+        threads,
+        ..ServeConfig::default()
+    };
+    let server = ApiServer::serve(Arc::clone(&svc), config, &registry).expect("bind");
+    (server, svc, registry)
+}
+
+fn get(server: &ApiServer, target: &str) -> (Status, String) {
+    let connector = TcpConnector::fixed(server.addr());
+    let resp = fetch(&connector, "serve.test", target).expect("fetch");
+    (resp.status, resp.body_text())
+}
+
+#[test]
+fn table_endpoints_match_batch_analysis() {
+    let (server, svc, _registry) = start("batch", 2);
+    let dataset = svc.dataset();
+    let db = VulnDb::builtin();
+
+    // /library/{lib}/prevalence against the Table 1 row.
+    let rows = table1(dataset, &db);
+    let jq = rows
+        .iter()
+        .find(|r| r.library.slug() == "jquery")
+        .expect("jquery row");
+    let (status, body) = get(&server, "/library/jquery/prevalence");
+    assert_eq!(status, Status::OK);
+    for fragment in [
+        format!("\"average_sites\":{}", jq.average_sites),
+        format!("\"usage_share\":{}", jq.usage_share),
+        format!("\"versions_found\":{}", jq.versions_found),
+        format!("\"vuln_reports\":{}", jq.vuln_reports),
+    ] {
+        assert!(body.contains(&fragment), "{fragment} not in {body}");
+    }
+
+    // /week/{w}/landscape shares against the usage-trend points.
+    let trends = usage_trends(dataset);
+    let (status, body) = get(&server, "/week/1/landscape");
+    assert_eq!(status, Status::OK);
+    for trend in &trends {
+        let (_, share) = trend.points[1];
+        if share > 0.0 {
+            let fragment = format!("\"library\":\"{}\",\"users\":", trend.library.slug());
+            assert!(body.contains(&fragment), "{fragment} not in {body}");
+            assert!(
+                body.contains(&format!("\"share\":{share}")),
+                "share {share} for {} not in {body}",
+                trend.library.slug()
+            );
+        }
+    }
+
+    // /cve/{id}/exposure against the batch CVE-impact figure.
+    let impact = cve_impact(dataset, &db, "CVE-2020-11022").expect("impact");
+    let (status, body) = get(&server, "/cve/CVE-2020-11022/exposure");
+    assert_eq!(status, Status::OK);
+    assert!(
+        body.contains(&format!("\"claimed_average\":{}", impact.claimed_average)),
+        "{body}"
+    );
+    assert!(
+        body.contains(&format!("\"true_average\":{}", impact.true_average)),
+        "{body}"
+    );
+
+    // /domain/{d}/history against random-access store reads.
+    let domain = svc.reader().genesis().ranks[0].0.clone();
+    let (status, body) = get(&server, &format!("/domain/{domain}/history"));
+    assert_eq!(status, Status::OK);
+    for week in 0..svc.reader().weeks_committed() {
+        let record = svc.reader().get(&domain, week).expect("get");
+        assert!(
+            body.contains(&format!("\"body_len\":{}", record.body_len)),
+            "week {week} body_len missing from {body}"
+        );
+    }
+}
+
+#[test]
+fn errors_are_structured_json() {
+    let (server, _svc, _registry) = start("errors", 1);
+    for (target, want) in [
+        ("/domain/no-such.example/history", Status::NOT_FOUND),
+        ("/library/left-pad/prevalence", Status::NOT_FOUND),
+        ("/week/999/landscape", Status::NOT_FOUND),
+        ("/week/banana/landscape", Status::BAD_REQUEST),
+        ("/cve/CVE-1999-0000/exposure", Status::NOT_FOUND),
+        ("/completely/unknown", Status::NOT_FOUND),
+    ] {
+        let (status, body) = get(&server, target);
+        assert_eq!(status, want, "{target} → {body}");
+        assert!(body.starts_with("{\"error\":"), "{target} → {body}");
+        assert!(body.contains("\"detail\":"), "{target} → {body}");
+    }
+
+    // Non-GET methods are refused with 405 and a structured body.
+    let mut req = Request::get("serve.test", "/healthz");
+    req.method = webvuln::net::Method::Post;
+    let mut wire = Vec::new();
+    encode_request(&req, &mut wire);
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    conn.write_all(&wire).expect("send");
+    let mut reader = MessageReader::new(conn);
+    let resp = reader.read_response(false).expect("response");
+    assert_eq!(resp.status, Status(405), "{}", resp.body_text());
+    assert!(resp.body_text().starts_with("{\"error\":"));
+}
+
+#[test]
+fn healthz_reports_request_count() {
+    let (server, _svc, _registry) = start("healthz", 1);
+    let (status, body) = get(&server, "/healthz");
+    assert_eq!(status, Status::OK);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains(&format!("\"weeks_committed\":{WEEKS}")), "{body}");
+    let (_, body) = get(&server, "/healthz");
+    assert!(body.contains("\"requests_total\":2"), "{body}");
+}
+
+#[test]
+fn cache_hits_serve_identical_bodies() {
+    let (server, _svc, registry) = start("cache", 2);
+    let (_, first) = get(&server, "/week/0/landscape");
+    let (_, second) = get(&server, "/week/0/landscape");
+    assert_eq!(first, second);
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("serve.cache_hits_total").unwrap_or(0) >= 1,
+        "no cache hit recorded"
+    );
+}
+
+#[test]
+fn concurrent_clients_all_get_answers() {
+    let (server, _svc, registry) = start("concurrent", 4);
+    let addr = server.addr();
+    let mut threads = Vec::new();
+    for client in 0..4 {
+        threads.push(std::thread::spawn(move || {
+            let connector = TcpConnector::fixed(addr);
+            for i in 0..5 {
+                let target = if (client + i) % 2 == 0 {
+                    "/healthz".to_string()
+                } else {
+                    format!("/week/{}/landscape", i % WEEKS)
+                };
+                let resp = fetch(&connector, "serve.test", &target).expect("fetch");
+                assert_eq!(resp.status, Status::OK, "{target}");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let snap = registry.snapshot();
+    let total = snap.counter("serve.requests_total").unwrap_or(0);
+    let answered = snap.counter("serve.responses_2xx_total").unwrap_or(0)
+        + snap.counter("serve.responses_4xx_total").unwrap_or(0)
+        + snap.counter("serve.responses_5xx_total").unwrap_or(0);
+    assert_eq!(total, 20);
+    assert_eq!(answered, total, "every request must be accounted for");
+}
+
+#[test]
+fn keep_alive_pipelines_requests_on_one_connection() {
+    let (server, _svc, _registry) = start("pipeline", 2);
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    let mut wire = Vec::new();
+    for _ in 0..3 {
+        encode_request(&Request::get("serve.test", "/healthz"), &mut wire);
+    }
+    conn.write_all(&wire).expect("send");
+    let mut reader = MessageReader::new(conn.try_clone().expect("clone"));
+    for i in 0..3 {
+        let resp = reader.read_response(false).expect("response");
+        assert_eq!(resp.status, Status::OK, "response {i}");
+        assert!(resp.body_text().contains("\"status\":\"ok\""));
+    }
+}
+
+#[test]
+fn shutdown_drains_and_unbinds() {
+    let (mut server, _svc, registry) = start("drain", 2);
+    let addr = server.addr();
+    let (status, _) = get(&server, "/healthz");
+    assert_eq!(status, Status::OK);
+
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(3),
+        "drain took {:?}",
+        started.elapsed()
+    );
+    // The port no longer accepts new connections.
+    let refused = TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(500));
+    assert!(refused.is_err(), "socket still accepting after shutdown");
+    // Everything that was accepted was answered.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve.requests_total"), Some(1));
+    assert_eq!(snap.counter("serve.responses_2xx_total"), Some(1));
+}
