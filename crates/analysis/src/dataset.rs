@@ -86,6 +86,11 @@ pub struct CollectConfig {
     /// quarantine budget; exceeding it fails collection with
     /// [`StoreError::FailureBudgetExceeded`].
     pub supervise: Option<SuperviseConfig>,
+    /// Shard count for the checkpoint store (default 1 — a single
+    /// `.wvstore` file). With 2 or more, the checkpoint path is a
+    /// directory of domain-hash shard files committed in parallel under
+    /// one manifest epoch. No effect without a checkpoint store.
+    pub shards: usize,
 }
 
 impl Default for CollectConfig {
@@ -97,6 +102,7 @@ impl Default for CollectConfig {
             breaker: None,
             carry_forward: false,
             supervise: None,
+            shards: 1,
         }
     }
 }
@@ -207,6 +213,14 @@ impl<'a> Collector<'a> {
     /// completes.
     pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.store = Some(path.into());
+        self
+    }
+
+    /// Shards the checkpoint store `shards` ways by domain hash (see
+    /// [`CollectConfig::shards`]). Values above 1 make the checkpoint
+    /// path a directory; 0 is treated as 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards.max(1);
         self
     }
 
@@ -1078,6 +1092,7 @@ mod tests {
     fn builder_round_trips_its_config() {
         let config = CollectConfig {
             concurrency: 3,
+            shards: 4,
             faults: FaultPlan::hostile(9),
             retry: RetryPolicy::standard(4),
             breaker: Some(BreakerConfig::default()),
@@ -1086,6 +1101,7 @@ mod tests {
         };
         let round_tripped = Collector::from_config(config).config();
         assert_eq!(round_tripped.concurrency, config.concurrency);
+        assert_eq!(round_tripped.shards, config.shards);
         assert_eq!(round_tripped.faults.seed, config.faults.seed);
         assert_eq!(round_tripped.retry.retries(), config.retry.retries());
         assert_eq!(round_tripped.breaker.is_some(), config.breaker.is_some());

@@ -18,8 +18,8 @@ use webvuln_fingerprint::{
 };
 use webvuln_net::{page_is_error_or_empty, FetchSummary};
 use webvuln_store::{
-    DetectionRecord, DomainRecord, FlashRecord, Genesis, PageRecord, ScriptRecord, StoreReader,
-    StoreWriter, WeekData, WordPressRecord,
+    AnyReader, CommitInfo, DetectionRecord, DomainRecord, FlashRecord, Genesis, PageRecord,
+    ScriptRecord, ShardedStoreWriter, StoreReader, StoreWriter, WeekData, WordPressRecord,
 };
 
 pub use webvuln_store::StoreError;
@@ -276,34 +276,41 @@ impl Dataset {
     /// unfinalized (checkpoint) store recomputes the §4.1 filter over
     /// whatever weeks were committed.
     pub fn load_store(path: impl AsRef<Path>) -> Result<Dataset, StoreError> {
-        let reader = StoreReader::open(path.as_ref())?;
-        let (timeline, ranks) = genesis_to_parts(reader.genesis())?;
-        let mut weeks = Vec::with_capacity(reader.weeks_committed());
-        for week in reader.iter_weeks() {
-            weeks.push(week_to_snapshot(&week?)?);
-        }
-        let mut dataset = Dataset {
-            timeline,
-            ranks,
-            weeks,
-            filtered_out: Vec::new(),
-        };
-        match reader.filtered_out() {
-            Some(filtered) => {
-                // Finalized: the verdict is authoritative. Dropping the
-                // listed domains is a no-op when the weeks were stored
-                // post-filter, and completes a raw checkpoint store.
-                for week in &mut dataset.weeks {
-                    week.pages.retain(|d, _| !filtered.contains(d));
-                    week.summaries.retain(|d, _| !filtered.contains(d));
-                    week.carried_forward.retain(|d| !filtered.contains(d));
-                }
-                dataset.filtered_out = filtered.to_vec();
-            }
-            None => dataset.apply_inaccessibility_filter(),
-        }
-        Ok(dataset)
+        dataset_from_reader(&AnyReader::open(path.as_ref())?)
     }
+}
+
+/// Materialises a [`Dataset`] from an already-opened store of either
+/// layout. This is [`Dataset::load_store`] minus the open, so callers
+/// holding a degraded [`AnyReader`] (the serve layer) can build the
+/// dataset from whatever weeks the healthy shards can merge.
+pub fn dataset_from_reader(reader: &AnyReader) -> Result<Dataset, StoreError> {
+    let (timeline, ranks) = genesis_to_parts(reader.genesis())?;
+    let mut weeks = Vec::with_capacity(reader.weeks_committed());
+    for week in reader.iter_weeks() {
+        weeks.push(week_to_snapshot(&week?)?);
+    }
+    let mut dataset = Dataset {
+        timeline,
+        ranks,
+        weeks,
+        filtered_out: Vec::new(),
+    };
+    match reader.filtered_out() {
+        Some(filtered) => {
+            // Finalized: the verdict is authoritative. Dropping the
+            // listed domains is a no-op when the weeks were stored
+            // post-filter, and completes a raw checkpoint store.
+            for week in &mut dataset.weeks {
+                week.pages.retain(|d, _| !filtered.contains(d));
+                week.summaries.retain(|d, _| !filtered.contains(d));
+                week.carried_forward.retain(|d| !filtered.contains(d));
+            }
+            dataset.filtered_out = filtered.to_vec();
+        }
+        None => dataset.apply_inaccessibility_filter(),
+    }
+    Ok(dataset)
 }
 
 /// Streams the snapshots of a store without materialising a [`Dataset`]:
@@ -345,6 +352,137 @@ pub fn collect_dataset_checkpointed(
     collect_checkpointed(ecosystem, config, telemetry, store_path, resume)
 }
 
+/// The checkpoint writer behind [`collect_checkpointed`]: a single-file
+/// [`StoreWriter`] for `shards == 1`, a [`ShardedStoreWriter`] directory
+/// otherwise. Selection happens once, at open; the collection loop only
+/// sees the shared commit/finalize surface.
+enum CheckpointWriter {
+    Single(StoreWriter),
+    Sharded(ShardedStoreWriter),
+}
+
+/// What [`CheckpointWriter::open`] restored from disk.
+struct ResumedCheckpoint {
+    writer: CheckpointWriter,
+    weeks: Vec<WeekData>,
+    filtered_out: Option<Vec<String>>,
+    torn_bytes: u64,
+}
+
+impl CheckpointWriter {
+    fn create(
+        store_path: &Path,
+        genesis: Genesis,
+        config: &CollectConfig,
+    ) -> Result<CheckpointWriter, StoreError> {
+        if config.shards > 1 {
+            let writer = ShardedStoreWriter::create(store_path, genesis, config.shards)?
+                .threads(config.concurrency);
+            Ok(CheckpointWriter::Sharded(writer))
+        } else {
+            Ok(CheckpointWriter::Single(StoreWriter::create(
+                store_path, genesis,
+            )?))
+        }
+    }
+
+    /// Opens or creates the checkpoint store. With `resume` set and a
+    /// store on disk, the layout is read back from the path (a directory
+    /// is sharded, a file is not) and must agree with `config.shards`;
+    /// committed weeks are restored after torn-tail recovery. A store
+    /// that never got its genesis (or manifest) to disk is recreated.
+    fn open(
+        store_path: &Path,
+        genesis: Genesis,
+        config: &CollectConfig,
+        resume: bool,
+    ) -> Result<ResumedCheckpoint, StoreError> {
+        let fresh = |writer| ResumedCheckpoint {
+            writer,
+            weeks: Vec::new(),
+            filtered_out: None,
+            torn_bytes: 0,
+        };
+        if !(resume && store_path.exists()) {
+            return Ok(fresh(CheckpointWriter::create(store_path, genesis, config)?));
+        }
+        verify_resume_store(store_path)?;
+        if store_path.is_dir() {
+            match ShardedStoreWriter::resume(store_path) {
+                Ok(resumed) => {
+                    let writer = resumed.writer.threads(config.concurrency);
+                    if writer.shard_count() != config.shards {
+                        return Err(StoreError::Mismatch(format!(
+                            "store at {} has {} shards but the study asked for {}; \
+                             rerun with --shards {} or start a fresh store",
+                            store_path.display(),
+                            writer.shard_count(),
+                            config.shards,
+                            writer.shard_count(),
+                        )));
+                    }
+                    Ok(ResumedCheckpoint {
+                        writer: CheckpointWriter::Sharded(writer),
+                        weeks: resumed.weeks,
+                        filtered_out: resumed.filtered_out,
+                        torn_bytes: resumed.torn_bytes,
+                    })
+                }
+                // Killed before the first manifest commit: nothing worth
+                // resuming; start over.
+                Err(StoreError::MissingGenesis) => {
+                    Ok(fresh(CheckpointWriter::create(store_path, genesis, config)?))
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            if config.shards > 1 {
+                return Err(StoreError::Mismatch(format!(
+                    "store at {} is a single file but the study asked for {} shards; \
+                     rerun without --shards or start a fresh store",
+                    store_path.display(),
+                    config.shards,
+                )));
+            }
+            match StoreWriter::resume(store_path) {
+                Ok(resumed) => Ok(ResumedCheckpoint {
+                    writer: CheckpointWriter::Single(resumed.writer),
+                    weeks: resumed.weeks,
+                    filtered_out: resumed.filtered_out,
+                    torn_bytes: resumed.torn_bytes,
+                }),
+                // A crash before the genesis segment hit the disk leaves
+                // nothing worth resuming; start over.
+                Err(StoreError::MissingGenesis) => {
+                    Ok(fresh(CheckpointWriter::create(store_path, genesis, config)?))
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    fn genesis(&self) -> &Genesis {
+        match self {
+            CheckpointWriter::Single(w) => w.genesis(),
+            CheckpointWriter::Sharded(w) => w.genesis(),
+        }
+    }
+
+    fn commit_week(&mut self, week: &WeekData) -> Result<CommitInfo, StoreError> {
+        match self {
+            CheckpointWriter::Single(w) => w.commit_week(week),
+            CheckpointWriter::Sharded(w) => w.commit_week(week),
+        }
+    }
+
+    fn finalize(&mut self, filtered_out: &[String]) -> Result<(), StoreError> {
+        match self {
+            CheckpointWriter::Single(w) => w.finalize(filtered_out),
+            CheckpointWriter::Sharded(w) => w.finalize(filtered_out),
+        }
+    }
+}
+
 /// The `--resume` integrity gate: CRC-verifies and fully decodes every
 /// committed week (the `store verify` pass) before the writer trusts the
 /// file, so silent corruption in the committed region fails loudly —
@@ -352,8 +490,11 @@ pub fn collect_dataset_checkpointed(
 /// snapshots. A torn tail is fine (the scan indexes only intact
 /// segments; resume recovery truncates the rest), and a store that never
 /// got its genesis segment is left for the caller's start-over path.
+/// Sharded stores verify shard by shard through the same [`AnyReader`]
+/// surface; a mixed-epoch group (a shard behind the manifest) fails
+/// here, before the writer touches anything.
 fn verify_resume_store(store_path: &Path) -> Result<(), StoreError> {
-    let verified = StoreReader::open(store_path).and_then(|reader| reader.verify().map(|_| ()));
+    let verified = AnyReader::open(store_path).and_then(|reader| reader.verify().map(|_| ()));
     match verified {
         Ok(()) | Err(StoreError::MissingGenesis) => Ok(()),
         Err(e) => Err(StoreError::Mismatch(format!(
@@ -386,35 +527,21 @@ pub(crate) fn collect_checkpointed(
     let expected = genesis_for(&timeline, &names);
 
     // Open or create the store, restoring any committed weeks.
+    let resumed = CheckpointWriter::open(store_path, expected.clone(), &config, resume)?;
+    if resumed.writer.genesis() != &expected {
+        return Err(StoreError::Mismatch(
+            "store was created from a different ecosystem \
+             (seed, domain count, or timeline differ)"
+                .to_string(),
+        ));
+    }
     let mut snapshots: Vec<WeekSnapshot> = Vec::with_capacity(timeline.weeks);
-    let mut torn_bytes_recovered = 0;
-    let mut finalized_filter = None;
-    let mut writer = if resume && store_path.exists() {
-        verify_resume_store(store_path)?;
-        match StoreWriter::resume(store_path) {
-            Ok(resumed) => {
-                if resumed.writer.genesis() != &expected {
-                    return Err(StoreError::Mismatch(
-                        "store was created from a different ecosystem \
-                         (seed, domain count, or timeline differ)"
-                            .to_string(),
-                    ));
-                }
-                torn_bytes_recovered = resumed.torn_bytes;
-                finalized_filter = resumed.filtered_out;
-                for week in &resumed.weeks {
-                    snapshots.push(week_to_snapshot(week)?);
-                }
-                resumed.writer
-            }
-            // A crash before the genesis segment hit the disk leaves
-            // nothing worth resuming; start over.
-            Err(StoreError::MissingGenesis) => StoreWriter::create(store_path, expected)?,
-            Err(e) => return Err(e),
-        }
-    } else {
-        StoreWriter::create(store_path, expected)?
-    };
+    let torn_bytes_recovered = resumed.torn_bytes;
+    let finalized_filter = resumed.filtered_out;
+    for week in &resumed.weeks {
+        snapshots.push(week_to_snapshot(week)?);
+    }
+    let mut writer = resumed.writer;
     let weeks_recovered = snapshots.len();
     registry
         .counter("store.weeks_recovered_total")
@@ -769,6 +896,104 @@ mod tests {
         let encoded = snap.counter("store.encoded_bytes_total").unwrap_or(0);
         assert!(encoded < raw / 2, "encoded {encoded} raw {raw}");
         assert!(snap.histogram("store.commit_latency_ns").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "webvuln-storeio-{}-{tag}.wvshards",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        path
+    }
+
+    #[test]
+    fn sharded_checkpointed_collection_matches_plain_collection() {
+        let eco = small_eco(31, 100, 6);
+        let plain = testkit::collect(&eco, CollectConfig::default());
+        let dir = temp_store_dir("sharded");
+        let config = CollectConfig {
+            shards: 3,
+            ..CollectConfig::default()
+        };
+        let outcome =
+            collect_checkpointed(&eco, config, &Telemetry::new(), &dir, false).expect("collect");
+        assert_eq!(outcome.weeks_crawled, 6);
+        assert_datasets_equal(&plain, &outcome.dataset);
+        // The store on disk is a directory; loading it through the
+        // layout-agnostic path restores the same dataset.
+        assert!(dir.is_dir(), "sharded store must be a directory");
+        let restored = Dataset::load_store(&dir).expect("load");
+        assert_datasets_equal(&plain, &restored);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_resume_crawls_only_missing_weeks() {
+        let eco = small_eco(31, 100, 6);
+        let dir = temp_store_dir("sharded-resume");
+        let config = CollectConfig {
+            shards: 3,
+            ..CollectConfig::default()
+        };
+        let telemetry = Telemetry::new();
+        // Simulate a run killed after week 3: commit 4 weeks by hand.
+        {
+            let mut collector = WeekCollector::new(&eco, config, &telemetry);
+            let timeline = *eco.timeline();
+            let mut writer =
+                ShardedStoreWriter::create(&dir, genesis_for(&timeline, &eco.domain_names()), 3)
+                    .expect("create");
+            for (week, date) in timeline.iter().take(4) {
+                let snap = collector.collect_week(week, date, &telemetry);
+                writer
+                    .commit_week(&snapshot_to_week(&snap))
+                    .expect("commit");
+            }
+        }
+        let outcome =
+            collect_checkpointed(&eco, config, &Telemetry::new(), &dir, true).expect("resume");
+        assert_eq!(outcome.weeks_recovered, 4);
+        assert_eq!(outcome.weeks_crawled, 2);
+        let plain = testkit::collect(&eco, CollectConfig::default());
+        assert_datasets_equal(&plain, &outcome.dataset);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_shard_count_mismatch() {
+        let eco = small_eco(31, 100, 4);
+        let dir = temp_store_dir("shard-mismatch");
+        let three = CollectConfig {
+            shards: 3,
+            ..CollectConfig::default()
+        };
+        collect_checkpointed(&eco, three, &Telemetry::new(), &dir, false).expect("collect");
+        let two = CollectConfig {
+            shards: 2,
+            ..CollectConfig::default()
+        };
+        let err = collect_checkpointed(&eco, two, &Telemetry::new(), &dir, true)
+            .expect_err("shard-count change must be rejected");
+        assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
+        assert!(err.to_string().contains("3 shards"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A single-file store cannot be resumed as a sharded study.
+        let path = temp_store("shard-mismatch-single");
+        collect_checkpointed(
+            &eco,
+            CollectConfig::default(),
+            &Telemetry::new(),
+            &path,
+            false,
+        )
+        .expect("collect single");
+        let err = collect_checkpointed(&eco, two, &Telemetry::new(), &path, true)
+            .expect_err("layout change must be rejected");
+        assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
+        assert!(err.to_string().contains("single file"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -43,22 +43,26 @@ use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 pub const FAILPOINTS: &[&str] = &["phase.generate", "phase.join", "phase.analyze"];
 
 /// The full fail-point catalog: every site registered anywhere in the
-/// workspace, sorted and deduplicated. The chaos harness enumerates this
-/// to prove crash-recovery at each site; it covers the store writer, the
-/// checkpoint commit loop, the exec worker loop, the per-domain fetch,
-/// and all five study phases.
+/// workspace, sorted and deduplicated. The chaos harnesses enumerate
+/// this to prove crash-recovery at each site; it covers the store writer
+/// (single-file and sharded commit protocol, scrub), the checkpoint
+/// commit loop, the exec worker loop, the per-domain fetch, the serving
+/// layer, and all five study phases.
 ///
-/// The serving layer (`webvuln-serve`) keeps its own catalog,
-/// `webvuln_serve::FAILPOINTS`: its `serve.*` sites fire in a live API
-/// server, not during a study run, so the study chaos harness — which
-/// requires every listed site to fire under `Pipeline::run` — cannot
-/// exercise them. `tests/chaos_serve.rs` covers them instead.
+/// Not every site fires under `Pipeline::run`: the `serve.*` sites fire
+/// in a live API server (`tests/chaos_serve.rs` kills those), and the
+/// sharded-store sites fire only for a sharded checkpoint store
+/// (`tests/chaos_failpoints.rs` runs a dedicated shard kill matrix).
+/// The catalog is still the single source of truth — the chaos suites
+/// assert that their covered sets union to exactly this list, so a new
+/// site cannot land without a kill scenario.
 pub fn failpoint_catalog() -> Vec<&'static str> {
     let mut sites: Vec<&'static str> = Vec::new();
     sites.extend_from_slice(webvuln_exec::FAILPOINTS);
     sites.extend_from_slice(webvuln_net::FAILPOINTS);
     sites.extend_from_slice(webvuln_store::FAILPOINTS);
     sites.extend_from_slice(webvuln_analysis::FAILPOINTS);
+    sites.extend_from_slice(webvuln_serve::FAILPOINTS);
     sites.extend_from_slice(FAILPOINTS);
     sites.sort_unstable();
     sites.dedup();
@@ -77,6 +81,11 @@ pub struct StudyConfig {
     pub timeline: Timeline,
     /// Crawler worker threads.
     pub concurrency: usize,
+    /// Shard count for the checkpoint store (default 1: a single store
+    /// file). With `shards > 1` the checkpoint path becomes a directory
+    /// of per-shard stores committed in parallel under one manifest
+    /// epoch. No effect without a checkpoint store.
+    pub shards: usize,
     /// Connection-level fault injection.
     pub faults: FaultPlan,
     /// Per-fetch retry budget and backoff (default: single attempt).
@@ -101,6 +110,7 @@ impl Default for StudyConfig {
             domain_count: 3_000,
             timeline: Timeline::paper(),
             concurrency: 8,
+            shards: 1,
             faults: FaultPlan::realistic(42),
             retry: RetryPolicy::none(),
             breaker: None,
@@ -262,6 +272,16 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Shard count for the [`checkpoint`](Pipeline::checkpoint) store.
+    /// With more than one shard the store path is a directory of
+    /// per-shard files written in parallel and published atomically by a
+    /// manifest rename per week. Shard count never changes the results —
+    /// only the on-disk layout and commit parallelism.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards.max(1);
+        self
+    }
+
     /// Connection-level fault injection.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.config.faults = faults;
@@ -402,6 +422,7 @@ impl<'a> Pipeline<'a> {
         );
         let mut collector = Collector::from_config(CollectConfig {
             concurrency: config.concurrency,
+            shards: config.shards,
             faults: config.faults,
             retry: config.retry,
             breaker: config.breaker,
@@ -650,6 +671,7 @@ mod tests {
             domain_count: 123,
             timeline: Timeline::truncated(17),
             concurrency: 3,
+            shards: 4,
             faults: FaultPlan::hostile(7),
             retry: RetryPolicy::standard(2),
             breaker: Some(BreakerConfig::default()),
@@ -663,6 +685,7 @@ mod tests {
             .domains(123)
             .timeline(Timeline::truncated(17))
             .threads(3)
+            .shards(4)
             .faults(FaultPlan::hostile(7))
             .retry(RetryPolicy::standard(2))
             .breaker(BreakerConfig::default())
@@ -686,9 +709,15 @@ mod tests {
             "store.segment.mid_write",
             "store.footer.rewrite",
             "store.finalize",
+            "store.manifest.rename",
+            "store.shard.mid_write",
+            "store.scrub",
             "checkpoint.commit",
             "exec.task",
             "crawl.fetch",
+            "serve.accept",
+            "serve.handler",
+            "serve.mid_response",
             "phase.generate",
             "phase.crawl",
             "phase.fingerprint",
@@ -696,6 +725,11 @@ mod tests {
             "phase.analyze",
         ] {
             assert!(catalog.contains(&site), "catalog missing {site}");
+        }
+        // The serve catalog is a subset — the chaos suites partition the
+        // full catalog between them using that containment.
+        for site in webvuln_serve::FAILPOINTS {
+            assert!(catalog.contains(site), "catalog missing serve site {site}");
         }
     }
 

@@ -4,9 +4,9 @@
 //! Two data paths back the endpoints, mirroring how the batch pipeline
 //! consumes a store:
 //!
-//! * `/domain/{d}/history` uses the [`StoreReader`]'s O(1) per-week
-//!   offset index directly — no full decode, exactly the random-access
-//!   path `webvuln store` exposes offline.
+//! * `/domain/{d}/history` uses the store reader's O(1) per-week offset
+//!   index directly — no full decode, exactly the random-access path
+//!   `webvuln store` exposes offline.
 //! * The table endpoints (`/library`, `/week`, `/cve`) answer from the
 //!   same `webvuln-analysis` computations the batch reports use
 //!   ([`table1`], [`usage_trends`], [`cve_impact`]), precomputed once at
@@ -20,12 +20,13 @@ use webvuln_analysis::landscape::{table1, usage_trends, LibraryRow, UsageTrend};
 use webvuln_analysis::vuln::{cve_impact, CveImpact};
 use webvuln_analysis::Dataset;
 use webvuln_cvedb::{Basis, LibraryId, VulnDb};
-use webvuln_store::{StoreError, StoreReader};
+use webvuln_store::{AnyReader, ShardHealth, StoreError};
 use webvuln_version::Version;
 
-/// A read-only query service over one snapshot store.
+/// A read-only query service over one snapshot store — single-file or
+/// sharded, healthy or degraded.
 pub struct QueryService {
-    reader: StoreReader,
+    reader: AnyReader,
     dataset: Dataset,
     db: VulnDb,
     rows: Vec<LibraryRow>,
@@ -34,9 +35,15 @@ pub struct QueryService {
 
 impl QueryService {
     /// Opens `path` and precomputes the hot analysis tables.
+    ///
+    /// A sharded store opens in degraded mode when shards are missing or
+    /// quarantined: the healthy shards keep serving, the analysis tables
+    /// are computed over them alone, `/healthz` reports the outage per
+    /// shard, and queries routed to a dead shard answer 503 with the
+    /// shard detail rather than failing the whole server at startup.
     pub fn open(path: &Path) -> Result<QueryService, StoreError> {
-        let reader = StoreReader::open(path)?;
-        let dataset = Dataset::load_store(path)?;
+        let reader = AnyReader::open_degraded(path)?;
+        let dataset = webvuln_analysis::store_io::dataset_from_reader(&reader)?;
         let db = VulnDb::builtin();
         let rows = table1(&dataset, &db);
         let trends = usage_trends(&dataset);
@@ -50,7 +57,7 @@ impl QueryService {
     }
 
     /// The underlying store reader (tests inspect it).
-    pub fn reader(&self) -> &StoreReader {
+    pub fn reader(&self) -> &AnyReader {
         &self.reader
     }
 
@@ -71,11 +78,25 @@ impl QueryService {
         }
     }
 
-    /// `GET /healthz`.
+    /// `GET /healthz`. A degraded store reports `"status":"degraded"`
+    /// and lists every shard with its health, so an operator (or the
+    /// smoke test) can see exactly which shard is out and why.
     pub fn healthz(&self, requests_total: u64) -> String {
         let genesis = self.reader.genesis();
+        let degraded = self.reader.is_degraded();
+        let mut shards = Arr::new();
+        for (index, health) in self.reader.shard_health().iter().enumerate() {
+            let shard = Obj::new().u64("shard", index as u64);
+            let shard = match health {
+                ShardHealth::Healthy => shard.str("status", "healthy"),
+                ShardHealth::Unavailable { detail } => {
+                    shard.str("status", "unavailable").str("detail", detail)
+                }
+            };
+            shards.push_raw(&shard.finish());
+        }
         Obj::new()
-            .str("status", "ok")
+            .str("status", if degraded { "degraded" } else { "ok" })
             .u64("weeks_committed", self.reader.weeks_committed() as u64)
             .u64("weeks_total", genesis.weeks_total as u64)
             .u64("domains", genesis.ranks.len() as u64)
@@ -84,6 +105,9 @@ impl QueryService {
                 "filtered_out",
                 self.reader.filtered_out().map_or(0, |f| f.len()) as u64,
             )
+            .bool("degraded", degraded)
+            .u64("shard_count", self.reader.shard_count() as u64)
+            .raw("shards", &shards.finish())
             .u64("requests_total", requests_total)
             .finish()
     }
@@ -91,6 +115,15 @@ impl QueryService {
     /// `GET /domain/{d}/history`: every committed week's record for one
     /// domain, via the store's O(1) random-access index.
     pub fn domain_history(&self, domain: &str) -> Result<String, ApiError> {
+        // Route through the shard map first: a domain living on a dead
+        // shard is a 503 with the shard detail (the data exists but
+        // cannot be served right now), not a 404 — the merged genesis
+        // below only knows the healthy shards' domains.
+        if let (shard, Some(detail)) = self.reader.shard_for(domain) {
+            return Err(ApiError::Unavailable(format!(
+                "shard {shard} unavailable: {detail}"
+            )));
+        }
         let genesis = self.reader.genesis();
         let rank = genesis
             .ranks
@@ -327,6 +360,68 @@ mod tests {
             .run(&eco)
             .expect("collect");
         QueryService::open(&path).expect("open")
+    }
+
+    #[test]
+    fn degraded_sharded_store_serves_healthy_shards() {
+        let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+            seed: 77,
+            domain_count: 40,
+            timeline: Timeline::truncated(3),
+        }));
+        let single = temp_store("degraded-single");
+        Collector::new()
+            .threads(2)
+            .checkpoint(&single)
+            .run(&eco)
+            .expect("collect single");
+        let baseline = QueryService::open(&single).expect("open single");
+        let dir = std::env::temp_dir().join(format!(
+            "webvuln-serve-svc-degraded-{}.wvshards",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Collector::new()
+            .threads(2)
+            .shards(3)
+            .checkpoint(&dir)
+            .run(&eco)
+            .expect("collect sharded");
+        std::fs::remove_file(dir.join(webvuln_store::shard_file_name(1))).expect("delete shard");
+
+        // The server still comes up, reports the outage, and serves
+        // every healthy shard byte-for-byte like the unsharded store.
+        let svc = QueryService::open(&dir).expect("degraded open");
+        let body = svc.healthz(0);
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(body.contains("\"degraded\":true"), "{body}");
+        assert!(body.contains("\"shard\":1"), "{body}");
+        assert!(body.contains("\"status\":\"unavailable\""), "{body}");
+        let (mut healthy, mut dead) = (0, 0);
+        for (domain, _) in &baseline.reader().genesis().ranks {
+            let (shard, detail) = svc.reader().shard_for(domain);
+            if shard == 1 {
+                assert!(detail.is_some());
+                match svc.domain_history(domain) {
+                    Err(ApiError::Unavailable(detail)) => {
+                        assert!(detail.contains("shard 1"), "{detail}")
+                    }
+                    other => panic!("dead shard must answer 503, got {other:?}"),
+                }
+                dead += 1;
+            } else {
+                assert_eq!(
+                    svc.domain_history(domain).expect("healthy history"),
+                    baseline.domain_history(domain).expect("baseline history"),
+                    "healthy-shard answer diverged for {domain}"
+                );
+                healthy += 1;
+            }
+        }
+        assert!(healthy > 0, "no healthy-shard domains exercised");
+        assert!(dead > 0, "no dead-shard domains exercised");
+        let _ = std::fs::remove_file(&single);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -41,6 +41,27 @@ pub enum StoreError {
     UnknownDomain(String),
     /// Random access asked for a week beyond the committed range.
     UnknownWeek(usize),
+    /// A shard of a sharded store cannot be served (missing, corrupt,
+    /// quarantined, or inconsistent with the manifest). Query routing
+    /// uses this to tell "shard down" (retryable, 503) apart from
+    /// "domain unknown" (404).
+    ShardUnavailable {
+        /// The shard index.
+        shard: usize,
+        /// Why the shard cannot be served.
+        detail: String,
+    },
+    /// A shard holds fewer weeks than the group manifest requires — a
+    /// mixed-epoch store no crash can produce (the manifest only
+    /// commits after every shard synced), so resume refuses it.
+    ShardBehind {
+        /// The shard index.
+        shard: usize,
+        /// Weeks the shard actually holds.
+        shard_weeks: usize,
+        /// Weeks the manifest requires.
+        manifest_weeks: usize,
+    },
     /// A deterministic fail-point injected this failure (chaos testing;
     /// never produced by real I/O).
     Injected {
@@ -95,6 +116,20 @@ impl fmt::Display for StoreError {
             StoreError::Mismatch(detail) => write!(f, "store/config mismatch: {detail}"),
             StoreError::UnknownDomain(domain) => write!(f, "domain {domain:?} not in store"),
             StoreError::UnknownWeek(week) => write!(f, "week {week} not committed"),
+            StoreError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable: {detail}")
+            }
+            StoreError::ShardBehind {
+                shard,
+                shard_weeks,
+                manifest_weeks,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} is behind the manifest: {shard_weeks} weeks on disk, \
+                     manifest requires {manifest_weeks} (mixed-epoch store; refusing to open)"
+                )
+            }
             StoreError::Injected { site } => {
                 write!(f, "injected failure at fail-point '{site}'")
             }

@@ -24,7 +24,18 @@
 //!   [`StoreReader::get`] O(1) access to one `(domain, week)` record
 //!   without decoding anything else.
 //!
-//! The crate is dependency-free (std only) and knows nothing about the
+//! * **Sharding** — a store can also be a *directory*: N shard files
+//!   keyed by domain hash ([`shard_of`]), written in parallel by one
+//!   [`StoreWriter`] per shard on the `webvuln-exec` pool, with a
+//!   manifest whose atomic rename is the group's single commit point.
+//!   [`ShardedStoreWriter`] keeps the same crash guarantee as the
+//!   single file — a kill yields epoch E or E+1 across *all* shards,
+//!   never a mix — and [`AnyReader`] serves either layout, degraded
+//!   reads included. [`scrub`] walks every CRC and can quarantine,
+//!   rebuild, and roll back corrupt shards.
+//!
+//! The crate has no third-party dependencies (std plus the workspace's
+//! own fail-point/trace/exec crates) and knows nothing about the
 //! analysis layer's types: it stores a plain-string record model
 //! ([`DomainRecord`], [`PageRecord`]) that `webvuln-analysis` maps its
 //! snapshots into and out of.
@@ -52,20 +63,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod any;
 mod crc32;
 mod error;
 mod format;
 mod intern;
+mod manifest;
 mod reader;
 mod record;
+mod scrub;
+mod sharded;
 mod varint;
 mod writer;
 
+pub use any::AnyReader;
 pub use error::StoreError;
 pub use format::{Genesis, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use manifest::{Manifest, MANIFEST_FILE, MANIFEST_LEN, MANIFEST_MAGIC, MANIFEST_VERSION};
 pub use reader::StoreReader;
 pub use record::{
     DetectionRecord, DomainRecord, FlashRecord, PageRecord, ScriptRecord, WeekData, WordPressRecord,
+};
+pub use scrub::{scrub, ScrubOutcome, ScrubReport, ShardScrub, ShardStatus};
+pub use sharded::{
+    shard_file_name, shard_of, shard_path, split_week, ShardHealth, ShardedResumed,
+    ShardedStoreReader, ShardedStoreWriter, QUARANTINE_SUFFIX,
 };
 pub use writer::{CommitInfo, Resumed, StoreWriter, WriterStats, FAILPOINTS};
 
@@ -237,6 +259,371 @@ mod tests {
         let reader = StoreReader::open(&tmp.path).expect("open");
         assert_eq!(reader.weeks_committed(), 3);
         assert_eq!(reader.week(2).expect("week"), week2);
+    }
+
+    /// A scratch directory that cleans up after itself.
+    struct TempDir {
+        path: PathBuf,
+    }
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path =
+                std::env::temp_dir().join(format!("wvstore-test-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            TempDir { path }
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+
+    fn write_sharded(dir: &std::path::Path, weeks: usize, domains: usize, shards: usize) {
+        let mut writer = ShardedStoreWriter::create(dir, genesis(domains, weeks), shards)
+            .expect("create sharded")
+            .threads(2);
+        for w in 0..weeks {
+            writer
+                .commit_week(&testkit::week(w, domains))
+                .expect("commit");
+        }
+    }
+
+    /// Every file in `dir` by name, for byte-identity comparisons.
+    fn dir_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .expect("read dir")
+            .map(|e| {
+                let e = e.expect("entry");
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).expect("read file"),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 4, 16] {
+            let mut used = vec![false; shards];
+            for i in 0..64 {
+                let host = format!("site{i:03}.example");
+                let shard = shard_of(&host, shards);
+                assert!(shard < shards);
+                assert_eq!(shard, shard_of(&host, shards), "unstable assignment");
+                used[shard] = true;
+            }
+            if shards <= 4 {
+                assert!(used.iter().all(|u| *u), "{shards}-way split left a shard empty");
+            }
+        }
+        assert_eq!(shard_of("anything.example", 1), 0);
+    }
+
+    #[test]
+    fn sharded_store_matches_the_unsharded_view() {
+        let tmp = TempDir::new("sharded-roundtrip");
+        write_sharded(&tmp.path, 3, 12, 4);
+        let reader = ShardedStoreReader::open(&tmp.path).expect("open");
+        assert_eq!(reader.weeks_committed(), 3);
+        assert_eq!(reader.shard_count(), 4);
+        assert!(!reader.is_degraded());
+        assert_eq!(reader.genesis(), &genesis(12, 3));
+        for w in 0..3 {
+            // Merged shard slices, sorted by host == the unsharded week.
+            assert_eq!(reader.week(w).expect("week"), testkit::week(w, 12));
+        }
+        assert_eq!(reader.verify().expect("verify"), vec![12; 3]);
+        // Random access routes by domain hash.
+        for record in &testkit::week(1, 12).records {
+            assert_eq!(&reader.get(&record.host, 1).expect("get"), record);
+        }
+        assert!(matches!(
+            reader.get("nope.example", 0),
+            Err(StoreError::UnknownDomain(_))
+        ));
+        // AnyReader auto-detects the layout.
+        let any = AnyReader::open(&tmp.path).expect("any open");
+        assert_eq!(any.shard_count(), 4);
+        assert_eq!(any.week(2).expect("week"), testkit::week(2, 12));
+    }
+
+    #[test]
+    fn sharded_epoch_counts_every_commit() {
+        let tmp = TempDir::new("sharded-epoch");
+        let mut writer =
+            ShardedStoreWriter::create(&tmp.path, genesis(6, 2), 2).expect("create");
+        assert_eq!(writer.epoch(), 1);
+        writer.commit_week(&testkit::week(0, 6)).expect("w0");
+        writer.commit_week(&testkit::week(1, 6)).expect("w1");
+        assert_eq!(writer.epoch(), 3);
+        writer.finalize(&[]).expect("finalize");
+        assert_eq!(writer.epoch(), 4);
+        // Resume replays the same state without inventing epochs.
+        drop(writer);
+        let resumed = ShardedStoreWriter::resume(&tmp.path).expect("resume");
+        assert_eq!(resumed.writer.epoch(), 4);
+        assert_eq!(resumed.shards_rolled_back, 0);
+        assert!(resumed.writer.is_finalized());
+        assert_eq!(resumed.filtered_out, Some(vec![]));
+    }
+
+    #[test]
+    fn sharded_resume_rolls_back_a_shard_ahead_of_the_manifest() {
+        let tmp = TempDir::new("sharded-ahead");
+        write_sharded(&tmp.path, 2, 10, 2);
+        let before = dir_bytes(&tmp.path);
+        // Simulate a crash window: shard 0 committed week 2, but the
+        // manifest rename never happened.
+        let mut shard0 = StoreWriter::resume(&shard_path(&tmp.path, 0))
+            .expect("resume shard")
+            .writer;
+        shard0
+            .commit_week(&WeekData {
+                week: 2,
+                date_days: 17_614,
+                records: vec![],
+            })
+            .expect("unpublished commit");
+        drop(shard0);
+        assert_ne!(dir_bytes(&tmp.path), before, "tamper must change bytes");
+
+        let resumed = ShardedStoreWriter::resume(&tmp.path).expect("resume group");
+        assert_eq!(resumed.shards_rolled_back, 1);
+        assert_eq!(resumed.writer.weeks_committed(), 2);
+        assert_eq!(resumed.weeks.len(), 2);
+        drop(resumed);
+        // Rollback restores the exact pre-crash bytes, manifest included.
+        assert_eq!(dir_bytes(&tmp.path), before);
+    }
+
+    #[test]
+    fn a_shard_behind_the_manifest_is_refused_as_mixed_epoch() {
+        let tmp = TempDir::new("sharded-behind");
+        write_sharded(&tmp.path, 2, 10, 2);
+        // Hand-corrupt: drop shard 1 back to one week (no crash does this).
+        StoreWriter::resume(&shard_path(&tmp.path, 1))
+            .expect("resume shard")
+            .writer
+            .truncate_to_weeks(1)
+            .expect("truncate");
+        let err = match ShardedStoreWriter::resume(&tmp.path) {
+            Err(err) => err,
+            Ok(_) => panic!("mixed-epoch store must refuse to resume"),
+        };
+        assert!(
+            matches!(
+                err,
+                StoreError::ShardBehind {
+                    shard: 1,
+                    shard_weeks: 1,
+                    manifest_weeks: 2,
+                }
+            ),
+            "{err}"
+        );
+        assert!(ShardedStoreReader::open(&tmp.path).is_err());
+        // Degraded open still serves the healthy shard.
+        let degraded = ShardedStoreReader::open_degraded(&tmp.path).expect("degraded");
+        assert!(degraded.is_degraded());
+        assert!(degraded.shard_health()[0].is_healthy());
+        assert!(!degraded.shard_health()[1].is_healthy());
+        for record in &testkit::week(0, 10).records {
+            match degraded.get(&record.host, 0) {
+                Ok(got) => {
+                    assert_eq!(shard_of(&record.host, 2), 0);
+                    assert_eq!(&got, record);
+                }
+                Err(StoreError::ShardUnavailable { shard: 1, .. }) => {
+                    assert_eq!(shard_of(&record.host, 2), 1);
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_reader_survives_a_deleted_shard() {
+        let tmp = TempDir::new("sharded-deleted");
+        write_sharded(&tmp.path, 2, 12, 3);
+        std::fs::remove_file(shard_path(&tmp.path, 2)).expect("delete shard");
+        assert!(AnyReader::open(&tmp.path).is_err(), "strict open must fail");
+        let any = AnyReader::open_degraded(&tmp.path).expect("degraded open");
+        assert!(any.is_degraded());
+        let health = any.shard_health();
+        assert!(health[0].is_healthy() && health[1].is_healthy());
+        assert!(!health[2].is_healthy());
+        // The merged week only misses the dead shard's records.
+        let week = any.week(0).expect("week");
+        assert!(week.records.len() < 12);
+        for record in &week.records {
+            assert_ne!(shard_of(&record.host, 3), 2);
+        }
+        // verify() refuses: a degraded store is not a verified store.
+        assert!(matches!(
+            any.verify(),
+            Err(StoreError::ShardUnavailable { shard: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn truncate_to_weeks_rebuilds_an_identical_prefix() {
+        let tmp = TempStore::new("truncate");
+        write_weeks(&tmp.path, 4, 8);
+        let full = std::fs::read(&tmp.path).expect("read");
+        let resumed = StoreWriter::resume(&tmp.path)
+            .expect("resume")
+            .writer
+            .truncate_to_weeks(2)
+            .expect("truncate");
+        assert_eq!(resumed.writer.weeks_committed(), 2);
+        assert_eq!(resumed.weeks.len(), 2);
+        // Replaying the dropped weeks reproduces the original bytes:
+        // the interner and delta state were rebuilt correctly.
+        let mut writer = resumed.writer;
+        writer.commit_week(&testkit::week(2, 8)).expect("w2");
+        writer.commit_week(&testkit::week(3, 8)).expect("w3");
+        drop(writer);
+        assert_eq!(std::fs::read(&tmp.path).expect("read"), full);
+    }
+
+    #[test]
+    fn truncate_drops_a_premature_finalize() {
+        let tmp = TempStore::new("truncate-finalize");
+        let mut writer = write_weeks(&tmp.path, 2, 5);
+        writer.finalize(&["site001.example".to_string()]).expect("finalize");
+        let resumed = writer.truncate_to_weeks(2).expect("truncate");
+        assert!(!resumed.writer.is_finalized());
+        assert_eq!(resumed.writer.weeks_committed(), 2);
+        assert_eq!(resumed.filtered_out, None);
+    }
+
+    #[test]
+    fn scrub_reports_clean_stores() {
+        let tmp = TempDir::new("scrub-clean");
+        write_sharded(&tmp.path, 2, 10, 2);
+        let report = scrub(&tmp.path, false).expect("scrub");
+        assert_eq!(report.outcome, ScrubOutcome::Clean);
+        assert!(report.shards.iter().all(|s| s.status == ShardStatus::Clean));
+        assert_eq!(report.epoch_before, report.epoch_after);
+        assert!(report.render().contains("outcome: clean"));
+    }
+
+    #[test]
+    fn scrub_heals_torn_tails() {
+        let tmp = TempDir::new("scrub-torn");
+        write_sharded(&tmp.path, 2, 10, 2);
+        let clean = dir_bytes(&tmp.path);
+        // A torn half-written segment on one shard.
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(shard_path(&tmp.path, 1))
+            .expect("open");
+        file.write_all(&[0x77; 41]).expect("tear");
+        drop(file);
+        let assess = scrub(&tmp.path, false).expect("assess");
+        assert_eq!(assess.outcome, ScrubOutcome::Healed);
+        assert_eq!(assess.shards[1].status, ShardStatus::TornTail);
+        let repair = scrub(&tmp.path, true).expect("repair");
+        assert_eq!(repair.outcome, ScrubOutcome::Healed);
+        assert_eq!(repair.shards[1].status, ShardStatus::Healed);
+        assert_eq!(dir_bytes(&tmp.path), clean, "heal restores exact bytes");
+        assert_eq!(scrub(&tmp.path, false).expect("rescrub").outcome, ScrubOutcome::Clean);
+    }
+
+    #[test]
+    fn scrub_rolls_the_group_back_past_mid_file_corruption() {
+        let tmp = TempDir::new("scrub-rollback");
+        write_sharded(&tmp.path, 3, 10, 2);
+        // Flip one byte inside shard 0's second week segment: the CRC
+        // walk stops there, leaving a one-week valid prefix.
+        let path = shard_path(&tmp.path, 0);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt");
+
+        let report = scrub(&tmp.path, true).expect("repair");
+        assert_eq!(report.outcome, ScrubOutcome::Healed);
+        assert!(report.rolled_back_to.is_some());
+        let target = report.rolled_back_to.expect("rollback target");
+        assert!(target < 3, "corruption must cost at least one week");
+        // The rolled-back group resumes and replays the missing weeks.
+        let resumed = ShardedStoreWriter::resume(&tmp.path).expect("resume");
+        assert_eq!(resumed.writer.weeks_committed(), target);
+        let mut writer = resumed.writer;
+        for w in target..3 {
+            writer.commit_week(&testkit::week(w, 10)).expect("replay");
+        }
+        let reader = ShardedStoreReader::open(&tmp.path).expect("open");
+        for w in 0..3 {
+            assert_eq!(reader.week(w).expect("week"), testkit::week(w, 10));
+        }
+    }
+
+    #[test]
+    fn scrub_rebuilds_from_a_quarantined_copy() {
+        let tmp = TempDir::new("scrub-rebuild");
+        write_sharded(&tmp.path, 2, 10, 2);
+        let clean = dir_bytes(&tmp.path);
+        // A kill between quarantine-rename and rebuild leaves the shard
+        // missing with its bytes parked in the quarantined copy.
+        let path = shard_path(&tmp.path, 0);
+        let mut quarantined = path.as_os_str().to_os_string();
+        quarantined.push(".");
+        quarantined.push(QUARANTINE_SUFFIX);
+        std::fs::rename(&path, &quarantined).expect("park");
+
+        let report = scrub(&tmp.path, true).expect("repair");
+        assert_eq!(report.shards[0].status, ShardStatus::Rebuilt);
+        assert_eq!(report.outcome, ScrubOutcome::Healed);
+        std::fs::remove_file(&quarantined).expect("discard quarantined copy");
+        assert_eq!(dir_bytes(&tmp.path), clean, "rebuild reproduces exact bytes");
+    }
+
+    #[test]
+    fn scrub_quarantines_what_it_cannot_rebuild() {
+        let tmp = TempDir::new("scrub-quarantine");
+        write_sharded(&tmp.path, 2, 10, 2);
+        // Destroy shard 1's header: no genesis, nothing to rebuild from.
+        let path = shard_path(&tmp.path, 1);
+        std::fs::write(&path, b"not a store at all").expect("overwrite");
+        let report = scrub(&tmp.path, true).expect("repair");
+        assert_eq!(report.shards[1].status, ShardStatus::Quarantined);
+        assert_eq!(report.outcome, ScrubOutcome::Quarantined);
+        assert!(!path.exists(), "corrupt shard set aside");
+        // The store still serves degraded.
+        let any = AnyReader::open_degraded(&tmp.path).expect("degraded open");
+        assert!(any.is_degraded());
+        assert!(any.week(0).expect("week").records.iter().all(|r| shard_of(&r.host, 2) == 0));
+    }
+
+    #[test]
+    fn scrub_handles_single_file_stores() {
+        let tmp = TempStore::new("scrub-single");
+        write_weeks(&tmp.path, 2, 6);
+        let report = scrub(&tmp.path, false).expect("scrub");
+        assert_eq!(report.outcome, ScrubOutcome::Clean);
+        assert!(!report.sharded);
+        // Torn tail heals.
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&tmp.path)
+            .expect("open");
+        file.write_all(&[0x13; 23]).expect("tear");
+        drop(file);
+        let report = scrub(&tmp.path, true).expect("repair");
+        assert_eq!(report.outcome, ScrubOutcome::Healed);
+        assert_eq!(report.shards[0].status, ShardStatus::Healed);
+        assert_eq!(scrub(&tmp.path, false).expect("rescrub").outcome, ScrubOutcome::Clean);
     }
 
     #[test]

@@ -1,0 +1,694 @@
+//! The sharded snapshot store: N shard files + one manifest, written by
+//! one [`StoreWriter`] per shard on the `webvuln-exec` pool.
+//!
+//! Domains are partitioned by a deterministic hash of the host name
+//! ([`shard_of`]), so every shard file is an ordinary single-file store
+//! holding its slice of the study — same format, same torn-tail healer,
+//! same delta encoding. What the single-file store gets from its footer
+//! rewrite, the group gets from the manifest (see [`crate::manifest`]):
+//! a week is committed only once every shard has appended and synced its
+//! segment *and* the manifest rename lands. Recovery therefore has two
+//! layers: each shard heals its own torn tail independently, then the
+//! manifest check rolls any shard that ran ahead of the committed epoch
+//! back to it — so a kill at any instant yields epoch E or E+1 across
+//! all shards, never a mix. A shard *behind* the manifest cannot be
+//! produced by a crash (the rename only happens after every shard
+//! synced); finding one means lost or hand-edited bytes, and resume
+//! refuses with [`StoreError::ShardBehind`] rather than serve a
+//! mixed-epoch store.
+
+use crate::error::StoreError;
+use crate::format::Genesis;
+use crate::manifest::{self, Manifest};
+use crate::reader::StoreReader;
+use crate::record::{DomainRecord, WeekData};
+use crate::writer::{CommitInfo, StoreWriter, WriterStats};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use webvuln_exec::Executor;
+
+/// Deterministic shard assignment: FNV-1a over the host name, mod the
+/// shard count. Stable across runs, platforms, and thread counts — the
+/// store layout depends on it.
+pub fn shard_of(host: &str, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in host.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
+/// File name of shard `index` inside a sharded-store directory.
+pub fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:03}.wvstore")
+}
+
+/// Path of shard `index` inside `dir`.
+pub fn shard_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(shard_file_name(index))
+}
+
+/// Suffix appended to a corrupt shard file when scrub quarantines it.
+pub const QUARANTINE_SUFFIX: &str = "quarantined";
+
+/// Splits one group week into per-shard weeks. Records arrive sorted by
+/// host; a stable partition keeps every shard's slice sorted too, and
+/// re-merging sorted slices by host reproduces the group order exactly.
+pub fn split_week(week: &WeekData, shards: usize) -> Vec<WeekData> {
+    let mut parts: Vec<WeekData> = (0..shards)
+        .map(|_| WeekData {
+            week: week.week,
+            date_days: week.date_days,
+            records: Vec::new(),
+        })
+        .collect();
+    for record in &week.records {
+        parts[shard_of(&record.host, shards)].records.push(record.clone());
+    }
+    parts
+}
+
+/// Merges per-shard week slices back into one group week, sorted by host.
+fn merge_week(week: usize, date_days: i64, parts: Vec<WeekData>) -> WeekData {
+    let mut records: Vec<DomainRecord> = parts.into_iter().flat_map(|p| p.records).collect();
+    records.sort_by(|a, b| a.host.cmp(&b.host));
+    WeekData {
+        week,
+        date_days,
+        records,
+    }
+}
+
+/// The per-shard slice of a group genesis: same timeline, ranks filtered
+/// to the shard's domains (global rank values preserved).
+fn shard_genesis(group: &Genesis, shard: usize, shards: usize) -> Genesis {
+    Genesis {
+        start_days: group.start_days,
+        weeks_total: group.weeks_total,
+        ranks: group
+            .ranks
+            .iter()
+            .filter(|(host, _)| shard_of(host, shards) == shard)
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Rebuilds the group genesis from per-shard slices (ranks re-sorted by
+/// the global rank value).
+fn merge_genesis(parts: &[&Genesis]) -> Result<Genesis, StoreError> {
+    let first = parts.first().ok_or(StoreError::MissingGenesis)?;
+    let mut ranks = Vec::new();
+    for part in parts {
+        if part.start_days != first.start_days || part.weeks_total != first.weeks_total {
+            return Err(StoreError::Mismatch(
+                "shard genesis timelines disagree".to_string(),
+            ));
+        }
+        ranks.extend(part.ranks.iter().cloned());
+    }
+    ranks.sort_by_key(|(_, rank)| *rank);
+    Ok(Genesis {
+        start_days: first.start_days,
+        weeks_total: first.weeks_total,
+        ranks,
+    })
+}
+
+/// A [`ShardedStoreWriter`] reopened on an existing directory, plus
+/// everything the group already held — the sharded analogue of
+/// [`crate::Resumed`].
+pub struct ShardedResumed {
+    /// The writer, positioned at the first uncommitted week.
+    pub writer: ShardedStoreWriter,
+    /// Every committed week, merged across shards, in week order.
+    pub weeks: Vec<WeekData>,
+    /// The stored filter verdict, present only when finalized.
+    pub filtered_out: Option<Vec<String>>,
+    /// Torn tail bytes dropped across all shards during recovery.
+    pub torn_bytes: u64,
+    /// Shards that had run ahead of the manifest and were rolled back to
+    /// the committed epoch (each one is a recovery event).
+    pub shards_rolled_back: usize,
+}
+
+/// Writes a sharded snapshot store: one [`StoreWriter`] per shard plus
+/// the group manifest.
+pub struct ShardedStoreWriter {
+    dir: PathBuf,
+    writers: Vec<StoreWriter>,
+    manifest: Manifest,
+    genesis: Genesis,
+    threads: usize,
+}
+
+impl ShardedStoreWriter {
+    /// Creates (replacing any previous group) a sharded store under
+    /// `dir` with `shards` shard files.
+    pub fn create(
+        dir: &Path,
+        genesis: Genesis,
+        shards: usize,
+    ) -> Result<ShardedStoreWriter, StoreError> {
+        if shards == 0 {
+            return Err(StoreError::Mismatch(
+                "a sharded store needs at least one shard".to_string(),
+            ));
+        }
+        fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
+        // Clear leftovers from any previous layout (wider shard counts,
+        // quarantined files, a stale manifest) so the directory holds
+        // exactly this group.
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("shard-") || name.starts_with("MANIFEST") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        let mut writers = Vec::with_capacity(shards);
+        for index in 0..shards {
+            writers.push(StoreWriter::create(
+                &shard_path(dir, index),
+                shard_genesis(&genesis, index, shards),
+            )?);
+        }
+        let manifest = Manifest {
+            epoch: 1,
+            shards: shards as u32,
+            weeks: 0,
+            finalized: false,
+        };
+        manifest::commit(dir, &manifest)?;
+        Ok(ShardedStoreWriter {
+            dir: dir.to_path_buf(),
+            writers,
+            manifest,
+            genesis,
+            threads: 1,
+        })
+    }
+
+    /// Sets the thread count for parallel per-shard commits (the
+    /// `webvuln-exec` pool). Purely a scheduling knob: store bytes are
+    /// identical at any thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Reopens an existing sharded store: heals each shard's torn tail,
+    /// rolls any shard that ran ahead of the manifest back to the
+    /// committed epoch, and refuses mixed-epoch groups a crash cannot
+    /// produce (a shard *behind* the manifest).
+    pub fn resume(dir: &Path) -> Result<ShardedResumed, StoreError> {
+        let manifest = manifest::load(dir)?;
+        let shards = manifest.shards as usize;
+        let committed = manifest.weeks as usize;
+        let mut writers = Vec::with_capacity(shards);
+        let mut shard_weeks: Vec<Vec<WeekData>> = Vec::with_capacity(shards);
+        let mut filtered_out = None;
+        let mut torn_bytes = 0;
+        let mut shards_rolled_back = 0;
+        for index in 0..shards {
+            let path = shard_path(dir, index);
+            if !path.exists() {
+                return Err(StoreError::ShardUnavailable {
+                    shard: index,
+                    detail: format!("shard file missing: {}", path.display()),
+                });
+            }
+            let mut resumed = StoreWriter::resume(&path)?;
+            torn_bytes += resumed.torn_bytes;
+            let ahead = resumed.writer.weeks_committed() > committed
+                || (resumed.writer.is_finalized() && !manifest.finalized);
+            if ahead {
+                // The shard committed past the manifest before the crash;
+                // the group never published that progress, so drop it.
+                resumed = resumed.writer.truncate_to_weeks(committed)?;
+                shards_rolled_back += 1;
+            }
+            if resumed.writer.weeks_committed() < committed
+                || (manifest.finalized && !resumed.writer.is_finalized())
+            {
+                return Err(StoreError::ShardBehind {
+                    shard: index,
+                    shard_weeks: resumed.writer.weeks_committed(),
+                    manifest_weeks: committed,
+                });
+            }
+            if manifest.finalized {
+                filtered_out = resumed.filtered_out.clone();
+            }
+            shard_weeks.push(resumed.weeks);
+            writers.push(resumed.writer);
+        }
+        let genesis = merge_genesis(&writers.iter().map(|w| w.genesis()).collect::<Vec<_>>())?;
+        let mut weeks = Vec::with_capacity(committed);
+        for week in 0..committed {
+            let empty = WeekData {
+                week,
+                date_days: 0,
+                records: Vec::new(),
+            };
+            let parts: Vec<WeekData> = shard_weeks
+                .iter_mut()
+                .map(|sw| std::mem::replace(&mut sw[week], empty.clone()))
+                .collect();
+            let date_days = parts[0].date_days;
+            if parts.iter().any(|p| p.date_days != date_days) {
+                return Err(StoreError::Mismatch(format!(
+                    "shards disagree on the date of week {week}"
+                )));
+            }
+            weeks.push(merge_week(week, date_days, parts));
+        }
+        Ok(ShardedResumed {
+            writer: ShardedStoreWriter {
+                dir: dir.to_path_buf(),
+                writers,
+                manifest,
+                genesis,
+                threads: 1,
+            },
+            weeks,
+            filtered_out,
+            torn_bytes,
+            shards_rolled_back,
+        })
+    }
+
+    /// Commits one group week: splits it by domain hash, appends every
+    /// shard's slice in parallel on the exec pool, then publishes the
+    /// week with one atomic manifest rename. A kill anywhere in between
+    /// leaves the manifest at the previous epoch and the partial shard
+    /// progress is rolled back on resume.
+    pub fn commit_week(&mut self, week: &WeekData) -> Result<CommitInfo, StoreError> {
+        if self.manifest.finalized {
+            return Err(StoreError::AlreadyFinalized);
+        }
+        let expected = self.manifest.weeks as usize;
+        if week.week != expected {
+            return Err(StoreError::WeekOutOfOrder {
+                expected,
+                got: week.week,
+            });
+        }
+        let parts = split_week(week, self.writers.len());
+        let jobs: Vec<Mutex<Option<(usize, &mut StoreWriter, WeekData)>>> = self
+            .writers
+            .iter_mut()
+            .zip(parts)
+            .enumerate()
+            .map(|(index, (writer, part))| Mutex::new(Some((index, writer, part))))
+            .collect();
+        let results = Executor::new(self.threads).chunk_size(1).map(&jobs, |job| {
+            let (index, writer, part) = job
+                .lock()
+                .expect("shard job lock")
+                .take()
+                .expect("each shard job runs exactly once");
+            let key = index.to_string();
+            let _ = webvuln_failpoint::failpoint!("store.shard.mid_write", &key)?;
+            writer.commit_week(&part)
+        });
+        let mut info = CommitInfo {
+            week: week.week,
+            records: 0,
+            delta_hits: 0,
+            raw_bytes: 0,
+            encoded_bytes: 0,
+            segment_bytes: 0,
+        };
+        for result in results {
+            let shard_info = result?;
+            info.records += shard_info.records;
+            info.delta_hits += shard_info.delta_hits;
+            info.raw_bytes += shard_info.raw_bytes;
+            info.encoded_bytes += shard_info.encoded_bytes;
+            info.segment_bytes += shard_info.segment_bytes;
+        }
+        let next = Manifest {
+            epoch: self.manifest.epoch + 1,
+            weeks: self.manifest.weeks + 1,
+            ..self.manifest
+        };
+        manifest::commit(&self.dir, &next)?;
+        self.manifest = next;
+        Ok(info)
+    }
+
+    /// Writes the finalize verdict to every shard (each carries the full
+    /// group list, so scrub can recover it from any healthy shard), then
+    /// publishes with one manifest rename.
+    pub fn finalize(&mut self, filtered_out: &[String]) -> Result<(), StoreError> {
+        if self.manifest.finalized {
+            return Err(StoreError::AlreadyFinalized);
+        }
+        for writer in &mut self.writers {
+            writer.finalize(filtered_out)?;
+        }
+        let next = Manifest {
+            epoch: self.manifest.epoch + 1,
+            finalized: true,
+            ..self.manifest
+        };
+        manifest::commit(&self.dir, &next)?;
+        self.manifest = next;
+        Ok(())
+    }
+
+    /// Weeks committed (published by the manifest).
+    pub fn weeks_committed(&self) -> usize {
+        self.manifest.weeks as usize
+    }
+
+    /// Whether the group carries the finalize verdict.
+    pub fn is_finalized(&self) -> bool {
+        self.manifest.finalized
+    }
+
+    /// The merged group genesis.
+    pub fn genesis(&self) -> &Genesis {
+        &self.genesis
+    }
+
+    /// Number of shard files.
+    pub fn shard_count(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// The current manifest epoch.
+    pub fn epoch(&self) -> u64 {
+        self.manifest.epoch
+    }
+
+    /// The store directory.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Aggregated writer stats across all shards.
+    pub fn stats(&self) -> WriterStats {
+        let mut total = WriterStats::default();
+        for writer in &self.writers {
+            let stats = writer.stats();
+            total.segments_written += stats.segments_written;
+            total.delta_hits += stats.delta_hits;
+            total.delta_misses += stats.delta_misses;
+            total.raw_bytes += stats.raw_bytes;
+            total.encoded_bytes += stats.encoded_bytes;
+            total.torn_bytes_recovered += stats.torn_bytes_recovered;
+        }
+        total
+    }
+}
+
+/// Health of one shard as seen by a (possibly degraded) reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The shard opened and is consistent with the manifest.
+    Healthy,
+    /// The shard cannot be served; `detail` says why.
+    Unavailable {
+        /// Human-readable reason (missing file, corruption, mixed epoch).
+        detail: String,
+    },
+}
+
+impl ShardHealth {
+    /// Whether this shard can serve queries.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, ShardHealth::Healthy)
+    }
+}
+
+/// Read-only access to a sharded store, merged back into the single-file
+/// store's view: group weeks sorted by host, O(1) `(domain, week)`
+/// lookups routed by domain hash.
+pub struct ShardedStoreReader {
+    dir: PathBuf,
+    manifest: Manifest,
+    readers: Vec<Option<StoreReader>>,
+    health: Vec<ShardHealth>,
+    genesis: Genesis,
+}
+
+impl ShardedStoreReader {
+    /// Opens a sharded store strictly: every shard must open and agree
+    /// with the manifest, or the open fails with that shard's error.
+    pub fn open(dir: &Path) -> Result<ShardedStoreReader, StoreError> {
+        let reader = Self::open_degraded(dir)?;
+        for (index, health) in reader.health.iter().enumerate() {
+            if let ShardHealth::Unavailable { detail } = health {
+                return Err(StoreError::ShardUnavailable {
+                    shard: index,
+                    detail: detail.clone(),
+                });
+            }
+        }
+        Ok(reader)
+    }
+
+    /// Opens a sharded store tolerantly: shards that are missing, corrupt,
+    /// quarantined, or inconsistent with the manifest are marked
+    /// [`ShardHealth::Unavailable`] and queries routed to them fail with
+    /// [`StoreError::ShardUnavailable`]; everything else serves normally.
+    pub fn open_degraded(dir: &Path) -> Result<ShardedStoreReader, StoreError> {
+        let manifest = manifest::load(dir)?;
+        let shards = manifest.shards as usize;
+        let committed = manifest.weeks as usize;
+        let mut readers = Vec::with_capacity(shards);
+        let mut health = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let path = shard_path(dir, index);
+            let opened = if path.exists() {
+                StoreReader::open(&path)
+            } else {
+                Err(StoreError::ShardUnavailable {
+                    shard: index,
+                    detail: format!("shard file missing: {}", path.display()),
+                })
+            };
+            match opened {
+                Ok(reader) => {
+                    // A shard *ahead* of the manifest is a crashed writer
+                    // whose extra progress was never published: serve the
+                    // committed prefix and ignore the rest. A shard
+                    // *behind* is a mixed epoch no crash can produce.
+                    if reader.weeks_committed() < committed
+                        || (manifest.finalized && !reader.is_finalized())
+                    {
+                        health.push(ShardHealth::Unavailable {
+                            detail: format!(
+                                "mixed epoch: shard has {} weeks, manifest requires {committed}",
+                                reader.weeks_committed()
+                            ),
+                        });
+                        readers.push(None);
+                    } else {
+                        health.push(ShardHealth::Healthy);
+                        readers.push(Some(reader));
+                    }
+                }
+                Err(err) => {
+                    // A ShardUnavailable already names the shard; keep
+                    // only its detail so reporters can add their own
+                    // "shard N unavailable:" prefix without duplication.
+                    let detail = match err {
+                        StoreError::ShardUnavailable { detail, .. } => detail,
+                        other => other.to_string(),
+                    };
+                    health.push(ShardHealth::Unavailable { detail });
+                    readers.push(None);
+                }
+            }
+        }
+        if readers.iter().all(|r| r.is_none()) {
+            return Err(StoreError::corrupt(
+                0,
+                format!("all {shards} shards unavailable in {}", dir.display()),
+            ));
+        }
+        let genesis = merge_genesis(
+            &readers
+                .iter()
+                .flatten()
+                .map(|r| r.genesis())
+                .collect::<Vec<_>>(),
+        )?;
+        Ok(ShardedStoreReader {
+            dir: dir.to_path_buf(),
+            manifest,
+            readers,
+            health,
+            genesis,
+        })
+    }
+
+    /// The merged genesis over healthy shards (degraded opens miss the
+    /// unavailable shards' domains).
+    pub fn genesis(&self) -> &Genesis {
+        &self.genesis
+    }
+
+    /// Weeks committed, as published by the manifest.
+    pub fn weeks_committed(&self) -> usize {
+        self.manifest.weeks as usize
+    }
+
+    /// Whether the group is finalized, as published by the manifest.
+    pub fn is_finalized(&self) -> bool {
+        self.manifest.finalized
+    }
+
+    /// The stored filter verdict from the first healthy shard (every
+    /// shard carries the full group list).
+    pub fn filtered_out(&self) -> Option<&[String]> {
+        if !self.manifest.finalized {
+            return None;
+        }
+        self.readers.iter().flatten().next()?.filtered_out()
+    }
+
+    /// The group manifest.
+    pub fn manifest(&self) -> Manifest {
+        self.manifest
+    }
+
+    /// Number of shards in the group.
+    pub fn shard_count(&self) -> usize {
+        self.health.len()
+    }
+
+    /// Per-shard health, indexed by shard.
+    pub fn shard_health(&self) -> &[ShardHealth] {
+        &self.health
+    }
+
+    /// Whether any shard is unavailable.
+    pub fn is_degraded(&self) -> bool {
+        self.health.iter().any(|h| !h.is_healthy())
+    }
+
+    /// The shard a domain routes to, plus its health.
+    pub fn shard_for(&self, domain: &str) -> (usize, &ShardHealth) {
+        let shard = shard_of(domain, self.health.len());
+        (shard, &self.health[shard])
+    }
+
+    /// The store directory.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Torn tail bytes observed across healthy shards.
+    pub fn torn_bytes(&self) -> u64 {
+        self.readers.iter().flatten().map(|r| r.torn_bytes()).sum()
+    }
+
+    /// Total validated data bytes across healthy shards.
+    pub fn data_bytes(&self) -> u64 {
+        self.readers.iter().flatten().map(|r| r.data_bytes()).sum()
+    }
+
+    /// The snapshot date of committed week `week`.
+    pub fn week_date_days(&self, week: usize) -> Result<i64, StoreError> {
+        if week >= self.weeks_committed() {
+            return Err(StoreError::UnknownWeek(week));
+        }
+        let reader = self.readers.iter().flatten().next().ok_or_else(|| {
+            StoreError::corrupt(0, "no healthy shard to read the week date from")
+        })?;
+        reader.week_date_days(week)
+    }
+
+    /// Fully decodes group week `week`, merged across healthy shards and
+    /// sorted by host. On a degraded open the unavailable shards' records
+    /// are absent.
+    pub fn week(&self, week: usize) -> Result<WeekData, StoreError> {
+        if week >= self.weeks_committed() {
+            return Err(StoreError::UnknownWeek(week));
+        }
+        let mut date_days = None;
+        let mut parts = Vec::new();
+        for reader in self.readers.iter().flatten() {
+            let part = reader.week(week)?;
+            date_days.get_or_insert(part.date_days);
+            parts.push(part);
+        }
+        let date_days =
+            date_days.ok_or_else(|| StoreError::corrupt(0, "no healthy shard holds this week"))?;
+        Ok(merge_week(week, date_days, parts))
+    }
+
+    /// Iterates every committed group week in order.
+    pub fn iter_weeks(&self) -> impl Iterator<Item = Result<WeekData, StoreError>> + '_ {
+        (0..self.weeks_committed()).map(move |week| self.week(week))
+    }
+
+    /// O(1) random access, routed to the owning shard by domain hash.
+    /// Routing to an unavailable shard fails with
+    /// [`StoreError::ShardUnavailable`] — the caller can tell "this
+    /// domain's shard is down" (retryable, serve answers 503) apart from
+    /// "this domain does not exist" (404).
+    pub fn get(&self, domain: &str, week: usize) -> Result<DomainRecord, StoreError> {
+        if week >= self.weeks_committed() {
+            return Err(StoreError::UnknownWeek(week));
+        }
+        let (shard, health) = self.shard_for(domain);
+        match (&self.readers[shard], health) {
+            (Some(reader), _) => reader.get(domain, week),
+            (None, ShardHealth::Unavailable { detail }) => Err(StoreError::ShardUnavailable {
+                shard,
+                detail: detail.clone(),
+            }),
+            (None, ShardHealth::Healthy) => unreachable!("healthy shards always have a reader"),
+        }
+    }
+
+    /// Exhaustively verifies every healthy shard (every record of every
+    /// committed week, back-references and indexes cross-checked) and
+    /// fails on the first unavailable shard. Returns per-week record
+    /// counts summed across shards.
+    pub fn verify(&self) -> Result<Vec<usize>, StoreError> {
+        let committed = self.weeks_committed();
+        let mut counts = vec![0usize; committed];
+        for (index, reader) in self.readers.iter().enumerate() {
+            match reader {
+                Some(reader) => {
+                    let shard_counts = reader.verify()?;
+                    for (week, count) in shard_counts.iter().take(committed).enumerate() {
+                        counts[week] += count;
+                    }
+                }
+                None => {
+                    if let ShardHealth::Unavailable { detail } = &self.health[index] {
+                        return Err(StoreError::ShardUnavailable {
+                            shard: index,
+                            detail: detail.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Delta statistics summed over healthy shards: `(backref_records,
+    /// total_records)`.
+    pub fn delta_stats(&self) -> Result<(usize, usize), StoreError> {
+        let mut hits = 0;
+        let mut total = 0;
+        for reader in self.readers.iter().flatten() {
+            let (h, t) = reader.delta_stats()?;
+            hits += h;
+            total += t;
+        }
+        Ok((hits, total))
+    }
+}

@@ -14,10 +14,23 @@
 /// - `store.footer.rewrite` — fires before the footer is rewritten, so
 ///   the file ends with data the footer does not index (or no footer).
 /// - `store.finalize` — fires before the finalize segment is appended.
+/// - `store.shard.mid_write` — fires inside one shard's commit task on
+///   the exec pool (keyed by shard index), leaving sibling shards free
+///   to finish while this one dies mid-cycle.
+/// - `store.manifest.rename` — fires after the new manifest is written
+///   and synced but before the atomic rename that commits it, so every
+///   shard holds the new week while the group still publishes the old
+///   epoch.
+/// - `store.scrub` — fires at the top of each shard's scrub step
+///   (keyed by shard index); a kill there must leave the store exactly
+///   as scrubable as before.
 pub const FAILPOINTS: &[&str] = &[
     "store.segment.mid_write",
     "store.footer.rewrite",
     "store.finalize",
+    "store.shard.mid_write",
+    "store.manifest.rename",
+    "store.scrub",
 ];
 
 use crate::error::StoreError;
@@ -328,6 +341,41 @@ impl StoreWriter {
             .and_then(|_| self.file.set_len(self.data_end + footer.len() as u64))
             .and_then(|_| self.file.sync_data())
             .map_err(|e| StoreError::io(&self.path, e))
+    }
+
+    /// Truncates the store back to its first `weeks` committed weeks,
+    /// dropping later weeks and any finalize segment, then reopens it.
+    ///
+    /// Consumes the writer: dropping segments invalidates the file-wide
+    /// interner (their string blocks assigned symbols in writer order),
+    /// so the surviving prefix is rescanned from disk to rebuild the
+    /// table and delta state. The sharded store uses this to roll a
+    /// shard that ran ahead of the manifest back to the committed epoch.
+    pub fn truncate_to_weeks(self, weeks: usize) -> Result<Resumed, StoreError> {
+        if weeks > self.next_week {
+            return Err(StoreError::Mismatch(format!(
+                "cannot truncate to {weeks} weeks: only {} committed",
+                self.next_week
+            )));
+        }
+        let mut cut = format::HEADER_LEN;
+        let mut kept = 0usize;
+        for meta in &self.metas {
+            match meta.kind {
+                kind::GENESIS => cut = meta.offset + meta.env_len,
+                kind::WEEK if kept < weeks => {
+                    kept += 1;
+                    cut = meta.offset + meta.env_len;
+                }
+                _ => break,
+            }
+        }
+        let StoreWriter { file, path, .. } = self;
+        file.set_len(cut)
+            .and_then(|_| file.sync_data())
+            .map_err(|e| StoreError::io(&path, e))?;
+        drop(file);
+        StoreWriter::resume(&path)
     }
 
     /// The number of weeks committed so far (including recovered ones).

@@ -1,0 +1,145 @@
+//! Measures checkpointed collection throughput and peak memory across
+//! shard counts: the same 10k-domain study committed to a single-file
+//! store (1 shard) and to sharded groups (4 and 16 shards, one writer
+//! per shard on the exec pool).
+//!
+//! Each configuration runs in a child process (re-exec of this binary)
+//! because peak RSS — `VmHWM` in `/proc/self/status` — is a per-process
+//! high-water mark: measuring three configurations in one process would
+//! report the maximum of the three for all of them.
+//!
+//! Run: `cargo run --release --example scale_bench` (or the shadow-built
+//! binary). Output is the `BENCH_scale.json` document on stdout; the
+//! `domains_per_sec` figure counts domain-week snapshots collected and
+//! committed per wall-clock second.
+
+use std::sync::Arc;
+use std::time::Instant;
+use webvuln::analysis::Collector;
+use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
+
+const SEED: u64 = 907;
+const DOMAINS: usize = 10_000;
+const WEEKS: usize = 4;
+const THREADS: usize = 8;
+const SHARD_POINTS: [usize; 3] = [1, 4, 16];
+
+/// Peak resident set size of this process so far, in kilobytes, from
+/// `/proc/self/status` (Linux only; 0 where the file is absent).
+fn peak_rss_kb() -> u64 {
+    let status = match std::fs::read_to_string("/proc/self/status") {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Child mode: one configuration, machine-readable result on stdout.
+fn run_one(shards: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!(
+        "webvuln-scale-{shards}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&dir);
+
+    let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
+        seed: SEED,
+        domain_count: DOMAINS,
+        timeline: Timeline::truncated(WEEKS),
+    }));
+    let start = Instant::now();
+    let outcome = Collector::new()
+        .threads(THREADS)
+        .shards(shards)
+        .checkpoint(&dir)
+        .run(&eco)?;
+    let elapsed = start.elapsed();
+
+    assert_eq!(outcome.weeks_crawled, WEEKS);
+    let store_bytes: u64 = if dir.is_dir() {
+        std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok()?.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    } else {
+        std::fs::metadata(&dir)?.len()
+    };
+    println!(
+        "shards={shards} elapsed_ns={} peak_rss_kb={} store_bytes={store_bytes}",
+        elapsed.as_nanos(),
+        peak_rss_kb()
+    );
+    if dir.is_dir() {
+        std::fs::remove_dir_all(&dir)?;
+    } else {
+        std::fs::remove_file(&dir)?;
+    }
+    Ok(())
+}
+
+/// Parses one `key=value` field out of a child's report line.
+fn field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("child line missing {key}: {line}"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--one" {
+        return run_one(args[2].parse()?);
+    }
+
+    let exe = std::env::current_exe()?;
+    let mut points = Vec::new();
+    for shards in SHARD_POINTS {
+        let out = std::process::Command::new(&exe)
+            .args(["--one", &shards.to_string()])
+            .output()?;
+        if !out.status.success() {
+            return Err(format!(
+                "child for {shards} shards failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            )
+            .into());
+        }
+        let line = String::from_utf8(out.stdout)?;
+        let elapsed_ns = field(&line, "elapsed_ns");
+        let snapshots = (DOMAINS * WEEKS) as f64;
+        points.push((
+            shards,
+            snapshots / (elapsed_ns as f64 / 1e9),
+            field(&line, "peak_rss_kb") as f64 / 1024.0,
+            field(&line, "store_bytes"),
+        ));
+    }
+
+    let base = points[0].1;
+    println!("{{");
+    println!("  \"bench\": \"store_scale\",");
+    println!(
+        "  \"workload\": \"{DOMAINS}-domain x {WEEKS}-week checkpointed collection, \
+         {THREADS} worker threads, one store writer per shard\",",
+    );
+    println!("  \"host_cpus\": {},", std::thread::available_parallelism()?);
+    println!("  \"points\": [");
+    for (i, (shards, dps, rss_mb, bytes)) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        println!(
+            "    {{ \"shards\": {shards}, \"domains_per_sec\": {dps:.1}, \
+             \"speedup\": {:.2}, \"peak_rss_mb\": {rss_mb:.1}, \
+             \"store_bytes\": {bytes} }}{comma}",
+            dps / base
+        );
+    }
+    println!("  ]");
+    println!("}}");
+    Ok(())
+}

@@ -44,7 +44,7 @@ $RUSTC --crate-type rlib --crate-name webvuln_net "$R/crates/net/src/lib.rs" \
   $(ext serde) $(ext bytes) $(ext crossbeam) $(ext parking_lot)
 $RUSTC --crate-type rlib --crate-name webvuln_webgen "$R/crates/webgen/src/lib.rs" \
   $(ext serde) $(wv version) $(wv cvedb) $(wv net)
-$RUSTC --crate-type rlib --crate-name webvuln_store "$R/crates/store/src/lib.rs" $(wv failpoint) $(wv trace)
+$RUSTC --crate-type rlib --crate-name webvuln_store "$R/crates/store/src/lib.rs" $(wv failpoint) $(wv trace) $(wv exec)
 $RUSTC --crate-type rlib --crate-name webvuln_fingerprint "$R/crates/fingerprint/src/lib.rs" \
   $(ext serde) $(wv telemetry) $(wv exec) $(wv pattern) $(wv trace) $(wv html) $(wv version) $(wv cvedb)
 $RUSTC --crate-type rlib --crate-name webvuln_poclab "$R/crates/poclab/src/lib.rs" \
@@ -57,7 +57,8 @@ $RUSTC --crate-type rlib --crate-name webvuln_serve "$R/crates/serve/src/lib.rs"
   $(wv cvedb) $(wv version) $(wv analysis)
 $RUSTC --crate-type rlib --crate-name webvuln_core "$R/crates/core/src/lib.rs" \
   $(ext serde) $(ext serde_json) $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv store) \
-  $(wv version) $(wv cvedb) $(wv net) $(wv webgen) $(wv fingerprint) $(wv poclab) $(wv analysis)
+  $(wv version) $(wv cvedb) $(wv net) $(wv webgen) $(wv fingerprint) $(wv poclab) $(wv analysis) \
+  $(wv serve)
 $RUSTC --crate-type rlib --crate-name webvuln "$R/src/lib.rs" \
   $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv resilience) $(wv store) $(wv pattern) \
   $(wv version) $(wv html) $(wv cvedb) $(wv webgen) $(wv net) $(wv fingerprint) $(wv poclab) \

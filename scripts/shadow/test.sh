@@ -20,7 +20,7 @@ build_one() {
     telemetry) $RUSTC --crate-name t_telemetry "$R/crates/telemetry/src/lib.rs" ;;
     trace) $RUSTC --crate-name t_trace "$R/crates/trace/src/lib.rs" ;;
     exec) $RUSTC --crate-name t_exec "$R/crates/exec/src/lib.rs" $(wv failpoint) $(wv trace) ;;
-    store) $RUSTC --crate-name t_store "$R/crates/store/src/lib.rs" $(wv failpoint) $(wv trace) ;;
+    store) $RUSTC --crate-name t_store "$R/crates/store/src/lib.rs" $(wv failpoint) $(wv trace) $(wv exec) ;;
     net) $RUSTC --crate-name t_net "$R/crates/net/src/lib.rs" \
       $(wv telemetry) $(wv failpoint) $(wv exec) $(wv resilience) $(wv trace) \
       $(ext serde) $(ext bytes) $(ext crossbeam) $(ext parking_lot) ;;
@@ -32,13 +32,17 @@ build_one() {
     serve) $RUSTC --crate-name t_serve "$R/crates/serve/src/lib.rs" \
       $(wv telemetry) $(wv failpoint) $(wv exec) $(wv store) $(wv net) \
       $(wv cvedb) $(wv version) $(wv analysis) $(wv webgen) ;;
+    core) $RUSTC --crate-name t_core "$R/crates/core/src/lib.rs" \
+      $(ext serde) $(ext serde_json) $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv store) \
+      $(wv version) $(wv cvedb) $(wv net) $(wv webgen) $(wv fingerprint) $(wv poclab) $(wv analysis) \
+      $(wv serve) ;;
     *) echo "unknown crate: $1" >&2; exit 2 ;;
   esac
 }
 
 CRATES=("$@")
 if [ ${#CRATES[@]} -eq 0 ]; then
-  CRATES=(telemetry trace exec store net fingerprint analysis serve)
+  CRATES=(telemetry trace exec store net fingerprint analysis serve core)
 fi
 for crate in "${CRATES[@]}"; do
   build_one "$crate"

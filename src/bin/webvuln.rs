@@ -3,14 +3,15 @@
 //! ```text
 //! webvuln study   [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
 //!                 [--retries N] [--fault-profile none|realistic|hostile]
-//!                 [--carry-forward] [--store FILE [--resume]] [--progress]
-//!                 [--max-task-failures N] [--telemetry [FILE]] [--trace FILE]
+//!                 [--carry-forward] [--store PATH [--resume] [--shards N]]
+//!                 [--progress] [--max-task-failures N] [--telemetry [FILE]]
+//!                 [--trace FILE]
 //! webvuln validate [REPORT_ID]
 //! webvuln crawl   [--domains N] [--week N] [--retries N] [--threads N]
 //!                 [--fault-profile none|realistic|hostile] [--tcp] [--telemetry]
 //! webvuln inspect <FILE.html> [--domain HOST]
-//! webvuln store   info|verify|export-json <FILE.wvstore>
-//! webvuln serve   --store FILE [--threads N] [--port P] [--cache N]
+//! webvuln store   info|verify|export-json|scrub <PATH> [--repair]
+//! webvuln serve   --store PATH [--threads N] [--port P] [--cache N]
 //!                 [--max-conns N] [--requests N]
 //! ```
 
@@ -54,8 +55,9 @@ fn print_help() {
 USAGE:
   webvuln study    [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
                    [--retries N] [--fault-profile none|realistic|hostile]
-                   [--carry-forward] [--store FILE [--resume]] [--progress]
-                   [--max-task-failures N] [--telemetry [FILE]] [--trace FILE]
+                   [--carry-forward] [--store PATH [--resume] [--shards N]]
+                   [--progress] [--max-task-failures N] [--telemetry [FILE]]
+                   [--trace FILE]
                    run the full study and print every table/figure
   webvuln validate [REPORT_ID]
                    run the §6.4 version-validation experiment
@@ -64,11 +66,18 @@ USAGE:
                    crawl one snapshot week and summarize detections
   webvuln inspect  FILE.html [--domain HOST]
                    fingerprint a single HTML file and list vulnerabilities
-  webvuln store    info FILE         describe a snapshot store
-                   verify FILE       exhaustively decode + CRC-check a store
-                   export-json FILE [OUT.json]
+  webvuln store    info PATH         describe a snapshot store
+                   verify PATH       exhaustively decode + CRC-check a store
+                   export-json PATH [OUT.json]
                                      convert a finalized store to Dataset JSON
-  webvuln serve    --store FILE [--threads N] [--port P] [--cache N]
+                   scrub PATH [--repair]
+                                     full CRC walk of every shard; with
+                                     --repair, heal torn tails, rebuild
+                                     corrupt shards from their quarantined
+                                     copies, and roll the group back to the
+                                     last consistent epoch. Exit codes:
+                                     0 clean, 3 healed, 4 quarantined
+  webvuln serve    --store PATH [--threads N] [--port P] [--cache N]
                    [--max-conns N] [--requests N]
                    serve JSON queries over a snapshot store:
                      GET /healthz
@@ -91,9 +100,13 @@ FLAGS:
   --carry-forward    when a domain stays down for a whole week, reuse its
                      last usable snapshot (flagged carried_forward)
   --progress         report per-week progress on stderr
-  --store FILE       commit each crawled week to a binary snapshot store
+  --store PATH       commit each crawled week to a binary snapshot store
   --resume           with --store: restore committed weeks instead of
                      recrawling them (tolerates a torn tail after a crash)
+  --shards N         with --store: split the store into N shard files
+                     keyed by domain hash, committed in parallel and
+                     published atomically per week by a manifest rename;
+                     results are byte-identical for every shard count
   --max-task-failures N
                      run crawl/fingerprint tasks under supervision: a
                      panicking or over-deadline task quarantines its
@@ -179,7 +192,8 @@ fn cmd_study(args: &[String]) {
     if let Some(path) = &store {
         pipeline = pipeline
             .checkpoint(path)
-            .resume(args.iter().any(|a| a == "--resume"));
+            .resume(args.iter().any(|a| a == "--resume"))
+            .shards(flag_usize(args, "--shards", 1));
     }
     let trace_out = flag(args, "--trace");
     if trace_out.is_some() {
@@ -382,7 +396,7 @@ fn cmd_crawl(args: &[String]) {
 
 fn cmd_store(args: &[String]) {
     let usage = || -> ! {
-        eprintln!("usage: webvuln store info|verify|export-json FILE [OUT.json]");
+        eprintln!("usage: webvuln store info|verify|export-json|scrub PATH [OUT.json] [--repair]");
         std::process::exit(2);
     };
     let action = args.first().map(String::as_str).unwrap_or_else(|| usage());
@@ -390,7 +404,7 @@ fn cmd_store(args: &[String]) {
         usage()
     };
     let open = || {
-        webvuln::store::StoreReader::open(std::path::Path::new(path)).unwrap_or_else(|e| {
+        webvuln::store::AnyReader::open(std::path::Path::new(path)).unwrap_or_else(|e| {
             eprintln!("cannot open {path}: {e}");
             std::process::exit(1);
         })
@@ -401,6 +415,9 @@ fn cmd_store(args: &[String]) {
             let genesis = reader.genesis();
             println!("store:      {path}");
             println!("format:     version {}", webvuln::store::FORMAT_VERSION);
+            if reader.shard_count() > 1 {
+                println!("shards:     {}", reader.shard_count());
+            }
             println!("domains:    {}", genesis.ranks.len());
             println!(
                 "weeks:      {} committed of {} planned",
@@ -472,6 +489,20 @@ fn cmd_store(args: &[String]) {
                 None => println!("{}", dataset.to_json()),
             }
         }
+        "scrub" => {
+            let repair = args.iter().any(|a| a == "--repair");
+            let report = webvuln::store::scrub(std::path::Path::new(path), repair)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot scrub {path}: {e}");
+                    std::process::exit(1);
+                });
+            print!("{}", report.render());
+            std::process::exit(match report.outcome {
+                webvuln::store::ScrubOutcome::Clean => 0,
+                webvuln::store::ScrubOutcome::Healed => 3,
+                webvuln::store::ScrubOutcome::Quarantined => 4,
+            });
+        }
         _ => usage(),
     }
 }
@@ -506,6 +537,17 @@ fn cmd_serve(args: &[String]) {
         service.reader().genesis().ranks.len(),
         config.threads
     );
+    if service.reader().is_degraded() {
+        for (index, health) in service.reader().shard_health().iter().enumerate() {
+            if let webvuln::store::ShardHealth::Unavailable { detail } = health {
+                eprintln!("serve: WARNING: shard {index} unavailable: {detail}");
+            }
+        }
+        eprintln!(
+            "serve: store is degraded — healthy shards keep serving; \
+             routed queries to dead shards answer 503"
+        );
+    }
 
     let registry = webvuln::telemetry::Registry::new();
     let mut server = match webvuln::ApiServer::serve(service, config, &registry) {
