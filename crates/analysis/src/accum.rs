@@ -1,0 +1,1956 @@
+//! Mergeable streaming accumulators — the paper-scale analysis core.
+//!
+//! Every figure and table the study produces folds over the dataset one
+//! [`WeekSnapshot`] at a time. This module reifies those folds as
+//! accumulators with two operations:
+//!
+//! * `absorb(snapshot, ctx)` — fold one week in (weeks must arrive in
+//!   ascending order for the cross-week trackers to arm correctly);
+//! * `merge(other)` — combine two accumulators built over **disjoint
+//!   domain partitions** of the same week sequence.
+//!
+//! `merge` is associative with [`Default`] as identity, so a store can
+//! be folded shard-parallel (each shard holds a domain partition) or
+//! week-partitioned on the exec pool, and the finished artifacts are
+//! byte-identical to the sequential materialized path: all floating-
+//! point aggregation happens in `finish` from merged integer state, in
+//! canonical (week, domain) order, never during absorb or merge.
+//!
+//! [`fold_store`] is the streaming entry point: it drives any
+//! [`AnyReader`] through an accumulator without materializing a
+//! [`Dataset`], so peak memory is one decoded week plus the accumulator.
+
+use crate::dataset::{Dataset, WeekSnapshot};
+use crate::flash::{flash_eol, tier_cutoff, FlashByTld, FlashUsage, ScriptAccessAudit};
+use crate::landscape::{is_cdn_host, CdnBreakdown, LibraryRow, UsageTrend};
+use crate::resources::{CollectionSeries, ResourceUsage};
+use crate::sri::{CrossoriginCensus, GithubReport, SriAdoption};
+use crate::stats::{mean, median, Cdf};
+use crate::store_io::week_to_snapshot;
+use crate::updates::{RegressionEvent, UpdateDelayReport, UpdateEvent, WordPressUsage};
+use crate::vuln::{CveImpact, PrevalenceSeries, RefinementSummary, VulnCountDistribution};
+use crate::wordpress::WordPressCveRow;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+use webvuln_cvedb::{Basis, Date, LibraryId, VulnDb};
+use webvuln_exec::Executor;
+use webvuln_fingerprint::{DetectedInclusion, ResourceType};
+use webvuln_net::filter::{page_is_error_or_empty, FINAL_WEEKS};
+use webvuln_store::{shard_of, AnyReader, Genesis, ShardedStoreReader, StoreError, WeekStream};
+use webvuln_version::Version;
+
+// ---------------------------------------------------------------------------
+// Context and trait
+// ---------------------------------------------------------------------------
+
+/// Read-only context an accumulator needs while absorbing: the CVE
+/// database and the rank list (for tier cutoffs and rank lookups).
+pub struct AccumCtx<'a> {
+    /// The vulnerability database.
+    pub db: &'a VulnDb,
+    /// Domain → 1-based rank, for the whole study population.
+    pub ranks: &'a BTreeMap<String, usize>,
+}
+
+/// A mergeable fold over week snapshots.
+///
+/// Implementations must satisfy, for domain-disjoint partitions absorbed
+/// over the same weeks in order: `merge` is associative, commutative up
+/// to the deterministic finish, and `Default` is its identity.
+pub trait Accumulate: Sized + Send {
+    /// Folds one week in. Weeks must be absorbed in ascending order.
+    fn absorb(&mut self, snapshot: &WeekSnapshot, ctx: &AccumCtx<'_>);
+    /// Combines a partition's state into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+/// Merges two per-week vectors pointwise with `combine`; either side may
+/// be empty (the identity accumulator has absorbed no weeks).
+fn zip_merge<T>(weeks: &mut Vec<T>, other: Vec<T>, mut combine: impl FnMut(&mut T, T)) {
+    if weeks.is_empty() {
+        *weeks = other;
+        return;
+    }
+    if other.is_empty() {
+        return;
+    }
+    assert_eq!(
+        weeks.len(),
+        other.len(),
+        "merged accumulators must cover the same weeks"
+    );
+    for (into, from) in weeks.iter_mut().zip(other) {
+        combine(into, from);
+    }
+}
+
+fn add_counts<K: Ord>(into: &mut BTreeMap<K, usize>, from: BTreeMap<K, usize>) {
+    for (key, count) in from {
+        *into.entry(key).or_default() += count;
+    }
+}
+
+/// Sorts partition-tagged events back into the sequential scan order:
+/// week ascending, then domain ascending. Within one (week, domain) all
+/// events come from a single partition in absorb order, so the stable
+/// sort reproduces the materialized path exactly.
+fn sequential_order<E>(events: &mut [(usize, String, E)]) {
+    events.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+}
+
+// ---------------------------------------------------------------------------
+// Landscape (§6.1): Table 1, Figure 3, Table 5
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct LandscapeWeek {
+    date: Option<Date>,
+    collected: usize,
+    carried: usize,
+    /// Per-library user counts, indexed like `LibraryId::ALL`.
+    users: Vec<usize>,
+}
+
+/// One week's landscape summary (the `/week/{w}/landscape` payload).
+#[derive(Debug, Clone)]
+pub struct WeekLandscape {
+    /// Snapshot date.
+    pub date: Date,
+    /// Pages collected that week (post-filter).
+    pub collected: usize,
+    /// Pages carried forward from the previous snapshot.
+    pub carried_forward: usize,
+    /// Per-library user counts, indexed like `LibraryId::ALL`.
+    pub users: Vec<usize>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct LibraryState {
+    internal: usize,
+    external: usize,
+    external_cdn: usize,
+    version_counts: BTreeMap<Version, usize>,
+    users_with_version: usize,
+    host_counts: BTreeMap<String, usize>,
+    host_total: usize,
+}
+
+/// Accumulator behind [`crate::landscape::table1`],
+/// [`crate::landscape::usage_trends`] and [`crate::landscape::table5`].
+#[derive(Debug, Default)]
+pub struct LandscapeAccum {
+    weeks: Vec<LandscapeWeek>,
+    libs: Vec<LibraryState>,
+}
+
+impl LandscapeAccum {
+    /// Builds the accumulator over a materialized dataset.
+    pub fn over(data: &Dataset) -> LandscapeAccum {
+        let mut accum = LandscapeAccum::default();
+        for week in &data.weeks {
+            accum.absorb_week(week);
+        }
+        accum
+    }
+
+    /// Folds one week in.
+    pub fn absorb_week(&mut self, snapshot: &WeekSnapshot) {
+        if self.libs.is_empty() {
+            self.libs
+                .resize_with(LibraryId::ALL.len(), LibraryState::default);
+        }
+        let mut week = LandscapeWeek {
+            date: Some(snapshot.date),
+            collected: snapshot.pages.len(),
+            carried: snapshot.carried_forward.len(),
+            users: vec![0; LibraryId::ALL.len()],
+        };
+        for page in snapshot.pages.values() {
+            for (index, &library) in LibraryId::ALL.iter().enumerate() {
+                let Some(det) = page.library(library) else {
+                    continue;
+                };
+                week.users[index] += 1;
+                let lib = &mut self.libs[index];
+                match &det.inclusion {
+                    DetectedInclusion::Internal => lib.internal += 1,
+                    DetectedInclusion::External { host } => {
+                        lib.external += 1;
+                        if is_cdn_host(host) {
+                            lib.external_cdn += 1;
+                        }
+                        *lib.host_counts.entry(host.clone()).or_default() += 1;
+                        lib.host_total += 1;
+                    }
+                }
+                if let Some(version) = &det.version {
+                    *lib.version_counts.entry(version.clone()).or_default() += 1;
+                    lib.users_with_version += 1;
+                }
+            }
+        }
+        self.weeks.push(week);
+    }
+
+    /// Table 1 rows, ordered by usage share descending.
+    pub fn table1(&self, db: &VulnDb) -> Vec<LibraryRow> {
+        let mut rows: Vec<LibraryRow> = LibraryId::ALL
+            .iter()
+            .enumerate()
+            .map(|(index, &library)| {
+                let lib = self.libs.get(index).cloned().unwrap_or_default();
+                let mut weekly_sites = Vec::new();
+                let mut weekly_share = Vec::new();
+                for week in &self.weeks {
+                    let users = week.users[index];
+                    weekly_sites.push(users as f64);
+                    weekly_share.push(users as f64 / week.collected.max(1) as f64);
+                }
+                let inclusions = (lib.internal + lib.external).max(1);
+                let dominant = lib
+                    .version_counts
+                    .iter()
+                    .max_by_key(|(_, &count)| count)
+                    .map(|(version, &count)| {
+                        (
+                            version.clone(),
+                            count as f64 / lib.users_with_version.max(1) as f64,
+                        )
+                    });
+                let latest_observed = lib.version_counts.keys().max().cloned();
+                LibraryRow {
+                    library,
+                    average_sites: mean(&weekly_sites),
+                    usage_share: mean(&weekly_share),
+                    internal_share: lib.internal as f64 / inclusions as f64,
+                    external_share: lib.external as f64 / inclusions as f64,
+                    cdn_share: lib.external_cdn as f64 / lib.external.max(1) as f64,
+                    versions_found: lib.version_counts.len(),
+                    versions_total: db.catalog(library).len(),
+                    dominant,
+                    latest_observed,
+                    vuln_reports: db.vuln_report_count(library),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.usage_share.partial_cmp(&a.usage_share).expect("no NaNs"));
+        rows
+    }
+
+    /// Figure 3's per-library usage-share series.
+    pub fn trends(&self) -> Vec<UsageTrend> {
+        LibraryId::ALL
+            .iter()
+            .enumerate()
+            .map(|(index, &library)| UsageTrend {
+                library,
+                points: self
+                    .weeks
+                    .iter()
+                    .map(|week| {
+                        (
+                            week.date.expect("absorbed week has a date"),
+                            week.users[index] as f64 / week.collected.max(1) as f64,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Table 5: top external hosts per library.
+    pub fn table5(&self, top: usize) -> Vec<CdnBreakdown> {
+        LibraryId::ALL
+            .iter()
+            .enumerate()
+            .map(|(index, &library)| {
+                let lib = self.libs.get(index).cloned().unwrap_or_default();
+                let mut hosts: Vec<(String, f64)> = lib
+                    .host_counts
+                    .into_iter()
+                    .map(|(h, c)| (h, c as f64 / lib.host_total.max(1) as f64))
+                    .collect();
+                hosts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaNs"));
+                hosts.truncate(top);
+                CdnBreakdown { library, hosts }
+            })
+            .collect()
+    }
+
+    /// Number of absorbed weeks.
+    pub fn week_count(&self) -> usize {
+        self.weeks.len()
+    }
+
+    /// The landscape summary for one week, if absorbed.
+    pub fn week(&self, index: usize) -> Option<WeekLandscape> {
+        self.weeks.get(index).map(|week| WeekLandscape {
+            date: week.date.expect("absorbed week has a date"),
+            collected: week.collected,
+            carried_forward: week.carried,
+            users: week.users.clone(),
+        })
+    }
+}
+
+impl Accumulate for LandscapeAccum {
+    fn absorb(&mut self, snapshot: &WeekSnapshot, _ctx: &AccumCtx<'_>) {
+        self.absorb_week(snapshot);
+    }
+
+    fn merge(&mut self, other: LandscapeAccum) {
+        zip_merge(&mut self.weeks, other.weeks, |into, from| {
+            into.collected += from.collected;
+            into.carried += from.carried;
+            for (u, v) in into.users.iter_mut().zip(from.users) {
+                *u += v;
+            }
+        });
+        if self.libs.is_empty() {
+            self.libs = other.libs;
+            return;
+        }
+        if other.libs.is_empty() {
+            return;
+        }
+        for (into, from) in self.libs.iter_mut().zip(other.libs) {
+            into.internal += from.internal;
+            into.external += from.external;
+            into.external_cdn += from.external_cdn;
+            into.users_with_version += from.users_with_version;
+            into.host_total += from.host_total;
+            add_counts(&mut into.version_counts, from.version_counts);
+            add_counts(&mut into.host_counts, from.host_counts);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CVE exposure (§6.2/§6.4): prevalence, Table 2 impacts, Figure 12
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct ExposureWeek {
+    date: Option<Date>,
+    collected: usize,
+    vulnerable_claimed: usize,
+    vulnerable_tvv: usize,
+    /// Per-record `(users, claimed, truly)`, indexed like `db.records()`.
+    per_record: Vec<(usize, usize, usize)>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SiteVulnSums {
+    claimed: u64,
+    tvv: u64,
+    weeks: u64,
+}
+
+/// Accumulator behind [`crate::vuln::prevalence`],
+/// [`crate::vuln::cve_impact`], [`crate::vuln::vuln_count_distribution`]
+/// and [`crate::vuln::refinement_summary`].
+#[derive(Debug, Default)]
+pub struct CveExposureAccum {
+    weeks: Vec<ExposureWeek>,
+    per_site: BTreeMap<String, SiteVulnSums>,
+}
+
+impl CveExposureAccum {
+    /// Builds the accumulator over a materialized dataset.
+    pub fn over(data: &Dataset, db: &VulnDb) -> CveExposureAccum {
+        let mut accum = CveExposureAccum::default();
+        for week in &data.weeks {
+            accum.absorb_week(week, db);
+        }
+        accum
+    }
+
+    /// Folds one week in.
+    pub fn absorb_week(&mut self, snapshot: &WeekSnapshot, db: &VulnDb) {
+        let records = db.records();
+        let mut week = ExposureWeek {
+            date: Some(snapshot.date),
+            collected: snapshot.pages.len(),
+            per_record: vec![(0, 0, 0); records.len()],
+            ..ExposureWeek::default()
+        };
+        for (domain, page) in &snapshot.pages {
+            let mut any_claimed = false;
+            let mut any_tvv = false;
+            let mut count_claimed = 0u64;
+            let mut count_tvv = 0u64;
+            for det in &page.detections {
+                let Some(version) = &det.version else {
+                    continue;
+                };
+                if db.is_vulnerable_known_by(det.library, version, Basis::CveClaimed, snapshot.date)
+                {
+                    any_claimed = true;
+                }
+                if db.is_vulnerable_known_by(
+                    det.library,
+                    version,
+                    Basis::TrueVulnerable,
+                    snapshot.date,
+                ) {
+                    any_tvv = true;
+                }
+                count_claimed +=
+                    db.vuln_count_known_by(det.library, version, Basis::CveClaimed, snapshot.date)
+                        as u64;
+                count_tvv += db.vuln_count_known_by(
+                    det.library,
+                    version,
+                    Basis::TrueVulnerable,
+                    snapshot.date,
+                ) as u64;
+            }
+            if any_claimed {
+                week.vulnerable_claimed += 1;
+            }
+            if any_tvv {
+                week.vulnerable_tvv += 1;
+            }
+            let site = self.per_site.entry(domain.clone()).or_default();
+            site.claimed += count_claimed;
+            site.tvv += count_tvv;
+            site.weeks += 1;
+            for (index, record) in records.iter().enumerate() {
+                let Some(det) = page.library(record.library) else {
+                    continue;
+                };
+                let cell = &mut week.per_record[index];
+                cell.0 += 1;
+                let Some(version) = &det.version else {
+                    continue;
+                };
+                if record.claims(version) {
+                    cell.1 += 1;
+                }
+                if record.truly_affects(version) {
+                    cell.2 += 1;
+                }
+            }
+        }
+        self.weeks.push(week);
+    }
+
+    /// §6.2's weekly prevalence series under one basis.
+    pub fn prevalence(&self, basis: Basis) -> PrevalenceSeries {
+        let points: Vec<(Date, f64)> = self
+            .weeks
+            .iter()
+            .map(|week| {
+                let vulnerable = match basis {
+                    Basis::CveClaimed => week.vulnerable_claimed,
+                    Basis::TrueVulnerable => week.vulnerable_tvv,
+                };
+                (
+                    week.date.expect("absorbed week has a date"),
+                    vulnerable as f64 / week.collected.max(1) as f64,
+                )
+            })
+            .collect();
+        let average = mean(&points.iter().map(|&(_, f)| f).collect::<Vec<_>>());
+        PrevalenceSeries {
+            basis,
+            points,
+            average,
+        }
+    }
+
+    /// §6.4's claimed-vs-TVV comparison.
+    pub fn refinement(&self) -> RefinementSummary {
+        let claimed = self.prevalence(Basis::CveClaimed);
+        let tvv = self.prevalence(Basis::TrueVulnerable);
+        let gap = claimed
+            .points
+            .iter()
+            .zip(&tvv.points)
+            .map(|(&(d, c), &(_, t))| (d, t - c))
+            .collect();
+        RefinementSummary {
+            claimed_average: claimed.average,
+            true_average: tvv.average,
+            gap,
+        }
+    }
+
+    /// Per-CVE impact series for every record in the database.
+    pub fn cve_impacts(&self, db: &VulnDb) -> Vec<CveImpact> {
+        db.records()
+            .iter()
+            .enumerate()
+            .map(|(index, record)| {
+                let mut claimed_sites = Vec::new();
+                let mut true_sites = Vec::new();
+                let mut shares = Vec::new();
+                for week in &self.weeks {
+                    let (users, claimed, truly) =
+                        week.per_record.get(index).copied().unwrap_or((0, 0, 0));
+                    let date = week.date.expect("absorbed week has a date");
+                    claimed_sites.push((date, claimed));
+                    true_sites.push((date, truly));
+                    shares.push(if users == 0 {
+                        0.0
+                    } else {
+                        claimed as f64 / users as f64
+                    });
+                }
+                CveImpact {
+                    id: record.id.clone(),
+                    claimed_average: mean(
+                        &claimed_sites
+                            .iter()
+                            .map(|&(_, c)| c as f64)
+                            .collect::<Vec<_>>(),
+                    ),
+                    true_average: mean(
+                        &true_sites
+                            .iter()
+                            .map(|&(_, c)| c as f64)
+                            .collect::<Vec<_>>(),
+                    ),
+                    claimed_share_of_users: mean(&shares),
+                    claimed_sites,
+                    true_sites,
+                }
+            })
+            .collect()
+    }
+
+    /// Figure 12's per-website vulnerability-count distribution.
+    pub fn distribution(&self, basis: Basis) -> VulnCountDistribution {
+        let averages: Vec<f64> = self
+            .per_site
+            .values()
+            .map(|site| {
+                let sum = match basis {
+                    Basis::CveClaimed => site.claimed,
+                    Basis::TrueVulnerable => site.tvv,
+                };
+                sum as f64 / site.weeks.max(1) as f64
+            })
+            .collect();
+        VulnCountDistribution {
+            basis,
+            cdf: Cdf::of(&averages),
+            mean: mean(&averages),
+            median: median(&averages),
+        }
+    }
+}
+
+impl Accumulate for CveExposureAccum {
+    fn absorb(&mut self, snapshot: &WeekSnapshot, ctx: &AccumCtx<'_>) {
+        self.absorb_week(snapshot, ctx.db);
+    }
+
+    fn merge(&mut self, other: CveExposureAccum) {
+        zip_merge(&mut self.weeks, other.weeks, |into, from| {
+            into.collected += from.collected;
+            into.vulnerable_claimed += from.vulnerable_claimed;
+            into.vulnerable_tvv += from.vulnerable_tvv;
+            for (u, v) in into.per_record.iter_mut().zip(from.per_record) {
+                u.0 += v.0;
+                u.1 += v.1;
+                u.2 += v.2;
+            }
+        });
+        for (domain, from) in other.per_site {
+            let site = self.per_site.entry(domain).or_default();
+            site.claimed += from.claimed;
+            site.tvv += from.tvv;
+            site.weeks += from.weeks;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Update behavior (§7/§9): delays, regressions, WordPress
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct BehaviorWeek {
+    date: Option<Date>,
+    collected: usize,
+    wordpress: usize,
+}
+
+/// Accumulator behind [`crate::updates::update_delays`],
+/// [`crate::updates::regressions`], [`crate::updates::wordpress_usage`]
+/// and [`crate::wordpress::table4`].
+#[derive(Debug, Default)]
+pub struct UpdateBehaviorAccum {
+    weeks: Vec<BehaviorWeek>,
+    armed_claimed: BTreeMap<(String, usize), Version>,
+    armed_tvv: BTreeMap<(String, usize), Version>,
+    events_claimed: Vec<(usize, String, UpdateEvent)>,
+    events_tvv: Vec<(usize, String, UpdateEvent)>,
+    last_versions: BTreeMap<(String, LibraryId), Version>,
+    regressions: Vec<(usize, String, RegressionEvent)>,
+    /// WordPress core versions at the newest absorbed week.
+    final_wordpress: Option<(usize, Vec<Version>)>,
+}
+
+impl UpdateBehaviorAccum {
+    /// Builds the accumulator over a materialized dataset.
+    pub fn over(data: &Dataset, db: &VulnDb) -> UpdateBehaviorAccum {
+        let mut accum = UpdateBehaviorAccum::default();
+        for week in &data.weeks {
+            accum.absorb_week(week, db);
+        }
+        accum
+    }
+
+    /// Folds one week in.
+    pub fn absorb_week(&mut self, snapshot: &WeekSnapshot, db: &VulnDb) {
+        let patched: Vec<(usize, &webvuln_cvedb::VulnRecord)> = db
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.patched_date.is_some())
+            .collect();
+        let mut wordpress = 0usize;
+        let mut wp_versions = Vec::new();
+        for (domain, page) in &snapshot.pages {
+            if page.wordpress.is_some() {
+                wordpress += 1;
+            }
+            if let Some(Some(version)) = &page.wordpress {
+                wp_versions.push(version.clone());
+            }
+            // Security updates (§7), both bases in one pass.
+            for &(idx, record) in &patched {
+                let Some(det) = page.library(record.library) else {
+                    continue;
+                };
+                let Some(version) = &det.version else {
+                    continue;
+                };
+                let patched_date = record.patched_date.expect("filtered");
+                for (armed, events, affected) in [
+                    (
+                        &mut self.armed_claimed,
+                        &mut self.events_claimed,
+                        record.claims(version),
+                    ),
+                    (
+                        &mut self.armed_tvv,
+                        &mut self.events_tvv,
+                        record.truly_affects(version),
+                    ),
+                ] {
+                    let key = (domain.clone(), idx);
+                    if affected {
+                        armed.insert(key, version.clone());
+                    } else if let Some(from_version) = armed.remove(&key) {
+                        if version > &from_version && snapshot.date >= patched_date {
+                            events.push((
+                                snapshot.week,
+                                domain.clone(),
+                                UpdateEvent {
+                                    domain: domain.clone(),
+                                    vuln_id: record.id.clone(),
+                                    from_version,
+                                    to_version: version.clone(),
+                                    observed: snapshot.date,
+                                    delay_days: snapshot.date.days_since(patched_date),
+                                    wordpress: page.wordpress.is_some(),
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            // Version regressions (§9).
+            for det in &page.detections {
+                let Some(version) = &det.version else {
+                    continue;
+                };
+                let key = (domain.clone(), det.library);
+                if let Some(prev) = self.last_versions.get(&key) {
+                    if version < prev {
+                        self.regressions.push((
+                            snapshot.week,
+                            domain.clone(),
+                            RegressionEvent {
+                                domain: domain.clone(),
+                                library: det.library,
+                                from_version: prev.clone(),
+                                to_version: version.clone(),
+                                observed: snapshot.date,
+                                back_into_vulnerable: db.is_vulnerable_known_by(
+                                    det.library,
+                                    version,
+                                    Basis::CveClaimed,
+                                    snapshot.date,
+                                ),
+                            },
+                        ));
+                    }
+                }
+                self.last_versions.insert(key, version.clone());
+            }
+        }
+        match &mut self.final_wordpress {
+            Some((week, versions)) if *week == snapshot.week => versions.extend(wp_versions),
+            Some((week, _)) if *week > snapshot.week => {}
+            slot => *slot = Some((snapshot.week, wp_versions)),
+        }
+        self.weeks.push(BehaviorWeek {
+            date: Some(snapshot.date),
+            collected: snapshot.pages.len(),
+            wordpress,
+        });
+    }
+
+    /// §7's update-delay report under one basis.
+    pub fn delays(&self, basis: Basis) -> UpdateDelayReport {
+        let mut tagged: Vec<(usize, String, UpdateEvent)> = match basis {
+            Basis::CveClaimed => self.events_claimed.clone(),
+            Basis::TrueVulnerable => self.events_tvv.clone(),
+        };
+        sequential_order(&mut tagged);
+        let events: Vec<UpdateEvent> = tagged.into_iter().map(|(_, _, e)| e).collect();
+        let delays: Vec<f64> = events.iter().map(|e| e.delay_days as f64).collect();
+        let websites = events
+            .iter()
+            .map(|e| &e.domain)
+            .collect::<BTreeSet<_>>()
+            .len();
+        let wp = events.iter().filter(|e| e.wordpress).count();
+        let mut grouped: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for e in &events {
+            grouped
+                .entry(e.vuln_id.as_str())
+                .or_default()
+                .push(e.delay_days as f64);
+        }
+        let per_vuln: Vec<(String, f64, usize)> = grouped
+            .into_iter()
+            .map(|(id, d)| (id.to_string(), mean(&d), d.len()))
+            .collect();
+        let macro_mean_delay_days = mean(&per_vuln.iter().map(|&(_, m, _)| m).collect::<Vec<_>>());
+        UpdateDelayReport {
+            basis,
+            mean_delay_days: mean(&delays),
+            per_vuln,
+            macro_mean_delay_days,
+            websites,
+            wordpress_share: wp as f64 / events.len().max(1) as f64,
+            events,
+        }
+    }
+
+    /// §9's version-downgrade events, in sequential scan order.
+    pub fn regression_events(&self) -> Vec<RegressionEvent> {
+        let mut tagged = self.regressions.clone();
+        sequential_order(&mut tagged);
+        tagged.into_iter().map(|(_, _, e)| e).collect()
+    }
+
+    /// Figure 9: WordPress usage over time.
+    pub fn wordpress_usage(&self) -> WordPressUsage {
+        let points: Vec<(Date, usize, usize)> = self
+            .weeks
+            .iter()
+            .map(|week| {
+                (
+                    week.date.expect("absorbed week has a date"),
+                    week.collected,
+                    week.wordpress,
+                )
+            })
+            .collect();
+        let shares: Vec<f64> = points
+            .iter()
+            .map(|&(_, total, wp)| wp as f64 / total.max(1) as f64)
+            .collect();
+        WordPressUsage {
+            points,
+            average_share: mean(&shares),
+        }
+    }
+
+    /// Table 4: WordPress CVE census at the final snapshot.
+    pub fn table4(&self, db: &VulnDb) -> Vec<WordPressCveRow> {
+        let versions: &[Version] = self
+            .final_wordpress
+            .as_ref()
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or_default();
+        db.wordpress_cves()
+            .iter()
+            .map(|cve| {
+                let affected = versions.iter().filter(|v| cve.affected.contains(v)).count();
+                WordPressCveRow {
+                    cve: cve.clone(),
+                    affected_sites: affected,
+                    affected_share: affected as f64 / versions.len().max(1) as f64,
+                }
+            })
+            .collect()
+    }
+}
+
+impl Accumulate for UpdateBehaviorAccum {
+    fn absorb(&mut self, snapshot: &WeekSnapshot, ctx: &AccumCtx<'_>) {
+        self.absorb_week(snapshot, ctx.db);
+    }
+
+    fn merge(&mut self, other: UpdateBehaviorAccum) {
+        zip_merge(&mut self.weeks, other.weeks, |into, from| {
+            into.collected += from.collected;
+            into.wordpress += from.wordpress;
+        });
+        self.armed_claimed.extend(other.armed_claimed);
+        self.armed_tvv.extend(other.armed_tvv);
+        self.events_claimed.extend(other.events_claimed);
+        self.events_tvv.extend(other.events_tvv);
+        self.last_versions.extend(other.last_versions);
+        self.regressions.extend(other.regressions);
+        match (&mut self.final_wordpress, other.final_wordpress) {
+            (Some((week, versions)), Some((other_week, other_versions))) => {
+                if other_week == *week {
+                    versions.extend(other_versions);
+                } else if other_week > *week {
+                    self.final_wordpress = Some((other_week, other_versions));
+                }
+            }
+            (slot @ None, Some(from)) => *slot = Some(from),
+            (_, None) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection (§5/Figure 2): collected series and resource classes
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct CollectionWeek {
+    date: Option<Date>,
+    collected: usize,
+    /// Per-resource-class user counts, indexed like `ResourceType::ALL`.
+    using: Vec<usize>,
+}
+
+/// Accumulator behind [`crate::resources::collection_series`] and
+/// [`crate::resources::resource_usage`].
+#[derive(Debug, Default)]
+pub struct CollectionAccum {
+    weeks: Vec<CollectionWeek>,
+}
+
+impl CollectionAccum {
+    /// Builds the accumulator over a materialized dataset.
+    pub fn over(data: &Dataset) -> CollectionAccum {
+        let mut accum = CollectionAccum::default();
+        for week in &data.weeks {
+            accum.absorb_week(week);
+        }
+        accum
+    }
+
+    /// Folds one week in.
+    pub fn absorb_week(&mut self, snapshot: &WeekSnapshot) {
+        let mut week = CollectionWeek {
+            date: Some(snapshot.date),
+            collected: snapshot.pages.len(),
+            using: vec![0; ResourceType::ALL.len()],
+        };
+        for page in snapshot.pages.values() {
+            for (index, resource) in ResourceType::ALL.iter().enumerate() {
+                if page.resource_types.contains(resource) {
+                    week.using[index] += 1;
+                }
+            }
+        }
+        self.weeks.push(week);
+    }
+
+    /// Figure 2(a): pages collected per week.
+    pub fn collection(&self) -> CollectionSeries {
+        let points: Vec<(Date, usize)> = self
+            .weeks
+            .iter()
+            .map(|week| (week.date.expect("absorbed week has a date"), week.collected))
+            .collect();
+        let average = mean(&points.iter().map(|&(_, c)| c as f64).collect::<Vec<_>>());
+        CollectionSeries { points, average }
+    }
+
+    /// Figure 2(b): usage series per resource class, ordered by share.
+    pub fn resources(&self) -> Vec<ResourceUsage> {
+        let mut out: Vec<ResourceUsage> = ResourceType::ALL
+            .iter()
+            .enumerate()
+            .map(|(index, &resource)| {
+                let weekly_share: Vec<(Date, f64)> = self
+                    .weeks
+                    .iter()
+                    .map(|week| {
+                        (
+                            week.date.expect("absorbed week has a date"),
+                            week.using[index] as f64 / week.collected.max(1) as f64,
+                        )
+                    })
+                    .collect();
+                let average_share = mean(&weekly_share.iter().map(|&(_, s)| s).collect::<Vec<_>>());
+                ResourceUsage {
+                    resource,
+                    weekly_share,
+                    average_share,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.average_share
+                .partial_cmp(&a.average_share)
+                .expect("no NaNs")
+        });
+        out
+    }
+}
+
+impl Accumulate for CollectionAccum {
+    fn absorb(&mut self, snapshot: &WeekSnapshot, _ctx: &AccumCtx<'_>) {
+        self.absorb_week(snapshot);
+    }
+
+    fn merge(&mut self, other: CollectionAccum) {
+        zip_merge(&mut self.weeks, other.weeks, |into, from| {
+            into.collected += from.collected;
+            for (u, v) in into.using.iter_mut().zip(from.using) {
+                *u += v;
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flash (§8): Figures 8/11, TLD census
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct FlashWeek {
+    date: Option<Date>,
+    flash: usize,
+    top10k: usize,
+    top1k: usize,
+    with_param: usize,
+    always: usize,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FlashFinalWeek {
+    week: usize,
+    tld_counts: BTreeMap<String, usize>,
+    cn_flash: usize,
+    flash_total: usize,
+    cn_all: usize,
+    all: usize,
+}
+
+/// Accumulator behind [`crate::flash::flash_usage`],
+/// [`crate::flash::script_access_audit`] and
+/// [`crate::flash::flash_by_tld`].
+#[derive(Debug, Default)]
+pub struct FlashAccum {
+    weeks: Vec<FlashWeek>,
+    last: Option<FlashFinalWeek>,
+}
+
+impl FlashAccum {
+    /// Builds the accumulator over a materialized dataset.
+    pub fn over(data: &Dataset) -> FlashAccum {
+        let mut accum = FlashAccum::default();
+        for week in &data.weeks {
+            accum.absorb_week(week, &data.ranks);
+        }
+        accum
+    }
+
+    /// Folds one week in. `ranks` must be the full study population.
+    pub fn absorb_week(&mut self, snapshot: &WeekSnapshot, ranks: &BTreeMap<String, usize>) {
+        let population = ranks.len().max(1);
+        let tier_10k = tier_cutoff(population, 10_000);
+        let tier_1k = tier_cutoff(population, 1_000);
+        let mut week = FlashWeek {
+            date: Some(snapshot.date),
+            ..FlashWeek::default()
+        };
+        let mut finale = FlashFinalWeek {
+            week: snapshot.week,
+            ..FlashFinalWeek::default()
+        };
+        for (domain, page) in &snapshot.pages {
+            let tld = domain.rsplit('.').next().unwrap_or("");
+            finale.all += 1;
+            if tld == "cn" {
+                finale.cn_all += 1;
+            }
+            if page.flash.is_empty() {
+                continue;
+            }
+            week.flash += 1;
+            finale.flash_total += 1;
+            if tld == "cn" {
+                finale.cn_flash += 1;
+            }
+            *finale.tld_counts.entry(tld.to_string()).or_default() += 1;
+            if let Some(rank) = ranks.get(domain).copied() {
+                if rank <= tier_10k {
+                    week.top10k += 1;
+                }
+                if rank <= tier_1k {
+                    week.top1k += 1;
+                }
+            }
+            let param = page
+                .flash
+                .iter()
+                .find_map(|f| f.allow_script_access.as_deref());
+            if let Some(value) = param {
+                week.with_param += 1;
+                if value == "always" {
+                    week.always += 1;
+                }
+            }
+        }
+        self.weeks.push(week);
+        match &mut self.last {
+            Some(last) if last.week == finale.week => {
+                last.flash_total += finale.flash_total;
+                last.cn_flash += finale.cn_flash;
+                last.cn_all += finale.cn_all;
+                last.all += finale.all;
+                add_counts(&mut last.tld_counts, finale.tld_counts);
+            }
+            Some(last) if last.week > finale.week => {}
+            slot => *slot = Some(finale),
+        }
+    }
+
+    /// Figure 8: Flash usage by rank tier.
+    pub fn usage(&self) -> FlashUsage {
+        let points: Vec<(Date, usize, usize, usize)> = self
+            .weeks
+            .iter()
+            .map(|week| {
+                (
+                    week.date.expect("absorbed week has a date"),
+                    week.flash,
+                    week.top10k,
+                    week.top1k,
+                )
+            })
+            .collect();
+        let average = mean(
+            &points
+                .iter()
+                .map(|&(_, a, _, _)| a as f64)
+                .collect::<Vec<_>>(),
+        );
+        let eol = flash_eol();
+        let after: Vec<f64> = points
+            .iter()
+            .filter(|&&(d, ..)| d >= eol)
+            .map(|&(_, a, _, _)| a as f64)
+            .collect();
+        FlashUsage {
+            points,
+            average,
+            average_after_eol: mean(&after),
+        }
+    }
+
+    /// Figure 11: the `AllowScriptAccess` audit.
+    pub fn script_access(&self) -> ScriptAccessAudit {
+        let points: Vec<(Date, usize, usize, usize)> = self
+            .weeks
+            .iter()
+            .map(|week| {
+                (
+                    week.date.expect("absorbed week has a date"),
+                    week.flash,
+                    week.with_param,
+                    week.always,
+                )
+            })
+            .collect();
+        let share = |slice: &[(Date, usize, usize, usize)]| {
+            let shares: Vec<f64> = slice
+                .iter()
+                .filter(|&&(_, flash, ..)| flash > 0)
+                .map(|&(_, flash, _, always)| always as f64 / flash as f64)
+                .collect();
+            mean(&shares)
+        };
+        let quarter = (points.len() / 4).max(1);
+        ScriptAccessAudit {
+            average_always_share: share(&points),
+            early_always_share: share(&points[..quarter.min(points.len())]),
+            late_always_share: share(&points[points.len().saturating_sub(quarter)..]),
+            points,
+        }
+    }
+
+    /// The post-EOL TLD census from the final snapshot.
+    pub fn by_tld(&self) -> FlashByTld {
+        let last = self.last.clone().unwrap_or_default();
+        let mut counts: Vec<(String, usize)> = last.tld_counts.into_iter().collect();
+        counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        FlashByTld {
+            counts,
+            cn_share: last.cn_flash as f64 / last.flash_total.max(1) as f64,
+            cn_base_rate: last.cn_all as f64 / last.all.max(1) as f64,
+        }
+    }
+}
+
+impl Accumulate for FlashAccum {
+    fn absorb(&mut self, snapshot: &WeekSnapshot, ctx: &AccumCtx<'_>) {
+        self.absorb_week(snapshot, ctx.ranks);
+    }
+
+    fn merge(&mut self, other: FlashAccum) {
+        zip_merge(&mut self.weeks, other.weeks, |into, from| {
+            into.flash += from.flash;
+            into.top10k += from.top10k;
+            into.top1k += from.top1k;
+            into.with_param += from.with_param;
+            into.always += from.always;
+        });
+        match (&mut self.last, other.last) {
+            (Some(last), Some(from)) => {
+                if from.week == last.week {
+                    last.flash_total += from.flash_total;
+                    last.cn_flash += from.cn_flash;
+                    last.cn_all += from.cn_all;
+                    last.all += from.all;
+                    add_counts(&mut last.tld_counts, from.tld_counts);
+                } else if from.week > last.week {
+                    self.last = Some(from);
+                }
+            }
+            (slot @ None, Some(from)) => *slot = Some(from),
+            (_, None) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SRI / crossorigin / GitHub (§6.5)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct SriWeek {
+    date: Option<Date>,
+    with_external: usize,
+    unprotected: usize,
+    github_sites: usize,
+}
+
+/// Accumulator behind [`crate::sri::sri_adoption`],
+/// [`crate::sri::crossorigin_census`] and [`crate::sri::github_report`].
+#[derive(Debug, Default)]
+pub struct SriAccum {
+    weeks: Vec<SriWeek>,
+    anonymous: usize,
+    credentials: usize,
+    crossorigin_total: usize,
+    host_counts: BTreeMap<String, usize>,
+    inclusions: usize,
+    with_sri: usize,
+    top_tier: BTreeMap<String, usize>,
+}
+
+impl SriAccum {
+    /// Builds the accumulator over a materialized dataset.
+    pub fn over(data: &Dataset) -> SriAccum {
+        let mut accum = SriAccum::default();
+        for week in &data.weeks {
+            accum.absorb_week(week, &data.ranks);
+        }
+        accum
+    }
+
+    /// Folds one week in. `ranks` must be the full study population.
+    pub fn absorb_week(&mut self, snapshot: &WeekSnapshot, ranks: &BTreeMap<String, usize>) {
+        let population = ranks.len().max(1);
+        let tier = (population / 100).max(1); // scaled "top-10K of 1M"
+        let mut week = SriWeek {
+            date: Some(snapshot.date),
+            ..SriWeek::default()
+        };
+        for (domain, page) in &snapshot.pages {
+            if page.external_scripts > 0 {
+                week.with_external += 1;
+                if page.external_scripts_without_integrity > 0 {
+                    week.unprotected += 1;
+                }
+            }
+            for value in &page.crossorigin_values {
+                self.crossorigin_total += 1;
+                match value.as_str() {
+                    "anonymous" => self.anonymous += 1,
+                    "use-credentials" => self.credentials += 1,
+                    _ => {}
+                }
+            }
+            if page.github_scripts.is_empty() {
+                continue;
+            }
+            week.github_sites += 1;
+            for script in &page.github_scripts {
+                *self.host_counts.entry(script.host.clone()).or_default() += 1;
+                self.inclusions += 1;
+                if script.integrity {
+                    self.with_sri += 1;
+                }
+            }
+            if let Some(rank) = ranks.get(domain).copied() {
+                if rank <= tier {
+                    self.top_tier.insert(domain.clone(), rank);
+                }
+            }
+        }
+        self.weeks.push(week);
+    }
+
+    /// Figure 10: SRI adoption over time.
+    pub fn adoption(&self) -> SriAdoption {
+        let points: Vec<(Date, usize, usize)> = self
+            .weeks
+            .iter()
+            .map(|week| {
+                (
+                    week.date.expect("absorbed week has a date"),
+                    week.with_external,
+                    week.unprotected,
+                )
+            })
+            .collect();
+        let shares: Vec<f64> = points
+            .iter()
+            .filter(|&&(_, ext, _)| ext > 0)
+            .map(|&(_, ext, un)| un as f64 / ext as f64)
+            .collect();
+        SriAdoption {
+            points,
+            average_unprotected_share: mean(&shares),
+        }
+    }
+
+    /// §6.5's `crossorigin` value census.
+    pub fn crossorigin(&self) -> CrossoriginCensus {
+        CrossoriginCensus {
+            anonymous_share: self.anonymous as f64 / self.crossorigin_total.max(1) as f64,
+            use_credentials_share: self.credentials as f64 / self.crossorigin_total.max(1) as f64,
+            total: self.crossorigin_total,
+        }
+    }
+
+    /// Table 6: GitHub-hosted inclusions.
+    pub fn github(&self) -> GithubReport {
+        let weekly_counts: Vec<f64> = self
+            .weeks
+            .iter()
+            .map(|week| week.github_sites as f64)
+            .collect();
+        let mut hosts: Vec<(String, usize)> = self.host_counts.clone().into_iter().collect();
+        hosts.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        let mut top_tier_sites: Vec<(String, usize)> = self.top_tier.clone().into_iter().collect();
+        top_tier_sites.sort_by_key(|&(_, rank)| rank);
+        GithubReport {
+            average_sites: mean(&weekly_counts),
+            hosts,
+            sri_share: self.with_sri as f64 / self.inclusions.max(1) as f64,
+            top_tier_sites,
+        }
+    }
+}
+
+impl Accumulate for SriAccum {
+    fn absorb(&mut self, snapshot: &WeekSnapshot, ctx: &AccumCtx<'_>) {
+        self.absorb_week(snapshot, ctx.ranks);
+    }
+
+    fn merge(&mut self, other: SriAccum) {
+        zip_merge(&mut self.weeks, other.weeks, |into, from| {
+            into.with_external += from.with_external;
+            into.unprotected += from.unprotected;
+            into.github_sites += from.github_sites;
+        });
+        self.anonymous += other.anonymous;
+        self.credentials += other.credentials;
+        self.crossorigin_total += other.crossorigin_total;
+        self.inclusions += other.inclusions;
+        self.with_sri += other.with_sri;
+        add_counts(&mut self.host_counts, other.host_counts);
+        self.top_tier.extend(other.top_tier);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The whole study
+// ---------------------------------------------------------------------------
+
+/// Every analysis artifact the study report consumes, as produced by
+/// [`StudyAccum::finish`]. Field-for-field the analysis slice of
+/// `StudyResults`.
+#[derive(Debug)]
+pub struct StudyArtifacts {
+    /// Figure 2(a).
+    pub collection: CollectionSeries,
+    /// Figure 2(b).
+    pub resources: Vec<ResourceUsage>,
+    /// Table 1.
+    pub table1: Vec<LibraryRow>,
+    /// Figure 3.
+    pub trends: Vec<UsageTrend>,
+    /// Table 5 (top-3 hosts).
+    pub table5: Vec<CdnBreakdown>,
+    /// §6.2 prevalence, CVE-claimed basis.
+    pub prevalence_claimed: PrevalenceSeries,
+    /// §6.2 prevalence, TVV basis.
+    pub prevalence_tvv: PrevalenceSeries,
+    /// §6.4 comparison.
+    pub refinement: RefinementSummary,
+    /// Table 2 / Figures 5 and 14.
+    pub cve_impacts: Vec<CveImpact>,
+    /// Figure 12, CVE-claimed basis.
+    pub fig12_claimed: VulnCountDistribution,
+    /// Figure 12, TVV basis.
+    pub fig12_tvv: VulnCountDistribution,
+    /// §7 delays, CVE-claimed basis.
+    pub delays_claimed: UpdateDelayReport,
+    /// §7 delays, TVV basis.
+    pub delays_tvv: UpdateDelayReport,
+    /// Figure 9.
+    pub wordpress: WordPressUsage,
+    /// Table 4.
+    pub table4: Vec<WordPressCveRow>,
+    /// Figure 8.
+    pub flash: FlashUsage,
+    /// Figure 11.
+    pub script_access: ScriptAccessAudit,
+    /// §8 TLD census.
+    pub flash_by_tld: FlashByTld,
+    /// §9 downgrades.
+    pub regressions: Vec<RegressionEvent>,
+    /// Figure 10.
+    pub sri: SriAdoption,
+    /// §6.5 census.
+    pub crossorigin: CrossoriginCensus,
+    /// Table 6.
+    pub github: GithubReport,
+}
+
+/// The combined accumulator: one absorb pass feeds every artifact.
+#[derive(Debug, Default)]
+pub struct StudyAccum {
+    /// Landscape (§6.1).
+    pub landscape: LandscapeAccum,
+    /// CVE exposure (§6.2/§6.4).
+    pub exposure: CveExposureAccum,
+    /// Update behavior (§7/§9).
+    pub behavior: UpdateBehaviorAccum,
+    /// Collection (§5).
+    pub collection: CollectionAccum,
+    /// Flash (§8).
+    pub flash: FlashAccum,
+    /// SRI and externals (§6.5).
+    pub sri: SriAccum,
+}
+
+impl StudyAccum {
+    /// Builds the accumulator over a materialized dataset.
+    pub fn over(data: &Dataset, db: &VulnDb) -> StudyAccum {
+        let ctx = AccumCtx {
+            db,
+            ranks: &data.ranks,
+        };
+        let mut accum = StudyAccum::default();
+        for week in &data.weeks {
+            accum.absorb(week, &ctx);
+        }
+        accum
+    }
+
+    /// Produces every analysis artifact from the accumulated state.
+    pub fn finish(&self, db: &VulnDb) -> StudyArtifacts {
+        StudyArtifacts {
+            collection: self.collection.collection(),
+            resources: self.collection.resources(),
+            table1: self.landscape.table1(db),
+            trends: self.landscape.trends(),
+            table5: self.landscape.table5(3),
+            prevalence_claimed: self.exposure.prevalence(Basis::CveClaimed),
+            prevalence_tvv: self.exposure.prevalence(Basis::TrueVulnerable),
+            refinement: self.exposure.refinement(),
+            cve_impacts: self.exposure.cve_impacts(db),
+            fig12_claimed: self.exposure.distribution(Basis::CveClaimed),
+            fig12_tvv: self.exposure.distribution(Basis::TrueVulnerable),
+            delays_claimed: self.behavior.delays(Basis::CveClaimed),
+            delays_tvv: self.behavior.delays(Basis::TrueVulnerable),
+            wordpress: self.behavior.wordpress_usage(),
+            table4: self.behavior.table4(db),
+            flash: self.flash.usage(),
+            script_access: self.flash.script_access(),
+            flash_by_tld: self.flash.by_tld(),
+            regressions: self.behavior.regression_events(),
+            sri: self.sri.adoption(),
+            crossorigin: self.sri.crossorigin(),
+            github: self.sri.github(),
+        }
+    }
+}
+
+impl Accumulate for StudyAccum {
+    fn absorb(&mut self, snapshot: &WeekSnapshot, ctx: &AccumCtx<'_>) {
+        self.landscape.absorb(snapshot, ctx);
+        self.exposure.absorb(snapshot, ctx);
+        self.behavior.absorb(snapshot, ctx);
+        self.collection.absorb(snapshot, ctx);
+        self.flash.absorb(snapshot, ctx);
+        self.sri.absorb(snapshot, ctx);
+    }
+
+    fn merge(&mut self, other: StudyAccum) {
+        self.landscape.merge(other.landscape);
+        self.exposure.merge(other.exposure);
+        self.behavior.merge(other.behavior);
+        self.collection.merge(other.collection);
+        self.flash.merge(other.flash);
+        self.sri.merge(other.sri);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming folds over a store
+// ---------------------------------------------------------------------------
+
+/// Rebuilds the rank map a fold needs from a store's genesis block.
+pub fn genesis_ranks(genesis: &Genesis) -> BTreeMap<String, usize> {
+    genesis
+        .ranks
+        .iter()
+        .map(|(host, rank)| (host.clone(), *rank as usize))
+        .collect()
+}
+
+/// The §4.1 filter verdict for a store: the stored set when finalized,
+/// otherwise recomputed from the trailing [`FINAL_WEEKS`] snapshots.
+///
+/// The recomputation takes its candidates from the genesis rank list
+/// rather than from domains observed in earlier weeks; the extra
+/// candidates (ranked but never collected) have no pages anywhere, so
+/// marking them dropped cannot change what a fold absorbs.
+pub fn store_filter_verdict(reader: &AnyReader) -> Result<BTreeSet<String>, StoreError> {
+    if let Some(filtered) = reader.filtered_out() {
+        return Ok(filtered.iter().cloned().collect());
+    }
+    let weeks = reader.weeks_committed();
+    let window = FINAL_WEEKS.min(weeks);
+    if window == 0 {
+        return Ok(BTreeSet::new());
+    }
+    let mut alive: BTreeSet<String> = BTreeSet::new();
+    for week in reader.stream().range(weeks - window, weeks) {
+        let snapshot = week_to_snapshot(&week?)?;
+        for (domain, summary) in &snapshot.summaries {
+            if !page_is_error_or_empty(summary.status, summary.body_len) {
+                alive.insert(domain.clone());
+            }
+        }
+    }
+    Ok(reader
+        .genesis()
+        .ranks
+        .iter()
+        .filter(|(host, _)| !alive.contains(host))
+        .map(|(host, _)| host.clone())
+        .collect())
+}
+
+/// Splits a week's pages into `parts` domain partitions using the
+/// store's shard hash, so every partition sees the same domains in every
+/// week. Carry-forward markers partition with their domain; summaries
+/// are not partitioned — accumulators never read them.
+fn partition_snapshot(snapshot: WeekSnapshot, parts: usize) -> Vec<WeekSnapshot> {
+    let parts = parts.max(1);
+    let mut out: Vec<WeekSnapshot> = (0..parts)
+        .map(|_| WeekSnapshot {
+            week: snapshot.week,
+            date: snapshot.date,
+            pages: BTreeMap::new(),
+            summaries: BTreeMap::new(),
+            carried_forward: BTreeSet::new(),
+        })
+        .collect();
+    for (domain, page) in snapshot.pages {
+        let part = shard_of(&domain, parts);
+        out[part].pages.insert(domain, page);
+    }
+    for domain in snapshot.carried_forward {
+        let part = shard_of(&domain, parts);
+        out[part].carried_forward.insert(domain);
+    }
+    out
+}
+
+/// Folds a store through an accumulator without materializing a
+/// [`Dataset`]. Peak memory is one decoded week plus the accumulator
+/// (times the thread count when folding in parallel).
+///
+/// Three execution plans, all producing byte-identical artifacts:
+///
+/// * sharded store, `threads > 1` — one fold per shard on the exec
+///   pool (shards partition domains), merged in shard order; unhealthy
+///   shards of a degraded reader contribute the identity;
+/// * single-file store, `threads > 1` — each decoded week is domain-
+///   partitioned with [`shard_of`] and absorbed by per-partition
+///   accumulators that persist across weeks, merged at the end;
+/// * `threads <= 1` — a plain sequential fold.
+pub fn fold_store<A>(
+    reader: &AnyReader,
+    ctx: &AccumCtx<'_>,
+    threads: usize,
+) -> Result<A, StoreError>
+where
+    A: Accumulate + Default + Send,
+{
+    let filtered = store_filter_verdict(reader)?;
+    let threads = threads.max(1);
+    if let AnyReader::Sharded(sharded) = reader {
+        if threads > 1 && sharded.shard_count() > 1 {
+            return fold_sharded(sharded, ctx, &filtered, threads);
+        }
+    }
+    if threads > 1 {
+        return fold_partitioned(reader, ctx, &filtered, threads);
+    }
+    let mut accum = A::default();
+    for week in reader.stream() {
+        let mut snapshot = week_to_snapshot(&week?)?;
+        snapshot
+            .pages
+            .retain(|domain, _| !filtered.contains(domain));
+        snapshot
+            .carried_forward
+            .retain(|domain| !filtered.contains(domain));
+        accum.absorb(&snapshot, ctx);
+    }
+    Ok(accum)
+}
+
+/// Convenience: folds the full study accumulator over a store using the
+/// genesis rank list for context.
+pub fn fold_study(
+    reader: &AnyReader,
+    db: &VulnDb,
+    threads: usize,
+) -> Result<StudyAccum, StoreError> {
+    let ranks = genesis_ranks(reader.genesis());
+    let ctx = AccumCtx { db, ranks: &ranks };
+    fold_store(reader, &ctx, threads)
+}
+
+fn fold_sharded<A>(
+    sharded: &ShardedStoreReader,
+    ctx: &AccumCtx<'_>,
+    filtered: &BTreeSet<String>,
+    threads: usize,
+) -> Result<A, StoreError>
+where
+    A: Accumulate + Default + Send,
+{
+    let indices: Vec<usize> = (0..sharded.shard_count()).collect();
+    let executor = Executor::new(threads).chunk_size(1);
+    let parts = executor.map(&indices, |&index| -> Result<A, StoreError> {
+        let Some(shard) = sharded.shard_reader(index) else {
+            // Degraded store: an unavailable shard serves no domains and
+            // contributes the identity, mirroring what the merged reader
+            // would decode for its records.
+            return Ok(A::default());
+        };
+        let mut accum = A::default();
+        for week in WeekStream::over_single(shard) {
+            let mut snapshot = week_to_snapshot(&week?)?;
+            snapshot
+                .pages
+                .retain(|domain, _| !filtered.contains(domain));
+            snapshot
+                .carried_forward
+                .retain(|domain| !filtered.contains(domain));
+            accum.absorb(&snapshot, ctx);
+        }
+        Ok(accum)
+    });
+    let mut merged = A::default();
+    for part in parts {
+        merged.merge(part?);
+    }
+    Ok(merged)
+}
+
+fn fold_partitioned<A>(
+    reader: &AnyReader,
+    ctx: &AccumCtx<'_>,
+    filtered: &BTreeSet<String>,
+    threads: usize,
+) -> Result<A, StoreError>
+where
+    A: Accumulate + Default + Send,
+{
+    let executor = Executor::new(threads).chunk_size(1);
+    let slots: Vec<Mutex<Option<A>>> = (0..threads)
+        .map(|_| Mutex::new(Some(A::default())))
+        .collect();
+    let indices: Vec<usize> = (0..threads).collect();
+    for week in reader.stream() {
+        let mut snapshot = week_to_snapshot(&week?)?;
+        snapshot
+            .pages
+            .retain(|domain, _| !filtered.contains(domain));
+        snapshot
+            .carried_forward
+            .retain(|domain| !filtered.contains(domain));
+        let parts = partition_snapshot(snapshot, threads);
+        executor.map(&indices, |&index| {
+            let mut accum = slots[index]
+                .lock()
+                .expect("accumulator slot")
+                .take()
+                .expect("slot occupied");
+            accum.absorb(&parts[index], ctx);
+            *slots[index].lock().expect("accumulator slot") = Some(accum);
+        });
+    }
+    let mut merged = A::default();
+    for slot in slots {
+        let part = slot
+            .into_inner()
+            .expect("accumulator slot")
+            .expect("slot occupied");
+        merged.merge(part);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testkit;
+    use crate::store_io::snapshot_to_week;
+    use webvuln_store::ShardedStoreWriter;
+
+    fn artifacts_debug(accum: &StudyAccum, db: &VulnDb) -> String {
+        format!("{:#?}", accum.finish(db))
+    }
+
+    fn genesis_of(data: &Dataset) -> Genesis {
+        let mut by_rank: Vec<(&String, usize)> = data
+            .ranks
+            .iter()
+            .map(|(name, &rank)| (name, rank))
+            .collect();
+        by_rank.sort_by_key(|&(_, rank)| rank);
+        Genesis {
+            start_days: i64::from(data.timeline.start.day_number()),
+            weeks_total: data.timeline.weeks,
+            ranks: by_rank
+                .into_iter()
+                .map(|(name, rank)| (name.clone(), rank as u64))
+                .collect(),
+        }
+    }
+
+    fn write_single(data: &Dataset, path: &std::path::Path) {
+        data.save_store(path).expect("save store");
+    }
+
+    fn write_sharded(data: &Dataset, dir: &std::path::Path, shards: usize) {
+        let mut writer = ShardedStoreWriter::create(dir, genesis_of(data), shards).expect("create");
+        for week in &data.weeks {
+            writer.commit_week(&snapshot_to_week(week)).expect("commit");
+        }
+        writer.finalize(&data.filtered_out).expect("finalize");
+    }
+
+    #[test]
+    fn accumulated_artifacts_match_free_functions() {
+        let data = testkit::small();
+        let db = VulnDb::builtin();
+        let accum = StudyAccum::over(data, &db);
+        let artifacts = accum.finish(&db);
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                format!("{:?}", artifacts.table1),
+                format!("{:?}", crate::landscape::table1(data, &db))
+            );
+            assert_eq!(
+                format!("{:?}", artifacts.trends),
+                format!("{:?}", crate::landscape::usage_trends(data))
+            );
+            assert_eq!(
+                format!("{:?}", artifacts.collection),
+                format!("{:?}", crate::resources::collection_series(data))
+            );
+            let impacts: Vec<CveImpact> = db
+                .records()
+                .iter()
+                .filter_map(|r| crate::vuln::cve_impact(data, &db, &r.id))
+                .collect();
+            assert_eq!(
+                format!("{:?}", artifacts.cve_impacts),
+                format!("{:?}", impacts)
+            );
+        }
+        assert_eq!(
+            format!("{:?}", artifacts.resources),
+            format!("{:?}", crate::resources::resource_usage(data))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.refinement),
+            format!("{:?}", crate::vuln::refinement_summary(data, &db))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.crossorigin),
+            format!("{:?}", crate::sri::crossorigin_census(data))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.prevalence_tvv),
+            format!(
+                "{:?}",
+                crate::vuln::prevalence(data, &db, Basis::TrueVulnerable)
+            )
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.fig12_claimed),
+            format!(
+                "{:?}",
+                crate::vuln::vuln_count_distribution(data, &db, Basis::CveClaimed)
+            )
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.delays_tvv),
+            format!(
+                "{:?}",
+                crate::updates::update_delays(data, &db, Basis::TrueVulnerable)
+            )
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.table5),
+            format!("{:?}", crate::landscape::table5(data, 3))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.prevalence_claimed),
+            format!(
+                "{:?}",
+                crate::vuln::prevalence(data, &db, Basis::CveClaimed)
+            )
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.fig12_tvv),
+            format!(
+                "{:?}",
+                crate::vuln::vuln_count_distribution(data, &db, Basis::TrueVulnerable)
+            )
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.delays_claimed),
+            format!(
+                "{:?}",
+                crate::updates::update_delays(data, &db, Basis::CveClaimed)
+            )
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.regressions),
+            format!("{:?}", crate::updates::regressions(data, &db))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.table4),
+            format!("{:?}", crate::wordpress::table4(data, &db))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.flash),
+            format!("{:?}", crate::flash::flash_usage(data))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.flash_by_tld),
+            format!("{:?}", crate::flash::flash_by_tld(data))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.script_access),
+            format!("{:?}", crate::flash::script_access_audit(data))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.sri),
+            format!("{:?}", crate::sri::sri_adoption(data))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.github),
+            format!("{:?}", crate::sri::github_report(data))
+        );
+        assert_eq!(
+            format!("{:?}", artifacts.wordpress),
+            format!("{:?}", crate::updates::wordpress_usage(data))
+        );
+    }
+
+    #[test]
+    fn merge_with_identity_is_noop() {
+        let data = testkit::small();
+        let db = VulnDb::builtin();
+        let reference = artifacts_debug(&StudyAccum::over(data, &db), &db);
+
+        let mut left = StudyAccum::over(data, &db);
+        left.merge(StudyAccum::default());
+        assert_eq!(artifacts_debug(&left, &db), reference);
+
+        let mut right = StudyAccum::default();
+        right.merge(StudyAccum::over(data, &db));
+        assert_eq!(artifacts_debug(&right, &db), reference);
+    }
+
+    #[test]
+    fn merge_is_associative_over_domain_partitions() {
+        let data = testkit::small();
+        let db = VulnDb::builtin();
+        let ctx = AccumCtx {
+            db: &db,
+            ranks: &data.ranks,
+        };
+        let reference = artifacts_debug(&StudyAccum::over(data, &db), &db);
+
+        // Three domain partitions, each absorbing every week.
+        let parts: Vec<StudyAccum> = (0..3)
+            .map(|part| {
+                let mut accum = StudyAccum::default();
+                for week in &data.weeks {
+                    let mut slice = week.clone();
+                    slice.pages.retain(|domain, _| shard_of(domain, 3) == part);
+                    slice
+                        .carried_forward
+                        .retain(|domain| shard_of(domain, 3) == part);
+                    accum.absorb(&slice, &ctx);
+                }
+                accum
+            })
+            .collect();
+
+        let [a, b, c]: [StudyAccum; 3] = parts.try_into().expect("three parts");
+        let rebuild = |order: &str| -> String {
+            let parts: Vec<StudyAccum> = (0..3)
+                .map(|part| {
+                    let mut accum = StudyAccum::default();
+                    for week in &data.weeks {
+                        let mut slice = week.clone();
+                        slice.pages.retain(|domain, _| shard_of(domain, 3) == part);
+                        slice
+                            .carried_forward
+                            .retain(|domain| shard_of(domain, 3) == part);
+                        accum.absorb(&slice, &ctx);
+                    }
+                    accum
+                })
+                .collect();
+            let mut iter = parts.into_iter();
+            let (x, y, z) = (
+                iter.next().expect("x"),
+                iter.next().expect("y"),
+                iter.next().expect("z"),
+            );
+            match order {
+                "left" => {
+                    let mut xy = x;
+                    xy.merge(y);
+                    xy.merge(z);
+                    artifacts_debug(&xy, &db)
+                }
+                _ => {
+                    let mut yz = y;
+                    yz.merge(z);
+                    let mut x = x;
+                    x.merge(yz);
+                    artifacts_debug(&x, &db)
+                }
+            }
+        };
+        assert_eq!(rebuild("left"), reference, "(a·b)·c");
+        assert_eq!(rebuild("right"), reference, "a·(b·c)");
+        // And the directly-built partitions merge to the same state.
+        let mut direct = a;
+        direct.merge(b);
+        direct.merge(c);
+        assert_eq!(artifacts_debug(&direct, &db), reference);
+    }
+
+    #[test]
+    fn fold_store_matches_materialized_at_all_plans() {
+        let data = testkit::small();
+        let db = VulnDb::builtin();
+        let reference = artifacts_debug(&StudyAccum::over(data, &db), &db);
+
+        let dir = std::env::temp_dir().join(format!("accum-fold-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        let single = dir.join("study.wvstore");
+        write_single(data, &single);
+        let reader = AnyReader::open(&single).expect("open single");
+        for threads in [1, 2, 8] {
+            let accum = fold_study(&reader, &db, threads).expect("fold");
+            assert_eq!(
+                artifacts_debug(&accum, &db),
+                reference,
+                "single-file fold, {threads} threads"
+            );
+        }
+
+        for shards in [1, 4, 16] {
+            let sharded_dir = dir.join(format!("sharded-{shards}"));
+            write_sharded(data, &sharded_dir, shards);
+            let reader = AnyReader::open(&sharded_dir).expect("open sharded");
+            for threads in [1, 2, 8] {
+                let accum = fold_study(&reader, &db, threads).expect("fold");
+                assert_eq!(
+                    artifacts_debug(&accum, &db),
+                    reference,
+                    "{shards}-shard fold, {threads} threads"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fold_recomputes_filter_on_unfinalized_store() {
+        let data = testkit::small();
+        let db = VulnDb::builtin();
+        let reference = artifacts_debug(&StudyAccum::over(data, &db), &db);
+
+        let dir = std::env::temp_dir().join(format!("accum-unfin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("open.wvstore");
+        {
+            let mut writer =
+                webvuln_store::StoreWriter::create(&path, genesis_of(data)).expect("create");
+            for week in &data.weeks {
+                writer.commit_week(&snapshot_to_week(week)).expect("commit");
+            }
+            // No finalize: the fold must recompute the §4.1 verdict.
+        }
+        let reader = AnyReader::open(&path).expect("open");
+        assert!(reader.filtered_out().is_none());
+        let accum = fold_study(&reader, &db, 1).expect("fold");
+        assert_eq!(artifacts_debug(&accum, &db), reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,7 +19,7 @@ use webvuln_telemetry::{Counter, Telemetry};
 use webvuln_webgen::{Ecosystem, Timeline};
 
 /// One analysed weekly snapshot.
-#[derive(Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct WeekSnapshot {
     /// Snapshot index.
     pub week: usize,
@@ -132,6 +132,7 @@ pub struct Collector<'a> {
     telemetry: Option<&'a Telemetry>,
     store: Option<PathBuf>,
     resume: bool,
+    streaming: bool,
 }
 
 impl Default for Collector<'_> {
@@ -154,6 +155,7 @@ impl<'a> Collector<'a> {
             telemetry: None,
             store: None,
             resume: false,
+            streaming: false,
         }
     }
 
@@ -232,6 +234,22 @@ impl<'a> Collector<'a> {
         self
     }
 
+    /// Streaming collection: each crawled week is committed to the
+    /// [`checkpoint`](Collector::checkpoint) store and then dropped, so
+    /// peak memory is one in-flight week plus the trailing-month fetch
+    /// summaries the §4.1 filter needs — never the whole timeline. The
+    /// store file is byte-identical to a materialized run's and the
+    /// filter verdict is computed from the same rule; the returned
+    /// [`CheckpointOutcome::dataset`] is a thin shell (timeline, ranks,
+    /// `filtered_out` — no weeks). Analyze the store afterwards with
+    /// [`fold_study`](crate::accum::fold_study) or stream it with
+    /// [`WeekStream`](webvuln_store::WeekStream). Requires a checkpoint
+    /// store; [`run`](Collector::run) rejects the combination otherwise.
+    pub fn streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
     /// The accumulated [`CollectConfig`] (builder round-trip).
     pub fn config(&self) -> CollectConfig {
         self.config
@@ -256,8 +274,17 @@ impl<'a> Collector<'a> {
                 telemetry,
                 path,
                 self.resume,
+                self.streaming,
             ),
             None => {
+                if self.streaming {
+                    return Err(StoreError::Mismatch(
+                        "streaming collection needs a checkpoint store: each week is \
+                         committed and dropped, so without a store there would be \
+                         nowhere to read the snapshots back from"
+                            .to_string(),
+                    ));
+                }
                 let dataset = collect_plain(ecosystem, self.config, telemetry)?;
                 let weeks_crawled = dataset.week_count();
                 Ok(CheckpointOutcome {

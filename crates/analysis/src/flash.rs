@@ -72,7 +72,7 @@ pub fn flash_usage(data: &Dataset) -> FlashUsage {
 }
 
 /// Maps a real-web tier (e.g. top-10K of 1M) onto the simulated list.
-fn tier_cutoff(population: usize, real_tier: usize) -> usize {
+pub(crate) fn tier_cutoff(population: usize, real_tier: usize) -> usize {
     if population >= 1_000_000 {
         real_tier
     } else {

@@ -64,6 +64,13 @@ pub fn is_cdn_host(host: &str) -> bool {
 }
 
 /// Builds Table 1 for the top-15 libraries, ordered by usage.
+///
+/// Kept as the one-shot reference implementation; the accumulator
+/// equivalence tests pin [`crate::accum::LandscapeAccum`] against it.
+#[deprecated(
+    note = "use accum::LandscapeAccum::over(data).table1(db) or fold a store \
+                     with accum::fold_study"
+)]
 pub fn table1(data: &Dataset, db: &VulnDb) -> Vec<LibraryRow> {
     let mut rows: Vec<LibraryRow> = LibraryId::ALL
         .iter()
@@ -167,6 +174,13 @@ impl UsageTrend {
 }
 
 /// Builds Figure 3's series for every library.
+///
+/// Kept as the one-shot reference implementation; the accumulator
+/// equivalence tests pin [`crate::accum::LandscapeAccum`] against it.
+#[deprecated(
+    note = "use accum::LandscapeAccum::over(data).trends() or fold a store \
+                     with accum::fold_study"
+)]
 pub fn usage_trends(data: &Dataset) -> Vec<UsageTrend> {
     LibraryId::ALL
         .iter()
@@ -227,6 +241,7 @@ pub fn table5(data: &Dataset, top: usize) -> Vec<CdnBreakdown> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the deprecated reference implementations
 mod tests {
     use super::*;
     use crate::dataset::testkit;

@@ -19,6 +19,9 @@
 //! * [`wordpress`] — Table 4 WordPress CVE census.
 //! * [`store_io`] — binary snapshot-store persistence: save/load through
 //!   `webvuln-store` and the checkpoint/resume collector.
+//! * [`accum`] — the mergeable streaming accumulators behind every
+//!   artifact above, and [`accum::fold_store`] for folding a snapshot
+//!   store without materializing a [`Dataset`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@
 ///   to the snapshot store (key: the week number).
 pub const FAILPOINTS: &[&str] = &["checkpoint.commit", "phase.crawl", "phase.fingerprint"];
 
+pub mod accum;
 pub mod dataset;
 pub mod flash;
 pub mod landscape;
@@ -44,6 +48,9 @@ pub mod updates;
 pub mod vuln;
 pub mod wordpress;
 
+pub use accum::{
+    fold_store, fold_study, store_filter_verdict, AccumCtx, Accumulate, StudyAccum, StudyArtifacts,
+};
 #[allow(deprecated)]
 pub use dataset::{collect_dataset, collect_dataset_with};
 pub use dataset::{CollectConfig, Collector, Dataset, WeekSnapshot};

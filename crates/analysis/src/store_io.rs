@@ -16,7 +16,7 @@ use webvuln_cvedb::{Date, LibraryId};
 use webvuln_fingerprint::{
     DetectedInclusion, Detection, ExternalScript, FlashDetection, PageAnalysis, ResourceType,
 };
-use webvuln_net::{page_is_error_or_empty, FetchSummary};
+use webvuln_net::{inaccessible_domains, page_is_error_or_empty, FetchSummary};
 use webvuln_store::{
     AnyReader, CommitInfo, DetectionRecord, DomainRecord, FlashRecord, Genesis, PageRecord,
     ScriptRecord, ShardedStoreWriter, StoreReader, StoreWriter, WeekData, WordPressRecord,
@@ -278,6 +278,23 @@ impl Dataset {
     pub fn load_store(path: impl AsRef<Path>) -> Result<Dataset, StoreError> {
         dataset_from_reader(&AnyReader::open(path.as_ref())?)
     }
+
+    /// Builds a weeks-free shell from an opened store: timeline, ranks,
+    /// and the §4.1 filter verdict, but no snapshots. The streaming
+    /// analysis path attaches this to its results so study metadata
+    /// stays available without materialising any week.
+    pub fn shell_from_reader(reader: &AnyReader) -> Result<Dataset, StoreError> {
+        let (timeline, ranks) = genesis_to_parts(reader.genesis())?;
+        let filtered_out = crate::accum::store_filter_verdict(reader)?
+            .into_iter()
+            .collect();
+        Ok(Dataset {
+            timeline,
+            ranks,
+            weeks: Vec::new(),
+            filtered_out,
+        })
+    }
 }
 
 /// Materialises a [`Dataset`] from an already-opened store of either
@@ -321,6 +338,59 @@ pub fn stream_snapshots(
     reader.iter_weeks().map(|week| week_to_snapshot(&week?))
 }
 
+/// Streams a store straight into `out` as `Dataset`-shaped JSON —
+/// byte-identical to `Dataset::load_store(path)?.to_json()` — without
+/// ever holding more than one decoded week: the envelope is written by
+/// hand and each snapshot is serialized as it is decoded.
+///
+/// An unfinalized store takes a preliminary summaries-only pass to
+/// recompute the §4.1 verdict exactly as materialization would;
+/// a finalized store uses its stored verdict and streams in one pass.
+pub fn export_json<W: std::io::Write>(reader: &AnyReader, out: &mut W) -> std::io::Result<()> {
+    let store_err = |e: StoreError| std::io::Error::other(e.to_string());
+    let json_err = |e: serde_json::Error| std::io::Error::other(e.to_string());
+    let (timeline, ranks) = genesis_to_parts(reader.genesis()).map_err(store_err)?;
+    let filtered: Vec<String> = match reader.filtered_out() {
+        Some(filtered) => filtered.to_vec(),
+        None => {
+            let mut weekly = Vec::with_capacity(reader.weeks_committed());
+            for week in reader.iter_weeks() {
+                let snapshot = week_to_snapshot(&week.map_err(store_err)?).map_err(store_err)?;
+                weekly.push(snapshot.summaries);
+            }
+            inaccessible_domains(&weekly, webvuln_net::filter::FINAL_WEEKS)
+                .into_iter()
+                .collect()
+        }
+    };
+    let drop: BTreeSet<&String> = filtered.iter().collect();
+    write!(
+        out,
+        "{{\"timeline\":{},\"ranks\":{},\"weeks\":[",
+        serde_json::to_string(&timeline).map_err(json_err)?,
+        serde_json::to_string(&ranks).map_err(json_err)?,
+    )?;
+    for (index, week) in reader.iter_weeks().enumerate() {
+        let mut snapshot = week_to_snapshot(&week.map_err(store_err)?).map_err(store_err)?;
+        snapshot.pages.retain(|domain, _| !drop.contains(domain));
+        snapshot
+            .summaries
+            .retain(|domain, _| !drop.contains(domain));
+        snapshot
+            .carried_forward
+            .retain(|domain| !drop.contains(domain));
+        if index > 0 {
+            out.write_all(b",")?;
+        }
+        serde_json::to_writer(&mut *out, &snapshot).map_err(json_err)?;
+    }
+    write!(
+        out,
+        "],\"filtered_out\":{}}}",
+        serde_json::to_string(&filtered).map_err(json_err)?,
+    )
+}
+
 // ---------------------------------------------------------------------------
 // Checkpointed collection
 // ---------------------------------------------------------------------------
@@ -349,7 +419,53 @@ pub fn collect_dataset_checkpointed(
     store_path: &Path,
     resume: bool,
 ) -> Result<CheckpointOutcome, StoreError> {
-    collect_checkpointed(ecosystem, config, telemetry, store_path, resume)
+    collect_checkpointed(ecosystem, config, telemetry, store_path, resume, false)
+}
+
+/// Streaming state for the §4.1 inaccessibility filter: the candidate
+/// set (every domain seen in any week's summaries) and the trailing
+/// [`FINAL_WEEKS`](webvuln_net::filter::FINAL_WEEKS) summary maps.
+/// [`verdict`](FilterWindow::verdict) applies exactly the
+/// [`inaccessible_domains`] rule — a candidate is dropped when it is
+/// error/empty (or absent) in every window week — without retaining the
+/// full timeline, so a streaming collection's filter state stays
+/// O(domains), not O(domains x weeks).
+struct FilterWindow {
+    observed: BTreeSet<String>,
+    window: std::collections::VecDeque<BTreeMap<String, FetchSummary>>,
+}
+
+impl FilterWindow {
+    fn new() -> FilterWindow {
+        FilterWindow {
+            observed: BTreeSet::new(),
+            window: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn absorb(&mut self, summaries: &BTreeMap<String, FetchSummary>) {
+        self.observed.extend(summaries.keys().cloned());
+        if self.window.len() == webvuln_net::filter::FINAL_WEEKS {
+            self.window.pop_front();
+        }
+        self.window.push_back(summaries.clone());
+    }
+
+    fn verdict(&self) -> Vec<String> {
+        if self.window.is_empty() {
+            return Vec::new();
+        }
+        self.observed
+            .iter()
+            .filter(|domain| {
+                self.window.iter().all(|week| match week.get(*domain) {
+                    None => true,
+                    Some(s) => page_is_error_or_empty(s.status, s.body_len),
+                })
+            })
+            .cloned()
+            .collect()
+    }
 }
 
 /// The checkpoint writer behind [`collect_checkpointed`]: a single-file
@@ -404,7 +520,9 @@ impl CheckpointWriter {
             torn_bytes: 0,
         };
         if !(resume && store_path.exists()) {
-            return Ok(fresh(CheckpointWriter::create(store_path, genesis, config)?));
+            return Ok(fresh(CheckpointWriter::create(
+                store_path, genesis, config,
+            )?));
         }
         verify_resume_store(store_path)?;
         if store_path.is_dir() {
@@ -430,9 +548,9 @@ impl CheckpointWriter {
                 }
                 // Killed before the first manifest commit: nothing worth
                 // resuming; start over.
-                Err(StoreError::MissingGenesis) => {
-                    Ok(fresh(CheckpointWriter::create(store_path, genesis, config)?))
-                }
+                Err(StoreError::MissingGenesis) => Ok(fresh(CheckpointWriter::create(
+                    store_path, genesis, config,
+                )?)),
                 Err(e) => Err(e),
             }
         } else {
@@ -453,9 +571,9 @@ impl CheckpointWriter {
                 }),
                 // A crash before the genesis segment hit the disk leaves
                 // nothing worth resuming; start over.
-                Err(StoreError::MissingGenesis) => {
-                    Ok(fresh(CheckpointWriter::create(store_path, genesis, config)?))
-                }
+                Err(StoreError::MissingGenesis) => Ok(fresh(CheckpointWriter::create(
+                    store_path, genesis, config,
+                )?)),
                 Err(e) => Err(e),
             }
         }
@@ -514,12 +632,19 @@ fn verify_resume_store(store_path: &Path) -> Result<(), StoreError> {
 /// produced them, because collection is deterministic in the ecosystem
 /// seed. The store must have been created from the same ecosystem —
 /// timeline and domain list are checked against the genesis segment.
+///
+/// With `streaming` set, each week is dropped right after its commit:
+/// only the [`FilterWindow`] (candidate domains plus the trailing-month
+/// summaries) is retained, the committed bytes and filter verdict are
+/// identical to a materialized run's, and the returned dataset is a
+/// thin shell with no weeks.
 pub(crate) fn collect_checkpointed(
     ecosystem: &Arc<Ecosystem>,
     config: CollectConfig,
     telemetry: &Telemetry,
     store_path: &Path,
     resume: bool,
+    streaming: bool,
 ) -> Result<CheckpointOutcome, StoreError> {
     let registry = telemetry.registry();
     let names = ecosystem.domain_names();
@@ -535,21 +660,17 @@ pub(crate) fn collect_checkpointed(
                 .to_string(),
         ));
     }
-    let mut snapshots: Vec<WeekSnapshot> = Vec::with_capacity(timeline.weeks);
     let torn_bytes_recovered = resumed.torn_bytes;
     let finalized_filter = resumed.filtered_out;
-    for week in &resumed.weeks {
-        snapshots.push(week_to_snapshot(week)?);
-    }
     let mut writer = resumed.writer;
-    let weeks_recovered = snapshots.len();
+    let weeks_recovered = resumed.weeks.len();
     registry
         .counter("store.weeks_recovered_total")
         .add(weeks_recovered as u64);
     registry
         .counter("store.torn_bytes_recovered_total")
         .add(torn_bytes_recovered);
-    for (i, snapshot) in snapshots.iter().enumerate() {
+    let emit_restored = |i: usize, snapshot: &WeekSnapshot| {
         telemetry.emit(
             "crawl",
             i as u64 + 1,
@@ -560,7 +681,7 @@ pub(crate) fn collect_checkpointed(
                 snapshot.collected()
             ),
         );
-    }
+    };
 
     // A finalized store is a completed run: nothing left to crawl.
     if let Some(filtered) = finalized_filter {
@@ -571,10 +692,18 @@ pub(crate) fn collect_checkpointed(
             )));
         }
         let (timeline, ranks) = genesis_to_parts(writer.genesis())?;
+        let mut weeks: Vec<WeekSnapshot> = Vec::new();
+        for (i, week) in resumed.weeks.iter().enumerate() {
+            let snapshot = week_to_snapshot(week)?;
+            emit_restored(i, &snapshot);
+            if !streaming {
+                weeks.push(snapshot);
+            }
+        }
         let mut dataset = Dataset {
             timeline,
             ranks,
-            weeks: snapshots,
+            weeks,
             filtered_out: Vec::new(),
         };
         for week in &mut dataset.weeks {
@@ -591,13 +720,25 @@ pub(crate) fn collect_checkpointed(
         });
     }
 
-    // Crawl the missing weeks, committing each as it completes. The
-    // restored weeks are replayed through the collector first so
-    // week-to-week state — circuit breakers, carry-forward baselines —
-    // resumes exactly where the interrupted run left it.
+    // Replay the restored weeks through the collector so week-to-week
+    // state — circuit breakers, carry-forward baselines — resumes
+    // exactly where the interrupted run left it. A materialized run
+    // keeps every snapshot for the returned dataset; a streaming run
+    // keeps only the filter window and drops each snapshot once
+    // replayed.
     let mut collector = WeekCollector::new(ecosystem, config, telemetry);
-    for snapshot in &snapshots {
-        collector.replay_week(snapshot);
+    let mut snapshots: Vec<WeekSnapshot> =
+        Vec::with_capacity(if streaming { 0 } else { timeline.weeks });
+    let mut filter = FilterWindow::new();
+    for (i, week) in resumed.weeks.into_iter().enumerate() {
+        let snapshot = week_to_snapshot(&week)?;
+        emit_restored(i, &snapshot);
+        collector.replay_week(&snapshot);
+        if streaming {
+            filter.absorb(&snapshot.summaries);
+        } else {
+            snapshots.push(snapshot);
+        }
     }
     let segments = registry.counter("store.segments_total");
     let delta_hits = registry.counter("store.delta_hits_total");
@@ -629,11 +770,18 @@ pub(crate) fn collect_checkpointed(
             timeline.weeks as u64,
             &format!("{date}: {} pages", snapshot.collected()),
         );
-        snapshots.push(snapshot);
+        if streaming {
+            filter.absorb(&snapshot.summaries);
+        } else {
+            snapshots.push(snapshot);
+        }
         weeks_crawled += 1;
     }
 
-    // All weeks present: filter, record the verdict, finalize.
+    // All weeks present: filter, record the verdict, finalize. The
+    // streaming verdict comes from the filter window (same §4.1 rule,
+    // same sorted order); the snapshots vector is empty, so the dataset
+    // below is the documented shell.
     let ranks = names
         .iter()
         .enumerate()
@@ -645,7 +793,11 @@ pub(crate) fn collect_checkpointed(
         weeks: snapshots,
         filtered_out: Vec::new(),
     };
-    dataset.apply_inaccessibility_filter();
+    if streaming {
+        dataset.filtered_out = filter.verdict();
+    } else {
+        dataset.apply_inaccessibility_filter();
+    }
     writer.finalize(&dataset.filtered_out)?;
     Ok(CheckpointOutcome {
         dataset,
@@ -723,6 +875,47 @@ mod tests {
     }
 
     #[test]
+    fn streaming_json_export_matches_materialized_to_json() {
+        if !testkit::serde_json_is_functional() {
+            eprintln!("skipped: serde_json is a non-serializing stub in this build");
+            return;
+        }
+        let eco = small_eco(23, 90, 6);
+        let data = testkit::collect(&eco, CollectConfig::default());
+        let path = temp_store("export-json");
+        data.save_store(&path).expect("save");
+
+        // Finalized store: one streaming pass, byte-identical output.
+        let reader = AnyReader::open(&path).expect("open");
+        let mut streamed = Vec::new();
+        export_json(&reader, &mut streamed).expect("export");
+        let materialized = Dataset::load_store(&path).expect("load").to_json();
+        assert_eq!(String::from_utf8(streamed).expect("utf8"), materialized);
+
+        // Unfinalized (checkpoint) store: the verdict is recomputed and
+        // the bytes still match the materialized load.
+        let raw = temp_store("export-json-raw");
+        let mut writer =
+            StoreWriter::create(&raw, genesis_for(&data.timeline, &eco.domain_names()))
+                .expect("create");
+        for snapshot in &data.weeks {
+            writer
+                .commit_week(&snapshot_to_week(snapshot))
+                .expect("commit");
+        }
+        drop(writer);
+        let reader = AnyReader::open(&raw).expect("open raw");
+        assert!(reader.filtered_out().is_none(), "store must be unfinalized");
+        let mut streamed = Vec::new();
+        export_json(&reader, &mut streamed).expect("export raw");
+        let materialized = Dataset::load_store(&raw).expect("load raw").to_json();
+        assert_eq!(String::from_utf8(streamed).expect("utf8"), materialized);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&raw);
+    }
+
+    #[test]
     fn checkpointed_collection_matches_plain_collection() {
         let eco = small_eco(31, 100, 6);
         let plain = testkit::collect(&eco, CollectConfig::default());
@@ -732,6 +925,7 @@ mod tests {
             CollectConfig::default(),
             &Telemetry::new(),
             &path,
+            false,
             false,
         )
         .expect("collect");
@@ -765,8 +959,15 @@ mod tests {
             }
         }
         let telemetry = Telemetry::new();
-        let outcome = collect_checkpointed(&eco, CollectConfig::default(), &telemetry, &path, true)
-            .expect("resume");
+        let outcome = collect_checkpointed(
+            &eco,
+            CollectConfig::default(),
+            &telemetry,
+            &path,
+            true,
+            false,
+        )
+        .expect("resume");
         assert_eq!(outcome.weeks_recovered, 4);
         assert_eq!(outcome.weeks_crawled, 2);
         let snap = telemetry.snapshot();
@@ -784,6 +985,7 @@ mod tests {
             &Telemetry::new(),
             &path,
             true,
+            false,
         )
         .expect("resume finalized");
         assert_eq!(outcome.weeks_crawled, 0);
@@ -844,8 +1046,8 @@ mod tests {
                     .expect("commit");
             }
         }
-        let outcome =
-            collect_checkpointed(&eco, config, &Telemetry::new(), &path, true).expect("resume");
+        let outcome = collect_checkpointed(&eco, config, &Telemetry::new(), &path, true, false)
+            .expect("resume");
         assert_eq!(outcome.weeks_recovered, 3);
         assert_eq!(outcome.weeks_crawled, 3);
         assert_datasets_equal(&plain, &outcome.dataset);
@@ -862,6 +1064,7 @@ mod tests {
             &Telemetry::new(),
             &path,
             false,
+            false,
         )
         .expect("collect");
         let other = small_eco(32, 100, 6);
@@ -871,6 +1074,7 @@ mod tests {
             &Telemetry::new(),
             &path,
             true,
+            false,
         )
         .expect_err("different seed must be rejected");
         assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
@@ -882,8 +1086,15 @@ mod tests {
         let eco = small_eco(41, 150, 8);
         let path = temp_store("delta");
         let telemetry = Telemetry::new();
-        collect_checkpointed(&eco, CollectConfig::default(), &telemetry, &path, false)
-            .expect("collect");
+        collect_checkpointed(
+            &eco,
+            CollectConfig::default(),
+            &telemetry,
+            &path,
+            false,
+            false,
+        )
+        .expect("collect");
         let snap = telemetry.snapshot();
         let hits = snap.counter("store.delta_hits_total").unwrap_or(0);
         let misses = snap.counter("store.delta_misses_total").unwrap_or(0);
@@ -917,8 +1128,8 @@ mod tests {
             shards: 3,
             ..CollectConfig::default()
         };
-        let outcome =
-            collect_checkpointed(&eco, config, &Telemetry::new(), &dir, false).expect("collect");
+        let outcome = collect_checkpointed(&eco, config, &Telemetry::new(), &dir, false, false)
+            .expect("collect");
         assert_eq!(outcome.weeks_crawled, 6);
         assert_datasets_equal(&plain, &outcome.dataset);
         // The store on disk is a directory; loading it through the
@@ -952,8 +1163,8 @@ mod tests {
                     .expect("commit");
             }
         }
-        let outcome =
-            collect_checkpointed(&eco, config, &Telemetry::new(), &dir, true).expect("resume");
+        let outcome = collect_checkpointed(&eco, config, &Telemetry::new(), &dir, true, false)
+            .expect("resume");
         assert_eq!(outcome.weeks_recovered, 4);
         assert_eq!(outcome.weeks_crawled, 2);
         let plain = testkit::collect(&eco, CollectConfig::default());
@@ -969,12 +1180,12 @@ mod tests {
             shards: 3,
             ..CollectConfig::default()
         };
-        collect_checkpointed(&eco, three, &Telemetry::new(), &dir, false).expect("collect");
+        collect_checkpointed(&eco, three, &Telemetry::new(), &dir, false, false).expect("collect");
         let two = CollectConfig {
             shards: 2,
             ..CollectConfig::default()
         };
-        let err = collect_checkpointed(&eco, two, &Telemetry::new(), &dir, true)
+        let err = collect_checkpointed(&eco, two, &Telemetry::new(), &dir, true, false)
             .expect_err("shard-count change must be rejected");
         assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
         assert!(err.to_string().contains("3 shards"), "{err}");
@@ -988,12 +1199,177 @@ mod tests {
             &Telemetry::new(),
             &path,
             false,
+            false,
         )
         .expect("collect single");
-        let err = collect_checkpointed(&eco, two, &Telemetry::new(), &path, true)
+        let err = collect_checkpointed(&eco, two, &Telemetry::new(), &path, true, false)
             .expect_err("layout change must be rejected");
         assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
         assert!(err.to_string().contains("single file"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_without_a_checkpoint_store_is_rejected() {
+        let eco = small_eco(1, 10, 2);
+        let err = crate::dataset::Collector::new()
+            .streaming(true)
+            .run(&eco)
+            .expect_err("no store to stream through");
+        assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn filter_window_matches_the_batch_filter_rule() {
+        // The streaming filter state (candidate set + trailing window)
+        // must reproduce `inaccessible_domains` exactly, including the
+        // sorted order of the verdict.
+        let eco = small_eco(64, 120, 8);
+        let config = CollectConfig {
+            faults: FaultPlan::hostile(64),
+            ..CollectConfig::default()
+        };
+        let telemetry = Telemetry::new();
+        let mut collector = WeekCollector::new(&eco, config, &telemetry);
+        let mut window = FilterWindow::new();
+        let mut weekly = Vec::new();
+        let timeline = *eco.timeline();
+        for (week, date) in timeline.iter() {
+            let snap = collector.collect_week(week, date, &telemetry);
+            window.absorb(&snap.summaries);
+            weekly.push(snap.summaries.clone());
+        }
+        let batch: Vec<String> = inaccessible_domains(&weekly, webvuln_net::filter::FINAL_WEEKS)
+            .into_iter()
+            .collect();
+        assert_eq!(window.verdict(), batch);
+        // Degenerate input: no weeks absorbed, no verdict.
+        assert!(FilterWindow::new().verdict().is_empty());
+    }
+
+    #[test]
+    fn streaming_collection_commits_identical_bytes_and_returns_a_shell() {
+        let eco = small_eco(77, 100, 6);
+        let config = CollectConfig {
+            faults: FaultPlan::hostile(77),
+            ..CollectConfig::default()
+        };
+        let batch_path = temp_store("stream-collect-batch");
+        let materialized =
+            collect_checkpointed(&eco, config, &Telemetry::new(), &batch_path, false, false)
+                .expect("materialized");
+        let stream_path = temp_store("stream-collect-stream");
+        let streaming =
+            collect_checkpointed(&eco, config, &Telemetry::new(), &stream_path, false, true)
+                .expect("streaming");
+        // Same committed bytes, same filter verdict; the streaming
+        // outcome carries the documented shell (no weeks).
+        assert_eq!(
+            std::fs::read(&batch_path).expect("batch bytes"),
+            std::fs::read(&stream_path).expect("stream bytes"),
+        );
+        assert_eq!(
+            materialized.dataset.filtered_out,
+            streaming.dataset.filtered_out
+        );
+        assert_eq!(materialized.dataset.timeline, streaming.dataset.timeline);
+        assert_eq!(materialized.dataset.ranks, streaming.dataset.ranks);
+        assert!(streaming.dataset.weeks.is_empty());
+        assert_eq!(streaming.weeks_crawled, 6);
+        // Loading the streaming store back materializes the batch run.
+        let restored = Dataset::load_store(&stream_path).expect("load");
+        assert_datasets_equal(&materialized.dataset, &restored);
+        let _ = std::fs::remove_file(&batch_path);
+        let _ = std::fs::remove_file(&stream_path);
+    }
+
+    #[test]
+    fn sharded_streaming_collection_matches_materialized_bytes() {
+        let eco = small_eco(78, 90, 5);
+        let config = CollectConfig {
+            shards: 3,
+            ..CollectConfig::default()
+        };
+        let batch_dir = temp_store_dir("stream-shards-batch");
+        let materialized =
+            collect_checkpointed(&eco, config, &Telemetry::new(), &batch_dir, false, false)
+                .expect("materialized");
+        let stream_dir = temp_store_dir("stream-shards-stream");
+        let streaming =
+            collect_checkpointed(&eco, config, &Telemetry::new(), &stream_dir, false, true)
+                .expect("streaming");
+        assert!(streaming.dataset.weeks.is_empty());
+        assert_eq!(
+            materialized.dataset.filtered_out,
+            streaming.dataset.filtered_out
+        );
+        for name in [
+            "MANIFEST",
+            "shard-000.wvstore",
+            "shard-001.wvstore",
+            "shard-002.wvstore",
+        ] {
+            assert_eq!(
+                std::fs::read(batch_dir.join(name)).expect("batch shard"),
+                std::fs::read(stream_dir.join(name)).expect("stream shard"),
+                "{name}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&batch_dir);
+        let _ = std::fs::remove_dir_all(&stream_dir);
+    }
+
+    #[test]
+    fn streaming_resume_continues_from_a_partial_store() {
+        let eco = small_eco(31, 100, 6);
+        let path = temp_store("stream-resume");
+        let telemetry = Telemetry::new();
+        // Simulate a run killed after week 3: commit 4 weeks by hand.
+        {
+            let mut collector = WeekCollector::new(&eco, CollectConfig::default(), &telemetry);
+            let timeline = *eco.timeline();
+            let mut writer =
+                StoreWriter::create(&path, genesis_for(&timeline, &eco.domain_names()))
+                    .expect("create");
+            for (week, date) in timeline.iter().take(4) {
+                let snap = collector.collect_week(week, date, &telemetry);
+                writer
+                    .commit_week(&snapshot_to_week(&snap))
+                    .expect("commit");
+            }
+        }
+        let outcome = collect_checkpointed(
+            &eco,
+            CollectConfig::default(),
+            &telemetry,
+            &path,
+            true,
+            true,
+        )
+        .expect("streaming resume");
+        assert_eq!(outcome.weeks_recovered, 4);
+        assert_eq!(outcome.weeks_crawled, 2);
+        assert!(outcome.dataset.weeks.is_empty());
+        // The healed store and the shell's verdict match an
+        // uninterrupted materialized run.
+        let plain = testkit::collect(&eco, CollectConfig::default());
+        assert_eq!(outcome.dataset.filtered_out, plain.filtered_out);
+        let restored = Dataset::load_store(&path).expect("load");
+        assert_datasets_equal(&plain, &restored);
+        // Streaming-resuming the now-finalized store crawls nothing and
+        // returns the stored verdict.
+        let finalized = collect_checkpointed(
+            &eco,
+            CollectConfig::default(),
+            &Telemetry::new(),
+            &path,
+            true,
+            true,
+        )
+        .expect("resume finalized");
+        assert_eq!(finalized.weeks_crawled, 0);
+        assert!(finalized.dataset.weeks.is_empty());
+        assert_eq!(finalized.dataset.filtered_out, plain.filtered_out);
         let _ = std::fs::remove_file(&path);
     }
 

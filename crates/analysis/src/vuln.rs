@@ -71,6 +71,13 @@ pub struct CveImpact {
 
 /// Builds per-CVE impact series (Figures 5 and 14; Table 2's website
 /// columns).
+///
+/// Kept as the one-shot reference implementation; the accumulator
+/// equivalence tests pin [`crate::accum::CveExposureAccum`] against it.
+#[deprecated(
+    note = "use accum::CveExposureAccum::over(data, db).cve_impacts(db) or \
+                     fold a store with accum::fold_study"
+)]
 pub fn cve_impact(data: &Dataset, db: &VulnDb, id: &str) -> Option<CveImpact> {
     let record = db.record(id)?;
     let mut claimed_sites = Vec::new();
@@ -195,6 +202,7 @@ pub fn refinement_summary(data: &Dataset, db: &VulnDb) -> RefinementSummary {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the deprecated reference implementations
 mod tests {
     use super::*;
     use crate::dataset::testkit;

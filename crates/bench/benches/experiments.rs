@@ -7,13 +7,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::OnceLock;
+use webvuln_analysis::accum::{CollectionAccum, CveExposureAccum, LandscapeAccum};
 use webvuln_analysis::flash::{flash_usage, script_access_audit};
-use webvuln_analysis::landscape::{table1, table5, usage_trends};
-use webvuln_analysis::resources::{collection_series, resource_usage};
+use webvuln_analysis::landscape::table5;
+use webvuln_analysis::resources::resource_usage;
 use webvuln_analysis::sri::{crossorigin_census, github_report, sri_adoption};
 use webvuln_analysis::stats::pct;
 use webvuln_analysis::updates::{update_delays, version_series, wordpress_usage};
-use webvuln_analysis::vuln::{cve_impact, prevalence, refinement_summary, vuln_count_distribution};
+use webvuln_analysis::vuln::{prevalence, refinement_summary, vuln_count_distribution};
 use webvuln_analysis::wordpress::table4;
 use webvuln_bench::bench_dataset;
 use webvuln_cvedb::{Basis, LibraryId, VulnDb};
@@ -38,7 +39,7 @@ fn print_once(key: &'static str, render: impl FnOnce() -> String) {
 fn fig2_collection(c: &mut Criterion) {
     let data = bench_dataset();
     print_once("Figure 2(a) — collected websites/week", || {
-        let s = collection_series(data);
+        let s = CollectionAccum::over(data).collection();
         format!(
             "average {:.0} of {} domains; first {} last {}",
             s.average,
@@ -48,7 +49,7 @@ fn fig2_collection(c: &mut Criterion) {
         )
     });
     c.bench_function("fig2_collection", |b| {
-        b.iter(|| black_box(collection_series(data)))
+        b.iter(|| black_box(CollectionAccum::over(data).collection()))
     });
 }
 
@@ -69,7 +70,8 @@ fn fig2_resources(c: &mut Criterion) {
 fn table1_bench(c: &mut Criterion) {
     let data = bench_dataset();
     print_once("Table 1 — top-15 libraries", || {
-        table1(data, db())
+        LandscapeAccum::over(data)
+            .table1(db())
             .iter()
             .map(|r| {
                 format!(
@@ -87,13 +89,16 @@ fn table1_bench(c: &mut Criterion) {
             .collect::<Vec<_>>()
             .join("\n")
     });
-    c.bench_function("table1", |b| b.iter(|| black_box(table1(data, db()))));
+    c.bench_function("table1", |b| {
+        b.iter(|| black_box(LandscapeAccum::over(data).table1(db())))
+    });
 }
 
 fn fig3_trends(c: &mut Criterion) {
     let data = bench_dataset();
     print_once("Figure 3 — usage trends (first -> last share)", || {
-        usage_trends(data)
+        LandscapeAccum::over(data)
+            .trends()
             .iter()
             .map(|t| {
                 format!(
@@ -106,7 +111,9 @@ fn fig3_trends(c: &mut Criterion) {
             .collect::<Vec<_>>()
             .join("\n")
     });
-    c.bench_function("fig3_trends", |b| b.iter(|| black_box(usage_trends(data))));
+    c.bench_function("fig3_trends", |b| {
+        b.iter(|| black_box(LandscapeAccum::over(data).trends()))
+    });
 }
 
 fn table2_bench(c: &mut Criterion) {
@@ -114,9 +121,9 @@ fn table2_bench(c: &mut Criterion) {
     print_once(
         "Table 2 — per-CVE average affected sites (claimed vs TVV)",
         || {
-            db().records()
+            CveExposureAccum::over(data, db())
+                .cve_impacts(db())
                 .iter()
-                .filter_map(|r| cve_impact(data, db(), &r.id))
                 .map(|i| {
                     format!(
                         "{:<26} claimed {:>8.1}  true {:>8.1}",
@@ -128,11 +135,7 @@ fn table2_bench(c: &mut Criterion) {
         },
     );
     c.bench_function("table2", |b| {
-        b.iter(|| {
-            for r in db().records() {
-                black_box(cve_impact(data, db(), &r.id));
-            }
-        })
+        b.iter(|| black_box(CveExposureAccum::over(data, db()).cve_impacts(db())))
     });
 }
 
@@ -174,14 +177,19 @@ fn fig4_accuracy(c: &mut Criterion) {
 fn fig5_impact_series(c: &mut Criterion) {
     let data = bench_dataset();
     print_once("Figure 5 — CVE-2020-7656 claimed vs true sites", || {
-        let impact = cve_impact(data, db(), "CVE-2020-7656").expect("present");
+        let impacts = CveExposureAccum::over(data, db()).cve_impacts(db());
+        let impact = impacts
+            .iter()
+            .find(|i| i.id == "CVE-2020-7656")
+            .expect("present");
         format!(
             "claimed avg {:.1}; true avg {:.1} (understated: true >> claimed)",
             impact.claimed_average, impact.true_average
         )
     });
     c.bench_function("fig5_impact", |b| {
-        b.iter(|| black_box(cve_impact(data, db(), "CVE-2020-7656")))
+        let accum = CveExposureAccum::over(data, db());
+        b.iter(|| black_box(accum.cve_impacts(db())))
     });
 }
 

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::{Arc, OnceLock};
 use webvuln_analysis::dataset::{CollectConfig, Collector, Dataset};
-use webvuln_store::StoreReader;
+use webvuln_store::AnyReader;
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
 
 /// A mid-sized longitudinal dataset: big enough that delta encoding has
@@ -68,7 +68,7 @@ fn store_decode(c: &mut Criterion) {
 fn store_delta_ratio(c: &mut Criterion) {
     let data = store_dataset();
     let path = saved_store();
-    let reader = StoreReader::open(path).expect("open bench store");
+    let reader = AnyReader::open(path).expect("open bench store");
     let (hits, total) = reader.delta_stats().expect("delta stats");
     let store_bytes = std::fs::metadata(path).expect("store size").len();
     let json_bytes = data.to_json().len() as u64;

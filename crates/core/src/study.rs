@@ -3,32 +3,23 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use webvuln_analysis::accum::{fold_study, StudyAccum, StudyArtifacts};
 use webvuln_analysis::dataset::{CollectConfig, Collector, Dataset};
-use webvuln_analysis::flash::{
-    flash_by_tld, flash_usage, script_access_audit, FlashByTld, FlashUsage, ScriptAccessAudit,
-};
-use webvuln_analysis::landscape::{
-    table1, table5, usage_trends, CdnBreakdown, LibraryRow, UsageTrend,
-};
-use webvuln_analysis::resources::{
-    collection_series, resource_usage, CollectionSeries, ResourceUsage,
-};
-use webvuln_analysis::sri::{
-    crossorigin_census, github_report, sri_adoption, CrossoriginCensus, GithubReport, SriAdoption,
-};
+use webvuln_analysis::flash::{FlashByTld, FlashUsage, ScriptAccessAudit};
+use webvuln_analysis::landscape::{CdnBreakdown, LibraryRow, UsageTrend};
+use webvuln_analysis::resources::{CollectionSeries, ResourceUsage};
+use webvuln_analysis::sri::{CrossoriginCensus, GithubReport, SriAdoption};
 use webvuln_analysis::store_io::StoreError;
-use webvuln_analysis::updates::{
-    regressions, update_delays, wordpress_usage, RegressionEvent, UpdateDelayReport, WordPressUsage,
-};
+use webvuln_analysis::updates::{RegressionEvent, UpdateDelayReport, WordPressUsage};
 use webvuln_analysis::vuln::{
-    cve_impact, prevalence, refinement_summary, vuln_count_distribution, CveImpact,
-    PrevalenceSeries, RefinementSummary, VulnCountDistribution,
+    CveImpact, PrevalenceSeries, RefinementSummary, VulnCountDistribution,
 };
-use webvuln_analysis::wordpress::{table4, WordPressCveRow};
-use webvuln_cvedb::{Basis, VulnDb};
+use webvuln_analysis::wordpress::WordPressCveRow;
+use webvuln_cvedb::VulnDb;
 use webvuln_exec::SuperviseConfig;
 use webvuln_net::{BreakerConfig, FaultPlan, RetryPolicy};
 use webvuln_poclab::{Lab, ValidationReport};
+use webvuln_store::AnyReader;
 use webvuln_telemetry::{Snapshot, Telemetry};
 use webvuln_trace::{TraceData, TraceMode, Tracer};
 use webvuln_webgen::{Ecosystem, EcosystemConfig, Timeline};
@@ -215,6 +206,7 @@ pub struct Pipeline<'a> {
     telemetry: Option<&'a Telemetry>,
     store: Option<PathBuf>,
     resume: bool,
+    streaming: bool,
     trace: TraceMode,
 }
 
@@ -242,6 +234,7 @@ impl<'a> Pipeline<'a> {
             telemetry: None,
             store: None,
             resume: false,
+            streaming: false,
             trace: TraceMode::Disabled,
         }
     }
@@ -354,6 +347,21 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Paper-scale memory mode: each crawled week is committed to the
+    /// [`checkpoint`](Pipeline::checkpoint) store and dropped, and the
+    /// analyses then stream the finalized store back through the
+    /// mergeable accumulators on `threads` workers. Peak memory is one
+    /// in-flight week plus the accumulator state instead of the whole
+    /// timeline; the rendered report is byte-identical to a
+    /// materialized run's, whatever the thread or shard count. The
+    /// attached [`StudyResults::dataset`] is a thin shell (timeline,
+    /// ranks, filter verdict — no weeks). Requires a checkpoint store;
+    /// [`run`](Pipeline::run) rejects the combination otherwise.
+    pub fn streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
     /// Causal tracing for this run (default: [`TraceMode::Disabled`]).
     /// [`TraceMode::Ring`] keeps only the flight recorder (bounded
     /// memory, panic/quarantine context); [`TraceMode::Full`] also
@@ -430,8 +438,19 @@ impl<'a> Pipeline<'a> {
             supervise: config.supervise,
         })
         .telemetry(telemetry);
+        if self.streaming && self.store.is_none() {
+            return Err(StoreError::Mismatch(
+                "streaming pipeline needs a checkpoint store: each week is \
+                 committed and dropped, then the analyses stream the store \
+                 back — without one there is nowhere to stream from"
+                    .to_string(),
+            ));
+        }
         if let Some(path) = &self.store {
-            collector = collector.checkpoint(path).resume(self.resume);
+            collector = collector
+                .checkpoint(path)
+                .resume(self.resume)
+                .streaming(self.streaming);
         }
         let outcome = match collector.run(&ecosystem) {
             Ok(outcome) => outcome,
@@ -446,7 +465,15 @@ impl<'a> Pipeline<'a> {
                 return Err(err);
             }
         };
-        let mut results = analyze_with(config, outcome.dataset, telemetry);
+        let mut results = if self.streaming {
+            // The store is the buffer: collection just dropped every
+            // committed week, so stream them back through the mergeable
+            // accumulators instead of analyzing an in-memory dataset.
+            let store = self.store.as_ref().expect("checked above");
+            analyze_store(config, store, telemetry)?
+        } else {
+            analyze_with(config, outcome.dataset, telemetry)
+        };
         if let Some(tracer) = &tracer {
             results.trace = Some(tracer.finish());
         }
@@ -498,32 +525,29 @@ pub fn analyze(config: StudyConfig, dataset: Dataset) -> StudyResults {
 /// through `telemetry`. The snapshot attached to the results is taken
 /// from `telemetry` after both phases complete.
 pub fn analyze_with(config: StudyConfig, dataset: Dataset, telemetry: &Telemetry) -> StudyResults {
-    let (db, lab, cve_impacts) = {
+    let (db, lab, accum) = {
         let _span = telemetry.span("join");
         let _trace = webvuln_trace::phase_scope("join");
         let _ = webvuln_failpoint::hit("phase.join", "");
         let db = VulnDb::builtin();
         let lab = Lab::new();
-        let cve_impacts: Vec<CveImpact> = db
-            .records()
-            .iter()
-            .filter_map(|r| cve_impact(&dataset, &db, &r.id))
-            .collect();
+        let accum = StudyAccum::over(&dataset, &db);
         webvuln_trace::emit(
             "join.done",
             "",
-            &format!("cve_impacts={}", cve_impacts.len()),
-            cve_impacts.len() as u64 * 1_000,
+            &format!("cve_impacts={}", db.records().len()),
+            db.records().len() as u64 * 1_000,
             webvuln_trace::Sink::Export,
         );
-        (db, lab, cve_impacts)
+        (db, lab, accum)
     };
     let mut results = {
         let _span = telemetry.span("analyze");
         let _trace = webvuln_trace::phase_scope("analyze");
         let _ = webvuln_failpoint::hit("phase.analyze", "");
         let weeks = dataset.week_count();
-        let results = build_results(config, dataset, db, &lab, cve_impacts);
+        let artifacts = accum.finish(&db);
+        let results = build_results(config, dataset, db, &lab, artifacts);
         webvuln_trace::emit(
             "analyze.done",
             "",
@@ -537,36 +561,89 @@ pub fn analyze_with(config: StudyConfig, dataset: Dataset, telemetry: &Telemetry
     results
 }
 
+/// Streams an existing snapshot store (either layout) through the
+/// mergeable accumulators and renders the full artifact set, without ever
+/// materializing a [`Dataset`]. Peak memory is one decoded week per
+/// thread plus the accumulator state. The attached `dataset` is a thin
+/// shell (timeline, ranks, and filter verdict only, no weeks) — every
+/// artifact in the results is already computed.
+pub fn analyze_store(
+    config: StudyConfig,
+    store: &std::path::Path,
+    telemetry: &Telemetry,
+) -> Result<StudyResults, StoreError> {
+    let reader = if store.is_dir() {
+        AnyReader::open_degraded(store)?
+    } else {
+        AnyReader::open(store)?
+    };
+    let (db, lab, accum) = {
+        let _span = telemetry.span("join");
+        let _trace = webvuln_trace::phase_scope("join");
+        let _ = webvuln_failpoint::hit("phase.join", "");
+        let db = VulnDb::builtin();
+        let lab = Lab::new();
+        let accum = fold_study(&reader, &db, config.concurrency)?;
+        webvuln_trace::emit(
+            "join.done",
+            "",
+            &format!("cve_impacts={}", db.records().len()),
+            db.records().len() as u64 * 1_000,
+            webvuln_trace::Sink::Export,
+        );
+        (db, lab, accum)
+    };
+    let mut results = {
+        let _span = telemetry.span("analyze");
+        let _trace = webvuln_trace::phase_scope("analyze");
+        let _ = webvuln_failpoint::hit("phase.analyze", "");
+        let weeks = reader.weeks_committed();
+        let artifacts = accum.finish(&db);
+        let dataset = Dataset::shell_from_reader(&reader)?;
+        let results = build_results(config, dataset, db, &lab, artifacts);
+        webvuln_trace::emit(
+            "analyze.done",
+            "",
+            &format!("weeks={weeks}"),
+            weeks as u64 * 1_000,
+            webvuln_trace::Sink::Export,
+        );
+        results
+    };
+    results.telemetry = telemetry.snapshot();
+    Ok(results)
+}
+
 fn build_results(
     config: StudyConfig,
     dataset: Dataset,
     db: VulnDb,
     lab: &Lab,
-    cve_impacts: Vec<CveImpact>,
+    artifacts: StudyArtifacts,
 ) -> StudyResults {
     StudyResults {
-        collection: collection_series(&dataset),
-        resources: resource_usage(&dataset),
-        table1: table1(&dataset, &db),
-        trends: usage_trends(&dataset),
-        table5: table5(&dataset, 3),
-        prevalence_claimed: prevalence(&dataset, &db, Basis::CveClaimed),
-        prevalence_tvv: prevalence(&dataset, &db, Basis::TrueVulnerable),
-        refinement: refinement_summary(&dataset, &db),
-        cve_impacts,
-        fig12_claimed: vuln_count_distribution(&dataset, &db, Basis::CveClaimed),
-        fig12_tvv: vuln_count_distribution(&dataset, &db, Basis::TrueVulnerable),
-        delays_claimed: update_delays(&dataset, &db, Basis::CveClaimed),
-        delays_tvv: update_delays(&dataset, &db, Basis::TrueVulnerable),
-        wordpress: wordpress_usage(&dataset),
-        table4: table4(&dataset, &db),
-        flash: flash_usage(&dataset),
-        script_access: script_access_audit(&dataset),
-        flash_by_tld: flash_by_tld(&dataset),
-        regressions: regressions(&dataset, &db),
-        sri: sri_adoption(&dataset),
-        crossorigin: crossorigin_census(&dataset),
-        github: github_report(&dataset),
+        collection: artifacts.collection,
+        resources: artifacts.resources,
+        table1: artifacts.table1,
+        trends: artifacts.trends,
+        table5: artifacts.table5,
+        prevalence_claimed: artifacts.prevalence_claimed,
+        prevalence_tvv: artifacts.prevalence_tvv,
+        refinement: artifacts.refinement,
+        cve_impacts: artifacts.cve_impacts,
+        fig12_claimed: artifacts.fig12_claimed,
+        fig12_tvv: artifacts.fig12_tvv,
+        delays_claimed: artifacts.delays_claimed,
+        delays_tvv: artifacts.delays_tvv,
+        wordpress: artifacts.wordpress,
+        table4: artifacts.table4,
+        flash: artifacts.flash,
+        script_access: artifacts.script_access,
+        flash_by_tld: artifacts.flash_by_tld,
+        regressions: artifacts.regressions,
+        sri: artifacts.sri,
+        crossorigin: artifacts.crossorigin,
+        github: artifacts.github,
         validations: lab.validate_all(),
         telemetry: Snapshot::default(),
         trace: None,

@@ -67,8 +67,8 @@ pub use filter::{
 };
 pub use http::{Headers, Method, Request, Response, Status};
 pub use server::{
-    roundtrip, serve_connection, serve_connection_until, Connect, Handler, TcpConnector,
-    TcpServer, VirtualNet,
+    roundtrip, serve_connection, serve_connection_until, Connect, Handler, TcpConnector, TcpServer,
+    VirtualNet,
 };
 pub use transport::{mem_pipe, ByteStream, MemStream};
 pub use webvuln_exec::{ExecStats, Executor, FailureKind, SuperviseConfig, TaskFailure};

@@ -682,11 +682,9 @@ mod tests {
 
     #[test]
     fn shutdown_drains_keep_alive_connections_gracefully() {
-        let mut server = TcpServer::start_with_idle_timeout(
-            echo_handler(),
-            Duration::from_millis(200),
-        )
-        .expect("bind");
+        let mut server =
+            TcpServer::start_with_idle_timeout(echo_handler(), Duration::from_millis(200))
+                .expect("bind");
         let mut stream = TcpStream::connect(server.addr()).expect("connect");
         stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
         // First exchange completes normally on a keep-alive connection.

@@ -94,8 +94,7 @@ fn run(service: &Arc<QueryService>, threads: usize, delayed: bool) -> Run {
         idle_timeout: Duration::from_secs(10),
         ..ServeConfig::default()
     };
-    let mut server =
-        ApiServer::serve(Arc::clone(service), config, &registry).expect("bind");
+    let mut server = ApiServer::serve(Arc::clone(service), config, &registry).expect("bind");
     let addr = server.addr();
     let targets = Arc::new(targets());
 

@@ -117,7 +117,10 @@ mod tests {
             route(&get("/library/jquery/prevalence")),
             Ok(Route::LibraryPrevalence("jquery".into()))
         );
-        assert_eq!(route(&get("/week/12/landscape")), Ok(Route::WeekLandscape(12)));
+        assert_eq!(
+            route(&get("/week/12/landscape")),
+            Ok(Route::WeekLandscape(12))
+        );
         assert_eq!(
             route(&get("/cve/CVE-2020-11022/exposure")),
             Ok(Route::CveExposure("CVE-2020-11022".into()))
@@ -127,7 +130,10 @@ mod tests {
     #[test]
     fn query_strings_and_trailing_slashes_are_tolerated() {
         assert_eq!(route(&get("/healthz?verbose=1")), Ok(Route::Healthz));
-        assert_eq!(route(&get("/week/3/landscape/")), Ok(Route::WeekLandscape(3)));
+        assert_eq!(
+            route(&get("/week/3/landscape/")),
+            Ok(Route::WeekLandscape(3))
+        );
     }
 
     #[test]

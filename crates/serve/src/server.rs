@@ -147,7 +147,11 @@ pub struct ApiHandler {
 
 impl ApiHandler {
     /// Builds a handler over `service` with a fresh cache.
-    pub fn new(service: Arc<QueryService>, config: &ServeConfig, registry: &Registry) -> ApiHandler {
+    pub fn new(
+        service: Arc<QueryService>,
+        config: &ServeConfig,
+        registry: &Registry,
+    ) -> ApiHandler {
         ApiHandler {
             service,
             cache: ShardedLru::new(config.cache_capacity, 8, config.seed),
@@ -262,10 +266,7 @@ impl ConnQueue {
             if state.closed {
                 return None;
             }
-            state = self
-                .ready
-                .wait(state)
-                .unwrap_or_else(|p| p.into_inner());
+            state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -289,12 +290,8 @@ pub struct ApiServer {
 
 impl ApiServer {
     /// Binds `127.0.0.1:{config.port}` and starts serving `handler`.
-    pub fn start(
-        handler: Arc<ApiHandler>,
-        config: ServeConfig,
-    ) -> Result<ApiServer, NetError> {
-        let listener =
-            TcpListener::bind(("127.0.0.1", config.port)).map_err(NetError::Io)?;
+    pub fn start(handler: Arc<ApiHandler>, config: ServeConfig) -> Result<ApiServer, NetError> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port)).map_err(NetError::Io)?;
         let addr = listener.local_addr().map_err(NetError::Io)?;
         listener.set_nonblocking(true).map_err(NetError::Io)?;
 
@@ -367,9 +364,7 @@ impl ApiServer {
                             serve_api_connection(conn, handler.as_ref(), &flag)
                         }));
                         active.fetch_sub(1, Ordering::Relaxed);
-                        metrics
-                            .inflight
-                            .set(active.load(Ordering::Relaxed) as i64);
+                        metrics.inflight.set(active.load(Ordering::Relaxed) as i64);
                     }
                 });
             })
@@ -419,8 +414,7 @@ impl Drop for ApiServer {
 
 /// Answers `503` on a connection the admission limit refused.
 fn reject_over_capacity(mut conn: TcpStream) {
-    let response =
-        ApiError::Unavailable("connection limit reached".to_string()).to_response();
+    let response = ApiError::Unavailable("connection limit reached".to_string()).to_response();
     let mut wire = Vec::new();
     encode_response(&response, false, &mut wire);
     let _ = conn.write_all(&wire);
@@ -429,11 +423,7 @@ fn reject_over_capacity(mut conn: TcpStream) {
 
 /// Serves one connection with keep-alive until close/EOF/error/drain.
 /// Returns the number of requests answered.
-fn serve_api_connection(
-    conn: TcpStream,
-    handler: &ApiHandler,
-    draining: &AtomicBool,
-) -> usize {
+fn serve_api_connection(conn: TcpStream, handler: &ApiHandler, draining: &AtomicBool) -> usize {
     let metrics = handler.metrics();
     let Ok(read_half) = conn.try_clone() else {
         return 0;
@@ -485,7 +475,11 @@ fn serve_api_connection(
                 return served;
             }
         }
-        if writer.write_all(&wire).and_then(|_| writer.flush()).is_err() {
+        if writer
+            .write_all(&wire)
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
             return served;
         }
         served += 1;

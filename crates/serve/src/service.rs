@@ -8,17 +8,19 @@
 //!   index directly — no full decode, exactly the random-access path
 //!   `webvuln store` exposes offline.
 //! * The table endpoints (`/library`, `/week`, `/cve`) answer from the
-//!   same `webvuln-analysis` computations the batch reports use
-//!   ([`table1`], [`usage_trends`], [`cve_impact`]), precomputed once at
-//!   open, so a served body is *definitionally* consistent with the
-//!   batch tables for the same store.
+//!   same mergeable accumulators the batch reports use
+//!   ([`webvuln_analysis::accum`]), folded once over the store at open
+//!   — never materializing a [`webvuln_analysis::Dataset`] — so a
+//!   served body is *definitionally* consistent with the batch tables
+//!   for the same store, and startup memory stays flat in the number
+//!   of weeks.
 
 use crate::json::{Arr, Obj};
 use crate::router::{ApiError, Route};
 use std::path::Path;
-use webvuln_analysis::landscape::{table1, usage_trends, LibraryRow, UsageTrend};
-use webvuln_analysis::vuln::{cve_impact, CveImpact};
-use webvuln_analysis::Dataset;
+use webvuln_analysis::accum::{fold_study, LandscapeAccum};
+use webvuln_analysis::landscape::{LibraryRow, UsageTrend};
+use webvuln_analysis::vuln::CveImpact;
 use webvuln_cvedb::{Basis, LibraryId, VulnDb};
 use webvuln_store::{AnyReader, ShardHealth, StoreError};
 use webvuln_version::Version;
@@ -27,14 +29,17 @@ use webvuln_version::Version;
 /// sharded, healthy or degraded.
 pub struct QueryService {
     reader: AnyReader,
-    dataset: Dataset,
     db: VulnDb,
     rows: Vec<LibraryRow>,
     trends: Vec<UsageTrend>,
+    landscape: LandscapeAccum,
+    impacts: Vec<CveImpact>,
 }
 
 impl QueryService {
-    /// Opens `path` and precomputes the hot analysis tables.
+    /// Opens `path` and folds the store through the study accumulators,
+    /// precomputing the hot analysis tables without materializing a
+    /// dataset.
     ///
     /// A sharded store opens in degraded mode when shards are missing or
     /// quarantined: the healthy shards keep serving, the analysis tables
@@ -43,16 +48,19 @@ impl QueryService {
     /// shard detail rather than failing the whole server at startup.
     pub fn open(path: &Path) -> Result<QueryService, StoreError> {
         let reader = AnyReader::open_degraded(path)?;
-        let dataset = webvuln_analysis::store_io::dataset_from_reader(&reader)?;
         let db = VulnDb::builtin();
-        let rows = table1(&dataset, &db);
-        let trends = usage_trends(&dataset);
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let accum = fold_study(&reader, &db, threads)?;
+        let rows = accum.landscape.table1(&db);
+        let trends = accum.landscape.trends();
+        let impacts = accum.exposure.cve_impacts(&db);
         Ok(QueryService {
             reader,
-            dataset,
             db,
             rows,
             trends,
+            landscape: accum.landscape,
+            impacts,
         })
     }
 
@@ -61,9 +69,9 @@ impl QueryService {
         &self.reader
     }
 
-    /// The dataset the table endpoints answer from.
-    pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+    /// The precomputed Table 1 rows the table endpoints answer from.
+    pub fn table1_rows(&self) -> &[LibraryRow] {
+        &self.rows
     }
 
     /// Evaluates a route to a JSON body. `requests_total` feeds the
@@ -154,9 +162,7 @@ impl QueryService {
                     .i64("date_days", date_days)
                     .raw(
                         "status",
-                        &record
-                            .status
-                            .map_or("null".to_string(), |s| s.to_string()),
+                        &record.status.map_or("null".to_string(), |s| s.to_string()),
                     )
                     .u64("body_len", record.body_len)
                     .bool("page", record.page.is_some())
@@ -238,20 +244,16 @@ impl QueryService {
     /// `GET /week/{w}/landscape`: per-library users and share for one
     /// week, consistent with the Figure 3 series at that index.
     pub fn week_landscape(&self, week: usize) -> Result<String, ApiError> {
-        let snapshot = self.dataset.weeks.get(week).ok_or_else(|| {
+        let snapshot = self.landscape.week(week).ok_or_else(|| {
             ApiError::NotFound(format!(
                 "week {week} out of range (store holds {})",
-                self.dataset.weeks.len()
+                self.landscape.week_count()
             ))
         })?;
-        let total = snapshot.collected().max(1);
+        let total = snapshot.collected.max(1);
         let mut libraries = Arr::new();
-        for &library in LibraryId::ALL.iter() {
-            let users = snapshot
-                .pages
-                .values()
-                .filter(|p| p.has_library(library))
-                .count();
+        for (index, &library) in LibraryId::ALL.iter().enumerate() {
+            let users = snapshot.users[index];
             libraries.push_raw(
                 &Obj::new()
                     .str("library", library.slug())
@@ -263,9 +265,12 @@ impl QueryService {
         Ok(Obj::new()
             .u64("week", week as u64)
             .i64("date_days", snapshot.date.day_number() as i64)
-            .u64("collected", snapshot.collected() as u64)
-            .u64("fresh", snapshot.fresh_collected() as u64)
-            .u64("carried_forward", snapshot.carried_forward.len() as u64)
+            .u64("collected", snapshot.collected as u64)
+            .u64(
+                "fresh",
+                (snapshot.collected - snapshot.carried_forward) as u64,
+            )
+            .u64("carried_forward", snapshot.carried_forward as u64)
             .raw("libraries", &libraries.finish())
             .finish())
     }
@@ -273,7 +278,10 @@ impl QueryService {
     /// `GET /cve/{id}/exposure`: the report's Table 2 / Figure 5 series
     /// plus its exposure window under True Vulnerable Versions.
     pub fn cve_exposure(&self, id: &str) -> Result<String, ApiError> {
-        let impact: CveImpact = cve_impact(&self.dataset, &self.db, id)
+        let impact: &CveImpact = self
+            .impacts
+            .iter()
+            .find(|impact| impact.id == id)
             .ok_or_else(|| ApiError::NotFound(format!("unknown report '{id}'")))?;
         let library = self
             .db

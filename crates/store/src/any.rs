@@ -122,6 +122,12 @@ impl AnyReader {
         (0..self.weeks_committed()).map(move |week| self.week(week))
     }
 
+    /// Streams every committed week, one decoded [`WeekData`] at a time
+    /// — the entry point for the streaming analysis pass.
+    pub fn stream(&self) -> crate::stream::WeekStream<'_> {
+        crate::stream::WeekStream::over(self)
+    }
+
     /// O(1) random access to one `(domain, week)` record.
     pub fn get(&self, domain: &str, week: usize) -> Result<DomainRecord, StoreError> {
         match self {

@@ -348,10 +348,49 @@ pub fn decode_genesis(
     })
 }
 
+/// 128-bit FNV-1a over a record body. Deterministic across processes
+/// (unlike `DefaultHasher`), and wide enough that a collision between
+/// *different* bodies of equal length is not a practical concern; the
+/// delta encoder treats equal `(len, hash)` as equal bytes.
+pub fn body_hash(body: &[u8]) -> u128 {
+    const BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+    let mut hash = BASIS;
+    for &byte in body {
+        hash ^= u128::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Per-host delta state carried from the previous committed week: where
+/// the canonical (full) body lives and a fingerprint of its bytes. The
+/// bytes themselves are *not* retained — at paper scale the previous
+/// week's bodies are the single largest resident allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrevBody {
+    /// Absolute file offset of the canonical body.
+    pub offset: u64,
+    /// Exact encoded length of the body.
+    pub len: usize,
+    /// [`body_hash`] of the body bytes.
+    pub hash: u128,
+}
+
+impl PrevBody {
+    /// Fingerprints `body` as it sits at `offset`.
+    pub fn of(offset: u64, body: &[u8]) -> PrevBody {
+        PrevBody {
+            offset,
+            len: body.len(),
+            hash: body_hash(body),
+        }
+    }
+}
+
 /// Per-host state the delta encoder carries from the previous committed
-/// week: the absolute file offset of the canonical (full) body, and its
-/// exact bytes.
-pub type PrevWeek = HashMap<u32, (u64, Vec<u8>)>;
+/// week.
+pub type PrevWeek = HashMap<u32, PrevBody>;
 
 /// Everything [`encode_week`] produces.
 pub struct EncodedWeek {
@@ -367,6 +406,157 @@ pub struct EncodedWeek {
     pub encoded_bytes: u64,
 }
 
+/// One record as staged by [`WeekEncoder::append`].
+struct EncEntry {
+    host_sym: u32,
+    /// Canonical body offset when delta-hit against the previous week.
+    backref: Option<u64>,
+    /// Offset of the full body *within the staged region* (count varint
+    /// excluded); meaningless for back-references.
+    rel: u64,
+    /// Encoded body length.
+    len: usize,
+    /// [`body_hash`] of the body.
+    hash: u128,
+}
+
+/// Incremental week encoder: records arrive in host-sorted batches via
+/// [`WeekEncoder::append`] and are encoded (and delta-compressed) as they
+/// arrive, so a streaming collector never holds a whole week's
+/// [`WeekData`] — only the growing encoded region.
+///
+/// `begin → append* → finish` produces bytes identical to a one-shot
+/// [`encode_week`] over the concatenated batches.
+pub struct WeekEncoder {
+    week: usize,
+    date_days: i64,
+    /// The records region *without* its leading count varint (the count
+    /// is unknown until `finish`).
+    body: Vec<u8>,
+    entries: Vec<EncEntry>,
+    delta_hits: usize,
+    raw_bytes: u64,
+}
+
+impl WeekEncoder {
+    /// Starts a week segment. Marks the interner so the string block
+    /// captures exactly the strings this segment introduces.
+    pub fn begin(week: usize, date_days: i64, table: &mut Interner) -> WeekEncoder {
+        table.set_mark();
+        WeekEncoder {
+            week,
+            date_days,
+            body: Vec::new(),
+            entries: Vec::new(),
+            delta_hits: 0,
+            raw_bytes: 0,
+        }
+    }
+
+    /// The week index this encoder is staging.
+    pub fn week(&self) -> usize {
+        self.week
+    }
+
+    /// The snapshot date, days since the Unix epoch.
+    pub fn date_days(&self) -> i64 {
+        self.date_days
+    }
+
+    /// Records staged so far.
+    pub fn records_staged(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Encodes a batch of records onto the staged region. Batches must
+    /// arrive in host-sorted order across the whole week.
+    pub fn append(&mut self, records: &[DomainRecord], table: &mut Interner, prev: &PrevWeek) {
+        for record in records {
+            let host_sym = table.intern(&record.host);
+            let mut encoded = Vec::new();
+            encode_body(record, table, &mut encoded);
+            self.raw_bytes += encoded.len() as u64;
+            let hash = body_hash(&encoded);
+            let backref = match prev.get(&host_sym) {
+                Some(p) if p.len == encoded.len() && p.hash == hash => Some(p.offset),
+                _ => None,
+            };
+            write_u64(&mut self.body, u64::from(host_sym));
+            let mut rel = 0u64;
+            match backref {
+                Some(target) => {
+                    self.delta_hits += 1;
+                    self.body.push(1);
+                    write_u64(&mut self.body, target);
+                }
+                None => {
+                    self.body.push(0);
+                    rel = self.body.len() as u64;
+                    self.body.extend_from_slice(&encoded);
+                }
+            }
+            self.entries.push(EncEntry {
+                host_sym,
+                backref,
+                rel,
+                len: encoded.len(),
+                hash,
+            });
+        }
+    }
+
+    /// Seals the segment: prepends the record count, resolves absolute
+    /// body offsets against `seg_offset`, and assembles the payload.
+    pub fn finish(self, table: &Interner, seg_offset: u64) -> EncodedWeek {
+        let mut records = Vec::with_capacity(self.body.len() + 9);
+        write_u64(&mut records, self.entries.len() as u64);
+        let count_len = records.len() as u64;
+        records.extend_from_slice(&self.body);
+
+        let mut prefix = Vec::new();
+        encode_string_block(table, &mut prefix);
+        write_u64(&mut prefix, self.week as u64);
+        write_i64(&mut prefix, self.date_days);
+        write_u64(&mut prefix, records.len() as u64);
+        let records_abs = seg_offset + 5 + prefix.len() as u64;
+
+        let mut index = Vec::with_capacity(self.entries.len());
+        let mut next_prev = PrevWeek::with_capacity(self.entries.len());
+        for entry in &self.entries {
+            let body_abs = match entry.backref {
+                Some(target) => target,
+                None => records_abs + count_len + entry.rel,
+            };
+            index.push((entry.host_sym, body_abs));
+            next_prev.insert(
+                entry.host_sym,
+                PrevBody {
+                    offset: body_abs,
+                    len: entry.len,
+                    hash: entry.hash,
+                },
+            );
+        }
+
+        let mut payload = prefix;
+        let encoded_bytes = records.len() as u64;
+        payload.extend_from_slice(&records);
+        write_u64(&mut payload, index.len() as u64);
+        for (host_sym, body_abs) in &index {
+            write_u64(&mut payload, u64::from(*host_sym));
+            write_u64(&mut payload, *body_abs);
+        }
+
+        EncodedWeek {
+            payload,
+            next_prev,
+            delta_hits: self.delta_hits,
+            raw_bytes: self.raw_bytes,
+            encoded_bytes,
+        }
+    }
+}
+
 /// Encodes a week segment at file offset `seg_offset`, delta-compressing
 /// against `prev` (the previous committed week's body map).
 ///
@@ -378,92 +568,9 @@ pub fn encode_week(
     prev: &PrevWeek,
     seg_offset: u64,
 ) -> EncodedWeek {
-    table.set_mark();
-
-    // Pass 1: encode every body, deciding full vs. back-reference.
-    struct Planned {
-        host_sym: u32,
-        body: Vec<u8>,
-        backref: Option<u64>,
-    }
-    let mut planned = Vec::with_capacity(week.records.len());
-    let mut raw_bytes = 0u64;
-    for record in &week.records {
-        let host_sym = table.intern(&record.host);
-        let mut body = Vec::new();
-        encode_body(record, table, &mut body);
-        raw_bytes += body.len() as u64;
-        let backref = match prev.get(&host_sym) {
-            Some((offset, prev_body)) if *prev_body == body => Some(*offset),
-            _ => None,
-        };
-        planned.push(Planned {
-            host_sym,
-            body,
-            backref,
-        });
-    }
-
-    // Pass 2: lay out the records region, remembering where each full
-    // body lands relative to the region start.
-    let mut records = Vec::new();
-    write_u64(&mut records, planned.len() as u64);
-    let mut rel_offsets = Vec::with_capacity(planned.len());
-    let mut delta_hits = 0usize;
-    for plan in &planned {
-        write_u64(&mut records, u64::from(plan.host_sym));
-        match plan.backref {
-            Some(target) => {
-                delta_hits += 1;
-                records.push(1);
-                write_u64(&mut records, target);
-                rel_offsets.push(None);
-            }
-            None => {
-                records.push(0);
-                rel_offsets.push(Some(records.len() as u64));
-                records.extend_from_slice(&plan.body);
-            }
-        }
-    }
-
-    // The payload prefix is now fully determined, so absolute body
-    // offsets can be computed.
-    let mut prefix = Vec::new();
-    encode_string_block(table, &mut prefix);
-    write_u64(&mut prefix, week.week as u64);
-    write_i64(&mut prefix, week.date_days);
-    write_u64(&mut prefix, records.len() as u64);
-    let records_abs = seg_offset + 5 + prefix.len() as u64;
-
-    let mut index = Vec::with_capacity(planned.len());
-    let mut next_prev = PrevWeek::with_capacity(planned.len());
-    for (plan, rel) in planned.into_iter().zip(rel_offsets) {
-        let body_abs = match (plan.backref, rel) {
-            (Some(target), _) => target,
-            (None, Some(rel)) => records_abs + rel,
-            (None, None) => unreachable!("full records always have an offset"),
-        };
-        index.push((plan.host_sym, body_abs));
-        next_prev.insert(plan.host_sym, (body_abs, plan.body));
-    }
-
-    let mut payload = prefix;
-    let encoded_bytes = records.len() as u64;
-    payload.extend_from_slice(&records);
-    write_u64(&mut payload, index.len() as u64);
-    for (host_sym, body_abs) in &index {
-        write_u64(&mut payload, u64::from(*host_sym));
-        write_u64(&mut payload, *body_abs);
-    }
-
-    EncodedWeek {
-        payload,
-        next_prev,
-        delta_hits,
-        raw_bytes,
-        encoded_bytes,
-    }
+    let mut enc = WeekEncoder::begin(week.week, week.date_days, table);
+    enc.append(&week.records, table, prev);
+    enc.finish(table, seg_offset)
 }
 
 /// The cheaply-decoded part of a week segment: header fields and the

@@ -73,12 +73,16 @@ mod reader;
 mod record;
 mod scrub;
 mod sharded;
+mod stream;
 mod varint;
 mod writer;
 
 pub use any::AnyReader;
 pub use error::StoreError;
-pub use format::{Genesis, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use format::{
+    body_hash, encode_week, Genesis, PrevBody, PrevWeek, WeekEncoder, FORMAT_VERSION, HEADER_LEN,
+    MAGIC,
+};
 pub use manifest::{Manifest, MANIFEST_FILE, MANIFEST_LEN, MANIFEST_MAGIC, MANIFEST_VERSION};
 pub use reader::StoreReader;
 pub use record::{
@@ -89,6 +93,7 @@ pub use sharded::{
     shard_file_name, shard_of, shard_path, split_week, ShardHealth, ShardedResumed,
     ShardedStoreReader, ShardedStoreWriter, QUARANTINE_SUFFIX,
 };
+pub use stream::WeekStream;
 pub use writer::{CommitInfo, Resumed, StoreWriter, WriterStats, FAILPOINTS};
 
 #[cfg(test)]
@@ -320,7 +325,10 @@ mod tests {
                 used[shard] = true;
             }
             if shards <= 4 {
-                assert!(used.iter().all(|u| *u), "{shards}-way split left a shard empty");
+                assert!(
+                    used.iter().all(|u| *u),
+                    "{shards}-way split left a shard empty"
+                );
             }
         }
         assert_eq!(shard_of("anything.example", 1), 0);
@@ -357,8 +365,7 @@ mod tests {
     #[test]
     fn sharded_epoch_counts_every_commit() {
         let tmp = TempDir::new("sharded-epoch");
-        let mut writer =
-            ShardedStoreWriter::create(&tmp.path, genesis(6, 2), 2).expect("create");
+        let mut writer = ShardedStoreWriter::create(&tmp.path, genesis(6, 2), 2).expect("create");
         assert_eq!(writer.epoch(), 1);
         writer.commit_week(&testkit::week(0, 6)).expect("w0");
         writer.commit_week(&testkit::week(1, 6)).expect("w1");
@@ -497,7 +504,9 @@ mod tests {
     fn truncate_drops_a_premature_finalize() {
         let tmp = TempStore::new("truncate-finalize");
         let mut writer = write_weeks(&tmp.path, 2, 5);
-        writer.finalize(&["site001.example".to_string()]).expect("finalize");
+        writer
+            .finalize(&["site001.example".to_string()])
+            .expect("finalize");
         let resumed = writer.truncate_to_weeks(2).expect("truncate");
         assert!(!resumed.writer.is_finalized());
         assert_eq!(resumed.writer.weeks_committed(), 2);
@@ -535,7 +544,10 @@ mod tests {
         assert_eq!(repair.outcome, ScrubOutcome::Healed);
         assert_eq!(repair.shards[1].status, ShardStatus::Healed);
         assert_eq!(dir_bytes(&tmp.path), clean, "heal restores exact bytes");
-        assert_eq!(scrub(&tmp.path, false).expect("rescrub").outcome, ScrubOutcome::Clean);
+        assert_eq!(
+            scrub(&tmp.path, false).expect("rescrub").outcome,
+            ScrubOutcome::Clean
+        );
     }
 
     #[test]
@@ -585,7 +597,11 @@ mod tests {
         assert_eq!(report.shards[0].status, ShardStatus::Rebuilt);
         assert_eq!(report.outcome, ScrubOutcome::Healed);
         std::fs::remove_file(&quarantined).expect("discard quarantined copy");
-        assert_eq!(dir_bytes(&tmp.path), clean, "rebuild reproduces exact bytes");
+        assert_eq!(
+            dir_bytes(&tmp.path),
+            clean,
+            "rebuild reproduces exact bytes"
+        );
     }
 
     #[test]
@@ -602,7 +618,12 @@ mod tests {
         // The store still serves degraded.
         let any = AnyReader::open_degraded(&tmp.path).expect("degraded open");
         assert!(any.is_degraded());
-        assert!(any.week(0).expect("week").records.iter().all(|r| shard_of(&r.host, 2) == 0));
+        assert!(any
+            .week(0)
+            .expect("week")
+            .records
+            .iter()
+            .all(|r| shard_of(&r.host, 2) == 0));
     }
 
     #[test]
@@ -623,7 +644,10 @@ mod tests {
         let report = scrub(&tmp.path, true).expect("repair");
         assert_eq!(report.outcome, ScrubOutcome::Healed);
         assert_eq!(report.shards[0].status, ShardStatus::Healed);
-        assert_eq!(scrub(&tmp.path, false).expect("rescrub").outcome, ScrubOutcome::Clean);
+        assert_eq!(
+            scrub(&tmp.path, false).expect("rescrub").outcome,
+            ScrubOutcome::Clean
+        );
     }
 
     #[test]
@@ -639,5 +663,151 @@ mod tests {
             .expect("empty week");
         let reader = StoreReader::open(&tmp.path).expect("open");
         assert_eq!(reader.week(0).expect("week").records.len(), 0);
+    }
+
+    #[test]
+    fn incremental_commit_is_byte_identical_to_one_shot() {
+        let one_shot = TempStore::new("inc-oneshot");
+        let batched = TempStore::new("inc-batched");
+        write_weeks(&one_shot.path, 3, 10);
+
+        let mut writer = StoreWriter::create(&batched.path, genesis(10, 3)).expect("create");
+        for w in 0..3 {
+            let week = testkit::week(w, 10);
+            writer.begin_week(week.week, week.date_days).expect("begin");
+            // Uneven batch splits must not affect the bytes.
+            for chunk in week.records.chunks(1 + w * 3) {
+                writer.append_records(chunk).expect("append");
+            }
+            let info = writer.end_week().expect("end");
+            assert_eq!(info.records, 10);
+        }
+        assert_eq!(
+            std::fs::read(&one_shot.path).expect("one-shot bytes"),
+            std::fs::read(&batched.path).expect("batched bytes"),
+        );
+    }
+
+    #[test]
+    fn incremental_commit_guards_misuse() {
+        let tmp = TempStore::new("inc-guards");
+        let mut writer = StoreWriter::create(&tmp.path, genesis(4, 2)).expect("create");
+        assert!(matches!(
+            writer.append_records(&[]),
+            Err(StoreError::Mismatch(_))
+        ));
+        assert!(matches!(writer.end_week(), Err(StoreError::Mismatch(_))));
+        writer.begin_week(0, 17_600).expect("begin");
+        assert!(matches!(
+            writer.begin_week(0, 17_600),
+            Err(StoreError::Mismatch(_))
+        ));
+        assert!(matches!(writer.finalize(&[]), Err(StoreError::Mismatch(_))));
+        writer.end_week().expect("end empty week");
+        assert!(matches!(
+            writer.begin_week(3, 17_607),
+            Err(StoreError::WeekOutOfOrder {
+                expected: 1,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn hashed_delta_state_survives_resume_byte_identically() {
+        let replayed = TempStore::new("hash-replay");
+        let resumed = TempStore::new("hash-resume");
+        // Straight-through: 3 weeks, the middle two mostly delta hits.
+        let mut weeks = Vec::new();
+        for w in 0..3 {
+            let mut week = testkit::week(0, 8);
+            week.week = w;
+            weeks.push(week);
+        }
+        let mut writer = StoreWriter::create(&replayed.path, genesis(8, 3)).expect("create");
+        for week in &weeks {
+            writer.commit_week(week).expect("commit");
+        }
+        // Interrupted: drop the writer after week 1, resume, commit week 2.
+        let mut writer = StoreWriter::create(&resumed.path, genesis(8, 3)).expect("create");
+        writer.commit_week(&weeks[0]).expect("w0");
+        writer.commit_week(&weeks[1]).expect("w1");
+        drop(writer);
+        let mut writer = StoreWriter::resume(&resumed.path).expect("resume").writer;
+        let info = writer.commit_week(&weeks[2]).expect("w2");
+        assert_eq!(info.delta_hits, 8, "rebuilt prev state still delta-hits");
+        assert_eq!(
+            std::fs::read(&replayed.path).expect("replayed bytes"),
+            std::fs::read(&resumed.path).expect("resumed bytes"),
+        );
+    }
+
+    #[test]
+    fn sharded_incremental_commit_matches_one_shot_bytes() {
+        let one_shot = TempDir::new("shinc-oneshot");
+        let batched = TempDir::new("shinc-batched");
+        let mut a = ShardedStoreWriter::create(&one_shot.path, genesis(12, 2), 3).expect("create");
+        let mut b = ShardedStoreWriter::create(&batched.path, genesis(12, 2), 3).expect("create");
+        for w in 0..2 {
+            let week = testkit::week(w, 12);
+            a.commit_week(&week).expect("one-shot commit");
+            b.begin_week(week.week, week.date_days).expect("begin");
+            for chunk in week.records.chunks(5) {
+                b.append_records(chunk).expect("append");
+            }
+            let info = b.end_week().expect("end");
+            assert_eq!(info.records, 12);
+        }
+        for index in 0..3 {
+            assert_eq!(
+                std::fs::read(shard_path(&one_shot.path, index)).expect("one-shot shard"),
+                std::fs::read(shard_path(&batched.path, index)).expect("batched shard"),
+                "shard {index} bytes diverge"
+            );
+        }
+        assert_eq!(a.epoch(), b.epoch());
+    }
+
+    #[test]
+    fn week_stream_yields_canonical_order_for_both_layouts() {
+        let single = TempStore::new("stream-single");
+        write_weeks(&single.path, 3, 9);
+        let sharded = TempDir::new("stream-sharded");
+        let mut writer =
+            ShardedStoreWriter::create(&sharded.path, genesis(9, 3), 4).expect("create");
+        for w in 0..3 {
+            writer.commit_week(&testkit::week(w, 9)).expect("commit");
+        }
+
+        for path in [&single.path, &sharded.path] {
+            let reader = AnyReader::open(path).expect("open");
+            let stream = reader.stream();
+            assert_eq!(stream.len(), 3);
+            let weeks: Vec<WeekData> = stream.collect::<Result<_, _>>().expect("stream decodes");
+            for (w, week) in weeks.iter().enumerate() {
+                assert_eq!(week, &testkit::week(w, 9), "layout {path:?} week {w}");
+            }
+            // Range restriction clamps and re-yields the middle week only.
+            let mid: Vec<WeekData> = reader
+                .stream()
+                .range(1, 2)
+                .collect::<Result<_, _>>()
+                .expect("ranged stream");
+            assert_eq!(mid.len(), 1);
+            assert_eq!(mid[0].week, 1);
+        }
+
+        // Per-shard streams cover the partition exactly.
+        let reader = ShardedStoreReader::open(&sharded.path).expect("open sharded");
+        let mut total = 0;
+        for index in 0..4 {
+            let shard = reader.shard_reader(index).expect("healthy shard");
+            for week in WeekStream::over_single(shard) {
+                let week = week.expect("shard week");
+                assert!(week.records.iter().all(|r| shard_of(&r.host, 4) == index));
+                total += week.records.len();
+            }
+        }
+        assert_eq!(total, 3 * 9);
     }
 }

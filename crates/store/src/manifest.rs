@@ -188,7 +188,10 @@ mod tests {
         commit(&dir, &m).expect("commit");
         std::fs::write(dir.join(MANIFEST_TMP), b"stale").expect("scratch");
         assert_eq!(load(&dir).expect("load"), m);
-        assert!(!dir.join(MANIFEST_TMP).exists(), "stale scratch not cleared");
+        assert!(
+            !dir.join(MANIFEST_TMP).exists(),
+            "stale scratch not cleared"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -142,7 +142,10 @@ impl ScrubReport {
             (Some(before), _) => format!(", epoch {before}"),
             _ => String::new(),
         };
-        out.push_str(&format!("scrub report for {} ({kind}{epoch})\n", self.store));
+        out.push_str(&format!(
+            "scrub report for {} ({kind}{epoch})\n",
+            self.store
+        ));
         for shard in &self.shards {
             let torn = if shard.torn_bytes > 0 {
                 format!("  torn={}B", shard.torn_bytes)
@@ -444,14 +447,11 @@ fn scrub_sharded(dir: &Path, repair: bool) -> Result<ScrubReport, StoreError> {
                         } else {
                             ShardStatus::Healed
                         };
-                        shard.detail = format!(
-                            "truncated to {} weeks",
-                            resumed.writer.weeks_committed()
-                        );
+                        shard.detail =
+                            format!("truncated to {} weeks", resumed.writer.weeks_committed());
                     } else if assess.torn_bytes > 0 {
                         shard.status = ShardStatus::Healed;
-                        shard.detail =
-                            format!("dropped {} torn tail bytes", assess.torn_bytes);
+                        shard.detail = format!("dropped {} torn tail bytes", assess.torn_bytes);
                     }
                     shard.weeks = resumed.writer.weeks_committed();
                 } else {
@@ -513,12 +513,10 @@ fn outcome_of(shards: &[ShardScrub]) -> ScrubOutcome {
     {
         return ScrubOutcome::Quarantined;
     }
-    if shards.iter().any(|s| {
-        matches!(
-            s.status,
-            ShardStatus::Corrupt | ShardStatus::Behind
-        )
-    }) {
+    if shards
+        .iter()
+        .any(|s| matches!(s.status, ShardStatus::Corrupt | ShardStatus::Behind))
+    {
         // Unrepaired corruption (assessment mode, or a shard that could
         // not be rebuilt) is the severe verdict too — rebuilt/healed
         // shards are not.
@@ -542,4 +540,3 @@ fn quarantine(path: &Path) -> Result<(), StoreError> {
     let dest = quarantine_path(path);
     fs::rename(path, &dest).map_err(|e| StoreError::io(path, e))
 }
-

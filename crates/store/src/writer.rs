@@ -36,7 +36,7 @@ pub const FAILPOINTS: &[&str] = &[
 use crate::error::StoreError;
 use crate::format::{
     self, decode_week_full, encode_footer, encode_genesis, encode_header, encode_segment, kind,
-    scan, Genesis, PrevWeek, SegmentMeta,
+    scan, Genesis, PrevBody, PrevWeek, SegmentMeta, WeekEncoder,
 };
 use crate::intern::Interner;
 use crate::record::WeekData;
@@ -103,6 +103,7 @@ pub struct StoreWriter {
     finalized: bool,
     data_end: u64,
     prev: PrevWeek,
+    pending: Option<WeekEncoder>,
     stats: WriterStats,
 }
 
@@ -140,6 +141,7 @@ impl StoreWriter {
             finalized: false,
             data_end,
             prev: PrevWeek::new(),
+            pending: None,
             stats: WriterStats::default(),
         };
         writer.rewrite_footer()?;
@@ -174,7 +176,7 @@ impl StoreWriter {
                     let decoded = decode_week_full(&scanned.segments, i, &prefix, &table)?;
                     prev = decoded
                         .iter()
-                        .map(|d| (d.host_sym, (d.body_offset, d.body.clone())))
+                        .map(|d| (d.host_sym, PrevBody::of(d.body_offset, &d.body)))
                         .collect();
                     weeks.push(WeekData {
                         week: prefix.week,
@@ -209,6 +211,7 @@ impl StoreWriter {
             finalized: filtered_out.is_some(),
             data_end: scanned.data_end,
             prev,
+            pending: None,
             stats: WriterStats {
                 torn_bytes_recovered: scanned.torn_bytes,
                 ..WriterStats::default()
@@ -227,27 +230,70 @@ impl StoreWriter {
 
     /// Appends one weekly snapshot. Weeks must arrive in order, starting
     /// at 0 (or at the first uncommitted week after a resume).
+    ///
+    /// Equivalent to `begin_week` + one `append_records` + `end_week`;
+    /// streaming callers use those directly to commit a week in batches
+    /// without ever materializing its [`WeekData`].
     pub fn commit_week(&mut self, week: &WeekData) -> Result<CommitInfo, StoreError> {
+        self.begin_week(week.week, week.date_days)?;
+        self.append_records(&week.records)?;
+        self.end_week()
+    }
+
+    /// Opens an incremental week commit. Records then arrive in
+    /// host-sorted batches via [`StoreWriter::append_records`], and
+    /// [`StoreWriter::end_week`] seals and appends the segment.
+    pub fn begin_week(&mut self, week: usize, date_days: i64) -> Result<(), StoreError> {
         if self.finalized {
             return Err(StoreError::AlreadyFinalized);
         }
-        if week.week != self.next_week {
+        if self.pending.is_some() {
+            return Err(StoreError::Mismatch("a week commit is already open".into()));
+        }
+        if week != self.next_week {
             return Err(StoreError::WeekOutOfOrder {
                 expected: self.next_week,
-                got: week.week,
+                got: week,
             });
         }
+        self.pending = Some(WeekEncoder::begin(week, date_days, &mut self.table));
+        Ok(())
+    }
+
+    /// Encodes a batch of records onto the open week commit. Batches must
+    /// be host-sorted across the whole week (the canonical record order).
+    pub fn append_records(
+        &mut self,
+        records: &[crate::record::DomainRecord],
+    ) -> Result<(), StoreError> {
+        let enc = self
+            .pending
+            .as_mut()
+            .ok_or_else(|| StoreError::Mismatch("no week commit is open".into()))?;
+        enc.append(records, &mut self.table, &self.prev);
+        Ok(())
+    }
+
+    /// Seals the open week commit: appends the segment, rewrites the
+    /// footer, and advances the delta state.
+    pub fn end_week(&mut self) -> Result<CommitInfo, StoreError> {
+        let enc = self
+            .pending
+            .take()
+            .ok_or_else(|| StoreError::Mismatch("no week commit is open".into()))?;
+        let week = enc.week();
+        let records = enc.records_staged();
         let _phase = webvuln_trace::phase_scope("store");
-        let _week = webvuln_trace::week_scope(week.week as u64);
-        let encoded = format::encode_week(week, &mut self.table, &self.prev, self.data_end);
+        let _week = webvuln_trace::week_scope(week as u64);
+        let encoded = enc.finish(&self.table, self.data_end);
         let envelope = encode_segment(kind::WEEK, &encoded.payload);
-        self.append_segment(&envelope, kind::WEEK, week.week)?;
+        self.append_segment(&envelope, kind::WEEK, week)?;
 
         self.prev = encoded.next_prev;
         self.next_week += 1;
         self.stats.segments_written += 1;
         self.stats.delta_hits += encoded.delta_hits;
-        self.stats.delta_misses += week.records.len() - encoded.delta_hits;
+        self.stats.delta_misses += records - encoded.delta_hits;
         self.stats.raw_bytes += encoded.raw_bytes;
         self.stats.encoded_bytes += encoded.encoded_bytes;
         // Synthetic cost: proportional to bytes appended, never wall time,
@@ -257,7 +303,7 @@ impl StoreWriter {
             "",
             &format!(
                 "records={} delta_hits={} segment_bytes={}",
-                week.records.len(),
+                records,
                 encoded.delta_hits,
                 envelope.len()
             ),
@@ -265,8 +311,8 @@ impl StoreWriter {
             webvuln_trace::Sink::Export,
         );
         Ok(CommitInfo {
-            week: week.week,
-            records: week.records.len(),
+            week,
+            records,
             delta_hits: encoded.delta_hits,
             raw_bytes: encoded.raw_bytes,
             encoded_bytes: encoded.encoded_bytes,
@@ -279,6 +325,11 @@ impl StoreWriter {
     pub fn finalize(&mut self, filtered_out: &[String]) -> Result<(), StoreError> {
         if self.finalized {
             return Err(StoreError::AlreadyFinalized);
+        }
+        if self.pending.is_some() {
+            return Err(StoreError::Mismatch(
+                "cannot finalize with a week commit open".into(),
+            ));
         }
         let _phase = webvuln_trace::phase_scope("store");
         webvuln_trace::emit(

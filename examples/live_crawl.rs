@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use webvuln::cvedb::{Basis, VulnDb};
 use webvuln::fingerprint::Engine;
-use webvuln::net::{crawl, CrawlConfig, TcpConnector, TcpServer};
+use webvuln::net::{CrawlOptions, TcpConnector, TcpServer};
 use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
     let connector = TcpConnector::fixed(server.addr());
     let names = eco.domain_names();
     let started = std::time::Instant::now();
-    let snapshot = crawl(&names, &connector, CrawlConfig { concurrency: 16 });
+    let snapshot = CrawlOptions::new().threads(16).run(&names, &connector);
     let elapsed = started.elapsed();
 
     let usable = snapshot.values().filter(|r| r.is_usable(400)).count();

@@ -8,8 +8,8 @@
 //! ```
 
 use webvuln::core::{full_report, Pipeline, StudyConfig, Telemetry};
-use webvuln::store::StoreReader;
 use webvuln::webgen::Timeline;
+use webvuln::AnyReader;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -39,7 +39,7 @@ fn main() {
     let bytes = std::fs::read(&store).expect("read store");
     let cut = bytes.len() * 4 / 10;
     std::fs::write(&store, &bytes[..cut]).expect("tear store");
-    let torn = StoreReader::open(&store).expect("open torn store");
+    let torn = AnyReader::open(&store).expect("open torn store");
     eprintln!(
         "\nsimulated kill: store cut to {cut} of {} bytes — {} of {weeks} weeks survive, {} torn bytes\n",
         bytes.len(),

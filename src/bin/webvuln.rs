@@ -3,7 +3,7 @@
 //! ```text
 //! webvuln study   [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
 //!                 [--retries N] [--fault-profile none|realistic|hostile]
-//!                 [--carry-forward] [--store PATH [--resume] [--shards N]]
+//!                 [--carry-forward] [--store PATH [--resume] [--shards N] [--streaming]]
 //!                 [--progress] [--max-task-failures N] [--telemetry [FILE]]
 //!                 [--trace FILE]
 //! webvuln validate [REPORT_ID]
@@ -16,7 +16,6 @@
 //! ```
 
 use std::sync::Arc;
-use webvuln::analysis::Dataset;
 use webvuln::core::{
     full_report, series_to_csv, telemetry_json, Pipeline, StudyConfig, Telemetry, TraceMode,
 };
@@ -55,7 +54,7 @@ fn print_help() {
 USAGE:
   webvuln study    [--domains N] [--weeks N] [--seed N] [--threads N] [--csv DIR]
                    [--retries N] [--fault-profile none|realistic|hostile]
-                   [--carry-forward] [--store PATH [--resume] [--shards N]]
+                   [--carry-forward] [--store PATH [--resume] [--shards N] [--streaming]]
                    [--progress] [--max-task-failures N] [--telemetry [FILE]]
                    [--trace FILE]
                    run the full study and print every table/figure
@@ -107,6 +106,10 @@ FLAGS:
                      keyed by domain hash, committed in parallel and
                      published atomically per week by a manifest rename;
                      results are byte-identical for every shard count
+  --streaming        with --store: drop each week after its commit and
+                     stream the finalized store back through mergeable
+                     accumulators — peak memory is one week plus the
+                     accumulator state, the report is byte-identical
   --max-task-failures N
                      run crawl/fingerprint tasks under supervision: a
                      panicking or over-deadline task quarantines its
@@ -189,11 +192,16 @@ fn cmd_study(args: &[String]) {
         pipeline = pipeline.max_task_failures(budget);
     }
     let store = flag(args, "--store").map(std::path::PathBuf::from);
+    let streaming = args.iter().any(|a| a == "--streaming");
     if let Some(path) = &store {
         pipeline = pipeline
             .checkpoint(path)
             .resume(args.iter().any(|a| a == "--resume"))
-            .shards(flag_usize(args, "--shards", 1));
+            .shards(flag_usize(args, "--shards", 1))
+            .streaming(streaming);
+    } else if streaming {
+        eprintln!("study: --streaming needs --store PATH (the store is the buffer)");
+        std::process::exit(2);
     }
     let trace_out = flag(args, "--trace");
     if trace_out.is_some() {
@@ -474,25 +482,45 @@ fn cmd_store(args: &[String]) {
             }
         }
         "export-json" => {
-            let dataset = Dataset::load_store(std::path::Path::new(path)).unwrap_or_else(|e| {
-                eprintln!("cannot load {path}: {e}");
-                std::process::exit(1);
-            });
+            // Streams record-by-record: peak memory is one decoded week,
+            // not the whole dataset, so a paper-scale store exports flat.
+            use std::io::Write;
+            let reader = open();
             match args.get(2).filter(|a| !a.starts_with("--")) {
-                Some(out) => match dataset.save(out) {
-                    Ok(()) => eprintln!("dataset written to {out}"),
-                    Err(e) => {
-                        eprintln!("cannot write dataset: {e}");
+                Some(out) => {
+                    let result = std::fs::File::create(out)
+                        .map(std::io::BufWriter::new)
+                        .and_then(|mut file| {
+                            webvuln::analysis::store_io::export_json(&reader, &mut file)?;
+                            file.flush()
+                        });
+                    match result {
+                        Ok(()) => eprintln!("dataset written to {out}"),
+                        Err(e) => {
+                            eprintln!("cannot write dataset: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                None => {
+                    let stdout = std::io::stdout();
+                    let mut lock = std::io::BufWriter::new(stdout.lock());
+                    let result = webvuln::analysis::store_io::export_json(&reader, &mut lock)
+                        .and_then(|()| {
+                            lock.write_all(b"\n")?;
+                            lock.flush()
+                        });
+                    if let Err(e) = result {
+                        eprintln!("cannot export {path}: {e}");
                         std::process::exit(1);
                     }
-                },
-                None => println!("{}", dataset.to_json()),
+                }
             }
         }
         "scrub" => {
             let repair = args.iter().any(|a| a == "--repair");
-            let report = webvuln::store::scrub(std::path::Path::new(path), repair)
-                .unwrap_or_else(|e| {
+            let report =
+                webvuln::store::scrub(std::path::Path::new(path), repair).unwrap_or_else(|e| {
                     eprintln!("cannot scrub {path}: {e}");
                     std::process::exit(1);
                 });

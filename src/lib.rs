@@ -63,4 +63,11 @@ pub use webvuln_webgen as webgen;
 // The serving stack's front door, re-exported flat: open a store, build
 // the service, start the server — without spelling the module paths.
 pub use webvuln_serve::{ApiHandler, ApiServer, QueryService, ServeConfig};
+// The store's front door: one opener for both layouts plus a streaming
+// iterator over committed weeks, so consumers need not know whether a
+// path is a single file or a shard directory.
+#[deprecated(note = "open stores through `AnyReader` (it handles both layouts and \
+                     degraded shard sets); reach `StoreReader` via `webvuln::store` \
+                     only when a single-file reader is explicitly required")]
 pub use webvuln_store::StoreReader;
+pub use webvuln_store::{AnyReader, WeekStream};

@@ -50,13 +50,18 @@ fn config(seed: u64, threads: usize) -> StudyConfig {
 
 fn temp_store(tag: &str) -> PathBuf {
     let tag = tag.replace('.', "-");
-    std::env::temp_dir().join(format!("webvuln-chaosfp-{tag}-{}.wvstore", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "webvuln-chaosfp-{tag}-{}.wvstore",
+        std::process::id()
+    ))
 }
 
 fn temp_store_dir(tag: &str) -> PathBuf {
     let tag = tag.replace('.', "-");
-    let dir =
-        std::env::temp_dir().join(format!("webvuln-chaosfp-{tag}-{}.wvshards", std::process::id()));
+    let dir = std::env::temp_dir().join(format!(
+        "webvuln-chaosfp-{tag}-{}.wvshards",
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -103,8 +108,13 @@ fn analysis_part(results: &StudyResults) -> String {
 fn kill_schedule(site: &str) -> u64 {
     match site {
         "phase.generate" | "phase.join" | "phase.analyze" | "store.finalize" => 1,
-        "phase.crawl" | "phase.fingerprint" | "checkpoint.commit" | "store.footer.rewrite"
-        | "store.segment.mid_write" | "store.manifest.rename" | "store.shard.mid_write" => 2,
+        "phase.crawl"
+        | "phase.fingerprint"
+        | "checkpoint.commit"
+        | "store.footer.rewrite"
+        | "store.segment.mid_write"
+        | "store.manifest.rename"
+        | "store.shard.mid_write" => 2,
         "crawl.fetch" => DOMAINS as u64 + 10,
         "exec.task" => 100,
         other => panic!("fail-point {other:?} has no kill schedule — add one to this harness"),
@@ -264,7 +274,11 @@ fn sharded_kill_matrix_resumes_byte_identically() {
     let kills: &[(&str, Option<&str>, u64)] = &[
         ("store.manifest.rename", None, 1), // creating the group
         ("store.manifest.rename", None, 3), // publishing week 1
-        ("store.shard.mid_write", None, kill_schedule("store.shard.mid_write")),
+        (
+            "store.shard.mid_write",
+            None,
+            kill_schedule("store.shard.mid_write"),
+        ),
         ("store.shard.mid_write", Some("2"), 1), // shard 2's first write
     ];
     for threads in [1, 2, 8] {
@@ -559,5 +573,8 @@ fn exhausted_failure_budget_is_a_structured_error() {
         message.contains("task-failure budget exceeded"),
         "unexpected error: {message}"
     );
-    assert!(message.contains("(budget 1)"), "unexpected error: {message}");
+    assert!(
+        message.contains("(budget 1)"),
+        "unexpected error: {message}"
+    );
 }

@@ -254,5 +254,11 @@ fn connection_limit_rejects_with_503() {
     }
     drop(parked);
 
-    assert!(registry.snapshot().counter("serve.rejected_connections_total").unwrap_or(0) >= 1);
+    assert!(
+        registry
+            .snapshot()
+            .counter("serve.rejected_connections_total")
+            .unwrap_or(0)
+            >= 1
+    );
 }

@@ -7,14 +7,14 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
-use webvuln::analysis::landscape::{table1, usage_trends};
-use webvuln::analysis::vuln::cve_impact;
+use webvuln::analysis::accum::fold_study;
 use webvuln::analysis::Collector;
 use webvuln::cvedb::VulnDb;
 use webvuln::net::codec::{encode_request, MessageReader};
 use webvuln::net::{fetch, Request, Status, TcpConnector};
 use webvuln::telemetry::Registry;
 use webvuln::webgen::{Ecosystem, EcosystemConfig, Timeline};
+use webvuln::AnyReader;
 use webvuln::{ApiServer, QueryService, ServeConfig};
 
 const DOMAINS: usize = 40;
@@ -30,7 +30,7 @@ fn temp_store(tag: &str) -> PathBuf {
 }
 
 /// Builds a small finalized store and opens a query service over it.
-fn service(tag: &str) -> Arc<QueryService> {
+fn service(tag: &str) -> (Arc<QueryService>, PathBuf) {
     let eco = Arc::new(Ecosystem::generate(EcosystemConfig {
         seed: 77,
         domain_count: DOMAINS,
@@ -42,18 +42,18 @@ fn service(tag: &str) -> Arc<QueryService> {
         .checkpoint(&path)
         .run(&eco)
         .expect("collect");
-    Arc::new(QueryService::open(&path).expect("open"))
+    (Arc::new(QueryService::open(&path).expect("open")), path)
 }
 
-fn start(tag: &str, threads: usize) -> (ApiServer, Arc<QueryService>, Registry) {
-    let svc = service(tag);
+fn start(tag: &str, threads: usize) -> (ApiServer, Arc<QueryService>, Registry, PathBuf) {
+    let (svc, path) = service(tag);
     let registry = Registry::new();
     let config = ServeConfig {
         threads,
         ..ServeConfig::default()
     };
     let server = ApiServer::serve(Arc::clone(&svc), config, &registry).expect("bind");
-    (server, svc, registry)
+    (server, svc, registry, path)
 }
 
 fn get(server: &ApiServer, target: &str) -> (Status, String) {
@@ -64,12 +64,15 @@ fn get(server: &ApiServer, target: &str) -> (Status, String) {
 
 #[test]
 fn table_endpoints_match_batch_analysis() {
-    let (server, svc, _registry) = start("batch", 2);
-    let dataset = svc.dataset();
+    let (server, svc, _registry, path) = start("batch", 2);
     let db = VulnDb::builtin();
+    // The independent batch computation: stream the same store through
+    // the mergeable accumulators, never materializing a dataset.
+    let reader = AnyReader::open(&path).expect("open store");
+    let accum = fold_study(&reader, &db, 2).expect("fold store");
 
     // /library/{lib}/prevalence against the Table 1 row.
-    let rows = table1(dataset, &db);
+    let rows = accum.landscape.table1(&db);
     let jq = rows
         .iter()
         .find(|r| r.library.slug() == "jquery")
@@ -86,7 +89,7 @@ fn table_endpoints_match_batch_analysis() {
     }
 
     // /week/{w}/landscape shares against the usage-trend points.
-    let trends = usage_trends(dataset);
+    let trends = accum.landscape.trends();
     let (status, body) = get(&server, "/week/1/landscape");
     assert_eq!(status, Status::OK);
     for trend in &trends {
@@ -103,7 +106,11 @@ fn table_endpoints_match_batch_analysis() {
     }
 
     // /cve/{id}/exposure against the batch CVE-impact figure.
-    let impact = cve_impact(dataset, &db, "CVE-2020-11022").expect("impact");
+    let impacts = accum.exposure.cve_impacts(&db);
+    let impact = impacts
+        .iter()
+        .find(|impact| impact.id == "CVE-2020-11022")
+        .expect("impact");
     let (status, body) = get(&server, "/cve/CVE-2020-11022/exposure");
     assert_eq!(status, Status::OK);
     assert!(
@@ -130,7 +137,7 @@ fn table_endpoints_match_batch_analysis() {
 
 #[test]
 fn errors_are_structured_json() {
-    let (server, _svc, _registry) = start("errors", 1);
+    let (server, _svc, _registry, _path) = start("errors", 1);
     for (target, want) in [
         ("/domain/no-such.example/history", Status::NOT_FOUND),
         ("/library/left-pad/prevalence", Status::NOT_FOUND),
@@ -160,18 +167,21 @@ fn errors_are_structured_json() {
 
 #[test]
 fn healthz_reports_request_count() {
-    let (server, _svc, _registry) = start("healthz", 1);
+    let (server, _svc, _registry, _path) = start("healthz", 1);
     let (status, body) = get(&server, "/healthz");
     assert_eq!(status, Status::OK);
     assert!(body.contains("\"status\":\"ok\""), "{body}");
-    assert!(body.contains(&format!("\"weeks_committed\":{WEEKS}")), "{body}");
+    assert!(
+        body.contains(&format!("\"weeks_committed\":{WEEKS}")),
+        "{body}"
+    );
     let (_, body) = get(&server, "/healthz");
     assert!(body.contains("\"requests_total\":2"), "{body}");
 }
 
 #[test]
 fn cache_hits_serve_identical_bodies() {
-    let (server, _svc, registry) = start("cache", 2);
+    let (server, _svc, registry, _path) = start("cache", 2);
     let (_, first) = get(&server, "/week/0/landscape");
     let (_, second) = get(&server, "/week/0/landscape");
     assert_eq!(first, second);
@@ -184,7 +194,7 @@ fn cache_hits_serve_identical_bodies() {
 
 #[test]
 fn concurrent_clients_all_get_answers() {
-    let (server, _svc, registry) = start("concurrent", 4);
+    let (server, _svc, registry, _path) = start("concurrent", 4);
     let addr = server.addr();
     let mut threads = Vec::new();
     for client in 0..4 {
@@ -215,7 +225,7 @@ fn concurrent_clients_all_get_answers() {
 
 #[test]
 fn keep_alive_pipelines_requests_on_one_connection() {
-    let (server, _svc, _registry) = start("pipeline", 2);
+    let (server, _svc, _registry, _path) = start("pipeline", 2);
     let mut conn = TcpStream::connect(server.addr()).expect("connect");
     let mut wire = Vec::new();
     for _ in 0..3 {
@@ -232,7 +242,7 @@ fn keep_alive_pipelines_requests_on_one_connection() {
 
 #[test]
 fn shutdown_drains_and_unbinds() {
-    let (mut server, _svc, registry) = start("drain", 2);
+    let (mut server, _svc, registry, _path) = start("drain", 2);
     let addr = server.addr();
     let (status, _) = get(&server, "/healthz");
     assert_eq!(status, Status::OK);

@@ -1,0 +1,129 @@
+//! Streaming vs materialized equivalence: the paper-scale streaming
+//! pipeline (each week committed to the store and dropped, analyses
+//! folded over the store by mergeable accumulators) must render the
+//! byte-identical report and commit the byte-identical store, whatever
+//! the thread or shard count — even under the hostile fault profile.
+//!
+//! The merge-level invariants (associativity, `Default` as identity)
+//! are pinned by unit tests in `webvuln_analysis::accum`; this suite
+//! pins the end-to-end contract.
+
+use webvuln::core::{full_report, Pipeline, StudyConfig, StudyResults};
+use webvuln::net::FaultPlan;
+use webvuln::webgen::Timeline;
+
+fn config() -> StudyConfig {
+    StudyConfig {
+        seed: 99,
+        domain_count: 150,
+        timeline: Timeline::truncated(8),
+        faults: FaultPlan::hostile(99),
+        carry_forward: true,
+        ..StudyConfig::default()
+    }
+}
+
+fn temp(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("webvuln-streameq-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+/// The report minus the run-dependent telemetry tail (wall-clock phase
+/// timings differ between runs; everything above them must not).
+fn report_prefix(results: &StudyResults) -> String {
+    full_report(results)
+        .split("Run telemetry")
+        .next()
+        .expect("report")
+        .to_string()
+}
+
+#[test]
+fn streaming_report_and_store_are_byte_identical_across_threads() {
+    let batch_store = temp("batch.wvstore");
+    let reference = Pipeline::new(config())
+        .threads(2)
+        .checkpoint(&batch_store)
+        .run()
+        .expect("materialized");
+    let reference_report = report_prefix(&reference);
+    let reference_bytes = std::fs::read(&batch_store).expect("batch store");
+    assert!(!reference.dataset.weeks.is_empty(), "materialized run");
+    for threads in [1, 2, 8] {
+        let store = temp(&format!("t{threads}.wvstore"));
+        let results = Pipeline::new(config())
+            .threads(threads)
+            .checkpoint(&store)
+            .streaming(true)
+            .run()
+            .expect("streaming");
+        assert!(results.dataset.weeks.is_empty(), "streaming shell");
+        assert_eq!(
+            results.dataset.filtered_out, reference.dataset.filtered_out,
+            "threads={threads}"
+        );
+        assert_eq!(
+            report_prefix(&results),
+            reference_report,
+            "threads={threads}"
+        );
+        assert_eq!(
+            std::fs::read(&store).expect("streamed store"),
+            reference_bytes,
+            "threads={threads}"
+        );
+        let _ = std::fs::remove_file(&store);
+    }
+    let _ = std::fs::remove_file(&batch_store);
+}
+
+#[test]
+fn streaming_report_is_byte_identical_across_shard_counts() {
+    let reference = Pipeline::new(config())
+        .threads(2)
+        .run()
+        .expect("materialized");
+    let reference_report = report_prefix(&reference);
+    for shards in [1, 4, 16] {
+        let store = temp(&format!("s{shards}"));
+        let results = Pipeline::new(config())
+            .threads(8)
+            .shards(shards)
+            .checkpoint(&store)
+            .streaming(true)
+            .run()
+            .expect("streaming");
+        assert!(results.dataset.weeks.is_empty(), "streaming shell");
+        assert_eq!(report_prefix(&results), reference_report, "shards={shards}");
+        // The committed store materializes back to the reference run's
+        // dataset — the streaming path never saw it whole.
+        let restored = webvuln::analysis::Dataset::load_store(&store).expect("load");
+        assert_eq!(restored.filtered_out, reference.dataset.filtered_out);
+        assert_eq!(restored.weeks.len(), reference.dataset.weeks.len());
+        for (a, b) in restored.weeks.iter().zip(&reference.dataset.weeks) {
+            assert_eq!(a.pages, b.pages, "shards={shards} week {}", a.week);
+            assert_eq!(a.summaries, b.summaries, "shards={shards} week {}", a.week);
+            assert_eq!(
+                a.carried_forward, b.carried_forward,
+                "shards={shards} week {}",
+                a.week
+            );
+        }
+        if shards == 1 {
+            let _ = std::fs::remove_file(&store);
+        } else {
+            let _ = std::fs::remove_dir_all(&store);
+        }
+    }
+}
+
+#[test]
+fn streaming_without_a_store_is_rejected() {
+    let err = match Pipeline::new(config()).streaming(true).run() {
+        Ok(_) => panic!("streaming without a store must be rejected"),
+        Err(err) => err,
+    };
+    assert!(err.to_string().contains("checkpoint store"), "{err}");
+}
