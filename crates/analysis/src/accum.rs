@@ -1460,12 +1460,7 @@ pub fn store_filter_verdict(reader: &AnyReader) -> Result<BTreeSet<String>, Stor
     }
     let mut alive: BTreeSet<String> = BTreeSet::new();
     for week in reader.stream().range(weeks - window, weeks) {
-        let snapshot = week_to_snapshot(&week?)?;
-        for (domain, summary) in &snapshot.summaries {
-            if !page_is_error_or_empty(summary.status, summary.body_len) {
-                alive.insert(domain.clone());
-            }
-        }
+        alive.extend(snapshot_alive_set(&week_to_snapshot(&week?)?));
     }
     Ok(reader
         .genesis()
@@ -1474,6 +1469,33 @@ pub fn store_filter_verdict(reader: &AnyReader) -> Result<BTreeSet<String>, Stor
         .filter(|(host, _)| !alive.contains(host))
         .map(|(host, _)| host.clone())
         .collect())
+}
+
+/// The domains one week's summaries show reachable — the snapshot's
+/// contribution to the §4.1 trailing-window verdict. A consumer holding
+/// the alive sets of the trailing [`FINAL_WEEKS`] snapshots can maintain
+/// [`store_filter_verdict`]'s answer incrementally (dropped = ranked
+/// domains alive in none of them) without re-reading the store.
+pub fn snapshot_alive_set(snapshot: &WeekSnapshot) -> BTreeSet<String> {
+    snapshot
+        .summaries
+        .iter()
+        .filter(|(_, summary)| !page_is_error_or_empty(summary.status, summary.body_len))
+        .map(|(domain, _)| domain.clone())
+        .collect()
+}
+
+/// Drops filtered-out domains from a decoded snapshot — the per-week
+/// step every fold plan applies before absorbing, shared with the watch
+/// daemon's live ingester so an incrementally-maintained accumulator
+/// absorbs exactly what a cold [`fold_store`] would.
+pub fn apply_filter(snapshot: &mut WeekSnapshot, filtered: &BTreeSet<String>) {
+    snapshot
+        .pages
+        .retain(|domain, _| !filtered.contains(domain));
+    snapshot
+        .carried_forward
+        .retain(|domain| !filtered.contains(domain));
 }
 
 /// Splits a week's pages into `parts` domain partitions using the
@@ -1536,12 +1558,7 @@ where
     let mut accum = A::default();
     for week in reader.stream() {
         let mut snapshot = week_to_snapshot(&week?)?;
-        snapshot
-            .pages
-            .retain(|domain, _| !filtered.contains(domain));
-        snapshot
-            .carried_forward
-            .retain(|domain| !filtered.contains(domain));
+        apply_filter(&mut snapshot, &filtered);
         accum.absorb(&snapshot, ctx);
     }
     Ok(accum)
@@ -1580,12 +1597,7 @@ where
         let mut accum = A::default();
         for week in WeekStream::over_single(shard) {
             let mut snapshot = week_to_snapshot(&week?)?;
-            snapshot
-                .pages
-                .retain(|domain, _| !filtered.contains(domain));
-            snapshot
-                .carried_forward
-                .retain(|domain| !filtered.contains(domain));
+            apply_filter(&mut snapshot, filtered);
             accum.absorb(&snapshot, ctx);
         }
         Ok(accum)
@@ -1613,12 +1625,7 @@ where
     let indices: Vec<usize> = (0..threads).collect();
     for week in reader.stream() {
         let mut snapshot = week_to_snapshot(&week?)?;
-        snapshot
-            .pages
-            .retain(|domain, _| !filtered.contains(domain));
-        snapshot
-            .carried_forward
-            .retain(|domain| !filtered.contains(domain));
+        apply_filter(&mut snapshot, filtered);
         let parts = partition_snapshot(snapshot, threads);
         executor.map(&indices, |&index| {
             let mut accum = slots[index]

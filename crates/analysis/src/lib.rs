@@ -49,8 +49,10 @@ pub mod vuln;
 pub mod wordpress;
 
 pub use accum::{
-    fold_store, fold_study, store_filter_verdict, AccumCtx, Accumulate, StudyAccum, StudyArtifacts,
+    apply_filter, fold_store, fold_study, genesis_ranks, snapshot_alive_set,
+    store_filter_verdict, AccumCtx, Accumulate, StudyAccum, StudyArtifacts,
 };
+pub use webvuln_net::filter::FINAL_WEEKS;
 #[allow(deprecated)]
 pub use dataset::{collect_dataset, collect_dataset_with};
 pub use dataset::{CollectConfig, Collector, Dataset, WeekSnapshot};

@@ -38,11 +38,13 @@ pub const FAILPOINTS: &[&str] = &["phase.generate", "phase.join", "phase.analyze
 /// this to prove crash-recovery at each site; it covers the store writer
 /// (single-file and sharded commit protocol, scrub), the checkpoint
 /// commit loop, the exec worker loop, the per-domain fetch, the serving
-/// layer, and all five study phases.
+/// layer, the watch daemon, and all five study phases.
 ///
 /// Not every site fires under `Pipeline::run`: the `serve.*` sites fire
-/// in a live API server (`tests/chaos_serve.rs` kills those), and the
-/// sharded-store sites fire only for a sharded checkpoint store
+/// in a live API server (`tests/chaos_serve.rs` kills those), the
+/// `watch.*` sites fire in the live-ingestion daemon
+/// (`tests/chaos_watch.rs` kills those), and the sharded-store sites
+/// fire only for a sharded checkpoint store
 /// (`tests/chaos_failpoints.rs` runs a dedicated shard kill matrix).
 /// The catalog is still the single source of truth — the chaos suites
 /// assert that their covered sets union to exactly this list, so a new
@@ -54,6 +56,7 @@ pub fn failpoint_catalog() -> Vec<&'static str> {
     sites.extend_from_slice(webvuln_store::FAILPOINTS);
     sites.extend_from_slice(webvuln_analysis::FAILPOINTS);
     sites.extend_from_slice(webvuln_serve::FAILPOINTS);
+    sites.extend_from_slice(webvuln_watch::FAILPOINTS);
     sites.extend_from_slice(FAILPOINTS);
     sites.sort_unstable();
     sites.dedup();
@@ -795,6 +798,10 @@ mod tests {
             "serve.accept",
             "serve.handler",
             "serve.mid_response",
+            "watch.ingest",
+            "watch.outbox.append",
+            "watch.outbox.deliver",
+            "watch.retro",
             "phase.generate",
             "phase.crawl",
             "phase.fingerprint",

@@ -51,6 +51,27 @@ impl VulnDb {
         }
     }
 
+    /// Extends the database with delta records (see [`crate::delta`]),
+    /// keeping the per-library index consistent. Records whose ID is
+    /// already present are skipped — re-applying a delta file after a
+    /// crash or redelivery is a no-op. Returns the number of records
+    /// actually added.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = VulnRecord>) -> usize {
+        let mut added = 0;
+        for record in records {
+            if self.records.iter().any(|r| r.id == record.id) {
+                continue;
+            }
+            self.by_library
+                .entry(record.library)
+                .or_default()
+                .push(self.records.len());
+            self.records.push(record);
+            added += 1;
+        }
+        added
+    }
+
     /// All vulnerability records.
     pub fn records(&self) -> &[VulnRecord] {
         &self.records

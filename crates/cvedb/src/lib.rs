@@ -36,11 +36,13 @@
 mod browsers;
 mod date;
 mod db;
+pub mod delta;
 mod library;
 mod record;
 mod wordpress;
 
 pub use browsers::{browser_flash_support, BrowserSupport};
+pub use delta::{parse_delta, DeltaError};
 pub use date::{Date, ParseDateError};
 pub use db::{Basis, VulnDb};
 pub use library::{catalog, wordpress_catalog, Catalog, LibraryId, Release};

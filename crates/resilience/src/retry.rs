@@ -90,6 +90,33 @@ impl RetryPolicy {
         let offset = h % (2 * amplitude + 1);
         capped - amplitude + offset
     }
+
+    /// Full-jitter variant of [`RetryPolicy::backoff_ns`]: the delay is
+    /// drawn uniformly from `[0, capped]`, where `capped` is the same
+    /// exponentially-grown, capped delay the plain schedule computes.
+    ///
+    /// Where `backoff_ns` clusters delays around the exponential curve
+    /// (±`jitter_permille`‰), full jitter spreads simultaneous restarts
+    /// across the *whole* window — the right shape for supervisor restart
+    /// storms, where many instances fail at the same instant and anything
+    /// correlated re-thunders the herd. Like the plain schedule it is a
+    /// pure function of `(seed, host, attempt)`, so restart schedules
+    /// replay identically under the virtual clock; `jitter_permille` is
+    /// ignored.
+    pub fn full_jitter_backoff_ns(&self, host: &str, failed_attempt: u32) -> u64 {
+        if self.base_delay_ns == 0 {
+            return 0;
+        }
+        let exp = failed_attempt.min(20);
+        let uncapped = self.base_delay_ns.saturating_mul(1u64 << exp);
+        let capped = uncapped.min(self.max_delay_ns.max(self.base_delay_ns));
+        // Salted so the full-jitter draw never mirrors the ± schedule's.
+        let h = mix(
+            self.seed ^ 0x46_4A49_5454 ^ ((failed_attempt as u64) << 32),
+            host,
+        );
+        h % (capped.saturating_add(1))
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +199,80 @@ mod tests {
         let differs =
             (0..50).any(|i| a.backoff_ns(&format!("h{i}"), 1) != b.backoff_ns(&format!("h{i}"), 1));
         assert!(differs);
+    }
+
+    #[test]
+    fn full_jitter_is_bounded_by_the_capped_delay() {
+        let policy = RetryPolicy::standard(10).with_seed(42);
+        for attempt in 0..8 {
+            let capped = RetryPolicy {
+                jitter_permille: 0,
+                ..policy
+            }
+            .backoff_ns("h.example", attempt);
+            for host in ["a.example", "b.example", "c.example", "d.example"] {
+                let d = policy.full_jitter_backoff_ns(host, attempt);
+                assert!(d <= capped, "attempt {attempt} host {host}: {d} > {capped}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_jitter_is_deterministic_under_a_fixed_seed() {
+        let policy = RetryPolicy::standard(5).with_seed(0xC0FFEE);
+        let first: Vec<u64> = (0..6)
+            .map(|a| policy.full_jitter_backoff_ns("watch.supervisor", a))
+            .collect();
+        let second: Vec<u64> = (0..6)
+            .map(|a| policy.full_jitter_backoff_ns("watch.supervisor", a))
+            .collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn full_jitter_fills_the_whole_window() {
+        // Uniform-in-[0, capped] means samples land both well below half
+        // the window and well above it — the ± schedule never goes below
+        // capped·(1-jitter). 200 hosts give a dense enough sample.
+        let policy = RetryPolicy::standard(5).with_seed(9);
+        let capped = RetryPolicy {
+            jitter_permille: 0,
+            ..policy
+        }
+        .backoff_ns("x", 3);
+        let samples: Vec<u64> = (0..200)
+            .map(|i| policy.full_jitter_backoff_ns(&format!("host{i}.example"), 3))
+            .collect();
+        assert!(samples.iter().any(|&d| d < capped / 4), "low tail present");
+        assert!(samples.iter().any(|&d| d > 3 * capped / 4), "high tail present");
+        let distinct: std::collections::HashSet<u64> = samples.iter().copied().collect();
+        assert!(distinct.len() > 150, "distinct: {}", distinct.len());
+    }
+
+    #[test]
+    fn full_jitter_moves_with_the_seed_and_not_the_permille() {
+        let a = RetryPolicy::standard(3).with_seed(1);
+        let b = RetryPolicy::standard(3).with_seed(2);
+        assert!((0..50).any(|i| {
+            a.full_jitter_backoff_ns(&format!("h{i}"), 1)
+                != b.full_jitter_backoff_ns(&format!("h{i}"), 1)
+        }));
+        let no_jitter = RetryPolicy {
+            jitter_permille: 0,
+            ..a
+        };
+        for attempt in 0..4 {
+            assert_eq!(
+                a.full_jitter_backoff_ns("h.example", attempt),
+                no_jitter.full_jitter_backoff_ns("h.example", attempt),
+                "jitter_permille must not feed the full-jitter draw"
+            );
+        }
+    }
+
+    #[test]
+    fn full_jitter_zero_base_is_immediate() {
+        assert_eq!(RetryPolicy::none().full_jitter_backoff_ns("h", 0), 0);
     }
 
     #[test]

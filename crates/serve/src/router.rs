@@ -17,6 +17,8 @@ pub enum Route {
     WeekLandscape(usize),
     /// `GET /cve/{id}/exposure` — affected-site series for one report.
     CveExposure(String),
+    /// `GET /alerts` — the watch daemon's exposure-alert outbox.
+    Alerts,
 }
 
 impl Route {
@@ -28,13 +30,15 @@ impl Route {
             Route::LibraryPrevalence(_) => "library_prevalence",
             Route::WeekLandscape(_) => "week_landscape",
             Route::CveExposure(_) => "cve_exposure",
+            Route::Alerts => "alerts",
         }
     }
 
     /// Whether responses for this route may be served from the LRU cache.
-    /// `/healthz` reports live counters, so it is never cached.
+    /// `/healthz` reports live counters and `/alerts` reads the watch
+    /// daemon's outbox files, so neither is ever cached.
     pub fn cacheable(&self) -> bool {
-        !matches!(self, Route::Healthz)
+        !matches!(self, Route::Healthz | Route::Alerts)
     }
 }
 
@@ -94,6 +98,7 @@ pub fn route(req: &Request) -> Result<Route, ApiError> {
             .map(Route::WeekLandscape)
             .map_err(|_| ApiError::BadRequest(format!("week index '{w}' is not a number"))),
         ["cve", id, "exposure"] => Ok(Route::CveExposure((*id).to_string())),
+        ["alerts"] => Ok(Route::Alerts),
         _ => Err(ApiError::NotFound(format!("no route for '{path}'"))),
     }
 }
@@ -125,6 +130,8 @@ mod tests {
             route(&get("/cve/CVE-2020-11022/exposure")),
             Ok(Route::CveExposure("CVE-2020-11022".into()))
         );
+        assert_eq!(route(&get("/alerts")), Ok(Route::Alerts));
+        assert!(!Route::Alerts.cacheable());
     }
 
     #[test]

@@ -95,6 +95,7 @@ impl Metrics {
             "library_prevalence",
             "week_landscape",
             "cve_exposure",
+            "alerts",
             "error",
         ];
         Metrics {
@@ -551,6 +552,7 @@ mod tests {
             ("/library/jquery/prevalence", "library_prevalence"),
             ("/week/0/landscape", "week_landscape"),
             ("/cve/CVE-2020-11022/exposure", "cve_exposure"),
+            ("/alerts", "alerts"),
         ] {
             let r = route(&Request::get("t", target)).expect("route");
             assert_eq!(r.label(), label);

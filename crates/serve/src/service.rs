@@ -17,7 +17,7 @@
 
 use crate::json::{Arr, Obj};
 use crate::router::{ApiError, Route};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use webvuln_analysis::accum::{fold_study, LandscapeAccum};
 use webvuln_analysis::landscape::{LibraryRow, UsageTrend};
 use webvuln_analysis::vuln::CveImpact;
@@ -34,6 +34,7 @@ pub struct QueryService {
     trends: Vec<UsageTrend>,
     landscape: LandscapeAccum,
     impacts: Vec<CveImpact>,
+    watch_root: Option<PathBuf>,
 }
 
 impl QueryService {
@@ -61,7 +62,22 @@ impl QueryService {
             trends,
             landscape: accum.landscape,
             impacts,
+            watch_root: None,
         })
+    }
+
+    /// Attaches a watch daemon root: `/alerts` serves its outbox and
+    /// `/healthz` reports its ingestion state. The service only *reads*
+    /// the watch files (through the daemon-safe snapshot loader), so it
+    /// can run alongside a live daemon.
+    pub fn with_watch_root(mut self, root: impl Into<PathBuf>) -> QueryService {
+        self.watch_root = Some(root.into());
+        self
+    }
+
+    /// The attached watch root, if any.
+    pub fn watch_root(&self) -> Option<&Path> {
+        self.watch_root.as_deref()
     }
 
     /// The underlying store reader (tests inspect it).
@@ -83,6 +99,7 @@ impl QueryService {
             Route::LibraryPrevalence(lib) => self.library_prevalence(lib),
             Route::WeekLandscape(w) => self.week_landscape(*w),
             Route::CveExposure(id) => self.cve_exposure(id),
+            Route::Alerts => self.alerts(),
         }
     }
 
@@ -103,7 +120,7 @@ impl QueryService {
             };
             shards.push_raw(&shard.finish());
         }
-        Obj::new()
+        let obj = Obj::new()
             .str("status", if degraded { "degraded" } else { "ok" })
             .u64("weeks_committed", self.reader.weeks_committed() as u64)
             .u64("weeks_total", genesis.weeks_total as u64)
@@ -115,9 +132,66 @@ impl QueryService {
             )
             .bool("degraded", degraded)
             .u64("shard_count", self.reader.shard_count() as u64)
-            .raw("shards", &shards.finish())
-            .u64("requests_total", requests_total)
-            .finish()
+            .raw("shards", &shards.finish());
+        let obj = match &self.watch_root {
+            None => obj,
+            Some(root) => {
+                let state = webvuln_watch::load_watch_state(root);
+                obj.raw(
+                    "watch",
+                    &Obj::new()
+                        .bool("store_present", state.store_present)
+                        .u64("weeks_committed", state.weeks_committed)
+                        .u64("epoch", state.epoch)
+                        .u64("shards", state.shards as u64)
+                        .bool("degraded", state.degraded)
+                        .u64("alerts_enqueued", state.alerts_enqueued)
+                        .u64("alerts_pending", state.alerts_pending)
+                        .u64("alerts_delivered", state.alerts_delivered)
+                        .u64("deltas_applied", state.deltas_applied)
+                        .finish(),
+                )
+            }
+        };
+        obj.u64("requests_total", requests_total).finish()
+    }
+
+    /// `GET /alerts`: the watch daemon's outbox, read through the
+    /// daemon-safe snapshot loader (no healing writes). 404 when the
+    /// server was started without a watch root.
+    pub fn alerts(&self) -> Result<String, ApiError> {
+        let root = self.watch_root.as_deref().ok_or_else(|| {
+            ApiError::NotFound("live alerting not enabled (no watch root)".to_string())
+        })?;
+        let cfg = webvuln_watch::WatchConfig::new(root);
+        let snapshot =
+            webvuln_watch::OutboxSnapshot::load(&cfg.outbox_wal(), &cfg.alert_log())
+                .map_err(|e| ApiError::Unavailable(format!("outbox read failed: {e}")))?;
+        let mut alerts = Arr::new();
+        for alert in &snapshot.alerts {
+            alerts.push_raw(
+                &Obj::new()
+                    .str("id", &format!("{:016x}", alert.id))
+                    .str("cve", &alert.cve_id)
+                    .str("library", &alert.library)
+                    .str("domain", &alert.domain)
+                    .u64("first_week", alert.first_week as u64)
+                    .u64("last_week", alert.last_week as u64)
+                    .u64("weeks_exposed", alert.weeks_exposed as u64)
+                    .u64("coverage_scanned", alert.coverage.shards_scanned as u64)
+                    .u64("coverage_total", alert.coverage.shards_total as u64)
+                    .bool("full_coverage", alert.coverage.is_full())
+                    .bool("delivered", snapshot.delivered.contains(&alert.id))
+                    .bool("acked", snapshot.acked.contains(&alert.id))
+                    .finish(),
+            );
+        }
+        Ok(Obj::new()
+            .u64("total", snapshot.alerts.len() as u64)
+            .u64("pending", snapshot.pending().len() as u64)
+            .u64("delivered", snapshot.delivered.len() as u64)
+            .raw("alerts", &alerts.finish())
+            .finish())
     }
 
     /// `GET /domain/{d}/history`: every committed week's record for one
@@ -477,6 +551,49 @@ mod tests {
             svc.cve_exposure("CVE-1999-0000"),
             Err(ApiError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn alerts_endpoint_serves_the_watch_outbox() {
+        use webvuln_watch::{Alert, Coverage, Outbox, WatchConfig};
+        let root = std::env::temp_dir().join(format!(
+            "webvuln-serve-alerts-{}.wvwatch",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("mkdir");
+        let cfg = WatchConfig::new(&root);
+        {
+            let (mut outbox, _) = Outbox::open(&cfg.outbox_wal(), &cfg.alert_log()).expect("open");
+            let coverage = Coverage {
+                shards_scanned: 1,
+                shards_total: 2,
+            };
+            let a = Alert::new("CVE-2099-0001", "jquery", "site-1.example", 0, 2, 3, coverage);
+            let b = Alert::new("CVE-2099-0001", "jquery", "site-2.example", 1, 2, 2, coverage);
+            outbox.enqueue(&a).expect("enqueue");
+            outbox.deliver_pending().expect("deliver");
+            outbox.enqueue(&b).expect("enqueue");
+        }
+
+        // Without a watch root the endpoint is a 404.
+        let plain = service("alerts-plain");
+        assert!(matches!(plain.alerts(), Err(ApiError::NotFound(_))));
+
+        let svc = service("alerts").with_watch_root(&root);
+        let body = svc.alerts().expect("alerts");
+        assert!(body.contains("\"total\":2"), "{body}");
+        assert!(body.contains("\"pending\":1"), "{body}");
+        assert!(body.contains("\"delivered\":1"), "{body}");
+        assert!(body.contains("\"cve\":\"CVE-2099-0001\""), "{body}");
+        assert!(body.contains("\"domain\":\"site-1.example\""), "{body}");
+        assert!(body.contains("\"coverage_scanned\":1"), "{body}");
+        assert!(body.contains("\"full_coverage\":false"), "{body}");
+        // healthz gains the watch section.
+        let health = svc.healthz(0);
+        assert!(health.contains("\"watch\":{"), "{health}");
+        assert!(health.contains("\"alerts_pending\":1"), "{health}");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

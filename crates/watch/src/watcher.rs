@@ -1,0 +1,626 @@
+//! The watch loop: idempotent week ingestion, incremental live analysis
+//! state, and CVE retro-scan alerting.
+//!
+//! One watcher owns a root directory:
+//!
+//! ```text
+//! root/
+//!   store/           sharded snapshot store (manifest-epoch commits)
+//!   spool/           incoming week-NNNNN.wvweek files (+ genesis);
+//!                    week files are consumed once committed
+//!   deltas/          incoming *.cvedelta files
+//!   outbox.wal       alert outbox journal
+//!   alerts.log       delivered alerts, one line per alert
+//!   deltas.applied   retro-scans completed, one file name per line
+//! ```
+//!
+//! Every tick is crash-safe by construction: the store commit is the
+//! manifest-epoch rename (a re-delivered or re-ingested week is a no-op
+//! keyed on the committed week count), retro-scan completion is the
+//! applied-journal append (a crash mid-scan replays the scan, and the
+//! outbox dedups the replayed alerts by deterministic ID), and delivery
+//! is the outbox's journaled two-phase append. The live accumulator is
+//! *not* persisted — the store is its journal: a cold open refolds it
+//! with [`fold_study`], and every incremental absorb afterwards is
+//! exactly the fold's per-week step ([`apply_filter`] + `absorb`). The
+//! §4.1 filter window rides along the same way: the trailing
+//! [`FINAL_WEEKS`] alive sets are held in memory (rebuilt from the
+//! store on open), so an arrival tick costs one week — read, commit,
+//! absorb — independent of how much history the store holds. Verdict
+//! drift (domains crossing the trailing-inaccessibility boundary, a
+//! weekly occurrence at scale) marks the live state stale rather than
+//! refolding inline; the catch-up refold settles on the next quiet
+//! tick, so idle still means exactly cold-fold-equal.
+
+use crate::alert::{Alert, Coverage};
+use crate::error::WatchError;
+use crate::outbox::{Outbox, OutboxRecovery};
+use crate::spool::{read_genesis_file, read_week_file, scan_spool, GENESIS_FILE};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use webvuln_analysis::store_io::week_to_snapshot;
+use webvuln_analysis::{
+    apply_filter, fold_study, genesis_ranks, snapshot_alive_set, AccumCtx, Accumulate, StudyAccum,
+    FINAL_WEEKS,
+};
+use webvuln_cvedb::{parse_delta, LibraryId, VulnDb, VulnRecord};
+use webvuln_store::{AnyReader, ShardedStoreWriter, MANIFEST_FILE};
+use webvuln_telemetry::Telemetry;
+use webvuln_version::Version;
+
+/// Where a watcher lives and how wide it runs.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    root: PathBuf,
+    /// Worker threads for store commits and refolds.
+    pub threads: usize,
+    /// Shard count used when bootstrapping a fresh store.
+    pub shards: usize,
+}
+
+impl WatchConfig {
+    /// A watcher rooted at `root`, single-threaded, one shard.
+    pub fn new(root: impl Into<PathBuf>) -> WatchConfig {
+        WatchConfig {
+            root: root.into(),
+            threads: 1,
+            shards: 1,
+        }
+    }
+
+    /// Sets the worker thread count.
+    pub fn threads(mut self, threads: usize) -> WatchConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the shard count for a bootstrapped store.
+    pub fn shards(mut self, shards: usize) -> WatchConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The sharded store directory.
+    pub fn store_dir(&self) -> PathBuf {
+        self.root.join("store")
+    }
+
+    /// The incoming-week spool directory.
+    pub fn spool_dir(&self) -> PathBuf {
+        self.root.join("spool")
+    }
+
+    /// The incoming CVE delta directory.
+    pub fn deltas_dir(&self) -> PathBuf {
+        self.root.join("deltas")
+    }
+
+    /// The alert outbox journal.
+    pub fn outbox_wal(&self) -> PathBuf {
+        self.root.join("outbox.wal")
+    }
+
+    /// The delivered-alert log.
+    pub fn alert_log(&self) -> PathBuf {
+        self.root.join("alerts.log")
+    }
+
+    /// The retro-scan completion journal.
+    pub fn applied_journal(&self) -> PathBuf {
+        self.root.join("deltas.applied")
+    }
+}
+
+/// What one [`Watcher::tick`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickReport {
+    /// Spool weeks committed to the store and absorbed live.
+    pub weeks_ingested: usize,
+    /// Spool weeks skipped as already committed (idempotent redelivery).
+    pub weeks_skipped: usize,
+    /// Full refolds of the live accumulator: a CVE delta extending the
+    /// database, or §4.1 verdict drift settling on a quiet tick.
+    pub refolds: usize,
+    /// Delta files whose retro-scan completed this tick.
+    pub deltas_applied: usize,
+    /// Alerts newly journaled into the outbox.
+    pub alerts_enqueued: usize,
+    /// Alerts a replayed retro-scan re-produced (dedup by ID; no-op).
+    pub alerts_deduped: usize,
+    /// Alert lines appended to the delivery log.
+    pub alerts_delivered: usize,
+    /// Owed alerts found already delivered at delivery time (crash
+    /// between delivery and ack on a previous run).
+    pub alerts_redelivered: usize,
+}
+
+impl TickReport {
+    /// True when the tick changed nothing.
+    pub fn is_idle(&self) -> bool {
+        *self == TickReport::default()
+    }
+}
+
+/// A point-in-time summary of a watch root, readable by outside
+/// observers (the serve layer's `/healthz`) without a [`Watcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WatchState {
+    /// True when a store exists under the root.
+    pub store_present: bool,
+    /// Weeks committed to the store.
+    pub weeks_committed: u64,
+    /// Store manifest epoch.
+    pub epoch: u64,
+    /// Shard count.
+    pub shards: u32,
+    /// True when at least one shard is unavailable.
+    pub degraded: bool,
+    /// Distinct alerts ever journaled.
+    pub alerts_enqueued: u64,
+    /// Alerts journaled but not yet acked.
+    pub alerts_pending: u64,
+    /// Alert IDs in the delivery log.
+    pub alerts_delivered: u64,
+    /// Delta files whose retro-scan completed.
+    pub deltas_applied: u64,
+}
+
+/// Reads a [`WatchState`] off disk. Missing pieces (no store yet, no
+/// outbox yet) read as zeros — the daemon may not have bootstrapped.
+pub fn load_watch_state(root: &Path) -> WatchState {
+    let cfg = WatchConfig::new(root);
+    let mut state = WatchState::default();
+    if let Ok(reader) = AnyReader::open_degraded(&cfg.store_dir()) {
+        state.store_present = true;
+        state.weeks_committed = reader.weeks_committed() as u64;
+        state.shards = reader.shard_count() as u32;
+        state.degraded = reader.is_degraded();
+        if let AnyReader::Sharded(sharded) = &reader {
+            state.epoch = sharded.manifest().epoch;
+        }
+    }
+    if let Ok(snapshot) = crate::outbox::OutboxSnapshot::load(&cfg.outbox_wal(), &cfg.alert_log()) {
+        state.alerts_enqueued = snapshot.alerts.len() as u64;
+        state.alerts_pending = snapshot.pending().len() as u64;
+        state.alerts_delivered = snapshot.delivered.len() as u64;
+    }
+    state.deltas_applied = read_applied(&cfg.applied_journal()).len() as u64;
+    state
+}
+
+/// The live-ingestion daemon state. See the module docs for the layout
+/// and crash-safety story.
+pub struct Watcher {
+    cfg: WatchConfig,
+    telemetry: Telemetry,
+    writer: ShardedStoreWriter,
+    db: VulnDb,
+    live: StudyAccum,
+    filtered: BTreeSet<String>,
+    /// Per-week alive sets of the trailing [`FINAL_WEEKS`] committed
+    /// weeks, newest last — the §4.1 verdict is derived from this in
+    /// memory, so a steady-state tick never re-reads the store.
+    filter_window: VecDeque<BTreeSet<String>>,
+    /// True when `live` was folded under an older verdict than
+    /// `filtered` — settled by a refold on the next quiet tick.
+    live_stale: bool,
+    ranks: BTreeMap<String, usize>,
+    outbox: Outbox,
+    recovery: OutboxRecovery,
+    /// Delta files whose records are already in `db`.
+    known_deltas: BTreeSet<String>,
+    /// Delta files whose retro-scan completed (journaled).
+    applied_deltas: BTreeSet<String>,
+}
+
+impl Watcher {
+    /// Opens (or bootstraps) the watcher at `cfg.root()`.
+    ///
+    /// Resumes an existing store — healing torn shard tails and rolling
+    /// back uncommitted shard progress — or creates one from the spool's
+    /// `genesis.wvgenesis`. The live accumulator is rebuilt with a cold
+    /// fold over whatever the store holds.
+    pub fn open(cfg: WatchConfig, telemetry: &Telemetry) -> Result<Watcher, WatchError> {
+        std::fs::create_dir_all(cfg.root()).map_err(|e| WatchError::io(cfg.root(), e))?;
+        let store_dir = cfg.store_dir();
+        let writer = if store_dir.join(MANIFEST_FILE).exists() {
+            ShardedStoreWriter::resume(&store_dir)?.writer
+        } else {
+            let genesis_path = cfg.spool_dir().join(GENESIS_FILE);
+            if !genesis_path.exists() {
+                return Err(WatchError::corrupt(
+                    &genesis_path,
+                    "no store to resume and no genesis file to bootstrap from",
+                ));
+            }
+            let genesis = read_genesis_file(&genesis_path)?;
+            ShardedStoreWriter::create(&store_dir, genesis, cfg.shards)?
+        };
+        let writer = writer.threads(cfg.threads);
+        let ranks = genesis_ranks(writer.genesis());
+
+        let mut db = VulnDb::builtin();
+        let mut known_deltas = BTreeSet::new();
+        for (name, path) in scan_deltas(&cfg.deltas_dir())? {
+            let records = parse_delta_file(&path)?;
+            db.extend(records);
+            known_deltas.insert(name);
+        }
+        let applied_deltas = read_applied(&cfg.applied_journal());
+
+        let (outbox, recovery) = Outbox::open(&cfg.outbox_wal(), &cfg.alert_log())?;
+        let registry = telemetry.registry();
+        registry
+            .counter("watch.outbox_replayed_total")
+            .add(recovery.replayed as u64);
+
+        let weeks = writer.weeks_committed();
+        let (live, filter_window) = if weeks > 0 {
+            let reader = AnyReader::open_degraded(&store_dir)?;
+            let mut filter_window = VecDeque::with_capacity(FINAL_WEEKS);
+            for week in reader.stream().range(weeks - FINAL_WEEKS.min(weeks), weeks) {
+                filter_window.push_back(snapshot_alive_set(&week_to_snapshot(&week?)?));
+            }
+            let live = fold_study(&reader, &db, cfg.threads)?;
+            (live, filter_window)
+        } else {
+            (StudyAccum::default(), VecDeque::new())
+        };
+        let filtered = window_verdict(&ranks, &filter_window);
+
+        Ok(Watcher {
+            cfg,
+            telemetry: telemetry.clone(),
+            writer,
+            db,
+            live,
+            filtered,
+            filter_window,
+            live_stale: false,
+            ranks,
+            outbox,
+            recovery,
+            known_deltas,
+            applied_deltas,
+        })
+    }
+
+    /// What the outbox found when this watcher opened.
+    pub fn recovery(&self) -> OutboxRecovery {
+        self.recovery
+    }
+
+    /// One supervised pass: ingest newly-arrived spool weeks, apply
+    /// newly-arrived CVE deltas (retro-scanning history for exposure),
+    /// then deliver owed alerts.
+    pub fn tick(&mut self) -> Result<TickReport, WatchError> {
+        let registry = self.telemetry.registry_arc();
+        registry.counter("watch.ticks_total").inc();
+        let mut report = TickReport::default();
+        self.ingest_spool(&mut report)?;
+        self.apply_deltas(&mut report)?;
+        let delivery = self.outbox.deliver_pending()?;
+        report.alerts_delivered = delivery.delivered;
+        report.alerts_redelivered = delivery.deduped;
+        registry
+            .counter("watch.alerts_delivered_total")
+            .add(delivery.delivered as u64);
+        // Settle verdict drift on a quiet tick: arrival ticks stay
+        // O(one week) and the catch-up refold lands in the poll gap
+        // that follows. A settling tick reports its refold, so the
+        // daemon is never idle while the live state lags the filter.
+        if self.live_stale && report.weeks_ingested == 0 {
+            let reader = AnyReader::open_degraded(&self.cfg.store_dir())?;
+            self.refold(&reader, &mut report)?;
+        }
+        Ok(report)
+    }
+
+    fn ingest_spool(&mut self, report: &mut TickReport) -> Result<(), WatchError> {
+        let registry = self.telemetry.registry_arc();
+        for (index, path) in scan_spool(&self.cfg.spool_dir())? {
+            let committed = self.writer.weeks_committed();
+            if index < committed {
+                // Idempotent ingestion: the manifest epoch already
+                // covers this week; a redelivered (or crash-orphaned)
+                // file is consumed without re-committing.
+                std::fs::remove_file(&path).map_err(|e| WatchError::io(&path, e))?;
+                report.weeks_skipped += 1;
+                registry.counter("watch.weeks_skipped_total").inc();
+                continue;
+            }
+            if index > committed {
+                // A gap: the missing week has not arrived yet. Weeks
+                // are strictly ordered, so stop and wait.
+                break;
+            }
+            let week = read_week_file(&path)?;
+            let key = index.to_string();
+            let _ = webvuln_failpoint::failpoint!("watch.ingest", &key)?;
+            self.writer.commit_week(&week)?;
+            // The incremental step: absorb exactly what a cold fold's
+            // per-week iteration would.
+            let mut snapshot = week_to_snapshot(&week)?;
+            // Slide the §4.1 window before filtering: the alive set is
+            // read from the summaries, which apply_filter leaves alone.
+            if self.filter_window.len() == FINAL_WEEKS {
+                self.filter_window.pop_front();
+            }
+            self.filter_window.push_back(snapshot_alive_set(&snapshot));
+            apply_filter(&mut snapshot, &self.filtered);
+            let ctx = AccumCtx {
+                db: &self.db,
+                ranks: &self.ranks,
+            };
+            self.live.absorb(&snapshot, &ctx);
+            // Consume the spool file only after the commit: a crash
+            // between the two re-skips the week above, then cleans up.
+            std::fs::remove_file(&path).map_err(|e| WatchError::io(&path, e))?;
+            report.weeks_ingested += 1;
+            registry.counter("watch.weeks_ingested_total").inc();
+        }
+        if report.weeks_ingested > 0 {
+            self.refresh_filter();
+        }
+        Ok(())
+    }
+
+    /// Re-derives the §4.1 filter verdict from the in-memory trailing
+    /// window — the same answer [`store_filter_verdict`] would read back
+    /// from the store, without touching it. A changed verdict cannot be
+    /// applied retroactively to an incremental accumulator, so it marks
+    /// the live state stale; the refold that settles it is deferred to
+    /// the next quiet tick. Domains cross the trailing-inaccessibility
+    /// boundary most weeks at scale (the marginal population flaps), so
+    /// paying the refold inside the arrival tick would make every
+    /// arrival cost a full history scan.
+    ///
+    /// [`store_filter_verdict`]: webvuln_analysis::store_filter_verdict
+    fn refresh_filter(&mut self) {
+        let fresh = window_verdict(&self.ranks, &self.filter_window);
+        if fresh != self.filtered {
+            let flips = fresh.symmetric_difference(&self.filtered).count();
+            self.telemetry
+                .registry()
+                .counter("watch.filter_flips_total")
+                .add(flips as u64);
+            self.filtered = fresh;
+            self.live_stale = true;
+        }
+    }
+
+    fn refold(&mut self, reader: &AnyReader, report: &mut TickReport) -> Result<(), WatchError> {
+        self.live = fold_study(reader, &self.db, self.cfg.threads)?;
+        self.live_stale = false;
+        report.refolds += 1;
+        self.telemetry.registry().counter("watch.refolds_total").inc();
+        Ok(())
+    }
+
+    fn apply_deltas(&mut self, report: &mut TickReport) -> Result<(), WatchError> {
+        let registry = self.telemetry.registry_arc();
+        let mut db_grew = false;
+        let deltas = scan_deltas(&self.cfg.deltas_dir())?;
+        for (name, path) in &deltas {
+            if self.known_deltas.contains(name) {
+                continue;
+            }
+            let records = parse_delta_file(path)?;
+            if self.db.extend(records) > 0 {
+                db_grew = true;
+            }
+            self.known_deltas.insert(name.clone());
+        }
+        if db_grew && self.writer.weeks_committed() > 0 {
+            // The exposure accumulators consult the database while
+            // absorbing, so new records invalidate the live state.
+            let reader = AnyReader::open_degraded(&self.cfg.store_dir())?;
+            self.refold(&reader, report)?;
+        }
+        for (name, path) in &deltas {
+            if self.applied_deltas.contains(name) {
+                continue;
+            }
+            let _ = webvuln_failpoint::failpoint!("watch.retro", name)?;
+            let records = parse_delta_file(path)?;
+            let (enqueued, deduped) = self.retro_scan(&records)?;
+            report.alerts_enqueued += enqueued;
+            report.alerts_deduped += deduped;
+            registry
+                .counter("watch.alerts_enqueued_total")
+                .add(enqueued as u64);
+            registry
+                .counter("watch.alerts_deduped_total")
+                .add(deduped as u64);
+            // Journaling completion is the commit point: a crash before
+            // this line replays the scan, and the outbox dedups it.
+            self.journal_applied(name)?;
+            self.applied_deltas.insert(name.clone());
+            report.deltas_applied += 1;
+            registry.counter("watch.deltas_applied_total").inc();
+        }
+        Ok(())
+    }
+
+    /// Scans the full committed history for domains exposed to
+    /// `records`. A degraded store downgrades coverage (annotated on
+    /// every alert) instead of failing the scan.
+    fn retro_scan(&mut self, records: &[VulnRecord]) -> Result<(usize, usize), WatchError> {
+        if records.is_empty() || self.writer.weeks_committed() == 0 {
+            return Ok((0, 0));
+        }
+        let reader = AnyReader::open_degraded(&self.cfg.store_dir())?;
+        let health = reader.shard_health();
+        let coverage = Coverage {
+            shards_scanned: health.iter().filter(|h| h.is_healthy()).count() as u32,
+            shards_total: health.len() as u32,
+        };
+        // (record index, domain) → (first week, last week, weeks seen).
+        let mut spans: BTreeMap<(usize, String), (u32, u32, u32)> = BTreeMap::new();
+        for week in reader.stream() {
+            let week = week?;
+            let wk = week.week as u32;
+            for domain in &week.records {
+                let Some(page) = &domain.page else { continue };
+                for det in &page.detections {
+                    let Some(version) = det.version.as_deref() else {
+                        continue;
+                    };
+                    let Ok(version) = Version::parse(version) else {
+                        continue;
+                    };
+                    let Some(library) = LibraryId::from_slug(&det.library) else {
+                        continue;
+                    };
+                    for (index, record) in records.iter().enumerate() {
+                        if record.library != library || !record.claims(&version) {
+                            continue;
+                        }
+                        spans
+                            .entry((index, domain.host.clone()))
+                            .and_modify(|(_, last, seen)| {
+                                if *last != wk {
+                                    *seen += 1;
+                                }
+                                *last = wk;
+                            })
+                            .or_insert((wk, wk, 1));
+                    }
+                }
+            }
+        }
+        let mut enqueued = 0;
+        let mut deduped = 0;
+        for ((index, domain), (first, last, seen)) in spans {
+            let record = &records[index];
+            let alert = Alert::new(
+                &record.id,
+                record.library.slug(),
+                &domain,
+                first,
+                last,
+                seen,
+                coverage,
+            );
+            if self.outbox.enqueue(&alert)? {
+                enqueued += 1;
+            } else {
+                deduped += 1;
+            }
+        }
+        Ok((enqueued, deduped))
+    }
+
+    fn journal_applied(&self, name: &str) -> Result<(), WatchError> {
+        let path = self.cfg.applied_journal();
+        let mut file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| WatchError::io(&path, e))?;
+        file.write_all(format!("{name}\n").as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| WatchError::io(&path, e))
+    }
+
+    /// The live study accumulator.
+    pub fn live(&self) -> &StudyAccum {
+        &self.live
+    }
+
+    /// The (possibly delta-extended) vulnerability database.
+    pub fn db(&self) -> &VulnDb {
+        &self.db
+    }
+
+    /// The store writer's committed week count.
+    pub fn weeks_committed(&self) -> usize {
+        self.writer.weeks_committed()
+    }
+
+    /// The store's manifest epoch.
+    pub fn epoch(&self) -> u64 {
+        self.writer.epoch()
+    }
+
+    /// The alert outbox.
+    pub fn outbox(&self) -> &Outbox {
+        &self.outbox
+    }
+
+    /// This watcher's configuration.
+    pub fn config(&self) -> &WatchConfig {
+        &self.cfg
+    }
+}
+
+/// Lists `*.cvedelta` files as `(file name, path)`, sorted by name.
+pub fn scan_deltas(dir: &Path) -> Result<Vec<(String, PathBuf)>, WatchError> {
+    let mut deltas = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(deltas),
+        Err(e) => return Err(WatchError::io(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| WatchError::io(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if name.ends_with(".cvedelta") {
+            deltas.push((name, entry.path()));
+        }
+    }
+    deltas.sort();
+    Ok(deltas)
+}
+
+/// The §4.1 verdict from a trailing window of per-week alive sets: a
+/// ranked domain is dropped when no window week saw it reachable. With
+/// the window rebuilt from (or maintained in lockstep with) the store's
+/// trailing [`FINAL_WEEKS`] weeks, this equals what
+/// [`store_filter_verdict`](webvuln_analysis::store_filter_verdict)
+/// reads back from the store — an empty window (empty store) drops
+/// nothing, matching its zero-week case.
+fn window_verdict(
+    ranks: &BTreeMap<String, usize>,
+    window: &VecDeque<BTreeSet<String>>,
+) -> BTreeSet<String> {
+    if window.is_empty() {
+        return BTreeSet::new();
+    }
+    ranks
+        .keys()
+        .filter(|host| !window.iter().any(|alive| alive.contains(*host)))
+        .cloned()
+        .collect()
+}
+
+fn parse_delta_file(path: &Path) -> Result<Vec<VulnRecord>, WatchError> {
+    let text = std::fs::read_to_string(path).map_err(|e| WatchError::io(path, e))?;
+    parse_delta(&text).map_err(|e| WatchError::Delta {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })
+}
+
+/// Reads the applied-delta journal; only complete (newline-terminated)
+/// lines count, so a torn final append reads as not-applied and the
+/// retro-scan replays (harmless under ID dedup).
+fn read_applied(path: &Path) -> BTreeSet<String> {
+    let Ok(raw) = std::fs::read(path) else {
+        return BTreeSet::new();
+    };
+    let text = String::from_utf8_lossy(&raw);
+    let clean = match text.rfind('\n') {
+        Some(pos) => &text[..pos + 1],
+        None => "",
+    };
+    clean.lines().map(str::to_string).collect()
+}

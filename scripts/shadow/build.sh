@@ -52,16 +52,19 @@ $RUSTC --crate-type rlib --crate-name webvuln_poclab "$R/crates/poclab/src/lib.r
 $RUSTC --crate-type rlib --crate-name webvuln_analysis "$R/crates/analysis/src/lib.rs" \
   $(ext serde) $(ext serde_json) $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv store) \
   $(wv version) $(wv cvedb) $(wv html) $(wv net) $(wv webgen) $(wv fingerprint) $(wv poclab)
+$RUSTC --crate-type rlib --crate-name webvuln_watch "$R/crates/watch/src/lib.rs" \
+  $(wv failpoint) $(wv telemetry) $(wv resilience) $(wv store) \
+  $(wv version) $(wv cvedb) $(wv analysis)
 $RUSTC --crate-type rlib --crate-name webvuln_serve "$R/crates/serve/src/lib.rs" \
   $(wv telemetry) $(wv failpoint) $(wv exec) $(wv store) $(wv net) \
-  $(wv cvedb) $(wv version) $(wv analysis)
+  $(wv cvedb) $(wv version) $(wv analysis) $(wv watch)
 $RUSTC --crate-type rlib --crate-name webvuln_core "$R/crates/core/src/lib.rs" \
   $(ext serde) $(ext serde_json) $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv store) \
   $(wv version) $(wv cvedb) $(wv net) $(wv webgen) $(wv fingerprint) $(wv poclab) $(wv analysis) \
-  $(wv serve)
+  $(wv watch) $(wv serve)
 $RUSTC --crate-type rlib --crate-name webvuln "$R/src/lib.rs" \
   $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv resilience) $(wv store) $(wv pattern) \
   $(wv version) $(wv html) $(wv cvedb) $(wv webgen) $(wv net) $(wv fingerprint) $(wv poclab) \
-  $(wv analysis) $(wv serve) $(wv core)
+  $(wv analysis) $(wv watch) $(wv serve) $(wv core)
 $RUSTC --crate-name webvuln_bin "$R/src/bin/webvuln.rs" --extern webvuln="$S/libwebvuln.rlib"
 echo "shadow build OK ($S)"

@@ -20,6 +20,8 @@ build_one() {
     telemetry) $RUSTC --crate-name t_telemetry "$R/crates/telemetry/src/lib.rs" ;;
     trace) $RUSTC --crate-name t_trace "$R/crates/trace/src/lib.rs" ;;
     exec) $RUSTC --crate-name t_exec "$R/crates/exec/src/lib.rs" $(wv failpoint) $(wv trace) ;;
+    resilience) $RUSTC --crate-name t_resilience "$R/crates/resilience/src/lib.rs" ;;
+    cvedb) $RUSTC --crate-name t_cvedb "$R/crates/cvedb/src/lib.rs" $(ext serde) $(wv version) ;;
     store) $RUSTC --crate-name t_store "$R/crates/store/src/lib.rs" $(wv failpoint) $(wv trace) $(wv exec) ;;
     net) $RUSTC --crate-name t_net "$R/crates/net/src/lib.rs" \
       $(wv telemetry) $(wv failpoint) $(wv exec) $(wv resilience) $(wv trace) \
@@ -29,20 +31,23 @@ build_one() {
     analysis) $RUSTC --crate-name t_analysis "$R/crates/analysis/src/lib.rs" \
       $(ext serde) $(ext serde_json) $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv store) \
       $(wv version) $(wv cvedb) $(wv html) $(wv net) $(wv webgen) $(wv fingerprint) $(wv poclab) ;;
+    watch) $RUSTC --crate-name t_watch "$R/crates/watch/src/lib.rs" \
+      $(wv failpoint) $(wv telemetry) $(wv resilience) $(wv store) \
+      $(wv version) $(wv cvedb) $(wv analysis) ;;
     serve) $RUSTC --crate-name t_serve "$R/crates/serve/src/lib.rs" \
       $(wv telemetry) $(wv failpoint) $(wv exec) $(wv store) $(wv net) \
-      $(wv cvedb) $(wv version) $(wv analysis) $(wv webgen) ;;
+      $(wv cvedb) $(wv version) $(wv analysis) $(wv watch) $(wv webgen) ;;
     core) $RUSTC --crate-name t_core "$R/crates/core/src/lib.rs" \
       $(ext serde) $(ext serde_json) $(wv telemetry) $(wv failpoint) $(wv trace) $(wv exec) $(wv store) \
       $(wv version) $(wv cvedb) $(wv net) $(wv webgen) $(wv fingerprint) $(wv poclab) $(wv analysis) \
-      $(wv serve) ;;
+      $(wv watch) $(wv serve) ;;
     *) echo "unknown crate: $1" >&2; exit 2 ;;
   esac
 }
 
 CRATES=("$@")
 if [ ${#CRATES[@]} -eq 0 ]; then
-  CRATES=(telemetry trace exec store net fingerprint analysis serve core)
+  CRATES=(telemetry trace exec resilience cvedb store net fingerprint analysis watch serve core)
 fi
 for crate in "${CRATES[@]}"; do
   build_one "$crate"

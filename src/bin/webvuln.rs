@@ -12,7 +12,9 @@
 //! webvuln inspect <FILE.html> [--domain HOST]
 //! webvuln store   info|verify|export-json|scrub <PATH> [--repair]
 //! webvuln serve   --store PATH [--threads N] [--port P] [--cache N]
-//!                 [--max-conns N] [--requests N]
+//!                 [--max-conns N] [--requests N] [--watch DIR]
+//! webvuln watch   ROOT [--ticks N] [--threads N] [--shards N]
+//!                 [--pause-ms N] [--stall-ms N] [--restarts N] [--telemetry]
 //! ```
 
 use std::sync::Arc;
@@ -38,6 +40,7 @@ fn main() {
         "inspect" => cmd_inspect(&args[1..]),
         "store" => cmd_store(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "watch" => cmd_watch(&args[1..]),
         "help" | "--help" | "-h" => print_help(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -77,16 +80,33 @@ USAGE:
                                      last consistent epoch. Exit codes:
                                      0 clean, 3 healed, 4 quarantined
   webvuln serve    --store PATH [--threads N] [--port P] [--cache N]
-                   [--max-conns N] [--requests N]
+                   [--max-conns N] [--requests N] [--watch DIR]
                    serve JSON queries over a snapshot store:
                      GET /healthz
                      GET /domain/HOST/history
                      GET /library/SLUG/prevalence
                      GET /week/W/landscape
                      GET /cve/ID/exposure
+                     GET /alerts          (with --watch DIR)
                    --port 0 picks a free port (printed on stdout);
                    --requests N drains gracefully after N requests
-                   (0 = run until killed) and prints serve.* metrics
+                   (0 = run until killed) and prints serve.* metrics;
+                   --watch DIR attaches a watch root: /alerts serves its
+                   outbox and /healthz reports its ingestion state
+  webvuln watch    ROOT [--ticks N] [--threads N] [--shards N]
+                   [--pause-ms N] [--stall-ms N] [--restarts N] [--telemetry]
+                   run the supervised live-ingestion daemon over ROOT:
+                   commits spool weeks (ROOT/spool/week-NNNNN.wvweek)
+                   into ROOT/store through the sharded writer, absorbs
+                   each week into the live accumulators incrementally,
+                   retro-scans history when a CVE delta lands in
+                   ROOT/deltas/*.cvedelta, and delivers per-domain
+                   exposure alerts to ROOT/alerts.log through the
+                   crash-journaled outbox (ROOT/outbox.wal). A crash at
+                   any point is recovered on restart with no lost and no
+                   duplicated alerts. --ticks N stops after N ticks
+                   (0 = run until killed); --restarts N is the budget of
+                   consecutive faults before giving up
 
 FLAGS:
   --threads N        worker threads for the crawl and fingerprint pools
@@ -419,12 +439,22 @@ fn cmd_store(args: &[String]) {
     };
     match action {
         "info" => {
-            let reader = open();
+            // Info opens tolerantly: a degraded store (a quarantined or
+            // missing shard) is exactly when an operator needs this
+            // output, so report per-shard health instead of refusing.
+            let reader = webvuln::store::AnyReader::open_degraded(std::path::Path::new(path))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open {path}: {e}");
+                    std::process::exit(1);
+                });
             let genesis = reader.genesis();
             println!("store:      {path}");
             println!("format:     version {}", webvuln::store::FORMAT_VERSION);
             if reader.shard_count() > 1 {
                 println!("shards:     {}", reader.shard_count());
+            }
+            if let webvuln::store::AnyReader::Sharded(sharded) = &reader {
+                println!("epoch:      {}", sharded.manifest().epoch);
             }
             println!("domains:    {}", genesis.ranks.len());
             println!(
@@ -442,20 +472,50 @@ fn cmd_store(args: &[String]) {
                     filtered.len()
                 );
             }
-            let (hits, total) = match reader.delta_stats() {
-                Ok(stats) => stats,
+            match reader.delta_stats() {
+                Ok((hits, total)) => println!(
+                    "records:    {total} total, {hits} stored as back-references ({:.1}%)",
+                    100.0 * hits as f64 / total.max(1) as f64
+                ),
+                Err(e) if reader.is_degraded() => {
+                    println!("records:    unavailable (degraded store: {e})")
+                }
                 Err(e) => {
                     eprintln!("cannot decode {path}: {e}");
                     std::process::exit(1);
                 }
-            };
-            println!(
-                "records:    {total} total, {hits} stored as back-references ({:.1}%)",
-                100.0 * hits as f64 / total.max(1) as f64
-            );
+            }
             println!("data bytes: {}", reader.data_bytes());
             if reader.torn_bytes() > 0 {
                 println!("torn tail:  {} bytes (recoverable)", reader.torn_bytes());
+            }
+            // Per-shard breakdown: week/record counts for the healthy
+            // shards, the quarantine reason for the rest.
+            if let webvuln::store::AnyReader::Sharded(sharded) = &reader {
+                for index in 0..sharded.shard_count() {
+                    match sharded.shard_reader(index) {
+                        Some(shard) => {
+                            let records = shard
+                                .delta_stats()
+                                .map(|(_, total)| total.to_string())
+                                .unwrap_or_else(|_| "?".into());
+                            println!(
+                                "  shard {index}: healthy, {} weeks, {records} records, {} bytes",
+                                shard.weeks_committed(),
+                                shard.data_bytes()
+                            );
+                        }
+                        None => {
+                            let detail = match &sharded.shard_health()[index] {
+                                webvuln::store::ShardHealth::Unavailable { detail } => {
+                                    detail.clone()
+                                }
+                                webvuln::store::ShardHealth::Healthy => "unknown".into(),
+                            };
+                            println!("  shard {index}: UNAVAILABLE ({detail})");
+                        }
+                    }
+                }
             }
         }
         "verify" => {
@@ -552,13 +612,20 @@ fn cmd_serve(args: &[String]) {
     };
     let request_budget = flag_usize(args, "--requests", 0) as u64;
 
+    let watch_root = flag(args, "--watch");
     let service = match webvuln::QueryService::open(std::path::Path::new(&store)) {
-        Ok(s) => Arc::new(s),
+        Ok(s) => match &watch_root {
+            Some(root) => Arc::new(s.with_watch_root(root)),
+            None => Arc::new(s),
+        },
         Err(e) => {
             eprintln!("serve: cannot open {store}: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(root) = &watch_root {
+        eprintln!("serve: live alerting enabled from watch root {root}");
+    }
     eprintln!(
         "serve: {} weeks committed, {} domains, {} worker threads",
         service.reader().weeks_committed(),
@@ -614,6 +681,73 @@ fn cmd_serve(args: &[String]) {
         "serve.connections_total",
     ] {
         eprintln!("{key} = {}", snap.counter(key).unwrap_or(0));
+    }
+}
+
+fn cmd_watch(args: &[String]) {
+    let Some(root) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!(
+            "usage: webvuln watch ROOT [--ticks N] [--threads N] [--shards N] \
+             [--pause-ms N] [--stall-ms N] [--restarts N] [--telemetry]"
+        );
+        std::process::exit(2);
+    };
+    let watch_cfg = webvuln::WatchConfig::new(root)
+        .threads(flag_usize(args, "--threads", 2))
+        .shards(flag_usize(args, "--shards", 4));
+    // --ticks 0 means run until killed; the supervisor itself has no
+    // notion of "forever", so model it as a practically-infinite budget.
+    let ticks = match flag_usize(args, "--ticks", 0) {
+        0 => usize::MAX,
+        n => n,
+    };
+    let restarts = flag_usize(args, "--restarts", 4).min(u32::MAX as usize) as u32;
+    let mut sup_cfg = webvuln::SupervisorConfig::bounded(ticks)
+        .policy(webvuln::resilience::RetryPolicy::standard(restarts))
+        .tick_pause(std::time::Duration::from_millis(
+            flag_usize(args, "--pause-ms", 200) as u64,
+        ));
+    if let Some(stall_ms) = flag(args, "--stall-ms").and_then(|v| v.parse::<u64>().ok()) {
+        sup_cfg = sup_cfg.stall_limit(std::time::Duration::from_millis(stall_ms));
+    }
+
+    let telemetry = webvuln::telemetry::Telemetry::new();
+    let report = webvuln::watch::supervise(&watch_cfg, sup_cfg, &telemetry);
+
+    println!("watch root: {root}");
+    println!(
+        "ticks:      {} ({} weeks ingested, {} skipped, {} refolds)",
+        report.ticks,
+        report.totals.weeks_ingested,
+        report.totals.weeks_skipped,
+        report.totals.refolds
+    );
+    println!(
+        "deltas:     {} applied ({} alerts enqueued, {} deduped)",
+        report.totals.deltas_applied, report.totals.alerts_enqueued, report.totals.alerts_deduped
+    );
+    println!(
+        "delivered:  {} alerts ({} redelivered after replay)",
+        report.totals.alerts_delivered, report.totals.alerts_redelivered
+    );
+    println!(
+        "faults:     {} restarts, {} stalls flagged, {} ns virtual backoff",
+        report.restarts, report.stalls, report.backoff_ns
+    );
+    if let Some(err) = &report.last_error {
+        eprintln!("last error: {err}");
+    }
+    if telemetry_flag(args).is_some() {
+        let snap = telemetry.registry_arc().snapshot();
+        for (key, value) in &snap.counters {
+            if key.starts_with("watch.") {
+                eprintln!("{key} = {value}");
+            }
+        }
+    }
+    if report.gave_up {
+        eprintln!("watch: restart budget exhausted; giving up");
+        std::process::exit(1);
     }
 }
 

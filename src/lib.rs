@@ -22,6 +22,7 @@
 //! | [`poclab`] | `webvuln-poclab` | version-validation experiment |
 //! | [`analysis`] | `webvuln-analysis` | tables & figures |
 //! | [`serve`] | `webvuln-serve` | multi-threaded query API over the store |
+//! | [`watch`] | `webvuln-watch` | live-ingestion daemon + retro-scan alerting |
 //! | [`store`] | `webvuln-store` | binary snapshot store (checkpoint/resume) |
 //! | [`telemetry`] | `webvuln-telemetry` | metrics, spans, progress |
 //! | [`trace`] | `webvuln-trace` | causal tracing, flight recorder, cost attribution |
@@ -58,6 +59,7 @@ pub use webvuln_store as store;
 pub use webvuln_telemetry as telemetry;
 pub use webvuln_trace as trace;
 pub use webvuln_version as version;
+pub use webvuln_watch as watch;
 pub use webvuln_webgen as webgen;
 
 // The serving stack's front door, re-exported flat: open a store, build
@@ -71,3 +73,6 @@ pub use webvuln_serve::{ApiHandler, ApiServer, QueryService, ServeConfig};
                      only when a single-file reader is explicitly required")]
 pub use webvuln_store::StoreReader;
 pub use webvuln_store::{AnyReader, WeekStream};
+// The live-ingestion front door: point a watcher (or a whole supervised
+// daemon) at a watch root without spelling the module paths.
+pub use webvuln_watch::{supervise, SupervisorConfig, WatchConfig, Watcher};

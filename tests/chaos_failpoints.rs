@@ -7,7 +7,9 @@
 //! any crate is automatically killed here; a site without a kill
 //! schedule fails the test loudly instead of being skipped. The catalog
 //! is partitioned across suites — the `serve.*` sites fire in a live API
-//! server (`tests/chaos_serve.rs` kills those), the sharded-store sites
+//! server (`tests/chaos_serve.rs` kills those), the `watch.*` sites fire
+//! in the live-ingestion daemon (`tests/chaos_watch.rs` kills those),
+//! the sharded-store sites
 //! fire only for a sharded checkpoint store (the shard kill matrix
 //! below), and `store.scrub` fires only under `scrub` — and
 //! [`every_catalog_site_has_a_kill_scenario`] proves the partition is
@@ -140,6 +142,7 @@ fn single_file_sites() -> Vec<&'static str> {
             !SHARDED_ONLY_SITES.contains(site)
                 && !SCRUB_ONLY_SITES.contains(site)
                 && !webvuln::serve::FAILPOINTS.contains(site)
+                && !webvuln::watch::FAILPOINTS.contains(site)
         })
         .collect()
 }
@@ -153,6 +156,7 @@ fn every_catalog_site_has_a_kill_scenario() {
     covered.extend_from_slice(SHARDED_ONLY_SITES);
     covered.extend_from_slice(SCRUB_ONLY_SITES);
     covered.extend_from_slice(webvuln::serve::FAILPOINTS);
+    covered.extend_from_slice(webvuln::watch::FAILPOINTS);
     covered.sort_unstable();
     covered.dedup();
     assert_eq!(
